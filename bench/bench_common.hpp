@@ -1,0 +1,81 @@
+#pragma once
+
+// Shared helpers for the table/figure bench binaries: each binary rebuilds
+// one table or figure of the paper and prints the reproduced values next to
+// the published ones. Absolute times come from a calibrated machine model
+// (see EXPERIMENTS.md); the claim under test is the *shape* of each result.
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/driver.hpp"
+#include "util/table.hpp"
+
+namespace scalemd::bench {
+
+/// Published (processors -> s/step) reference series for one paper table.
+using PaperSeries = std::map<int, double>;
+
+inline const PaperSeries kPaperTable2{{1, 57.1},     {4, 14.7},    {8, 7.31},
+                                      {32, 1.9},     {64, 0.964},  {128, 0.493},
+                                      {256, 0.259},  {512, 0.152}, {768, 0.102},
+                                      {1024, 0.0822},{1536, 0.0645},{2048, 0.0573}};
+
+inline const PaperSeries kPaperTable3{{2, 74.2},     {4, 37.8},    {8, 19.3},
+                                      {32, 4.91},    {64, 2.49},   {128, 1.26},
+                                      {256, 0.653},  {512, 0.352}, {768, 0.246},
+                                      {1024, 0.192}, {1536, 0.141},{2048, 0.119}};
+
+inline const PaperSeries kPaperTable4{{1, 1.47},   {2, 0.759},  {4, 0.384},
+                                      {8, 0.196},  {32, 0.071}, {64, 0.0358},
+                                      {128, 0.0299},{256, 0.0300}};
+
+inline const PaperSeries kPaperTable5{{4, 10.7},  {8, 5.28},   {16, 2.64},
+                                      {32, 1.35}, {64, 0.688}, {128, 0.356},
+                                      {256, 0.185}};
+
+inline const PaperSeries kPaperTable6{{1, 24.4}, {2, 12.5},  {4, 6.30}, {8, 3.18},
+                                      {16, 1.60},{32, 0.860},{64, 0.411},
+                                      {80, 0.349}};
+
+/// Renders a scaling table with a side-by-side paper column.
+inline std::string render_with_paper(const std::vector<ScalingRow>& rows,
+                                     const PaperSeries& paper, bool gflops) {
+  std::vector<std::string> header{"Processors", "Time (s/step)", "Speedup"};
+  if (gflops) header.push_back("GFLOPS");
+  header.push_back("paper s/step");
+  header.push_back("paper speedup");
+  Table t(std::move(header));
+  const double paper_base =
+      paper.empty() ? 1.0 : paper.begin()->second * paper.begin()->first;
+  for (const ScalingRow& r : rows) {
+    std::vector<std::string> row{std::to_string(r.pes),
+                                 fmt_sig(r.seconds_per_step, 3),
+                                 fmt_sig(r.speedup, r.speedup < 10 ? 2 : 3)};
+    if (gflops) row.push_back(fmt_sig(r.gflops, 3));
+    const auto it = paper.find(r.pes);
+    if (it != paper.end()) {
+      row.push_back(fmt_sig(it->second, 3));
+      row.push_back(fmt_sig(paper_base / it->second, 3));
+    } else {
+      row.push_back("-");
+      row.push_back("-");
+    }
+    t.add_row(std::move(row));
+  }
+  return t.render();
+}
+
+/// Clips a processor ladder by SCALEMD_BENCH_SCALE < 1 (smoke runs).
+inline std::vector<int> maybe_clip(std::vector<int> pes) {
+  const double scale = bench_scale_from_env();
+  if (scale >= 1.0) return pes;
+  const std::size_t keep =
+      std::max<std::size_t>(2, static_cast<std::size_t>(pes.size() * scale));
+  pes.resize(keep);
+  return pes;
+}
+
+}  // namespace scalemd::bench

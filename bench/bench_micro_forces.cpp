@@ -1,0 +1,135 @@
+// Micro-benchmarks (google-benchmark) of the force kernels: non-bonded
+// self/pair evaluation as a function of atom count, plus each bonded term.
+// These measure this host's real kernel throughput — useful when porting or
+// optimizing the kernels; the paper-reproduction tables use the calibrated
+// 1999 machine models instead.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "ff/bonded.hpp"
+#include "ff/nonbonded.hpp"
+#include "topo/molecule.hpp"
+#include "util/random.hpp"
+
+namespace scalemd {
+namespace {
+
+/// Shared fixture data: n atoms in a cube sized for liquid density.
+struct KernelSetup {
+  explicit KernelSetup(int n) {
+    mol.box = {100, 100, 100};
+    const int t = mol.params.add_lj_type(0.15, 1.8);
+    mol.params.finalize();
+    Rng rng(17);
+    const double side = std::cbrt(n / 0.1);
+    for (int i = 0; i < n; ++i) {
+      mol.add_atom({12.0, i % 2 == 0 ? 0.3 : -0.3, t},
+                   rng.point_in_box({side, side, side}));
+      idx.push_back(i);
+      pos.push_back(mol.positions()[static_cast<std::size_t>(i)]);
+      charges.push_back(mol.atoms()[static_cast<std::size_t>(i)].charge);
+      types.push_back(t);
+    }
+    frc.assign(static_cast<std::size_t>(n), Vec3{});
+    excl = ExclusionTable::build(mol);
+    ctx = std::make_unique<NonbondedContext>(mol.params, excl, charges, types,
+                                             NonbondedOptions{});
+  }
+
+  Molecule mol;
+  std::vector<int> idx;
+  std::vector<Vec3> pos;
+  std::vector<Vec3> frc;
+  std::vector<double> charges;
+  std::vector<int> types;
+  ExclusionTable excl;
+  std::unique_ptr<NonbondedContext> ctx;
+};
+
+void BM_NonbondedSelf(benchmark::State& state) {
+  KernelSetup s(static_cast<int>(state.range(0)));
+  WorkCounters w;
+  for (auto _ : state) {
+    std::fill(s.frc.begin(), s.frc.end(), Vec3{});
+    const EnergyTerms e = nonbonded_self(*s.ctx, s.idx, s.pos, s.frc, w);
+    benchmark::DoNotOptimize(e);
+  }
+  state.counters["pairs/s"] = benchmark::Counter(
+      static_cast<double>(w.pairs_tested), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_NonbondedSelf)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_NonbondedPairKernel(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  KernelSetup s(2 * n);
+  const std::span<const int> ia(s.idx.data(), static_cast<std::size_t>(n));
+  const std::span<const int> ib(s.idx.data() + n, static_cast<std::size_t>(n));
+  const std::span<const Vec3> pa(s.pos.data(), static_cast<std::size_t>(n));
+  const std::span<const Vec3> pb(s.pos.data() + n, static_cast<std::size_t>(n));
+  std::vector<Vec3> fa(static_cast<std::size_t>(n)), fb(static_cast<std::size_t>(n));
+  WorkCounters w;
+  for (auto _ : state) {
+    const EnergyTerms e = nonbonded_ab(*s.ctx, ia, pa, fa, ib, pb, fb, w);
+    benchmark::DoNotOptimize(e);
+  }
+  state.counters["pairs/s"] = benchmark::Counter(
+      static_cast<double>(w.pairs_tested), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_NonbondedPairKernel)->Arg(128)->Arg(512);
+
+void BM_BondKernel(benchmark::State& state) {
+  const BondParam p{340.0, 1.09};
+  Vec3 fa, fb;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bond_energy_force({0.1, 0.2, 0.3}, {1.1, 0.9, 0.5}, p, fa, fb));
+  }
+}
+BENCHMARK(BM_BondKernel);
+
+void BM_AngleKernel(benchmark::State& state) {
+  const AngleParam p{55.0, 1.9};
+  Vec3 fa, fb, fc;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(angle_energy_force({1.2, 0, 0}, {0, 0, 0},
+                                                {0.4, 1.4, 0.3}, p, fa, fb, fc));
+  }
+}
+BENCHMARK(BM_AngleKernel);
+
+void BM_DihedralKernel(benchmark::State& state) {
+  const DihedralParam p{1.4, 3, 0.5};
+  Vec3 fa, fb, fc, fd;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dihedral_energy_force(
+        {0, 0, 0}, {1.5, 0.1, 0}, {2.0, 1.5, 0.2}, {3.4, 1.8, 1.0}, p, fa, fb, fc,
+        fd));
+  }
+}
+BENCHMARK(BM_DihedralKernel);
+
+void BM_ExclusionCheck(benchmark::State& state) {
+  // A long chain: every atom carries full 1-2/1-3 and 1-4 lists.
+  Molecule mol;
+  mol.box = {10000, 10, 10};
+  const int t = mol.params.add_lj_type(0.1, 2.0);
+  const int b = mol.params.add_bond_param(100, 1.5);
+  mol.params.finalize();
+  for (int i = 0; i < 1000; ++i) {
+    mol.add_atom({12, 0, t}, {1.5 * i + 1, 5, 5});
+    if (i > 0) mol.add_bond(i - 1, i, b);
+  }
+  const ExclusionTable excl = ExclusionTable::build(mol);
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(excl.check(i % 1000, (i + 3) % 1000));
+    ++i;
+  }
+}
+BENCHMARK(BM_ExclusionCheck);
+
+}  // namespace
+}  // namespace scalemd

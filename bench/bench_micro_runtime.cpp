@@ -1,0 +1,88 @@
+// Micro-benchmarks (google-benchmark) of the runtime substrate: DES event
+// throughput, multicast sender cost (naive vs optimized — section 4.2.3 at
+// the microscope), and reduction trees.
+
+#include <benchmark/benchmark.h>
+
+#include "des/simulator.hpp"
+#include "rts/multicast.hpp"
+#include "rts/reduction.hpp"
+
+namespace scalemd {
+namespace {
+
+void BM_SchedulerThroughput(benchmark::State& state) {
+  const int tasks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Simulator sim(8, MachineModel::asci_red());
+    for (int i = 0; i < tasks; ++i) {
+      sim.inject(i % 8, {.fn = [](ExecContext& c) { c.charge(1e-6); }});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.time());
+  }
+  state.SetItemsProcessed(state.iterations() * tasks);
+}
+BENCHMARK(BM_SchedulerThroughput)->Arg(1000)->Arg(10000);
+
+void BM_MessageChain(benchmark::State& state) {
+  // A ping-pong chain of remote messages: measures per-event DES cost.
+  const int hops = 1000;
+  for (auto _ : state) {
+    Simulator sim(2, MachineModel::asci_red());
+    std::function<void(ExecContext&, int)> hop = [&](ExecContext& ctx, int left) {
+      if (left == 0) return;
+      ctx.send(1 - ctx.pe(), {.bytes = 64, .fn = [&hop, left](ExecContext& c) {
+                                hop(c, left - 1);
+                              }});
+    };
+    sim.inject(0, {.fn = [&](ExecContext& ctx) { hop(ctx, hops); }});
+    sim.run();
+    benchmark::DoNotOptimize(sim.time());
+  }
+  state.SetItemsProcessed(state.iterations() * hops);
+}
+BENCHMARK(BM_MessageChain);
+
+void BM_Multicast(benchmark::State& state) {
+  const bool optimized = state.range(0) != 0;
+  const int fanout = 64;
+  std::vector<int> dests;
+  for (int pe = 1; pe <= fanout; ++pe) dests.push_back(pe);
+  for (auto _ : state) {
+    Simulator sim(fanout + 1, MachineModel::asci_red());
+    sim.inject(0, {.fn = [&](ExecContext& ctx) {
+                     multicast(ctx, dests, 9000, optimized, [](int) {
+                       TaskMsg m;
+                       m.fn = [](ExecContext&) {};
+                       return m;
+                     });
+                   }});
+    sim.run();
+    benchmark::DoNotOptimize(sim.pe_busy(0));
+  }
+}
+BENCHMARK(BM_Multicast)->Arg(0)->Arg(1)->ArgNames({"optimized"});
+
+void BM_ReductionTree(benchmark::State& state) {
+  const int pes = static_cast<int>(state.range(0));
+  std::vector<int> contributors;
+  for (int pe = 0; pe < pes; ++pe) contributors.push_back(pe);
+  for (auto _ : state) {
+    Simulator sim(pes, MachineModel::asci_red());
+    const EntryId e = sim.entries().add("reduce", WorkCategory::kComm);
+    double total = 0.0;
+    Reducer red(contributors, e, [&](int, double v) { total = v; });
+    for (int pe = 0; pe < pes; ++pe) {
+      sim.inject(pe, {.fn = [&red, pe](ExecContext& ctx) {
+                        red.contribute(ctx, pe, 0, 1.0);
+                      }});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_ReductionTree)->Arg(64)->Arg(1024);
+
+}  // namespace
+}  // namespace scalemd

@@ -1,0 +1,22 @@
+// Reproduces Table 2: ApoA-I (92,224 atoms) scaling on the ASCI-Red model,
+// 1..2048 processors, with the full optimization set and greedy+refine load
+// balancing.
+
+#include "bench_common.hpp"
+#include "gen/presets.hpp"
+
+int main() {
+  using namespace scalemd;
+  const Molecule mol = apoa1_like();
+  const Workload wl(mol, MachineModel::asci_red());
+
+  BenchmarkConfig cfg;
+  cfg.machine = MachineModel::asci_red();
+  cfg.pe_counts = bench::maybe_clip(asci_ladder(1, 2048));
+
+  std::printf("Table 2: %s (%d atoms, %d patches) on %s\n\n", mol.name.c_str(),
+              mol.atom_count(), wl.decomp.patch_count(), cfg.machine.name.c_str());
+  const auto rows = run_scaling(wl, cfg);
+  std::printf("%s\n", bench::render_with_paper(rows, bench::kPaperTable2, true).c_str());
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Reproduces Table 4: bR (3,762 atoms) scaling on the ASCI-Red model. The
+// headline behavior is the flattening: the paper's small system stops
+// scaling beyond ~64 processors (36 patches limit the decomposition).
+
+#include "bench_common.hpp"
+#include "gen/presets.hpp"
+
+int main() {
+  using namespace scalemd;
+  const Molecule mol = br_like();
+  const Workload wl(mol, MachineModel::asci_red());
+
+  BenchmarkConfig cfg;
+  cfg.machine = MachineModel::asci_red();
+  cfg.pe_counts = bench::maybe_clip({1, 2, 4, 8, 32, 64, 128, 256});
+
+  std::printf("Table 4: %s (%d atoms, %d patches) on %s\n\n", mol.name.c_str(),
+              mol.atom_count(), wl.decomp.patch_count(), cfg.machine.name.c_str());
+  const auto rows = run_scaling(wl, cfg);
+  std::printf("%s\n", bench::render_with_paper(rows, bench::kPaperTable4, false).c_str());
+  return 0;
+}

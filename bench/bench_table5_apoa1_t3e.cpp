@@ -1,0 +1,23 @@
+// Reproduces Table 5: ApoA-I scaling on the Cray T3E-900 model (4..256
+// processors; speedups relative to 4, as the problem does not fit on fewer
+// T3E nodes).
+
+#include "bench_common.hpp"
+#include "gen/presets.hpp"
+
+int main() {
+  using namespace scalemd;
+  const Molecule mol = apoa1_like();
+  const Workload wl(mol, MachineModel::t3e900());
+
+  BenchmarkConfig cfg;
+  cfg.machine = MachineModel::t3e900();
+  cfg.pe_counts = bench::maybe_clip({4, 8, 16, 32, 64, 128, 256});
+  cfg.speedup_base = 4.0;
+
+  std::printf("Table 5: %s (%d atoms) on %s\n\n", mol.name.c_str(),
+              mol.atom_count(), cfg.machine.name.c_str());
+  const auto rows = run_scaling(wl, cfg);
+  std::printf("%s\n", bench::render_with_paper(rows, bench::kPaperTable5, true).c_str());
+  return 0;
+}

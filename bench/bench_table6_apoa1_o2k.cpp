@@ -1,0 +1,21 @@
+// Reproduces Table 6: ApoA-I scaling on the SGI Origin 2000 model (1..80
+// processors; the fastest per-processor machine of the three).
+
+#include "bench_common.hpp"
+#include "gen/presets.hpp"
+
+int main() {
+  using namespace scalemd;
+  const Molecule mol = apoa1_like();
+  const Workload wl(mol, MachineModel::origin2000());
+
+  BenchmarkConfig cfg;
+  cfg.machine = MachineModel::origin2000();
+  cfg.pe_counts = bench::maybe_clip({1, 2, 4, 8, 16, 32, 64, 80});
+
+  std::printf("Table 6: %s (%d atoms) on %s\n\n", mol.name.c_str(),
+              mol.atom_count(), cfg.machine.name.c_str());
+  const auto rows = run_scaling(wl, cfg);
+  std::printf("%s\n", bench::render_with_paper(rows, bench::kPaperTable6, true).c_str());
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Example: the paper's headline experiment at laptop scale. Builds the
+// ApoA-I-class benchmark system, runs the full parallel pipeline (spatial
+// decomposition, hybrid compute objects, measurement-based load balancing)
+// on a few processor counts of the simulated ASCI-Red, and prints the
+// scaling curve plus a performance audit of the largest run.
+
+#include <cstdio>
+
+#include "core/driver.hpp"
+#include "gen/presets.hpp"
+#include "trace/audit.hpp"
+
+int main() {
+  using namespace scalemd;
+
+  std::printf("building the ApoA-I-class system...\n");
+  const Molecule mol = apoa1_like();
+  std::printf("  %d atoms in a %.0f x %.0f x %.0f A box\n", mol.atom_count(),
+              mol.box.x, mol.box.y, mol.box.z);
+
+  std::printf("planning the decomposition (includes one real kernel pass)...\n");
+  const Workload wl(mol, MachineModel::asci_red());
+  std::printf("  %d patches (%d x %d x %d), %zu compute objects (%d migratable)\n\n",
+              wl.decomp.patch_count(), wl.decomp.grid().nx(), wl.decomp.grid().ny(),
+              wl.decomp.grid().nz(), wl.plan.computes().size(),
+              wl.plan.migratable_count());
+
+  BenchmarkConfig cfg;
+  cfg.machine = MachineModel::asci_red();
+  cfg.pe_counts = {1, 16, 64, 256, 1024};
+  const auto rows = run_scaling(wl, cfg);
+  std::printf("%s\n", render_scaling(rows, true).c_str());
+
+  // A closer look at the 1024-PE run: where does the time go?
+  constexpr int kPes = 1024;
+  constexpr int kSteps = 5;
+  ParallelOptions opts;
+  opts.num_pes = kPes;
+  opts.machine = cfg.machine;
+  ParallelSim sim(wl, opts);
+  sim.run_cycle(3);
+  sim.load_balance(false);
+  sim.run_cycle(3);
+  sim.load_balance(true);
+  SummaryProfile prof(sim.sim().entries(), kPes);
+  sim.attach_sink(&prof);
+  const double t0 = sim.sim().time();
+  sim.run_cycle(kSteps);
+
+  const AuditRow ideal = ideal_audit(sim.ideal_nonbonded_seconds() * (kSteps + 1),
+                                     sim.ideal_bonded_seconds() * (kSteps + 1),
+                                     sim.ideal_integration_seconds() * (kSteps + 1),
+                                     kPes, kSteps + 1);
+  const AuditRow actual =
+      actual_audit(prof, sim.sim().time() - t0, kPes, kSteps + 1);
+  std::printf("audit of the %d-PE run:\n%s\n", kPes,
+              render_audit(ideal, actual).c_str());
+
+  std::printf("entry-method summary profile (the paper's level-2 "
+              "instrumentation):\n%s", prof.render().c_str());
+  return 0;
+}

@@ -1,0 +1,30 @@
+#pragma once
+
+#include "core/parallel_sim.hpp"
+
+namespace scalemd {
+
+/// Reference implementations of the parallelization schemes the paper's
+/// section 3 argues are not scalable, run on the same DES machine model for
+/// an apples-to-apples comparison with the hybrid decomposition:
+///
+/// * atom decomposition (replicated data, CHARMM/AMBER style): every PE owns
+///   N/P atoms and computes 1/P of the interactions, but each step requires
+///   a machine-wide coordinate broadcast and force allreduce of the full
+///   O(N) arrays — communication grows with log P and never shrinks with P;
+/// * force decomposition (Plimpton style): PEs own blocks of the force
+///   matrix; per-step communication is O(N/sqrt(P)) via row/column
+///   collectives — better, but still non-scalable.
+///
+/// Both are given *perfectly balanced* compute (W/P per PE), which favors
+/// them; they still lose to the hybrid scheme at scale, which is the point.
+
+/// Seconds per step of the replicated-data scheme at `pes` processors.
+double atom_decomposition_step(const Workload& workload, int pes,
+                               const MachineModel& machine);
+
+/// Seconds per step of the force-decomposition scheme at `pes` processors.
+double force_decomposition_step(const Workload& workload, int pes,
+                                const MachineModel& machine);
+
+}  // namespace scalemd

@@ -1,0 +1,213 @@
+#include "core/compute_plan.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <map>
+
+namespace scalemd {
+
+namespace {
+
+/// Estimated fraction of tested pairs that land inside the cutoff, by
+/// geometric relation of the two patches. Rough constants are fine: they
+/// only guide split counts; the load balancer handles residual variance.
+constexpr double kInFracSelf = 0.45;
+constexpr double kInFracFace = 0.15;
+
+/// Splits the triangular self-interaction loop over [0, n) into `pieces`
+/// outer-atom ranges with approximately equal pair counts, returned as
+/// fraction boundaries.
+std::vector<double> triangular_cuts(int n, int pieces) {
+  std::vector<double> cuts{0.0};
+  const double total = 0.5 * n * (n - 1);
+  double acc = 0.0;
+  int piece = 1;
+  for (int i = 0; i < n && piece < pieces; ++i) {
+    acc += n - 1 - i;
+    if (acc >= total * piece / pieces) {
+      cuts.push_back(static_cast<double>(i + 1) / n);
+      ++piece;
+    }
+  }
+  cuts.push_back(1.0);
+  return cuts;
+}
+
+}  // namespace
+
+ComputePlan::ComputePlan(const Decomposition& decomp, const Molecule& mol,
+                         const MachineModel& machine, const ComputePlanOptions& opts,
+                         const MeasuredCosts* measured)
+    : opts_(opts) {
+  build_nonbonded(decomp, machine, measured);
+  build_bonded(decomp, mol);
+}
+
+void ComputePlan::add(ComputeDesc desc) {
+  migratable_index_.push_back(desc.migratable ? migratable_count_++ : -1);
+  computes_.push_back(std::move(desc));
+}
+
+void ComputePlan::build_nonbonded(const Decomposition& d, const MachineModel& m,
+                                  const MeasuredCosts* measured) {
+  const auto& atoms = d.patch_atoms();
+  const CellGrid& grid = d.grid();
+
+  // Self computes, split by atom count (the "several compute objects to
+  // calculate the within-cube non-bonded atom pairs").
+  for (int p = 0; p < grid.cell_count(); ++p) {
+    const int n = static_cast<int>(atoms[static_cast<std::size_t>(p)].size());
+    if (n == 0) continue;
+    const double est_cost =
+        measured != nullptr
+            ? measured->self[static_cast<std::size_t>(p)]
+            : 0.5 * n * (n - 1) * (m.pair_test_cost + kInFracSelf * m.pair_cost);
+    int pieces = 1;
+    if (opts_.split_self && opts_.target_grain > 0.0) {
+      pieces = std::clamp(static_cast<int>(std::ceil(est_cost / opts_.target_grain)),
+                          1, std::max(1, n / 8));
+    }
+    const std::vector<double> cuts = triangular_cuts(n, pieces);
+    for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+      ComputeDesc desc;
+      desc.kind = ComputeKind::kSelf;
+      desc.patches = {p};
+      desc.base_patch = p;
+      desc.frac_begin = cuts[i];
+      desc.frac_end = cuts[i + 1];
+      desc.migratable = true;
+      add(std::move(desc));
+    }
+  }
+
+  // Pair computes: one per unordered neighbor pair; face-adjacent pairs may
+  // be split into outer-atom stripes of the first patch.
+  for (const auto& [a, b] : grid.neighbor_pairs()) {
+    const int na = static_cast<int>(atoms[static_cast<std::size_t>(a)].size());
+    const int nb = static_cast<int>(atoms[static_cast<std::size_t>(b)].size());
+    if (na == 0 || nb == 0) continue;
+
+    // Downstream base: per-axis minimum of the two patch coordinates.
+    const Int3 ca = grid.coords(a);
+    const Int3 cb = grid.coords(b);
+    const int base = grid.index(
+        {std::min(ca.x, cb.x), std::min(ca.y, cb.y), std::min(ca.z, cb.z)});
+
+    int pieces = 1;
+    if (opts_.split_face_pairs && opts_.target_grain > 0.0) {
+      // With measured costs, split any oversized pair compute (when the
+      // patch edge is close to the cutoff, edge-adjacent pairs can be as
+      // heavy as face-adjacent ones); the estimate fallback splits only
+      // face pairs, as the paper describes. Outer-range stripes of a pair
+      // compute carry uneven pair counts, so aim below the target.
+      double est_cost = 0.0;
+      if (measured != nullptr) {
+        const auto it = measured->pair.find({a, b});
+        est_cost = it != measured->pair.end() ? it->second : 0.0;
+      } else if (grid.share_face(a, b)) {
+        est_cost = static_cast<double>(na) * nb *
+                   (m.pair_test_cost + kInFracFace * m.pair_cost);
+      }
+      pieces = std::clamp(
+          static_cast<int>(std::ceil(est_cost / (0.6 * opts_.target_grain))), 1,
+          std::max(1, na / 8));
+    }
+    for (int i = 0; i < pieces; ++i) {
+      ComputeDesc desc;
+      desc.kind = ComputeKind::kPair;
+      desc.patches = {a, b};
+      desc.base_patch = base;
+      desc.frac_begin = static_cast<double>(i) / pieces;
+      desc.frac_end = static_cast<double>(i + 1) / pieces;
+      desc.migratable = true;
+      add(std::move(desc));
+    }
+  }
+}
+
+void ComputePlan::build_bonded(const Decomposition& d, const Molecule& mol) {
+  const CellGrid& grid = d.grid();
+  const auto& atom_patch = d.atom_patch();
+
+  // Terms per (base patch, kind), separated intra/inter; patch-dependency
+  // sets accumulated alongside.
+  struct Bucket {
+    std::vector<int> terms;
+    std::vector<int> deps;
+  };
+  std::map<std::pair<int, int>, Bucket> intra;  // (patch, kind) -> terms
+  std::map<std::pair<int, int>, Bucket> inter;
+
+  auto classify = [&](int kind, int term_index, std::initializer_list<int> term_atoms) {
+    int base_x = 1 << 30, base_y = 1 << 30, base_z = 1 << 30;
+    bool same = true;
+    int first = -1;
+    for (int a : term_atoms) {
+      const int p = atom_patch[static_cast<std::size_t>(a)];
+      if (first < 0) first = p;
+      same = same && p == first;
+      const Int3 c = grid.coords(p);
+      base_x = std::min(base_x, c.x);
+      base_y = std::min(base_y, c.y);
+      base_z = std::min(base_z, c.z);
+    }
+    if (same && opts_.migratable_intra_bonded) {
+      Bucket& bucket = intra[{first, kind}];
+      bucket.terms.push_back(term_index);
+      bucket.deps = {first};
+      return;
+    }
+    const int base = grid.index({base_x, base_y, base_z});
+    Bucket& bucket = inter[{base, kind}];
+    bucket.terms.push_back(term_index);
+    for (int a : term_atoms) {
+      const int p = atom_patch[static_cast<std::size_t>(a)];
+      if (std::find(bucket.deps.begin(), bucket.deps.end(), p) == bucket.deps.end()) {
+        bucket.deps.push_back(p);
+      }
+    }
+  };
+
+  for (std::size_t i = 0; i < mol.bonds().size(); ++i) {
+    const Bond& t = mol.bonds()[i];
+    classify(0, static_cast<int>(i), {t.a, t.b});
+  }
+  for (std::size_t i = 0; i < mol.angles().size(); ++i) {
+    const Angle& t = mol.angles()[i];
+    classify(1, static_cast<int>(i), {t.a, t.b, t.c});
+  }
+  for (std::size_t i = 0; i < mol.dihedrals().size(); ++i) {
+    const Dihedral& t = mol.dihedrals()[i];
+    classify(2, static_cast<int>(i), {t.a, t.b, t.c, t.d});
+  }
+  for (std::size_t i = 0; i < mol.impropers().size(); ++i) {
+    const Improper& t = mol.impropers()[i];
+    classify(3, static_cast<int>(i), {t.a, t.b, t.c, t.d});
+  }
+
+  constexpr std::array<ComputeKind, 4> kKinds{ComputeKind::kBonds, ComputeKind::kAngles,
+                                              ComputeKind::kDihedrals,
+                                              ComputeKind::kImpropers};
+  for (auto& [key, bucket] : intra) {
+    ComputeDesc desc;
+    desc.kind = kKinds[static_cast<std::size_t>(key.second)];
+    desc.patches = bucket.deps;
+    desc.base_patch = key.first;
+    desc.terms = std::move(bucket.terms);
+    desc.migratable = true;  // communicates exactly like a self compute
+    add(std::move(desc));
+  }
+  for (auto& [key, bucket] : inter) {
+    ComputeDesc desc;
+    desc.kind = kKinds[static_cast<std::size_t>(key.second)];
+    std::sort(bucket.deps.begin(), bucket.deps.end());
+    desc.patches = std::move(bucket.deps);
+    desc.base_patch = key.first;
+    desc.terms = std::move(bucket.terms);
+    desc.migratable = false;
+    add(std::move(desc));
+  }
+}
+
+}  // namespace scalemd

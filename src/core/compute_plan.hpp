@@ -1,0 +1,109 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/decomposition.hpp"
+#include "des/machine.hpp"
+
+namespace scalemd {
+
+/// Kind of a compute object (the paper's "several varieties of compute
+/// objects, responsible for computing the different types of forces").
+enum class ComputeKind : std::uint8_t {
+  kSelf,       ///< non-bonded pairs within one patch (possibly a split piece)
+  kPair,       ///< non-bonded pairs between two neighboring patches
+  kBonds,      ///< 2-body bonded terms
+  kAngles,     ///< 3-body terms
+  kDihedrals,  ///< 4-body torsions
+  kImpropers,  ///< 4-body impropers
+};
+
+/// True for the non-bonded kinds.
+constexpr bool is_nonbonded(ComputeKind k) {
+  return k == ComputeKind::kSelf || k == ComputeKind::kPair;
+}
+
+/// Static description of one compute object.
+struct ComputeDesc {
+  ComputeKind kind = ComputeKind::kSelf;
+  /// Patches whose coordinates this object needs (and to which it
+  /// contributes forces). Size 1 for self/intra-bonded, 2 for pair, up to 8
+  /// for inter-patch bonded objects.
+  std::vector<int> patches;
+  /// Placement anchor: the per-axis-minimum ("downstream base") patch. The
+  /// initial static placement puts the object on this patch's home PE,
+  /// which bounds every patch's proxy count by 7 (paper section 3.2).
+  int base_patch = 0;
+  /// Grain-size-control split range, as fractions of the outer-loop atoms
+  /// of patches[0] (fractions survive atom migration). [0,1) means unsplit.
+  double frac_begin = 0.0;
+  double frac_end = 1.0;
+  /// Bonded kinds: indices into the corresponding Molecule term array.
+  std::vector<int> terms;
+  /// Whether the load balancer may move this object. Non-bonded objects and
+  /// (optionally, section 4.2.2) intra-patch bonded objects are migratable;
+  /// inter-patch bonded objects are not.
+  bool migratable = true;
+};
+
+/// Grain-size and decomposition controls (the paper's optimizations as
+/// switches so the ablation benches can stage them).
+struct ComputePlanOptions {
+  /// Split within-patch self computes by outer-atom ranges (first grainsize
+  /// fix in section 4.2.1).
+  bool split_self = true;
+  /// Split face-adjacent pair computes (the Figure 1 -> Figure 2 fix).
+  bool split_face_pairs = true;
+  /// Make intra-patch bonded work separate, migratable objects
+  /// (section 4.2.2). When false, bonded work stays fused with the
+  /// non-migratable inter objects.
+  bool migratable_intra_bonded = true;
+  /// Target grain in virtual seconds. The paper recommends ~5 ms average;
+  /// NAMD's post-split distribution (Figure 2) tops out near 15-20 ms, which
+  /// an 8 ms target reproduces.
+  double target_grain = 12e-3;
+};
+
+/// Measured costs of the *unsplit* non-bonded objects, used to drive
+/// grain-size splitting with real numbers instead of geometric estimates
+/// (essential when the patch edge barely exceeds the cutoff and nearly all
+/// tested pairs fall inside it, as in the bR benchmark).
+struct MeasuredCosts {
+  std::vector<double> self;                     ///< per patch, seconds
+  std::map<std::pair<int, int>, double> pair;   ///< per neighbor pair, seconds
+};
+
+/// Builds the hybrid force/spatial decomposition: one or more self computes
+/// per patch, pair computes for all 26-neighbor relations (each pair once),
+/// and bonded computes with the paper's upstream-ownership rule. Splitting
+/// follows ComputePlanOptions; split counts use `measured` costs when given
+/// (the two-pass path Workload uses), falling back to geometric estimates.
+class ComputePlan {
+ public:
+  ComputePlan(const Decomposition& decomp, const Molecule& mol,
+              const MachineModel& machine, const ComputePlanOptions& opts,
+              const MeasuredCosts* measured = nullptr);
+
+  const std::vector<ComputeDesc>& computes() const { return computes_; }
+  const ComputePlanOptions& options() const { return opts_; }
+
+  /// Number of migratable objects (they get load-database slots).
+  int migratable_count() const { return migratable_count_; }
+
+  /// Index of each compute in the migratable numbering, or -1.
+  const std::vector<int>& migratable_index() const { return migratable_index_; }
+
+ private:
+  void add(ComputeDesc desc);
+  void build_nonbonded(const Decomposition& d, const MachineModel& m,
+                       const MeasuredCosts* measured);
+  void build_bonded(const Decomposition& d, const Molecule& mol);
+
+  ComputePlanOptions opts_;
+  std::vector<ComputeDesc> computes_;
+  std::vector<int> migratable_index_;
+  int migratable_count_ = 0;
+};
+
+}  // namespace scalemd

@@ -1,0 +1,42 @@
+#include "core/decomposition.hpp"
+
+#include <algorithm>
+
+namespace scalemd {
+
+namespace {
+
+double patch_edge(const Molecule& mol, double cutoff, double min_patch) {
+  if (min_patch > 0.0) return std::max(min_patch, cutoff);
+  return std::max(mol.suggested_patch_size, cutoff);
+}
+
+}  // namespace
+
+Decomposition::Decomposition(const Molecule& mol, double cutoff, double min_patch)
+    : grid_(mol.box, patch_edge(mol, cutoff, min_patch)) {
+  patch_atoms_.resize(static_cast<std::size_t>(grid_.cell_count()));
+  atom_patch_.resize(static_cast<std::size_t>(mol.atom_count()));
+  const auto& pos = mol.positions();
+  for (int a = 0; a < mol.atom_count(); ++a) {
+    const int p = grid_.cell_of(pos[static_cast<std::size_t>(a)]);
+    patch_atoms_[static_cast<std::size_t>(p)].push_back(a);
+    atom_patch_[static_cast<std::size_t>(a)] = p;
+  }
+}
+
+std::vector<double> Decomposition::patch_weights() const {
+  std::vector<double> w;
+  w.reserve(patch_atoms_.size());
+  for (const auto& atoms : patch_atoms_) w.push_back(static_cast<double>(atoms.size()));
+  return w;
+}
+
+std::vector<Vec3> Decomposition::patch_centers() const {
+  std::vector<Vec3> c;
+  c.reserve(patch_atoms_.size());
+  for (int p = 0; p < grid_.cell_count(); ++p) c.push_back(grid_.cell_center(p));
+  return c;
+}
+
+}  // namespace scalemd

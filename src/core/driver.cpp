@@ -1,0 +1,77 @@
+#include "core/driver.hpp"
+
+#include <cstdlib>
+
+#include "util/table.hpp"
+
+namespace scalemd {
+
+double estimate_flops_per_step(const WorkCounters& total) {
+  // Per-operation FLOP estimates for a 1999-era cutoff MD kernel: ~75 FLOPs
+  // per pair inside the cutoff (distance, switching, LJ, shifted
+  // electrostatics, accumulation), ~1 per rejected distance test (NAMD's
+  // pairlists amortize most tests), ~500 per bonded term, ~50 per atom per
+  // integration. With the apoa1_like counts this reproduces the paper's
+  // conservative GFLOPS scale (0.046 vs the paper's 0.048 on one ASCI-Red
+  // PE; 0.107 vs 0.112 on one Origin 2000 PE).
+  return 75.0 * static_cast<double>(total.pairs_computed) +
+         1.0 * static_cast<double>(total.pairs_tested - total.pairs_computed) +
+         500.0 * static_cast<double>(total.bonded_terms) +
+         50.0 * static_cast<double>(total.atoms_integrated);
+}
+
+std::vector<ScalingRow> run_scaling(const Workload& workload,
+                                    const BenchmarkConfig& config) {
+  std::vector<ScalingRow> rows;
+  const double flops = estimate_flops_per_step(workload.work.total());
+  double base_time = 0.0;
+  for (int pes : config.pe_counts) {
+    ParallelOptions opts;
+    opts.num_pes = pes;
+    opts.machine = config.machine;
+    opts.lb = config.lb;
+    opts.optimized_multicast = config.optimized_multicast;
+    ParallelSim sim(workload, opts);
+    const double t = sim.run_benchmark(config.measure_steps, config.timed_steps);
+    if (rows.empty()) base_time = t;
+    ScalingRow row;
+    row.pes = pes;
+    row.seconds_per_step = t;
+    row.speedup = config.speedup_base * base_time / t;
+    row.gflops = flops / t * 1e-9;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::string render_scaling(const std::vector<ScalingRow>& rows, bool gflops_column) {
+  std::vector<std::string> header{"Processors", "Time (s/step)", "Speedup"};
+  if (gflops_column) header.push_back("GFLOPS");
+  Table t(std::move(header));
+  for (const ScalingRow& r : rows) {
+    std::vector<std::string> row{std::to_string(r.pes),
+                                 fmt_sig(r.seconds_per_step, 3),
+                                 fmt_sig(r.speedup, r.speedup < 10 ? 2 : 3)};
+    if (gflops_column) row.push_back(fmt_sig(r.gflops, 3));
+    t.add_row(std::move(row));
+  }
+  return t.render();
+}
+
+std::vector<int> asci_ladder(int min_pes, int max_pes) {
+  const int ladder[] = {1, 2, 4, 8, 32, 64, 128, 256, 512, 768, 1024, 1536, 2048};
+  std::vector<int> out;
+  for (int p : ladder) {
+    if (p >= min_pes && p <= max_pes) out.push_back(p);
+  }
+  return out;
+}
+
+double bench_scale_from_env() {
+  const char* s = std::getenv("SCALEMD_BENCH_SCALE");
+  if (s == nullptr) return 1.0;
+  const double v = std::atof(s);
+  return v > 0.0 ? v : 1.0;
+}
+
+}  // namespace scalemd

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/parallel_sim.hpp"
+
+namespace scalemd {
+
+/// One row of a paper-style scaling table.
+struct ScalingRow {
+  int pes = 1;
+  double seconds_per_step = 0.0;
+  double speedup = 0.0;
+  double gflops = 0.0;
+};
+
+/// Configuration of one scaling study (one table of the paper).
+struct BenchmarkConfig {
+  MachineModel machine = MachineModel::asci_red();
+  std::vector<int> pe_counts;
+  int measure_steps = 3;  ///< steps per measurement cycle before each LB
+  int timed_steps = 5;    ///< steps in the timed cycle
+  LbPolicy lb;
+  bool optimized_multicast = true;
+  /// Speedup normalization: the first row's speedup is defined to equal this
+  /// (1 normally; 2 for BC1 which cannot run on one node; 4 for the T3E).
+  double speedup_base = 1.0;
+};
+
+/// Estimated hardware floating-point operations per simulated step, using
+/// 1999-kernel operation counts (see EXPERIMENTS.md): the source of the
+/// GFLOPS column, mirroring the paper's "instruction counters of the
+/// Origin 2000" methodology.
+double estimate_flops_per_step(const WorkCounters& total);
+
+/// Runs the full benchmark protocol (measure, LB, measure, refine, timed
+/// cycle) at every processor count in the config. The workload's kernels run
+/// once (in its constructor); the sweep itself is pure DES.
+std::vector<ScalingRow> run_scaling(const Workload& workload,
+                                    const BenchmarkConfig& config);
+
+/// Renders rows in the paper's table format.
+std::string render_scaling(const std::vector<ScalingRow>& rows, bool gflops_column);
+
+/// Convenience: the standard processor ladder used by the ASCI-Red tables,
+/// clipped to [min_pes, max_pes].
+std::vector<int> asci_ladder(int min_pes, int max_pes);
+
+/// Reads a positive scale factor from the environment variable
+/// SCALEMD_BENCH_SCALE (default 1.0). The bench binaries use it to shrink
+/// the benchmark systems for quick smoke runs.
+double bench_scale_from_env();
+
+}  // namespace scalemd

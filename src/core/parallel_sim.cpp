@@ -1,0 +1,843 @@
+#include "core/parallel_sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <cmath>
+
+#include "ff/bonded.hpp"
+#include "lb/diffusion.hpp"
+#include "lb/greedy.hpp"
+#include "lb/naive.hpp"
+#include "lb/problem.hpp"
+#include "lb/rcb.hpp"
+#include "lb/refine.hpp"
+#include "rts/multicast.hpp"
+#include "seq/integrator.hpp"
+#include "util/units.hpp"
+
+namespace scalemd {
+
+// ---------------------------------------------------------------------------
+// Runtime state structs
+// ---------------------------------------------------------------------------
+
+/// Home-patch runtime state: the atoms it owns plus step bookkeeping.
+struct ParallelSim::PatchRt {
+  std::vector<int> atoms;  ///< global atom ids
+  std::vector<Vec3> pos, vel, frc;
+  std::vector<double> mass;
+  int step = 0;               ///< next advance index within the cycle
+  int contrib_expected = 0;   ///< PEs (incl. home) that send force contributions
+  int contrib_received = 0;
+
+  int natoms() const { return static_cast<int>(atoms.size()); }
+};
+
+/// Proxy-patch state for one (patch, pe): the compute objects on that PE
+/// that read the patch, plus the force-accumulation buffer they fill.
+struct ParallelSim::ProxyRt {
+  int patch = 0;
+  int pe = 0;
+  std::vector<int> computes;
+  int pending = 0;  ///< computes not yet finished this step
+  std::vector<Vec3> frc;
+};
+
+/// Per-compute runtime state.
+struct ParallelSim::ComputeRt {
+  std::vector<int> deps;  ///< current patch dependencies (bonded deps can
+                          ///< change after atom migration)
+  int deps_pending = 0;
+  WorkCounters work;      ///< live-measured work (numeric mode)
+};
+
+// ---------------------------------------------------------------------------
+// Workload
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Probe pass: run the unsplit non-bonded kernels once to measure real
+/// per-object costs, so grain-size splitting works from measurements.
+MeasuredCosts probe_costs(const Molecule& mol, const Decomposition& d,
+                          const MachineModel& machine, const NonbondedOptions& nb) {
+  ComputePlanOptions probe_opts;
+  probe_opts.split_self = false;
+  probe_opts.split_face_pairs = false;
+  probe_opts.migratable_intra_bonded = false;
+  const ComputePlan probe(d, mol, machine, probe_opts);
+  const WorkCache w(mol, d, probe, nb);
+  MeasuredCosts mc;
+  mc.self.assign(static_cast<std::size_t>(d.patch_count()), 0.0);
+  for (std::size_t i = 0; i < probe.computes().size(); ++i) {
+    const ComputeDesc& desc = probe.computes()[i];
+    const double cost = work_cost(w.per_compute(i), machine);
+    if (desc.kind == ComputeKind::kSelf) {
+      mc.self[static_cast<std::size_t>(desc.patches[0])] = cost;
+    } else if (desc.kind == ComputeKind::kPair) {
+      mc.pair[{desc.patches[0], desc.patches[1]}] = cost;
+    }
+  }
+  return mc;
+}
+
+}  // namespace
+
+Workload::Workload(const Molecule& molecule, const MachineModel& machine,
+                   const NonbondedOptions& nonbonded_opts,
+                   const ComputePlanOptions& plan_opts)
+    : mol(&molecule),
+      nonbonded(nonbonded_opts),
+      decomp(molecule, nonbonded_opts.cutoff),
+      measured(probe_costs(molecule, decomp, machine, nonbonded_opts)),
+      plan(decomp, molecule, machine, plan_opts, &measured),
+      work(molecule, decomp, plan, nonbonded_opts) {}
+
+// ---------------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------------
+
+ParallelSim::ParallelSim(const Workload& workload, const ParallelOptions& opts)
+    : wl_(&workload), opts_(opts), mol_(workload.mol) {
+  if (opts_.numeric) {
+    excl_ = ExclusionTable::build(*mol_);
+    charges_.reserve(static_cast<std::size_t>(mol_->atom_count()));
+    for (const Atom& a : mol_->atoms()) {
+      charges_.push_back(a.charge);
+      lj_types_.push_back(a.lj_type);
+    }
+    nb_ctx_ = std::make_unique<NonbondedContext>(mol_->params, excl_, charges_,
+                                                 lj_types_, wl_->nonbonded);
+  }
+
+  sim_ = std::make_unique<Simulator>(opts_.num_pes, opts_.machine);
+  e_advance_ = sim_->entries().add("Patch::integrate", WorkCategory::kIntegration);
+  e_coords_ = sim_->entries().add("Proxy::recvCoordinates", WorkCategory::kComm);
+  e_forces_ = sim_->entries().add("Patch::recvForces", WorkCategory::kComm);
+  e_self_ = sim_->entries().add("ComputeNonbondedSelf::doWork", WorkCategory::kNonbonded);
+  e_pair_ = sim_->entries().add("ComputeNonbondedPair::doWork", WorkCategory::kNonbonded);
+  e_bonded_intra_ = sim_->entries().add("ComputeBondedIntra::doWork", WorkCategory::kBonded);
+  e_bonded_inter_ = sim_->entries().add("ComputeBondedInter::doWork", WorkCategory::kBonded);
+  e_reduction_ = sim_->entries().add("Reduction::combine", WorkCategory::kComm);
+  e_migrate_ = sim_->entries().add("Migrate::recv", WorkCategory::kComm);
+
+  db_ = std::make_unique<LoadDatabase>(
+      static_cast<std::size_t>(wl_->plan.migratable_count()), opts_.num_pes);
+  sinks_.add(db_.get());
+  sim_->set_sink(&sinks_);
+
+  // Patch runtime state from the decomposition.
+  const auto& patch_atoms = wl_->decomp.patch_atoms();
+  patches_.resize(patch_atoms.size());
+  atom_loc_.resize(static_cast<std::size_t>(mol_->atom_count()));
+  for (std::size_t p = 0; p < patch_atoms.size(); ++p) {
+    PatchRt& pr = patches_[p];
+    pr.atoms = patch_atoms[p];
+    if (opts_.numeric) {
+      pr.pos.reserve(pr.atoms.size());
+      pr.vel.reserve(pr.atoms.size());
+      pr.mass.reserve(pr.atoms.size());
+      for (int a : pr.atoms) {
+        pr.pos.push_back(mol_->positions()[static_cast<std::size_t>(a)]);
+        pr.vel.push_back(mol_->velocities()[static_cast<std::size_t>(a)]);
+        pr.mass.push_back(mol_->atoms()[static_cast<std::size_t>(a)].mass);
+      }
+      pr.frc.assign(pr.atoms.size(), Vec3{});
+    }
+    for (std::size_t i = 0; i < pr.atoms.size(); ++i) {
+      atom_loc_[static_cast<std::size_t>(pr.atoms[i])] = {static_cast<int>(p),
+                                                          static_cast<int>(i)};
+    }
+  }
+  active_patches_ = static_cast<int>(patches_.size());
+
+  // Compute runtime state.
+  computes_.resize(wl_->plan.computes().size());
+  for (std::size_t i = 0; i < computes_.size(); ++i) {
+    computes_[i].deps = wl_->plan.computes()[i].patches;
+  }
+
+  build_initial_placement();
+  rebuild_dataflow();
+
+  // Per-step energy reduction: one contribution per patch, from its home PE.
+  std::vector<int> contributor_pes;
+  contributor_pes.reserve(patches_.size());
+  for (std::size_t p = 0; p < patches_.size(); ++p) {
+    contributor_pes.push_back(patch_home_[p]);
+  }
+  reducer_ = std::make_unique<Reducer>(
+      contributor_pes, e_reduction_, [this](int round, double total) {
+        if (static_cast<std::size_t>(round) >= reduction_totals_.size()) {
+          reduction_totals_.resize(static_cast<std::size_t>(round) + 1, 0.0);
+        }
+        reduction_totals_[static_cast<std::size_t>(round)] = total;
+      });
+}
+
+ParallelSim::~ParallelSim() = default;
+
+void ParallelSim::build_initial_placement() {
+  // Stage 1 of the paper's load balancing: recursive coordinate bisection of
+  // patches, then computes placed on the home PE of their base patch.
+  patch_home_ = rcb_patch_map(wl_->decomp.patch_centers(), wl_->decomp.patch_weights(),
+                              opts_.num_pes);
+  compute_pe_.resize(wl_->plan.computes().size());
+  for (std::size_t i = 0; i < compute_pe_.size(); ++i) {
+    compute_pe_[i] =
+        patch_home_[static_cast<std::size_t>(wl_->plan.computes()[i].base_patch)];
+  }
+}
+
+void ParallelSim::rebuild_dataflow() {
+  proxies_.clear();
+  patch_proxy_ids_.assign(patches_.size(), {});
+
+  auto proxy_for = [&](int patch, int pe) -> ProxyRt& {
+    for (int id : patch_proxy_ids_[static_cast<std::size_t>(patch)]) {
+      if (proxies_[static_cast<std::size_t>(id)].pe == pe) {
+        return proxies_[static_cast<std::size_t>(id)];
+      }
+    }
+    patch_proxy_ids_[static_cast<std::size_t>(patch)].push_back(
+        static_cast<int>(proxies_.size()));
+    proxies_.push_back(ProxyRt{patch, pe, {}, 0, {}});
+    return proxies_.back();
+  };
+
+  for (std::size_t i = 0; i < computes_.size(); ++i) {
+    for (int patch : computes_[i].deps) {
+      proxy_for(patch, compute_pe_[i]).computes.push_back(static_cast<int>(i));
+    }
+    computes_[i].deps_pending = static_cast<int>(computes_[i].deps.size());
+  }
+
+  for (std::size_t p = 0; p < patches_.size(); ++p) {
+    patches_[p].contrib_expected =
+        static_cast<int>(patch_proxy_ids_[p].size());
+    patches_[p].contrib_received = 0;
+    if (opts_.numeric) {
+      for (int id : patch_proxy_ids_[p]) {
+        proxies_[static_cast<std::size_t>(id)].frc.assign(patches_[p].atoms.size(),
+                                                          Vec3{});
+      }
+    }
+  }
+}
+
+double ParallelSim::noisy(double cost) {
+  const double sigma = opts_.machine.task_noise;
+  if (sigma <= 0.0) return cost;
+  return cost * std::max(0.2, 1.0 + sigma * noise_rng_.normal());
+}
+
+int ParallelSim::proxy_index(int patch, int pe) const {
+  for (int id : patch_proxy_ids_[static_cast<std::size_t>(patch)]) {
+    if (proxies_[static_cast<std::size_t>(id)].pe == pe) return id;
+  }
+  return -1;
+}
+
+// ---------------------------------------------------------------------------
+// Step dataflow
+// ---------------------------------------------------------------------------
+
+void ParallelSim::publish_coords(ExecContext& ctx, int patch) {
+  PatchRt& pr = patches_[static_cast<std::size_t>(patch)];
+  const int home = patch_home_[static_cast<std::size_t>(patch)];
+  const std::size_t bytes = static_cast<std::size_t>(opts_.msg_header_bytes) +
+                            static_cast<std::size_t>(pr.natoms()) *
+                                static_cast<std::size_t>(opts_.bytes_per_atom_coord);
+
+  // Home-side proxy (if any computes run here) is serviced directly.
+  std::vector<int> remote;
+  for (int id : patch_proxy_ids_[static_cast<std::size_t>(patch)]) {
+    const int pe = proxies_[static_cast<std::size_t>(id)].pe;
+    if (pe == home) {
+      on_recv_coords(ctx, patch, pe);
+    } else {
+      remote.push_back(pe);
+    }
+  }
+  multicast(ctx, remote, bytes, opts_.optimized_multicast, [this, patch](int pe) {
+    TaskMsg msg;
+    msg.entry = e_coords_;
+    msg.priority = -1;
+    msg.fn = [this, patch, pe](ExecContext& c) {
+      c.charge_pack(static_cast<double>(static_cast<std::size_t>(opts_.msg_header_bytes) +
+                                        static_cast<std::size_t>(
+                                            patches_[static_cast<std::size_t>(patch)]
+                                                .natoms()) *
+                                            static_cast<std::size_t>(
+                                                opts_.bytes_per_atom_coord)) *
+                    c.machine().unpack_byte_cost);
+      on_recv_coords(c, patch, pe);
+    };
+    return msg;
+  });
+
+  // A patch no compute reads (e.g. an empty cube) must still advance.
+  if (pr.contrib_expected == 0) {
+    on_contribution(ctx, patch);
+  }
+}
+
+void ParallelSim::on_recv_coords(ExecContext& ctx, int patch, int pe) {
+  ProxyRt& proxy = proxies_[static_cast<std::size_t>(proxy_index(patch, pe))];
+  proxy.pending = static_cast<int>(proxy.computes.size());
+  if (opts_.numeric) {
+    std::fill(proxy.frc.begin(), proxy.frc.end(), Vec3{});
+  }
+  for (int c : proxy.computes) {
+    if (--computes_[static_cast<std::size_t>(c)].deps_pending == 0) {
+      computes_[static_cast<std::size_t>(c)].deps_pending =
+          static_cast<int>(computes_[static_cast<std::size_t>(c)].deps.size());
+      const ComputeDesc& desc = wl_->plan.computes()[static_cast<std::size_t>(c)];
+      TaskMsg msg;
+      msg.entry = desc.kind == ComputeKind::kSelf   ? e_self_
+                  : desc.kind == ComputeKind::kPair ? e_pair_
+                  : desc.migratable                 ? e_bonded_intra_
+                                                    : e_bonded_inter_;
+      const int mi = wl_->plan.migratable_index()[static_cast<std::size_t>(c)];
+      msg.object = mi >= 0 ? static_cast<std::uint64_t>(mi) + 1 : 0;
+      msg.fn = [this, c](ExecContext& cc) { run_compute(cc, c); };
+      ctx.send(pe, std::move(msg));
+    }
+  }
+}
+
+void ParallelSim::run_compute(ExecContext& ctx, int compute) {
+  const ComputeDesc& desc = wl_->plan.computes()[static_cast<std::size_t>(compute)];
+  ComputeRt& rt = computes_[static_cast<std::size_t>(compute)];
+  const int pe = ctx.pe();
+
+  if (opts_.numeric) {
+    WorkCounters w;
+    EnergyTerms e;
+    const int step_global = step_base_ + patches_[static_cast<std::size_t>(
+                                             desc.patches[0])].step;
+    switch (desc.kind) {
+      case ComputeKind::kSelf: {
+        PatchRt& pa = patches_[static_cast<std::size_t>(desc.patches[0])];
+        ProxyRt& fa = proxies_[static_cast<std::size_t>(
+            proxy_index(desc.patches[0], pe))];
+        const std::size_t n = pa.atoms.size();
+        const auto b = static_cast<std::size_t>(std::lround(desc.frac_begin * n));
+        const auto en = static_cast<std::size_t>(std::lround(desc.frac_end * n));
+        e = nonbonded_self_range(*nb_ctx_, pa.atoms, pa.pos, fa.frc, b, en, w);
+        break;
+      }
+      case ComputeKind::kPair: {
+        PatchRt& pa = patches_[static_cast<std::size_t>(desc.patches[0])];
+        PatchRt& pb = patches_[static_cast<std::size_t>(desc.patches[1])];
+        ProxyRt& fa = proxies_[static_cast<std::size_t>(
+            proxy_index(desc.patches[0], pe))];
+        ProxyRt& fb = proxies_[static_cast<std::size_t>(
+            proxy_index(desc.patches[1], pe))];
+        const std::size_t n = pa.atoms.size();
+        const auto b = static_cast<std::size_t>(std::lround(desc.frac_begin * n));
+        const auto en = static_cast<std::size_t>(std::lround(desc.frac_end * n));
+        e = nonbonded_ab_range(*nb_ctx_, pa.atoms, pa.pos, fa.frc, pb.atoms, pb.pos,
+                               fb.frc, b, en, w);
+        break;
+      }
+      default: {
+        // Bonded kinds: fetch coordinates by atom location, scatter forces
+        // into the proxy buffers of the owning patches on this PE.
+        auto pos_of = [&](int atom) -> const Vec3& {
+          const auto [p, idx] = atom_loc_[static_cast<std::size_t>(atom)];
+          return patches_[static_cast<std::size_t>(p)].pos[static_cast<std::size_t>(idx)];
+        };
+        auto frc_of = [&](int atom) -> Vec3& {
+          const auto [p, idx] = atom_loc_[static_cast<std::size_t>(atom)];
+          return proxies_[static_cast<std::size_t>(proxy_index(p, pe))]
+              .frc[static_cast<std::size_t>(idx)];
+        };
+        for (int t : desc.terms) {
+          switch (desc.kind) {
+            case ComputeKind::kBonds: {
+              const Bond& term = mol_->bonds()[static_cast<std::size_t>(t)];
+              e.bond += bond_energy_force(pos_of(term.a), pos_of(term.b),
+                                          mol_->params.bond(term.param),
+                                          frc_of(term.a), frc_of(term.b));
+              break;
+            }
+            case ComputeKind::kAngles: {
+              const Angle& term = mol_->angles()[static_cast<std::size_t>(t)];
+              e.angle += angle_energy_force(
+                  pos_of(term.a), pos_of(term.b), pos_of(term.c),
+                  mol_->params.angle(term.param), frc_of(term.a), frc_of(term.b),
+                  frc_of(term.c));
+              break;
+            }
+            case ComputeKind::kDihedrals: {
+              const Dihedral& term = mol_->dihedrals()[static_cast<std::size_t>(t)];
+              e.dihedral += dihedral_energy_force(
+                  pos_of(term.a), pos_of(term.b), pos_of(term.c), pos_of(term.d),
+                  mol_->params.dihedral(term.param), frc_of(term.a), frc_of(term.b),
+                  frc_of(term.c), frc_of(term.d));
+              break;
+            }
+            default: {
+              const Improper& term = mol_->impropers()[static_cast<std::size_t>(t)];
+              e.improper += improper_energy_force(
+                  pos_of(term.a), pos_of(term.b), pos_of(term.c), pos_of(term.d),
+                  mol_->params.improper(term.param), frc_of(term.a), frc_of(term.b),
+                  frc_of(term.c), frc_of(term.d));
+              break;
+            }
+          }
+        }
+        w.bonded_terms += desc.terms.size();
+        break;
+      }
+    }
+    rt.work = w;
+    if (static_cast<std::size_t>(step_global) >= potential_per_step_.size()) {
+      potential_per_step_.resize(static_cast<std::size_t>(step_global) + 1, 0.0);
+    }
+    potential_per_step_[static_cast<std::size_t>(step_global)] += e.total();
+    ctx.charge(noisy(work_cost(w, ctx.machine())));
+  } else {
+    ctx.charge(noisy(
+        work_cost(wl_->work.per_compute(static_cast<std::size_t>(compute)),
+                  ctx.machine())));
+  }
+
+  for (int patch : rt.deps) {
+    ProxyRt& proxy = proxies_[static_cast<std::size_t>(proxy_index(patch, pe))];
+    if (--proxy.pending == 0) {
+      complete_patch_on_pe(ctx, patch, pe);
+    }
+  }
+}
+
+void ParallelSim::complete_patch_on_pe(ExecContext& ctx, int patch, int pe) {
+  const int home = patch_home_[static_cast<std::size_t>(patch)];
+  if (pe == home) {
+    if (opts_.numeric) {
+      PatchRt& pr = patches_[static_cast<std::size_t>(patch)];
+      const ProxyRt& proxy =
+          proxies_[static_cast<std::size_t>(proxy_index(patch, pe))];
+      for (std::size_t i = 0; i < pr.frc.size(); ++i) pr.frc[i] += proxy.frc[i];
+    }
+    on_contribution(ctx, patch);
+    return;
+  }
+  const std::size_t bytes = static_cast<std::size_t>(opts_.msg_header_bytes) +
+                            static_cast<std::size_t>(
+                                patches_[static_cast<std::size_t>(patch)].natoms()) *
+                                static_cast<std::size_t>(opts_.bytes_per_atom_force);
+  TaskMsg msg;
+  msg.entry = e_forces_;
+  msg.priority = -2;
+  msg.bytes = bytes;
+  msg.fn = [this, patch, pe, bytes](ExecContext& c) {
+    c.charge_pack(static_cast<double>(bytes) * c.machine().unpack_byte_cost);
+    if (opts_.numeric) {
+      PatchRt& pr = patches_[static_cast<std::size_t>(patch)];
+      const ProxyRt& proxy =
+          proxies_[static_cast<std::size_t>(proxy_index(patch, pe))];
+      for (std::size_t i = 0; i < pr.frc.size(); ++i) pr.frc[i] += proxy.frc[i];
+    }
+    on_contribution(c, patch);
+  };
+  // The sender also pays to pack the outgoing force message.
+  ctx.charge_pack(static_cast<double>(bytes) * ctx.machine().pack_byte_cost);
+  ctx.send(home, std::move(msg));
+}
+
+void ParallelSim::on_contribution(ExecContext& ctx, int patch) {
+  PatchRt& pr = patches_[static_cast<std::size_t>(patch)];
+  ++pr.contrib_received;
+  if (pr.contrib_received < pr.contrib_expected) return;
+  pr.contrib_received = 0;
+  TaskMsg msg;
+  msg.entry = e_advance_;
+  msg.priority = -3;
+  msg.fn = [this, patch](ExecContext& c) { advance(c, patch); };
+  ctx.send(patch_home_[static_cast<std::size_t>(patch)], std::move(msg));
+}
+
+void ParallelSim::advance(ExecContext& ctx, int patch) {
+  PatchRt& pr = patches_[static_cast<std::size_t>(patch)];
+  const int s = pr.step;
+  const int global = step_base_ + s;
+  ctx.charge(noisy(static_cast<double>(pr.natoms()) * ctx.machine().integrate_cost));
+
+  const double dt = opts_.dt_fs / units::kAkmaTimeFs;
+  double reduction_value = 1.0;
+  if (opts_.numeric) {
+    const double kick_scale = s == static_cast<int>(cycle_target_) ? 0.5
+                              : s == 0                             ? 0.5
+                                                                   : 1.0;
+    for (std::size_t i = 0; i < pr.vel.size(); ++i) {
+      pr.vel[i] += pr.frc[i] * (kick_scale * dt / pr.mass[i]);
+    }
+    reduction_value = kinetic_energy(pr.vel, pr.mass);
+  }
+
+  if (s < cycle_target_) {
+    if (opts_.numeric) {
+      for (std::size_t i = 0; i < pr.pos.size(); ++i) pr.pos[i] += pr.vel[i] * dt;
+      std::fill(pr.frc.begin(), pr.frc.end(), Vec3{});
+    }
+    pr.step = s + 1;
+    publish_coords(ctx, patch);
+  }
+
+  reducer_->contribute(ctx, patch, global, reduction_value);
+
+  ++steps_done_counter_[static_cast<std::size_t>(global)];
+  if (steps_done_counter_[static_cast<std::size_t>(global)] == active_patches_) {
+    step_completion_[static_cast<std::size_t>(global)] = ctx.now();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cycle and benchmark control
+// ---------------------------------------------------------------------------
+
+void ParallelSim::run_cycle(int steps) {
+  assert(steps >= 1);
+  cycle_target_ = steps;
+  step_base_ = static_cast<int>(step_completion_.size());
+  step_completion_.resize(static_cast<std::size_t>(step_base_ + steps + 1), 0.0);
+  steps_done_counter_.resize(static_cast<std::size_t>(step_base_ + steps + 1), 0);
+
+  const double t0 = sim_->time();
+  for (std::size_t p = 0; p < patches_.size(); ++p) {
+    PatchRt& pr = patches_[p];
+    pr.step = 0;
+    pr.contrib_received = 0;
+    if (opts_.numeric) std::fill(pr.frc.begin(), pr.frc.end(), Vec3{});
+    TaskMsg msg;
+    msg.entry = e_advance_;
+    msg.priority = -3;
+    const int patch = static_cast<int>(p);
+    msg.fn = [this, patch](ExecContext& c) { publish_coords(c, patch); };
+    sim_->inject(patch_home_[p], std::move(msg), t0);
+  }
+  sim_->run();
+  assert(sim_->idle());
+  global_steps_ += steps;
+  if (opts_.numeric) migrate_atoms();
+}
+
+double ParallelSim::seconds_per_step_tail(int steps) const {
+  const std::size_t n = step_completion_.size();
+  assert(steps >= 1 && static_cast<std::size_t>(steps) < n);
+  const double t1 = step_completion_[n - 1];
+  const double t0 = step_completion_[n - 1 - static_cast<std::size_t>(steps)];
+  return (t1 - t0) / steps;
+}
+
+double ParallelSim::run_benchmark(int measure_steps, int timed_steps) {
+  run_cycle(measure_steps);
+  load_balance(/*refine_only=*/false);
+  run_cycle(measure_steps);
+  load_balance(/*refine_only=*/true);
+  run_cycle(timed_steps);
+  return seconds_per_step_tail(timed_steps);
+}
+
+// ---------------------------------------------------------------------------
+// Load balancing
+// ---------------------------------------------------------------------------
+
+void ParallelSim::load_balance(bool refine_only) {
+  if (opts_.lb.kind == LbStrategyKind::kNone) {
+    db_->reset();
+    return;
+  }
+
+  // Build the strategy input from the measurement database.
+  LbProblem problem;
+  problem.num_pes = opts_.num_pes;
+  problem.patch_home = patch_home_;
+  problem.background = db_->background();
+  std::vector<int> object_compute;  // migratable index -> compute id
+  object_compute.reserve(static_cast<std::size_t>(wl_->plan.migratable_count()));
+  for (std::size_t i = 0; i < computes_.size(); ++i) {
+    const int mi = wl_->plan.migratable_index()[i];
+    if (mi < 0) continue;
+    LbObject o;
+    o.load = db_->object_load(static_cast<std::uint32_t>(mi));
+    o.current_pe = compute_pe_[i];
+    o.patch_a = computes_[i].deps.empty() ? -1 : computes_[i].deps[0];
+    o.patch_b = computes_[i].deps.size() > 1 ? computes_[i].deps[1] : -1;
+    problem.objects.push_back(o);
+    object_compute.push_back(static_cast<int>(i));
+  }
+
+  LbAssignment map;
+  switch (opts_.lb.kind) {
+    case LbStrategyKind::kRandom:
+      map = random_map(problem);
+      break;
+    case LbStrategyKind::kGreedyNoComm:
+      map = greedy_nocomm_map(problem);
+      break;
+    case LbStrategyKind::kGreedy:
+      map = greedy_comm_map(problem, opts_.lb.greedy_overload);
+      break;
+    case LbStrategyKind::kGreedyRefine:
+      map = refine_only
+                ? refine_map(problem, identity_map(problem), opts_.lb.refine_overload)
+                : refine_map(problem, greedy_comm_map(problem, opts_.lb.greedy_overload),
+                             opts_.lb.refine_overload);
+      break;
+    case LbStrategyKind::kDiffusion:
+      map = diffusion_map(problem);
+      break;
+    case LbStrategyKind::kNone:
+      return;
+  }
+
+  // Apply the new mapping; model each migration as a message carrying the
+  // object's state from its old PE to its new one.
+  const double t0 = sim_->time();
+  for (std::size_t j = 0; j < map.size(); ++j) {
+    const int compute = object_compute[j];
+    const int old_pe = compute_pe_[static_cast<std::size_t>(compute)];
+    const int new_pe = map[j];
+    if (old_pe == new_pe) continue;
+    compute_pe_[static_cast<std::size_t>(compute)] = new_pe;
+    TaskMsg msg;
+    msg.entry = e_migrate_;
+    msg.fn = [this, new_pe](ExecContext& c) {
+      TaskMsg arrive;
+      arrive.entry = e_migrate_;
+      arrive.bytes = 1024;
+      arrive.fn = [](ExecContext& cc) { cc.charge(2e-6); };
+      c.send(new_pe, std::move(arrive));
+    };
+    sim_->inject(old_pe, std::move(msg), t0);
+  }
+  sim_->run();
+  rebuild_dataflow();
+  db_->reset();
+}
+
+// ---------------------------------------------------------------------------
+// Atom migration (numeric mode, cycle boundaries)
+// ---------------------------------------------------------------------------
+
+void ParallelSim::migrate_atoms() {
+  const CellGrid& grid = wl_->decomp.grid();
+  // Collect movers per source patch: (atom index, destination patch).
+  std::vector<std::vector<std::pair<int, int>>> movers(patches_.size());
+  bool any = false;
+  for (std::size_t p = 0; p < patches_.size(); ++p) {
+    PatchRt& pr = patches_[p];
+    for (std::size_t i = 0; i < pr.atoms.size(); ++i) {
+      const int dst = grid.cell_of(pr.pos[i]);
+      if (dst != static_cast<int>(p)) {
+        movers[p].push_back({static_cast<int>(i), dst});
+        any = true;
+      }
+    }
+  }
+  if (any) {
+    // Apply moves: copy atom state to destinations, compact sources.
+    std::map<std::pair<int, int>, int> traffic;  // (src pe, dst pe) -> atoms
+    for (std::size_t p = 0; p < patches_.size(); ++p) {
+      if (movers[p].empty()) continue;
+      PatchRt& src = patches_[p];
+      std::vector<char> moved(src.atoms.size(), 0);
+      for (const auto& [idx, dst] : movers[p]) {
+        PatchRt& d = patches_[static_cast<std::size_t>(dst)];
+        d.atoms.push_back(src.atoms[static_cast<std::size_t>(idx)]);
+        d.pos.push_back(src.pos[static_cast<std::size_t>(idx)]);
+        d.vel.push_back(src.vel[static_cast<std::size_t>(idx)]);
+        d.mass.push_back(src.mass[static_cast<std::size_t>(idx)]);
+        d.frc.push_back(src.frc[static_cast<std::size_t>(idx)]);
+        moved[static_cast<std::size_t>(idx)] = 1;
+        const int src_pe = patch_home_[p];
+        const int dst_pe = patch_home_[static_cast<std::size_t>(dst)];
+        if (src_pe != dst_pe) ++traffic[{src_pe, dst_pe}];
+      }
+      // Compact the source arrays.
+      std::size_t w = 0;
+      for (std::size_t i = 0; i < src.atoms.size(); ++i) {
+        if (moved[i]) continue;
+        src.atoms[w] = src.atoms[i];
+        src.pos[w] = src.pos[i];
+        src.vel[w] = src.vel[i];
+        src.mass[w] = src.mass[i];
+        src.frc[w] = src.frc[i];
+        ++w;
+      }
+      src.atoms.resize(w);
+      src.pos.resize(w);
+      src.vel.resize(w);
+      src.mass.resize(w);
+      src.frc.resize(w);
+    }
+    // Refresh atom locations.
+    for (std::size_t p = 0; p < patches_.size(); ++p) {
+      for (std::size_t i = 0; i < patches_[p].atoms.size(); ++i) {
+        atom_loc_[static_cast<std::size_t>(patches_[p].atoms[i])] = {
+            static_cast<int>(p), static_cast<int>(i)};
+      }
+    }
+    // Refresh bonded compute dependencies (term atoms may have changed
+    // patches; self/pair computes reference patches directly).
+    for (std::size_t i = 0; i < computes_.size(); ++i) {
+      const ComputeDesc& desc = wl_->plan.computes()[i];
+      if (is_nonbonded(desc.kind)) continue;
+      std::vector<int> deps;
+      auto add_dep = [&](int atom) {
+        const int p = atom_loc_[static_cast<std::size_t>(atom)].first;
+        if (std::find(deps.begin(), deps.end(), p) == deps.end()) deps.push_back(p);
+      };
+      for (int t : desc.terms) {
+        switch (desc.kind) {
+          case ComputeKind::kBonds: {
+            const Bond& term = mol_->bonds()[static_cast<std::size_t>(t)];
+            add_dep(term.a);
+            add_dep(term.b);
+            break;
+          }
+          case ComputeKind::kAngles: {
+            const Angle& term = mol_->angles()[static_cast<std::size_t>(t)];
+            add_dep(term.a);
+            add_dep(term.b);
+            add_dep(term.c);
+            break;
+          }
+          case ComputeKind::kDihedrals: {
+            const Dihedral& term = mol_->dihedrals()[static_cast<std::size_t>(t)];
+            add_dep(term.a);
+            add_dep(term.b);
+            add_dep(term.c);
+            add_dep(term.d);
+            break;
+          }
+          default: {
+            const Improper& term = mol_->impropers()[static_cast<std::size_t>(t)];
+            add_dep(term.a);
+            add_dep(term.b);
+            add_dep(term.c);
+            add_dep(term.d);
+            break;
+          }
+        }
+      }
+      std::sort(deps.begin(), deps.end());
+      computes_[i].deps = std::move(deps);
+    }
+    // Model the migration traffic: one batched message per (src, dst) PE
+    // pair, sized by the number of atoms moved.
+    const double t0 = sim_->time();
+    for (const auto& [edge, count] : traffic) {
+      const auto [src_pe, dst_pe] = edge;
+      const std::size_t bytes = 32 + 96 * static_cast<std::size_t>(count);
+      TaskMsg msg;
+      msg.entry = e_migrate_;
+      msg.fn = [this, dst_pe = dst_pe, bytes](ExecContext& c) {
+        TaskMsg arrive;
+        arrive.entry = e_migrate_;
+        arrive.bytes = bytes;
+        arrive.fn = [bytes](ExecContext& cc) {
+          cc.charge_pack(static_cast<double>(bytes) * cc.machine().unpack_byte_cost);
+        };
+        c.send(dst_pe, std::move(arrive));
+      };
+      sim_->inject(src_pe, std::move(msg), t0);
+    }
+    sim_->run();
+  }
+  rebuild_dataflow();
+}
+
+// ---------------------------------------------------------------------------
+// Results access
+// ---------------------------------------------------------------------------
+
+void ParallelSim::attach_sink(TraceSink* sink) { sinks_.add(sink); }
+
+void ParallelSim::detach_sink(const TraceSink* sink) { sinks_.remove(sink); }
+
+double ParallelSim::ideal_nonbonded_seconds() const {
+  double s = 0.0;
+  for (std::size_t i = 0; i < computes_.size(); ++i) {
+    if (is_nonbonded(wl_->plan.computes()[i].kind)) {
+      s += work_cost(wl_->work.per_compute(i), opts_.machine);
+    }
+  }
+  return s;
+}
+
+double ParallelSim::ideal_bonded_seconds() const {
+  double s = 0.0;
+  for (std::size_t i = 0; i < computes_.size(); ++i) {
+    if (!is_nonbonded(wl_->plan.computes()[i].kind)) {
+      s += work_cost(wl_->work.per_compute(i), opts_.machine);
+    }
+  }
+  return s;
+}
+
+double ParallelSim::ideal_integration_seconds() const {
+  return static_cast<double>(mol_->atom_count()) * opts_.machine.integrate_cost;
+}
+
+int ParallelSim::proxy_count() const {
+  int count = 0;
+  for (const ProxyRt& p : proxies_) {
+    count += p.pe != patch_home_[static_cast<std::size_t>(p.patch)];
+  }
+  return count;
+}
+
+int ParallelSim::max_proxies_per_patch() const {
+  int best = 0;
+  for (std::size_t p = 0; p < patches_.size(); ++p) {
+    int count = 0;
+    for (int id : patch_proxy_ids_[p]) {
+      count += proxies_[static_cast<std::size_t>(id)].pe != patch_home_[p];
+    }
+    best = std::max(best, count);
+  }
+  return best;
+}
+
+std::vector<Vec3> ParallelSim::gather_positions() const {
+  std::vector<Vec3> out(static_cast<std::size_t>(mol_->atom_count()));
+  for (const PatchRt& p : patches_) {
+    for (std::size_t i = 0; i < p.atoms.size(); ++i) {
+      out[static_cast<std::size_t>(p.atoms[i])] = p.pos[i];
+    }
+  }
+  return out;
+}
+
+std::vector<Vec3> ParallelSim::gather_velocities() const {
+  std::vector<Vec3> out(static_cast<std::size_t>(mol_->atom_count()));
+  for (const PatchRt& p : patches_) {
+    for (std::size_t i = 0; i < p.atoms.size(); ++i) {
+      out[static_cast<std::size_t>(p.atoms[i])] = p.vel[i];
+    }
+  }
+  return out;
+}
+
+std::vector<Vec3> ParallelSim::gather_forces() const {
+  std::vector<Vec3> out(static_cast<std::size_t>(mol_->atom_count()));
+  for (const PatchRt& p : patches_) {
+    for (std::size_t i = 0; i < p.atoms.size(); ++i) {
+      out[static_cast<std::size_t>(p.atoms[i])] = p.frc[i];
+    }
+  }
+  return out;
+}
+
+double ParallelSim::potential_at_step(int s) const {
+  return static_cast<std::size_t>(s) < potential_per_step_.size()
+             ? potential_per_step_[static_cast<std::size_t>(s)]
+             : 0.0;
+}
+
+}  // namespace scalemd

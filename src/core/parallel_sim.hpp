@@ -1,0 +1,189 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/compute_plan.hpp"
+#include "core/decomposition.hpp"
+#include "core/work_cache.hpp"
+#include "des/simulator.hpp"
+#include "ff/nonbonded.hpp"
+#include "lb/database.hpp"
+#include "rts/reduction.hpp"
+#include "topo/exclusions.hpp"
+#include "util/random.hpp"
+
+namespace scalemd {
+
+/// Which strategy drives object remapping (ablation-friendly).
+enum class LbStrategyKind {
+  kNone,          ///< keep the static initial placement
+  kRandom,        ///< random placement (floor baseline)
+  kGreedyNoComm,  ///< greedy by load only, communication-blind
+  kGreedy,        ///< the paper's proxy-aware greedy
+  kGreedyRefine,  ///< greedy followed by refinement (the paper's default)
+  kDiffusion,     ///< distributed neighbor-diffusion strategy
+};
+
+struct LbPolicy {
+  LbStrategyKind kind = LbStrategyKind::kGreedyRefine;
+  double greedy_overload = 1.10;
+  double refine_overload = 1.03;
+};
+
+/// A workload bundles everything about the molecular system that is
+/// independent of the processor count: decomposition, compute plan and the
+/// measured per-object work. Build once, sweep ParallelSim over P.
+struct Workload {
+  Workload(const Molecule& molecule, const MachineModel& machine,
+           const NonbondedOptions& nonbonded = {},
+           const ComputePlanOptions& plan_opts = {});
+
+  const Molecule* mol;
+  NonbondedOptions nonbonded;
+  Decomposition decomp;
+  /// Unsplit per-object costs from a probe kernel pass; drives splitting.
+  MeasuredCosts measured;
+  ComputePlan plan;
+  WorkCache work;
+};
+
+struct ParallelOptions {
+  int num_pes = 1;
+  MachineModel machine = MachineModel::asci_red();
+  LbPolicy lb;
+  /// Use the single-packing multicast of section 4.2.3.
+  bool optimized_multicast = true;
+  /// Execute real force math and integration (tests / short runs). When
+  /// false, task costs come from the WorkCache and no numerics run.
+  bool numeric = false;
+  double dt_fs = 1.0;
+  /// Message sizing.
+  int bytes_per_atom_coord = 24;
+  int bytes_per_atom_force = 24;
+  int msg_header_bytes = 32;
+};
+
+/// The parallel NAMD reproduction: home patches, proxy patches and compute
+/// objects wired into the discrete-event machine, with measurement-based
+/// load balancing. One instance = one machine configuration (P processors of
+/// one MachineModel) running one workload.
+class ParallelSim {
+ public:
+  ParallelSim(const Workload& workload, const ParallelOptions& opts);
+  ~ParallelSim();
+
+  /// Runs the paper's benchmark protocol: a measurement cycle under the
+  /// static initial placement, the full LB (strategy per options), a second
+  /// measurement cycle, a refine-only LB, then a timed cycle. Returns
+  /// steady-state seconds per step of the timed cycle.
+  double run_benchmark(int measure_steps = 3, int timed_steps = 5);
+
+  /// Runs one pipelined cycle of `steps` timesteps and quiesces. In numeric
+  /// mode, atoms that left their patch cube migrate afterwards.
+  void run_cycle(int steps);
+
+  /// Applies the configured strategy (greedy and/or refine) using loads
+  /// measured since the last call; models object-migration messages.
+  void load_balance(bool refine_only = false);
+
+  // --- results & instrumentation -------------------------------------
+  Simulator& sim() { return *sim_; }
+  const Simulator& sim() const { return *sim_; }
+
+  /// Virtual completion time of each global step so far.
+  const std::vector<double>& step_completion() const { return step_completion_; }
+
+  /// Steady-state s/step over the last `steps` completed steps
+  /// (difference of completion times, excluding the cycle's bootstrap step).
+  double seconds_per_step_tail(int steps) const;
+
+  /// Attaches an additional trace sink (event log, summary, ...). Detach
+  /// any sink whose lifetime ends before this ParallelSim's.
+  void attach_sink(TraceSink* sink);
+  void detach_sink(const TraceSink* sink);
+
+  /// Ideal per-step times by category from the work cache (for audits and
+  /// speedup denominators).
+  double ideal_nonbonded_seconds() const;
+  double ideal_bonded_seconds() const;
+  double ideal_integration_seconds() const;
+
+  // --- state access for tests ----------------------------------------
+  const std::vector<int>& patch_home() const { return patch_home_; }
+  const std::vector<int>& compute_pe() const { return compute_pe_; }
+  int proxy_count() const;
+  /// Max remote PEs any single patch's coordinates are multicast to.
+  int max_proxies_per_patch() const;
+
+  /// Numeric mode: state gathered by global atom id.
+  std::vector<Vec3> gather_positions() const;
+  std::vector<Vec3> gather_velocities() const;
+  std::vector<Vec3> gather_forces() const;
+
+  /// Numeric mode: potential energy accumulated by computes at step s
+  /// (global step index).
+  double potential_at_step(int s) const;
+  /// Reduction results per round (numeric: sum over patches of local
+  /// kinetic energy; frozen: patch count).
+  const std::vector<double>& reduction_results() const { return reduction_totals_; }
+
+  int total_steps() const { return global_steps_; }
+  const LoadDatabase& load_database() const { return *db_; }
+
+ private:
+  struct PatchRt;
+  struct ProxyRt;
+  struct ComputeRt;
+
+  void build_initial_placement();
+  void rebuild_dataflow();
+  void publish_coords(ExecContext& ctx, int patch);
+  void on_recv_coords(ExecContext& ctx, int patch, int pe);
+  void run_compute(ExecContext& ctx, int compute);
+  void complete_patch_on_pe(ExecContext& ctx, int patch, int pe);
+  void on_contribution(ExecContext& ctx, int patch);
+  void advance(ExecContext& ctx, int patch);
+  void migrate_atoms();
+  int proxy_index(int patch, int pe) const;
+  /// Applies the machine's multiplicative task-time noise to a cost.
+  double noisy(double cost);
+
+  const Workload* wl_;
+  ParallelOptions opts_;
+  const Molecule* mol_;
+  ExclusionTable excl_;                 // numeric mode
+  std::vector<double> charges_;
+  std::vector<int> lj_types_;
+  std::unique_ptr<NonbondedContext> nb_ctx_;
+
+  std::unique_ptr<Simulator> sim_;
+  MultiSink sinks_;
+  std::unique_ptr<LoadDatabase> db_;
+
+  // Entry ids.
+  EntryId e_advance_, e_coords_, e_forces_, e_self_, e_pair_, e_bonded_intra_,
+      e_bonded_inter_, e_reduction_, e_migrate_;
+
+  std::vector<PatchRt> patches_;
+  std::vector<ProxyRt> proxies_;
+  std::vector<std::vector<int>> patch_proxy_ids_;  // patch -> proxy indices
+  std::vector<ComputeRt> computes_;
+  std::vector<int> patch_home_;
+  std::vector<int> compute_pe_;
+  std::vector<std::pair<int, int>> atom_loc_;  // global atom -> (patch, index)
+
+  std::unique_ptr<Reducer> reducer_;
+  std::vector<double> reduction_totals_;
+  Rng noise_rng_{0xC0FFEE};
+
+  int cycle_target_ = 0;       // per-cycle steps
+  int global_steps_ = 0;       // completed steps across cycles
+  int step_base_ = 0;          // global index of the current cycle's step 0
+  std::vector<int> steps_done_counter_;
+  std::vector<double> step_completion_;
+  std::vector<double> potential_per_step_;
+  int active_patches_ = 0;
+};
+
+}  // namespace scalemd

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "core/compute_plan.hpp"
+#include "core/decomposition.hpp"
+#include "ff/nonbonded.hpp"
+#include "topo/exclusions.hpp"
+
+namespace scalemd {
+
+/// Real per-compute-object work counters, obtained by running every compute
+/// object's kernel once at the molecule's initial coordinates (one
+/// sequential-step-equivalent of real force math). The DES charges task
+/// costs from these counts — the "principle of persistence" made literal:
+/// object loads measured once persist across the simulated steps. Shared by
+/// every ParallelSim over the same workload, so a 12-point processor sweep
+/// pays for the kernels only once.
+class WorkCache {
+ public:
+  WorkCache(const Molecule& mol, const Decomposition& decomp,
+            const ComputePlan& plan, const NonbondedOptions& nb);
+
+  const WorkCounters& per_compute(std::size_t i) const { return work_[i]; }
+  const std::vector<WorkCounters>& all() const { return work_; }
+
+  /// Sum over all computes plus one integration pass.
+  WorkCounters total() const;
+
+  /// Total potential energy at the initial coordinates (a free by-product,
+  /// used by tests to cross-check against the sequential engine).
+  const EnergyTerms& energy() const { return energy_; }
+
+ private:
+  std::vector<WorkCounters> work_;
+  WorkCounters total_;
+  EnergyTerms energy_;
+};
+
+/// Virtual-seconds cost of a task that performed `w` under machine `m`.
+double work_cost(const WorkCounters& w, const MachineModel& m);
+
+}  // namespace scalemd

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string>
+
+namespace scalemd {
+
+/// Cost model of one parallel machine: per-work-unit CPU costs and a
+/// LogGP-style communication model. All times are in seconds of *virtual*
+/// time. The three factory profiles model the paper's machines; the CPU
+/// constants are calibrated so the ApoA-I-class benchmark reproduces the
+/// paper's single-processor step times (57.1 s on ASCI-Red, 24.4 s on the
+/// Origin 2000), and the network constants are era-plausible MPP numbers
+/// tuned to reproduce the published scaling shape. See EXPERIMENTS.md.
+struct MachineModel {
+  std::string name;
+
+  // --- CPU cost model -------------------------------------------------
+  double pair_cost = 2.5e-6;       ///< s per non-bonded pair inside cutoff
+  double pair_test_cost = 2.0e-7;  ///< s per distance test outside cutoff
+  double bonded_cost = 1.0e-6;     ///< s per bonded term evaluated
+  double integrate_cost = 1.0e-6;  ///< s per atom integrated (incl. patch work)
+
+  // --- Communication model (LogGP-ish) --------------------------------
+  double send_overhead = 15e-6;   ///< CPU s per remote message sent
+  double recv_overhead = 10e-6;   ///< CPU s per remote message received
+  double latency = 20e-6;         ///< wire latency per message, s
+  double byte_time = 3e-9;        ///< s per byte on the wire (1/bandwidth)
+  double pack_byte_cost = 2e-9;   ///< CPU s per byte packed/allocated at send
+  double unpack_byte_cost = 2e-9; ///< CPU s per byte processed at receive
+  double local_overhead = 1e-6;   ///< CPU s to enqueue a same-PE message
+
+  /// Relative standard deviation of multiplicative task-time noise (cache
+  /// effects, OS interference). Applied deterministically (seeded) by the
+  /// workloads when charging compute/integration costs; the DES itself stays
+  /// exact. Real MPPs of the era showed a few percent.
+  double task_noise = 0.04;
+
+  /// Sandia ASCI-Red: 333 MHz Pentium II Xeon, custom mesh network,
+  /// -proc 1 coprocessor mode (the paper's primary platform).
+  static MachineModel asci_red();
+
+  /// PSC Cray T3E-900: 450 MHz Alpha 21164, very low-latency torus.
+  static MachineModel t3e900();
+
+  /// NCSA SGI Origin 2000: 250 MHz R10000, ccNUMA (fastest per-processor).
+  static MachineModel origin2000();
+};
+
+}  // namespace scalemd

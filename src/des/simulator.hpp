@@ -1,0 +1,194 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "des/machine.hpp"
+#include "des/trace_sink.hpp"
+
+namespace scalemd {
+
+class ExecContext;
+
+/// The body of an entry-method invocation. It runs to completion
+/// (non-preemptive, Charm++-style) and reports its cost by calling
+/// ExecContext::charge with the virtual seconds consumed.
+using TaskFn = std::function<void(ExecContext&)>;
+
+/// A message carrying an entry-method invocation to a virtual processor.
+struct TaskMsg {
+  EntryId entry = 0;
+  std::uint64_t object = 0;  ///< target object id, for load measurement
+  int priority = 0;          ///< lower runs first among available messages
+  std::size_t bytes = 0;     ///< payload size for the network model
+  TaskFn fn;
+};
+
+/// Names and audit categories of entry methods. The registry is what makes
+/// summary profiles readable ("dozens of entry methods" vs thousands of
+/// functions, as the paper argues).
+class EntryRegistry {
+ public:
+  EntryId add(std::string name, WorkCategory category);
+  const std::string& name(EntryId id) const { return names_[static_cast<std::size_t>(id)]; }
+  WorkCategory category(EntryId id) const {
+    return categories_[static_cast<std::size_t>(id)];
+  }
+  int count() const { return static_cast<int>(names_.size()); }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<WorkCategory> categories_;
+};
+
+/// Discrete-event simulator of a message-passing machine running a
+/// data-driven (Charm++-style) scheduler on every virtual processor:
+/// each PE repeatedly picks the best-priority *arrived* message and runs its
+/// task to completion; task costs and message delivery times follow the
+/// MachineModel. Deterministic: identical inputs give identical schedules.
+class Simulator {
+ public:
+  Simulator(int num_pes, const MachineModel& machine);
+
+  int num_pes() const { return static_cast<int>(pes_.size()); }
+  const MachineModel& machine() const { return machine_; }
+  EntryRegistry& entries() { return entries_; }
+  const EntryRegistry& entries() const { return entries_; }
+
+  /// Attaches an instrumentation sink (may be null to disable).
+  void set_sink(TraceSink* sink) { sink_ = sink; }
+
+  /// Injects a message arriving at `pe` at absolute virtual time `time`
+  /// (no send-side cost is charged; use for bootstrap messages).
+  void inject(int pe, TaskMsg msg, double time = 0.0);
+
+  /// Processes events until none remain or virtual time exceeds `until`.
+  void run(double until = std::numeric_limits<double>::infinity());
+
+  /// True if no undelivered or unprocessed messages remain.
+  bool idle() const;
+
+  /// Virtual time of the latest task completion so far.
+  double time() const { return horizon_; }
+
+  /// Total busy (executing) virtual seconds of `pe` so far.
+  double pe_busy(int pe) const { return pes_[static_cast<std::size_t>(pe)].busy_sum; }
+
+  /// Per-PE busy times (for utilization and imbalance metrics).
+  std::vector<double> busy_times() const;
+
+  /// Number of tasks executed so far (all PEs).
+  std::uint64_t tasks_executed() const { return tasks_executed_; }
+  /// Number of remote messages delivered so far.
+  std::uint64_t remote_messages() const { return remote_messages_; }
+  /// Total bytes carried by remote messages so far.
+  std::uint64_t remote_bytes() const { return remote_bytes_; }
+
+ private:
+  friend class ExecContext;
+
+  struct Ready {
+    int priority;
+    std::uint64_t seq;
+    TaskMsg msg;
+    int src_pe;
+    bool remote;
+    double sent_at;
+  };
+  struct ReadyOrder {
+    bool operator()(const Ready& a, const Ready& b) const {
+      if (a.priority != b.priority) return a.priority > b.priority;  // min-heap
+      return a.seq > b.seq;                                          // FIFO ties
+    }
+  };
+  struct Processor {
+    double busy_until = 0.0;
+    double busy_sum = 0.0;
+    bool dispatch_pending = false;
+    double out_nic_free = 0.0;  ///< when this PE's outgoing link frees up
+    double in_nic_free = 0.0;   ///< when this PE's incoming link frees up
+    std::priority_queue<Ready, std::vector<Ready>, ReadyOrder> ready;
+  };
+  enum class EventKind : std::uint8_t { kArrival = 0, kDispatch = 1 };
+  struct Event {
+    double time;
+    EventKind kind;
+    std::uint64_t seq;
+    int pe;
+    // Arrival payload (unused for dispatch events).
+    Ready ready;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      if (a.kind != b.kind) return a.kind > b.kind;  // arrivals before dispatch
+      return a.seq > b.seq;
+    }
+  };
+
+  void schedule_dispatch(int pe, double time);
+  void deliver(int src_pe, int dst_pe, TaskMsg msg, double send_time,
+               double arrive_time, bool remote);
+  void execute(int pe, Ready ready, double start);
+
+  MachineModel machine_;
+  EntryRegistry entries_;
+  TraceSink* sink_ = nullptr;
+  std::vector<Processor> pes_;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> events_;
+  std::uint64_t seq_ = 0;
+  double horizon_ = 0.0;
+  std::uint64_t tasks_executed_ = 0;
+  std::uint64_t remote_messages_ = 0;
+  std::uint64_t remote_bytes_ = 0;
+};
+
+/// Handle given to a running task: lets it consume virtual CPU time and send
+/// messages. Valid only during the task's execution.
+class ExecContext {
+ public:
+  /// PE executing the task.
+  int pe() const { return pe_; }
+  /// Virtual time at which the task started.
+  double start() const { return start_; }
+  /// Current virtual time (start + charged so far).
+  double now() const { return start_ + charged_; }
+  /// Virtual seconds consumed so far by this task.
+  double charged() const { return charged_; }
+  const MachineModel& machine() const { return sim_->machine(); }
+  Simulator& sim() { return *sim_; }
+
+  /// Consumes `seconds` of CPU time at the current point in the task.
+  void charge(double seconds) { charged_ += seconds; }
+
+  /// Adds to the pack-cost attribution (for the audit's overhead column);
+  /// also charges the time.
+  void charge_pack(double seconds) {
+    charged_ += seconds;
+    pack_cost_ += seconds;
+  }
+
+  /// Sends `msg` to `dest` at the current point in the task. Charges the
+  /// machine's send (or local enqueue) overhead; delivery time follows the
+  /// network model. Message payload travel cost is based on msg.bytes.
+  void send(int dest, TaskMsg msg);
+
+ private:
+  friend class Simulator;
+  ExecContext(Simulator* sim, int pe, double start)
+      : sim_(sim), pe_(pe), start_(start) {}
+
+  Simulator* sim_;
+  int pe_;
+  double start_;
+  double charged_ = 0.0;
+  double recv_cost_ = 0.0;
+  double pack_cost_ = 0.0;
+  double send_cost_ = 0.0;
+};
+
+}  // namespace scalemd

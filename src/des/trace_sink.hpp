@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace scalemd {
+
+/// Identifier of a registered entry method (see EntryRegistry).
+using EntryId = int;
+
+/// Coarse classification of entry methods, used by the performance audit
+/// (Table 1) to fold entry-method times into the paper's columns.
+enum class WorkCategory : std::uint8_t {
+  kNonbonded,    ///< non-bonded pair/self compute objects
+  kBonded,       ///< bonded compute objects
+  kIntegration,  ///< patch integration + coordinate distribution
+  kComm,         ///< runtime communication helpers (reductions, migration)
+  kOther,
+};
+
+/// One executed task (entry-method invocation) on a virtual processor.
+struct TaskRecord {
+  int pe = 0;
+  EntryId entry = 0;
+  std::uint64_t object = 0;  ///< chare/object id for load measurement (0 = none)
+  double start = 0.0;        ///< virtual seconds
+  double duration = 0.0;     ///< total task time including recv overhead
+  double recv_cost = 0.0;    ///< receive-overhead part of duration
+  double pack_cost = 0.0;    ///< message pack/alloc part of duration
+  double send_cost = 0.0;    ///< send/enqueue-overhead part of duration
+};
+
+/// One message delivery between virtual processors.
+struct MsgRecord {
+  int src_pe = 0;
+  int dst_pe = 0;
+  EntryId entry = 0;
+  std::size_t bytes = 0;
+  double send_time = 0.0;
+  double recv_time = 0.0;
+};
+
+/// Instrumentation interface of the simulator. Implementations live in
+/// trace/ (summary profiles, full event logs) and lb/ (load database).
+/// The paper's three instrumentation levels map to: no sink (step times
+/// only), SummaryProfile, and EventLog.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_task(const TaskRecord&) {}
+  virtual void on_message(const MsgRecord&) {}
+};
+
+/// Fans one stream of records out to several sinks.
+class MultiSink final : public TraceSink {
+ public:
+  void add(TraceSink* sink) { sinks_[count_++] = sink; }
+
+  /// Removes a previously added sink (callers must remove sinks whose
+  /// lifetime ends before the simulation's). No-op if absent.
+  void remove(const TraceSink* sink) {
+    for (int i = 0; i < count_; ++i) {
+      if (sinks_[i] == sink) {
+        sinks_[i] = sinks_[count_ - 1];
+        --count_;
+        return;
+      }
+    }
+  }
+
+  void on_task(const TaskRecord& r) override {
+    for (int i = 0; i < count_; ++i) sinks_[i]->on_task(r);
+  }
+  void on_message(const MsgRecord& r) override {
+    for (int i = 0; i < count_; ++i) sinks_[i]->on_message(r);
+  }
+
+ private:
+  TraceSink* sinks_[8] = {};
+  int count_ = 0;
+};
+
+}  // namespace scalemd

@@ -1,0 +1,110 @@
+#include "ewald/ewald.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace scalemd {
+
+EwaldSum::EwaldSum(const Vec3& box, const EwaldOptions& opts)
+    : box_(box), opts_(opts) {
+  assert(box.x > 0 && box.y > 0 && box.z > 0);
+  assert(opts.alpha > 0 && opts.r_cut > 0 && opts.k_max >= 1);
+}
+
+double EwaldSum::real_space(std::span<const Vec3> pos, std::span<const double> q,
+                            std::span<Vec3> f) const {
+  const double rc2 = opts_.r_cut * opts_.r_cut;
+  const double a = opts_.alpha;
+  const double two_over_sqrt_pi = 2.0 / std::sqrt(M_PI);
+  double energy = 0.0;
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    for (std::size_t j = i + 1; j < pos.size(); ++j) {
+      // Minimum image in the orthorhombic box.
+      Vec3 dr = pos[i] - pos[j];
+      dr.x -= box_.x * std::round(dr.x / box_.x);
+      dr.y -= box_.y * std::round(dr.y / box_.y);
+      dr.z -= box_.z * std::round(dr.z / box_.z);
+      const double r2 = norm2(dr);
+      if (r2 >= rc2 || r2 == 0.0) continue;
+      const double r = std::sqrt(r2);
+      const double qq = units::kCoulomb * q[i] * q[j];
+      const double erfc_ar = std::erfc(a * r);
+      energy += qq * erfc_ar / r;
+      // dE/dr = -qq [ erfc(ar)/r^2 + 2a/sqrt(pi) exp(-a^2 r^2)/r ]
+      const double de_dr =
+          -qq * (erfc_ar / r2 + two_over_sqrt_pi * a * std::exp(-a * a * r2) / r);
+      const Vec3 fi = dr * (-de_dr / r);
+      f[i] += fi;
+      f[j] -= fi;
+    }
+  }
+  return energy;
+}
+
+double EwaldSum::reciprocal(std::span<const Vec3> pos, std::span<const double> q,
+                            std::span<Vec3> f) const {
+  const double volume = box_.x * box_.y * box_.z;
+  const double a = opts_.alpha;
+  const int kmax = opts_.k_max;
+  const double kmax2 = static_cast<double>(kmax) * kmax;
+
+  double energy = 0.0;
+  // Half-space of k vectors (kz > 0, or kz == 0 and ky > 0, or ...) counted
+  // twice via the factor below; k = 0 excluded.
+  for (int kx = -kmax; kx <= kmax; ++kx) {
+    for (int ky = -kmax; ky <= kmax; ++ky) {
+      for (int kz = 0; kz <= kmax; ++kz) {
+        if (kz == 0 && (ky < 0 || (ky == 0 && kx <= 0))) continue;
+        const double n2 = static_cast<double>(kx) * kx +
+                          static_cast<double>(ky) * ky +
+                          static_cast<double>(kz) * kz;
+        if (n2 > kmax2) continue;  // spherical cutoff in index space
+        const Vec3 k{2.0 * M_PI * kx / box_.x, 2.0 * M_PI * ky / box_.y,
+                     2.0 * M_PI * kz / box_.z};
+        const double k2 = norm2(k);
+
+        // Structure factor S(k) = sum_i q_i exp(i k.r_i).
+        double sre = 0.0, sim = 0.0;
+        for (std::size_t i = 0; i < pos.size(); ++i) {
+          const double phase = dot(k, pos[i]);
+          sre += q[i] * std::cos(phase);
+          sim += q[i] * std::sin(phase);
+        }
+        const double s2 = sre * sre + sim * sim;
+        const double factor = units::kCoulomb * (4.0 * M_PI / volume) *
+                              std::exp(-k2 / (4.0 * a * a)) / k2;
+        energy += factor * s2;  // x2 half-space, /2 double counting
+
+        // F_i = 2 * factor * q_i * [ sin(k.r_i) Re S - cos(k.r_i) Im S ] * k
+        for (std::size_t i = 0; i < pos.size(); ++i) {
+          const double phase = dot(k, pos[i]);
+          const double coeff = 2.0 * factor * q[i] *
+                               (std::sin(phase) * sre - std::cos(phase) * sim);
+          f[i] += k * coeff;
+        }
+      }
+    }
+  }
+  return energy;
+}
+
+double EwaldSum::self_energy(std::span<const double> q) const {
+  double q2 = 0.0;
+  for (double qi : q) q2 += qi * qi;
+  return -units::kCoulomb * opts_.alpha / std::sqrt(M_PI) * q2;
+}
+
+ElecResult EwaldSum::energy_forces(std::span<const Vec3> pos,
+                                   std::span<const double> q,
+                                   std::span<Vec3> f) const {
+  ElecResult r;
+  r.real = real_space(pos, q, f);
+  r.reciprocal = reciprocal(pos, q, f);
+  r.self = self_energy(q);
+  return r;
+}
+
+}  // namespace scalemd

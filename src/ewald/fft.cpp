@@ -1,0 +1,76 @@
+#include "ewald/fft.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace scalemd {
+
+void fft(std::vector<std::complex<double>>& data, bool inverse) {
+  const std::size_t n = data.size();
+  assert(is_pow2(static_cast<int>(n)));
+  if (n <= 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  // Butterfly passes.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+void fft3d(std::vector<std::complex<double>>& grid, int nx, int ny, int nz,
+           bool inverse) {
+  assert(is_pow2(nx) && is_pow2(ny) && is_pow2(nz));
+  assert(grid.size() == static_cast<std::size_t>(nx) * ny * nz);
+  auto at = [&](int x, int y, int z) -> std::complex<double>& {
+    return grid[(static_cast<std::size_t>(z) * ny + y) * nx + x];
+  };
+
+  std::vector<std::complex<double>> line;
+  // Along x.
+  line.resize(static_cast<std::size_t>(nx));
+  for (int z = 0; z < nz; ++z) {
+    for (int y = 0; y < ny; ++y) {
+      for (int x = 0; x < nx; ++x) line[static_cast<std::size_t>(x)] = at(x, y, z);
+      fft(line, inverse);
+      for (int x = 0; x < nx; ++x) at(x, y, z) = line[static_cast<std::size_t>(x)];
+    }
+  }
+  // Along y.
+  line.resize(static_cast<std::size_t>(ny));
+  for (int z = 0; z < nz; ++z) {
+    for (int x = 0; x < nx; ++x) {
+      for (int y = 0; y < ny; ++y) line[static_cast<std::size_t>(y)] = at(x, y, z);
+      fft(line, inverse);
+      for (int y = 0; y < ny; ++y) at(x, y, z) = line[static_cast<std::size_t>(y)];
+    }
+  }
+  // Along z.
+  line.resize(static_cast<std::size_t>(nz));
+  for (int y = 0; y < ny; ++y) {
+    for (int x = 0; x < nx; ++x) {
+      for (int z = 0; z < nz; ++z) line[static_cast<std::size_t>(z)] = at(x, y, z);
+      fft(line, inverse);
+      for (int z = 0; z < nz; ++z) at(x, y, z) = line[static_cast<std::size_t>(z)];
+    }
+  }
+}
+
+}  // namespace scalemd

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace scalemd {
+
+/// In-place iterative radix-2 Cooley-Tukey FFT. `data.size()` must be a
+/// power of two. `inverse` applies the conjugate transform *without* the
+/// 1/N normalization (callers normalize once, as PME's convolution does).
+void fft(std::vector<std::complex<double>>& data, bool inverse);
+
+/// 3D FFT over a dense row-major nx*ny*nz grid (each dimension a power of
+/// two): transforms along x, then y, then z. Used by the PME reciprocal
+/// convolution.
+void fft3d(std::vector<std::complex<double>>& grid, int nx, int ny, int nz,
+           bool inverse);
+
+/// True if n is a power of two (and positive).
+constexpr bool is_pow2(int n) { return n > 0 && (n & (n - 1)) == 0; }
+
+}  // namespace scalemd

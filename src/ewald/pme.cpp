@@ -1,0 +1,197 @@
+#include "ewald/pme.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "ewald/fft.hpp"
+#include "util/units.hpp"
+
+namespace scalemd {
+
+void bspline_weights(double u, int order, std::span<double> w,
+                     std::span<double> dw) {
+  assert(order >= 2);
+  assert(w.size() == static_cast<std::size_t>(order));
+  assert(dw.size() == static_cast<std::size_t>(order));
+  // m[k] = M_q(u + k) for the current order q, built by recursion from
+  // M_2(t) = t on [0,1], 2 - t on [1,2].
+  std::vector<double> m(static_cast<std::size_t>(order), 0.0);
+  std::vector<double> d(static_cast<std::size_t>(order), 0.0);
+  m[0] = u;
+  if (order > 1) m[1] = 1.0 - u;
+  if (order == 2) {
+    d[0] = 1.0;
+    d[1] = -1.0;
+  }
+  for (int q = 3; q <= order; ++q) {
+    for (int k = q - 1; k >= 0; --k) {
+      const double t = u + k;
+      const double a = (k <= q - 2) ? m[static_cast<std::size_t>(k)] : 0.0;
+      const double b = (k >= 1) ? m[static_cast<std::size_t>(k - 1)] : 0.0;
+      if (q == order) d[static_cast<std::size_t>(k)] = a - b;
+      m[static_cast<std::size_t>(k)] =
+          (t * a + (static_cast<double>(q) - t) * b) / (q - 1);
+    }
+  }
+  // Reorder so w[j] belongs to grid point floor(x) - order + 1 + j.
+  for (int j = 0; j < order; ++j) {
+    w[static_cast<std::size_t>(j)] = m[static_cast<std::size_t>(order - 1 - j)];
+    dw[static_cast<std::size_t>(j)] = d[static_cast<std::size_t>(order - 1 - j)];
+  }
+}
+
+std::vector<double> Pme::bspline_moduli(int n, int order) {
+  // |b(m)|^2 = 1 / |sum_{l=0}^{order-2} M_order(l+1) e^{2 pi i m l / n}|^2.
+  std::vector<double> m_at_int(static_cast<std::size_t>(order) - 1, 0.0);
+  {
+    std::vector<double> w(static_cast<std::size_t>(order));
+    std::vector<double> dw(static_cast<std::size_t>(order));
+    bspline_weights(0.0, order, w, dw);  // w[j] = M_order(order - 1 - j)
+    // M_order at integers 1..order-1: w[order - 1 - l] holds M_order(l).
+    for (int l = 1; l <= order - 1; ++l) {
+      m_at_int[static_cast<std::size_t>(l - 1)] =
+          w[static_cast<std::size_t>(order - 1 - l)];
+    }
+  }
+  std::vector<double> mod(static_cast<std::size_t>(n), 0.0);
+  for (int m = 0; m < n; ++m) {
+    double re = 0.0, im = 0.0;
+    for (int l = 0; l <= order - 2; ++l) {
+      const double phase = 2.0 * M_PI * m * l / n;
+      re += m_at_int[static_cast<std::size_t>(l)] * std::cos(phase);
+      im += m_at_int[static_cast<std::size_t>(l)] * std::sin(phase);
+    }
+    mod[static_cast<std::size_t>(m)] = re * re + im * im;
+  }
+  // Patch near-zero denominators (can occur at the Nyquist frequency) with
+  // the average of the neighbors, the standard fix.
+  for (int m = 0; m < n; ++m) {
+    if (mod[static_cast<std::size_t>(m)] < 1e-10) {
+      const double left = mod[static_cast<std::size_t>((m + n - 1) % n)];
+      const double right = mod[static_cast<std::size_t>((m + 1) % n)];
+      mod[static_cast<std::size_t>(m)] = 0.5 * (left + right);
+    }
+  }
+  return mod;
+}
+
+Pme::Pme(const Vec3& box, const PmeOptions& opts) : box_(box), opts_(opts) {
+  assert(is_pow2(opts.grid_x) && is_pow2(opts.grid_y) && is_pow2(opts.grid_z));
+  assert(opts.order >= 2 && opts.order <= 8);
+  bmod_x_ = bspline_moduli(opts.grid_x, opts.order);
+  bmod_y_ = bspline_moduli(opts.grid_y, opts.order);
+  bmod_z_ = bspline_moduli(opts.grid_z, opts.order);
+}
+
+double Pme::reciprocal(std::span<const Vec3> pos, std::span<const double> q,
+                       std::span<Vec3> f) const {
+  const int kx = opts_.grid_x, ky = opts_.grid_y, kz = opts_.grid_z;
+  const int p = opts_.order;
+  const std::size_t ngrid = static_cast<std::size_t>(kx) * ky * kz;
+  std::vector<std::complex<double>> grid(ngrid, {0.0, 0.0});
+  auto at = [&](int x, int y, int z) -> std::complex<double>& {
+    return grid[(static_cast<std::size_t>(z) * ky + y) * kx + x];
+  };
+
+  // --- Spread charges with B-spline weights -----------------------------
+  struct Spread {
+    int base_x, base_y, base_z;
+    std::vector<double> wx, wy, wz, dx, dy, dz;
+  };
+  std::vector<Spread> spreads(pos.size());
+  auto frac = [](double x, double len, int n) {
+    double g = x / len * n;
+    g -= std::floor(g / n) * n;  // wrap into [0, n)
+    return g;
+  };
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    Spread& s = spreads[i];
+    const double gx = frac(pos[i].x, box_.x, kx);
+    const double gy = frac(pos[i].y, box_.y, ky);
+    const double gz = frac(pos[i].z, box_.z, kz);
+    s.base_x = static_cast<int>(std::floor(gx)) - p + 1;
+    s.base_y = static_cast<int>(std::floor(gy)) - p + 1;
+    s.base_z = static_cast<int>(std::floor(gz)) - p + 1;
+    s.wx.resize(static_cast<std::size_t>(p));
+    s.wy.resize(static_cast<std::size_t>(p));
+    s.wz.resize(static_cast<std::size_t>(p));
+    s.dx.resize(static_cast<std::size_t>(p));
+    s.dy.resize(static_cast<std::size_t>(p));
+    s.dz.resize(static_cast<std::size_t>(p));
+    bspline_weights(gx - std::floor(gx), p, s.wx, s.dx);
+    bspline_weights(gy - std::floor(gy), p, s.wy, s.dy);
+    bspline_weights(gz - std::floor(gz), p, s.wz, s.dz);
+    for (int a = 0; a < p; ++a) {
+      const int zi = ((s.base_z + a) % kz + kz) % kz;
+      for (int b = 0; b < p; ++b) {
+        const int yi = ((s.base_y + b) % ky + ky) % ky;
+        const double wzy = q[i] * s.wz[static_cast<std::size_t>(a)] *
+                           s.wy[static_cast<std::size_t>(b)];
+        for (int c = 0; c < p; ++c) {
+          const int xi = ((s.base_x + c) % kx + kx) % kx;
+          at(xi, yi, zi) += wzy * s.wx[static_cast<std::size_t>(c)];
+        }
+      }
+    }
+  }
+
+  // --- Convolution with the Ewald influence function --------------------
+  fft3d(grid, kx, ky, kz, /*inverse=*/false);
+  const double volume = box_.x * box_.y * box_.z;
+  const double a2inv = 1.0 / (4.0 * opts_.alpha * opts_.alpha);
+  double energy = 0.0;
+  for (int mz = 0; mz < kz; ++mz) {
+    const int sz = mz <= kz / 2 ? mz : mz - kz;
+    for (int my = 0; my < ky; ++my) {
+      const int sy = my <= ky / 2 ? my : my - ky;
+      for (int mx = 0; mx < kx; ++mx) {
+        const int sx = mx <= kx / 2 ? mx : mx - kx;
+        std::complex<double>& g = at(mx, my, mz);
+        if (sx == 0 && sy == 0 && sz == 0) {
+          g = 0.0;
+          continue;
+        }
+        const Vec3 k{2.0 * M_PI * sx / box_.x, 2.0 * M_PI * sy / box_.y,
+                     2.0 * M_PI * sz / box_.z};
+        const double k2 = norm2(k);
+        const double bsq = bmod_x_[static_cast<std::size_t>(mx)] *
+                           bmod_y_[static_cast<std::size_t>(my)] *
+                           bmod_z_[static_cast<std::size_t>(mz)];
+        const double influence = units::kCoulomb * (4.0 * M_PI / volume) *
+                                 std::exp(-k2 * a2inv) / (k2 * bsq);
+        energy += 0.5 * influence * std::norm(g);
+        g *= influence;
+      }
+    }
+  }
+  // Adjoint transform for dE/dQ(r) = Re[sum_k I(k) F(k) e^{+ikr}]: the
+  // *unnormalized* inverse FFT (no 1/N — that factor belongs to signal
+  // reconstruction, not to this gradient).
+  fft3d(grid, kx, ky, kz, /*inverse=*/true);
+
+  // --- Gather forces from the potential grid ----------------------------
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    const Spread& s = spreads[i];
+    Vec3 grad;  // d(energy)/d(r_i)
+    for (int a = 0; a < p; ++a) {
+      const int zi = ((s.base_z + a) % kz + kz) % kz;
+      for (int b = 0; b < p; ++b) {
+        const int yi = ((s.base_y + b) % ky + ky) % ky;
+        for (int c = 0; c < p; ++c) {
+          const int xi = ((s.base_x + c) % kx + kx) % kx;
+          const double phi = at(xi, yi, zi).real();
+          const double wa = s.wz[static_cast<std::size_t>(a)];
+          const double wb = s.wy[static_cast<std::size_t>(b)];
+          const double wc = s.wx[static_cast<std::size_t>(c)];
+          grad.x += phi * s.dx[static_cast<std::size_t>(c)] * wb * wa * (kx / box_.x);
+          grad.y += phi * wc * s.dy[static_cast<std::size_t>(b)] * wa * (ky / box_.y);
+          grad.z += phi * wc * wb * s.dz[static_cast<std::size_t>(a)] * (kz / box_.z);
+        }
+      }
+    }
+    f[i] -= grad * q[i];
+  }
+  return energy;
+}
+
+}  // namespace scalemd

@@ -1,0 +1,173 @@
+#include "ff/bonded.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace scalemd {
+
+double bond_energy_force(const Vec3& ra, const Vec3& rb, const BondParam& p, Vec3& fa,
+                         Vec3& fb) {
+  const Vec3 dr = ra - rb;
+  const double r = norm(dr);
+  const double diff = r - p.r0;
+  const double de_dr = 2.0 * p.k * diff;
+  const Vec3 f = dr * (-de_dr / r);
+  fa += f;
+  fb -= f;
+  return p.k * diff * diff;
+}
+
+double angle_energy_force(const Vec3& ra, const Vec3& rb, const Vec3& rc,
+                          const AngleParam& p, Vec3& fa, Vec3& fb, Vec3& fc) {
+  const Vec3 u = ra - rb;
+  const Vec3 v = rc - rb;
+  const double nu = norm(u);
+  const double nv = norm(v);
+  double cos_t = dot(u, v) / (nu * nv);
+  cos_t = std::clamp(cos_t, -1.0, 1.0);
+  const double theta = std::acos(cos_t);
+  const double sin_t = std::max(std::sqrt(1.0 - cos_t * cos_t), 1e-8);
+
+  const double diff = theta - p.theta0;
+  const double de_dt = 2.0 * p.k * diff;
+
+  const Vec3 u_hat = u / nu;
+  const Vec3 v_hat = v / nv;
+  // dtheta/dra = (cos(theta) u_hat - v_hat) / (|u| sin(theta)), symmetric in c.
+  const Vec3 dt_da = (u_hat * cos_t - v_hat) * (1.0 / (nu * sin_t));
+  const Vec3 dt_dc = (v_hat * cos_t - u_hat) * (1.0 / (nv * sin_t));
+  const Vec3 f_a = dt_da * (-de_dt);
+  const Vec3 f_c = dt_dc * (-de_dt);
+  fa += f_a;
+  fc += f_c;
+  fb -= f_a + f_c;
+  return p.k * diff * diff;
+}
+
+namespace {
+
+/// Dihedral angle of the chain a-b-c-d and its gradient with respect to the
+/// four positions (Blondel-Karplus construction). Returns phi in (-pi, pi].
+struct DihedralGeometry {
+  double phi = 0.0;
+  Vec3 dphi_da, dphi_db, dphi_dc, dphi_dd;
+};
+
+DihedralGeometry dihedral_geometry(const Vec3& ra, const Vec3& rb, const Vec3& rc,
+                                   const Vec3& rd) {
+  const Vec3 b1 = rb - ra;
+  const Vec3 b2 = rc - rb;
+  const Vec3 b3 = rd - rc;
+  const Vec3 m = cross(b1, b2);
+  const Vec3 n = cross(b2, b3);
+  const double nb2 = norm(b2);
+
+  DihedralGeometry g;
+  g.phi = std::atan2(dot(cross(m, n), b2) / nb2, dot(m, n));
+
+  const double m2 = std::max(norm2(m), 1e-12);
+  const double n2 = std::max(norm2(n), 1e-12);
+  const Vec3 da = m * (-nb2 / m2);
+  const Vec3 dd = n * (nb2 / n2);
+  const double s12 = dot(b1, b2) / (nb2 * nb2);
+  const double s32 = dot(b3, b2) / (nb2 * nb2);
+  g.dphi_da = da;
+  g.dphi_dd = dd;
+  g.dphi_db = da * (-1.0 - s12) + dd * s32;
+  g.dphi_dc = da * s12 - dd * (1.0 + s32);
+  return g;
+}
+
+/// Applies -g_phi * dphi/dr to the four force accumulators.
+void apply_dihedral_force(const DihedralGeometry& g, double de_dphi, Vec3& fa,
+                          Vec3& fb, Vec3& fc, Vec3& fd) {
+  fa += g.dphi_da * (-de_dphi);
+  fb += g.dphi_db * (-de_dphi);
+  fc += g.dphi_dc * (-de_dphi);
+  fd += g.dphi_dd * (-de_dphi);
+}
+
+/// Wraps an angle difference into (-pi, pi].
+double wrap_angle(double a) {
+  while (a > M_PI) a -= 2.0 * M_PI;
+  while (a <= -M_PI) a += 2.0 * M_PI;
+  return a;
+}
+
+}  // namespace
+
+double dihedral_energy_force(const Vec3& ra, const Vec3& rb, const Vec3& rc,
+                             const Vec3& rd, const DihedralParam& p, Vec3& fa,
+                             Vec3& fb, Vec3& fc, Vec3& fd) {
+  const DihedralGeometry g = dihedral_geometry(ra, rb, rc, rd);
+  const double arg = p.n * g.phi - p.delta;
+  const double e = p.k * (1.0 + std::cos(arg));
+  const double de_dphi = -p.k * p.n * std::sin(arg);
+  apply_dihedral_force(g, de_dphi, fa, fb, fc, fd);
+  return e;
+}
+
+double improper_energy_force(const Vec3& ra, const Vec3& rb, const Vec3& rc,
+                             const Vec3& rd, const ImproperParam& p, Vec3& fa,
+                             Vec3& fb, Vec3& fc, Vec3& fd) {
+  const DihedralGeometry g = dihedral_geometry(ra, rb, rc, rd);
+  const double diff = wrap_angle(g.phi - p.psi0);
+  const double e = p.k * diff * diff;
+  const double de_dphi = 2.0 * p.k * diff;
+  apply_dihedral_force(g, de_dphi, fa, fb, fc, fd);
+  return e;
+}
+
+EnergyTerms evaluate_bonds(const ParameterTable& params, std::span<const Bond> terms,
+                           std::span<const Vec3> pos, std::span<Vec3> f,
+                           WorkCounters& work) {
+  EnergyTerms e;
+  for (const auto& t : terms) {
+    e.bond += bond_energy_force(pos[t.a], pos[t.b], params.bond(t.param), f[t.a],
+                                f[t.b]);
+  }
+  work.bonded_terms += terms.size();
+  return e;
+}
+
+EnergyTerms evaluate_angles(const ParameterTable& params, std::span<const Angle> terms,
+                            std::span<const Vec3> pos, std::span<Vec3> f,
+                            WorkCounters& work) {
+  EnergyTerms e;
+  for (const auto& t : terms) {
+    e.angle += angle_energy_force(pos[t.a], pos[t.b], pos[t.c],
+                                  params.angle(t.param), f[t.a], f[t.b], f[t.c]);
+  }
+  work.bonded_terms += terms.size();
+  return e;
+}
+
+EnergyTerms evaluate_dihedrals(const ParameterTable& params,
+                               std::span<const Dihedral> terms,
+                               std::span<const Vec3> pos, std::span<Vec3> f,
+                               WorkCounters& work) {
+  EnergyTerms e;
+  for (const auto& t : terms) {
+    e.dihedral += dihedral_energy_force(pos[t.a], pos[t.b], pos[t.c], pos[t.d],
+                                        params.dihedral(t.param), f[t.a], f[t.b],
+                                        f[t.c], f[t.d]);
+  }
+  work.bonded_terms += terms.size();
+  return e;
+}
+
+EnergyTerms evaluate_impropers(const ParameterTable& params,
+                               std::span<const Improper> terms,
+                               std::span<const Vec3> pos, std::span<Vec3> f,
+                               WorkCounters& work) {
+  EnergyTerms e;
+  for (const auto& t : terms) {
+    e.improper += improper_energy_force(pos[t.a], pos[t.b], pos[t.c], pos[t.d],
+                                        params.improper(t.param), f[t.a], f[t.b],
+                                        f[t.c], f[t.d]);
+  }
+  work.bonded_terms += terms.size();
+  return e;
+}
+
+}  // namespace scalemd

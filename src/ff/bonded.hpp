@@ -1,0 +1,55 @@
+#pragma once
+
+#include <span>
+
+#include "ff/nonbonded.hpp"
+#include "topo/molecule.hpp"
+#include "util/vec3.hpp"
+
+namespace scalemd {
+
+/// Single-term kernels. Each returns the term's potential energy and
+/// *accumulates* forces on the participating atoms. Positions and forces are
+/// passed by explicit reference so the kernels are usable both from the
+/// sequential engine (global arrays) and from patch-local compute objects.
+
+/// Harmonic bond E = k (r - r0)^2.
+double bond_energy_force(const Vec3& ra, const Vec3& rb, const BondParam& p, Vec3& fa,
+                         Vec3& fb);
+
+/// Harmonic angle E = k (theta - theta0)^2 over a-b-c.
+double angle_energy_force(const Vec3& ra, const Vec3& rb, const Vec3& rc,
+                          const AngleParam& p, Vec3& fa, Vec3& fb, Vec3& fc);
+
+/// Cosine dihedral E = k (1 + cos(n phi - delta)) over a-b-c-d.
+double dihedral_energy_force(const Vec3& ra, const Vec3& rb, const Vec3& rc,
+                             const Vec3& rd, const DihedralParam& p, Vec3& fa,
+                             Vec3& fb, Vec3& fc, Vec3& fd);
+
+/// Harmonic improper E = k (psi - psi0)^2 where psi is the a-b-c-d dihedral
+/// angle.
+double improper_energy_force(const Vec3& ra, const Vec3& rb, const Vec3& rc,
+                             const Vec3& rd, const ImproperParam& p, Vec3& fa,
+                             Vec3& fb, Vec3& fc, Vec3& fd);
+
+/// Batch evaluation over term lists with positions/forces indexed by global
+/// atom id. Used by the sequential engine and by bonded compute objects
+/// (which pass the molecule's term subsets they own). Forces are accumulated;
+/// energies are summed into the returned EnergyTerms; each term evaluated
+/// increments work.bonded_terms.
+EnergyTerms evaluate_bonds(const ParameterTable& params, std::span<const Bond> terms,
+                           std::span<const Vec3> pos, std::span<Vec3> f,
+                           WorkCounters& work);
+EnergyTerms evaluate_angles(const ParameterTable& params, std::span<const Angle> terms,
+                            std::span<const Vec3> pos, std::span<Vec3> f,
+                            WorkCounters& work);
+EnergyTerms evaluate_dihedrals(const ParameterTable& params,
+                               std::span<const Dihedral> terms,
+                               std::span<const Vec3> pos, std::span<Vec3> f,
+                               WorkCounters& work);
+EnergyTerms evaluate_impropers(const ParameterTable& params,
+                               std::span<const Improper> terms,
+                               std::span<const Vec3> pos, std::span<Vec3> f,
+                               WorkCounters& work);
+
+}  // namespace scalemd

@@ -1,0 +1,38 @@
+#include "ff/switching.hpp"
+
+#include <cassert>
+
+namespace scalemd {
+
+SwitchFunction::SwitchFunction(double switch_dist, double cutoff)
+    : rs_(switch_dist),
+      rc_(cutoff),
+      rs2_(switch_dist * switch_dist),
+      rc2_(cutoff * cutoff) {
+  assert(switch_dist > 0.0 && switch_dist < cutoff);
+  const double d = rc2_ - rs2_;
+  inv_denom_ = 1.0 / (d * d * d);
+}
+
+double SwitchFunction::value(double r2) const {
+  if (r2 <= rs2_) return 1.0;
+  if (r2 >= rc2_) return 0.0;
+  const double a = rc2_ - r2;
+  return a * a * (rc2_ + 2.0 * r2 - 3.0 * rs2_) * inv_denom_;
+}
+
+double SwitchFunction::dvalue_dr2(double r2) const {
+  if (r2 <= rs2_ || r2 >= rc2_) return 0.0;
+  // d/dr2 [ (rc2-r2)^2 (rc2 + 2 r2 - 3 rs2) ]
+  //   = -2 (rc2-r2)(rc2 + 2 r2 - 3 rs2) + 2 (rc2-r2)^2
+  //   = 2 (rc2-r2) [ (rc2-r2) - (rc2 + 2 r2 - 3 rs2) ]
+  //   = 2 (rc2-r2) (3 rs2 - 3 r2) = 6 (rc2-r2)(rs2-r2)
+  const double a = rc2_ - r2;
+  return 6.0 * a * (rs2_ - r2) * inv_denom_;
+}
+
+ElecShift::ElecShift(double cutoff) : inv_rc2_(1.0 / (cutoff * cutoff)) {
+  assert(cutoff > 0.0);
+}
+
+}  // namespace scalemd

@@ -1,0 +1,53 @@
+#pragma once
+
+namespace scalemd {
+
+/// NAMD-style smooth switching applied to the Lennard-Jones potential so that
+/// energy and force both go to zero exactly at the cutoff. For
+/// switch_dist <= r <= cutoff:
+///   S(r) = (rc^2 - r^2)^2 (rc^2 + 2 r^2 - 3 rs^2) / (rc^2 - rs^2)^3
+/// with S = 1 below switch_dist and S = 0 beyond the cutoff. The derivative
+/// is continuous at both ends.
+class SwitchFunction {
+ public:
+  /// Requires 0 < switch_dist < cutoff.
+  SwitchFunction(double switch_dist, double cutoff);
+
+  double switch_dist() const { return rs_; }
+  double cutoff() const { return rc_; }
+
+  /// S as a function of squared distance (kernels already have r^2).
+  double value(double r2) const;
+
+  /// dS/d(r^2); with the chain rule dS/dr = 2 r * dvalue_dr2.
+  double dvalue_dr2(double r2) const;
+
+ private:
+  double rs_;
+  double rc_;
+  double rs2_;
+  double rc2_;
+  double inv_denom_;  ///< 1 / (rc^2 - rs^2)^3
+};
+
+/// Shifted electrostatics: E(r) = C q1 q2 / r * (1 - r^2/rc^2)^2, which is the
+/// standard cutoff-electrostatics shift NAMD uses; both E and dE/dr vanish at
+/// the cutoff. `shift_factor` returns the (1 - r^2/rc^2)^2 part and
+/// `dshift_factor_dr2` its derivative with respect to r^2.
+class ElecShift {
+ public:
+  explicit ElecShift(double cutoff);
+
+  double shift_factor(double r2) const {
+    const double t = 1.0 - r2 * inv_rc2_;
+    return t * t;
+  }
+  double dshift_factor_dr2(double r2) const {
+    return -2.0 * (1.0 - r2 * inv_rc2_) * inv_rc2_;
+  }
+
+ private:
+  double inv_rc2_;
+};
+
+}  // namespace scalemd

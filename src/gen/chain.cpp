@@ -1,0 +1,127 @@
+#include "gen/chain.hpp"
+
+#include <cmath>
+
+namespace scalemd {
+
+namespace {
+
+constexpr double kDeg = M_PI / 180.0;
+/// Exterior angle of the walk; consecutive bonds then meet at kChainAngleDeg.
+const double kBend = (180.0 - geom::kChainAngleDeg) * kDeg;
+
+/// Any unit vector perpendicular to d.
+Vec3 perpendicular(const Vec3& d) {
+  const Vec3 trial = std::fabs(d.x) < 0.9 ? Vec3{1, 0, 0} : Vec3{0, 1, 0};
+  return normalized(cross(d, trial));
+}
+
+bool inside(const Vec3& p, const Vec3& lo, const Vec3& hi, double margin) {
+  return p.x >= lo.x + margin && p.x < hi.x - margin && p.y >= lo.y + margin &&
+         p.y < hi.y - margin && p.z >= lo.z + margin && p.z < hi.z - margin;
+}
+
+}  // namespace
+
+int add_chain(Molecule& mol, const StdFF& ff, PlacementGrid& grid,
+              const ChainOptions& opt, Rng& rng) {
+  const Vec3 center = (opt.lo + opt.hi) * 0.5;
+  const int first = mol.atom_count();
+
+  // Find a clash-free starting point.
+  Vec3 pos = center;
+  for (int attempt = 0; attempt < 4096; ++attempt) {
+    const Vec3 p{rng.uniform(opt.lo.x + 2, opt.hi.x - 2),
+                 rng.uniform(opt.lo.y + 2, opt.hi.y - 2),
+                 rng.uniform(opt.lo.z + 2, opt.hi.z - 2)};
+    if (grid.is_free(p)) {
+      pos = p;
+      break;
+    }
+  }
+
+  Vec3 dir = rng.unit_vector();
+  int prev = -1;         // previous backbone atom index
+  int prev2 = -1, prev3 = -1;
+  double sign = 1.0;     // alternating backbone partial charge
+
+  for (int i = 0; i < opt.beads; ++i) {
+    // Heavy backbone bead; alternate C-like and N-like for charge variety.
+    const bool is_n = (i % 4 == 1);
+    const int cur = mol.add_atom(
+        {is_n ? 14.007 : 12.011, sign * opt.charge_mag, is_n ? ff.lj_n : ff.lj_c},
+        pos);
+    sign = -sign;
+
+    if (prev >= 0) mol.add_bond(prev, cur, ff.b_cc);
+    if (prev2 >= 0) mol.add_angle(prev2, prev, cur, ff.a_ccc);
+    if (prev3 >= 0) mol.add_dihedral(prev3, prev2, prev, cur, ff.d_cccc);
+
+    // Side bead with an improper keeping it near the local backbone frame.
+    // Placed before `pos` is registered in the grid: the bead necessarily
+    // sits within the clash radius of its own backbone atom.
+    if (opt.side_every > 0 && i % opt.side_every == 1 && prev >= 0) {
+      // Branch off at the backbone bend angle (like a next backbone step
+      // with its own azimuth): a perpendicular branch would sit exactly
+      // sqrt(2) bond lengths from `prev`, inside the clash radius.
+      const Vec3 axis = rotate(perpendicular(dir), dir, rng.uniform(0, 2 * M_PI));
+      const Vec3 side_dir = rotate(dir, axis, kBend);
+      const Vec3 side_pos = pos + side_dir * geom::kSideBond;
+      if (inside(side_pos, opt.lo, opt.hi, 0.5) && grid.is_free(side_pos)) {
+        const int s = mol.add_atom({12.011, 0.0, ff.lj_s}, side_pos);
+        grid.add(side_pos);
+        mol.add_bond(cur, s, ff.b_cs);
+        mol.add_angle(prev, cur, s, ff.a_ccc);
+        // Out-of-plane restraint for the branch relative to the backbone.
+        if (prev2 >= 0) mol.add_improper(s, prev2, prev, cur, ff.i_branch);
+      }
+    }
+    grid.add(pos);
+
+    // Advance the walk: bend `dir` by the fixed exterior angle around a
+    // random perpendicular axis; retry a few azimuths for self-avoidance.
+    Vec3 next_pos;
+    Vec3 next_dir = dir;
+    double best_clearance = -1.0;
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      const Vec3 axis = rotate(perpendicular(dir), dir, rng.uniform(0, 2 * M_PI));
+      const Vec3 cand_dir = rotate(dir, axis, kBend);
+      const Vec3 cand = pos + cand_dir * geom::kChainBond;
+      if (!inside(cand, opt.lo, opt.hi, 1.0)) continue;
+      const double clearance = grid.min_dist2(cand);
+      if (clearance > best_clearance) {
+        best_clearance = clearance;
+        next_dir = cand_dir;
+        next_pos = cand;
+      }
+      if (grid.is_free(cand)) break;  // clash-free step found
+    }
+    if (best_clearance < 1.0) {
+      // Walk hit a wall or a badly crowded pocket (sub-angstrom contacts
+      // blow up the potential): also probe center-seeking directions and
+      // keep the overall least-crowded step.
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        const Vec3 d = normalized(normalized(center - pos) * 2.0 + rng.unit_vector());
+        const Vec3 cand = pos + d * geom::kChainBond;
+        const double clearance = grid.min_dist2(cand);
+        if (clearance > best_clearance) {
+          best_clearance = clearance;
+          next_dir = d;
+          next_pos = cand;
+        }
+      }
+    }
+
+    prev3 = prev2;
+    prev2 = prev;
+    prev = cur;
+    pos = next_pos;
+    // Renormalize: repeated Rodrigues rotations accumulate ~1e-8 of norm
+    // drift over a few dozen steps, which would leak into bond lengths.
+    dir = normalized(next_dir);
+  }
+
+  return mol.atom_count() - first;
+}
+
+}  // namespace scalemd

@@ -1,0 +1,27 @@
+#pragma once
+
+#include "gen/placement.hpp"
+#include "gen/stdff.hpp"
+#include "topo/molecule.hpp"
+#include "util/random.hpp"
+
+namespace scalemd {
+
+/// Parameters for the protein-like bead-chain builder.
+struct ChainOptions {
+  int beads = 100;          ///< backbone bead count
+  int side_every = 3;       ///< attach a side bead to every k-th backbone bead
+  double charge_mag = 0.15; ///< alternating +/- backbone partial charge
+  Vec3 lo;                  ///< walk region lower corner (inclusive)
+  Vec3 hi;                  ///< walk region upper corner (exclusive)
+};
+
+/// Grows a self-avoiding backbone walk inside [lo, hi) with exact 1.53 A
+/// bonds and 111-degree bend angles whose torsion drifts randomly, attaching
+/// side beads with improper terms. Adds bonds, angles, dihedrals and
+/// impropers along the chain (the bonded topology the paper's bonded compute
+/// objects operate on). Returns the number of atoms added.
+int add_chain(Molecule& mol, const StdFF& ff, PlacementGrid& grid,
+              const ChainOptions& opt, Rng& rng);
+
+}  // namespace scalemd

@@ -1,0 +1,74 @@
+#include "gen/membrane.hpp"
+
+#include <cmath>
+
+namespace scalemd {
+
+namespace {
+
+constexpr double kDeg = M_PI / 180.0;
+
+}  // namespace
+
+int add_lipid(Molecule& mol, const StdFF& ff, PlacementGrid& grid,
+              const Vec3& head_pos, const Vec3& dir, const LipidOptions& opt,
+              Rng& rng) {
+  if (!grid.is_free(head_pos)) return 0;
+  const int first = mol.atom_count();
+
+  // Zwitterionic head: choline-like (+) then phosphate-like (-) bead.
+  const int h1 = mol.add_atom({86.0, 0.8, ff.lj_head}, head_pos);
+  grid.add(head_pos);
+  const Vec3 h2_pos = head_pos + dir * geom::kChainBond;
+  const int h2 = mol.add_atom({94.0, -0.8, ff.lj_head}, h2_pos);
+  mol.add_bond(h1, h2, ff.b_head);
+
+  // Zigzag tails: per-bond axial advance a and alternating lateral offset b
+  // reproduce exact bond lengths and the tail bend angle.
+  const double half = 0.5 * geom::kChainAngleDeg * kDeg;
+  const double axial = geom::kChainBond * std::sin(half);
+  const double lateral = geom::kChainBond * std::cos(half);
+
+  const Vec3 trial = std::fabs(dir.x) < 0.9 ? Vec3{1, 0, 0} : Vec3{0, 1, 0};
+  for (int t = 0; t < opt.tails; ++t) {
+    // Each tail gets its own zigzag plane and a small base offset.
+    const Vec3 u = normalized(cross(dir, rotate(trial, dir, rng.uniform(0, 2 * M_PI))));
+    const Vec3 base = h2_pos + u * (t == 0 ? 0.8 : -0.8);
+    int prev = h2, prev2 = h1, prev3 = -1;
+    for (int i = 0; i < opt.tail_len; ++i) {
+      const Vec3 p = base + dir * (axial * (i + 1)) + u * ((i % 2 == 0) ? lateral : 0.0);
+      const int cur = mol.add_atom({14.027, 0.0, ff.lj_c}, p);
+      mol.add_bond(prev, cur, ff.b_tail);
+      if (prev2 >= 0) mol.add_angle(prev2, prev, cur, ff.a_tail);
+      if (prev3 >= 0) mol.add_dihedral(prev3, prev2, prev, cur, ff.d_tail);
+      if (i % 3 == 0) grid.add(p);  // sparse occupancy marking along the tail
+      prev3 = prev2;
+      prev2 = prev;
+      prev = cur;
+    }
+  }
+  return mol.atom_count() - first;
+}
+
+int add_bilayer_disc(Molecule& mol, const StdFF& ff, PlacementGrid& grid,
+                     const Vec3& center, double radius, double spacing,
+                     double leaflet_offset, const LipidOptions& opt, Rng& rng) {
+  const int first = mol.atom_count();
+  for (double y = center.y - radius; y <= center.y + radius; y += spacing) {
+    for (double x = center.x - radius; x <= center.x + radius; x += spacing) {
+      const double dx = x - center.x;
+      const double dy = y - center.y;
+      if (dx * dx + dy * dy > radius * radius) continue;
+      const Vec3 jitter{rng.uniform(-0.4, 0.4), rng.uniform(-0.4, 0.4), 0.0};
+      // Upper leaflet: head up high, tail pointing down toward the midplane.
+      add_lipid(mol, ff, grid, Vec3{x, y, center.z + leaflet_offset} + jitter,
+                {0, 0, -1}, opt, rng);
+      // Lower leaflet.
+      add_lipid(mol, ff, grid, Vec3{x, y, center.z - leaflet_offset} + jitter,
+                {0, 0, 1}, opt, rng);
+    }
+  }
+  return mol.atom_count() - first;
+}
+
+}  // namespace scalemd

@@ -1,0 +1,32 @@
+#pragma once
+
+#include "gen/placement.hpp"
+#include "gen/stdff.hpp"
+#include "topo/molecule.hpp"
+#include "util/random.hpp"
+
+namespace scalemd {
+
+/// Parameters for the lipid-like molecule builder.
+struct LipidOptions {
+  int tail_len = 12;  ///< beads per tail
+  int tails = 2;      ///< tails per lipid
+};
+
+/// Adds one lipid: a zwitterionic two-bead head group at `head_pos` with
+/// `tails` zigzag bead tails extending along `dir` (a unit vector, typically
+/// +z or -z). Returns the number of atoms added, or 0 if the head position
+/// clashes.
+int add_lipid(Molecule& mol, const StdFF& ff, PlacementGrid& grid,
+              const Vec3& head_pos, const Vec3& dir, const LipidOptions& opt,
+              Rng& rng);
+
+/// Adds a bilayer disc of lipids centered at `center`: heads on two leaflet
+/// planes at center.z +/- leaflet_offset, tails pointing inward, arranged on
+/// a jittered hexagonal-ish lattice of the given `spacing` within `radius`
+/// of the disc axis. Returns the number of atoms added.
+int add_bilayer_disc(Molecule& mol, const StdFF& ff, PlacementGrid& grid,
+                     const Vec3& center, double radius, double spacing,
+                     double leaflet_offset, const LipidOptions& opt, Rng& rng);
+
+}  // namespace scalemd

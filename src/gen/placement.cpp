@@ -1,0 +1,73 @@
+#include "gen/placement.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace scalemd {
+
+PlacementGrid::PlacementGrid(const Vec3& box, double min_dist)
+    : box_(box), min_dist2_(min_dist * min_dist), inv_cell_(1.0 / min_dist) {
+  nx_ = std::max(1, static_cast<int>(box.x * inv_cell_));
+  ny_ = std::max(1, static_cast<int>(box.y * inv_cell_));
+  nz_ = std::max(1, static_cast<int>(box.z * inv_cell_));
+  cells_.resize(static_cast<std::size_t>(nx_) * ny_ * nz_);
+}
+
+int PlacementGrid::cell_index(const Vec3& p) const {
+  const int ix = std::clamp(static_cast<int>(p.x * inv_cell_), 0, nx_ - 1);
+  const int iy = std::clamp(static_cast<int>(p.y * inv_cell_), 0, ny_ - 1);
+  const int iz = std::clamp(static_cast<int>(p.z * inv_cell_), 0, nz_ - 1);
+  return (iz * ny_ + iy) * nx_ + ix;
+}
+
+double PlacementGrid::min_dist2(const Vec3& p) const {
+  const int ix = std::clamp(static_cast<int>(p.x * inv_cell_), 0, nx_ - 1);
+  const int iy = std::clamp(static_cast<int>(p.y * inv_cell_), 0, ny_ - 1);
+  const int iz = std::clamp(static_cast<int>(p.z * inv_cell_), 0, nz_ - 1);
+  double best = min_dist2_;
+  for (int dz = -1; dz <= 1; ++dz) {
+    const int z = iz + dz;
+    if (z < 0 || z >= nz_) continue;
+    for (int dy = -1; dy <= 1; ++dy) {
+      const int y = iy + dy;
+      if (y < 0 || y >= ny_) continue;
+      for (int dx = -1; dx <= 1; ++dx) {
+        const int x = ix + dx;
+        if (x < 0 || x >= nx_) continue;
+        const auto& cell = cells_[(static_cast<std::size_t>(z) * ny_ + y) * nx_ + x];
+        for (const Vec3& q : cell) best = std::min(best, norm2(p - q));
+      }
+    }
+  }
+  return best;
+}
+
+bool PlacementGrid::is_free(const Vec3& p) const {
+  const int ix = std::clamp(static_cast<int>(p.x * inv_cell_), 0, nx_ - 1);
+  const int iy = std::clamp(static_cast<int>(p.y * inv_cell_), 0, ny_ - 1);
+  const int iz = std::clamp(static_cast<int>(p.z * inv_cell_), 0, nz_ - 1);
+  for (int dz = -1; dz <= 1; ++dz) {
+    const int z = iz + dz;
+    if (z < 0 || z >= nz_) continue;
+    for (int dy = -1; dy <= 1; ++dy) {
+      const int y = iy + dy;
+      if (y < 0 || y >= ny_) continue;
+      for (int dx = -1; dx <= 1; ++dx) {
+        const int x = ix + dx;
+        if (x < 0 || x >= nx_) continue;
+        const auto& cell = cells_[(static_cast<std::size_t>(z) * ny_ + y) * nx_ + x];
+        for (const Vec3& q : cell) {
+          if (norm2(p - q) < min_dist2_) return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+void PlacementGrid::add(const Vec3& p) {
+  cells_[static_cast<std::size_t>(cell_index(p))].push_back(p);
+  ++count_;
+}
+
+}  // namespace scalemd

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "util/vec3.hpp"
+
+namespace scalemd {
+
+/// Spatial hash grid used by the generators to reject atom placements that
+/// would clash with already-placed atoms. Cell size equals the query radius
+/// so a clash test only inspects 27 cells.
+class PlacementGrid {
+ public:
+  /// `box` is the full system box; `min_dist` the clash radius in angstroms.
+  PlacementGrid(const Vec3& box, double min_dist);
+
+  /// True if no recorded point lies within min_dist of `p`.
+  bool is_free(const Vec3& p) const;
+
+  /// Squared distance from `p` to the nearest recorded point within the
+  /// surrounding 27 cells, or min_dist^2 if none is that close. Used by the
+  /// chain builder to pick the least-bad step when every candidate clashes.
+  double min_dist2(const Vec3& p) const;
+
+  /// Records `p` as occupied. `p` must be inside the box.
+  void add(const Vec3& p);
+
+  std::size_t size() const { return count_; }
+
+ private:
+  int cell_index(const Vec3& p) const;
+
+  Vec3 box_;
+  double min_dist2_;
+  double inv_cell_;
+  int nx_, ny_, nz_;
+  std::vector<std::vector<Vec3>> cells_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace scalemd

@@ -1,0 +1,176 @@
+#include "gen/presets.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "gen/chain.hpp"
+#include "gen/membrane.hpp"
+#include "gen/placement.hpp"
+#include "gen/stdff.hpp"
+#include "gen/water_box.hpp"
+
+namespace scalemd {
+
+namespace {
+
+/// Tops the system up to exactly `target` atoms: whole waters while three or
+/// more atoms remain, then charge-alternating ions for the remainder.
+void fill_to_target(Molecule& mol, const StdFF& ff, PlacementGrid& grid, int target,
+                    Rng& rng) {
+  const int lattice_waters = (target - mol.atom_count()) / 3;
+  fill_water(mol, ff, grid, {0, 0, 0}, mol.box, lattice_waters, rng);
+
+  // The lattice may fall short where protein/lipid fragments block sites;
+  // top up with random insertions.
+  int attempts = 0;
+  while (target - mol.atom_count() >= 3 && attempts < 2'000'000) {
+    ++attempts;
+    const Vec3 p = rng.point_in_box(mol.box);
+    if (p.x < 1.2 || p.y < 1.2 || p.z < 1.2 || p.x > mol.box.x - 1.2 ||
+        p.y > mol.box.y - 1.2 || p.z > mol.box.z - 1.2) {  // keep O-H inside
+
+      continue;
+    }
+    if (!grid.is_free(p)) continue;
+    add_water(mol, ff, grid, p, rng);
+  }
+
+  double charge = 1.0;
+  while (mol.atom_count() < target) {
+    if (add_ion(mol, ff, grid, charge, rng) < 0) {
+      throw std::runtime_error("preset: could not place ion to reach target count");
+    }
+    charge = -charge;
+  }
+  if (mol.atom_count() != target) {
+    throw std::runtime_error("preset: overshot target atom count");
+  }
+}
+
+/// Places `count` protein-like chains of `beads` beads each inside [lo, hi).
+void add_chains(Molecule& mol, const StdFF& ff, PlacementGrid& grid, int count,
+                int beads, const Vec3& lo, const Vec3& hi, Rng& rng) {
+  ChainOptions opt;
+  opt.beads = beads;
+  opt.lo = lo;
+  opt.hi = hi;
+  for (int i = 0; i < count; ++i) add_chain(mol, ff, grid, opt, rng);
+}
+
+}  // namespace
+
+Molecule apoa1_like(std::uint64_t seed) { return apoa1_like_scaled(1.0, seed); }
+
+Molecule apoa1_like_scaled(double factor, std::uint64_t seed) {
+  Molecule mol;
+  mol.name = factor == 1.0 ? "apoa1-like" : "apoa1-like-scaled";
+  mol.box = Vec3{108, 108, 78} * factor;
+  // 108 / 15.42 = 7.00..., 78 / 15.42 = 5.05...: a 7 x 7 x 5 = 245-patch
+  // grid at the paper's 12 A cutoff, matching the published decomposition.
+  mol.suggested_patch_size = 15.42;
+  const StdFF ff = StdFF::install(mol.params);
+  PlacementGrid grid(mol.box, 2.2);
+  Rng rng(seed);
+
+  const Vec3 c = mol.box * 0.5;
+  const double disc_r = 38.0 * factor;
+
+  // Lipid disc (the high-density-lipoprotein particle core).
+  add_bilayer_disc(mol, ff, grid, c, disc_r, 8.0, 17.0, LipidOptions{}, rng);
+
+  // Protein belt: chains confined to four boxes ringing the disc edge.
+  const double belt = 14.0 * factor;
+  const double beads_scale = factor * factor * factor;
+  const int belt_beads = std::max(20, static_cast<int>(700 * beads_scale));
+  add_chains(mol, ff, grid, 2, belt_beads,
+             {c.x - disc_r - belt, c.y - disc_r - belt, c.z - 12},
+             {c.x + disc_r + belt, c.y - disc_r + belt, c.z + 12}, rng);
+  add_chains(mol, ff, grid, 2, belt_beads,
+             {c.x - disc_r - belt, c.y + disc_r - belt, c.z - 12},
+             {c.x + disc_r + belt, c.y + disc_r + belt, c.z + 12}, rng);
+  add_chains(mol, ff, grid, 2, belt_beads,
+             {c.x - disc_r - belt, c.y - disc_r, c.z - 12},
+             {c.x - disc_r + belt, c.y + disc_r, c.z + 12}, rng);
+  add_chains(mol, ff, grid, 2, belt_beads,
+             {c.x + disc_r - belt, c.y - disc_r, c.z - 12},
+             {c.x + disc_r + belt, c.y + disc_r, c.z + 12}, rng);
+
+  const int target =
+      factor == 1.0
+          ? 92'224
+          : std::max(mol.atom_count() + 30,
+                     static_cast<int>(92'224 * factor * factor * factor));
+  fill_to_target(mol, ff, grid, target, rng);
+  mol.validate();
+  return mol;
+}
+
+Molecule bc1_like(std::uint64_t seed) {
+  Molecule mol;
+  mol.name = "bc1-like";
+  mol.box = {123.2, 105.6, 158.4};
+  // 17.6 A patches give 7 x 6 x 9 = 378 patches as published for BC1.
+  mol.suggested_patch_size = 17.6;
+  const StdFF ff = StdFF::install(mol.params);
+  PlacementGrid grid(mol.box, 2.2);
+  Rng rng(seed);
+
+  const Vec3 c = mol.box * 0.5;
+
+  // Membrane slab spanning most of the box cross-section.
+  add_bilayer_disc(mol, ff, grid, c, 50.0, 8.0, 17.0, LipidOptions{}, rng);
+
+  // Large trans-membrane protein complex: chains through and above/below the
+  // membrane midplane.
+  add_chains(mol, ff, grid, 4, 900, {c.x - 30, c.y - 30, c.z - 45},
+             {c.x + 30, c.y + 30, c.z + 45}, rng);
+  add_chains(mol, ff, grid, 3, 700, {c.x - 45, c.y - 45, c.z + 20},
+             {c.x + 45, c.y + 45, c.z + 70}, rng);
+  add_chains(mol, ff, grid, 3, 700, {c.x - 45, c.y - 45, c.z - 70},
+             {c.x + 45, c.y + 45, c.z - 20}, rng);
+
+  fill_to_target(mol, ff, grid, 206'617, rng);
+  mol.validate();
+  return mol;
+}
+
+Molecule br_like(std::uint64_t seed) {
+  Molecule mol;
+  mol.name = "br-like";
+  mol.box = {38, 50.5, 38};
+  // 12.6 A patches give 3 x 4 x 3 = 36 patches as published for bR.
+  mol.suggested_patch_size = 12.6;
+  const StdFF ff = StdFF::install(mol.params);
+  PlacementGrid grid(mol.box, 2.2);
+  Rng rng(seed);
+
+  // Protein-only system: seven trans-membrane-like helical chains worth of
+  // beads wandering the box.
+  add_chains(mol, ff, grid, 7, 420, {2, 2, 2},
+             {mol.box.x - 2, mol.box.y - 2, mol.box.z - 2}, rng);
+
+  // Top up with structural waters/ions to the exact published count.
+  fill_to_target(mol, ff, grid, 3'762, rng);
+  mol.validate();
+  return mol;
+}
+
+Molecule small_solvated_chain(int n_target, std::uint64_t seed) {
+  Molecule mol;
+  mol.name = "small-solvated-chain";
+  const double side = std::cbrt(static_cast<double>(n_target) / 0.1);
+  mol.box = {side, side, side};
+  const StdFF ff = StdFF::install(mol.params);
+  PlacementGrid grid(mol.box, 2.2);
+  Rng rng(seed);
+
+  const int beads = std::max(10, n_target / 10);
+  add_chains(mol, ff, grid, 1, beads, {2, 2, 2},
+             {mol.box.x - 2, mol.box.y - 2, mol.box.z - 2}, rng);
+  fill_to_target(mol, ff, grid, n_target, rng);
+  mol.validate();
+  return mol;
+}
+
+}  // namespace scalemd

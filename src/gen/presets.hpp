@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+
+#include "topo/molecule.hpp"
+
+namespace scalemd {
+
+/// Synthetic stand-ins for the paper's benchmark systems (see DESIGN.md,
+/// substitution 2). Each preset reproduces the published atom count exactly,
+/// the approximate density and spatial composition (protein / lipid / water),
+/// and — via Molecule::suggested_patch_size — the published patch grid at a
+/// 12 A cutoff.
+
+/// ApoA-I-class system: 92,224 atoms, lipid bilayer disc wrapped by
+/// protein-like belt chains, solvated in water; 7 x 7 x 5 = 245 patches.
+Molecule apoa1_like(std::uint64_t seed = 1);
+
+/// BC1-class system: 206,617 atoms, large membrane-protein assembly in
+/// water; 7 x 6 x 9 = 378 patches.
+Molecule bc1_like(std::uint64_t seed = 2);
+
+/// bR-class system: 3,762 atoms, protein-only (in vacuo, as was typical for
+/// small 1990s benchmarks); 3 x 4 x 3 = 36 patches.
+Molecule br_like(std::uint64_t seed = 3);
+
+/// A small, fast system for tests and the quickstart example: a solvated
+/// short chain, ~n_target atoms (default a few thousand).
+Molecule small_solvated_chain(int n_target = 3000, std::uint64_t seed = 7);
+
+/// Scaled-down ApoA-I-like system with the same composition recipe but a
+/// box shrunk by `factor` in each dimension. Used by tests and by benches
+/// honoring the SCALEMD_BENCH_SCALE environment variable.
+Molecule apoa1_like_scaled(double factor, std::uint64_t seed = 1);
+
+}  // namespace scalemd

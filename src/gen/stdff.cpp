@@ -1,0 +1,39 @@
+#include "gen/stdff.hpp"
+
+#include <cmath>
+
+namespace scalemd {
+
+StdFF StdFF::install(ParameterTable& pt) {
+  constexpr double kDeg = M_PI / 180.0;
+  StdFF ff;
+  // TIP3P-like water.
+  ff.lj_ow = pt.add_lj_type(0.1521, 1.7682);
+  ff.lj_hw = pt.add_lj_type(0.0460, 0.2245);
+  // Generic heavy beads.
+  ff.lj_c = pt.add_lj_type(0.1100, 2.0000);
+  ff.lj_n = pt.add_lj_type(0.2000, 1.8500);
+  ff.lj_s = pt.add_lj_type(0.0800, 2.1000);
+  ff.lj_head = pt.add_lj_type(0.2500, 2.2000);
+  ff.lj_ion = pt.add_lj_type(0.0469, 1.3638);
+
+  ff.b_oh = pt.add_bond_param(450.0, geom::kWaterOH);
+  ff.b_cc = pt.add_bond_param(222.5, geom::kChainBond);
+  ff.b_cs = pt.add_bond_param(222.5, geom::kSideBond);
+  ff.b_tail = pt.add_bond_param(222.5, geom::kChainBond);
+  ff.b_head = pt.add_bond_param(200.0, geom::kChainBond);
+
+  ff.a_hoh = pt.add_angle_param(55.0, geom::kWaterAngleDeg * kDeg);
+  ff.a_ccc = pt.add_angle_param(58.35, geom::kChainAngleDeg * kDeg);
+  ff.a_tail = pt.add_angle_param(58.35, geom::kChainAngleDeg * kDeg);
+
+  ff.d_cccc = pt.add_dihedral_param(0.2, 3, 0.0);
+  ff.d_tail = pt.add_dihedral_param(0.16, 3, 0.0);
+
+  ff.i_branch = pt.add_improper_param(1.0, 35.26 * kDeg);
+
+  pt.finalize();
+  return ff;
+}
+
+}  // namespace scalemd

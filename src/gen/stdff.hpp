@@ -1,0 +1,56 @@
+#pragma once
+
+#include "topo/parameters.hpp"
+
+namespace scalemd {
+
+/// The standard parameter set shared by all synthetic generators. Installing
+/// it into a ParameterTable returns the ids the builders reference, so that
+/// systems composed from several builders share one consistent table.
+/// Values are CHARMM-like (TIP3P water, aliphatic carbons) but simplified;
+/// see DESIGN.md section 3 on substitutions.
+struct StdFF {
+  // Lennard-Jones atom types.
+  int lj_ow = 0;   ///< water oxygen
+  int lj_hw = 0;   ///< water hydrogen
+  int lj_c = 0;    ///< aliphatic/backbone carbon bead
+  int lj_n = 0;    ///< nitrogen-like bead
+  int lj_s = 0;    ///< side-chain bead
+  int lj_head = 0; ///< lipid head-group bead
+  int lj_ion = 0;  ///< monovalent ion
+
+  // Bond parameters.
+  int b_oh = 0;    ///< water O-H
+  int b_cc = 0;    ///< chain backbone
+  int b_cs = 0;    ///< backbone-to-side-chain
+  int b_tail = 0;  ///< lipid tail
+  int b_head = 0;  ///< lipid head
+
+  // Angle parameters.
+  int a_hoh = 0;   ///< water H-O-H
+  int a_ccc = 0;   ///< chain backbone bend
+  int a_tail = 0;  ///< lipid tail bend
+
+  // Dihedral parameters.
+  int d_cccc = 0;  ///< chain backbone torsion
+  int d_tail = 0;  ///< lipid tail torsion
+
+  // Improper parameters.
+  int i_branch = 0;  ///< keeps side-chain branches near the backbone plane
+
+  /// Registers every type/parameter into `pt` and finalizes it.
+  static StdFF install(ParameterTable& pt);
+};
+
+namespace geom {
+// Placement geometry shared between builders and their parameters, so bond
+// r0 values match generated coordinates and the initial configuration is
+// near a potential-energy minimum.
+inline constexpr double kWaterOH = 0.9572;        ///< A
+inline constexpr double kWaterAngleDeg = 104.52;  ///< degrees
+inline constexpr double kChainBond = 1.53;        ///< A
+inline constexpr double kChainAngleDeg = 111.0;   ///< degrees
+inline constexpr double kSideBond = 1.53;         ///< A
+}  // namespace geom
+
+}  // namespace scalemd

@@ -1,0 +1,78 @@
+#include "gen/water_box.hpp"
+
+#include <cmath>
+
+namespace scalemd {
+
+int add_water(Molecule& mol, const StdFF& ff, PlacementGrid& grid, const Vec3& o_pos,
+              Rng& rng) {
+  constexpr double kDeg = M_PI / 180.0;
+  const double half = 0.5 * geom::kWaterAngleDeg * kDeg;
+
+  // Random orthonormal frame (u, v) for the H-O-H plane.
+  const Vec3 u = rng.unit_vector();
+  Vec3 v = cross(u, rng.unit_vector());
+  while (norm2(v) < 1e-6) v = cross(u, rng.unit_vector());
+  v = normalized(v);
+
+  const Vec3 h1 = o_pos + (u * std::cos(half) + v * std::sin(half)) * geom::kWaterOH;
+  const Vec3 h2 = o_pos + (u * std::cos(half) - v * std::sin(half)) * geom::kWaterOH;
+
+  const int o = mol.add_atom({15.9994, -0.834, ff.lj_ow}, o_pos);
+  const int ha = mol.add_atom({1.008, 0.417, ff.lj_hw}, h1);
+  const int hb = mol.add_atom({1.008, 0.417, ff.lj_hw}, h2);
+  mol.add_bond(o, ha, ff.b_oh);
+  mol.add_bond(o, hb, ff.b_oh);
+  mol.add_angle(ha, o, hb, ff.a_hoh);
+  grid.add(o_pos);
+  return o;
+}
+
+int fill_water(Molecule& mol, const StdFF& ff, PlacementGrid& grid, const Vec3& lo,
+               const Vec3& hi, int max_waters, Rng& rng) {
+  // 3.107 A lattice spacing reproduces 0.0334 molecules/A^3 (~1 g/cm^3).
+  constexpr double kSpacing = 3.107;
+  // Keep hydrogens (O-H bond ~1 A) inside the box even after jitter.
+  constexpr double kEdge = 1.4;
+  int added = 0;
+  for (double z = lo.z + kEdge; z + kEdge < hi.z && added < max_waters;
+       z += kSpacing) {
+    for (double y = lo.y + kEdge; y + kEdge < hi.y && added < max_waters;
+         y += kSpacing) {
+      for (double x = lo.x + kEdge; x + kEdge < hi.x && added < max_waters;
+           x += kSpacing) {
+        Vec3 p{x + rng.uniform(-0.3, 0.3), y + rng.uniform(-0.3, 0.3),
+               z + rng.uniform(-0.3, 0.3)};
+        if (!grid.is_free(p)) continue;
+        add_water(mol, ff, grid, p, rng);
+        ++added;
+      }
+    }
+  }
+  return added;
+}
+
+int add_ion(Molecule& mol, const StdFF& ff, PlacementGrid& grid, double charge,
+            Rng& rng) {
+  for (int attempt = 0; attempt < 4096; ++attempt) {
+    const Vec3 p = rng.point_in_box(mol.box);
+    if (!grid.is_free(p)) continue;
+    grid.add(p);
+    return mol.add_atom({22.99, charge, ff.lj_ion}, p);
+  }
+  return -1;
+}
+
+Molecule make_water_box(const Vec3& box, std::uint64_t seed) {
+  Molecule mol;
+  mol.name = "water-box";
+  mol.box = box;
+  const StdFF ff = StdFF::install(mol.params);
+  PlacementGrid grid(box, 2.4);
+  Rng rng(seed);
+  fill_water(mol, ff, grid, {0, 0, 0}, box, 1 << 30, rng);
+  mol.validate();
+  return mol;
+}
+
+}  // namespace scalemd

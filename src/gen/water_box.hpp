@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+
+#include "gen/placement.hpp"
+#include "gen/stdff.hpp"
+#include "topo/molecule.hpp"
+#include "util/random.hpp"
+
+namespace scalemd {
+
+/// Adds one TIP3P-like water (O + 2 H, bonds and angle) with the oxygen at
+/// `o_pos` and a random orientation drawn from `rng`. Records only the oxygen
+/// in `grid` (hydrogens sit well inside the clash radius). Returns the oxygen
+/// atom index.
+int add_water(Molecule& mol, const StdFF& ff, PlacementGrid& grid, const Vec3& o_pos,
+              Rng& rng);
+
+/// Fills the axis-aligned region [lo, hi) with waters on a jittered cubic
+/// lattice (spacing ~3.1 A, matching liquid-water density), skipping sites
+/// whose oxygen would clash with `grid`. Stops after `max_waters` molecules.
+/// Returns the number of waters added.
+int fill_water(Molecule& mol, const StdFF& ff, PlacementGrid& grid, const Vec3& lo,
+               const Vec3& hi, int max_waters, Rng& rng);
+
+/// Adds a single monovalent ion (used by the presets to hit exact benchmark
+/// atom counts); `charge` should be +1 or -1. Returns the atom index, or -1
+/// if no clash-free position was found.
+int add_ion(Molecule& mol, const StdFF& ff, PlacementGrid& grid, double charge,
+            Rng& rng);
+
+/// Builds a standalone water-box system of the given box size, filled with
+/// water at liquid density. Velocities are zero; callers wanting dynamics
+/// should call assign_velocities.
+Molecule make_water_box(const Vec3& box, std::uint64_t seed);
+
+}  // namespace scalemd

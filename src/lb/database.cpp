@@ -1,0 +1,22 @@
+#include "lb/database.hpp"
+
+namespace scalemd {
+
+LoadDatabase::LoadDatabase(std::size_t num_objects, int num_pes)
+    : object_loads_(num_objects, 0.0),
+      background_(static_cast<std::size_t>(num_pes), 0.0) {}
+
+void LoadDatabase::on_task(const TaskRecord& r) {
+  if (r.object != 0 && r.object <= object_loads_.size()) {
+    object_loads_[static_cast<std::size_t>(r.object - 1)] += r.duration;
+  } else {
+    background_[static_cast<std::size_t>(r.pe)] += r.duration;
+  }
+}
+
+void LoadDatabase::reset() {
+  std::fill(object_loads_.begin(), object_loads_.end(), 0.0);
+  std::fill(background_.begin(), background_.end(), 0.0);
+}
+
+}  // namespace scalemd

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "des/trace_sink.hpp"
+
+namespace scalemd {
+
+/// The measurement half of the Charm++ load-balancing framework: a TraceSink
+/// that "automatically instruments all objects, collects their timing data
+/// at runtime (in a database)". Task records whose object field is nonzero
+/// accumulate into that object's load (convention: object = id + 1);
+/// everything else — integration, proxies, non-migratable computes, runtime
+/// work — is recorded as per-PE background load, exactly as the paper
+/// describes.
+class LoadDatabase final : public TraceSink {
+ public:
+  LoadDatabase(std::size_t num_objects, int num_pes);
+
+  void on_task(const TaskRecord& r) override;
+
+  /// Clears the measurement window.
+  void reset();
+
+  const std::vector<double>& object_loads() const { return object_loads_; }
+  const std::vector<double>& background() const { return background_; }
+
+  double object_load(std::uint32_t id) const { return object_loads_[id]; }
+
+ private:
+  std::vector<double> object_loads_;
+  std::vector<double> background_;
+};
+
+}  // namespace scalemd

@@ -1,0 +1,118 @@
+#include "lb/diffusion.hpp"
+
+#include "lb/naive.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace scalemd {
+
+namespace {
+
+/// Ring neighbors plus hypercube partners: a small, well-connected
+/// neighborhood so load can traverse the machine in O(log P) sweeps.
+std::vector<int> neighbors_of(int pe, int npes) {
+  std::vector<int> out;
+  if (npes <= 1) return out;
+  out.push_back((pe + 1) % npes);
+  out.push_back((pe + npes - 1) % npes);
+  for (int bit = 1; bit < npes; bit <<= 1) {
+    const int partner = pe ^ bit;
+    if (partner < npes && partner != pe) out.push_back(partner);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+LbAssignment diffusion_map(const LbProblem& p, int sweeps) {
+  const std::size_t npes = static_cast<std::size_t>(p.num_pes);
+  LbAssignment map = identity_map(p);
+  if (npes <= 1) return map;
+
+  std::vector<double> load = pe_loads(p, map);
+  // Objects on each PE, maintained across sweeps.
+  std::vector<std::vector<std::size_t>> objects(npes);
+  for (std::size_t i = 0; i < p.objects.size(); ++i) {
+    objects[static_cast<std::size_t>(map[i])].push_back(i);
+  }
+  // Patch presence for proxy-aware tie-breaking.
+  std::vector<std::vector<char>> present(p.patch_home.size(),
+                                         std::vector<char>(npes, 0));
+  for (std::size_t patch = 0; patch < p.patch_home.size(); ++patch) {
+    present[patch][static_cast<std::size_t>(p.patch_home[patch])] = 1;
+  }
+  for (std::size_t i = 0; i < p.objects.size(); ++i) {
+    const auto pe = static_cast<std::size_t>(map[i]);
+    if (p.objects[i].patch_a >= 0)
+      present[static_cast<std::size_t>(p.objects[i].patch_a)][pe] = 1;
+    if (p.objects[i].patch_b >= 0)
+      present[static_cast<std::size_t>(p.objects[i].patch_b)][pe] = 1;
+  }
+
+  std::vector<std::vector<int>> hood(npes);
+  for (std::size_t pe = 0; pe < npes; ++pe) {
+    hood[pe] = neighbors_of(static_cast<int>(pe), p.num_pes);
+  }
+
+  for (int sweep = 0; sweep < sweeps; ++sweep) {
+    bool moved = false;
+    for (std::size_t pe = 0; pe < npes; ++pe) {
+      // Push to the least-loaded neighbor while the gap is significant.
+      for (;;) {
+        int target = -1;
+        double target_load = load[pe];
+        for (int nb : hood[pe]) {
+          if (load[static_cast<std::size_t>(nb)] < target_load) {
+            target_load = load[static_cast<std::size_t>(nb)];
+            target = nb;
+          }
+        }
+        if (target < 0) break;
+        const double gap = load[pe] - target_load;
+        // Pick the best object to move: fits in half the gap (so the move
+        // helps), largest first, preferring patches already on the target.
+        std::size_t best = SIZE_MAX;
+        double best_key = -1.0;
+        for (std::size_t idx : objects[pe]) {
+          const double l = p.objects[idx].load;
+          if (l > 0.5 * gap || l <= 0.0) continue;
+          int here = 0;
+          if (p.objects[idx].patch_a >= 0)
+            here += present[static_cast<std::size_t>(p.objects[idx].patch_a)]
+                           [static_cast<std::size_t>(target)];
+          if (p.objects[idx].patch_b >= 0)
+            here += present[static_cast<std::size_t>(p.objects[idx].patch_b)]
+                           [static_cast<std::size_t>(target)];
+          const double key = l * (1.0 + here);
+          if (key > best_key) {
+            best_key = key;
+            best = idx;
+          }
+        }
+        if (best == SIZE_MAX) break;
+
+        // Move it.
+        auto& bag = objects[pe];
+        bag.erase(std::find(bag.begin(), bag.end(), best));
+        objects[static_cast<std::size_t>(target)].push_back(best);
+        map[best] = target;
+        load[pe] -= p.objects[best].load;
+        load[static_cast<std::size_t>(target)] += p.objects[best].load;
+        if (p.objects[best].patch_a >= 0)
+          present[static_cast<std::size_t>(p.objects[best].patch_a)]
+                 [static_cast<std::size_t>(target)] = 1;
+        if (p.objects[best].patch_b >= 0)
+          present[static_cast<std::size_t>(p.objects[best].patch_b)]
+                 [static_cast<std::size_t>(target)] = 1;
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+  return map;
+}
+
+}  // namespace scalemd

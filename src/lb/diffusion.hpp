@@ -1,0 +1,18 @@
+#pragma once
+
+#include "lb/problem.hpp"
+
+namespace scalemd {
+
+/// A *distributed* strategy in the paper's taxonomy (section 2.2: "a
+/// distributed strategy does not collect all information in one place;
+/// instead it may choose to communicate with neighboring processors, to
+/// exchange information and then to exchange objects"). This is a classic
+/// load-diffusion scheme over a ring+hypercube neighborhood, emulated
+/// centrally: in each sweep every overloaded PE pushes objects to its
+/// least-loaded neighbor until level, preferring objects whose patches are
+/// already present there. Converges to a local (not global) balance, which
+/// is the trade-off versus the centralized greedy.
+LbAssignment diffusion_map(const LbProblem& p, int sweeps = 16);
+
+}  // namespace scalemd

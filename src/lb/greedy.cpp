@@ -1,0 +1,104 @@
+#include "lb/greedy.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace scalemd {
+
+namespace {
+
+double average_load(const LbProblem& p) {
+  double total = std::accumulate(p.background.begin(), p.background.end(), 0.0);
+  for (const LbObject& o : p.objects) total += o.load;
+  return total / p.num_pes;
+}
+
+/// Objects sorted by decreasing load ("select the biggest compute object").
+std::vector<std::size_t> by_decreasing_load(const LbProblem& p) {
+  std::vector<std::size_t> order(p.objects.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return p.objects[a].load > p.objects[b].load;
+  });
+  return order;
+}
+
+}  // namespace
+
+LbAssignment greedy_comm_map(const LbProblem& p, double overload) {
+  const std::size_t npes = static_cast<std::size_t>(p.num_pes);
+  std::vector<double> load = p.background;
+  load.resize(npes, 0.0);
+  const double avg = average_load(p);
+  const double limit = overload * avg;
+
+  // present[patch][pe]: patch data already on pe (home patch or a proxy
+  // created by an earlier assignment in this pass).
+  std::vector<std::vector<char>> present(p.patch_home.size(),
+                                         std::vector<char>(npes, 0));
+  for (std::size_t patch = 0; patch < p.patch_home.size(); ++patch) {
+    present[patch][static_cast<std::size_t>(p.patch_home[patch])] = 1;
+  }
+
+  LbAssignment map(p.objects.size(), 0);
+  for (std::size_t idx : by_decreasing_load(p)) {
+    const LbObject& o = p.objects[idx];
+    // Does any processor accept this object under the overload limit? When
+    // none does (an object bigger than the average PE load, common when
+    // P >> objects-per-PE), communication awareness must yield to balance:
+    // fall back to least-loaded-first or the big objects pile up on the few
+    // home PEs.
+    bool any_fits = false;
+    for (std::size_t pe = 0; pe < npes && !any_fits; ++pe) {
+      any_fits = load[pe] + o.load <= limit;
+    }
+    int best_pe = -1;
+    int best_present = -1;
+    double best_load = 0.0;
+    for (std::size_t pe = 0; pe < npes; ++pe) {
+      if (any_fits && load[pe] + o.load > limit) continue;
+      int here = 0;
+      if (o.patch_a >= 0) here += present[static_cast<std::size_t>(o.patch_a)][pe];
+      if (o.patch_b >= 0) here += present[static_cast<std::size_t>(o.patch_b)][pe];
+      bool better;
+      if (any_fits) {
+        // More patches present (fewer new proxies) first, then lighter load.
+        better = here > best_present ||
+                 (here == best_present && load[pe] < best_load);
+      } else {
+        // Balance first, proxies as tie-break.
+        better = load[pe] < best_load ||
+                 (load[pe] == best_load && here > best_present);
+      }
+      if (best_pe < 0 || better) {
+        best_pe = static_cast<int>(pe);
+        best_present = here;
+        best_load = load[pe];
+      }
+    }
+    map[idx] = best_pe;
+    load[static_cast<std::size_t>(best_pe)] += o.load;
+    if (o.patch_a >= 0)
+      present[static_cast<std::size_t>(o.patch_a)][static_cast<std::size_t>(best_pe)] = 1;
+    if (o.patch_b >= 0)
+      present[static_cast<std::size_t>(o.patch_b)][static_cast<std::size_t>(best_pe)] = 1;
+  }
+  return map;
+}
+
+LbAssignment greedy_nocomm_map(const LbProblem& p) {
+  const std::size_t npes = static_cast<std::size_t>(p.num_pes);
+  std::vector<double> load = p.background;
+  load.resize(npes, 0.0);
+  LbAssignment map(p.objects.size(), 0);
+  for (std::size_t idx : by_decreasing_load(p)) {
+    const std::size_t pe = static_cast<std::size_t>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    map[idx] = static_cast<int>(pe);
+    load[pe] += p.objects[idx].load;
+  }
+  return map;
+}
+
+}  // namespace scalemd

@@ -1,0 +1,21 @@
+#pragma once
+
+#include "lb/problem.hpp"
+
+namespace scalemd {
+
+/// The paper's centralized greedy strategy (section 3.2): objects are
+/// assigned largest-first; for each, the destination must not be overloaded
+/// beyond `overload` times the average, should already hold as many of the
+/// object's patches as possible (home or previously created proxy), should
+/// create as few new proxies as possible, and among equals the least-loaded
+/// processor wins. Proxies created by earlier assignments are recorded so
+/// later objects can reuse them.
+LbAssignment greedy_comm_map(const LbProblem& p, double overload = 1.10);
+
+/// Ablation variant: same greedy order and overload rule but completely
+/// communication-blind — destination is simply the least-loaded processor.
+/// Used by bench_ablation_loadbalance to show why proxy-awareness matters.
+LbAssignment greedy_nocomm_map(const LbProblem& p);
+
+}  // namespace scalemd

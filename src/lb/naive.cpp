@@ -1,0 +1,22 @@
+#include "lb/naive.hpp"
+
+#include "util/random.hpp"
+
+namespace scalemd {
+
+LbAssignment random_map(const LbProblem& p, std::uint64_t seed) {
+  Rng rng(seed);
+  LbAssignment map(p.objects.size());
+  for (auto& pe : map) {
+    pe = static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(p.num_pes)));
+  }
+  return map;
+}
+
+LbAssignment identity_map(const LbProblem& p) {
+  LbAssignment map(p.objects.size());
+  for (std::size_t i = 0; i < p.objects.size(); ++i) map[i] = p.objects[i].current_pe;
+  return map;
+}
+
+}  // namespace scalemd

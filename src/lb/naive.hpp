@@ -1,0 +1,17 @@
+#pragma once
+
+#include <cstdint>
+
+#include "lb/problem.hpp"
+
+namespace scalemd {
+
+/// Ablation strategy: uniform-random placement of every object. A floor for
+/// what any real strategy must beat.
+LbAssignment random_map(const LbProblem& p, std::uint64_t seed = 1);
+
+/// Ablation strategy: keep every object where it is (the static initial
+/// placement). Models running with load balancing disabled.
+LbAssignment identity_map(const LbProblem& p);
+
+}  // namespace scalemd

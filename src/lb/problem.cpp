@@ -1,0 +1,30 @@
+#include "lb/problem.hpp"
+
+#include <set>
+
+namespace scalemd {
+
+std::vector<double> pe_loads(const LbProblem& p, const LbAssignment& map) {
+  std::vector<double> loads = p.background;
+  loads.resize(static_cast<std::size_t>(p.num_pes), 0.0);
+  for (std::size_t i = 0; i < p.objects.size(); ++i) {
+    loads[static_cast<std::size_t>(map[i])] += p.objects[i].load;
+  }
+  return loads;
+}
+
+int count_proxies(const LbProblem& p, const LbAssignment& map) {
+  std::set<std::pair<int, int>> proxies;  // (patch, pe)
+  auto need = [&](int patch, int pe) {
+    if (patch < 0) return;
+    if (p.patch_home[static_cast<std::size_t>(patch)] == pe) return;
+    proxies.insert({patch, pe});
+  };
+  for (std::size_t i = 0; i < p.objects.size(); ++i) {
+    need(p.objects[i].patch_a, map[i]);
+    need(p.objects[i].patch_b, map[i]);
+  }
+  return static_cast<int>(proxies.size());
+}
+
+}  // namespace scalemd

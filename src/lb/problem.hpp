@@ -1,0 +1,39 @@
+#pragma once
+
+#include <array>
+#include <vector>
+
+namespace scalemd {
+
+/// One migratable object as the load-balancing strategies see it: a measured
+/// load, its current processor and the (at most two) patches whose data it
+/// consumes. Non-migratable work appears in LbProblem::background instead.
+struct LbObject {
+  double load = 0.0;
+  int current_pe = 0;
+  int patch_a = -1;  ///< first patch dependency (-1 = none)
+  int patch_b = -1;  ///< second patch dependency (-1 = none)
+
+  int patch_count() const { return (patch_a >= 0 ? 1 : 0) + (patch_b >= 0 ? 1 : 0); }
+};
+
+/// Input to a load-balancing strategy (the "object communication graph" of
+/// the paper, reduced to the patch-dependency form NAMD's strategy uses).
+struct LbProblem {
+  int num_pes = 1;
+  std::vector<LbObject> objects;
+  std::vector<double> background;  ///< per-PE non-migratable load
+  std::vector<int> patch_home;     ///< patch id -> home PE
+};
+
+/// A strategy's output: the new processor of every object.
+using LbAssignment = std::vector<int>;
+
+/// Per-PE total load implied by an assignment (background + object loads).
+std::vector<double> pe_loads(const LbProblem& p, const LbAssignment& map);
+
+/// Number of (patch, pe) proxy pairs implied by an assignment: a patch needs
+/// a proxy on every non-home PE hosting an object that reads it.
+int count_proxies(const LbProblem& p, const LbAssignment& map);
+
+}  // namespace scalemd

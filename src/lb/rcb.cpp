@@ -1,0 +1,92 @@
+#include "lb/rcb.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace scalemd {
+
+namespace {
+
+struct Item {
+  Vec3 center;
+  double weight;
+  int id;
+};
+
+double axis_coord(const Vec3& v, int axis) {
+  return axis == 0 ? v.x : axis == 1 ? v.y : v.z;
+}
+
+void bisect(std::vector<Item>& items, std::size_t lo, std::size_t hi, int pe_lo,
+            int pe_count, std::vector<int>& out) {
+  if (pe_count == 1 || hi - lo <= 1) {
+    for (std::size_t i = lo; i < hi; ++i) out[static_cast<std::size_t>(items[i].id)] = pe_lo;
+    return;
+  }
+  // Longest axis of the item bounding box.
+  Vec3 min = items[lo].center;
+  Vec3 max = items[lo].center;
+  for (std::size_t i = lo; i < hi; ++i) {
+    const Vec3& c = items[i].center;
+    min = {std::min(min.x, c.x), std::min(min.y, c.y), std::min(min.z, c.z)};
+    max = {std::max(max.x, c.x), std::max(max.y, c.y), std::max(max.z, c.z)};
+  }
+  const Vec3 ext = max - min;
+  const int axis = ext.x >= ext.y && ext.x >= ext.z ? 0 : ext.y >= ext.z ? 1 : 2;
+
+  std::sort(items.begin() + static_cast<std::ptrdiff_t>(lo),
+            items.begin() + static_cast<std::ptrdiff_t>(hi),
+            [axis](const Item& a, const Item& b) {
+              return axis_coord(a.center, axis) < axis_coord(b.center, axis);
+            });
+
+  // Split weight in proportion to the processor split.
+  const int pe_left = pe_count / 2;
+  double total = 0.0;
+  for (std::size_t i = lo; i < hi; ++i) total += items[i].weight;
+  const double want_left = total * pe_left / pe_count;
+
+  double acc = 0.0;
+  std::size_t cut = lo + 1;  // both sides non-empty
+  for (std::size_t i = lo; i + 1 < hi; ++i) {
+    acc += items[i].weight;
+    if (acc >= want_left) {
+      cut = i + 1;
+      break;
+    }
+    cut = i + 2;
+  }
+  cut = std::min(cut, hi - 1);
+
+  bisect(items, lo, cut, pe_lo, pe_left, out);
+  bisect(items, cut, hi, pe_lo + pe_left, pe_count - pe_left, out);
+}
+
+}  // namespace
+
+std::vector<int> rcb_patch_map(std::span<const Vec3> centers,
+                               std::span<const double> weights, int num_pes) {
+  assert(centers.size() == weights.size());
+  const std::size_t n = centers.size();
+  std::vector<int> out(n, 0);
+  if (n == 0 || num_pes <= 1) return out;
+
+  if (static_cast<std::size_t>(num_pes) >= n) {
+    // Spread the patches evenly over the machine.
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = static_cast<int>(i * static_cast<std::size_t>(num_pes) / n);
+    }
+    return out;
+  }
+
+  std::vector<Item> items;
+  items.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    items.push_back({centers[i], weights[i], static_cast<int>(i)});
+  }
+  bisect(items, 0, n, 0, num_pes, out);
+  return out;
+}
+
+}  // namespace scalemd

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/vec3.hpp"
+
+namespace scalemd {
+
+/// Initial patch placement by recursive coordinate bisection: splits the
+/// processor range and the patch set (weighted by atom count) along the
+/// longest spatial axis so each processor receives a compact group of
+/// neighboring patches. "When there are more processors than patches, this
+/// method reduces to a simple round-robin distribution" (paper section 3.2):
+/// patch i goes to processor floor(i * P / n), leaving the rest idle until
+/// compute objects are balanced onto them.
+std::vector<int> rcb_patch_map(std::span<const Vec3> centers,
+                               std::span<const double> weights, int num_pes);
+
+}  // namespace scalemd

@@ -1,0 +1,102 @@
+#include "lb/refine.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <vector>
+
+namespace scalemd {
+
+LbAssignment refine_map(const LbProblem& p, LbAssignment start, double overload,
+                        int max_moves) {
+  const std::size_t npes = static_cast<std::size_t>(p.num_pes);
+  std::vector<double> load = pe_loads(p, start);
+  const double avg =
+      std::accumulate(load.begin(), load.end(), 0.0) / static_cast<double>(npes);
+  const double limit = overload * avg;
+
+  // Patch presence under the current assignment (homes + implied proxies).
+  std::vector<std::vector<char>> present(p.patch_home.size(),
+                                         std::vector<char>(npes, 0));
+  for (std::size_t patch = 0; patch < p.patch_home.size(); ++patch) {
+    present[patch][static_cast<std::size_t>(p.patch_home[patch])] = 1;
+  }
+  for (std::size_t i = 0; i < p.objects.size(); ++i) {
+    const LbObject& o = p.objects[i];
+    const auto pe = static_cast<std::size_t>(start[i]);
+    if (o.patch_a >= 0) present[static_cast<std::size_t>(o.patch_a)][pe] = 1;
+    if (o.patch_b >= 0) present[static_cast<std::size_t>(o.patch_b)][pe] = 1;
+  }
+
+  // Objects per PE, heaviest first, rebuilt lazily per overloaded PE visit.
+  auto objects_on = [&](int pe) {
+    std::vector<std::size_t> ids;
+    for (std::size_t i = 0; i < p.objects.size(); ++i) {
+      if (start[i] == pe) ids.push_back(i);
+    }
+    std::sort(ids.begin(), ids.end(), [&](std::size_t a, std::size_t b) {
+      return p.objects[a].load > p.objects[b].load;
+    });
+    return ids;
+  };
+
+  int moves = 0;
+  bool progress = true;
+  while (progress && moves < max_moves) {
+    progress = false;
+    // Most-overloaded PE first.
+    const std::size_t src = static_cast<std::size_t>(
+        std::max_element(load.begin(), load.end()) - load.begin());
+    if (load[src] <= limit) break;
+
+    for (std::size_t idx : objects_on(static_cast<int>(src))) {
+      const LbObject& o = p.objects[idx];
+      // Choose an underloaded destination: prefer patches-present, then
+      // least loaded. Moving must help (destination stays under the limit).
+      int best_pe = -1;
+      int best_present = -1;
+      double best_load = 0.0;
+      for (std::size_t pe = 0; pe < npes; ++pe) {
+        if (pe == src) continue;
+        // Accept a destination under the limit, or — when the object is too
+        // big for any PE to stay under it — any move that still shrinks the
+        // makespan contribution of this processor.
+        if (load[pe] + o.load > limit && load[pe] + o.load >= load[src] - 1e-12) {
+          continue;
+        }
+        int here = 0;
+        if (o.patch_a >= 0) here += present[static_cast<std::size_t>(o.patch_a)][pe];
+        if (o.patch_b >= 0) here += present[static_cast<std::size_t>(o.patch_b)][pe];
+        const bool better =
+            here > best_present || (here == best_present && load[pe] < best_load);
+        if (best_pe < 0 || better) {
+          best_pe = static_cast<int>(pe);
+          best_present = here;
+          best_load = load[pe];
+        }
+      }
+      if (best_pe < 0) continue;
+      start[idx] = best_pe;
+      load[src] -= o.load;
+      load[static_cast<std::size_t>(best_pe)] += o.load;
+      if (o.patch_a >= 0)
+        present[static_cast<std::size_t>(o.patch_a)][static_cast<std::size_t>(best_pe)] = 1;
+      if (o.patch_b >= 0)
+        present[static_cast<std::size_t>(o.patch_b)][static_cast<std::size_t>(best_pe)] = 1;
+      ++moves;
+      progress = true;
+      if (load[src] <= limit) break;
+    }
+  }
+  return start;
+}
+
+int migration_count(const LbAssignment& from, const LbAssignment& to) {
+  int count = 0;
+  for (std::size_t i = 0; i < from.size() && i < to.size(); ++i) {
+    count += from[i] != to[i];
+  }
+  return count;
+}
+
+}  // namespace scalemd

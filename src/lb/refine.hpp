@@ -1,0 +1,20 @@
+#pragma once
+
+#include "lb/problem.hpp"
+
+namespace scalemd {
+
+/// The paper's refinement pass: starting from `start`, repeatedly take
+/// objects off processors loaded above `overload` times the average and move
+/// them to underloaded processors, preferring destinations that already hold
+/// the object's patches (tolerating new proxies when needed). Used both
+/// immediately after the greedy pass (with a smaller threshold) and alone in
+/// later load-balancing cycles, exactly as section 3.2 describes.
+LbAssignment refine_map(const LbProblem& p, LbAssignment start,
+                        double overload = 1.03, int max_moves = 1 << 20);
+
+/// Number of positions where two assignments differ (object migrations a
+/// transition would require).
+int migration_count(const LbAssignment& from, const LbAssignment& to);
+
+}  // namespace scalemd

@@ -1,0 +1,19 @@
+#include "rts/multicast.hpp"
+
+namespace scalemd {
+
+void multicast(ExecContext& ctx, std::span<const int> dest_pes, std::size_t bytes,
+               bool optimized, const std::function<TaskMsg(int pe)>& make_task) {
+  const double pack = static_cast<double>(bytes) * ctx.machine().pack_byte_cost;
+  if (optimized && !dest_pes.empty()) {
+    ctx.charge_pack(pack);
+  }
+  for (int pe : dest_pes) {
+    if (!optimized) ctx.charge_pack(pack);
+    TaskMsg msg = make_task(pe);
+    msg.bytes = bytes;
+    ctx.send(pe, std::move(msg));
+  }
+}
+
+}  // namespace scalemd

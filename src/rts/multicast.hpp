@@ -1,0 +1,24 @@
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "des/simulator.hpp"
+
+namespace scalemd {
+
+/// Sends the same logical payload to every PE in `dest_pes` from within a
+/// running task. This is the operation optimized in paper section 4.2.3:
+///
+/// * naive (optimized = false): each destination pays a full message
+///   allocation + packing cost (bytes * pack_byte_cost) plus send overhead —
+///   the behavior that made integration consume "more than half of the time
+///   ... sending 20-30 identical messages";
+/// * optimized (optimized = true): one packing/allocation for the whole
+///   multicast, then only per-destination send overhead.
+///
+/// `make_task` builds the task message for each destination PE.
+void multicast(ExecContext& ctx, std::span<const int> dest_pes, std::size_t bytes,
+               bool optimized, const std::function<TaskMsg(int pe)>& make_task);
+
+}  // namespace scalemd

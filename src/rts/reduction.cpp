@@ -1,0 +1,69 @@
+#include "rts/reduction.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace scalemd {
+
+Reducer::Reducer(std::vector<int> pe_of_contributor, EntryId entry,
+                 std::function<void(int round, double total)> callback)
+    : entry_(entry), callback_(std::move(callback)) {
+  // Participating PEs in ascending order; rank in this list defines the
+  // binary reduction tree (parent(r) = (r-1)/2).
+  std::vector<int> pes = pe_of_contributor;
+  std::sort(pes.begin(), pes.end());
+  pes.erase(std::unique(pes.begin(), pes.end()), pes.end());
+  active_pes_ = pes;
+  for (std::size_t r = 0; r < pes.size(); ++r) pe_rank_[pes[r]] = static_cast<int>(r);
+
+  local_expected_.assign(active_pes_.size(), 0);
+  for (int pe : pe_of_contributor) ++local_expected_[static_cast<std::size_t>(pe_rank_[pe])];
+
+  // Subtree totals: local + children, computed bottom-up.
+  subtree_expected_ = local_expected_;
+  for (int r = static_cast<int>(active_pes_.size()) - 1; r >= 1; --r) {
+    subtree_expected_[static_cast<std::size_t>((r - 1) / 2)] +=
+        subtree_expected_[static_cast<std::size_t>(r)];
+  }
+  state_.resize(active_pes_.size());
+}
+
+int Reducer::rank_of_pe(int pe) const {
+  const auto it = pe_rank_.find(pe);
+  assert(it != pe_rank_.end());
+  return it->second;
+}
+
+void Reducer::contribute(ExecContext& ctx, int /*id*/, int round, double value) {
+  absorb(ctx, rank_of_pe(ctx.pe()), round, value, 1);
+}
+
+void Reducer::absorb(ExecContext& ctx, int rank, int round, double value,
+                     int count) {
+  NodeRound& nr = state_[static_cast<std::size_t>(rank)][round];
+  nr.received += count;
+  nr.sum += value;
+  if (nr.received < subtree_expected_[static_cast<std::size_t>(rank)]) return;
+
+  const double total = nr.sum;
+  const int forwarded = nr.received;
+  state_[static_cast<std::size_t>(rank)].erase(round);
+
+  if (rank == 0) {
+    if (callback_) callback_(round, total);
+    return;
+  }
+  const int parent_rank = (rank - 1) / 2;
+  const int parent_pe = active_pes_[static_cast<std::size_t>(parent_rank)];
+  TaskMsg msg;
+  msg.entry = entry_;
+  msg.bytes = 32;
+  msg.priority = -1;  // reductions are latency-critical
+  msg.fn = [this, parent_rank, round, total, forwarded](ExecContext& c) {
+    c.charge(1e-6);  // combine cost
+    absorb(c, parent_rank, round, total, forwarded);
+  };
+  ctx.send(parent_pe, std::move(msg));
+}
+
+}  // namespace scalemd

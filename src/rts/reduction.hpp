@@ -1,0 +1,53 @@
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "des/simulator.hpp"
+
+namespace scalemd {
+
+/// Repeated tree reduction of doubles across PEs, Charm++-style: every round
+/// (timestep), each contributor deposits a value from within a task; when a
+/// PE has all its local contributions for a round it sends its partial sum
+/// one hop up a binary tree over the participating PEs; the root invokes the
+/// round callback as a task. Models the per-step energy reduction NAMD
+/// performs, including its message costs and latency.
+class Reducer {
+ public:
+  /// `pe_of_contributor[i]` is the (fixed) PE contributor i reports from.
+  /// `entry` labels the internal reduction tasks for tracing; `callback` runs
+  /// at the tree root with (round, total).
+  Reducer(std::vector<int> pe_of_contributor, EntryId entry,
+          std::function<void(int round, double total)> callback);
+
+  /// Deposits contributor `id`'s value for `round`; must be called from a
+  /// task running on the contributor's PE.
+  void contribute(ExecContext& ctx, int id, int round, double value);
+
+  /// PE hosting the reduction root.
+  int root_pe() const { return active_pes_.empty() ? 0 : active_pes_[0]; }
+
+ private:
+  struct NodeRound {
+    int received = 0;
+    double sum = 0.0;
+  };
+
+  /// Handles a partial sum arriving at `rank` in the tree (local count or
+  /// child message); forwards up or completes.
+  void absorb(ExecContext& ctx, int rank, int round, double value, int count);
+
+  int rank_of_pe(int pe) const;
+
+  std::vector<int> active_pes_;            ///< participating PEs, tree order
+  std::unordered_map<int, int> pe_rank_;   ///< pe -> rank
+  std::vector<int> local_expected_;        ///< contributions expected per rank
+  std::vector<int> subtree_expected_;      ///< total expected in subtree
+  std::vector<std::unordered_map<int, NodeRound>> state_;  ///< per rank, per round
+  EntryId entry_;
+  std::function<void(int, double)> callback_;
+};
+
+}  // namespace scalemd

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace scalemd {
+
+/// Location directory for migratable objects (chares): maps object ids to
+/// the virtual processor currently hosting them. In real Charm++ location
+/// management is distributed with caching; here a single in-process
+/// directory is exact and free, while migration *costs* are modeled by the
+/// load balancer when it moves objects (see lb/ and core/parallel_sim).
+class ChareDirectory {
+ public:
+  using ObjId = std::uint32_t;
+
+  /// Registers a new object on `pe`; returns its id.
+  ObjId add(int pe) {
+    location_.push_back(pe);
+    return static_cast<ObjId>(location_.size()) - 1;
+  }
+
+  int pe_of(ObjId id) const { return location_[id]; }
+  void migrate(ObjId id, int new_pe) { location_[id] = new_pe; }
+  std::size_t count() const { return location_.size(); }
+
+  const std::vector<int>& locations() const { return location_; }
+
+ private:
+  std::vector<int> location_;
+};
+
+}  // namespace scalemd

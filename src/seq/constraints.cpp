@@ -1,0 +1,78 @@
+#include "seq/constraints.hpp"
+
+#include <cmath>
+
+namespace scalemd {
+
+BondConstraints::BondConstraints(const Molecule& mol)
+    : BondConstraints(mol, Options{}) {}
+
+BondConstraints::BondConstraints(const Molecule& mol, const Options& opts)
+    : tolerance_(opts.tolerance), max_iterations_(opts.max_iterations) {
+  for (const Bond& b : mol.bonds()) {
+    const double r0 = mol.params.bond(b.param).r0;
+    if (r0 > 0.0) bonds_.push_back({b.a, b.b, r0 * r0});
+  }
+}
+
+int BondConstraints::shake(std::span<const Vec3> ref, std::span<Vec3> pos,
+                           std::span<Vec3> vel, std::span<const double> inv_mass,
+                           double dt) const {
+  for (int iter = 0; iter < max_iterations_; ++iter) {
+    bool converged = true;
+    for (const Constraint& c : bonds_) {
+      const auto a = static_cast<std::size_t>(c.a);
+      const auto b = static_cast<std::size_t>(c.b);
+      const Vec3 r = pos[a] - pos[b];
+      const double diff = norm2(r) - c.d2;
+      if (std::fabs(diff) <= tolerance_ * c.d2) continue;
+      converged = false;
+      // Standard SHAKE update along the pre-drift bond vector.
+      const Vec3 s = ref[a] - ref[b];
+      const double denom = 2.0 * dot(s, r) * (inv_mass[a] + inv_mass[b]);
+      if (std::fabs(denom) < 1e-12) continue;  // pathological geometry
+      const double g = diff / denom;
+      pos[a] -= s * (g * inv_mass[a]);
+      pos[b] += s * (g * inv_mass[b]);
+      if (!vel.empty() && dt > 0.0) {
+        vel[a] -= s * (g * inv_mass[a] / dt);
+        vel[b] += s * (g * inv_mass[b] / dt);
+      }
+    }
+    if (converged) return iter;
+  }
+  return -1;
+}
+
+int BondConstraints::rattle(std::span<const Vec3> pos, std::span<Vec3> vel,
+                            std::span<const double> inv_mass) const {
+  for (int iter = 0; iter < max_iterations_; ++iter) {
+    bool converged = true;
+    for (const Constraint& c : bonds_) {
+      const auto a = static_cast<std::size_t>(c.a);
+      const auto b = static_cast<std::size_t>(c.b);
+      const Vec3 r = pos[a] - pos[b];
+      const Vec3 dv = vel[a] - vel[b];
+      const double rv = dot(r, dv);
+      if (std::fabs(rv) <= tolerance_ * c.d2) continue;
+      converged = false;
+      const double k = rv / (c.d2 * (inv_mass[a] + inv_mass[b]));
+      vel[a] -= r * (k * inv_mass[a]);
+      vel[b] += r * (k * inv_mass[b]);
+    }
+    if (converged) return iter;
+  }
+  return -1;
+}
+
+double BondConstraints::max_violation(std::span<const Vec3> pos) const {
+  double worst = 0.0;
+  for (const Constraint& c : bonds_) {
+    const double r2 = norm2(pos[static_cast<std::size_t>(c.a)] -
+                            pos[static_cast<std::size_t>(c.b)]);
+    worst = std::max(worst, std::fabs(r2 - c.d2) / c.d2);
+  }
+  return worst;
+}
+
+}  // namespace scalemd

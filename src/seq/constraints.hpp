@@ -1,0 +1,58 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "topo/molecule.hpp"
+
+namespace scalemd {
+
+/// SHAKE/RATTLE holonomic bond-length constraints (the "rigid bonds" option
+/// of production MD codes, which lets water use 2 fs timesteps). Constrains
+/// each listed bond to its force-field rest length.
+class BondConstraints {
+ public:
+  struct Options;
+
+  /// Constrains every bond of `mol` whose parameter rest length is positive.
+  /// The molecule is only read at construction (topology + rest lengths).
+  explicit BondConstraints(const Molecule& mol);
+  BondConstraints(const Molecule& mol, const Options& opts);
+
+  std::size_t constraint_count() const { return bonds_.size(); }
+
+  /// SHAKE: iteratively adjusts `pos` so every constrained bond has its rest
+  /// length, with displacements weighted by inverse masses, using `ref` as
+  /// the constraint-direction reference (the positions before the drift,
+  /// where constraints held). Also applies the corresponding velocity
+  /// correction (dr/dt) when `vel` is non-empty. Returns iterations used,
+  /// or -1 if it failed to converge.
+  int shake(std::span<const Vec3> ref, std::span<Vec3> pos, std::span<Vec3> vel,
+            std::span<const double> inv_mass, double dt) const;
+
+  /// RATTLE velocity stage: projects out the velocity component along each
+  /// constrained bond so d/dt |r_ab|^2 = 0. Returns iterations used, or -1.
+  int rattle(std::span<const Vec3> pos, std::span<Vec3> vel,
+             std::span<const double> inv_mass) const;
+
+  /// Largest relative constraint violation |r^2 - d^2| / d^2 over all
+  /// constrained bonds at the given positions.
+  double max_violation(std::span<const Vec3> pos) const;
+
+ private:
+  struct Constraint {
+    int a, b;
+    double d2;  ///< target squared length
+  };
+  std::vector<Constraint> bonds_;
+  double tolerance_;
+  int max_iterations_;
+};
+
+/// Convergence controls for BondConstraints.
+struct BondConstraints::Options {
+  double tolerance = 1e-10;  ///< relative squared-length tolerance
+  int max_iterations = 500;
+};
+
+}  // namespace scalemd

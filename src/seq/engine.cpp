@@ -1,0 +1,121 @@
+#include "seq/engine.hpp"
+
+#include <algorithm>
+
+namespace scalemd {
+
+SequentialEngine::SequentialEngine(const Molecule& mol, const EngineOptions& opts)
+    : mol_(mol),
+      opts_(opts),
+      excl_(ExclusionTable::build(mol)),
+      grid_(mol.box, std::max(opts.nonbonded.cutoff,
+                              mol.suggested_patch_size > 0.0 ? mol.suggested_patch_size
+                                                             : opts.nonbonded.cutoff)),
+      integrator_(opts.dt_fs),
+      forces_(static_cast<std::size_t>(mol.atom_count())) {
+  mol_.params.finalize();
+  charges_.reserve(forces_.size());
+  lj_types_.reserve(forces_.size());
+  masses_.reserve(forces_.size());
+  for (const auto& a : mol_.atoms()) {
+    charges_.push_back(a.charge);
+    lj_types_.push_back(a.lj_type);
+    masses_.push_back(a.mass);
+  }
+  compute_forces();
+}
+
+EnergyTerms SequentialEngine::evaluate_nonbonded(std::span<Vec3> out) {
+  EnergyTerms energy;
+  const NonbondedContext ctx(mol_.params, excl_, charges_, lj_types_,
+                             opts_.nonbonded);
+  const auto& pos = mol_.positions();
+
+  if (opts_.use_pairlist) {
+    if (pairlist_ == nullptr) {
+      pairlist_ = std::make_unique<VerletList>(mol_.box, opts_.nonbonded.cutoff,
+                                               opts_.pairlist_skin);
+    }
+    if (pairlist_->needs_rebuild(pos)) pairlist_->build(pos);
+    for (int i = 0; i < mol_.atom_count(); ++i) {
+      const auto si = static_cast<std::size_t>(i);
+      for (int j : pairlist_->neighbors(i)) {
+        const auto sj = static_cast<std::size_t>(j);
+        nonbonded_pair_eval(ctx, i, j, pos[si], pos[sj], out[si], out[sj], energy,
+                            work_);
+      }
+    }
+    return energy;
+  }
+
+  const CellList cells(grid_, pos);
+  const int nc = grid_.cell_count();
+
+  // Gather per-cell coordinate/force scratch (kernels operate on local
+  // arrays, exactly as patch-local computes do in the parallel core).
+  std::vector<std::vector<Vec3>> cpos(static_cast<std::size_t>(nc));
+  std::vector<std::vector<Vec3>> cfrc(static_cast<std::size_t>(nc));
+  for (int c = 0; c < nc; ++c) {
+    const auto atoms = cells.atoms_in(c);
+    auto& cp = cpos[static_cast<std::size_t>(c)];
+    cp.reserve(atoms.size());
+    for (int a : atoms) cp.push_back(pos[static_cast<std::size_t>(a)]);
+    cfrc[static_cast<std::size_t>(c)].assign(atoms.size(), Vec3{});
+  }
+
+  for (int c = 0; c < nc; ++c) {
+    energy += nonbonded_self(ctx, cells.atoms_in(c), cpos[static_cast<std::size_t>(c)],
+                             cfrc[static_cast<std::size_t>(c)], work_);
+  }
+  for (const auto& [a, b] : grid_.neighbor_pairs()) {
+    energy += nonbonded_ab(ctx, cells.atoms_in(a), cpos[static_cast<std::size_t>(a)],
+                           cfrc[static_cast<std::size_t>(a)], cells.atoms_in(b),
+                           cpos[static_cast<std::size_t>(b)],
+                           cfrc[static_cast<std::size_t>(b)], work_);
+  }
+
+  for (int c = 0; c < nc; ++c) {
+    const auto atoms = cells.atoms_in(c);
+    const auto& cf = cfrc[static_cast<std::size_t>(c)];
+    for (std::size_t i = 0; i < atoms.size(); ++i) {
+      out[static_cast<std::size_t>(atoms[i])] += cf[i];
+    }
+  }
+  return energy;
+}
+
+EnergyTerms SequentialEngine::evaluate_bonded(std::span<Vec3> out) {
+  EnergyTerms energy;
+  const auto& pos = mol_.positions();
+  energy += evaluate_bonds(mol_.params, mol_.bonds(), pos, out, work_);
+  energy += evaluate_angles(mol_.params, mol_.angles(), pos, out, work_);
+  energy += evaluate_dihedrals(mol_.params, mol_.dihedrals(), pos, out, work_);
+  energy += evaluate_impropers(mol_.params, mol_.impropers(), pos, out, work_);
+  return energy;
+}
+
+void SequentialEngine::compute_forces() {
+  energy_ = {};
+  work_ = {};
+  std::fill(forces_.begin(), forces_.end(), Vec3{});
+  energy_ += evaluate_nonbonded(forces_);
+  energy_ += evaluate_bonded(forces_);
+}
+
+void SequentialEngine::step() {
+  integrator_.half_kick(forces_, masses_, mol_.velocities());
+  integrator_.drift(mol_.velocities(), mol_.positions());
+  compute_forces();
+  work_.atoms_integrated += static_cast<std::uint64_t>(mol_.atom_count());
+  integrator_.half_kick(forces_, masses_, mol_.velocities());
+}
+
+void SequentialEngine::run(int n) {
+  for (int i = 0; i < n; ++i) step();
+}
+
+double SequentialEngine::kinetic() const {
+  return kinetic_energy(mol_.velocities(), masses_);
+}
+
+}  // namespace scalemd

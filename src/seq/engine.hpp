@@ -1,0 +1,93 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "ff/bonded.hpp"
+#include "ff/nonbonded.hpp"
+#include "seq/cell_list.hpp"
+#include "seq/integrator.hpp"
+#include "seq/pairlist.hpp"
+#include "topo/exclusions.hpp"
+#include "topo/molecule.hpp"
+
+namespace scalemd {
+
+/// Sequential engine configuration.
+struct EngineOptions {
+  NonbondedOptions nonbonded;
+  double dt_fs = 1.0;
+  /// Evaluate non-bonded forces through a skinned Verlet list (rebuilt
+  /// automatically when atoms move beyond skin/2) instead of fresh cell
+  /// sweeps every step. Identical forces, amortized neighbor search.
+  bool use_pairlist = false;
+  double pairlist_skin = 1.5;  ///< A
+};
+
+/// Reference single-threaded MD engine: cell-list non-bonded evaluation plus
+/// full bonded-term evaluation, integrated with velocity Verlet. Serves
+/// three roles in the reproduction: the correctness oracle for the parallel
+/// decomposition (forces must match), the "ideal time" source for the
+/// performance audit (Table 1), and the work-count calibrator for the DES
+/// machine models.
+class SequentialEngine {
+ public:
+  /// Copies the molecule's dynamic state; the engine evolves its own copy.
+  SequentialEngine(const Molecule& mol, const EngineOptions& opts);
+
+  /// Evaluates all forces and energies at the current positions. Called by
+  /// step(); exposed for force-comparison tests. Resets work counters first.
+  void compute_forces();
+
+  /// Split evaluation for multiple-timestepping integrators: accumulates
+  /// only the non-bonded (slow) or only the bonded (fast) forces into `out`
+  /// at the current positions, returning that component's energy and adding
+  /// to the engine's work counters.
+  EnergyTerms evaluate_nonbonded(std::span<Vec3> out);
+  EnergyTerms evaluate_bonded(std::span<Vec3> out);
+
+  /// Advances one velocity-Verlet step (assumes forces are current; the
+  /// constructor primes them).
+  void step();
+
+  /// Runs `n` steps.
+  void run(int n);
+
+  const Molecule& molecule() const { return mol_; }
+  std::span<const Vec3> positions() const { return mol_.positions(); }
+  /// Mutable coordinate access for the minimizer and external integrators;
+  /// callers must invoke compute_forces() after editing positions.
+  std::span<Vec3> mutable_positions() { return mol_.positions(); }
+  std::span<Vec3> mutable_velocities() { return mol_.velocities(); }
+  std::span<const double> masses() const { return masses_; }
+  std::span<const Vec3> velocities() const { return mol_.velocities(); }
+  std::span<const Vec3> forces() const { return forces_; }
+
+  /// Potential-energy components of the last force evaluation.
+  const EnergyTerms& potential() const { return energy_; }
+  double kinetic() const;
+  double total_energy() const { return potential().total() + kinetic(); }
+
+  /// Work performed by the last force evaluation (pairs, bonded terms).
+  const WorkCounters& work() const { return work_; }
+
+  const CellGrid& grid() const { return grid_; }
+  const ExclusionTable& exclusions() const { return excl_; }
+
+ private:
+  Molecule mol_;
+  EngineOptions opts_;
+  ExclusionTable excl_;
+  std::vector<double> charges_;
+  std::vector<int> lj_types_;
+  std::vector<double> masses_;
+  CellGrid grid_;
+  VelocityVerlet integrator_;
+  std::unique_ptr<VerletList> pairlist_;  // present when options request it
+  std::vector<Vec3> forces_;
+  EnergyTerms energy_;
+  WorkCounters work_;
+};
+
+}  // namespace scalemd

@@ -1,0 +1,41 @@
+#include "seq/integrator.hpp"
+
+#include <cassert>
+
+#include "util/units.hpp"
+
+namespace scalemd {
+
+VelocityVerlet::VelocityVerlet(double dt_fs)
+    : dt_fs_(dt_fs), dt_(dt_fs / units::kAkmaTimeFs) {}
+
+void VelocityVerlet::half_kick(std::span<const Vec3> f, std::span<const double> mass,
+                               std::span<Vec3> v) const {
+  assert(f.size() == v.size() && mass.size() == v.size());
+  const double h = 0.5 * dt_;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] += f[i] * (h / mass[i]);
+  }
+}
+
+void VelocityVerlet::drift(std::span<const Vec3> v, std::span<Vec3> x) const {
+  assert(v.size() == x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] += v[i] * dt_;
+  }
+}
+
+double kinetic_energy(std::span<const Vec3> v, std::span<const double> mass) {
+  double ke = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    ke += 0.5 * mass[i] * norm2(v[i]);
+  }
+  return ke;
+}
+
+double temperature(double kinetic, std::size_t dof) {
+  if (dof == 0) return 0.0;
+  return 2.0 * kinetic / (static_cast<double>(dof) * units::kBoltzmann);
+}
+
+}  // namespace scalemd

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <span>
+
+#include "util/vec3.hpp"
+
+namespace scalemd {
+
+/// Velocity-Verlet integrator pieces operating on flat arrays, shared by the
+/// sequential engine and the parallel patches (each patch integrates the
+/// atoms it owns — the paper's "integration is carried out only by the
+/// patches").
+class VelocityVerlet {
+ public:
+  /// `dt_fs` is the timestep in femtoseconds (the paper's simulations use
+  /// 1 fs); internally converted to AKMA time units.
+  explicit VelocityVerlet(double dt_fs);
+
+  double dt_fs() const { return dt_fs_; }
+
+  /// v += (f/m) * dt/2 for each atom.
+  void half_kick(std::span<const Vec3> f, std::span<const double> mass,
+                 std::span<Vec3> v) const;
+
+  /// x += v * dt for each atom.
+  void drift(std::span<const Vec3> v, std::span<Vec3> x) const;
+
+ private:
+  double dt_fs_;
+  double dt_;  ///< AKMA time units
+};
+
+/// Kinetic energy (kcal/mol) of the given atoms.
+double kinetic_energy(std::span<const Vec3> v, std::span<const double> mass);
+
+/// Instantaneous temperature in kelvin for `dof` degrees of freedom
+/// (typically 3N - 3 after momentum removal).
+double temperature(double kinetic, std::size_t dof);
+
+}  // namespace scalemd

@@ -1,0 +1,55 @@
+#include "seq/minimize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "seq/engine.hpp"
+
+namespace scalemd {
+
+MinimizeResult minimize(SequentialEngine& engine, int max_steps, double max_disp,
+                        double force_tol) {
+  MinimizeResult res;
+  res.initial_energy = engine.potential().total();
+  double energy = res.initial_energy;
+  double alpha = 1e-4;
+
+  const std::size_t n = engine.positions().size();
+  std::vector<Vec3> saved(n);
+
+  for (res.steps = 0; res.steps < max_steps; ++res.steps) {
+    const auto forces = engine.forces();
+    res.max_force = 0.0;
+    for (const Vec3& f : forces) res.max_force = std::max(res.max_force, norm(f));
+    if (res.max_force < force_tol) break;
+
+    auto pos = engine.mutable_positions();
+    std::copy(pos.begin(), pos.end(), saved.begin());
+    for (std::size_t i = 0; i < n; ++i) {
+      Vec3 step = forces[i] * alpha;
+      const double len = norm(step);
+      if (len > max_disp) step *= max_disp / len;
+      pos[i] += step;
+    }
+    engine.compute_forces();
+    const double new_energy = engine.potential().total();
+    if (new_energy < energy) {
+      energy = new_energy;
+      alpha *= 1.2;
+    } else {
+      // Reject the step and shrink.
+      std::copy(saved.begin(), saved.end(), engine.mutable_positions().begin());
+      engine.compute_forces();
+      alpha *= 0.5;
+      if (alpha < 1e-12) break;
+    }
+  }
+  res.final_energy = engine.potential().total();
+  const auto forces = engine.forces();
+  res.max_force = 0.0;
+  for (const Vec3& f : forces) res.max_force = std::max(res.max_force, norm(f));
+  return res;
+}
+
+}  // namespace scalemd

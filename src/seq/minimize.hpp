@@ -1,0 +1,23 @@
+#pragma once
+
+namespace scalemd {
+
+class SequentialEngine;
+
+/// Result of a minimization run.
+struct MinimizeResult {
+  int steps = 0;            ///< steps actually taken
+  double initial_energy = 0.0;
+  double final_energy = 0.0;
+  double max_force = 0.0;   ///< largest per-atom force magnitude at the end
+};
+
+/// Adaptive steepest-descent energy minimization with per-atom displacement
+/// capping. Relaxes the synthetic initial configurations (which contain
+/// occasional clashes) before dynamics, in the same role as NAMD's
+/// `minimize` command. Stops early once the largest per-atom force drops
+/// below `force_tol` (kcal/mol/A).
+MinimizeResult minimize(SequentialEngine& engine, int max_steps,
+                        double max_disp = 0.2, double force_tol = 10.0);
+
+}  // namespace scalemd

@@ -1,0 +1,68 @@
+#include "seq/mts.hpp"
+
+#include <algorithm>
+
+namespace scalemd {
+
+MtsEngine::MtsEngine(const Molecule& mol, const MtsOptions& opts)
+    : opts_(opts),
+      engine_(mol, EngineOptions{opts.nonbonded, opts.dt_fast_fs}),
+      inner_(opts.dt_fast_fs),
+      slow_forces_(static_cast<std::size_t>(mol.atom_count())),
+      fast_forces_(static_cast<std::size_t>(mol.atom_count())) {
+  refresh_slow();
+  refresh_fast();
+}
+
+void MtsEngine::refresh_slow() {
+  std::fill(slow_forces_.begin(), slow_forces_.end(), Vec3{});
+  slow_energy_ = engine_.evaluate_nonbonded(slow_forces_);
+  ++slow_evals_;
+}
+
+void MtsEngine::refresh_fast() {
+  std::fill(fast_forces_.begin(), fast_forces_.end(), Vec3{});
+  fast_energy_ = engine_.evaluate_bonded(fast_forces_);
+}
+
+void MtsEngine::step() {
+  const auto masses = engine_.masses();
+  auto vel = engine_.mutable_velocities();
+
+  // Outer half-impulse of the slow (non-bonded) forces. The impulse spans
+  // slow_every inner steps, so each half-kick is scaled accordingly.
+  const double outer_scale = static_cast<double>(opts_.slow_every);
+  for (int k = 0; k < opts_.slow_every; ++k) {
+    if (k == 0) {
+      // v += F_slow * (n * dt/2) / m : apply through a scaled half kick.
+      std::vector<Vec3> scaled(slow_forces_.size());
+      for (std::size_t i = 0; i < scaled.size(); ++i) {
+        scaled[i] = slow_forces_[i] * outer_scale;
+      }
+      inner_.half_kick(scaled, masses, vel);
+    }
+    // Inner velocity Verlet with fast (bonded) forces only.
+    inner_.half_kick(fast_forces_, masses, vel);
+    inner_.drift(vel, engine_.mutable_positions());
+    refresh_fast();
+    inner_.half_kick(fast_forces_, masses, vel);
+    if (k == opts_.slow_every - 1) {
+      refresh_slow();
+      std::vector<Vec3> scaled(slow_forces_.size());
+      for (std::size_t i = 0; i < scaled.size(); ++i) {
+        scaled[i] = slow_forces_[i] * outer_scale;
+      }
+      inner_.half_kick(scaled, masses, vel);
+    }
+  }
+}
+
+void MtsEngine::run(int outer_steps) {
+  for (int i = 0; i < outer_steps; ++i) step();
+}
+
+double MtsEngine::kinetic() const {
+  return kinetic_energy(engine_.velocities(), engine_.masses());
+}
+
+}  // namespace scalemd

@@ -1,0 +1,60 @@
+#include "seq/pairlist.hpp"
+
+#include <algorithm>
+
+namespace scalemd {
+
+VerletList::VerletList(const Vec3& box, double cutoff, double skin)
+    : box_(box), cutoff_(cutoff), skin_(skin), grid_(box, cutoff + skin) {}
+
+void VerletList::build(std::span<const Vec3> pos) {
+  const double range2 = (cutoff_ + skin_) * (cutoff_ + skin_);
+  const CellList cells(grid_, pos);
+
+  std::vector<std::vector<int>> nbrs(pos.size());
+  auto scan = [&](std::span<const int> a, std::span<const int> b, bool self) {
+    for (std::size_t x = 0; x < a.size(); ++x) {
+      const int i = a[x];
+      for (std::size_t y = self ? x + 1 : 0; y < b.size(); ++y) {
+        const int j = b[y];
+        if (norm2(pos[static_cast<std::size_t>(i)] -
+                  pos[static_cast<std::size_t>(j)]) < range2) {
+          nbrs[static_cast<std::size_t>(std::min(i, j))].push_back(std::max(i, j));
+        }
+      }
+    }
+  };
+  for (int c = 0; c < grid_.cell_count(); ++c) {
+    scan(cells.atoms_in(c), cells.atoms_in(c), true);
+  }
+  for (const auto& [a, b] : grid_.neighbor_pairs()) {
+    scan(cells.atoms_in(a), cells.atoms_in(b), false);
+  }
+
+  offsets_.assign(pos.size() + 1, 0);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    total += nbrs[i].size();
+    offsets_[i + 1] = static_cast<std::uint32_t>(total);
+  }
+  pairs_.clear();
+  pairs_.reserve(total);
+  for (auto& n : nbrs) {
+    std::sort(n.begin(), n.end());
+    pairs_.insert(pairs_.end(), n.begin(), n.end());
+  }
+
+  ref_pos_.assign(pos.begin(), pos.end());
+  ++builds_;
+}
+
+bool VerletList::needs_rebuild(std::span<const Vec3> pos) const {
+  if (ref_pos_.size() != pos.size()) return true;
+  const double limit2 = 0.25 * skin_ * skin_;
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    if (norm2(pos[i] - ref_pos_[i]) > limit2) return true;
+  }
+  return false;
+}
+
+}  // namespace scalemd

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "seq/cell_list.hpp"
+#include "util/vec3.hpp"
+
+namespace scalemd {
+
+/// Verlet neighbor list with a skin: pairs within cutoff + skin are cached
+/// at build time and reused until any atom has moved more than skin/2 —
+/// the standard amortization NAMD relies on (and the reason our machine
+/// model charges rejected distance tests so little; see EXPERIMENTS.md).
+class VerletList {
+ public:
+  VerletList(const Vec3& box, double cutoff, double skin);
+
+  /// Rebuilds the list at the given positions.
+  void build(std::span<const Vec3> pos);
+
+  /// True if some atom has moved more than skin/2 since the last build (or
+  /// if no build has happened, or the atom count changed).
+  bool needs_rebuild(std::span<const Vec3> pos) const;
+
+  /// Cached neighbors j > i of atom i (within cutoff + skin at build time).
+  std::span<const int> neighbors(int i) const {
+    const auto lo = offsets_[static_cast<std::size_t>(i)];
+    const auto hi = offsets_[static_cast<std::size_t>(i) + 1];
+    return {pairs_.data() + lo, hi - lo};
+  }
+
+  std::size_t pair_count() const { return pairs_.size(); }
+  int builds() const { return builds_; }
+
+ private:
+  Vec3 box_;
+  double cutoff_;
+  double skin_;
+  CellGrid grid_;
+  std::vector<std::uint32_t> offsets_;
+  std::vector<int> pairs_;
+  std::vector<Vec3> ref_pos_;
+  int builds_ = 0;
+};
+
+}  // namespace scalemd

@@ -1,0 +1,31 @@
+#include "seq/thermostat.hpp"
+
+#include <cmath>
+
+#include "seq/integrator.hpp"
+
+namespace scalemd {
+
+Thermostat::Thermostat(Kind kind, double target_kelvin, double tau_fs)
+    : kind_(kind), target_(target_kelvin), tau_fs_(tau_fs) {}
+
+double Thermostat::apply(std::span<Vec3> velocities, std::span<const double> masses,
+                         double dt_fs, std::size_t dof) const {
+  const double ke = kinetic_energy(velocities, masses);
+  const double t = temperature(ke, dof);
+  if (t <= 0.0) return t;
+
+  double lambda = 1.0;
+  switch (kind_) {
+    case Kind::kRescale:
+      lambda = std::sqrt(target_ / t);
+      break;
+    case Kind::kBerendsen:
+      lambda = std::sqrt(1.0 + dt_fs / tau_fs_ * (target_ / t - 1.0));
+      break;
+  }
+  for (Vec3& v : velocities) v *= lambda;
+  return t;
+}
+
+}  // namespace scalemd

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <span>
+
+#include "util/vec3.hpp"
+
+namespace scalemd {
+
+/// Temperature-control schemes for equilibration runs. NVE production runs
+/// (everything the paper benchmarks) do not use one; the generators produce
+/// unequilibrated configurations, and a short thermostatted run settles them.
+class Thermostat {
+ public:
+  enum class Kind {
+    kRescale,    ///< hard rescale of velocities to the target temperature
+    kBerendsen,  ///< weak coupling with time constant tau
+  };
+
+  /// `tau_fs` only applies to kBerendsen.
+  Thermostat(Kind kind, double target_kelvin, double tau_fs = 100.0);
+
+  /// Adjusts velocities toward the target temperature. `dt_fs` is the step
+  /// just taken (Berendsen coupling strength); `dof` the degrees of freedom
+  /// (typically 3N - 3 after momentum removal). Returns the temperature
+  /// *before* the adjustment.
+  double apply(std::span<Vec3> velocities, std::span<const double> masses,
+               double dt_fs, std::size_t dof) const;
+
+  double target() const { return target_; }
+
+ private:
+  Kind kind_;
+  double target_;
+  double tau_fs_;
+};
+
+}  // namespace scalemd

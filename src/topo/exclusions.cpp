@@ -1,0 +1,101 @@
+#include "topo/exclusions.hpp"
+
+#include <algorithm>
+
+#include "topo/molecule.hpp"
+
+namespace scalemd {
+
+namespace {
+
+/// Builds a CSR structure from per-atom sorted partner lists.
+void to_csr(const std::vector<std::vector<int>>& rows,
+            std::vector<std::uint32_t>& off, std::vector<int>& data) {
+  off.resize(rows.size() + 1);
+  off[0] = 0;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    total += rows[i].size();
+    off[i + 1] = static_cast<std::uint32_t>(total);
+  }
+  data.reserve(total);
+  for (const auto& r : rows) data.insert(data.end(), r.begin(), r.end());
+}
+
+}  // namespace
+
+ExclusionTable ExclusionTable::build(const Molecule& mol) {
+  const int n = mol.atom_count();
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(n));
+  for (const auto& b : mol.bonds()) {
+    adj[static_cast<std::size_t>(b.a)].push_back(b.b);
+    adj[static_cast<std::size_t>(b.b)].push_back(b.a);
+  }
+
+  std::vector<std::vector<int>> full(static_cast<std::size_t>(n));
+  std::vector<std::vector<int>> mod(static_cast<std::size_t>(n));
+
+  // Depth-limited BFS from every atom. depth[] doubles as a visited marker,
+  // reset lazily via the touched list to keep the build O(atoms * degree^3).
+  std::vector<int> depth(static_cast<std::size_t>(n), -1);
+  std::vector<int> touched;
+  std::vector<int> frontier, next;
+  for (int src = 0; src < n; ++src) {
+    frontier.assign(1, src);
+    depth[static_cast<std::size_t>(src)] = 0;
+    touched.assign(1, src);
+    for (int d = 1; d <= 3; ++d) {
+      next.clear();
+      for (int u : frontier) {
+        for (int v : adj[static_cast<std::size_t>(u)]) {
+          if (depth[static_cast<std::size_t>(v)] >= 0) continue;
+          depth[static_cast<std::size_t>(v)] = d;
+          touched.push_back(v);
+          next.push_back(v);
+        }
+      }
+      frontier.swap(next);
+    }
+    for (int v : touched) {
+      const int d = depth[static_cast<std::size_t>(v)];
+      depth[static_cast<std::size_t>(v)] = -1;
+      if (v == src) continue;
+      if (d <= 2) {
+        full[static_cast<std::size_t>(src)].push_back(v);
+      } else {
+        mod[static_cast<std::size_t>(src)].push_back(v);
+      }
+    }
+  }
+
+  for (auto& r : full) std::sort(r.begin(), r.end());
+  for (auto& r : mod) std::sort(r.begin(), r.end());
+
+  ExclusionTable t;
+  to_csr(full, t.full_off_, t.full_);
+  to_csr(mod, t.mod_off_, t.mod_);
+  return t;
+}
+
+ExclusionKind ExclusionTable::check(int i, int j) const {
+  if (i == j) return ExclusionKind::kFull;
+  const auto f = excluded(i);
+  if (std::binary_search(f.begin(), f.end(), j)) return ExclusionKind::kFull;
+  const auto m = modified(i);
+  if (std::binary_search(m.begin(), m.end(), j)) return ExclusionKind::kModified14;
+  return ExclusionKind::kNone;
+}
+
+std::span<const int> ExclusionTable::excluded(int i) const {
+  const auto lo = full_off_[static_cast<std::size_t>(i)];
+  const auto hi = full_off_[static_cast<std::size_t>(i) + 1];
+  return {full_.data() + lo, hi - lo};
+}
+
+std::span<const int> ExclusionTable::modified(int i) const {
+  const auto lo = mod_off_[static_cast<std::size_t>(i)];
+  const auto hi = mod_off_[static_cast<std::size_t>(i) + 1];
+  return {mod_.data() + lo, hi - lo};
+}
+
+}  // namespace scalemd

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace scalemd {
+
+class Molecule;
+
+/// Non-bonded exclusion classification for an atom pair.
+enum class ExclusionKind : std::uint8_t {
+  kNone,        ///< fully interacting pair
+  kFull,        ///< excluded: connected by 1 or 2 bonds (1-2 / 1-3)
+  kModified14,  ///< scaled: connected by exactly 3 bonds (1-4)
+};
+
+/// Symmetric per-atom exclusion lists derived from the bond graph, stored in
+/// CSR layout for cache-friendly lookup inside the pairwise kernels. The
+/// paper notes excluded pairs "must be detected as a part of the normal
+/// pairwise force computation"; `check()` is that detection.
+class ExclusionTable {
+ public:
+  /// Builds the table by breadth-first search to depth 3 over `mol`'s bond
+  /// graph. Pairs reachable within 2 bonds are kFull; pairs reachable at
+  /// exactly 3 bonds (and not closer) are kModified14.
+  static ExclusionTable build(const Molecule& mol);
+
+  /// Classification of the (i, j) pair. i may equal j (returns kFull,
+  /// matching the convention that self-interaction is never computed).
+  ExclusionKind check(int i, int j) const;
+
+  /// Sorted fully-excluded partners of atom i.
+  std::span<const int> excluded(int i) const;
+  /// Sorted 1-4 partners of atom i.
+  std::span<const int> modified(int i) const;
+
+  int atom_count() const { return static_cast<int>(full_off_.size()) - 1; }
+
+  /// Total directed (i -> j) full-exclusion entries; each undirected pair
+  /// counts twice.
+  std::size_t full_entry_count() const { return full_.size(); }
+  std::size_t modified_entry_count() const { return mod_.size(); }
+
+ private:
+  std::vector<std::uint32_t> full_off_;
+  std::vector<int> full_;
+  std::vector<std::uint32_t> mod_off_;
+  std::vector<int> mod_;
+};
+
+}  // namespace scalemd

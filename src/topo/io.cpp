@@ -1,0 +1,216 @@
+#include "topo/io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace scalemd {
+
+namespace {
+
+constexpr const char* kMagic = "scalemd-molecule 1";
+
+void fail(const std::string& what) {
+  throw std::runtime_error("load_molecule: " + what);
+}
+
+std::size_t read_count(std::istream& is, const char* section) {
+  std::string key;
+  std::size_t n = 0;
+  if (!(is >> key >> n) || key != section) {
+    fail(std::string("expected section '") + section + "'");
+  }
+  return n;
+}
+
+/// Crude element guess from atomic mass, for XYZ viewers only.
+const char* element_for_mass(double mass) {
+  if (mass < 2.0) return "H";
+  if (mass < 13.5) return "C";
+  if (mass < 15.5) return "N";
+  if (mass < 17.5) return "O";
+  if (mass < 24.0) return "Na";
+  if (mass < 33.0) return "P";
+  return "C";
+}
+
+}  // namespace
+
+void save_molecule(const Molecule& mol, std::ostream& os) {
+  os << kMagic << '\n';
+  os << std::setprecision(17);
+  os << "name " << mol.name << '\n';
+  os << "box " << mol.box.x << ' ' << mol.box.y << ' ' << mol.box.z << '\n';
+  os << "patchsize " << mol.suggested_patch_size << '\n';
+  os << "scale14 " << mol.params.scale14 << '\n';
+
+  os << "ljtypes " << mol.params.lj_type_count() << '\n';
+  for (std::size_t i = 0; i < mol.params.lj_type_count(); ++i) {
+    const LJType& t = mol.params.lj_type(static_cast<int>(i));
+    os << t.epsilon << ' ' << t.rmin_half << '\n';
+  }
+  os << "bondparams " << mol.params.bond_param_count() << '\n';
+  for (std::size_t i = 0; i < mol.params.bond_param_count(); ++i) {
+    const BondParam& p = mol.params.bond(static_cast<int>(i));
+    os << p.k << ' ' << p.r0 << '\n';
+  }
+  os << "angleparams " << mol.params.angle_param_count() << '\n';
+  for (std::size_t i = 0; i < mol.params.angle_param_count(); ++i) {
+    const AngleParam& p = mol.params.angle(static_cast<int>(i));
+    os << p.k << ' ' << p.theta0 << '\n';
+  }
+  os << "dihedralparams " << mol.params.dihedral_param_count() << '\n';
+  for (std::size_t i = 0; i < mol.params.dihedral_param_count(); ++i) {
+    const DihedralParam& p = mol.params.dihedral(static_cast<int>(i));
+    os << p.k << ' ' << p.n << ' ' << p.delta << '\n';
+  }
+  os << "improperparams " << mol.params.improper_param_count() << '\n';
+  for (std::size_t i = 0; i < mol.params.improper_param_count(); ++i) {
+    const ImproperParam& p = mol.params.improper(static_cast<int>(i));
+    os << p.k << ' ' << p.psi0 << '\n';
+  }
+
+  os << "atoms " << mol.atom_count() << '\n';
+  for (int i = 0; i < mol.atom_count(); ++i) {
+    const Atom& a = mol.atoms()[static_cast<std::size_t>(i)];
+    const Vec3& x = mol.positions()[static_cast<std::size_t>(i)];
+    const Vec3& v = mol.velocities()[static_cast<std::size_t>(i)];
+    os << a.mass << ' ' << a.charge << ' ' << a.lj_type << ' ' << x.x << ' ' << x.y
+       << ' ' << x.z << ' ' << v.x << ' ' << v.y << ' ' << v.z << '\n';
+  }
+  os << "bonds " << mol.bonds().size() << '\n';
+  for (const Bond& t : mol.bonds()) {
+    os << t.a << ' ' << t.b << ' ' << t.param << '\n';
+  }
+  os << "angles " << mol.angles().size() << '\n';
+  for (const Angle& t : mol.angles()) {
+    os << t.a << ' ' << t.b << ' ' << t.c << ' ' << t.param << '\n';
+  }
+  os << "dihedrals " << mol.dihedrals().size() << '\n';
+  for (const Dihedral& t : mol.dihedrals()) {
+    os << t.a << ' ' << t.b << ' ' << t.c << ' ' << t.d << ' ' << t.param << '\n';
+  }
+  os << "impropers " << mol.impropers().size() << '\n';
+  for (const Improper& t : mol.impropers()) {
+    os << t.a << ' ' << t.b << ' ' << t.c << ' ' << t.d << ' ' << t.param << '\n';
+  }
+  os << "end\n";
+}
+
+void save_molecule(const Molecule& mol, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("save_molecule: cannot open " + path);
+  save_molecule(mol, os);
+}
+
+Molecule load_molecule(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != kMagic) fail("bad magic");
+
+  Molecule mol;
+  std::string key;
+  if (!(is >> key) || key != "name") fail("expected name");
+  std::getline(is, mol.name);
+  if (!mol.name.empty() && mol.name.front() == ' ') mol.name.erase(0, 1);
+  if (!(is >> key >> mol.box.x >> mol.box.y >> mol.box.z) || key != "box") {
+    fail("expected box");
+  }
+  if (!(is >> key >> mol.suggested_patch_size) || key != "patchsize") {
+    fail("expected patchsize");
+  }
+  if (!(is >> key >> mol.params.scale14) || key != "scale14") {
+    fail("expected scale14");
+  }
+
+  const std::size_t nlj = read_count(is, "ljtypes");
+  for (std::size_t i = 0; i < nlj; ++i) {
+    double eps = 0, rmin = 0;
+    if (!(is >> eps >> rmin)) fail("truncated ljtypes");
+    mol.params.add_lj_type(eps, rmin);
+  }
+  const std::size_t nbp = read_count(is, "bondparams");
+  for (std::size_t i = 0; i < nbp; ++i) {
+    double k = 0, r0 = 0;
+    if (!(is >> k >> r0)) fail("truncated bondparams");
+    mol.params.add_bond_param(k, r0);
+  }
+  const std::size_t nap = read_count(is, "angleparams");
+  for (std::size_t i = 0; i < nap; ++i) {
+    double k = 0, t0 = 0;
+    if (!(is >> k >> t0)) fail("truncated angleparams");
+    mol.params.add_angle_param(k, t0);
+  }
+  const std::size_t ndp = read_count(is, "dihedralparams");
+  for (std::size_t i = 0; i < ndp; ++i) {
+    double k = 0, delta = 0;
+    int n = 0;
+    if (!(is >> k >> n >> delta)) fail("truncated dihedralparams");
+    mol.params.add_dihedral_param(k, n, delta);
+  }
+  const std::size_t nip = read_count(is, "improperparams");
+  for (std::size_t i = 0; i < nip; ++i) {
+    double k = 0, psi0 = 0;
+    if (!(is >> k >> psi0)) fail("truncated improperparams");
+    mol.params.add_improper_param(k, psi0);
+  }
+  mol.params.finalize();
+
+  const std::size_t natoms = read_count(is, "atoms");
+  for (std::size_t i = 0; i < natoms; ++i) {
+    Atom a;
+    Vec3 x, v;
+    if (!(is >> a.mass >> a.charge >> a.lj_type >> x.x >> x.y >> x.z >> v.x >> v.y >>
+          v.z)) {
+      fail("truncated atoms");
+    }
+    const int idx = mol.add_atom(a, x);
+    mol.velocities()[static_cast<std::size_t>(idx)] = v;
+  }
+  const std::size_t nb = read_count(is, "bonds");
+  for (std::size_t i = 0; i < nb; ++i) {
+    int a = 0, b = 0, p = 0;
+    if (!(is >> a >> b >> p)) fail("truncated bonds");
+    mol.add_bond(a, b, p);
+  }
+  const std::size_t na = read_count(is, "angles");
+  for (std::size_t i = 0; i < na; ++i) {
+    int a = 0, b = 0, c = 0, p = 0;
+    if (!(is >> a >> b >> c >> p)) fail("truncated angles");
+    mol.add_angle(a, b, c, p);
+  }
+  const std::size_t nd = read_count(is, "dihedrals");
+  for (std::size_t i = 0; i < nd; ++i) {
+    int a = 0, b = 0, c = 0, d = 0, p = 0;
+    if (!(is >> a >> b >> c >> d >> p)) fail("truncated dihedrals");
+    mol.add_dihedral(a, b, c, d, p);
+  }
+  const std::size_t ni = read_count(is, "impropers");
+  for (std::size_t i = 0; i < ni; ++i) {
+    int a = 0, b = 0, c = 0, d = 0, p = 0;
+    if (!(is >> a >> b >> c >> d >> p)) fail("truncated impropers");
+    mol.add_improper(a, b, c, d, p);
+  }
+  if (!(is >> key) || key != "end") fail("missing end marker");
+
+  mol.validate();
+  return mol;
+}
+
+Molecule load_molecule(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("load_molecule: cannot open " + path);
+  return load_molecule(is);
+}
+
+void write_xyz(const Molecule& mol, std::ostream& os, const std::string& comment) {
+  os << mol.atom_count() << '\n' << comment << '\n';
+  os << std::setprecision(8);
+  for (int i = 0; i < mol.atom_count(); ++i) {
+    const Vec3& x = mol.positions()[static_cast<std::size_t>(i)];
+    os << element_for_mass(mol.atoms()[static_cast<std::size_t>(i)].mass) << ' '
+       << x.x << ' ' << x.y << ' ' << x.z << '\n';
+  }
+}
+
+}  // namespace scalemd

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "topo/molecule.hpp"
+
+namespace scalemd {
+
+/// Writes the complete system — force-field parameters, atoms with
+/// coordinates and velocities, and all bonded topology — in scalemd's
+/// line-oriented text format (version header "scalemd-molecule 1").
+void save_molecule(const Molecule& mol, std::ostream& os);
+void save_molecule(const Molecule& mol, const std::string& path);
+
+/// Reads a system written by save_molecule. Throws std::runtime_error on
+/// malformed input (bad magic, truncated sections, index errors are caught
+/// by the final validate()).
+Molecule load_molecule(std::istream& is);
+Molecule load_molecule(const std::string& path);
+
+/// Writes coordinates in XYZ format (element guessed from mass) for quick
+/// inspection in standard viewers.
+void write_xyz(const Molecule& mol, std::ostream& os,
+               const std::string& comment = "");
+
+}  // namespace scalemd

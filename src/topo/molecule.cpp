@@ -1,0 +1,148 @@
+#include "topo/molecule.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/random.hpp"
+#include "util/units.hpp"
+
+namespace scalemd {
+
+int Molecule::add_atom(const Atom& a, const Vec3& pos) {
+  atoms_.push_back(a);
+  positions_.push_back(pos);
+  velocities_.push_back({});
+  return static_cast<int>(atoms_.size()) - 1;
+}
+
+void Molecule::add_bond(int a, int b, int param) { bonds_.push_back({a, b, param}); }
+
+void Molecule::add_angle(int a, int b, int c, int param) {
+  angles_.push_back({a, b, c, param});
+}
+
+void Molecule::add_dihedral(int a, int b, int c, int d, int param) {
+  dihedrals_.push_back({a, b, c, d, param});
+}
+
+void Molecule::add_improper(int a, int b, int c, int d, int param) {
+  impropers_.push_back({a, b, c, d, param});
+}
+
+void Molecule::merge(const Molecule& other, const Vec3& offset) {
+  const int base = atom_count();
+  atoms_.insert(atoms_.end(), other.atoms_.begin(), other.atoms_.end());
+  for (std::size_t i = 0; i < other.positions_.size(); ++i) {
+    positions_.push_back(other.positions_[i] + offset);
+    velocities_.push_back(other.velocities_[i]);
+  }
+  for (Bond t : other.bonds_) {
+    t.a += base;
+    t.b += base;
+    bonds_.push_back(t);
+  }
+  for (Angle t : other.angles_) {
+    t.a += base;
+    t.b += base;
+    t.c += base;
+    angles_.push_back(t);
+  }
+  for (Dihedral t : other.dihedrals_) {
+    t.a += base;
+    t.b += base;
+    t.c += base;
+    t.d += base;
+    dihedrals_.push_back(t);
+  }
+  for (Improper t : other.impropers_) {
+    t.a += base;
+    t.b += base;
+    t.c += base;
+    t.d += base;
+    impropers_.push_back(t);
+  }
+}
+
+void Molecule::assign_velocities(double kelvin, std::uint64_t seed) {
+  Rng rng(seed);
+  Vec3 momentum;
+  for (std::size_t i = 0; i < atoms_.size(); ++i) {
+    // In AKMA units KE = (1/2) m v^2 directly; <v_x^2> = kB*T/m.
+    const double sigma = std::sqrt(units::kBoltzmann * kelvin / atoms_[i].mass);
+    velocities_[i] = {rng.normal(0.0, sigma), rng.normal(0.0, sigma),
+                      rng.normal(0.0, sigma)};
+    momentum += velocities_[i] * atoms_[i].mass;
+  }
+  if (atoms_.empty()) return;
+  const Vec3 drift = momentum / total_mass();
+  for (auto& v : velocities_) v -= drift;
+}
+
+namespace {
+
+void check_index(int idx, int n, const char* what) {
+  if (idx < 0 || idx >= n) {
+    std::ostringstream os;
+    os << "Molecule::validate: " << what << " index " << idx << " out of range [0,"
+       << n << ")";
+    throw std::runtime_error(os.str());
+  }
+}
+
+}  // namespace
+
+void Molecule::validate() const {
+  const int n = atom_count();
+  const int nb = static_cast<int>(params.bond_param_count());
+  const int na = static_cast<int>(params.angle_param_count());
+  const int nd = static_cast<int>(params.dihedral_param_count());
+  const int ni = static_cast<int>(params.improper_param_count());
+  const int nt = static_cast<int>(params.lj_type_count());
+  for (const auto& a : atoms_) {
+    check_index(a.lj_type, nt, "lj_type");
+    if (a.mass <= 0.0) throw std::runtime_error("Molecule::validate: mass <= 0");
+  }
+  for (const auto& t : bonds_) {
+    check_index(t.a, n, "bond atom");
+    check_index(t.b, n, "bond atom");
+    check_index(t.param, nb, "bond param");
+    if (t.a == t.b) throw std::runtime_error("Molecule::validate: self bond");
+  }
+  for (const auto& t : angles_) {
+    check_index(t.a, n, "angle atom");
+    check_index(t.b, n, "angle atom");
+    check_index(t.c, n, "angle atom");
+    check_index(t.param, na, "angle param");
+  }
+  for (const auto& t : dihedrals_) {
+    check_index(t.a, n, "dihedral atom");
+    check_index(t.b, n, "dihedral atom");
+    check_index(t.c, n, "dihedral atom");
+    check_index(t.d, n, "dihedral atom");
+    check_index(t.param, nd, "dihedral param");
+  }
+  for (const auto& t : impropers_) {
+    check_index(t.a, n, "improper atom");
+    check_index(t.b, n, "improper atom");
+    check_index(t.c, n, "improper atom");
+    check_index(t.d, n, "improper atom");
+    check_index(t.param, ni, "improper param");
+  }
+  for (const auto& p : positions_) {
+    if (p.x < 0 || p.y < 0 || p.z < 0 || p.x >= box.x || p.y >= box.y ||
+        p.z >= box.z) {
+      std::ostringstream os;
+      os << "Molecule::validate: atom outside box " << p << " box " << box;
+      throw std::runtime_error(os.str());
+    }
+  }
+}
+
+double Molecule::total_mass() const {
+  double m = 0.0;
+  for (const auto& a : atoms_) m += a.mass;
+  return m;
+}
+
+}  // namespace scalemd

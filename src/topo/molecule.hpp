@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topo/parameters.hpp"
+#include "util/vec3.hpp"
+
+namespace scalemd {
+
+/// Static per-atom properties. Positions/velocities live in parallel arrays
+/// on Molecule so the hot kernels can work on contiguous data.
+struct Atom {
+  double mass = 0.0;    ///< amu
+  double charge = 0.0;  ///< e
+  int lj_type = 0;      ///< index into ParameterTable LJ types
+};
+
+/// 2-body bonded term; `param` indexes ParameterTable::bond.
+struct Bond {
+  int a = 0, b = 0;
+  int param = 0;
+};
+
+/// 3-body angle term centered on atom b.
+struct Angle {
+  int a = 0, b = 0, c = 0;
+  int param = 0;
+};
+
+/// 4-body dihedral term over the chain a-b-c-d.
+struct Dihedral {
+  int a = 0, b = 0, c = 0, d = 0;
+  int param = 0;
+};
+
+/// 4-body improper term keeping a out of the b-c-d plane.
+struct Improper {
+  int a = 0, b = 0, c = 0, d = 0;
+  int param = 0;
+};
+
+/// A complete molecular system: atoms with coordinates and velocities,
+/// bonded topology, force-field parameters and the enclosing simulation box.
+/// The box is non-periodic (see DESIGN.md); generators place all atoms
+/// strictly inside it.
+class Molecule {
+ public:
+  /// Human-readable system name (e.g. "apoa1-like"), used in bench output.
+  std::string name = "unnamed";
+
+  /// Axis-aligned box extent in angstroms; atoms live in [0, box).
+  Vec3 box;
+
+  /// Minimum patch (cube) edge the spatial decomposition should use for this
+  /// system, in angstroms. Zero means "derive from the cutoff". The
+  /// benchmark presets set this to reproduce the paper's patch grids
+  /// (e.g. 7x7x5 = 245 patches for the ApoA-I-class system).
+  double suggested_patch_size = 0.0;
+
+  ParameterTable params;
+
+  /// Adds an atom at `pos` with zero velocity; returns its index.
+  int add_atom(const Atom& a, const Vec3& pos);
+
+  void add_bond(int a, int b, int param);
+  void add_angle(int a, int b, int c, int param);
+  void add_dihedral(int a, int b, int c, int d, int param);
+  void add_improper(int a, int b, int c, int d, int param);
+
+  int atom_count() const { return static_cast<int>(atoms_.size()); }
+
+  const std::vector<Atom>& atoms() const { return atoms_; }
+  const std::vector<Vec3>& positions() const { return positions_; }
+  std::vector<Vec3>& positions() { return positions_; }
+  const std::vector<Vec3>& velocities() const { return velocities_; }
+  std::vector<Vec3>& velocities() { return velocities_; }
+
+  const std::vector<Bond>& bonds() const { return bonds_; }
+  const std::vector<Angle>& angles() const { return angles_; }
+  const std::vector<Dihedral>& dihedrals() const { return dihedrals_; }
+  const std::vector<Improper>& impropers() const { return impropers_; }
+
+  /// Appends all atoms and bonded terms of `other`, translating its
+  /// coordinates by `offset`. The two systems must share the same
+  /// ParameterTable contents; the caller is responsible for constructing
+  /// both against identical parameter indices (the generators do this).
+  void merge(const Molecule& other, const Vec3& offset);
+
+  /// Assigns Maxwell-Boltzmann velocities at temperature `kelvin` using
+  /// `seed`; removes net momentum so the system does not drift.
+  void assign_velocities(double kelvin, std::uint64_t seed);
+
+  /// Verifies every bonded-term atom index and parameter index is in range
+  /// and every atom lies inside the box; throws std::runtime_error on the
+  /// first violation. Generators call this before returning a system.
+  void validate() const;
+
+  /// Total mass in amu.
+  double total_mass() const;
+
+ private:
+  std::vector<Atom> atoms_;
+  std::vector<Vec3> positions_;
+  std::vector<Vec3> velocities_;
+  std::vector<Bond> bonds_;
+  std::vector<Angle> angles_;
+  std::vector<Dihedral> dihedrals_;
+  std::vector<Improper> impropers_;
+};
+
+}  // namespace scalemd

@@ -1,0 +1,48 @@
+#include "topo/parameters.hpp"
+
+#include <cmath>
+
+namespace scalemd {
+
+int ParameterTable::add_lj_type(double epsilon, double rmin_half) {
+  lj_types_.push_back({epsilon, rmin_half});
+  finalized_ = false;
+  return static_cast<int>(lj_types_.size()) - 1;
+}
+
+int ParameterTable::add_bond_param(double k, double r0) {
+  bonds_.push_back({k, r0});
+  return static_cast<int>(bonds_.size()) - 1;
+}
+
+int ParameterTable::add_angle_param(double k, double theta0) {
+  angles_.push_back({k, theta0});
+  return static_cast<int>(angles_.size()) - 1;
+}
+
+int ParameterTable::add_dihedral_param(double k, int n, double delta) {
+  dihedrals_.push_back({k, n, delta});
+  return static_cast<int>(dihedrals_.size()) - 1;
+}
+
+int ParameterTable::add_improper_param(double k, double psi0) {
+  impropers_.push_back({k, psi0});
+  return static_cast<int>(impropers_.size()) - 1;
+}
+
+void ParameterTable::finalize() {
+  if (finalized_) return;
+  const std::size_t n = lj_types_.size();
+  lj_pairs_.assign(n * n, {});
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double eps = std::sqrt(lj_types_[i].epsilon * lj_types_[j].epsilon);
+      const double rmin = lj_types_[i].rmin_half + lj_types_[j].rmin_half;
+      const double r6 = std::pow(rmin, 6);
+      lj_pairs_[i * n + j] = {eps * r6 * r6, 2.0 * eps * r6};
+    }
+  }
+  finalized_ = true;
+}
+
+}  // namespace scalemd

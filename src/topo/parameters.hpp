@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace scalemd {
+
+/// Harmonic bond: E = k (r - r0)^2   (CHARMM convention, no 1/2).
+struct BondParam {
+  double k = 0.0;   ///< kcal/(mol A^2)
+  double r0 = 0.0;  ///< A
+};
+
+/// Harmonic angle: E = k (theta - theta0)^2.
+struct AngleParam {
+  double k = 0.0;       ///< kcal/(mol rad^2)
+  double theta0 = 0.0;  ///< rad
+};
+
+/// Cosine dihedral: E = k (1 + cos(n*phi - delta)).
+struct DihedralParam {
+  double k = 0.0;      ///< kcal/mol
+  int n = 1;           ///< multiplicity >= 1
+  double delta = 0.0;  ///< rad
+};
+
+/// Harmonic improper: E = k (psi - psi0)^2.
+struct ImproperParam {
+  double k = 0.0;     ///< kcal/(mol rad^2)
+  double psi0 = 0.0;  ///< rad
+};
+
+/// Per-atom-type Lennard-Jones well depth and half Rmin (CHARMM convention:
+/// the pair minimum is at rmin_half_i + rmin_half_j).
+struct LJType {
+  double epsilon = 0.0;    ///< kcal/mol (stored positive)
+  double rmin_half = 0.0;  ///< A
+};
+
+/// Pre-mixed Lennard-Jones pair coefficients in the A/B form:
+/// E = A/r^12 - B/r^6 with A = eps*rmin^12, B = 2*eps*rmin^6.
+struct LJPair {
+  double a = 0.0;
+  double b = 0.0;
+};
+
+/// Force-field parameter container. Types are added during system
+/// construction; `finalize()` builds the mixed Lennard-Jones pair table that
+/// the non-bonded kernels index by (type_i, type_j).
+class ParameterTable {
+ public:
+  int add_lj_type(double epsilon, double rmin_half);
+  int add_bond_param(double k, double r0);
+  int add_angle_param(double k, double theta0);
+  int add_dihedral_param(double k, int n, double delta);
+  int add_improper_param(double k, double psi0);
+
+  /// Builds the mixed LJ table (CHARMM combination: eps_ij =
+  /// sqrt(eps_i*eps_j), rmin_ij = rmin_half_i + rmin_half_j). Must be called
+  /// after all LJ types are added and before pair lookups. Idempotent.
+  void finalize();
+
+  std::size_t lj_type_count() const { return lj_types_.size(); }
+  const LJType& lj_type(int t) const { return lj_types_[static_cast<std::size_t>(t)]; }
+
+  /// Mixed pair coefficients; requires finalize().
+  const LJPair& lj_pair(int ti, int tj) const {
+    return lj_pairs_[static_cast<std::size_t>(ti) * lj_types_.size() +
+                     static_cast<std::size_t>(tj)];
+  }
+
+  const BondParam& bond(int i) const { return bonds_[static_cast<std::size_t>(i)]; }
+  const AngleParam& angle(int i) const { return angles_[static_cast<std::size_t>(i)]; }
+  const DihedralParam& dihedral(int i) const {
+    return dihedrals_[static_cast<std::size_t>(i)];
+  }
+  const ImproperParam& improper(int i) const {
+    return impropers_[static_cast<std::size_t>(i)];
+  }
+
+  std::size_t bond_param_count() const { return bonds_.size(); }
+  std::size_t angle_param_count() const { return angles_.size(); }
+  std::size_t dihedral_param_count() const { return dihedrals_.size(); }
+  std::size_t improper_param_count() const { return impropers_.size(); }
+
+  /// Scale applied to both electrostatic and LJ interactions between 1-4
+  /// (three bonds apart) pairs. AMBER-style simplification of CHARMM's
+  /// special 1-4 parameters; see DESIGN.md.
+  double scale14 = 0.5;
+
+ private:
+  std::vector<LJType> lj_types_;
+  std::vector<LJPair> lj_pairs_;
+  std::vector<BondParam> bonds_;
+  std::vector<AngleParam> angles_;
+  std::vector<DihedralParam> dihedrals_;
+  std::vector<ImproperParam> impropers_;
+  bool finalized_ = false;
+};
+
+}  // namespace scalemd

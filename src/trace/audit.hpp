@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+
+#include "trace/summary.hpp"
+
+namespace scalemd {
+
+/// One row of the paper's Table 1 performance audit. All values are
+/// per-step, per-processor milliseconds.
+struct AuditRow {
+  double total = 0.0;
+  double nonbonded = 0.0;
+  double bonds = 0.0;
+  double integration = 0.0;
+  double overhead = 0.0;   ///< parallel-only CPU work: packing, sends, runtime
+  double imbalance = 0.0;  ///< max PE load - average PE load
+  double idle = 0.0;       ///< time even the busiest PE waits on dependencies
+  double receives = 0.0;   ///< message receive overhead
+};
+
+/// The "Ideal" row: single-processor category times divided by P, assuming
+/// perfect scaling and zero parallel overhead (exactly how the paper
+/// computes it).
+AuditRow ideal_audit(double nonbonded_s, double bonds_s, double integration_s,
+                     int num_pes, int steps);
+
+/// The "Actual" row, from a measurement window of `profile` spanning
+/// `window_seconds` of virtual time over `steps` timesteps on `num_pes`
+/// processors. Decomposition: total = avg busy (split into work categories +
+/// overhead + receives) + imbalance + idle.
+AuditRow actual_audit(const SummaryProfile& profile, double window_seconds,
+                      int num_pes, int steps);
+
+/// Renders the two rows as a Table 1-style text table (milliseconds).
+std::string render_audit(const AuditRow& ideal, const AuditRow& actual);
+
+}  // namespace scalemd

@@ -1,0 +1,13 @@
+#include "trace/event_log.hpp"
+
+namespace scalemd {
+
+std::vector<TaskRecord> EventLog::tasks_of(EntryId entry, double t0, double t1) const {
+  std::vector<TaskRecord> out;
+  for (const TaskRecord& r : tasks_) {
+    if (r.entry == entry && r.start >= t0 && r.start < t1) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace scalemd

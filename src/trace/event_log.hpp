@@ -1,0 +1,36 @@
+#pragma once
+
+#include <vector>
+
+#include "des/trace_sink.hpp"
+#include "util/histogram.hpp"
+
+namespace scalemd {
+
+/// The paper's third instrumentation level (the Projections trace): every
+/// task execution and message delivery, kept in memory. Intended for short
+/// runs ("shorter runs with tens of timesteps are used when full traces are
+/// desired"). Source for the grain-size histograms (Figures 1-2) and the
+/// timeline views (Figures 3-4).
+class EventLog final : public TraceSink {
+ public:
+  void on_task(const TaskRecord& r) override { tasks_.push_back(r); }
+  void on_message(const MsgRecord& r) override { messages_.push_back(r); }
+
+  void clear() {
+    tasks_.clear();
+    messages_.clear();
+  }
+
+  const std::vector<TaskRecord>& tasks() const { return tasks_; }
+  const std::vector<MsgRecord>& messages() const { return messages_; }
+
+  /// Tasks of one entry within [t0, t1).
+  std::vector<TaskRecord> tasks_of(EntryId entry, double t0, double t1) const;
+
+ private:
+  std::vector<TaskRecord> tasks_;
+  std::vector<MsgRecord> messages_;
+};
+
+}  // namespace scalemd

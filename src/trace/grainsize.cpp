@@ -1,0 +1,34 @@
+#include "trace/grainsize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace scalemd {
+
+Histogram grainsize_histogram(const EventLog& log, const EntryRegistry& registry,
+                              WorkCategory category, int steps, double bin_ms,
+                              double max_ms) {
+  Histogram h(0.0, max_ms, static_cast<std::size_t>(std::ceil(max_ms / bin_ms)));
+  // Accumulate counts per bin, then scale to per-step averages. Because the
+  // Histogram stores integer counts we divide instance counts by `steps`
+  // when adding, rounding by accumulating each task with weight 1 and
+  // rebuilding. Simpler: build a raw histogram and divide at render time —
+  // instead we add every task and divide counts via a second pass below.
+  Histogram raw(0.0, max_ms, static_cast<std::size_t>(std::ceil(max_ms / bin_ms)));
+  for (const TaskRecord& r : log.tasks()) {
+    if (r.entry < registry.count() && registry.category(r.entry) == category) {
+      raw.add(r.duration * 1e3);
+    }
+  }
+  for (std::size_t b = 0; b < raw.bin_count(); ++b) {
+    const std::size_t per_step =
+        (raw.count(b) + static_cast<std::size_t>(steps) / 2) /
+        static_cast<std::size_t>(std::max(1, steps));
+    if (per_step > 0) {
+      h.add(raw.bin_lo(b) + 0.5 * raw.bin_width(), per_step);
+    }
+  }
+  return h;
+}
+
+}  // namespace scalemd

@@ -1,0 +1,19 @@
+#pragma once
+
+#include "des/simulator.hpp"
+#include "trace/event_log.hpp"
+#include "util/histogram.hpp"
+
+namespace scalemd {
+
+/// Builds the grain-size distribution of task durations (Figures 1 and 2):
+/// how many task instances of the given work category ran with each
+/// duration, averaged per timestep. Durations are binned in milliseconds.
+///
+/// `steps` divides the raw instance counts so the histogram reads "tasks per
+/// average timestep" exactly as the paper's figures do.
+Histogram grainsize_histogram(const EventLog& log, const EntryRegistry& registry,
+                              WorkCategory category, int steps,
+                              double bin_ms = 2.0, double max_ms = 60.0);
+
+}  // namespace scalemd

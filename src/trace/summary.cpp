@@ -1,0 +1,72 @@
+#include "trace/summary.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace scalemd {
+
+SummaryProfile::SummaryProfile(const EntryRegistry& registry, int num_pes)
+    : registry_(&registry), pe_busy_(static_cast<std::size_t>(num_pes), 0.0) {}
+
+void SummaryProfile::on_task(const TaskRecord& r) {
+  if (static_cast<std::size_t>(r.entry) >= entries_.size()) {
+    entries_.resize(static_cast<std::size_t>(r.entry) + 1);
+  }
+  EntryStats& e = entries_[static_cast<std::size_t>(r.entry)];
+  ++e.count;
+  e.total += r.duration;
+  e.max_duration = std::max(e.max_duration, r.duration);
+  pe_busy_[static_cast<std::size_t>(r.pe)] += r.duration;
+  recv_cost_ += r.recv_cost;
+  pack_cost_ += r.pack_cost;
+  send_cost_ += r.send_cost;
+}
+
+void SummaryProfile::on_message(const MsgRecord& r) {
+  ++messages_;
+  message_bytes_ += r.bytes;
+}
+
+void SummaryProfile::reset() {
+  entries_.clear();
+  std::fill(pe_busy_.begin(), pe_busy_.end(), 0.0);
+  recv_cost_ = 0.0;
+  pack_cost_ = 0.0;
+  send_cost_ = 0.0;
+  messages_ = 0;
+  message_bytes_ = 0;
+}
+
+double SummaryProfile::category_total(WorkCategory cat) const {
+  double sum = 0.0;
+  for (std::size_t id = 0; id < entries_.size(); ++id) {
+    if (static_cast<int>(id) < registry_->count() &&
+        registry_->category(static_cast<EntryId>(id)) == cat) {
+      sum += entries_[id].total;
+    }
+  }
+  return sum;
+}
+
+std::string SummaryProfile::render() const {
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].count > 0) order.push_back(i);
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return entries_[a].total > entries_[b].total;
+  });
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(6);
+  for (std::size_t i : order) {
+    const std::string& name = static_cast<int>(i) < registry_->count()
+                                  ? registry_->name(static_cast<EntryId>(i))
+                                  : "<unregistered>";
+    os << name << ": count " << entries_[i].count << ", total " << entries_[i].total
+       << " s, max " << entries_[i].max_duration << " s\n";
+  }
+  return os.str();
+}
+
+}  // namespace scalemd

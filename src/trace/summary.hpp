@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "des/simulator.hpp"
+#include "des/trace_sink.hpp"
+
+namespace scalemd {
+
+/// The paper's second instrumentation level: per-entry-method accumulated
+/// times plus per-PE busy time, with negligible overhead ("summary profiles
+/// are smaller, since there are typically only dozens ... of entry methods").
+/// Supports windowed measurement via reset() so the load balancer and the
+/// audit can look at a span of steps.
+class SummaryProfile final : public TraceSink {
+ public:
+  /// `registry` must outlive the profile; `num_pes` sizes per-PE arrays.
+  SummaryProfile(const EntryRegistry& registry, int num_pes);
+
+  void on_task(const TaskRecord& r) override;
+  void on_message(const MsgRecord& r) override;
+
+  /// Clears all accumulated data (start of a measurement window).
+  void reset();
+
+  struct EntryStats {
+    std::uint64_t count = 0;
+    double total = 0.0;
+    double max_duration = 0.0;
+  };
+
+  /// Stats for one entry; zeros if it never ran in this window.
+  EntryStats entry(EntryId id) const {
+    return static_cast<std::size_t>(id) < entries_.size()
+               ? entries_[static_cast<std::size_t>(id)]
+               : EntryStats{};
+  }
+
+  /// Sum of task time whose entry belongs to `cat`, across all PEs.
+  double category_total(WorkCategory cat) const;
+
+  /// Busy time of `pe` within the window.
+  double pe_busy(int pe) const { return pe_busy_[static_cast<std::size_t>(pe)]; }
+  std::vector<double> busy_times() const { return pe_busy_; }
+
+  double total_recv_cost() const { return recv_cost_; }
+  double total_pack_cost() const { return pack_cost_; }
+  double total_send_cost() const { return send_cost_; }
+  std::uint64_t messages() const { return messages_; }
+  std::uint64_t message_bytes() const { return message_bytes_; }
+
+  /// Human-readable profile: one line per entry method, sorted by total
+  /// time descending.
+  std::string render() const;
+
+ private:
+  const EntryRegistry* registry_;
+  std::vector<EntryStats> entries_;
+  std::vector<double> pe_busy_;
+  double recv_cost_ = 0.0;
+  double pack_cost_ = 0.0;
+  double send_cost_ = 0.0;
+  std::uint64_t messages_ = 0;
+  std::uint64_t message_bytes_ = 0;
+};
+
+}  // namespace scalemd

@@ -1,0 +1,98 @@
+#include "trace/timeline.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace scalemd {
+
+namespace {
+
+char category_char(WorkCategory c) {
+  switch (c) {
+    case WorkCategory::kNonbonded:
+      return 'N';
+    case WorkCategory::kBonded:
+      return 'B';
+    case WorkCategory::kIntegration:
+      return 'I';
+    case WorkCategory::kComm:
+      return 'c';
+    case WorkCategory::kOther:
+      return 'o';
+  }
+  return '?';
+}
+
+/// Priority when several categories overlap one slice: prefer showing the
+/// rarer/most-informative work.
+int category_rank(char c) {
+  switch (c) {
+    case 'I':
+      return 5;
+    case 'B':
+      return 4;
+    case 'c':
+      return 3;
+    case 'N':
+      return 2;
+    case 'o':
+      return 1;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace
+
+std::string render_timeline(const EventLog& log, const EntryRegistry& registry,
+                            const TimelineOptions& opts) {
+  double t1 = opts.t1;
+  if (t1 <= opts.t0) {
+    for (const TaskRecord& r : log.tasks()) {
+      t1 = std::max(t1, r.start + r.duration);
+    }
+  }
+  const double span = std::max(t1 - opts.t0, 1e-12);
+  const double slice = span / opts.width;
+
+  std::vector<std::string> rows(static_cast<std::size_t>(opts.num_pes),
+                                std::string(static_cast<std::size_t>(opts.width), '.'));
+
+  for (const TaskRecord& r : log.tasks()) {
+    if (r.pe < opts.first_pe || r.pe >= opts.first_pe + opts.num_pes) continue;
+    const double a = std::max(r.start, opts.t0);
+    const double b = std::min(r.start + r.duration, t1);
+    if (b <= a) continue;
+    const char ch =
+        r.entry < registry.count() ? category_char(registry.category(r.entry)) : 'o';
+    auto& row = rows[static_cast<std::size_t>(r.pe - opts.first_pe)];
+    const int c0 = std::clamp(static_cast<int>((a - opts.t0) / slice), 0, opts.width - 1);
+    const int c1 =
+        std::clamp(static_cast<int>((b - opts.t0) / slice), c0, opts.width - 1);
+    for (int c = c0; c <= c1; ++c) {
+      auto& cell = row[static_cast<std::size_t>(c)];
+      if (category_rank(ch) > category_rank(cell)) cell = ch;
+    }
+  }
+
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(1);
+  os << "timeline " << opts.t0 * 1e3 << " ms .. " << t1 * 1e3 << " ms  ("
+     << slice * 1e3 << " ms/char)\n";
+  os << "legend: N non-bonded  B bonded  I integration  c comm  o other  . idle\n";
+  for (int pe = 0; pe < opts.num_pes; ++pe) {
+    os << "pe" << (opts.first_pe + pe);
+    const int label = opts.first_pe + pe;
+    // Pad to fixed label width.
+    for (int pad = label >= 1000 ? 0 : label >= 100 ? 1 : label >= 10 ? 2 : 3;
+         pad > 0; --pad) {
+      os << ' ';
+    }
+    os << '|' << rows[static_cast<std::size_t>(pe)] << "|\n";
+  }
+  return os.str();
+}
+
+}  // namespace scalemd

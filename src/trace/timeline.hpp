@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+
+#include "des/simulator.hpp"
+#include "trace/event_log.hpp"
+
+namespace scalemd {
+
+/// Options for the ASCII timeline view (our stand-in for the Projections
+/// "Upshot-style" timeline of Figures 3 and 4).
+struct TimelineOptions {
+  double t0 = 0.0;        ///< window start (virtual seconds)
+  double t1 = 0.0;        ///< window end; 0 means "until the last task"
+  int first_pe = 0;       ///< first PE row
+  int num_pes = 8;        ///< number of PE rows
+  int width = 100;        ///< characters across the time window
+};
+
+/// Renders one character column per time slice for each PE row. The
+/// character encodes the dominant work category in the slice:
+/// 'N' non-bonded, 'B' bonded, 'I' integration/coordinates, 'c' runtime
+/// communication, 'o' other, '.' idle. A header with the window bounds and a
+/// legend are included.
+std::string render_timeline(const EventLog& log, const EntryRegistry& registry,
+                            const TimelineOptions& opts);
+
+}  // namespace scalemd

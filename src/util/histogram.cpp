@@ -1,0 +1,56 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace scalemd {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  assert(hi > lo);
+  assert(bins >= 1);
+}
+
+void Histogram::add(double value) { add(value, 1); }
+
+void Histogram::add(double value, std::size_t weight) {
+  double idx = std::floor((value - lo_) / width_);
+  if (idx < 0.0 || idx >= static_cast<double>(counts_.size())) {
+    clamped_ += weight;
+    idx = std::clamp(idx, 0.0, static_cast<double>(counts_.size() - 1));
+  }
+  counts_[static_cast<std::size_t>(idx)] += weight;
+  total_ += weight;
+  sum_ += value * static_cast<double>(weight);
+  max_sample_ = std::max(max_sample_, value);
+}
+
+double Histogram::mean_sample() const {
+  return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_);
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::size_t first = 0;
+  std::size_t last = counts_.size();
+  while (first < last && counts_[first] == 0) ++first;
+  while (last > first && counts_[last - 1] == 0) --last;
+
+  std::size_t peak = 1;
+  for (std::size_t i = first; i < last; ++i) peak = std::max(peak, counts_[i]);
+
+  std::ostringstream os;
+  for (std::size_t i = first; i < last; ++i) {
+    const double lo = bin_lo(i);
+    os.setf(std::ios::fixed);
+    os.precision(2);
+    os << '[' << lo << ", " << lo + width_ << ") ";
+    const std::size_t bar = counts_[i] * width / peak;
+    for (std::size_t b = 0; b < bar; ++b) os << '#';
+    os << ' ' << counts_[i] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace scalemd

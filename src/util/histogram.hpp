@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace scalemd {
+
+/// Fixed-width binned histogram over [lo, hi). Samples outside the range are
+/// clamped into the first/last bin so that nothing is silently dropped; the
+/// number of clamped samples is reported separately. Used for the grain-size
+/// distributions of Figures 1 and 2 and for load-distribution diagnostics.
+class Histogram {
+ public:
+  /// Creates `bins` equal-width bins covering [lo, hi). Requires lo < hi and
+  /// bins >= 1.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Adds one sample.
+  void add(double value);
+
+  /// Adds one sample with an integer weight (e.g. "count of tasks").
+  void add(double value, std::size_t weight);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_[bin]; }
+  /// Inclusive lower edge of bin `i`.
+  double bin_lo(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+  double bin_width() const { return width_; }
+
+  /// Total number of samples added.
+  std::size_t total() const { return total_; }
+  /// Samples that fell below `lo` or at/above `hi` and were clamped.
+  std::size_t clamped() const { return clamped_; }
+  /// Largest sample value seen (not clamped), or 0 if empty.
+  double max_sample() const { return max_sample_; }
+  /// Mean of the added samples, or 0 if empty.
+  double mean_sample() const;
+
+  /// Renders an ASCII bar chart, one line per bin, bars scaled to `width`
+  /// characters. Empty leading/trailing bins are trimmed.
+  std::string render(std::size_t width = 60) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+  std::size_t clamped_ = 0;
+  double max_sample_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace scalemd

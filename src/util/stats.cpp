@@ -1,0 +1,32 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace scalemd {
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  if (values.empty()) return s;
+  s.n = values.size();
+  s.min = values.front();
+  s.max = values.front();
+  for (double v : values) {
+    s.sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = s.sum / static_cast<double>(s.n);
+  double var = 0.0;
+  for (double v : values) var += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(var / static_cast<double>(s.n));
+  return s;
+}
+
+double imbalance_ratio(std::span<const double> loads) {
+  const Summary s = summarize(loads);
+  if (s.n == 0 || s.mean <= 0.0) return 1.0;
+  return s.max / s.mean;
+}
+
+}  // namespace scalemd

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace scalemd {
+
+/// Summary statistics over a sample, computed in one pass by `summarize`.
+struct Summary {
+  std::size_t n = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< population standard deviation
+  double sum = 0.0;
+};
+
+/// Computes min/max/mean/stddev/sum of `values`. An empty span yields a
+/// zero-initialized Summary.
+Summary summarize(std::span<const double> values);
+
+/// Load-imbalance ratio max/mean of `loads`; 1.0 means perfectly balanced.
+/// Returns 1.0 for empty or all-zero input.
+double imbalance_ratio(std::span<const double> loads);
+
+}  // namespace scalemd

@@ -1,0 +1,57 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace scalemd {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  assert(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> w(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) w[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c) w[c] = std::max(w[c], r[c].size());
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      os << std::string(w[c] - r[c].size() + (c ? 2 : 0), ' ') << r[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t line = 0;
+  for (std::size_t c = 0; c < w.size(); ++c) line += w[c] + (c ? 2 : 0);
+  os << std::string(line, '-') << '\n';
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+std::string fmt_sig(double v, int digits) {
+  if (v == 0.0) return "0";
+  std::ostringstream os;
+  const int order = static_cast<int>(std::floor(std::log10(std::fabs(v))));
+  const int decimals = std::max(0, digits - 1 - order);
+  os.setf(std::ios::fixed);
+  os.precision(decimals);
+  os << v;
+  return os.str();
+}
+
+std::string fmt_fixed(double v, int decimals) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(decimals);
+  os << v;
+  return os.str();
+}
+
+}  // namespace scalemd

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace scalemd {
+
+/// Right-aligned plain-text table printer used by the bench binaries to emit
+/// rows in the same layout as the paper's tables. Cells are strings; numeric
+/// formatting is the caller's choice (helpers below).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same number of cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders the table with a separator line under the header.
+  std::string render() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `v` with `digits` significant digits, the style the paper uses
+/// (e.g. 57.1, 0.0822, 3.9).
+std::string fmt_sig(double v, int digits = 3);
+
+/// Formats `v` with fixed `decimals` decimal places.
+std::string fmt_fixed(double v, int decimals = 2);
+
+}  // namespace scalemd

@@ -1,0 +1,23 @@
+#pragma once
+
+namespace scalemd::units {
+
+// ScaleMD uses the AKMA-style unit system common to CHARMM-family codes:
+//   length  : angstrom (A)
+//   energy  : kcal/mol
+//   mass    : atomic mass unit (amu)
+//   charge  : elementary charge (e)
+//   time    : femtosecond (fs) at the API surface; internally the integrator
+//             converts with kAkmaTimeFs (1 AKMA time unit = 48.88821 fs) so
+//             that kinetic energy in kcal/mol is (1/2) m v^2 without factors.
+
+/// Coulomb constant in kcal*A/(mol*e^2): energy = kCoulomb * q1*q2 / r.
+inline constexpr double kCoulomb = 332.0636;
+
+/// Boltzmann constant in kcal/(mol*K).
+inline constexpr double kBoltzmann = 0.001987191;
+
+/// One AKMA time unit expressed in femtoseconds.
+inline constexpr double kAkmaTimeFs = 48.88821;
+
+}  // namespace scalemd::units

@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "des/machine.hpp"
+#include "des/simulator.hpp"
+
+namespace scalemd {
+namespace {
+
+/// A machine with trivial communication costs, for arithmetic-exact tests.
+MachineModel free_comm_machine() {
+  MachineModel m;
+  m.name = "test";
+  m.send_overhead = 0.0;
+  m.recv_overhead = 0.0;
+  m.latency = 0.0;
+  m.byte_time = 0.0;
+  m.pack_byte_cost = 0.0;
+  m.local_overhead = 0.0;
+  return m;
+}
+
+TEST(SimulatorTest, SingleTaskAdvancesClock) {
+  Simulator sim(2, free_comm_machine());
+  bool ran = false;
+  sim.inject(0, {.fn = [&](ExecContext& ctx) {
+                   ctx.charge(1.5);
+                   ran = true;
+                 }});
+  sim.run();
+  EXPECT_TRUE(ran);
+  EXPECT_DOUBLE_EQ(sim.time(), 1.5);
+  EXPECT_DOUBLE_EQ(sim.pe_busy(0), 1.5);
+  EXPECT_DOUBLE_EQ(sim.pe_busy(1), 0.0);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(SimulatorTest, PriorityOrderAmongArrivedMessages) {
+  Simulator sim(1, free_comm_machine());
+  std::vector<int> order;
+  // All three arrive at time 0; the PE should run them by priority.
+  for (int prio : {5, 1, 3}) {
+    sim.inject(0, {.priority = prio, .fn = [&order, prio](ExecContext& ctx) {
+                     ctx.charge(1.0);
+                     order.push_back(prio);
+                   }});
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 5}));
+}
+
+TEST(SimulatorTest, FifoWithinSamePriority) {
+  Simulator sim(1, free_comm_machine());
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    sim.inject(0, {.fn = [&order, i](ExecContext& ctx) {
+                     ctx.charge(0.1);
+                     order.push_back(i);
+                   }});
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(SimulatorTest, NonPreemptiveEvenForHigherPriorityArrival) {
+  Simulator sim(1, free_comm_machine());
+  std::vector<char> order;
+  // Long task starts at 0; urgent task arrives at t=1 but must wait.
+  sim.inject(0, {.priority = 0, .fn = [&](ExecContext& ctx) {
+                   ctx.charge(5.0);
+                   order.push_back('a');
+                 }});
+  sim.inject(0,
+             {.priority = -10,
+              .fn =
+                  [&](ExecContext& ctx) {
+                    ctx.charge(1.0);
+                    order.push_back('b');
+                    EXPECT_DOUBLE_EQ(ctx.start(), 5.0);
+                  }},
+             /*time=*/1.0);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<char>{'a', 'b'}));
+}
+
+TEST(SimulatorTest, RemoteMessageLatencyAndBandwidth) {
+  MachineModel m = free_comm_machine();
+  m.send_overhead = 0.5;
+  m.latency = 2.0;
+  m.byte_time = 0.01;
+  m.recv_overhead = 0.25;
+  Simulator sim(2, m);
+  double recv_start = -1.0;
+  sim.inject(0, {.fn = [&](ExecContext& ctx) {
+                   ctx.charge(1.0);
+                   ctx.send(1, {.bytes = 100, .fn = [&](ExecContext& c2) {
+                                  recv_start = c2.start();
+                                  c2.charge(0.5);
+                                }});
+                 }});
+  sim.run();
+  // Send happens at 1.0 + 0.5 (send overhead); arrival at +2.0 latency
+  // + 100 * 0.01 bandwidth = 4.5.
+  EXPECT_DOUBLE_EQ(recv_start, 4.5);
+  // Receiver task duration includes recv overhead.
+  EXPECT_DOUBLE_EQ(sim.pe_busy(1), 0.75);
+  EXPECT_EQ(sim.remote_messages(), 1u);
+  EXPECT_EQ(sim.remote_bytes(), 100u);
+}
+
+TEST(SimulatorTest, LocalSendIsImmediateWithEnqueueCost) {
+  MachineModel m = free_comm_machine();
+  m.local_overhead = 0.1;
+  Simulator sim(1, m);
+  double second_start = -1.0;
+  sim.inject(0, {.fn = [&](ExecContext& ctx) {
+                   ctx.send(0, {.fn = [&](ExecContext& c2) {
+                                  second_start = c2.start();
+                                  c2.charge(1.0);
+                                }});
+                   ctx.charge(2.0);
+                 }});
+  sim.run();
+  // The self-send arrives instantly but runs only after the sender's task
+  // completes at 0.1 (enqueue) + 2.0 = 2.1.
+  EXPECT_DOUBLE_EQ(second_start, 2.1);
+  EXPECT_EQ(sim.remote_messages(), 0u);
+}
+
+TEST(SimulatorTest, ChargeBeforeSendDelaysDeparture) {
+  MachineModel m = free_comm_machine();
+  m.latency = 1.0;
+  Simulator sim(2, m);
+  double recv_start = -1.0;
+  sim.inject(0, {.fn = [&](ExecContext& ctx) {
+                   ctx.charge(3.0);
+                   ctx.send(1, {.fn = [&](ExecContext& c2) { recv_start = c2.start(); }});
+                   ctx.charge(10.0);  // work after the send overlaps delivery
+                 }});
+  sim.run();
+  EXPECT_DOUBLE_EQ(recv_start, 4.0);
+}
+
+TEST(SimulatorTest, DeterministicScheduling) {
+  auto run_once = [] {
+    Simulator sim(4, MachineModel::asci_red());
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i) {
+      sim.inject(i % 4, {.priority = i % 3, .fn = [&order, i](ExecContext& ctx) {
+                           ctx.charge(1e-3 * (i + 1));
+                           order.push_back(i);
+                           if (i < 4) {
+                             ctx.send((i + 1) % 4,
+                                      {.bytes = 64, .fn = [&order, i](ExecContext& c) {
+                                         c.charge(1e-4);
+                                         order.push_back(100 + i);
+                                       }});
+                           }
+                         }});
+    }
+    sim.run();
+    return std::pair(order, sim.time());
+  };
+  const auto [o1, t1] = run_once();
+  const auto [o2, t2] = run_once();
+  EXPECT_EQ(o1, o2);
+  EXPECT_DOUBLE_EQ(t1, t2);
+}
+
+TEST(SimulatorTest, TraceSinkReceivesRecords) {
+  struct Collector : TraceSink {
+    std::vector<TaskRecord> tasks;
+    std::vector<MsgRecord> msgs;
+    void on_task(const TaskRecord& r) override { tasks.push_back(r); }
+    void on_message(const MsgRecord& r) override { msgs.push_back(r); }
+  } sink;
+
+  MachineModel m = free_comm_machine();
+  m.send_overhead = 0.5;
+  m.recv_overhead = 0.25;
+  m.latency = 1.0;
+  Simulator sim(2, m);
+  sim.set_sink(&sink);
+  const EntryId e1 = sim.entries().add("producer", WorkCategory::kIntegration);
+  const EntryId e2 = sim.entries().add("consumer", WorkCategory::kNonbonded);
+
+  sim.inject(0, {.entry = e1, .object = 42, .fn = [&](ExecContext& ctx) {
+                   ctx.charge(2.0);
+                   ctx.send(1, {.entry = e2, .bytes = 8, .fn = [](ExecContext& c) {
+                                  c.charge(1.0);
+                                }});
+                 }});
+  sim.run();
+
+  ASSERT_EQ(sink.tasks.size(), 2u);
+  EXPECT_EQ(sink.tasks[0].entry, e1);
+  EXPECT_EQ(sink.tasks[0].object, 42u);
+  EXPECT_DOUBLE_EQ(sink.tasks[0].duration, 2.5);  // charge + send overhead
+  EXPECT_DOUBLE_EQ(sink.tasks[0].send_cost, 0.5);
+  EXPECT_EQ(sink.tasks[1].entry, e2);
+  EXPECT_DOUBLE_EQ(sink.tasks[1].recv_cost, 0.25);
+  // Two message records: the injected bootstrap and the remote send.
+  ASSERT_EQ(sink.msgs.size(), 2u);
+  EXPECT_EQ(sink.msgs[1].bytes, 8u);
+  EXPECT_DOUBLE_EQ(sink.msgs[1].recv_time, 3.5);
+}
+
+TEST(SimulatorTest, RunUntilStopsEarly) {
+  Simulator sim(1, free_comm_machine());
+  int count = 0;
+  for (int i = 0; i < 5; ++i) {
+    sim.inject(0, {.fn = [&](ExecContext& ctx) {
+                     ctx.charge(1.0);
+                     ++count;
+                   }},
+               static_cast<double>(i) * 10.0);
+  }
+  sim.run(/*until=*/25.0);
+  EXPECT_EQ(count, 3);  // events at t=0, 10, 20
+  EXPECT_FALSE(sim.idle());
+  sim.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(SimulatorTest, ManyPesBusyAccounting) {
+  Simulator sim(8, free_comm_machine());
+  for (int pe = 0; pe < 8; ++pe) {
+    sim.inject(pe, {.fn = [pe](ExecContext& ctx) { ctx.charge(pe + 1.0); }});
+  }
+  sim.run();
+  const auto busy = sim.busy_times();
+  for (int pe = 0; pe < 8; ++pe) {
+    EXPECT_DOUBLE_EQ(busy[static_cast<std::size_t>(pe)], pe + 1.0);
+  }
+  EXPECT_DOUBLE_EQ(sim.time(), 8.0);
+  EXPECT_EQ(sim.tasks_executed(), 8u);
+}
+
+}  // namespace
+}  // namespace scalemd

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/baselines.hpp"
+#include "core/driver.hpp"
+#include "gen/presets.hpp"
+
+namespace scalemd {
+namespace {
+
+/// Small shared workload (bR-class is quick to build).
+class DriverFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    mol_ = new Molecule(br_like());
+    wl_ = new Workload(*mol_, MachineModel::asci_red());
+  }
+  static void TearDownTestSuite() {
+    delete wl_;
+    delete mol_;
+    wl_ = nullptr;
+    mol_ = nullptr;
+  }
+  static Molecule* mol_;
+  static Workload* wl_;
+};
+
+Molecule* DriverFixture::mol_ = nullptr;
+Workload* DriverFixture::wl_ = nullptr;
+
+TEST_F(DriverFixture, ScalingRowsAreConsistent) {
+  BenchmarkConfig cfg;
+  cfg.pe_counts = {1, 4, 16};
+  const auto rows = run_scaling(*wl_, cfg);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].pes, 1);
+  EXPECT_DOUBLE_EQ(rows[0].speedup, 1.0);
+  // Speedup and GFLOPS both derive from the step time.
+  for (const ScalingRow& r : rows) {
+    EXPECT_NEAR(r.speedup, rows[0].seconds_per_step / r.seconds_per_step, 1e-9);
+    EXPECT_GT(r.gflops, 0.0);
+  }
+  EXPECT_GT(rows[2].speedup, rows[1].speedup);
+}
+
+TEST_F(DriverFixture, SpeedupBaseNormalization) {
+  BenchmarkConfig cfg;
+  cfg.pe_counts = {2, 8};
+  cfg.speedup_base = 2.0;
+  const auto rows = run_scaling(*wl_, cfg);
+  EXPECT_DOUBLE_EQ(rows[0].speedup, 2.0);
+}
+
+TEST_F(DriverFixture, FlopsEstimatePositiveAndDominatedByPairs) {
+  const WorkCounters total = wl_->work.total();
+  const double flops = estimate_flops_per_step(total);
+  EXPECT_GT(flops, 75.0 * static_cast<double>(total.pairs_computed));
+  EXPECT_LT(flops, 200.0 * static_cast<double>(total.pairs_computed));
+}
+
+TEST_F(DriverFixture, RenderScalingContainsRows) {
+  BenchmarkConfig cfg;
+  cfg.pe_counts = {1, 4};
+  const auto rows = run_scaling(*wl_, cfg);
+  const std::string with = render_scaling(rows, true);
+  EXPECT_NE(with.find("GFLOPS"), std::string::npos);
+  const std::string without = render_scaling(rows, false);
+  EXPECT_EQ(without.find("GFLOPS"), std::string::npos);
+  EXPECT_NE(without.find("Processors"), std::string::npos);
+}
+
+TEST(DriverTest, AsciLadderClipping) {
+  const auto full = asci_ladder(1, 2048);
+  EXPECT_EQ(full.front(), 1);
+  EXPECT_EQ(full.back(), 2048);
+  const auto mid = asci_ladder(2, 256);
+  EXPECT_EQ(mid.front(), 2);
+  EXPECT_EQ(mid.back(), 256);
+}
+
+TEST(DriverTest, BenchScaleEnv) {
+  unsetenv("SCALEMD_BENCH_SCALE");
+  EXPECT_DOUBLE_EQ(bench_scale_from_env(), 1.0);
+  setenv("SCALEMD_BENCH_SCALE", "0.5", 1);
+  EXPECT_DOUBLE_EQ(bench_scale_from_env(), 0.5);
+  setenv("SCALEMD_BENCH_SCALE", "garbage", 1);
+  EXPECT_DOUBLE_EQ(bench_scale_from_env(), 1.0);
+  unsetenv("SCALEMD_BENCH_SCALE");
+}
+
+TEST_F(DriverFixture, AtomDecompositionSaturates) {
+  const MachineModel m = MachineModel::asci_red();
+  const double t1 = atom_decomposition_step(*wl_, 1, m);
+  const double t16 = atom_decomposition_step(*wl_, 16, m);
+  const double t256 = atom_decomposition_step(*wl_, 256, m);
+  EXPECT_LT(t16, t1);          // scales at small P...
+  EXPECT_GT(t256, t16 * 0.5);  // ...but stops: communication floor.
+}
+
+TEST_F(DriverFixture, ForceDecompositionBeatsAtomDecompositionAtScale) {
+  const MachineModel m = MachineModel::asci_red();
+  const double ad = atom_decomposition_step(*wl_, 64, m);
+  const double fd = force_decomposition_step(*wl_, 64, m);
+  EXPECT_LT(fd, ad);
+}
+
+TEST_F(DriverFixture, HybridBeatsAtomDecompositionAtScale) {
+  // On this small system with compute granted perfect balance, force
+  // decomposition stays competitive through ~64 PEs (the paper concedes FD
+  // gives "reasonable speedups on medium-size computers"); the hybrid's win
+  // over FD at 1024 PEs is exercised on ApoA-I by
+  // bench_ablation_decomposition. Atom decomposition must lose here already.
+  const MachineModel m = MachineModel::asci_red();
+  ParallelOptions opts;
+  opts.num_pes = 64;
+  opts.machine = m;
+  ParallelSim sim(*wl_, opts);
+  const double hybrid = sim.run_benchmark(2, 3);
+  EXPECT_LT(hybrid, atom_decomposition_step(*wl_, 64, m));
+}
+
+TEST_F(DriverFixture, BaselinesMatchSequentialAtOnePe) {
+  const MachineModel m = MachineModel::asci_red();
+  const double seq = work_cost(wl_->work.total(), m);
+  EXPECT_NEAR(atom_decomposition_step(*wl_, 1, m), seq, 0.05 * seq);
+}
+
+}  // namespace
+}  // namespace scalemd

@@ -1,0 +1,320 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "ewald/ewald.hpp"
+#include "ewald/fft.hpp"
+#include "ewald/pme.hpp"
+#include "util/random.hpp"
+#include "util/units.hpp"
+
+namespace scalemd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FFT
+// ---------------------------------------------------------------------------
+
+TEST(FftTest, MatchesDirectDft) {
+  Rng rng(3);
+  std::vector<std::complex<double>> data(16);
+  for (auto& d : data) d = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  auto reference = data;
+  fft(data, false);
+  for (std::size_t k = 0; k < reference.size(); ++k) {
+    std::complex<double> sum{0, 0};
+    for (std::size_t n = 0; n < reference.size(); ++n) {
+      const double phase = -2.0 * M_PI * static_cast<double>(k * n) / 16.0;
+      sum += reference[n] * std::complex<double>(std::cos(phase), std::sin(phase));
+    }
+    EXPECT_NEAR(std::abs(data[k] - sum), 0.0, 1e-10) << k;
+  }
+}
+
+TEST(FftTest, RoundTripIdentity) {
+  Rng rng(5);
+  std::vector<std::complex<double>> data(64);
+  for (auto& d : data) d = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  const auto original = data;
+  fft(data, false);
+  fft(data, true);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(std::abs(data[i] / 64.0 - original[i]), 0.0, 1e-12);
+  }
+}
+
+TEST(FftTest, ParsevalHolds) {
+  Rng rng(7);
+  std::vector<std::complex<double>> data(32);
+  double time_energy = 0.0;
+  for (auto& d : data) {
+    d = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    time_energy += std::norm(d);
+  }
+  fft(data, false);
+  double freq_energy = 0.0;
+  for (const auto& d : data) freq_energy += std::norm(d);
+  EXPECT_NEAR(freq_energy / 32.0, time_energy, 1e-10);
+}
+
+TEST(FftTest, ThreeDRoundTrip) {
+  Rng rng(9);
+  std::vector<std::complex<double>> grid(8 * 4 * 16);
+  for (auto& g : grid) g = {rng.uniform(-1, 1), 0.0};
+  const auto original = grid;
+  fft3d(grid, 8, 4, 16, false);
+  fft3d(grid, 8, 4, 16, true);
+  const double n = 8.0 * 4.0 * 16.0;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_NEAR(std::abs(grid[i] / n - original[i]), 0.0, 1e-11);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// B-splines
+// ---------------------------------------------------------------------------
+
+TEST(BsplineTest, PartitionOfUnity) {
+  for (int order : {2, 3, 4, 6}) {
+    std::vector<double> w(static_cast<std::size_t>(order));
+    std::vector<double> dw(static_cast<std::size_t>(order));
+    for (double u : {0.0, 0.1, 0.25, 0.5, 0.77, 0.999}) {
+      bspline_weights(u, order, w, dw);
+      double sum = 0.0, dsum = 0.0;
+      for (int j = 0; j < order; ++j) {
+        EXPECT_GE(w[static_cast<std::size_t>(j)], -1e-12);
+        sum += w[static_cast<std::size_t>(j)];
+        dsum += dw[static_cast<std::size_t>(j)];
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-12) << "order " << order << " u " << u;
+      EXPECT_NEAR(dsum, 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(BsplineTest, DerivativeMatchesFiniteDifference) {
+  const int order = 4;
+  std::vector<double> w1(4), w2(4), dw(4), dtmp(4);
+  const double h = 1e-6;
+  for (double u : {0.1, 0.4, 0.9}) {
+    bspline_weights(u, order, w1, dw);
+    bspline_weights(u + h, order, w2, dtmp);
+    for (int j = 0; j < order; ++j) {
+      const double fd = (w2[static_cast<std::size_t>(j)] -
+                         w1[static_cast<std::size_t>(j)]) / h;
+      EXPECT_NEAR(dw[static_cast<std::size_t>(j)], fd, 1e-5) << u << " " << j;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Ewald summation
+// ---------------------------------------------------------------------------
+
+/// NaCl rock-salt test lattice: 2x2x2 conventional cells, 64 ions.
+struct NaclLattice {
+  NaclLattice() {
+    const double a = 5.64;  // lattice constant, A
+    box = {2 * a, 2 * a, 2 * a};
+    for (int z = 0; z < 4; ++z) {
+      for (int y = 0; y < 4; ++y) {
+        for (int x = 0; x < 4; ++x) {
+          pos.push_back({x * a / 2, y * a / 2, z * a / 2});
+          q.push_back((x + y + z) % 2 == 0 ? 1.0 : -1.0);
+        }
+      }
+    }
+    nearest = a / 2;
+  }
+  Vec3 box;
+  std::vector<Vec3> pos;
+  std::vector<double> q;
+  double nearest;
+};
+
+TEST(EwaldTest, MadelungConstantOfRockSalt) {
+  const NaclLattice lat;
+  EwaldOptions opts;
+  opts.alpha = 0.55;
+  opts.r_cut = 5.6;
+  opts.k_max = 16;
+  const EwaldSum ewald(lat.box, opts);
+  std::vector<Vec3> f(lat.pos.size());
+  const ElecResult r = ewald.energy_forces(lat.pos, lat.q, f);
+  // E per ion *pair* = -M * C / r_nearest with Madelung constant
+  // M = 1.747565 (64 ions = 32 pairs).
+  const double per_pair = r.total() / (0.5 * static_cast<double>(lat.pos.size()));
+  const double madelung = -per_pair * lat.nearest / units::kCoulomb;
+  EXPECT_NEAR(madelung, 1.747565, 2e-4);
+  // Perfect lattice: forces vanish by symmetry.
+  for (const Vec3& fi : f) EXPECT_LT(norm(fi), 1e-6);
+}
+
+TEST(EwaldTest, AlphaIndependence) {
+  Rng rng(11);
+  const Vec3 box{16, 16, 16};
+  std::vector<Vec3> pos;
+  std::vector<double> q;
+  for (int i = 0; i < 20; ++i) {
+    pos.push_back(rng.point_in_box(box));
+    q.push_back(i % 2 == 0 ? 0.7 : -0.7);
+  }
+  auto total = [&](double alpha, double rcut, int kmax) {
+    EwaldOptions o;
+    o.alpha = alpha;
+    o.r_cut = rcut;
+    o.k_max = kmax;
+    std::vector<Vec3> f(pos.size());
+    return EwaldSum(box, o).energy_forces(pos, q, f).total();
+  };
+  const double e1 = total(0.40, 7.9, 12);
+  const double e2 = total(0.55, 7.9, 16);
+  EXPECT_NEAR(e1, e2, 1e-4 * std::fabs(e1) + 1e-4);
+}
+
+TEST(EwaldTest, ForcesMatchFiniteDifferenceOfTotal) {
+  Rng rng(13);
+  const Vec3 box{12, 12, 12};
+  std::vector<Vec3> pos;
+  std::vector<double> q;
+  for (int i = 0; i < 8; ++i) {
+    pos.push_back(rng.point_in_box(box));
+    q.push_back(i % 2 == 0 ? 0.5 : -0.5);
+  }
+  EwaldOptions opts;
+  opts.alpha = 0.5;
+  opts.r_cut = 5.9;
+  opts.k_max = 12;
+  const EwaldSum ewald(box, opts);
+
+  std::vector<Vec3> f(pos.size());
+  ewald.energy_forces(pos, q, f);
+  const double h = 1e-5;
+  for (int i = 0; i < 3; ++i) {  // spot-check three atoms
+    for (int d = 0; d < 3; ++d) {
+      auto moved = pos;
+      double* c = d == 0 ? &moved[static_cast<std::size_t>(i)].x
+                  : d == 1 ? &moved[static_cast<std::size_t>(i)].y
+                           : &moved[static_cast<std::size_t>(i)].z;
+      std::vector<Vec3> tmp(pos.size());
+      *c += h;
+      const double ep = ewald.energy_forces(moved, q, tmp).total();
+      *c -= 2 * h;
+      std::fill(tmp.begin(), tmp.end(), Vec3{});
+      const double em = ewald.energy_forces(moved, q, tmp).total();
+      const double fd = -(ep - em) / (2 * h);
+      const double fa = d == 0 ? f[static_cast<std::size_t>(i)].x
+                        : d == 1 ? f[static_cast<std::size_t>(i)].y
+                                 : f[static_cast<std::size_t>(i)].z;
+      EXPECT_NEAR(fa, fd, 1e-4 * std::max(1.0, std::fabs(fd)));
+    }
+  }
+}
+
+TEST(EwaldTest, NewtonsThirdLawOverall) {
+  Rng rng(17);
+  const Vec3 box{14, 14, 14};
+  std::vector<Vec3> pos;
+  std::vector<double> q;
+  for (int i = 0; i < 16; ++i) {
+    pos.push_back(rng.point_in_box(box));
+    q.push_back(i % 2 == 0 ? 0.4 : -0.4);
+  }
+  EwaldOptions opts;
+  const EwaldSum ewald(box, opts);
+  std::vector<Vec3> f(pos.size());
+  ewald.energy_forces(pos, q, f);
+  Vec3 total;
+  for (const Vec3& fi : f) total += fi;
+  EXPECT_LT(norm(total), 1e-8);
+}
+
+// ---------------------------------------------------------------------------
+// PME vs Ewald
+// ---------------------------------------------------------------------------
+
+TEST(PmeTest, ReciprocalEnergyMatchesEwald) {
+  Rng rng(19);
+  const Vec3 box{16, 16, 16};
+  std::vector<Vec3> pos;
+  std::vector<double> q;
+  for (int i = 0; i < 24; ++i) {
+    pos.push_back(rng.point_in_box(box));
+    q.push_back(i % 2 == 0 ? 0.6 : -0.6);
+  }
+  EwaldOptions eo;
+  eo.alpha = 0.4;
+  eo.k_max = 14;
+  const EwaldSum ewald(box, eo);
+  std::vector<Vec3> fe(pos.size());
+  const double e_ref = ewald.reciprocal(pos, q, fe);
+
+  PmeOptions po;
+  po.alpha = 0.4;
+  po.grid_x = po.grid_y = po.grid_z = 32;
+  po.order = 4;
+  const Pme pme(box, po);
+  std::vector<Vec3> fp(pos.size());
+  const double e_pme = pme.reciprocal(pos, q, fp);
+
+  EXPECT_NEAR(e_pme, e_ref, 2e-3 * std::fabs(e_ref) + 1e-3);
+  double max_df = 0.0, max_f = 0.0;
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    max_df = std::max(max_df, norm(fp[i] - fe[i]));
+    max_f = std::max(max_f, norm(fe[i]));
+  }
+  EXPECT_LT(max_df, 0.02 * max_f + 1e-3);
+}
+
+TEST(PmeTest, FinerGridConverges) {
+  Rng rng(23);
+  const Vec3 box{12, 12, 12};
+  std::vector<Vec3> pos;
+  std::vector<double> q;
+  for (int i = 0; i < 10; ++i) {
+    pos.push_back(rng.point_in_box(box));
+    q.push_back(i % 2 == 0 ? 0.8 : -0.8);
+  }
+  EwaldOptions eo;
+  eo.alpha = 0.45;
+  eo.k_max = 14;
+  std::vector<Vec3> fe(pos.size());
+  const double e_ref = EwaldSum(box, eo).reciprocal(pos, q, fe);
+
+  auto pme_error = [&](int grid) {
+    PmeOptions po;
+    po.alpha = 0.45;
+    po.grid_x = po.grid_y = po.grid_z = grid;
+    std::vector<Vec3> fp(pos.size());
+    return std::fabs(Pme(box, po).reciprocal(pos, q, fp) - e_ref);
+  };
+  const double coarse = pme_error(16);
+  const double fine = pme_error(64);
+  EXPECT_LT(fine, coarse);
+  EXPECT_LT(fine, 2e-4 * std::fabs(e_ref) + 1e-4);
+}
+
+TEST(PmeTest, MadelungViaPmePipeline) {
+  // Full pipeline: PME reciprocal + Ewald real space + self energy.
+  const NaclLattice lat;
+  EwaldOptions eo;
+  eo.alpha = 0.45;
+  eo.r_cut = 5.6;
+  const EwaldSum ewald(lat.box, eo);
+  PmeOptions po;
+  po.alpha = 0.45;
+  po.grid_x = po.grid_y = po.grid_z = 32;
+  const Pme pme(lat.box, po);
+
+  std::vector<Vec3> f(lat.pos.size());
+  const double total = ewald.real_space(lat.pos, lat.q, f) +
+                       pme.reciprocal(lat.pos, lat.q, f) +
+                       ewald.self_energy(lat.q);
+  const double per_pair = total / (0.5 * static_cast<double>(lat.pos.size()));
+  const double madelung = -per_pair * lat.nearest / units::kCoulomb;
+  EXPECT_NEAR(madelung, 1.747565, 1e-3);
+}
+
+}  // namespace
+}  // namespace scalemd

@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/presets.hpp"
+#include "gen/water_box.hpp"
+#include "seq/constraints.hpp"
+#include "seq/engine.hpp"
+#include "seq/minimize.hpp"
+#include "seq/pairlist.hpp"
+#include "util/random.hpp"
+#include "util/units.hpp"
+
+namespace scalemd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SHAKE / RATTLE
+// ---------------------------------------------------------------------------
+
+std::vector<double> inverse_masses(const Molecule& mol) {
+  std::vector<double> inv;
+  for (const Atom& a : mol.atoms()) inv.push_back(1.0 / a.mass);
+  return inv;
+}
+
+TEST(ConstraintsTest, ShakeRestoresBondLengths) {
+  Molecule mol = make_water_box({12, 12, 12}, 3);
+  const BondConstraints cons(mol);
+  ASSERT_EQ(cons.constraint_count(), mol.bonds().size());
+  EXPECT_LT(cons.max_violation(mol.positions()), 1e-9);
+
+  // Perturb every atom, then SHAKE back using the unperturbed reference.
+  const std::vector<Vec3> ref(mol.positions().begin(), mol.positions().end());
+  Rng rng(5);
+  for (Vec3& p : mol.positions()) p += rng.unit_vector() * 0.05;
+  EXPECT_GT(cons.max_violation(mol.positions()), 1e-4);
+
+  std::vector<Vec3> no_vel;
+  const auto inv = inverse_masses(mol);
+  const int iters = cons.shake(ref, mol.positions(), no_vel, inv, 0.0);
+  EXPECT_GE(iters, 0);
+  EXPECT_LT(cons.max_violation(mol.positions()), 1e-8);
+}
+
+TEST(ConstraintsTest, ShakeWeightsByInverseMass) {
+  // A single heavy-light pair: the light atom should absorb most of the
+  // correction.
+  Molecule mol;
+  mol.box = {20, 20, 20};
+  const int t = mol.params.add_lj_type(1e-9, 0.1);
+  const int b = mol.params.add_bond_param(450, 1.0);
+  mol.params.finalize();
+  mol.add_atom({16.0, 0, t}, {10, 10, 10});
+  mol.add_atom({1.0, 0, t}, {11, 10, 10});
+  mol.add_bond(0, 1, b);
+  const BondConstraints cons(mol);
+
+  const std::vector<Vec3> ref(mol.positions().begin(), mol.positions().end());
+  mol.positions()[1].x = 11.4;  // stretch the bond to 1.4
+  std::vector<Vec3> no_vel;
+  const auto inv = inverse_masses(mol);
+  ASSERT_GE(cons.shake(ref, mol.positions(), no_vel, inv, 0.0), 0);
+  // Bond back at length 1.
+  EXPECT_NEAR(norm(mol.positions()[0] - mol.positions()[1]), 1.0, 1e-6);
+  // Heavy atom barely moved.
+  EXPECT_LT(std::fabs(mol.positions()[0].x - 10.0),
+            std::fabs(mol.positions()[1].x - 11.0));
+}
+
+TEST(ConstraintsTest, RattleRemovesBondVelocity) {
+  Molecule mol = make_water_box({12, 12, 12}, 7);
+  mol.assign_velocities(300.0, 3);
+  const BondConstraints cons(mol);
+  const auto inv = inverse_masses(mol);
+  ASSERT_GE(cons.rattle(mol.positions(), mol.velocities(), inv), 0);
+  for (const Bond& b : mol.bonds()) {
+    const Vec3 r = mol.positions()[static_cast<std::size_t>(b.a)] -
+                   mol.positions()[static_cast<std::size_t>(b.b)];
+    const Vec3 dv = mol.velocities()[static_cast<std::size_t>(b.a)] -
+                    mol.velocities()[static_cast<std::size_t>(b.b)];
+    EXPECT_NEAR(dot(r, dv), 0.0, 1e-8);
+  }
+}
+
+TEST(ConstraintsTest, ConstrainedDynamicsKeepsBondsRigid) {
+  // Hand-rolled velocity Verlet + SHAKE/RATTLE on a small water box with a
+  // timestep (2 fs) far beyond what flexible O-H bonds tolerate.
+  Molecule mol = make_water_box({12, 12, 12}, 9);
+  EngineOptions opts;
+  opts.nonbonded.cutoff = 5.5;
+  opts.nonbonded.switch_dist = 4.5;
+  SequentialEngine eng(mol, opts);
+  minimize(eng, 100);
+  std::copy(eng.positions().begin(), eng.positions().end(),
+            mol.positions().begin());
+  mol.assign_velocities(250.0, 11);
+  SequentialEngine run(mol, opts);
+
+  const BondConstraints cons(mol);
+  const auto inv = inverse_masses(mol);
+  const double dt = 2.0 / units::kAkmaTimeFs;
+  std::vector<Vec3> ref(run.positions().size());
+
+  for (int step = 0; step < 50; ++step) {
+    auto pos = run.mutable_positions();
+    auto vel = run.mutable_velocities();
+    // Half kick + drift.
+    for (std::size_t i = 0; i < pos.size(); ++i) {
+      vel[i] += run.forces()[i] * (0.5 * dt * inv[i]);
+      ref[i] = pos[i];
+      pos[i] += vel[i] * dt;
+    }
+    ASSERT_GE(cons.shake(ref, pos, vel, inv, dt), 0);
+    run.compute_forces();
+    for (std::size_t i = 0; i < pos.size(); ++i) {
+      vel[i] += run.forces()[i] * (0.5 * dt * inv[i]);
+    }
+    ASSERT_GE(cons.rattle(pos, vel, inv), 0);
+    ASSERT_LT(cons.max_violation(pos), 1e-7) << "step " << step;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Verlet pairlist
+// ---------------------------------------------------------------------------
+
+TEST(PairlistTest, FindsExactlyTheInRangePairs) {
+  Rng rng(3);
+  const Vec3 box{20, 20, 20};
+  std::vector<Vec3> pos;
+  for (int i = 0; i < 120; ++i) pos.push_back(rng.point_in_box(box));
+  VerletList list(box, 6.0, 1.0);
+  list.build(pos);
+
+  // Brute force within cutoff + skin.
+  std::size_t expected = 0;
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    for (std::size_t j = i + 1; j < pos.size(); ++j) {
+      if (norm2(pos[i] - pos[j]) < 49.0) ++expected;
+    }
+  }
+  EXPECT_EQ(list.pair_count(), expected);
+  // Neighbor ids are sorted and strictly greater than the owner.
+  for (int i = 0; i < 120; ++i) {
+    int prev = i;
+    for (int j : list.neighbors(i)) {
+      EXPECT_GT(j, prev);
+      prev = j;
+    }
+  }
+}
+
+TEST(PairlistTest, RebuildTriggersOnSkinViolation) {
+  const Vec3 box{20, 20, 20};
+  std::vector<Vec3> pos{{5, 5, 5}, {9, 5, 5}};
+  VerletList list(box, 6.0, 1.0);
+  list.build(pos);
+  EXPECT_FALSE(list.needs_rebuild(pos));
+  pos[0].x += 0.4;  // below skin/2
+  EXPECT_FALSE(list.needs_rebuild(pos));
+  pos[0].x += 0.2;  // beyond skin/2 total
+  EXPECT_TRUE(list.needs_rebuild(pos));
+}
+
+TEST(PairlistTest, EngineForcesMatchCellListPath) {
+  Molecule mol = small_solvated_chain(1200, 41);
+  EngineOptions plain;
+  plain.nonbonded.cutoff = 8.0;
+  plain.nonbonded.switch_dist = 7.0;
+  EngineOptions listed = plain;
+  listed.use_pairlist = true;
+
+  SequentialEngine a(mol, plain);
+  SequentialEngine b(mol, listed);
+  EXPECT_NEAR(a.potential().total(), b.potential().total(),
+              1e-9 * std::fabs(a.potential().total()));
+  double max_df = 0.0;
+  for (std::size_t i = 0; i < a.forces().size(); ++i) {
+    max_df = std::max(max_df, norm(a.forces()[i] - b.forces()[i]));
+  }
+  EXPECT_LT(max_df, 1e-7);
+  // The listed path tests far fewer pairs than the full cell sweep.
+  EXPECT_LT(b.work().pairs_tested, a.work().pairs_tested);
+  EXPECT_EQ(b.work().pairs_computed, a.work().pairs_computed);
+}
+
+TEST(PairlistTest, ListAmortizesAcrossSteps) {
+  Molecule mol = make_water_box({16, 16, 16}, 5);
+  mol.assign_velocities(200.0, 7);
+  EngineOptions opts;
+  opts.nonbonded.cutoff = 6.0;
+  opts.nonbonded.switch_dist = 5.0;
+  opts.dt_fs = 0.5;
+  opts.use_pairlist = true;
+  opts.pairlist_skin = 2.0;
+  SequentialEngine eng(mol, opts);
+  eng.run(20);
+  // Trajectory remains stable (the list rebuilt only when needed) and the
+  // engine still conserves energy reasonably.
+  EXPECT_TRUE(std::isfinite(eng.total_energy()));
+}
+
+TEST(PairlistTest, TrajectoryMatchesPlainEngine) {
+  Molecule mol = make_water_box({14, 14, 14}, 13);
+  mol.assign_velocities(150.0, 5);
+  EngineOptions plain;
+  plain.nonbonded.cutoff = 6.0;
+  plain.nonbonded.switch_dist = 5.0;
+  plain.dt_fs = 0.5;
+  EngineOptions listed = plain;
+  listed.use_pairlist = true;
+  listed.pairlist_skin = 2.5;
+
+  SequentialEngine a(mol, plain);
+  SequentialEngine b(mol, listed);
+  a.run(25);
+  b.run(25);
+  double max_dp = 0.0;
+  for (std::size_t i = 0; i < a.positions().size(); ++i) {
+    max_dp = std::max(max_dp, norm(a.positions()[i] - b.positions()[i]));
+  }
+  // Same pairs evaluated (skin covers all motion), different summation
+  // order only.
+  EXPECT_LT(max_dp, 1e-7);
+}
+
+}  // namespace
+}  // namespace scalemd

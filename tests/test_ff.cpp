@@ -1,0 +1,407 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "ff/bonded.hpp"
+#include "ff/nonbonded.hpp"
+#include "ff/switching.hpp"
+#include "util/random.hpp"
+#include "util/units.hpp"
+
+namespace scalemd {
+namespace {
+
+/// Checks analytic forces against central finite differences of the energy.
+/// `energy` evaluates E at the given positions; `forces` returns the
+/// analytic forces at the same positions.
+void expect_forces_match_fd(
+    std::vector<Vec3> pos, const std::function<double(const std::vector<Vec3>&)>& energy,
+    const std::function<std::vector<Vec3>(const std::vector<Vec3>&)>& forces,
+    double tol = 1e-6) {
+  const double h = 1e-5;
+  const std::vector<Vec3> f = forces(pos);
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    for (int d = 0; d < 3; ++d) {
+      auto moved = pos;
+      double* coord = d == 0 ? &moved[i].x : d == 1 ? &moved[i].y : &moved[i].z;
+      *coord += h;
+      const double ep = energy(moved);
+      *coord -= 2 * h;
+      const double em = energy(moved);
+      const double fd = -(ep - em) / (2 * h);
+      const double fa = d == 0 ? f[i].x : d == 1 ? f[i].y : f[i].z;
+      EXPECT_NEAR(fa, fd, tol * std::max(1.0, std::fabs(fd)))
+          << "atom " << i << " dim " << d;
+    }
+  }
+}
+
+TEST(SwitchingTest, BoundaryValuesAndContinuity) {
+  const SwitchFunction s(10.0, 12.0);
+  EXPECT_DOUBLE_EQ(s.value(9.0 * 9.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.value(10.0 * 10.0), 1.0);
+  EXPECT_NEAR(s.value(12.0 * 12.0), 0.0, 1e-14);
+  EXPECT_DOUBLE_EQ(s.value(13.0 * 13.0), 0.0);
+  // Continuity at both ends.
+  EXPECT_NEAR(s.value(100.0 + 1e-9), 1.0, 1e-7);
+  EXPECT_NEAR(s.value(144.0 - 1e-9), 0.0, 1e-7);
+  // Monotone decreasing inside the window.
+  double prev = 1.0;
+  for (double r = 10.0; r <= 12.0; r += 0.05) {
+    const double v = s.value(r * r);
+    EXPECT_LE(v, prev + 1e-12);
+    prev = v;
+  }
+}
+
+TEST(SwitchingTest, DerivativeMatchesFiniteDifference) {
+  const SwitchFunction s(10.0, 12.0);
+  const double h = 1e-6;
+  for (double r2 : {101.0, 110.0, 120.0, 130.0, 143.0}) {
+    const double fd = (s.value(r2 + h) - s.value(r2 - h)) / (2 * h);
+    EXPECT_NEAR(s.dvalue_dr2(r2), fd, 1e-6) << r2;
+  }
+}
+
+TEST(SwitchingTest, ElecShiftVanishesAtCutoff) {
+  const ElecShift e(12.0);
+  EXPECT_NEAR(e.shift_factor(144.0), 0.0, 1e-14);
+  EXPECT_NEAR(e.shift_factor(0.0), 1.0, 1e-14);
+  const double h = 1e-6;
+  for (double r2 : {10.0, 50.0, 100.0, 140.0}) {
+    const double fd = (e.shift_factor(r2 + h) - e.shift_factor(r2 - h)) / (2 * h);
+    EXPECT_NEAR(e.dshift_factor_dr2(r2), fd, 1e-8) << r2;
+  }
+}
+
+TEST(BondedTest, BondForceMatchesFiniteDifference) {
+  const BondParam p{340.0, 1.09};
+  std::vector<Vec3> pos{{0.1, 0.2, -0.1}, {1.0, 0.9, 0.4}};
+  expect_forces_match_fd(
+      pos,
+      [&](const std::vector<Vec3>& x) {
+        Vec3 fa, fb;
+        return bond_energy_force(x[0], x[1], p, fa, fb);
+      },
+      [&](const std::vector<Vec3>& x) {
+        std::vector<Vec3> f(2);
+        bond_energy_force(x[0], x[1], p, f[0], f[1]);
+        return f;
+      });
+}
+
+TEST(BondedTest, BondEnergyZeroAtRest) {
+  const BondParam p{340.0, 2.0};
+  Vec3 fa, fb;
+  const double e = bond_energy_force({0, 0, 0}, {2, 0, 0}, p, fa, fb);
+  EXPECT_NEAR(e, 0.0, 1e-12);
+  EXPECT_NEAR(norm(fa), 0.0, 1e-9);
+}
+
+TEST(BondedTest, AngleForceMatchesFiniteDifference) {
+  const AngleParam p{55.0, 104.52 * M_PI / 180.0};
+  std::vector<Vec3> pos{{1.0, 0.1, 0.0}, {0.0, 0.0, 0.0}, {-0.3, 0.9, 0.2}};
+  expect_forces_match_fd(
+      pos,
+      [&](const std::vector<Vec3>& x) {
+        Vec3 fa, fb, fc;
+        return angle_energy_force(x[0], x[1], x[2], p, fa, fb, fc);
+      },
+      [&](const std::vector<Vec3>& x) {
+        std::vector<Vec3> f(3);
+        angle_energy_force(x[0], x[1], x[2], p, f[0], f[1], f[2]);
+        return f;
+      });
+}
+
+TEST(BondedTest, AngleForcesSumToZero) {
+  const AngleParam p{58.0, 1.9};
+  Vec3 fa, fb, fc;
+  angle_energy_force({1.2, 0, 0}, {0, 0, 0}, {0.4, 1.4, 0.3}, p, fa, fb, fc);
+  const Vec3 sum = fa + fb + fc;
+  EXPECT_NEAR(norm(sum), 0.0, 1e-10);
+}
+
+TEST(BondedTest, DihedralForceMatchesFiniteDifference) {
+  const DihedralParam p{1.4, 3, 0.5};
+  std::vector<Vec3> pos{
+      {0.0, 0.0, 0.0}, {1.5, 0.1, 0.0}, {2.0, 1.5, 0.2}, {3.4, 1.8, 1.0}};
+  expect_forces_match_fd(
+      pos,
+      [&](const std::vector<Vec3>& x) {
+        Vec3 fa, fb, fc, fd;
+        return dihedral_energy_force(x[0], x[1], x[2], x[3], p, fa, fb, fc, fd);
+      },
+      [&](const std::vector<Vec3>& x) {
+        std::vector<Vec3> f(4);
+        dihedral_energy_force(x[0], x[1], x[2], x[3], p, f[0], f[1], f[2], f[3]);
+        return f;
+      },
+      1e-5);
+}
+
+TEST(BondedTest, DihedralForcesSumToZero) {
+  const DihedralParam p{0.9, 2, 0.3};
+  Vec3 fa, fb, fc, fd;
+  dihedral_energy_force({0, 0, 0}, {1.5, 0, 0}, {2.1, 1.4, 0}, {3.0, 1.6, 1.2}, p,
+                        fa, fb, fc, fd);
+  EXPECT_NEAR(norm(fa + fb + fc + fd), 0.0, 1e-10);
+}
+
+TEST(BondedTest, ImproperForceMatchesFiniteDifference) {
+  const ImproperParam p{20.0, 0.6};
+  std::vector<Vec3> pos{
+      {0.2, 0.1, 0.9}, {1.4, 0.0, 0.1}, {2.2, 1.3, 0.0}, {3.1, 1.5, 1.1}};
+  expect_forces_match_fd(
+      pos,
+      [&](const std::vector<Vec3>& x) {
+        Vec3 fa, fb, fc, fd;
+        return improper_energy_force(x[0], x[1], x[2], x[3], p, fa, fb, fc, fd);
+      },
+      [&](const std::vector<Vec3>& x) {
+        std::vector<Vec3> f(4);
+        improper_energy_force(x[0], x[1], x[2], x[3], p, f[0], f[1], f[2], f[3]);
+        return f;
+      },
+      1e-5);
+}
+
+/// Two-atom fixture for non-bonded kernel tests.
+class NonbondedFixture {
+ public:
+  NonbondedFixture() {
+    type_a_ = params_.add_lj_type(0.15, 1.8);
+    type_b_ = params_.add_lj_type(0.08, 1.5);
+    params_.finalize();
+  }
+
+  /// Builds a context over `n` atoms with alternating types and charges.
+  NonbondedContext context(int n, const Molecule& mol) {
+    charges_.clear();
+    types_.clear();
+    for (int i = 0; i < n; ++i) {
+      charges_.push_back(i % 2 == 0 ? 0.4 : -0.4);
+      types_.push_back(i % 2 == 0 ? type_a_ : type_b_);
+    }
+    excl_ = ExclusionTable::build(mol);
+    return NonbondedContext(params_, excl_, charges_, types_, opts_);
+  }
+
+  ParameterTable params_;
+  ExclusionTable excl_;
+  std::vector<double> charges_;
+  std::vector<int> types_;
+  NonbondedOptions opts_;
+  int type_a_ = 0, type_b_ = 0;
+};
+
+Molecule empty_mol(int n) {
+  Molecule m;
+  m.box = {100, 100, 100};
+  const int t = m.params.add_lj_type(0.1, 2.0);
+  m.params.finalize();
+  for (int i = 0; i < n; ++i) m.add_atom({12.0, 0.0, t}, {50, 50, 50});
+  return m;
+}
+
+TEST(NonbondedTest, PairForceMatchesFiniteDifference) {
+  NonbondedFixture fx;
+  const Molecule m = empty_mol(2);
+  const NonbondedContext ctx = fx.context(2, m);
+  const std::vector<int> ia{0};
+  const std::vector<int> ib{1};
+
+  for (double r : {3.5, 6.0, 10.5, 11.5}) {
+    std::vector<Vec3> pos{{0, 0, 0}, {r * 0.6, r * 0.64, r * 0.48}};
+    // Direction chosen non-axis-aligned; |pos1 - pos0| = r * 1.0007... ~ r.
+    expect_forces_match_fd(
+        pos,
+        [&](const std::vector<Vec3>& x) {
+          std::vector<Vec3> fa(1), fb(1);
+          WorkCounters w;
+          const std::vector<Vec3> pa{x[0]};
+          const std::vector<Vec3> pb{x[1]};
+          return nonbonded_ab(ctx, ia, pa, fa, ib, pb, fb, w).total();
+        },
+        [&](const std::vector<Vec3>& x) {
+          std::vector<Vec3> fa(1), fb(1);
+          WorkCounters w;
+          const std::vector<Vec3> pa{x[0]};
+          const std::vector<Vec3> pb{x[1]};
+          nonbonded_ab(ctx, ia, pa, fa, ib, pb, fb, w);
+          return std::vector<Vec3>{fa[0], fb[0]};
+        },
+        1e-5);
+  }
+}
+
+TEST(NonbondedTest, EnergyAndForceVanishBeyondCutoff) {
+  NonbondedFixture fx;
+  const Molecule m = empty_mol(2);
+  const NonbondedContext ctx = fx.context(2, m);
+  const std::vector<int> ia{0}, ib{1};
+  const std::vector<Vec3> pa{{0, 0, 0}};
+  const std::vector<Vec3> pb{{12.2, 0, 0}};
+  std::vector<Vec3> fa(1), fb(1);
+  WorkCounters w;
+  const EnergyTerms e = nonbonded_ab(ctx, ia, pa, fa, ib, pb, fb, w);
+  EXPECT_DOUBLE_EQ(e.total(), 0.0);
+  EXPECT_EQ(norm(fa[0]), 0.0);
+  EXPECT_EQ(w.pairs_tested, 1u);
+  EXPECT_EQ(w.pairs_computed, 0u);
+}
+
+TEST(NonbondedTest, NewtonsThirdLaw) {
+  NonbondedFixture fx;
+  const Molecule m = empty_mol(2);
+  const NonbondedContext ctx = fx.context(2, m);
+  const std::vector<int> ia{0}, ib{1};
+  const std::vector<Vec3> pa{{1, 2, 3}};
+  const std::vector<Vec3> pb{{4, 5, 7}};
+  std::vector<Vec3> fa(1), fb(1);
+  WorkCounters w;
+  nonbonded_ab(ctx, ia, pa, fa, ib, pb, fb, w);
+  EXPECT_NEAR(norm(fa[0] + fb[0]), 0.0, 1e-12);
+  EXPECT_GT(norm(fa[0]), 0.0);
+}
+
+TEST(NonbondedTest, FullExclusionSkipsPair) {
+  NonbondedFixture fx;
+  Molecule m = empty_mol(2);
+  const int bp = m.params.add_bond_param(100, 1.5);
+  m.add_bond(0, 1, bp);
+  const NonbondedContext ctx = fx.context(2, m);
+  const std::vector<int> ia{0}, ib{1};
+  const std::vector<Vec3> pa{{0, 0, 0}};
+  const std::vector<Vec3> pb{{1.5, 0, 0}};
+  std::vector<Vec3> fa(1), fb(1);
+  WorkCounters w;
+  const EnergyTerms e = nonbonded_ab(ctx, ia, pa, fa, ib, pb, fb, w);
+  EXPECT_DOUBLE_EQ(e.total(), 0.0);
+  EXPECT_EQ(w.pairs_computed, 0u);
+}
+
+TEST(NonbondedTest, Modified14IsScaled) {
+  NonbondedFixture fx;
+  // Chain 0-1-2-3: pair (0,3) is 1-4.
+  Molecule m = empty_mol(4);
+  const int bp = m.params.add_bond_param(100, 1.5);
+  for (int i = 0; i < 3; ++i) m.add_bond(i, i + 1, bp);
+  const NonbondedContext ctx = fx.context(4, m);
+
+  const std::vector<int> ia{0}, ib{3};
+  const std::vector<Vec3> pa{{0, 0, 0}};
+  const std::vector<Vec3> pb{{4.5, 0, 0}};
+  std::vector<Vec3> fa(1), fb(1);
+  WorkCounters w;
+  const EnergyTerms e14 = nonbonded_ab(ctx, ia, pa, fa, ib, pb, fb, w);
+
+  // The same pair without topology gives the unscaled energy.
+  const Molecule m2 = empty_mol(4);
+  NonbondedFixture fx2;
+  const NonbondedContext ctx2 = fx2.context(4, m2);
+  std::vector<Vec3> fa2(1), fb2(1);
+  const EnergyTerms efull = nonbonded_ab(ctx2, ia, pa, fa2, ib, pb, fb2, w);
+
+  EXPECT_NEAR(e14.total(), fx.params_.scale14 * efull.total(), 1e-12);
+  EXPECT_NEAR(norm(fa[0]), fx.params_.scale14 * norm(fa2[0]), 1e-10);
+}
+
+TEST(NonbondedTest, SelfRangePartitionCoversAllPairsOnce) {
+  NonbondedFixture fx;
+  const Molecule m = empty_mol(20);
+  const NonbondedContext ctx = fx.context(20, m);
+
+  Rng rng(5);
+  std::vector<int> idx(20);
+  std::vector<Vec3> pos(20);
+  for (int i = 0; i < 20; ++i) {
+    idx[static_cast<std::size_t>(i)] = i;
+    pos[static_cast<std::size_t>(i)] = rng.point_in_box({8, 8, 8});
+  }
+
+  std::vector<Vec3> f_whole(20);
+  WorkCounters w1;
+  const EnergyTerms e_whole = nonbonded_self(ctx, idx, pos, f_whole, w1);
+
+  // Partition the outer loop into three ranges; results must add up exactly.
+  std::vector<Vec3> f_split(20);
+  WorkCounters w2;
+  EnergyTerms e_split;
+  e_split += nonbonded_self_range(ctx, idx, pos, f_split, 0, 7, w2);
+  e_split += nonbonded_self_range(ctx, idx, pos, f_split, 7, 15, w2);
+  e_split += nonbonded_self_range(ctx, idx, pos, f_split, 15, 20, w2);
+
+  EXPECT_DOUBLE_EQ(e_whole.total(), e_split.total());
+  EXPECT_EQ(w1.pairs_tested, w2.pairs_tested);
+  EXPECT_EQ(w1.pairs_tested, 190u);  // C(20,2)
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_NEAR(norm(f_whole[static_cast<std::size_t>(i)] -
+                     f_split[static_cast<std::size_t>(i)]),
+                0.0, 1e-12);
+  }
+}
+
+TEST(NonbondedTest, AbRangePartitionMatchesWhole) {
+  NonbondedFixture fx;
+  const Molecule m = empty_mol(24);
+  const NonbondedContext ctx = fx.context(24, m);
+
+  Rng rng(9);
+  std::vector<int> ia, ib;
+  std::vector<Vec3> pa, pb;
+  for (int i = 0; i < 12; ++i) {
+    ia.push_back(i);
+    pa.push_back(rng.point_in_box({6, 6, 6}));
+    ib.push_back(12 + i);
+    pb.push_back(rng.point_in_box({6, 6, 6}) + Vec3{5, 0, 0});
+  }
+
+  std::vector<Vec3> fa1(12), fb1(12);
+  WorkCounters w1;
+  const EnergyTerms e1 = nonbonded_ab(ctx, ia, pa, fa1, ib, pb, fb1, w1);
+
+  std::vector<Vec3> fa2(12), fb2(12);
+  WorkCounters w2;
+  EnergyTerms e2;
+  e2 += nonbonded_ab_range(ctx, ia, pa, fa2, ib, pb, fb2, 0, 5, w2);
+  e2 += nonbonded_ab_range(ctx, ia, pa, fa2, ib, pb, fb2, 5, 12, w2);
+
+  EXPECT_DOUBLE_EQ(e1.total(), e2.total());
+  EXPECT_EQ(w1.pairs_tested, w2.pairs_tested);
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_NEAR(norm(fa1[static_cast<std::size_t>(i)] - fa2[static_cast<std::size_t>(i)]), 0.0, 1e-12);
+    EXPECT_NEAR(norm(fb1[static_cast<std::size_t>(i)] - fb2[static_cast<std::size_t>(i)]), 0.0, 1e-12);
+  }
+}
+
+TEST(NonbondedTest, CoulombMatchesPointChargeInsideSwitchRegion) {
+  // At short range the shift factor is ~1 and LJ can be made negligible by
+  // using tiny epsilon; check E ~ C q1 q2 / r.
+  ParameterTable pt;
+  const int t = pt.add_lj_type(1e-12, 0.1);
+  pt.finalize();
+  Molecule m = empty_mol(2);
+  const ExclusionTable excl = ExclusionTable::build(m);
+  const std::vector<double> q{0.5, -0.3};
+  const std::vector<int> types{t, t};
+  NonbondedOptions opts;
+  const NonbondedContext ctx(pt, excl, q, types, opts);
+
+  const double r = 3.0;
+  const std::vector<int> ia{0}, ib{1};
+  const std::vector<Vec3> pa{{0, 0, 0}};
+  const std::vector<Vec3> pb{{r, 0, 0}};
+  std::vector<Vec3> fa(1), fb(1);
+  WorkCounters w;
+  const EnergyTerms e = nonbonded_ab(ctx, ia, pa, fa, ib, pb, fb, w);
+  const double expected =
+      units::kCoulomb * 0.5 * -0.3 / r * std::pow(1 - r * r / 144.0, 2);
+  EXPECT_NEAR(e.elec, expected, 1e-9);
+  EXPECT_NEAR(e.lj, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace scalemd

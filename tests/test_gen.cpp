@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "gen/chain.hpp"
+#include "gen/membrane.hpp"
+#include "gen/placement.hpp"
+#include "gen/presets.hpp"
+#include "gen/water_box.hpp"
+#include "seq/cell_list.hpp"
+#include "topo/exclusions.hpp"
+
+namespace scalemd {
+namespace {
+
+TEST(PlacementGridTest, RejectsCloseAcceptsFar) {
+  PlacementGrid grid({20, 20, 20}, 2.0);
+  EXPECT_TRUE(grid.is_free({10, 10, 10}));
+  grid.add({10, 10, 10});
+  EXPECT_FALSE(grid.is_free({10.5, 10, 10}));
+  EXPECT_FALSE(grid.is_free({11.2, 11.2, 10}));  // dist ~1.7
+  EXPECT_TRUE(grid.is_free({12.5, 10, 10}));
+  EXPECT_EQ(grid.size(), 1u);
+}
+
+TEST(PlacementGridTest, WorksAcrossCellBoundaries) {
+  PlacementGrid grid({20, 20, 20}, 2.0);
+  grid.add({3.9, 4.1, 4.0});  // near a cell corner
+  EXPECT_FALSE(grid.is_free({4.1, 3.9, 4.0}));
+}
+
+TEST(PlacementGridTest, MinDist2ReportsNearest) {
+  PlacementGrid grid({20, 20, 20}, 2.5);
+  EXPECT_DOUBLE_EQ(grid.min_dist2({10, 10, 10}), 2.5 * 2.5);
+  grid.add({10, 10, 10});
+  EXPECT_NEAR(grid.min_dist2({11, 10, 10}), 1.0, 1e-12);
+}
+
+TEST(WaterTest, GeometryIsExact) {
+  Molecule mol;
+  mol.box = {20, 20, 20};
+  const StdFF ff = StdFF::install(mol.params);
+  PlacementGrid grid(mol.box, 2.4);
+  Rng rng(3);
+  const int o = add_water(mol, ff, grid, {10, 10, 10}, rng);
+  ASSERT_EQ(mol.atom_count(), 3);
+  const Vec3 po = mol.positions()[static_cast<std::size_t>(o)];
+  const Vec3 h1 = mol.positions()[1];
+  const Vec3 h2 = mol.positions()[2];
+  EXPECT_NEAR(norm(h1 - po), geom::kWaterOH, 1e-12);
+  EXPECT_NEAR(norm(h2 - po), geom::kWaterOH, 1e-12);
+  const double cos_t = dot(h1 - po, h2 - po) / (geom::kWaterOH * geom::kWaterOH);
+  EXPECT_NEAR(std::acos(cos_t) * 180 / M_PI, geom::kWaterAngleDeg, 1e-9);
+  // Net charge zero.
+  double q = 0;
+  for (const Atom& a : mol.atoms()) q += a.charge;
+  EXPECT_NEAR(q, 0.0, 1e-12);
+}
+
+TEST(WaterTest, BoxDensityNearLiquidWater) {
+  const Molecule mol = make_water_box({30, 30, 30}, 11);
+  const double density = mol.atom_count() / (30.0 * 30.0 * 30.0);
+  EXPECT_GT(density, 0.07);
+  EXPECT_LT(density, 0.12);
+  EXPECT_EQ(mol.atom_count() % 3, 0);
+  EXPECT_NO_THROW(mol.validate());
+}
+
+TEST(ChainTest, BondsHaveExactRestLength) {
+  Molecule mol;
+  mol.box = {60, 60, 60};
+  const StdFF ff = StdFF::install(mol.params);
+  PlacementGrid grid(mol.box, 2.2);
+  Rng rng(5);
+  ChainOptions opt;
+  opt.beads = 200;
+  opt.lo = {2, 2, 2};
+  opt.hi = {58, 58, 58};
+  const int added = add_chain(mol, ff, grid, opt, rng);
+  EXPECT_GE(added, 200);
+  int exact = 0, total = 0;
+  for (const Bond& b : mol.bonds()) {
+    const double r = norm(mol.positions()[static_cast<std::size_t>(b.a)] -
+                          mol.positions()[static_cast<std::size_t>(b.b)]);
+    ++total;
+    if (std::fabs(r - geom::kChainBond) < 1e-9) ++exact;
+  }
+  // Nearly every bond sits at its rest length (wall reflections may distort
+  // a handful of joints).
+  EXPECT_GT(exact, total * 8 / 10);
+}
+
+TEST(ChainTest, ChainHasFullBondedTopology) {
+  Molecule mol;
+  mol.box = {60, 60, 60};
+  const StdFF ff = StdFF::install(mol.params);
+  PlacementGrid grid(mol.box, 2.2);
+  Rng rng(5);
+  ChainOptions opt;
+  opt.beads = 100;
+  opt.lo = {2, 2, 2};
+  opt.hi = {58, 58, 58};
+  add_chain(mol, ff, grid, opt, rng);
+  EXPECT_GE(mol.bonds().size(), 99u);
+  EXPECT_GE(mol.angles().size(), 98u);
+  EXPECT_GE(mol.dihedrals().size(), 97u);
+  EXPECT_GT(mol.impropers().size(), 0u);
+  EXPECT_NO_THROW(mol.validate());
+}
+
+TEST(ChainTest, StaysInsideRegion) {
+  Molecule mol;
+  mol.box = {60, 60, 60};
+  const StdFF ff = StdFF::install(mol.params);
+  PlacementGrid grid(mol.box, 2.2);
+  Rng rng(9);
+  ChainOptions opt;
+  opt.beads = 300;
+  opt.lo = {20, 20, 20};
+  opt.hi = {40, 40, 40};
+  add_chain(mol, ff, grid, opt, rng);
+  for (const Vec3& p : mol.positions()) {
+    EXPECT_GE(p.x, 19.9);
+    EXPECT_LT(p.x, 40.1);
+    EXPECT_GE(p.z, 19.9);
+    EXPECT_LT(p.z, 40.1);
+  }
+}
+
+TEST(MembraneTest, LipidIsZwitterionicWithTails) {
+  Molecule mol;
+  mol.box = {40, 40, 60};
+  const StdFF ff = StdFF::install(mol.params);
+  PlacementGrid grid(mol.box, 2.2);
+  Rng rng(2);
+  LipidOptions opt;
+  const int added = add_lipid(mol, ff, grid, {20, 20, 45}, {0, 0, -1}, opt, rng);
+  EXPECT_EQ(added, 2 + 2 * opt.tail_len);
+  double q = 0;
+  for (const Atom& a : mol.atoms()) q += a.charge;
+  EXPECT_NEAR(q, 0.0, 1e-12);
+  // Tails extend downward from the head.
+  double min_z = 60;
+  for (const Vec3& p : mol.positions()) min_z = std::min(min_z, p.z);
+  EXPECT_LT(min_z, 35.0);
+  EXPECT_NO_THROW(mol.validate());
+}
+
+TEST(MembraneTest, BilayerHasTwoLeaflets) {
+  Molecule mol;
+  mol.box = {60, 60, 60};
+  const StdFF ff = StdFF::install(mol.params);
+  PlacementGrid grid(mol.box, 2.2);
+  Rng rng(4);
+  add_bilayer_disc(mol, ff, grid, {30, 30, 30}, 15.0, 8.0, 14.0, LipidOptions{}, rng);
+  EXPECT_GT(mol.atom_count(), 100);
+  int upper_heads = 0, lower_heads = 0;
+  for (int i = 0; i < mol.atom_count(); ++i) {
+    if (mol.atoms()[static_cast<std::size_t>(i)].charge > 0.5) {
+      const double z = mol.positions()[static_cast<std::size_t>(i)].z;
+      if (z > 40.0) ++upper_heads;
+      if (z < 20.0) ++lower_heads;
+    }
+  }
+  EXPECT_GT(upper_heads, 3);
+  EXPECT_GT(lower_heads, 3);
+}
+
+TEST(PresetTest, ApoA1ExactCountAndPatchGrid) {
+  const Molecule mol = apoa1_like();
+  EXPECT_EQ(mol.atom_count(), 92'224);
+  const CellGrid grid(mol.box, mol.suggested_patch_size);
+  EXPECT_EQ(grid.nx(), 7);
+  EXPECT_EQ(grid.ny(), 7);
+  EXPECT_EQ(grid.nz(), 5);
+  EXPECT_EQ(grid.cell_count(), 245);
+  EXPECT_NO_THROW(mol.validate());
+}
+
+TEST(PresetTest, Bc1ExactCountAndPatchGrid) {
+  const Molecule mol = bc1_like();
+  EXPECT_EQ(mol.atom_count(), 206'617);
+  const CellGrid grid(mol.box, mol.suggested_patch_size);
+  EXPECT_EQ(grid.cell_count(), 378);  // 7 x 6 x 9, as published
+  EXPECT_NO_THROW(mol.validate());
+}
+
+TEST(PresetTest, BrExactCountAndPatchGrid) {
+  const Molecule mol = br_like();
+  EXPECT_EQ(mol.atom_count(), 3'762);
+  const CellGrid grid(mol.box, mol.suggested_patch_size);
+  EXPECT_EQ(grid.cell_count(), 36);  // 3 x 4 x 3, as published
+  EXPECT_NO_THROW(mol.validate());
+}
+
+TEST(PresetTest, DeterministicForSeed) {
+  const Molecule a = br_like(3);
+  const Molecule b = br_like(3);
+  ASSERT_EQ(a.atom_count(), b.atom_count());
+  for (int i = 0; i < a.atom_count(); ++i) {
+    EXPECT_EQ(a.positions()[static_cast<std::size_t>(i)],
+              b.positions()[static_cast<std::size_t>(i)]);
+  }
+  const Molecule c = br_like(4);
+  bool any_differs = false;
+  for (int i = 0; i < a.atom_count() && !any_differs; ++i) {
+    any_differs = !(a.positions()[static_cast<std::size_t>(i)] ==
+                    c.positions()[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(PresetTest, ApoA1IsChargeNeutralish) {
+  const Molecule mol = apoa1_like();
+  double q = 0;
+  for (const Atom& a : mol.atoms()) q += a.charge;
+  // Waters and lipids are neutral; chain termini and ions can leave a small
+  // residue.
+  EXPECT_LT(std::fabs(q), 10.0);
+}
+
+TEST(PresetTest, ApoA1HasHeterogeneousDensity) {
+  // The lipid/protein core must be denser in bonded terms than the water
+  // shell — the source of the load imbalance the paper's LB fights.
+  const Molecule mol = apoa1_like();
+  const CellGrid grid(mol.box, mol.suggested_patch_size);
+  std::vector<int> bonded_per_cell(static_cast<std::size_t>(grid.cell_count()), 0);
+  for (const Dihedral& d : mol.dihedrals()) {
+    ++bonded_per_cell[static_cast<std::size_t>(
+        grid.cell_of(mol.positions()[static_cast<std::size_t>(d.a)]))];
+  }
+  int max_terms = 0, occupied = 0;
+  for (int c : bonded_per_cell) {
+    max_terms = std::max(max_terms, c);
+    occupied += c > 0;
+  }
+  // Dihedrals concentrate in the core cells; many water-only cells have none.
+  EXPECT_LT(occupied, grid.cell_count());
+  EXPECT_GT(max_terms, 50);
+}
+
+TEST(PresetTest, SmallSolvatedChainRespectsTarget) {
+  for (int target : {600, 1500, 4200}) {
+    const Molecule mol = small_solvated_chain(target, 5);
+    EXPECT_EQ(mol.atom_count(), target);
+    EXPECT_NO_THROW(mol.validate());
+  }
+}
+
+TEST(PresetTest, ExclusionsScaleLinearly) {
+  // Sanity on topology size: exclusions should be O(atoms), not quadratic.
+  const Molecule mol = br_like();
+  const ExclusionTable t = ExclusionTable::build(mol);
+  EXPECT_LT(t.full_entry_count(),
+            static_cast<std::size_t>(mol.atom_count()) * 12);
+  EXPECT_GT(t.full_entry_count(), static_cast<std::size_t>(mol.atom_count()));
+}
+
+}  // namespace
+}  // namespace scalemd

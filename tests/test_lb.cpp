@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "lb/greedy.hpp"
+#include "lb/naive.hpp"
+#include "lb/problem.hpp"
+#include "lb/rcb.hpp"
+#include "lb/refine.hpp"
+#include "util/random.hpp"
+#include "util/stats.hpp"
+
+namespace scalemd {
+namespace {
+
+/// A synthetic problem: `npatches` patches on a line, homes round-robin over
+/// PEs, one self object per patch plus pair objects between neighbors, loads
+/// drawn deterministically.
+LbProblem make_problem(int num_pes, int npatches, std::uint64_t seed = 3) {
+  Rng rng(seed);
+  LbProblem p;
+  p.num_pes = num_pes;
+  p.background.assign(static_cast<std::size_t>(num_pes), 0.0);
+  for (int i = 0; i < npatches; ++i) {
+    p.patch_home.push_back(i % num_pes);
+  }
+  for (int i = 0; i < npatches; ++i) {
+    LbObject self;
+    self.load = rng.uniform(0.5, 2.0);
+    self.current_pe = p.patch_home[static_cast<std::size_t>(i)];
+    self.patch_a = i;
+    p.objects.push_back(self);
+    if (i + 1 < npatches) {
+      LbObject pair;
+      pair.load = rng.uniform(0.2, 3.0);
+      pair.current_pe = p.patch_home[static_cast<std::size_t>(i)];
+      pair.patch_a = i;
+      pair.patch_b = i + 1;
+      p.objects.push_back(pair);
+    }
+  }
+  // Uneven background to exercise the strategies.
+  for (int pe = 0; pe < num_pes; ++pe) {
+    p.background[static_cast<std::size_t>(pe)] = (pe % 3 == 0) ? 0.8 : 0.1;
+  }
+  return p;
+}
+
+TEST(LbProblemTest, PeLoadsAndProxies) {
+  LbProblem p;
+  p.num_pes = 2;
+  p.background = {1.0, 0.5};
+  p.patch_home = {0, 1};
+  p.objects.push_back({.load = 2.0, .current_pe = 0, .patch_a = 0, .patch_b = 1});
+  const LbAssignment on0{0};
+  EXPECT_DOUBLE_EQ(pe_loads(p, on0)[0], 3.0);
+  EXPECT_DOUBLE_EQ(pe_loads(p, on0)[1], 0.5);
+  // Object on PE 0 needs patch 1 (home 1) proxied there.
+  EXPECT_EQ(count_proxies(p, on0), 1);
+  // On PE 1, it needs patch 0 proxied.
+  EXPECT_EQ(count_proxies(p, {1}), 1);
+}
+
+TEST(GreedyTest, BalancesLoadWithinThreshold) {
+  const LbProblem p = make_problem(8, 40);
+  const LbAssignment map = greedy_comm_map(p, 1.10);
+  const auto loads = pe_loads(p, map);
+  EXPECT_LE(imbalance_ratio(loads), 1.25);
+}
+
+TEST(GreedyTest, BeatsIdentityPlacement) {
+  const LbProblem p = make_problem(16, 48);
+  const auto before = imbalance_ratio(pe_loads(p, identity_map(p)));
+  const auto after = imbalance_ratio(pe_loads(p, greedy_comm_map(p)));
+  EXPECT_LT(after, before);
+}
+
+TEST(GreedyTest, CommAwareCreatesFewerProxiesThanBlind) {
+  const LbProblem p = make_problem(12, 60);
+  const int comm_proxies = count_proxies(p, greedy_comm_map(p));
+  const int blind_proxies = count_proxies(p, greedy_nocomm_map(p));
+  EXPECT_LT(comm_proxies, blind_proxies);
+}
+
+TEST(GreedyTest, AssignmentIsValid) {
+  const LbProblem p = make_problem(5, 23);
+  for (int pe : greedy_comm_map(p)) {
+    EXPECT_GE(pe, 0);
+    EXPECT_LT(pe, 5);
+  }
+}
+
+TEST(GreedyTest, SinglePeMapsEverythingThere) {
+  const LbProblem p = make_problem(1, 7);
+  for (int pe : greedy_comm_map(p)) EXPECT_EQ(pe, 0);
+}
+
+TEST(RefineTest, NeverIncreasesMaxLoad) {
+  const LbProblem p = make_problem(10, 50, 11);
+  const LbAssignment start = random_map(p, 5);
+  const auto before = summarize(pe_loads(p, start));
+  const LbAssignment refined = refine_map(p, start, 1.03);
+  const auto after = summarize(pe_loads(p, refined));
+  EXPECT_LE(after.max, before.max + 1e-12);
+}
+
+TEST(RefineTest, FixesSingleHotSpot) {
+  LbProblem p = make_problem(6, 30, 17);
+  // Pile everything on PE 0.
+  LbAssignment start(p.objects.size(), 0);
+  const LbAssignment refined = refine_map(p, start, 1.05);
+  const auto loads = pe_loads(p, refined);
+  EXPECT_LE(imbalance_ratio(loads), 1.3);
+  EXPECT_GT(migration_count(start, refined), 0);
+}
+
+TEST(RefineTest, BalancedInputUntouched) {
+  LbProblem p;
+  p.num_pes = 4;
+  p.background.assign(4, 0.0);
+  p.patch_home = {0, 1, 2, 3};
+  for (int i = 0; i < 4; ++i) {
+    p.objects.push_back({.load = 1.0, .current_pe = i, .patch_a = i});
+  }
+  const LbAssignment start{0, 1, 2, 3};
+  const LbAssignment refined = refine_map(p, start, 1.05);
+  EXPECT_EQ(migration_count(start, refined), 0);
+}
+
+TEST(RefineTest, RefinementAfterGreedyMovesLittle) {
+  const LbProblem p = make_problem(12, 60, 23);
+  const LbAssignment greedy = greedy_comm_map(p, 1.10);
+  const LbAssignment refined = refine_map(p, greedy, 1.03);
+  // The paper: the second cycle results in "only a few additional object
+  // migrations".
+  EXPECT_LE(migration_count(greedy, refined),
+            static_cast<int>(p.objects.size()) / 4);
+}
+
+TEST(RcbTest, RoundRobinWhenMorePesThanPatches) {
+  std::vector<Vec3> centers{{0, 0, 0}, {1, 0, 0}, {2, 0, 0}};
+  std::vector<double> weights{1, 1, 1};
+  const auto map = rcb_patch_map(centers, weights, 9);
+  EXPECT_EQ(map, (std::vector<int>{0, 3, 6}));
+}
+
+TEST(RcbTest, SplitsWeightEvenly) {
+  // 8 unit-weight patches on a line over 2 PEs: 4 and 4, spatially compact.
+  std::vector<Vec3> centers;
+  std::vector<double> weights;
+  for (int i = 0; i < 8; ++i) {
+    centers.push_back({static_cast<double>(i), 0, 0});
+    weights.push_back(1.0);
+  }
+  const auto map = rcb_patch_map(centers, weights, 2);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(map[static_cast<std::size_t>(i)], 0);
+  for (int i = 4; i < 8; ++i) EXPECT_EQ(map[static_cast<std::size_t>(i)], 1);
+}
+
+TEST(RcbTest, NeighborsLandTogetherIn3d) {
+  // 4x4x4 grid of patches over 8 PEs: each PE should get a 2x2x2 block.
+  std::vector<Vec3> centers;
+  std::vector<double> weights;
+  for (int z = 0; z < 4; ++z) {
+    for (int y = 0; y < 4; ++y) {
+      for (int x = 0; x < 4; ++x) {
+        centers.push_back({x + 0.5, y + 0.5, z + 0.5});
+        weights.push_back(1.0);
+      }
+    }
+  }
+  const auto map = rcb_patch_map(centers, weights, 8);
+  // Every PE gets exactly 8 patches.
+  std::vector<int> counts(8, 0);
+  for (int pe : map) ++counts[static_cast<std::size_t>(pe)];
+  for (int c : counts) EXPECT_EQ(c, 8);
+  // Patches on one PE are spatially compact: max pairwise distance within a
+  // 2x2x2 block is sqrt(3+3+3) units... allow the block diagonal.
+  for (int pe = 0; pe < 8; ++pe) {
+    for (std::size_t i = 0; i < map.size(); ++i) {
+      for (std::size_t j = i + 1; j < map.size(); ++j) {
+        if (map[i] == pe && map[j] == pe) {
+          EXPECT_LE(norm(centers[i] - centers[j]), std::sqrt(3.0) + 1e-9);
+        }
+      }
+    }
+  }
+}
+
+TEST(RcbTest, WeightedSplitFollowsWeight) {
+  // One very heavy patch: it should sit alone on one PE.
+  std::vector<Vec3> centers{{0, 0, 0}, {1, 0, 0}, {2, 0, 0}, {3, 0, 0}};
+  std::vector<double> weights{1, 1, 1, 10};
+  const auto map = rcb_patch_map(centers, weights, 2);
+  EXPECT_EQ(map[3], 1);
+  EXPECT_EQ(map[0], 0);
+  EXPECT_EQ(map[1], 0);
+  EXPECT_EQ(map[2], 0);
+}
+
+TEST(NaiveTest, RandomMapInRangeAndDeterministic) {
+  const LbProblem p = make_problem(7, 20);
+  const auto a = random_map(p, 42);
+  const auto b = random_map(p, 42);
+  EXPECT_EQ(a, b);
+  for (int pe : a) {
+    EXPECT_GE(pe, 0);
+    EXPECT_LT(pe, 7);
+  }
+}
+
+}  // namespace
+}  // namespace scalemd

@@ -1,0 +1,278 @@
+// Property-based (parameterized) suites: invariants checked across swept
+// parameter spaces rather than single examples.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "ff/switching.hpp"
+#include "lb/greedy.hpp"
+#include "lb/naive.hpp"
+#include "lb/rcb.hpp"
+#include "lb/refine.hpp"
+#include "seq/cell_list.hpp"
+#include "topo/exclusions.hpp"
+#include "topo/molecule.hpp"
+#include "util/random.hpp"
+#include "util/stats.hpp"
+
+namespace scalemd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Exclusions vs a brute-force reference, over random bond graphs
+// ---------------------------------------------------------------------------
+
+class ExclusionProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+/// O(n^2) reference: shortest bond-path length by Floyd-Warshall.
+std::vector<std::vector<int>> bond_distances(const Molecule& m) {
+  const int n = m.atom_count();
+  const int inf = 1 << 20;
+  std::vector<std::vector<int>> d(static_cast<std::size_t>(n),
+                                  std::vector<int>(static_cast<std::size_t>(n), inf));
+  for (int i = 0; i < n; ++i) d[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] = 0;
+  for (const Bond& b : m.bonds()) {
+    d[static_cast<std::size_t>(b.a)][static_cast<std::size_t>(b.b)] = 1;
+    d[static_cast<std::size_t>(b.b)][static_cast<std::size_t>(b.a)] = 1;
+  }
+  for (int k = 0; k < n; ++k) {
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        d[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+            std::min(d[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)],
+                     d[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)] +
+                         d[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)]);
+      }
+    }
+  }
+  return d;
+}
+
+TEST_P(ExclusionProperty, MatchesShortestPathClassification) {
+  Rng rng(GetParam());
+  Molecule m;
+  m.box = {100, 100, 100};
+  const int t = m.params.add_lj_type(0.1, 2.0);
+  const int bp = m.params.add_bond_param(100, 1.5);
+  m.params.finalize();
+  const int n = 12 + static_cast<int>(rng.uniform_index(20));
+  for (int i = 0; i < n; ++i) m.add_atom({12, 0, t}, rng.point_in_box({90, 90, 90}));
+  // Random sparse bond graph (skip duplicates and self bonds).
+  std::set<std::pair<int, int>> edges;
+  const int nbonds = static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(2 * n)));
+  for (int e = 0; e < nbonds; ++e) {
+    const int a = static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(n)));
+    const int b = static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(n)));
+    if (a == b) continue;
+    if (!edges.insert({std::min(a, b), std::max(a, b)}).second) continue;
+    m.add_bond(a, b, bp);
+  }
+
+  const ExclusionTable table = ExclusionTable::build(m);
+  const auto dist = bond_distances(m);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const int d = dist[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      const ExclusionKind expected = (i == j || d <= 2) ? ExclusionKind::kFull
+                                     : d == 3           ? ExclusionKind::kModified14
+                                                        : ExclusionKind::kNone;
+      EXPECT_EQ(table.check(i, j), expected) << i << "," << j << " d=" << d;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, ExclusionProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---------------------------------------------------------------------------
+// Switching function invariants over (switch_dist, cutoff) combinations
+// ---------------------------------------------------------------------------
+
+class SwitchingProperty
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(SwitchingProperty, SmoothMonotoneAndBounded) {
+  const auto [rs, rc] = GetParam();
+  const SwitchFunction s(rs, rc);
+  double prev = 1.0;
+  for (double r = 0.5; r < rc + 2.0; r += 0.01) {
+    const double v = s.value(r * r);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+    EXPECT_LE(v, prev + 1e-12);  // monotone non-increasing in r
+    prev = v;
+    // Derivative consistency everywhere.
+    const double h = 1e-7;
+    const double fd = (s.value(r * r + h) - s.value(r * r - h)) / (2 * h);
+    EXPECT_NEAR(s.dvalue_dr2(r * r), fd, 1e-5 + 1e-3 * std::fabs(fd));
+  }
+  EXPECT_DOUBLE_EQ(s.value(rs * rs), 1.0);
+  EXPECT_NEAR(s.value(rc * rc), 0.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(CutoffCombos, SwitchingProperty,
+                         ::testing::Values(std::pair{8.0, 10.0},
+                                           std::pair{10.0, 12.0},
+                                           std::pair{6.0, 12.0},
+                                           std::pair{11.5, 12.0},
+                                           std::pair{1.0, 3.0}));
+
+// ---------------------------------------------------------------------------
+// RCB invariants over random weighted point clouds
+// ---------------------------------------------------------------------------
+
+class RcbProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RcbProperty, BalancedAndComplete) {
+  const int pes = GetParam();
+  Rng rng(static_cast<std::uint64_t>(pes) * 7919);
+  std::vector<Vec3> centers;
+  std::vector<double> weights;
+  const int n = pes * 8;
+  for (int i = 0; i < n; ++i) {
+    centers.push_back(rng.point_in_box({100, 80, 60}));
+    weights.push_back(rng.uniform(0.5, 2.0));
+  }
+  const auto map = rcb_patch_map(centers, weights, pes);
+  ASSERT_EQ(map.size(), centers.size());
+
+  std::vector<double> load(static_cast<std::size_t>(pes), 0.0);
+  for (std::size_t i = 0; i < map.size(); ++i) {
+    ASSERT_GE(map[i], 0);
+    ASSERT_LT(map[i], pes);
+    load[static_cast<std::size_t>(map[i])] += weights[i];
+  }
+  // Every PE used, and no PE more than ~3x the average weight (RCB's
+  // guarantee is coarse for small item counts).
+  const Summary s = summarize(load);
+  EXPECT_GT(s.min, 0.0);
+  EXPECT_LT(s.max, 3.0 * s.mean);
+}
+
+INSTANTIATE_TEST_SUITE_P(PeCounts, RcbProperty,
+                         ::testing::Values(2, 3, 4, 7, 8, 16, 31, 64));
+
+// ---------------------------------------------------------------------------
+// Greedy + refine invariants over random LB problems
+// ---------------------------------------------------------------------------
+
+struct LbCase {
+  int pes;
+  int patches;
+  std::uint64_t seed;
+};
+
+class LbProperty : public ::testing::TestWithParam<LbCase> {};
+
+LbProblem random_problem(const LbCase& c) {
+  Rng rng(c.seed);
+  LbProblem p;
+  p.num_pes = c.pes;
+  p.background.assign(static_cast<std::size_t>(c.pes), 0.0);
+  for (int pe = 0; pe < c.pes; ++pe) {
+    p.background[static_cast<std::size_t>(pe)] = rng.uniform(0.0, 0.3);
+  }
+  for (int i = 0; i < c.patches; ++i) {
+    p.patch_home.push_back(static_cast<int>(
+        rng.uniform_index(static_cast<std::uint64_t>(c.pes))));
+  }
+  const int objs = c.patches * 6;
+  for (int i = 0; i < objs; ++i) {
+    LbObject o;
+    o.load = rng.uniform(0.05, 1.5);
+    o.patch_a = static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(c.patches)));
+    if (rng.uniform() < 0.5) {
+      o.patch_b = static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(c.patches)));
+      if (o.patch_b == o.patch_a) o.patch_b = -1;
+    }
+    o.current_pe = p.patch_home[static_cast<std::size_t>(o.patch_a)];
+    p.objects.push_back(o);
+  }
+  return p;
+}
+
+TEST_P(LbProperty, GreedyRefinePipelineInvariants) {
+  const LbProblem p = random_problem(GetParam());
+  const LbAssignment greedy = greedy_comm_map(p, 1.10);
+  const LbAssignment refined = refine_map(p, greedy, 1.03);
+
+  // Valid range.
+  for (int pe : refined) {
+    ASSERT_GE(pe, 0);
+    ASSERT_LT(pe, p.num_pes);
+  }
+  // Refinement never raises the max load.
+  EXPECT_LE(summarize(pe_loads(p, refined)).max,
+            summarize(pe_loads(p, greedy)).max + 1e-12);
+  // The pipeline beats both the identity and random placements.
+  EXPECT_LE(summarize(pe_loads(p, refined)).max,
+            summarize(pe_loads(p, identity_map(p))).max + 1e-12);
+  EXPECT_LE(summarize(pe_loads(p, refined)).max,
+            summarize(pe_loads(p, random_map(p))).max + 1e-12);
+  // Proxy-aware greedy never uses more proxies than fully random placement.
+  EXPECT_LE(count_proxies(p, greedy), count_proxies(p, random_map(p)));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomProblems, LbProperty,
+                         ::testing::Values(LbCase{4, 12, 1}, LbCase{8, 24, 2},
+                                           LbCase{16, 16, 3}, LbCase{32, 64, 4},
+                                           LbCase{64, 40, 5}, LbCase{128, 96, 6},
+                                           LbCase{13, 29, 7}, LbCase{100, 245, 8}));
+
+// ---------------------------------------------------------------------------
+// Cell grid invariants across box shapes
+// ---------------------------------------------------------------------------
+
+class CellGridProperty
+    : public ::testing::TestWithParam<std::pair<Vec3, double>> {};
+
+TEST_P(CellGridProperty, NeighborRelationIsSymmetricAndLocal) {
+  const auto [box, cell] = GetParam();
+  const CellGrid g(box, cell);
+  // Every atom position maps into a valid cell.
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const int c = g.cell_of(rng.point_in_box(box));
+    ASSERT_GE(c, 0);
+    ASSERT_LT(c, g.cell_count());
+  }
+  // neighbor_pairs covers exactly the 26-neighborhood, each pair once.
+  std::set<std::pair<int, int>> seen;
+  for (const auto& [a, b] : g.neighbor_pairs()) {
+    ASSERT_LT(a, b);
+    ASSERT_TRUE(seen.insert({a, b}).second) << "duplicate pair";
+    const Int3 ca = g.coords(a);
+    const Int3 cb = g.coords(b);
+    EXPECT_LE(std::abs(ca.x - cb.x), 1);
+    EXPECT_LE(std::abs(ca.y - cb.y), 1);
+    EXPECT_LE(std::abs(ca.z - cb.z), 1);
+  }
+  // Upstream sets partition the pair relation: (c, u) with u upstream of c
+  // appears exactly once over all cells.
+  std::size_t upstream_total = 0;
+  for (int c = 0; c < g.cell_count(); ++c) {
+    upstream_total += g.upstream_neighbors(c).size();
+  }
+  std::size_t dominance_pairs = 0;
+  for (const auto& [a, b] : g.neighbor_pairs()) {
+    const Int3 ca = g.coords(a);
+    const Int3 cb = g.coords(b);
+    const bool a_le_b = ca.x <= cb.x && ca.y <= cb.y && ca.z <= cb.z;
+    const bool b_le_a = cb.x <= ca.x && cb.y <= ca.y && cb.z <= ca.z;
+    if (a_le_b || b_le_a) ++dominance_pairs;
+  }
+  EXPECT_EQ(upstream_total, dominance_pairs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boxes, CellGridProperty,
+    ::testing::Values(std::pair{Vec3{108, 108, 78}, 15.42},
+                      std::pair{Vec3{38, 50.5, 38}, 12.6},
+                      std::pair{Vec3{20, 20, 20}, 25.0},  // single cell
+                      std::pair{Vec3{100, 10, 10}, 10.0},
+                      std::pair{Vec3{33.3, 47.1, 61.9}, 11.7}));
+
+}  // namespace
+}  // namespace scalemd

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "topo/exclusions.hpp"
+#include "topo/molecule.hpp"
+#include "topo/parameters.hpp"
+#include "util/units.hpp"
+
+namespace scalemd {
+namespace {
+
+/// Linear pentane-like chain 0-1-2-3-4 used by the exclusion tests.
+Molecule make_chain5() {
+  Molecule m;
+  m.box = {20, 20, 20};
+  const int t = m.params.add_lj_type(0.1, 2.0);
+  const int b = m.params.add_bond_param(100.0, 1.5);
+  m.params.finalize();
+  for (int i = 0; i < 5; ++i) {
+    m.add_atom({12.0, 0.0, t}, {2.0 + 1.5 * i, 10, 10});
+  }
+  for (int i = 0; i < 4; ++i) m.add_bond(i, i + 1, b);
+  return m;
+}
+
+TEST(ParameterTableTest, LorentzBerthelotStyleMixing) {
+  ParameterTable pt;
+  const int a = pt.add_lj_type(0.16, 1.8);
+  const int b = pt.add_lj_type(0.04, 1.2);
+  pt.finalize();
+  const LJPair& mixed = pt.lj_pair(a, b);
+  const double eps = std::sqrt(0.16 * 0.04);
+  const double rmin = 1.8 + 1.2;
+  const double r6 = std::pow(rmin, 6);
+  EXPECT_NEAR(mixed.a, eps * r6 * r6, 1e-9);
+  EXPECT_NEAR(mixed.b, 2.0 * eps * r6, 1e-9);
+  // Symmetric.
+  EXPECT_DOUBLE_EQ(pt.lj_pair(a, b).a, pt.lj_pair(b, a).a);
+}
+
+TEST(ParameterTableTest, PairTableMinimumAtRmin) {
+  ParameterTable pt;
+  const int a = pt.add_lj_type(0.2, 1.9);
+  pt.finalize();
+  const LJPair& p = pt.lj_pair(a, a);
+  const double rmin = 3.8;
+  auto energy = [&](double r) {
+    return p.a / std::pow(r, 12) - p.b / std::pow(r, 6);
+  };
+  // Minimum value is -eps at r = rmin.
+  EXPECT_NEAR(energy(rmin), -0.2, 1e-9);
+  EXPECT_GT(energy(rmin * 0.98), energy(rmin));
+  EXPECT_GT(energy(rmin * 1.02), energy(rmin));
+}
+
+TEST(MoleculeTest, AddAndCount) {
+  Molecule m = make_chain5();
+  EXPECT_EQ(m.atom_count(), 5);
+  EXPECT_EQ(m.bonds().size(), 4u);
+  EXPECT_NO_THROW(m.validate());
+  EXPECT_DOUBLE_EQ(m.total_mass(), 60.0);
+}
+
+TEST(MoleculeTest, ValidateCatchesBadIndices) {
+  Molecule m = make_chain5();
+  m.add_bond(0, 99, 0);
+  EXPECT_THROW(m.validate(), std::runtime_error);
+}
+
+TEST(MoleculeTest, ValidateCatchesOutOfBox) {
+  Molecule m = make_chain5();
+  m.positions()[0] = {-1, 0, 0};
+  EXPECT_THROW(m.validate(), std::runtime_error);
+}
+
+TEST(MoleculeTest, MergeOffsetsIndicesAndPositions) {
+  Molecule a = make_chain5();
+  const Molecule b = make_chain5();
+  a.merge(b, {0, 5, 0});
+  EXPECT_EQ(a.atom_count(), 10);
+  EXPECT_EQ(a.bonds().size(), 8u);
+  EXPECT_EQ(a.bonds()[4].a, 5);
+  EXPECT_EQ(a.bonds()[4].b, 6);
+  EXPECT_DOUBLE_EQ(a.positions()[5].y, 15.0);
+}
+
+TEST(MoleculeTest, VelocityAssignmentMatchesTemperature) {
+  Molecule m;
+  m.box = {100, 100, 100};
+  const int t = m.params.add_lj_type(0.1, 2.0);
+  m.params.finalize();
+  for (int i = 0; i < 5000; ++i) {
+    m.add_atom({12.0, 0.0, t}, {50, 50, 50});
+  }
+  m.assign_velocities(300.0, 1234);
+  double ke = 0.0;
+  Vec3 p;
+  for (int i = 0; i < m.atom_count(); ++i) {
+    ke += 0.5 * 12.0 * norm2(m.velocities()[static_cast<std::size_t>(i)]);
+    p += m.velocities()[static_cast<std::size_t>(i)] * 12.0;
+  }
+  // Momentum removed exactly; temperature within sampling error.
+  EXPECT_NEAR(norm(p), 0.0, 1e-9);
+  const double temp = 2.0 * ke / (3.0 * m.atom_count() * units::kBoltzmann);
+  EXPECT_NEAR(temp, 300.0, 10.0);
+}
+
+TEST(ExclusionTest, ChainTopologyKinds) {
+  const Molecule m = make_chain5();
+  const ExclusionTable t = ExclusionTable::build(m);
+  // 1-2 and 1-3 are full exclusions.
+  EXPECT_EQ(t.check(0, 1), ExclusionKind::kFull);
+  EXPECT_EQ(t.check(0, 2), ExclusionKind::kFull);
+  // 1-4 is modified.
+  EXPECT_EQ(t.check(0, 3), ExclusionKind::kModified14);
+  // 1-5 interacts fully.
+  EXPECT_EQ(t.check(0, 4), ExclusionKind::kNone);
+  // Self.
+  EXPECT_EQ(t.check(2, 2), ExclusionKind::kFull);
+}
+
+TEST(ExclusionTest, Symmetry) {
+  const Molecule m = make_chain5();
+  const ExclusionTable t = ExclusionTable::build(m);
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      EXPECT_EQ(t.check(i, j), t.check(j, i)) << i << "," << j;
+    }
+  }
+}
+
+TEST(ExclusionTest, RingClosesCorrectly) {
+  // Cyclohexane-like ring of 6: every pair is within 3 bonds.
+  Molecule m;
+  m.box = {20, 20, 20};
+  const int t = m.params.add_lj_type(0.1, 2.0);
+  const int b = m.params.add_bond_param(100.0, 1.5);
+  m.params.finalize();
+  for (int i = 0; i < 6; ++i) {
+    m.add_atom({12.0, 0.0, t},
+               {10 + 3 * std::cos(i * M_PI / 3), 10 + 3 * std::sin(i * M_PI / 3), 10});
+  }
+  for (int i = 0; i < 6; ++i) m.add_bond(i, (i + 1) % 6, b);
+  const ExclusionTable tab = ExclusionTable::build(m);
+  EXPECT_EQ(tab.check(0, 1), ExclusionKind::kFull);
+  EXPECT_EQ(tab.check(0, 2), ExclusionKind::kFull);
+  // Atom 3 is three bonds away in both directions.
+  EXPECT_EQ(tab.check(0, 3), ExclusionKind::kModified14);
+}
+
+TEST(ExclusionTest, ShorterPathWins) {
+  // Triangle: 0-1, 1-2, 0-2. Atom 2 is both 1 and 2 bonds from 0 -> kFull.
+  Molecule m;
+  m.box = {20, 20, 20};
+  const int t = m.params.add_lj_type(0.1, 2.0);
+  const int b = m.params.add_bond_param(100.0, 1.5);
+  m.params.finalize();
+  m.add_atom({12.0, 0.0, t}, {5, 5, 5});
+  m.add_atom({12.0, 0.0, t}, {6.5, 5, 5});
+  m.add_atom({12.0, 0.0, t}, {5.75, 6.3, 5});
+  m.add_bond(0, 1, b);
+  m.add_bond(1, 2, b);
+  m.add_bond(0, 2, b);
+  const ExclusionTable tab = ExclusionTable::build(m);
+  EXPECT_EQ(tab.check(0, 2), ExclusionKind::kFull);
+}
+
+TEST(ExclusionTest, IsolatedAtomsExcludeNothing) {
+  Molecule m;
+  m.box = {10, 10, 10};
+  const int t = m.params.add_lj_type(0.1, 2.0);
+  m.params.finalize();
+  m.add_atom({12.0, 0.0, t}, {2, 2, 2});
+  m.add_atom({12.0, 0.0, t}, {8, 8, 8});
+  const ExclusionTable tab = ExclusionTable::build(m);
+  EXPECT_EQ(tab.check(0, 1), ExclusionKind::kNone);
+  EXPECT_EQ(tab.full_entry_count(), 0u);
+  EXPECT_EQ(tab.modified_entry_count(), 0u);
+}
+
+}  // namespace
+}  // namespace scalemd

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "trace/audit.hpp"
+#include "trace/event_log.hpp"
+#include "trace/grainsize.hpp"
+#include "trace/summary.hpp"
+#include "trace/timeline.hpp"
+
+namespace scalemd {
+namespace {
+
+MachineModel quiet_machine() {
+  MachineModel m;
+  m.send_overhead = 0.0;
+  m.recv_overhead = 0.0;
+  m.latency = 0.5;
+  m.byte_time = 0.0;
+  m.pack_byte_cost = 0.0;
+  m.local_overhead = 0.0;
+  return m;
+}
+
+TEST(SummaryProfileTest, AccumulatesPerEntry) {
+  Simulator sim(2, quiet_machine());
+  const EntryId nb = sim.entries().add("nonbonded", WorkCategory::kNonbonded);
+  const EntryId integ = sim.entries().add("integrate", WorkCategory::kIntegration);
+  SummaryProfile prof(sim.entries(), 2);
+  sim.set_sink(&prof);
+
+  sim.inject(0, {.entry = nb, .fn = [](ExecContext& c) { c.charge(1.0); }});
+  sim.inject(0, {.entry = nb, .fn = [](ExecContext& c) { c.charge(2.0); }});
+  sim.inject(1, {.entry = integ, .fn = [](ExecContext& c) { c.charge(0.5); }});
+  sim.run();
+
+  EXPECT_EQ(prof.entry(nb).count, 2u);
+  EXPECT_DOUBLE_EQ(prof.entry(nb).total, 3.0);
+  EXPECT_DOUBLE_EQ(prof.entry(nb).max_duration, 2.0);
+  EXPECT_DOUBLE_EQ(prof.category_total(WorkCategory::kNonbonded), 3.0);
+  EXPECT_DOUBLE_EQ(prof.category_total(WorkCategory::kIntegration), 0.5);
+  EXPECT_DOUBLE_EQ(prof.pe_busy(0), 3.0);
+  EXPECT_DOUBLE_EQ(prof.pe_busy(1), 0.5);
+
+  const std::string text = prof.render();
+  EXPECT_NE(text.find("nonbonded"), std::string::npos);
+
+  prof.reset();
+  EXPECT_EQ(prof.entry(nb).count, 0u);
+  EXPECT_DOUBLE_EQ(prof.pe_busy(0), 0.0);
+}
+
+TEST(EventLogTest, RecordsAndFilters) {
+  Simulator sim(1, quiet_machine());
+  const EntryId a = sim.entries().add("a", WorkCategory::kNonbonded);
+  const EntryId b = sim.entries().add("b", WorkCategory::kBonded);
+  EventLog log;
+  sim.set_sink(&log);
+  sim.inject(0, {.entry = a, .fn = [](ExecContext& c) { c.charge(1.0); }});
+  sim.inject(0, {.entry = b, .fn = [](ExecContext& c) { c.charge(1.0); }});
+  sim.inject(0, {.entry = a, .fn = [](ExecContext& c) { c.charge(1.0); }}, 10.0);
+  sim.run();
+  EXPECT_EQ(log.tasks().size(), 3u);
+  EXPECT_EQ(log.tasks_of(a, 0.0, 5.0).size(), 1u);
+  EXPECT_EQ(log.tasks_of(a, 0.0, 20.0).size(), 2u);
+  log.clear();
+  EXPECT_TRUE(log.tasks().empty());
+}
+
+TEST(GrainsizeTest, HistogramPerStepAveraging) {
+  Simulator sim(4, quiet_machine());
+  const EntryId nb = sim.entries().add("nb", WorkCategory::kNonbonded);
+  EventLog log;
+  sim.set_sink(&log);
+  // Two "steps" of identical work: 8 tasks of 9 ms, 2 tasks of 40 ms.
+  for (int step = 0; step < 2; ++step) {
+    for (int i = 0; i < 8; ++i) {
+      sim.inject(i % 4, {.entry = nb, .fn = [](ExecContext& c) { c.charge(0.009); }},
+                 step * 1.0);
+    }
+    for (int i = 0; i < 2; ++i) {
+      sim.inject(i, {.entry = nb, .fn = [](ExecContext& c) { c.charge(0.040); }},
+                 step * 1.0 + 0.5);
+    }
+  }
+  sim.run();
+  const Histogram h = grainsize_histogram(log, sim.entries(),
+                                          WorkCategory::kNonbonded, /*steps=*/2);
+  EXPECT_EQ(h.total(), 10u);  // 8 + 2 per average step
+  EXPECT_NEAR(h.max_sample(), 41.0, 1.01);
+  // The 9 ms bin holds 8 tasks.
+  EXPECT_EQ(h.count(4), 8u);  // bin [8,10) with default 2 ms bins
+}
+
+TEST(TimelineTest, RendersBusyAndIdle) {
+  Simulator sim(2, quiet_machine());
+  const EntryId nb = sim.entries().add("nb", WorkCategory::kNonbonded);
+  const EntryId in = sim.entries().add("integ", WorkCategory::kIntegration);
+  EventLog log;
+  sim.set_sink(&log);
+  sim.inject(0, {.entry = nb, .fn = [](ExecContext& c) { c.charge(1.0); }});
+  sim.inject(1, {.entry = in, .fn = [](ExecContext& c) { c.charge(0.25); }});
+  sim.run();
+  TimelineOptions opts;
+  opts.num_pes = 2;
+  opts.width = 40;
+  const std::string s = render_timeline(log, sim.entries(), opts);
+  EXPECT_NE(s.find('N'), std::string::npos);
+  EXPECT_NE(s.find('I'), std::string::npos);
+  EXPECT_NE(s.find('.'), std::string::npos);  // pe1 idle most of the window
+  EXPECT_NE(s.find("pe0"), std::string::npos);
+  EXPECT_NE(s.find("pe1"), std::string::npos);
+}
+
+TEST(AuditTest, IdealRowDividesByPes) {
+  const AuditRow r = ideal_audit(52.44, 3.16, 1.44, 1024, 1);
+  EXPECT_NEAR(r.nonbonded, 52.44 * 1e3 / 1024, 1e-9);
+  EXPECT_NEAR(r.total, 57.04 * 1e3 / 1024, 1e-6);
+  EXPECT_DOUBLE_EQ(r.overhead, 0.0);
+  EXPECT_DOUBLE_EQ(r.idle, 0.0);
+}
+
+TEST(AuditTest, ActualRowDecomposes) {
+  Simulator sim(2, quiet_machine());
+  const EntryId nb = sim.entries().add("nb", WorkCategory::kNonbonded);
+  SummaryProfile prof(sim.entries(), 2);
+  sim.set_sink(&prof);
+  // PE0 busy 2.0, PE1 busy 1.0; span 3.0 (PE0 runs two seq tasks).
+  sim.inject(0, {.entry = nb, .fn = [](ExecContext& c) { c.charge(1.0); }});
+  sim.inject(0, {.entry = nb, .fn = [](ExecContext& c) { c.charge(1.0); }});
+  sim.inject(1, {.entry = nb, .fn = [](ExecContext& c) { c.charge(1.0); }});
+  sim.run();
+  const AuditRow r = actual_audit(prof, /*window=*/2.0, /*num_pes=*/2, /*steps=*/1);
+  EXPECT_DOUBLE_EQ(r.total, 2000.0);
+  // avg busy = 1.5 s -> 1500 ms; max busy = 2.0 s.
+  EXPECT_DOUBLE_EQ(r.imbalance, 500.0);
+  EXPECT_DOUBLE_EQ(r.idle, 0.0);
+  EXPECT_NEAR(r.nonbonded, 1500.0, 1e-9);
+  const std::string text = render_audit(ideal_audit(3, 0, 0, 2, 1), r);
+  EXPECT_NE(text.find("Ideal"), std::string::npos);
+  EXPECT_NE(text.find("Actual"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scalemd

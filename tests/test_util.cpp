@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/histogram.hpp"
+#include "util/random.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/vec3.hpp"
+
+namespace scalemd {
+namespace {
+
+TEST(Vec3Test, Arithmetic) {
+  const Vec3 a{1, 2, 3};
+  const Vec3 b{4, 5, 6};
+  EXPECT_EQ(a + b, (Vec3{5, 7, 9}));
+  EXPECT_EQ(b - a, (Vec3{3, 3, 3}));
+  EXPECT_EQ(a * 2.0, (Vec3{2, 4, 6}));
+  EXPECT_EQ(2.0 * a, a * 2.0);
+  EXPECT_EQ(-a, (Vec3{-1, -2, -3}));
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+}
+
+TEST(Vec3Test, CrossIsOrthogonal) {
+  const Vec3 a{1, 2, 3};
+  const Vec3 b{-2, 1, 5};
+  const Vec3 c = cross(a, b);
+  EXPECT_NEAR(dot(c, a), 0.0, 1e-12);
+  EXPECT_NEAR(dot(c, b), 0.0, 1e-12);
+}
+
+TEST(Vec3Test, NormAndNormalize) {
+  const Vec3 a{3, 4, 0};
+  EXPECT_DOUBLE_EQ(norm2(a), 25.0);
+  EXPECT_DOUBLE_EQ(norm(a), 5.0);
+  EXPECT_NEAR(norm(normalized(a)), 1.0, 1e-14);
+}
+
+TEST(Vec3Test, RotateRodrigues) {
+  const Vec3 x{1, 0, 0};
+  const Vec3 z{0, 0, 1};
+  const Vec3 r = rotate(x, z, M_PI / 2);
+  EXPECT_NEAR(r.x, 0.0, 1e-12);
+  EXPECT_NEAR(r.y, 1.0, 1e-12);
+  EXPECT_NEAR(r.z, 0.0, 1e-12);
+  // Rotation preserves length and angle with the axis.
+  const Vec3 v{0.3, -0.7, 0.2};
+  const Vec3 axis = normalized(Vec3{1, 2, -1});
+  const Vec3 w = rotate(v, axis, 1.234);
+  EXPECT_NEAR(norm(w), norm(v), 1e-12);
+  EXPECT_NEAR(dot(w, axis), dot(v, axis), 1e-12);
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(2.0, 5.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng r(11);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(RngTest, UnitVectorIsUnit) {
+  Rng r(13);
+  Vec3 mean;
+  for (int i = 0; i < 2000; ++i) {
+    const Vec3 v = r.unit_vector();
+    EXPECT_NEAR(norm(v), 1.0, 1e-12);
+    mean += v;
+  }
+  // Directions should average out.
+  EXPECT_LT(norm(mean) / 2000.0, 0.05);
+}
+
+TEST(HistogramTest, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(3.9);   // bin 1
+  h.add(9.99);  // bin 4
+  h.add(-1.0);  // clamped into bin 0
+  h.add(25.0);  // clamped into bin 4
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.clamped(), 2u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(2), 0u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.max_sample(), 25.0);
+}
+
+TEST(HistogramTest, WeightedAddAndRender) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(1.5, 10);
+  EXPECT_EQ(h.count(1), 10u);
+  EXPECT_EQ(h.total(), 10u);
+  const std::string s = h.render(20);
+  EXPECT_NE(s.find('#'), std::string::npos);
+  EXPECT_NE(s.find("10"), std::string::npos);
+}
+
+TEST(StatsTest, Summarize) {
+  const double vals[] = {1.0, 2.0, 3.0, 4.0};
+  const Summary s = summarize(vals);
+  EXPECT_EQ(s.n, 4u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.sum, 10.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+}
+
+TEST(StatsTest, EmptyIsZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(StatsTest, ImbalanceRatio) {
+  const double balanced[] = {2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(imbalance_ratio(balanced), 1.0);
+  const double skewed[] = {4.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(imbalance_ratio(skewed), 2.0);
+  EXPECT_DOUBLE_EQ(imbalance_ratio({}), 1.0);
+}
+
+TEST(TableTest, RenderAligned) {
+  Table t({"Processors", "Time"});
+  t.add_row({"1", "57.1"});
+  t.add_row({"2048", "0.0573"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("Processors"), std::string::npos);
+  EXPECT_NE(s.find("0.0573"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TableTest, SignificantDigitFormat) {
+  EXPECT_EQ(fmt_sig(57.123, 3), "57.1");
+  EXPECT_EQ(fmt_sig(0.082212, 3), "0.0822");
+  EXPECT_EQ(fmt_sig(3.94, 2), "3.9");
+  EXPECT_EQ(fmt_sig(1252.4, 4), "1252");
+  EXPECT_EQ(fmt_sig(0.0, 3), "0");
+  EXPECT_EQ(fmt_fixed(2.0 / 3.0, 2), "0.67");
+}
+
+}  // namespace
+}  // namespace scalemd

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_fullelec.dir/bench_ext_fullelec.cpp.o"
+  "CMakeFiles/bench_ext_fullelec.dir/bench_ext_fullelec.cpp.o.d"
+  "bench_ext_fullelec"
+  "bench_ext_fullelec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_fullelec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_grainsize.dir/bench_fig12_grainsize.cpp.o"
+  "CMakeFiles/bench_fig12_grainsize.dir/bench_fig12_grainsize.cpp.o.d"
+  "bench_fig12_grainsize"
+  "bench_fig12_grainsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_grainsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

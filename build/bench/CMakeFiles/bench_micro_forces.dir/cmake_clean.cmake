@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_forces.dir/bench_micro_forces.cpp.o"
+  "CMakeFiles/bench_micro_forces.dir/bench_micro_forces.cpp.o.d"
+  "bench_micro_forces"
+  "bench_micro_forces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_forces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

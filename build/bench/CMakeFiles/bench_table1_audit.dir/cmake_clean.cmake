@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_audit.dir/bench_table1_audit.cpp.o"
+  "CMakeFiles/bench_table1_audit.dir/bench_table1_audit.cpp.o.d"
+  "bench_table1_audit"
+  "bench_table1_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

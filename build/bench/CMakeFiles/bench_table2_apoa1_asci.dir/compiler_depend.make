@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table2_apoa1_asci.
+# This may be replaced when dependencies are built.

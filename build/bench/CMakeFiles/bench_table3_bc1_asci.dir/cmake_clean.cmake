@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_bc1_asci.dir/bench_table3_bc1_asci.cpp.o"
+  "CMakeFiles/bench_table3_bc1_asci.dir/bench_table3_bc1_asci.cpp.o.d"
+  "bench_table3_bc1_asci"
+  "bench_table3_bc1_asci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_bc1_asci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_br_asci.dir/bench_table4_br_asci.cpp.o"
+  "CMakeFiles/bench_table4_br_asci.dir/bench_table4_br_asci.cpp.o.d"
+  "bench_table4_br_asci"
+  "bench_table4_br_asci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_br_asci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

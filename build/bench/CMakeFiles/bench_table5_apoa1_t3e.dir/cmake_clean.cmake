@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_apoa1_t3e.dir/bench_table5_apoa1_t3e.cpp.o"
+  "CMakeFiles/bench_table5_apoa1_t3e.dir/bench_table5_apoa1_t3e.cpp.o.d"
+  "bench_table5_apoa1_t3e"
+  "bench_table5_apoa1_t3e.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_apoa1_t3e.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_apoa1_o2k.dir/bench_table6_apoa1_o2k.cpp.o"
+  "CMakeFiles/bench_table6_apoa1_o2k.dir/bench_table6_apoa1_o2k.cpp.o.d"
+  "bench_table6_apoa1_o2k"
+  "bench_table6_apoa1_o2k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_apoa1_o2k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

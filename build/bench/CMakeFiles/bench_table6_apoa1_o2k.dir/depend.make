@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table6_apoa1_o2k.
+# This may be replaced when dependencies are built.

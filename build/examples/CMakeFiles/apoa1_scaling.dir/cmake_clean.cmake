@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apoa1_scaling.dir/apoa1_scaling.cpp.o"
+  "CMakeFiles/apoa1_scaling.dir/apoa1_scaling.cpp.o.d"
+  "apoa1_scaling"
+  "apoa1_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apoa1_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

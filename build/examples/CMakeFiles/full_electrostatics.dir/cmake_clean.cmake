@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_electrostatics.dir/full_electrostatics.cpp.o"
+  "CMakeFiles/full_electrostatics.dir/full_electrostatics.cpp.o.d"
+  "full_electrostatics"
+  "full_electrostatics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_electrostatics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

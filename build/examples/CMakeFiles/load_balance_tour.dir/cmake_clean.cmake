@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_balance_tour.dir/load_balance_tour.cpp.o"
+  "CMakeFiles/load_balance_tour.dir/load_balance_tour.cpp.o.d"
+  "load_balance_tour"
+  "load_balance_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_balance_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cpp" "src/CMakeFiles/scalemd.dir/core/baselines.cpp.o" "gcc" "src/CMakeFiles/scalemd.dir/core/baselines.cpp.o.d"
+  "/root/repo/src/core/compute_plan.cpp" "src/CMakeFiles/scalemd.dir/core/compute_plan.cpp.o" "gcc" "src/CMakeFiles/scalemd.dir/core/compute_plan.cpp.o.d"
+  "/root/repo/src/core/decomposition.cpp" "src/CMakeFiles/scalemd.dir/core/decomposition.cpp.o" "gcc" "src/CMakeFiles/scalemd.dir/core/decomposition.cpp.o.d"
+  "/root/repo/src/core/driver.cpp" "src/CMakeFiles/scalemd.dir/core/driver.cpp.o" "gcc" "src/CMakeFiles/scalemd.dir/core/driver.cpp.o.d"
+  "/root/repo/src/core/parallel_sim.cpp" "src/CMakeFiles/scalemd.dir/core/parallel_sim.cpp.o" "gcc" "src/CMakeFiles/scalemd.dir/core/parallel_sim.cpp.o.d"
+  "/root/repo/src/core/work_cache.cpp" "src/CMakeFiles/scalemd.dir/core/work_cache.cpp.o" "gcc" "src/CMakeFiles/scalemd.dir/core/work_cache.cpp.o.d"
+  "/root/repo/src/des/machine.cpp" "src/CMakeFiles/scalemd.dir/des/machine.cpp.o" "gcc" "src/CMakeFiles/scalemd.dir/des/machine.cpp.o.d"
+  "/root/repo/src/des/simulator.cpp" "src/CMakeFiles/scalemd.dir/des/simulator.cpp.o" "gcc" "src/CMakeFiles/scalemd.dir/des/simulator.cpp.o.d"
+  "/root/repo/src/ewald/ewald.cpp" "src/CMakeFiles/scalemd.dir/ewald/ewald.cpp.o" "gcc" "src/CMakeFiles/scalemd.dir/ewald/ewald.cpp.o.d"
+  "/root/repo/src/ewald/fft.cpp" "src/CMakeFiles/scalemd.dir/ewald/fft.cpp.o" "gcc" "src/CMakeFiles/scalemd.dir/ewald/fft.cpp.o.d"
+  "/root/repo/src/ewald/pme.cpp" "src/CMakeFiles/scalemd.dir/ewald/pme.cpp.o" "gcc" "src/CMakeFiles/scalemd.dir/ewald/pme.cpp.o.d"
+  "/root/repo/src/ff/bonded.cpp" "src/CMakeFiles/scalemd.dir/ff/bonded.cpp.o" "gcc" "src/CMakeFiles/scalemd.dir/ff/bonded.cpp.o.d"
+  "/root/repo/src/ff/nonbonded.cpp" "src/CMakeFiles/scalemd.dir/ff/nonbonded.cpp.o" "gcc" "src/CMakeFiles/scalemd.dir/ff/nonbonded.cpp.o.d"
+  "/root/repo/src/ff/switching.cpp" "src/CMakeFiles/scalemd.dir/ff/switching.cpp.o" "gcc" "src/CMakeFiles/scalemd.dir/ff/switching.cpp.o.d"
+  "/root/repo/src/gen/chain.cpp" "src/CMakeFiles/scalemd.dir/gen/chain.cpp.o" "gcc" "src/CMakeFiles/scalemd.dir/gen/chain.cpp.o.d"
+  "/root/repo/src/gen/membrane.cpp" "src/CMakeFiles/scalemd.dir/gen/membrane.cpp.o" "gcc" "src/CMakeFiles/scalemd.dir/gen/membrane.cpp.o.d"
+  "/root/repo/src/gen/placement.cpp" "src/CMakeFiles/scalemd.dir/gen/placement.cpp.o" "gcc" "src/CMakeFiles/scalemd.dir/gen/placement.cpp.o.d"
+  "/root/repo/src/gen/presets.cpp" "src/CMakeFiles/scalemd.dir/gen/presets.cpp.o" "gcc" "src/CMakeFiles/scalemd.dir/gen/presets.cpp.o.d"
+  "/root/repo/src/gen/stdff.cpp" "src/CMakeFiles/scalemd.dir/gen/stdff.cpp.o" "gcc" "src/CMakeFiles/scalemd.dir/gen/stdff.cpp.o.d"
+  "/root/repo/src/gen/water_box.cpp" "src/CMakeFiles/scalemd.dir/gen/water_box.cpp.o" "gcc" "src/CMakeFiles/scalemd.dir/gen/water_box.cpp.o.d"
+  "/root/repo/src/lb/database.cpp" "src/CMakeFiles/scalemd.dir/lb/database.cpp.o" "gcc" "src/CMakeFiles/scalemd.dir/lb/database.cpp.o.d"
+  "/root/repo/src/lb/diffusion.cpp" "src/CMakeFiles/scalemd.dir/lb/diffusion.cpp.o" "gcc" "src/CMakeFiles/scalemd.dir/lb/diffusion.cpp.o.d"
+  "/root/repo/src/lb/greedy.cpp" "src/CMakeFiles/scalemd.dir/lb/greedy.cpp.o" "gcc" "src/CMakeFiles/scalemd.dir/lb/greedy.cpp.o.d"
+  "/root/repo/src/lb/naive.cpp" "src/CMakeFiles/scalemd.dir/lb/naive.cpp.o" "gcc" "src/CMakeFiles/scalemd.dir/lb/naive.cpp.o.d"
+  "/root/repo/src/lb/problem.cpp" "src/CMakeFiles/scalemd.dir/lb/problem.cpp.o" "gcc" "src/CMakeFiles/scalemd.dir/lb/problem.cpp.o.d"
+  "/root/repo/src/lb/rcb.cpp" "src/CMakeFiles/scalemd.dir/lb/rcb.cpp.o" "gcc" "src/CMakeFiles/scalemd.dir/lb/rcb.cpp.o.d"
+  "/root/repo/src/lb/refine.cpp" "src/CMakeFiles/scalemd.dir/lb/refine.cpp.o" "gcc" "src/CMakeFiles/scalemd.dir/lb/refine.cpp.o.d"
+  "/root/repo/src/rts/multicast.cpp" "src/CMakeFiles/scalemd.dir/rts/multicast.cpp.o" "gcc" "src/CMakeFiles/scalemd.dir/rts/multicast.cpp.o.d"
+  "/root/repo/src/rts/reduction.cpp" "src/CMakeFiles/scalemd.dir/rts/reduction.cpp.o" "gcc" "src/CMakeFiles/scalemd.dir/rts/reduction.cpp.o.d"
+  "/root/repo/src/seq/cell_list.cpp" "src/CMakeFiles/scalemd.dir/seq/cell_list.cpp.o" "gcc" "src/CMakeFiles/scalemd.dir/seq/cell_list.cpp.o.d"
+  "/root/repo/src/seq/constraints.cpp" "src/CMakeFiles/scalemd.dir/seq/constraints.cpp.o" "gcc" "src/CMakeFiles/scalemd.dir/seq/constraints.cpp.o.d"
+  "/root/repo/src/seq/engine.cpp" "src/CMakeFiles/scalemd.dir/seq/engine.cpp.o" "gcc" "src/CMakeFiles/scalemd.dir/seq/engine.cpp.o.d"
+  "/root/repo/src/seq/integrator.cpp" "src/CMakeFiles/scalemd.dir/seq/integrator.cpp.o" "gcc" "src/CMakeFiles/scalemd.dir/seq/integrator.cpp.o.d"
+  "/root/repo/src/seq/minimize.cpp" "src/CMakeFiles/scalemd.dir/seq/minimize.cpp.o" "gcc" "src/CMakeFiles/scalemd.dir/seq/minimize.cpp.o.d"
+  "/root/repo/src/seq/mts.cpp" "src/CMakeFiles/scalemd.dir/seq/mts.cpp.o" "gcc" "src/CMakeFiles/scalemd.dir/seq/mts.cpp.o.d"
+  "/root/repo/src/seq/pairlist.cpp" "src/CMakeFiles/scalemd.dir/seq/pairlist.cpp.o" "gcc" "src/CMakeFiles/scalemd.dir/seq/pairlist.cpp.o.d"
+  "/root/repo/src/seq/thermostat.cpp" "src/CMakeFiles/scalemd.dir/seq/thermostat.cpp.o" "gcc" "src/CMakeFiles/scalemd.dir/seq/thermostat.cpp.o.d"
+  "/root/repo/src/topo/exclusions.cpp" "src/CMakeFiles/scalemd.dir/topo/exclusions.cpp.o" "gcc" "src/CMakeFiles/scalemd.dir/topo/exclusions.cpp.o.d"
+  "/root/repo/src/topo/io.cpp" "src/CMakeFiles/scalemd.dir/topo/io.cpp.o" "gcc" "src/CMakeFiles/scalemd.dir/topo/io.cpp.o.d"
+  "/root/repo/src/topo/molecule.cpp" "src/CMakeFiles/scalemd.dir/topo/molecule.cpp.o" "gcc" "src/CMakeFiles/scalemd.dir/topo/molecule.cpp.o.d"
+  "/root/repo/src/topo/parameters.cpp" "src/CMakeFiles/scalemd.dir/topo/parameters.cpp.o" "gcc" "src/CMakeFiles/scalemd.dir/topo/parameters.cpp.o.d"
+  "/root/repo/src/trace/audit.cpp" "src/CMakeFiles/scalemd.dir/trace/audit.cpp.o" "gcc" "src/CMakeFiles/scalemd.dir/trace/audit.cpp.o.d"
+  "/root/repo/src/trace/event_log.cpp" "src/CMakeFiles/scalemd.dir/trace/event_log.cpp.o" "gcc" "src/CMakeFiles/scalemd.dir/trace/event_log.cpp.o.d"
+  "/root/repo/src/trace/grainsize.cpp" "src/CMakeFiles/scalemd.dir/trace/grainsize.cpp.o" "gcc" "src/CMakeFiles/scalemd.dir/trace/grainsize.cpp.o.d"
+  "/root/repo/src/trace/summary.cpp" "src/CMakeFiles/scalemd.dir/trace/summary.cpp.o" "gcc" "src/CMakeFiles/scalemd.dir/trace/summary.cpp.o.d"
+  "/root/repo/src/trace/timeline.cpp" "src/CMakeFiles/scalemd.dir/trace/timeline.cpp.o" "gcc" "src/CMakeFiles/scalemd.dir/trace/timeline.cpp.o.d"
+  "/root/repo/src/util/histogram.cpp" "src/CMakeFiles/scalemd.dir/util/histogram.cpp.o" "gcc" "src/CMakeFiles/scalemd.dir/util/histogram.cpp.o.d"
+  "/root/repo/src/util/random.cpp" "src/CMakeFiles/scalemd.dir/util/random.cpp.o" "gcc" "src/CMakeFiles/scalemd.dir/util/random.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/scalemd.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/scalemd.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/scalemd.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/scalemd.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

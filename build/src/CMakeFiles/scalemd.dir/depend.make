@@ -1,0 +1,2 @@
+# Empty dependencies file for scalemd.
+# This may be replaced when dependencies are built.

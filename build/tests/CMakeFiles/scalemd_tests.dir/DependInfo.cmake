@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_calibration.cpp" "tests/CMakeFiles/scalemd_tests.dir/test_calibration.cpp.o" "gcc" "tests/CMakeFiles/scalemd_tests.dir/test_calibration.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/scalemd_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/scalemd_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_des.cpp" "tests/CMakeFiles/scalemd_tests.dir/test_des.cpp.o" "gcc" "tests/CMakeFiles/scalemd_tests.dir/test_des.cpp.o.d"
+  "/root/repo/tests/test_des_properties.cpp" "tests/CMakeFiles/scalemd_tests.dir/test_des_properties.cpp.o" "gcc" "tests/CMakeFiles/scalemd_tests.dir/test_des_properties.cpp.o.d"
+  "/root/repo/tests/test_driver.cpp" "tests/CMakeFiles/scalemd_tests.dir/test_driver.cpp.o" "gcc" "tests/CMakeFiles/scalemd_tests.dir/test_driver.cpp.o.d"
+  "/root/repo/tests/test_ewald.cpp" "tests/CMakeFiles/scalemd_tests.dir/test_ewald.cpp.o" "gcc" "tests/CMakeFiles/scalemd_tests.dir/test_ewald.cpp.o.d"
+  "/root/repo/tests/test_features.cpp" "tests/CMakeFiles/scalemd_tests.dir/test_features.cpp.o" "gcc" "tests/CMakeFiles/scalemd_tests.dir/test_features.cpp.o.d"
+  "/root/repo/tests/test_features2.cpp" "tests/CMakeFiles/scalemd_tests.dir/test_features2.cpp.o" "gcc" "tests/CMakeFiles/scalemd_tests.dir/test_features2.cpp.o.d"
+  "/root/repo/tests/test_ff.cpp" "tests/CMakeFiles/scalemd_tests.dir/test_ff.cpp.o" "gcc" "tests/CMakeFiles/scalemd_tests.dir/test_ff.cpp.o.d"
+  "/root/repo/tests/test_gen.cpp" "tests/CMakeFiles/scalemd_tests.dir/test_gen.cpp.o" "gcc" "tests/CMakeFiles/scalemd_tests.dir/test_gen.cpp.o.d"
+  "/root/repo/tests/test_lb.cpp" "tests/CMakeFiles/scalemd_tests.dir/test_lb.cpp.o" "gcc" "tests/CMakeFiles/scalemd_tests.dir/test_lb.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/scalemd_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/scalemd_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_rts.cpp" "tests/CMakeFiles/scalemd_tests.dir/test_rts.cpp.o" "gcc" "tests/CMakeFiles/scalemd_tests.dir/test_rts.cpp.o.d"
+  "/root/repo/tests/test_seq.cpp" "tests/CMakeFiles/scalemd_tests.dir/test_seq.cpp.o" "gcc" "tests/CMakeFiles/scalemd_tests.dir/test_seq.cpp.o.d"
+  "/root/repo/tests/test_topo.cpp" "tests/CMakeFiles/scalemd_tests.dir/test_topo.cpp.o" "gcc" "tests/CMakeFiles/scalemd_tests.dir/test_topo.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/scalemd_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/scalemd_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/scalemd_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/scalemd_tests.dir/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/scalemd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

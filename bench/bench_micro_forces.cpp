@@ -1,16 +1,37 @@
-// Micro-benchmarks (google-benchmark) of the force kernels: non-bonded
-// self/pair evaluation as a function of atom count, plus each bonded term.
-// These measure this host's real kernel throughput — useful when porting or
-// optimizing the kernels; the paper-reproduction tables use the calibrated
-// 1999 machine models instead.
+// Micro-benchmarks of the force kernels, in two modes.
+//
+// Default (google-benchmark): non-bonded self/pair evaluation as a function
+// of atom count — scalar and tiled — plus each bonded term. These measure
+// this host's real kernel throughput; the paper-reproduction tables use the
+// calibrated 1999 machine models instead.
+//
+// Comparison mode (`--compare`, implied by `--json <path>`): builds one
+// ApoA-I-scale water box, runs full SequentialEngine force evaluations under
+// every kernel variant (scalar / tiled / tiled+threads), cross-checks
+// energies and work counters, and reports pairs/sec per variant. `--json`
+// additionally writes machine-readable records:
+//   [{"variant": ..., "pairs_per_sec": ..., "ns_per_pair": ..., "threads": N}]
+// Options: --box <side A> (default 97), --reps <n> (default 3),
+// --threads <n> (default 4). SCALEMD_BENCH_SCALE < 1 shrinks the box for
+// smoke runs.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "core/driver.hpp"
 #include "ff/bonded.hpp"
 #include "ff/nonbonded.hpp"
+#include "ff/nonbonded_tiled.hpp"
+#include "gen/water_box.hpp"
+#include "seq/engine.hpp"
 #include "topo/molecule.hpp"
 #include "util/random.hpp"
 
@@ -62,6 +83,20 @@ void BM_NonbondedSelf(benchmark::State& state) {
 }
 BENCHMARK(BM_NonbondedSelf)->Arg(64)->Arg(256)->Arg(1024);
 
+void BM_NonbondedSelfTiled(benchmark::State& state) {
+  KernelSetup s(static_cast<int>(state.range(0)));
+  TiledWorkspace ws;
+  WorkCounters w;
+  for (auto _ : state) {
+    std::fill(s.frc.begin(), s.frc.end(), Vec3{});
+    const EnergyTerms e = nonbonded_self_tiled(*s.ctx, s.idx, s.pos, s.frc, w, ws);
+    benchmark::DoNotOptimize(e);
+  }
+  state.counters["pairs/s"] = benchmark::Counter(
+      static_cast<double>(w.pairs_tested), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_NonbondedSelfTiled)->Arg(64)->Arg(256)->Arg(1024);
+
 void BM_NonbondedPairKernel(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   KernelSetup s(2 * n);
@@ -79,6 +114,25 @@ void BM_NonbondedPairKernel(benchmark::State& state) {
       static_cast<double>(w.pairs_tested), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_NonbondedPairKernel)->Arg(128)->Arg(512);
+
+void BM_NonbondedPairKernelTiled(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  KernelSetup s(2 * n);
+  const std::span<const int> ia(s.idx.data(), static_cast<std::size_t>(n));
+  const std::span<const int> ib(s.idx.data() + n, static_cast<std::size_t>(n));
+  const std::span<const Vec3> pa(s.pos.data(), static_cast<std::size_t>(n));
+  const std::span<const Vec3> pb(s.pos.data() + n, static_cast<std::size_t>(n));
+  std::vector<Vec3> fa(static_cast<std::size_t>(n)), fb(static_cast<std::size_t>(n));
+  TiledWorkspace ws;
+  WorkCounters w;
+  for (auto _ : state) {
+    const EnergyTerms e = nonbonded_ab_tiled(*s.ctx, ia, pa, fa, ib, pb, fb, w, ws);
+    benchmark::DoNotOptimize(e);
+  }
+  state.counters["pairs/s"] = benchmark::Counter(
+      static_cast<double>(w.pairs_tested), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_NonbondedPairKernelTiled)->Arg(128)->Arg(512);
 
 void BM_BondKernel(benchmark::State& state) {
   const BondParam p{340.0, 1.09};
@@ -131,5 +185,141 @@ void BM_ExclusionCheck(benchmark::State& state) {
 }
 BENCHMARK(BM_ExclusionCheck);
 
+// ---------------------------------------------------------------------------
+// Kernel-variant comparison mode
+// ---------------------------------------------------------------------------
+
+struct VariantResult {
+  NonbondedKernel kernel{};
+  int threads = 1;
+  double seconds = 0.0;           // mean per force evaluation
+  double pairs_per_sec = 0.0;     // distance tests per second
+  double ns_per_pair = 0.0;
+  EnergyTerms energy;
+  WorkCounters work;
+};
+
+VariantResult time_variant(const Molecule& m, NonbondedKernel kernel, int threads,
+                           int reps) {
+  EngineOptions opts;
+  opts.nonbonded.kernel = kernel;
+  opts.nonbonded.threads = threads;
+  SequentialEngine eng(m, opts);  // ctor primes forces: warm-up evaluation
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) eng.compute_forces();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  VariantResult res;
+  res.kernel = kernel;
+  res.threads = kernel == NonbondedKernel::kTiledThreads ? threads : 1;
+  res.seconds = std::chrono::duration<double>(t1 - t0).count() / reps;
+  res.energy = eng.potential();
+  res.work = eng.work();
+  res.pairs_per_sec = static_cast<double>(res.work.pairs_tested) / res.seconds;
+  res.ns_per_pair = 1e9 / res.pairs_per_sec;
+  return res;
+}
+
+int run_comparison(double box_side, int threads, int reps, const char* json_path) {
+  const double scale = bench_scale_from_env();
+  if (scale < 1.0) box_side *= std::cbrt(scale);
+  const Molecule m = make_water_box({box_side, box_side, box_side}, 42);
+  std::printf("water box %.0f A^3, %d atoms, cutoff %.1f A, %d reps/variant\n",
+              box_side, m.atom_count(), NonbondedOptions{}.cutoff, reps);
+
+  std::vector<VariantResult> results;
+  for (NonbondedKernel k : {NonbondedKernel::kScalar, NonbondedKernel::kTiled,
+                            NonbondedKernel::kTiledThreads}) {
+    results.push_back(time_variant(m, k, threads, reps));
+  }
+
+  // Cross-check: identical work counts, energies within rounding.
+  const VariantResult& ref = results.front();
+  bool ok = true;
+  for (const VariantResult& r : results) {
+    if (r.work.pairs_tested != ref.work.pairs_tested ||
+        r.work.pairs_computed != ref.work.pairs_computed) {
+      std::fprintf(stderr, "FAIL: %s work counters diverge from scalar\n",
+                   kernel_name(r.kernel));
+      ok = false;
+    }
+    const double tol = 1e-9 * std::max(1.0, std::fabs(ref.energy.total()));
+    if (std::fabs(r.energy.total() - ref.energy.total()) > tol) {
+      std::fprintf(stderr, "FAIL: %s energy %.12g != scalar %.12g\n",
+                   kernel_name(r.kernel), r.energy.total(), ref.energy.total());
+      ok = false;
+    }
+  }
+
+  std::printf("%-14s %8s %12s %14s %10s\n", "variant", "threads", "s/eval",
+              "pairs/sec", "speedup");
+  for (const VariantResult& r : results) {
+    std::printf("%-14s %8d %12.4f %14.4g %9.2fx\n", kernel_name(r.kernel),
+                r.threads, r.seconds, r.pairs_per_sec,
+                ref.seconds / r.seconds);
+  }
+
+  if (json_path != nullptr) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(f, "[\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const VariantResult& r = results[i];
+      std::fprintf(f,
+                   "  {\"variant\": \"%s\", \"pairs_per_sec\": %.6g, "
+                   "\"ns_per_pair\": %.6g, \"threads\": %d}%s\n",
+                   kernel_name(r.kernel), r.pairs_per_sec, r.ns_per_pair,
+                   r.threads, i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path);
+  }
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace scalemd
+
+int main(int argc, char** argv) {
+  bool compare = false;
+  const char* json_path = nullptr;
+  double box_side = 97.0;  // ~92k atoms at liquid density: ApoA-I scale
+  int threads = 4;
+  int reps = 3;
+  std::vector<char*> passthrough{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const auto next_val = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (std::strcmp(argv[i], "--compare") == 0) {
+      compare = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = next_val();
+      if (json_path == nullptr) {
+        std::fprintf(stderr, "--json requires a path\n");
+        return 1;
+      }
+      compare = true;
+    } else if (std::strcmp(argv[i], "--box") == 0) {
+      if (const char* v = next_val()) box_side = std::atof(v);
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      if (const char* v = next_val()) threads = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--reps") == 0) {
+      if (const char* v = next_val()) reps = std::atoi(v);
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (compare) {
+    return scalemd::run_comparison(box_side, threads, reps, json_path);
+  }
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

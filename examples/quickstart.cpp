@@ -1,15 +1,39 @@
 // Quickstart: build a small solvated system, run a short NVE simulation with
 // the sequential engine, and print an energy log — the "hello world" of the
 // scalemd library. See examples/apoa1_scaling.cpp for the parallel path.
+//
+// Usage: quickstart [--kernel scalar|tiled|tiled+threads] [--threads N]
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
+#include "ff/nonbonded_tiled.hpp"
 #include "gen/presets.hpp"
 #include "seq/engine.hpp"
 #include "seq/minimize.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace scalemd;
+
+  NonbondedKernel kernel = NonbondedKernel::kScalar;
+  int threads = 0;  // 0 = let the engine pick
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--kernel") == 0 && i + 1 < argc) {
+      if (!kernel_from_name(argv[++i], kernel)) {
+        std::fprintf(stderr, "unknown kernel '%s' (want scalar|tiled|tiled+threads)\n",
+                     argv[i]);
+        return 1;
+      }
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--kernel scalar|tiled|tiled+threads] [--threads N]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
 
   // A ~3000-atom solvated chain (deterministic for a given seed).
   Molecule mol = small_solvated_chain(3000, /*seed=*/7);
@@ -23,7 +47,10 @@ int main() {
   EngineOptions opts;
   opts.nonbonded.cutoff = 10.0;
   opts.nonbonded.switch_dist = 8.5;
+  opts.nonbonded.kernel = kernel;
+  opts.nonbonded.threads = threads;
   opts.dt_fs = 0.5;
+  std::printf("non-bonded kernel: %s\n", kernel_name(kernel));
   SequentialEngine engine(mol, opts);
 
   // Relax the synthetic starting structure before dynamics.

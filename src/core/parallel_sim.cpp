@@ -109,6 +109,11 @@ ParallelSim::ParallelSim(const Workload& workload, const ParallelOptions& opts)
     }
     nb_ctx_ = std::make_unique<NonbondedContext>(mol_->params, excl_, charges_,
                                                  lj_types_, wl_->nonbonded);
+    if (wl_->nonbonded.kernel == NonbondedKernel::kTiledThreads) {
+      const int t = wl_->nonbonded.threads > 0 ? wl_->nonbonded.threads
+                                               : ThreadPool::default_threads();
+      nb_pool_ = std::make_unique<ThreadPool>(t);
+    }
   }
 
   sim_ = std::make_unique<Simulator>(opts_.num_pes, opts_.machine);
@@ -325,7 +330,19 @@ void ParallelSim::run_compute(ExecContext& ctx, int compute) {
         const std::size_t n = pa.atoms.size();
         const auto b = static_cast<std::size_t>(std::lround(desc.frac_begin * n));
         const auto en = static_cast<std::size_t>(std::lround(desc.frac_end * n));
-        e = nonbonded_self_range(*nb_ctx_, pa.atoms, pa.pos, fa.frc, b, en, w);
+        switch (wl_->nonbonded.kernel) {
+          case NonbondedKernel::kScalar:
+            e = nonbonded_self_range(*nb_ctx_, pa.atoms, pa.pos, fa.frc, b, en, w);
+            break;
+          case NonbondedKernel::kTiled:
+            e = nonbonded_self_range_tiled(*nb_ctx_, pa.atoms, pa.pos, fa.frc, b,
+                                           en, w, tiled_ws_);
+            break;
+          case NonbondedKernel::kTiledThreads:
+            e = nonbonded_self_range_tiled_mt(*nb_ctx_, pa.atoms, pa.pos, fa.frc,
+                                              b, en, w, tiled_mt_ws_, *nb_pool_);
+            break;
+        }
         break;
       }
       case ComputeKind::kPair: {
@@ -338,8 +355,22 @@ void ParallelSim::run_compute(ExecContext& ctx, int compute) {
         const std::size_t n = pa.atoms.size();
         const auto b = static_cast<std::size_t>(std::lround(desc.frac_begin * n));
         const auto en = static_cast<std::size_t>(std::lround(desc.frac_end * n));
-        e = nonbonded_ab_range(*nb_ctx_, pa.atoms, pa.pos, fa.frc, pb.atoms, pb.pos,
-                               fb.frc, b, en, w);
+        switch (wl_->nonbonded.kernel) {
+          case NonbondedKernel::kScalar:
+            e = nonbonded_ab_range(*nb_ctx_, pa.atoms, pa.pos, fa.frc, pb.atoms,
+                                   pb.pos, fb.frc, b, en, w);
+            break;
+          case NonbondedKernel::kTiled:
+            e = nonbonded_ab_range_tiled(*nb_ctx_, pa.atoms, pa.pos, fa.frc,
+                                         pb.atoms, pb.pos, fb.frc, b, en, w,
+                                         tiled_ws_);
+            break;
+          case NonbondedKernel::kTiledThreads:
+            e = nonbonded_ab_range_tiled_mt(*nb_ctx_, pa.atoms, pa.pos, fa.frc,
+                                            pb.atoms, pb.pos, fb.frc, b, en, w,
+                                            tiled_mt_ws_, *nb_pool_);
+            break;
+        }
         break;
       }
       default: {

@@ -8,6 +8,7 @@
 #include "core/work_cache.hpp"
 #include "des/simulator.hpp"
 #include "ff/nonbonded.hpp"
+#include "ff/nonbonded_tiled.hpp"
 #include "lb/database.hpp"
 #include "rts/reduction.hpp"
 #include "topo/exclusions.hpp"
@@ -156,6 +157,10 @@ class ParallelSim {
   std::vector<double> charges_;
   std::vector<int> lj_types_;
   std::unique_ptr<NonbondedContext> nb_ctx_;
+  // Tiled-kernel scratch (numeric mode, Workload::nonbonded.kernel != scalar).
+  TiledWorkspace tiled_ws_;
+  TiledThreadWorkspace tiled_mt_ws_;
+  std::unique_ptr<ThreadPool> nb_pool_;
 
   std::unique_ptr<Simulator> sim_;
   MultiSink sinks_;

@@ -10,11 +10,24 @@
 
 namespace scalemd {
 
+/// Which implementation evaluates the cutoff non-bonded interactions. All
+/// variants produce the same forces/energies (within summation-order
+/// rounding) and identical WorkCounters; they differ only in layout and
+/// parallelism (see ff/nonbonded_tiled.hpp).
+enum class NonbondedKernel {
+  kScalar,        ///< reference AoS loop, per-pair exclusion binary search
+  kTiled,         ///< SoA tiles + precomputed exclusion bitmasks
+  kTiledThreads,  ///< tiled kernel fanned across a thread pool
+};
+
 /// Cutoff scheme parameters. The paper's benchmarks use a 12 A cutoff; we
 /// default the switch distance to 10 A as NAMD does for that cutoff.
 struct NonbondedOptions {
   double cutoff = 12.0;       ///< A
   double switch_dist = 10.0;  ///< A
+  NonbondedKernel kernel = NonbondedKernel::kScalar;
+  /// Worker count for kTiledThreads; 0 means ThreadPool::default_threads().
+  int threads = 0;
 };
 
 /// Work performed by a kernel invocation, fed into the DES cost model.

@@ -25,31 +25,39 @@ SequentialEngine::SequentialEngine(const Molecule& mol, const EngineOptions& opt
   compute_forces();
 }
 
+ThreadPool& SequentialEngine::pool() {
+  if (pool_ == nullptr) {
+    const int t = opts_.nonbonded.threads > 0 ? opts_.nonbonded.threads
+                                              : ThreadPool::default_threads();
+    pool_ = std::make_unique<ThreadPool>(t);
+  }
+  return *pool_;
+}
+
 EnergyTerms SequentialEngine::evaluate_nonbonded(std::span<Vec3> out) {
-  EnergyTerms energy;
   const NonbondedContext ctx(mol_.params, excl_, charges_, lj_types_,
                              opts_.nonbonded);
-  const auto& pos = mol_.positions();
+  const bool threaded = opts_.nonbonded.kernel == NonbondedKernel::kTiledThreads;
 
   if (opts_.use_pairlist) {
     if (pairlist_ == nullptr) {
       pairlist_ = std::make_unique<VerletList>(mol_.box, opts_.nonbonded.cutoff,
                                                opts_.pairlist_skin);
     }
-    if (pairlist_->needs_rebuild(pos)) pairlist_->build(pos);
-    for (int i = 0; i < mol_.atom_count(); ++i) {
-      const auto si = static_cast<std::size_t>(i);
-      for (int j : pairlist_->neighbors(i)) {
-        const auto sj = static_cast<std::size_t>(j);
-        nonbonded_pair_eval(ctx, i, j, pos[si], pos[sj], out[si], out[sj], energy,
-                            work_);
-      }
-    }
-    return energy;
+    if (pairlist_->needs_rebuild(mol_.positions())) pairlist_->build(mol_.positions());
+    if (opts_.nonbonded.kernel != NonbondedKernel::kScalar) refresh_pairlist_codes();
+    return threaded ? eval_pairlist_mt(ctx, out) : eval_pairlist(ctx, out);
   }
+  return threaded ? eval_cells_mt(ctx, out) : eval_cells(ctx, out);
+}
 
+EnergyTerms SequentialEngine::eval_cells(const NonbondedContext& ctx,
+                                         std::span<Vec3> out) {
+  EnergyTerms energy;
+  const auto& pos = mol_.positions();
   const CellList cells(grid_, pos);
   const int nc = grid_.cell_count();
+  const bool tiled = opts_.nonbonded.kernel == NonbondedKernel::kTiled;
 
   // Gather per-cell coordinate/force scratch (kernels operate on local
   // arrays, exactly as patch-local computes do in the parallel core).
@@ -64,14 +72,19 @@ EnergyTerms SequentialEngine::evaluate_nonbonded(std::span<Vec3> out) {
   }
 
   for (int c = 0; c < nc; ++c) {
-    energy += nonbonded_self(ctx, cells.atoms_in(c), cpos[static_cast<std::size_t>(c)],
-                             cfrc[static_cast<std::size_t>(c)], work_);
+    const auto sc = static_cast<std::size_t>(c);
+    energy += tiled ? nonbonded_self_tiled(ctx, cells.atoms_in(c), cpos[sc], cfrc[sc],
+                                           work_, tiled_ws_)
+                    : nonbonded_self(ctx, cells.atoms_in(c), cpos[sc], cfrc[sc], work_);
   }
   for (const auto& [a, b] : grid_.neighbor_pairs()) {
-    energy += nonbonded_ab(ctx, cells.atoms_in(a), cpos[static_cast<std::size_t>(a)],
-                           cfrc[static_cast<std::size_t>(a)], cells.atoms_in(b),
-                           cpos[static_cast<std::size_t>(b)],
-                           cfrc[static_cast<std::size_t>(b)], work_);
+    const auto sa = static_cast<std::size_t>(a);
+    const auto sb = static_cast<std::size_t>(b);
+    energy += tiled ? nonbonded_ab_tiled(ctx, cells.atoms_in(a), cpos[sa], cfrc[sa],
+                                         cells.atoms_in(b), cpos[sb], cfrc[sb], work_,
+                                         tiled_ws_)
+                    : nonbonded_ab(ctx, cells.atoms_in(a), cpos[sa], cfrc[sa],
+                                   cells.atoms_in(b), cpos[sb], cfrc[sb], work_);
   }
 
   for (int c = 0; c < nc; ++c) {
@@ -80,6 +93,150 @@ EnergyTerms SequentialEngine::evaluate_nonbonded(std::span<Vec3> out) {
     for (std::size_t i = 0; i < atoms.size(); ++i) {
       out[static_cast<std::size_t>(atoms[i])] += cf[i];
     }
+  }
+  return energy;
+}
+
+EnergyTerms SequentialEngine::eval_cells_mt(const NonbondedContext& ctx,
+                                            std::span<Vec3> out) {
+  const auto& pos = mol_.positions();
+  const CellList cells(grid_, pos);
+  const int nc = grid_.cell_count();
+  ThreadPool& tp = pool();
+
+  std::vector<std::vector<Vec3>> cpos(static_cast<std::size_t>(nc));
+  for (int c = 0; c < nc; ++c) {
+    const auto atoms = cells.atoms_in(c);
+    auto& cp = cpos[static_cast<std::size_t>(c)];
+    cp.reserve(atoms.size());
+    for (int a : atoms) cp.push_back(pos[static_cast<std::size_t>(a)]);
+  }
+
+  nb_workers_.resize(static_cast<std::size_t>(tp.size()));
+  for (auto& w : nb_workers_) {
+    w.cell_frc.resize(static_cast<std::size_t>(nc));
+    for (int c = 0; c < nc; ++c) {
+      w.cell_frc[static_cast<std::size_t>(c)].assign(cells.atoms_in(c).size(), Vec3{});
+    }
+    w.work = {};
+  }
+
+  // Tasks: one per self compute, then one per neighbor-pair compute. The
+  // static schedule plus per-worker buffers keeps the reduction
+  // deterministic for a fixed thread count.
+  const auto pairs = grid_.neighbor_pairs();
+  const std::size_t ntasks = static_cast<std::size_t>(nc) + pairs.size();
+  task_energy_.assign(ntasks, EnergyTerms{});
+  tp.run(ntasks, [&](std::size_t t, int worker) {
+    NbWorker& w = nb_workers_[static_cast<std::size_t>(worker)];
+    if (t < static_cast<std::size_t>(nc)) {
+      const int c = static_cast<int>(t);
+      task_energy_[t] =
+          nonbonded_self_tiled(ctx, cells.atoms_in(c), cpos[t],
+                               w.cell_frc[t], w.work, w.ws);
+    } else {
+      const auto& [a, b] = pairs[t - static_cast<std::size_t>(nc)];
+      const auto sa = static_cast<std::size_t>(a);
+      const auto sb = static_cast<std::size_t>(b);
+      task_energy_[t] =
+          nonbonded_ab_tiled(ctx, cells.atoms_in(a), cpos[sa], w.cell_frc[sa],
+                             cells.atoms_in(b), cpos[sb], w.cell_frc[sb], w.work,
+                             w.ws);
+    }
+  });
+
+  EnergyTerms energy;
+  for (const EnergyTerms& e : task_energy_) energy += e;
+  for (const auto& w : nb_workers_) {
+    work_ += w.work;
+    for (int c = 0; c < nc; ++c) {
+      const auto atoms = cells.atoms_in(c);
+      const auto& cf = w.cell_frc[static_cast<std::size_t>(c)];
+      for (std::size_t i = 0; i < atoms.size(); ++i) {
+        out[static_cast<std::size_t>(atoms[i])] += cf[i];
+      }
+    }
+  }
+  return energy;
+}
+
+void SequentialEngine::refresh_pairlist_codes() {
+  if (codes_builds_ == pairlist_->builds()) return;
+  codes_builds_ = pairlist_->builds();
+  const int n = mol_.atom_count();
+  code_off_.assign(static_cast<std::size_t>(n) + 1, 0);
+  codes_.clear();
+  codes_.reserve(pairlist_->pair_count());
+  for (int i = 0; i < n; ++i) {
+    for (int j : pairlist_->neighbors(i)) {
+      codes_.push_back(static_cast<std::uint8_t>(excl_.check(i, j)));
+    }
+    code_off_[static_cast<std::size_t>(i) + 1] =
+        static_cast<std::uint32_t>(codes_.size());
+  }
+}
+
+EnergyTerms SequentialEngine::eval_pairlist(const NonbondedContext& ctx,
+                                            std::span<Vec3> out) {
+  EnergyTerms energy;
+  const auto& pos = mol_.positions();
+  const int n = mol_.atom_count();
+  if (opts_.nonbonded.kernel == NonbondedKernel::kScalar) {
+    for (int i = 0; i < n; ++i) {
+      const auto si = static_cast<std::size_t>(i);
+      for (int j : pairlist_->neighbors(i)) {
+        const auto sj = static_cast<std::size_t>(j);
+        nonbonded_pair_eval(ctx, i, j, pos[si], pos[sj], out[si], out[sj], energy,
+                            work_);
+      }
+    }
+    return energy;
+  }
+  for (int i = 0; i < n; ++i) {
+    const auto nbrs = pairlist_->neighbors(i);
+    const auto off = code_off_[static_cast<std::size_t>(i)];
+    energy += nonbonded_neighbors_tiled(
+        ctx, i, pos, nbrs, {codes_.data() + off, nbrs.size()}, out, work_, tiled_ws_);
+  }
+  return energy;
+}
+
+EnergyTerms SequentialEngine::eval_pairlist_mt(const NonbondedContext& ctx,
+                                               std::span<Vec3> out) {
+  const auto& pos = mol_.positions();
+  const auto n = static_cast<std::size_t>(mol_.atom_count());
+  ThreadPool& tp = pool();
+
+  // Outer-atom chunks are the task unit (paper section 4.2.1's grain-size
+  // unit); per-worker global force buffers absorb the scattered j-forces.
+  constexpr std::size_t kChunkAtoms = 256;
+  const std::size_t nchunks = (n + kChunkAtoms - 1) / kChunkAtoms;
+  nb_workers_.resize(static_cast<std::size_t>(tp.size()));
+  for (auto& w : nb_workers_) {
+    w.frc.assign(n, Vec3{});
+    w.work = {};
+  }
+  task_energy_.assign(nchunks, EnergyTerms{});
+  tp.run(nchunks, [&](std::size_t t, int worker) {
+    NbWorker& w = nb_workers_[static_cast<std::size_t>(worker)];
+    const std::size_t lo = t * kChunkAtoms;
+    const std::size_t hi = std::min(n, lo + kChunkAtoms);
+    EnergyTerms e;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const auto nbrs = pairlist_->neighbors(static_cast<int>(i));
+      const auto off = code_off_[i];
+      e += nonbonded_neighbors_tiled(ctx, static_cast<int>(i), pos, nbrs,
+                                     {codes_.data() + off, nbrs.size()}, w.frc,
+                                     w.work, w.ws);
+    }
+    task_energy_[t] = e;
+  });
+
+  EnergyTerms energy;
+  for (const EnergyTerms& e : task_energy_) energy += e;
+  for (const auto& w : nb_workers_) {
+    work_ += w.work;
+    for (std::size_t i = 0; i < n; ++i) out[i] += w.frc[i];
   }
   return energy;
 }

@@ -6,6 +6,7 @@
 
 #include "ff/bonded.hpp"
 #include "ff/nonbonded.hpp"
+#include "ff/nonbonded_tiled.hpp"
 #include "seq/cell_list.hpp"
 #include "seq/integrator.hpp"
 #include "seq/pairlist.hpp"
@@ -76,6 +77,16 @@ class SequentialEngine {
   const ExclusionTable& exclusions() const { return excl_; }
 
  private:
+  /// Non-bonded evaluation paths: {cell sweep, Verlet pairlist} x
+  /// {serial scalar-or-tiled, thread-pool tiled}. All four produce
+  /// identical WorkCounters and matching forces/energies.
+  EnergyTerms eval_cells(const NonbondedContext& ctx, std::span<Vec3> out);
+  EnergyTerms eval_cells_mt(const NonbondedContext& ctx, std::span<Vec3> out);
+  EnergyTerms eval_pairlist(const NonbondedContext& ctx, std::span<Vec3> out);
+  EnergyTerms eval_pairlist_mt(const NonbondedContext& ctx, std::span<Vec3> out);
+  void refresh_pairlist_codes();
+  ThreadPool& pool();
+
   Molecule mol_;
   EngineOptions opts_;
   ExclusionTable excl_;
@@ -88,6 +99,24 @@ class SequentialEngine {
   std::vector<Vec3> forces_;
   EnergyTerms energy_;
   WorkCounters work_;
+
+  // --- tiled-kernel machinery (created on demand) ---------------------
+  TiledWorkspace tiled_ws_;
+  std::unique_ptr<ThreadPool> pool_;
+  /// Per-pool-worker state for NonbondedKernel::kTiledThreads.
+  struct NbWorker {
+    TiledWorkspace ws;
+    std::vector<std::vector<Vec3>> cell_frc;  // cell path: per-cell buffers
+    std::vector<Vec3> frc;                    // pairlist path: global buffer
+    WorkCounters work;
+  };
+  std::vector<NbWorker> nb_workers_;
+  std::vector<EnergyTerms> task_energy_;
+  /// Exclusion codes parallel to the Verlet list (CSR), rebuilt per
+  /// pairlist build — the "bitmask once per pairlist build" path.
+  std::vector<std::uint32_t> code_off_;
+  std::vector<std::uint8_t> codes_;
+  int codes_builds_ = -1;
 };
 
 }  // namespace scalemd

@@ -69,6 +69,13 @@ class ParameterTable {
                      static_cast<std::size_t>(tj)];
   }
 
+  /// Row of the mixed pair table for type `ti`, indexed by the partner type;
+  /// requires finalize(). The tiled kernels keep one row pointer per outer
+  /// atom so the inner loop does a single indexed load per pair.
+  const LJPair* lj_pair_row(int ti) const {
+    return lj_pairs_.data() + static_cast<std::size_t>(ti) * lj_types_.size();
+  }
+
   const BondParam& bond(int i) const { return bonds_[static_cast<std::size_t>(i)]; }
   const AngleParam& angle(int i) const { return angles_[static_cast<std::size_t>(i)]; }
   const DihedralParam& dihedral(int i) const {

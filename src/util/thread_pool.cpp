@@ -1,0 +1,75 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace scalemd {
+
+ThreadPool::ThreadPool(int threads) : size_(std::max(1, threads)) {
+  const int n = size_;
+  workers_.reserve(static_cast<std::size_t>(n - 1));
+  for (int w = 1; w < n; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::run(std::size_t n, const std::function<void(std::size_t, int)>& fn) {
+  const auto stride = static_cast<std::size_t>(size());
+  if (workers_.empty()) {
+    for (std::size_t t = 0; t < n; ++t) fn(t, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    job_n_ = n;
+    running_ = static_cast<int>(workers_.size());
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  // The calling thread is worker 0.
+  for (std::size_t t = 0; t < n; t += stride) fn(t, 0);
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return running_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::worker_loop(int worker) {
+  const auto stride = static_cast<std::size_t>(size());
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t, int)>* job = nullptr;
+    std::size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock, [this, seen] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+      n = job_n_;
+    }
+    for (std::size_t t = static_cast<std::size_t>(worker); t < n; t += stride) {
+      (*job)(t, worker);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --running_;
+    }
+    cv_done_.notify_one();
+  }
+}
+
+int ThreadPool::default_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::clamp(hw, 1u, 16u));
+}
+
+}  // namespace scalemd

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace scalemd {
+
+/// Fixed-size pool of worker threads for data-parallel force evaluation.
+///
+/// Work is distributed *statically*: run(n, fn) invokes fn(task, worker) for
+/// every task in [0, n), where worker == task % size(). The static schedule
+/// makes every run deterministic for a fixed pool size — callers give each
+/// worker its own accumulators and reduce them in worker (or task) order to
+/// obtain bitwise-reproducible sums, which the kernel-equivalence and
+/// determinism tests rely on.
+///
+/// The calling thread participates as worker 0, so ThreadPool(1) spawns no
+/// threads and runs everything inline.
+class ThreadPool {
+ public:
+  /// Creates a pool of `threads` workers total (clamped to >= 1); the
+  /// constructor spawns `threads - 1` std::threads.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return size_; }
+
+  /// Runs fn(task, worker) for every task in [0, n); returns once all tasks
+  /// have completed. Not reentrant: fn must not call run() on this pool.
+  void run(std::size_t n, const std::function<void(std::size_t, int)>& fn);
+
+  /// Worker count to use when the caller asked for "whatever the machine
+  /// has" (options.threads == 0).
+  static int default_threads();
+
+ private:
+  void worker_loop(int worker);
+
+  int size_ = 1;  ///< total worker count, fixed before any thread starts
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(std::size_t, int)>* job_ = nullptr;
+  std::size_t job_n_ = 0;
+  std::uint64_t generation_ = 0;
+  int running_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace scalemd

@@ -1,0 +1,320 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "core/parallel_sim.hpp"
+#include "ff/nonbonded.hpp"
+#include "ff/nonbonded_tiled.hpp"
+#include "gen/presets.hpp"
+#include "gen/water_box.hpp"
+#include "seq/engine.hpp"
+#include "topo/exclusions.hpp"
+
+namespace scalemd {
+namespace {
+
+/// Relative tolerance for tiled-vs-scalar comparisons. The kernels perform
+/// the same per-pair arithmetic; differences come only from accumulator
+/// association and the premultiplied Coulomb charge, both far below this.
+constexpr double kRelTol = 1e-9;
+
+void expect_close(double a, double b, const char* what) {
+  EXPECT_NEAR(a, b, kRelTol * std::max(1.0, std::max(std::fabs(a), std::fabs(b))))
+      << what;
+}
+
+void expect_energy_close(const EnergyTerms& a, const EnergyTerms& b) {
+  expect_close(a.lj, b.lj, "lj");
+  expect_close(a.elec, b.elec, "elec");
+}
+
+void expect_forces_close(std::span<const Vec3> a, std::span<const Vec3> b) {
+  ASSERT_EQ(a.size(), b.size());
+  // Tolerance relative to the largest force in the system: clashy generated
+  // configurations produce large canceling pair forces.
+  double scale = 1.0;
+  for (const Vec3& f : b) scale = std::max(scale, norm(f));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(norm(a[i] - b[i]), 0.0, kRelTol * scale) << "atom " << i;
+  }
+}
+
+/// Per-atom data the direct kernel entry points need, extracted the same way
+/// the engines do it.
+struct KernelSystem {
+  explicit KernelSystem(const Molecule& m, NonbondedOptions opts = {})
+      : mol(m), excl(ExclusionTable::build(m)) {
+    for (const Atom& a : mol.atoms()) {
+      charges.push_back(a.charge);
+      lj_types.push_back(a.lj_type);
+    }
+    nb = opts;
+    ctx = std::make_unique<NonbondedContext>(mol.params, excl, charges, lj_types, nb);
+  }
+
+  Molecule mol;
+  ExclusionTable excl;
+  std::vector<double> charges;
+  std::vector<int> lj_types;
+  NonbondedOptions nb;
+  std::unique_ptr<NonbondedContext> ctx;
+};
+
+// ---------------------------------------------------------------------------
+// Direct kernel equivalence: the tiled entry points against their scalar
+// counterparts on a bonded chain (exclusions + 1-4 pairs present).
+// ---------------------------------------------------------------------------
+
+TEST(TiledKernelTest, SelfMatchesScalarOnBondedChain) {
+  NonbondedOptions opts;
+  opts.cutoff = 7.5;
+  opts.switch_dist = 6.5;
+  KernelSystem sys(small_solvated_chain(500, 11), opts);
+  const int n = sys.mol.atom_count();
+  std::vector<int> idx(static_cast<std::size_t>(n));
+  std::iota(idx.begin(), idx.end(), 0);
+  const auto pos = sys.mol.positions();
+
+  std::vector<Vec3> f_ref(static_cast<std::size_t>(n));
+  std::vector<Vec3> f_tiled(static_cast<std::size_t>(n));
+  WorkCounters w_ref, w_tiled;
+  const EnergyTerms e_ref = nonbonded_self(*sys.ctx, idx, pos, f_ref, w_ref);
+  TiledWorkspace ws;
+  const EnergyTerms e_tiled =
+      nonbonded_self_tiled(*sys.ctx, idx, pos, f_tiled, w_tiled, ws);
+
+  expect_energy_close(e_tiled, e_ref);
+  expect_forces_close(f_tiled, f_ref);
+  EXPECT_EQ(w_tiled.pairs_tested, w_ref.pairs_tested);
+  EXPECT_EQ(w_tiled.pairs_computed, w_ref.pairs_computed);
+  EXPECT_GT(w_tiled.pairs_computed, 0u);
+}
+
+TEST(TiledKernelTest, AbMatchesScalarAcrossBondedSplit) {
+  // Split the chain mid-molecule so bonds (full exclusions) and 1-4 pairs
+  // cross the a/b boundary — the mask build must translate global exclusion
+  // lists into the partner set's local bits.
+  NonbondedOptions opts;
+  opts.cutoff = 7.5;
+  opts.switch_dist = 6.5;
+  KernelSystem sys(small_solvated_chain(500, 13), opts);
+  const int n = sys.mol.atom_count();
+  const int half = n / 2 + 1;  // odd split, mid-residue
+  std::vector<int> ia, ib;
+  for (int i = 0; i < n; ++i) (i < half ? ia : ib).push_back(i);
+  std::vector<Vec3> pa, pb;
+  for (int i : ia) pa.push_back(sys.mol.positions()[static_cast<std::size_t>(i)]);
+  for (int i : ib) pb.push_back(sys.mol.positions()[static_cast<std::size_t>(i)]);
+
+  std::vector<Vec3> fa_ref(pa.size()), fb_ref(pb.size());
+  std::vector<Vec3> fa_t(pa.size()), fb_t(pb.size());
+  WorkCounters w_ref, w_tiled;
+  const EnergyTerms e_ref =
+      nonbonded_ab(*sys.ctx, ia, pa, fa_ref, ib, pb, fb_ref, w_ref);
+  TiledWorkspace ws;
+  const EnergyTerms e_tiled =
+      nonbonded_ab_tiled(*sys.ctx, ia, pa, fa_t, ib, pb, fb_t, w_tiled, ws);
+
+  expect_energy_close(e_tiled, e_ref);
+  expect_forces_close(fa_t, fa_ref);
+  expect_forces_close(fb_t, fb_ref);
+  EXPECT_EQ(w_tiled.pairs_tested, w_ref.pairs_tested);
+  EXPECT_EQ(w_tiled.pairs_computed, w_ref.pairs_computed);
+}
+
+TEST(TiledKernelTest, RangePartitionSumsToFullEvaluation) {
+  // Row-range invocations (the unit ParallelSim's split computes use) must
+  // tile the full result exactly.
+  NonbondedOptions opts;
+  opts.cutoff = 6.5;
+  opts.switch_dist = 5.5;
+  KernelSystem sys(make_water_box({14, 14, 14}, 7), opts);
+  const int n = sys.mol.atom_count();
+  std::vector<int> idx(static_cast<std::size_t>(n));
+  std::iota(idx.begin(), idx.end(), 0);
+  const auto pos = sys.mol.positions();
+
+  TiledWorkspace ws;
+  std::vector<Vec3> f_full(static_cast<std::size_t>(n));
+  WorkCounters w_full;
+  const EnergyTerms e_full =
+      nonbonded_self_tiled(*sys.ctx, idx, pos, f_full, w_full, ws);
+
+  std::vector<Vec3> f_sum(static_cast<std::size_t>(n));
+  WorkCounters w_sum;
+  EnergyTerms e_sum;
+  const std::size_t un = static_cast<std::size_t>(n);
+  for (std::size_t b = 0; b < un; b += 37) {
+    e_sum += nonbonded_self_range_tiled(*sys.ctx, idx, pos, f_sum, b,
+                                        std::min(un, b + 37), w_sum, ws);
+  }
+
+  EXPECT_EQ(w_sum.pairs_tested, w_full.pairs_tested);
+  EXPECT_EQ(w_sum.pairs_computed, w_full.pairs_computed);
+  expect_energy_close(e_sum, e_full);
+  expect_forces_close(f_sum, f_full);
+}
+
+TEST(TiledKernelTest, ThreadedRangeMatchesSerialTiled) {
+  NonbondedOptions opts;
+  opts.cutoff = 6.5;
+  opts.switch_dist = 5.5;
+  KernelSystem sys(small_solvated_chain(700, 17), opts);
+  const int n = sys.mol.atom_count();
+  std::vector<int> idx(static_cast<std::size_t>(n));
+  std::iota(idx.begin(), idx.end(), 0);
+  const auto pos = sys.mol.positions();
+
+  TiledWorkspace ws;
+  std::vector<Vec3> f_serial(static_cast<std::size_t>(n));
+  WorkCounters w_serial;
+  const EnergyTerms e_serial =
+      nonbonded_self_tiled(*sys.ctx, idx, pos, f_serial, w_serial, ws);
+
+  ThreadPool pool(3);
+  TiledThreadWorkspace tws;
+  std::vector<Vec3> f_mt(static_cast<std::size_t>(n));
+  WorkCounters w_mt;
+  const EnergyTerms e_mt = nonbonded_self_range_tiled_mt(
+      *sys.ctx, idx, pos, f_mt, 0, static_cast<std::size_t>(n), w_mt, tws, pool);
+
+  EXPECT_EQ(w_mt.pairs_tested, w_serial.pairs_tested);
+  EXPECT_EQ(w_mt.pairs_computed, w_serial.pairs_computed);
+  expect_energy_close(e_mt, e_serial);
+  expect_forces_close(f_mt, f_serial);
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level equivalence: all kernels, both evaluation paths.
+// ---------------------------------------------------------------------------
+
+struct EngineResult {
+  EnergyTerms energy;
+  WorkCounters work;
+  std::vector<Vec3> forces;
+};
+
+EngineResult run_engine(const Molecule& m, NonbondedKernel kernel, bool pairlist,
+                        int threads = 3) {
+  EngineOptions opts;
+  opts.nonbonded.cutoff = 7.5;
+  opts.nonbonded.switch_dist = 6.5;
+  opts.nonbonded.kernel = kernel;
+  opts.nonbonded.threads = threads;
+  opts.use_pairlist = pairlist;
+  SequentialEngine eng(m, opts);
+  return {eng.potential(), eng.work(),
+          {eng.forces().begin(), eng.forces().end()}};
+}
+
+void expect_equivalent(const EngineResult& got, const EngineResult& ref) {
+  expect_energy_close(got.energy, ref.energy);
+  EXPECT_EQ(got.work.pairs_tested, ref.work.pairs_tested);
+  EXPECT_EQ(got.work.pairs_computed, ref.work.pairs_computed);
+  expect_forces_close(got.forces, ref.forces);
+}
+
+TEST(TiledEngineTest, CellPathKernelsAgreeOnWaterBox) {
+  const Molecule m = make_water_box({22, 22, 22}, 3);
+  const EngineResult ref = run_engine(m, NonbondedKernel::kScalar, false);
+  expect_equivalent(run_engine(m, NonbondedKernel::kTiled, false), ref);
+  expect_equivalent(run_engine(m, NonbondedKernel::kTiledThreads, false), ref);
+}
+
+TEST(TiledEngineTest, CellPathKernelsAgreeOnSolvatedChain) {
+  const Molecule m = small_solvated_chain(1200, 19);
+  const EngineResult ref = run_engine(m, NonbondedKernel::kScalar, false);
+  expect_equivalent(run_engine(m, NonbondedKernel::kTiled, false), ref);
+  expect_equivalent(run_engine(m, NonbondedKernel::kTiledThreads, false), ref);
+}
+
+TEST(TiledEngineTest, PairlistPathKernelsAgreeOnSolvatedChain) {
+  const Molecule m = small_solvated_chain(1200, 29);
+  const EngineResult ref = run_engine(m, NonbondedKernel::kScalar, true);
+  expect_equivalent(run_engine(m, NonbondedKernel::kTiled, true), ref);
+  expect_equivalent(run_engine(m, NonbondedKernel::kTiledThreads, true), ref);
+}
+
+TEST(TiledEngineTest, ThreadedEvaluationIsBitwiseDeterministic) {
+  // Static schedule + ordered reduction: two engines with the same thread
+  // count must produce bit-identical energies and forces, step after step.
+  const Molecule m = small_solvated_chain(900, 41);
+  auto make = [&] {
+    EngineOptions opts;
+    opts.nonbonded.cutoff = 7.5;
+    opts.nonbonded.switch_dist = 6.5;
+    opts.nonbonded.kernel = NonbondedKernel::kTiledThreads;
+    opts.nonbonded.threads = 3;
+    return SequentialEngine(m, opts);
+  };
+  SequentialEngine a = make();
+  SequentialEngine b = make();
+  for (int s = 0; s < 3; ++s) {
+    const EnergyTerms& ea = a.potential();
+    const EnergyTerms& eb = b.potential();
+    EXPECT_EQ(ea.lj, eb.lj) << "step " << s;
+    EXPECT_EQ(ea.elec, eb.elec) << "step " << s;
+    ASSERT_EQ(a.forces().size(), b.forces().size());
+    EXPECT_EQ(std::memcmp(a.forces().data(), b.forces().data(),
+                          a.forces().size() * sizeof(Vec3)),
+              0)
+        << "step " << s;
+    a.step();
+    b.step();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel core: numeric computes running the tiled kernels.
+// ---------------------------------------------------------------------------
+
+TEST(TiledCoreTest, ParallelSimNumericForcesMatchAcrossKernels) {
+  Molecule m = small_solvated_chain(1000, 31);
+  m.suggested_patch_size = 8.0;
+  NonbondedOptions nb;
+  nb.cutoff = 7.5;
+  nb.switch_dist = 6.5;
+  m.assign_velocities(300.0, 77);
+
+  auto forces_with = [&](NonbondedKernel kernel) {
+    NonbondedOptions k = nb;
+    k.kernel = kernel;
+    k.threads = 2;
+    const Workload wl(m, MachineModel::asci_red(), k);
+    ParallelOptions opts;
+    opts.num_pes = 5;
+    opts.numeric = true;
+    opts.dt_fs = 0.5;
+    ParallelSim sim(wl, opts);
+    sim.run_cycle(1);
+    return sim.gather_forces();
+  };
+
+  const auto ref = forces_with(NonbondedKernel::kScalar);
+  expect_forces_close(forces_with(NonbondedKernel::kTiled), ref);
+  expect_forces_close(forces_with(NonbondedKernel::kTiledThreads), ref);
+}
+
+// ---------------------------------------------------------------------------
+// Option helpers.
+// ---------------------------------------------------------------------------
+
+TEST(TiledKernelTest, KernelNamesRoundTrip) {
+  for (NonbondedKernel k : {NonbondedKernel::kScalar, NonbondedKernel::kTiled,
+                            NonbondedKernel::kTiledThreads}) {
+    NonbondedKernel parsed{};
+    EXPECT_TRUE(kernel_from_name(kernel_name(k), parsed));
+    EXPECT_EQ(parsed, k);
+  }
+  NonbondedKernel parsed = NonbondedKernel::kScalar;
+  EXPECT_TRUE(kernel_from_name("tiled-threads", parsed));
+  EXPECT_EQ(parsed, NonbondedKernel::kTiledThreads);
+  EXPECT_FALSE(kernel_from_name("vectorized", parsed));
+}
+
+}  // namespace
+}  // namespace scalemd

@@ -3,11 +3,16 @@
 // scalemd library. See examples/apoa1_scaling.cpp for the parallel path.
 //
 // Usage: quickstart [--kernel scalar|tiled|tiled+threads] [--threads N]
+//                   [--check]
+//
+// --check attaches the physics-invariant checker (src/check/) to the run and
+// reports any violated invariant (energy drift, net force/momentum, ...).
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
+#include "check/invariants.hpp"
 #include "ff/nonbonded_tiled.hpp"
 #include "gen/presets.hpp"
 #include "seq/engine.hpp"
@@ -18,6 +23,7 @@ int main(int argc, char** argv) {
 
   NonbondedKernel kernel = NonbondedKernel::kScalar;
   int threads = 0;  // 0 = let the engine pick
+  bool check = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--kernel") == 0 && i + 1 < argc) {
       if (!kernel_from_name(argv[++i], kernel)) {
@@ -27,9 +33,12 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--kernel scalar|tiled|tiled+threads] [--threads N]\n",
+                   "usage: %s [--kernel scalar|tiled|tiled+threads] [--threads N]"
+                   " [--check]\n",
                    argv[0]);
       return 1;
     }
@@ -58,6 +67,9 @@ int main(int argc, char** argv) {
   std::printf("minimized %d steps: %.3g -> %.3g kcal/mol (max |F| %.1f)\n",
               min.steps, min.initial_energy, min.final_energy, min.max_force);
 
+  InvariantChecker checker;
+  if (check) checker.attach(engine);
+
   std::printf("\n%6s %14s %14s %14s\n", "step", "potential", "kinetic", "total");
   for (int block = 0; block <= 10; ++block) {
     std::printf("%6d %14.3f %14.3f %14.3f\n", block * 5, engine.potential().total(),
@@ -68,5 +80,16 @@ int main(int argc, char** argv) {
   std::printf("\nlast-step work: %llu pairs tested, %llu pairs inside cutoff\n",
               static_cast<unsigned long long>(engine.work().pairs_tested),
               static_cast<unsigned long long>(engine.work().pairs_computed));
+  if (check) {
+    std::printf("invariants: %llu checks",
+                static_cast<unsigned long long>(checker.checks_run()));
+    if (checker.ok()) {
+      std::printf(", all passed\n");
+    } else {
+      std::printf(", %zu VIOLATIONS\n%s", checker.log().size(),
+                  checker.log().render().c_str());
+      return 1;
+    }
+  }
   return 0;
 }

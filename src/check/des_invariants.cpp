@@ -1,0 +1,55 @@
+#include "check/des_invariants.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace scalemd {
+
+namespace {
+
+/// Slack for comparing virtual timestamps that were produced by the same
+/// arithmetic: scheduler times are assigned, not accumulated, so equality is
+/// exact; the epsilon only guards against representation noise near zero.
+constexpr double kTimeEps = 1e-12;
+
+std::string at_time(const char* what, double a, double b) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s (%.9e vs %.9e virtual s)", what, a, b);
+  return buf;
+}
+
+}  // namespace
+
+DesInvariantSink::DesInvariantSink(ViolationLog* log) : log_(log) {}
+
+void DesInvariantSink::on_task(const TaskRecord& r) {
+  ++tasks_seen_;
+  if (r.pe >= static_cast<int>(pe_clock_.size())) {
+    pe_clock_.resize(static_cast<std::size_t>(r.pe) + 1, 0.0);
+  }
+  double& clock = pe_clock_[static_cast<std::size_t>(r.pe)];
+  if (r.start + kTimeEps < clock) {
+    log_->add({r.pe, "pe-clock-monotonicity", clock - r.start, 0.0,
+               at_time("task starts before the previous task on this PE ended",
+                       r.start, clock)});
+  }
+  if (r.duration < 0.0 || r.recv_cost < 0.0 || r.pack_cost < 0.0 ||
+      r.send_cost < 0.0) {
+    log_->add({r.pe, "negative-task-cost",
+               std::min(std::min(r.duration, r.recv_cost),
+                        std::min(r.pack_cost, r.send_cost)),
+               0.0, "task reported a negative duration or cost component"});
+  }
+  clock = std::max(clock, r.start + r.duration);
+}
+
+void DesInvariantSink::on_message(const MsgRecord& r) {
+  ++messages_seen_;
+  if (r.recv_time + kTimeEps < r.send_time) {
+    log_->add({r.dst_pe, "message-causality", r.send_time - r.recv_time, 0.0,
+               at_time("message delivered before it was sent", r.recv_time,
+                       r.send_time)});
+  }
+}
+
+}  // namespace scalemd

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "des/trace_sink.hpp"
+#include "trace/violations.hpp"
+
+namespace scalemd {
+
+/// Online validator of the discrete-event machine itself, attached like any
+/// other instrumentation sink (Simulator::set_sink / ParallelSim::attach_sink).
+/// Asserts the runtime-side invariants the paper's optimizations must never
+/// break:
+///
+///  * per-PE clock monotonicity — tasks on one virtual processor are
+///    non-preemptive and must never overlap or run backwards in time;
+///  * non-negative task and communication costs;
+///  * message causality — a delivery never precedes its send.
+///
+/// Violations are appended to the ViolationLog with the PE as the "step" and
+/// virtual time in the detail, matching the physical checks' reporting.
+class DesInvariantSink final : public TraceSink {
+ public:
+  explicit DesInvariantSink(ViolationLog* log);
+
+  void on_task(const TaskRecord& r) override;
+  void on_message(const MsgRecord& r) override;
+
+  std::uint64_t tasks_seen() const { return tasks_seen_; }
+  std::uint64_t messages_seen() const { return messages_seen_; }
+  bool ok() const { return log_->empty(); }
+  const ViolationLog& log() const { return *log_; }
+
+ private:
+  ViolationLog* log_;
+  /// Virtual completion time of the last task seen per PE (grown on demand).
+  std::vector<double> pe_clock_;
+  std::uint64_t tasks_seen_ = 0;
+  std::uint64_t messages_seen_ = 0;
+};
+
+}  // namespace scalemd

@@ -1,0 +1,359 @@
+#include "check/golden.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+#include "gen/presets.hpp"
+#include "gen/water_box.hpp"
+
+namespace scalemd {
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr const char* kMagic = "scalemd-golden";
+constexpr int kVersion = 1;
+
+[[noreturn]] void format_error(const std::string& path, const char* what) {
+  throw std::runtime_error("golden file " + path + ": " + what);
+}
+
+void write_vec_array(std::FILE* f, const std::vector<Vec3>& a) {
+  for (const Vec3& v : a) {
+    std::fprintf(f, "%.17g %.17g %.17g\n", v.x, v.y, v.z);
+  }
+}
+
+}  // namespace
+
+void write_trajectory(const Trajectory& t, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    throw std::runtime_error("cannot open golden file for writing: " + path);
+  }
+  std::fprintf(f, "%s %d\n", kMagic, kVersion);
+  std::fprintf(f, "system %s\n", t.system.c_str());
+  std::fprintf(f, "atoms %d\n", t.atom_count);
+  std::fprintf(f, "dt_fs %.17g\n", t.dt_fs);
+  std::fprintf(f, "frames %zu\n", t.frames.size());
+  for (const TrajectoryFrame& fr : t.frames) {
+    std::fprintf(f, "frame %d\n", fr.step);
+    std::fprintf(f, "energy %.17g %.17g %.17g %.17g %.17g %.17g %.17g\n",
+                 fr.potential.lj, fr.potential.elec, fr.potential.bond,
+                 fr.potential.angle, fr.potential.dihedral, fr.potential.improper,
+                 fr.kinetic);
+    write_vec_array(f, fr.positions);
+    write_vec_array(f, fr.velocities);
+    write_vec_array(f, fr.forces);
+  }
+  const bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) throw std::runtime_error("write failed for golden file: " + path);
+}
+
+Trajectory read_trajectory(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    throw std::runtime_error(
+        "cannot open golden file: " + path +
+        " (regenerate with tools/make_golden if it is missing)");
+  }
+  Trajectory t;
+  char magic[64];
+  int version = 0;
+  if (std::fscanf(f, "%63s %d", magic, &version) != 2 ||
+      std::strcmp(magic, kMagic) != 0) {
+    std::fclose(f);
+    format_error(path, "bad magic");
+  }
+  if (version != kVersion) {
+    std::fclose(f);
+    format_error(path, "unsupported version");
+  }
+  char key[64], name[128];
+  std::size_t frame_count = 0;
+  if (std::fscanf(f, "%63s %127s", key, name) != 2 ||
+      std::strcmp(key, "system") != 0) {
+    std::fclose(f);
+    format_error(path, "missing system header");
+  }
+  t.system = name;
+  if (std::fscanf(f, "%63s %d", key, &t.atom_count) != 2 ||
+      std::strcmp(key, "atoms") != 0 || t.atom_count < 0) {
+    std::fclose(f);
+    format_error(path, "missing atom count");
+  }
+  if (std::fscanf(f, "%63s %lf", key, &t.dt_fs) != 2 ||
+      std::strcmp(key, "dt_fs") != 0) {
+    std::fclose(f);
+    format_error(path, "missing dt_fs");
+  }
+  if (std::fscanf(f, "%63s %zu", key, &frame_count) != 2 ||
+      std::strcmp(key, "frames") != 0) {
+    std::fclose(f);
+    format_error(path, "missing frame count");
+  }
+  const auto n = static_cast<std::size_t>(t.atom_count);
+  auto read_vec_array = [&](std::vector<Vec3>& a) {
+    a.resize(n);
+    for (Vec3& v : a) {
+      if (std::fscanf(f, "%lf %lf %lf", &v.x, &v.y, &v.z) != 3) {
+        std::fclose(f);
+        format_error(path, "truncated atom array");
+      }
+    }
+  };
+  t.frames.resize(frame_count);
+  for (TrajectoryFrame& fr : t.frames) {
+    if (std::fscanf(f, "%63s %d", key, &fr.step) != 2 ||
+        std::strcmp(key, "frame") != 0) {
+      std::fclose(f);
+      format_error(path, "missing frame header");
+    }
+    if (std::fscanf(f, "%63s %lf %lf %lf %lf %lf %lf %lf", key, &fr.potential.lj,
+                    &fr.potential.elec, &fr.potential.bond, &fr.potential.angle,
+                    &fr.potential.dihedral, &fr.potential.improper,
+                    &fr.kinetic) != 8 ||
+        std::strcmp(key, "energy") != 0) {
+      std::fclose(f);
+      format_error(path, "missing energy line");
+    }
+    read_vec_array(fr.positions);
+    read_vec_array(fr.velocities);
+    read_vec_array(fr.forces);
+  }
+  std::fclose(f);
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Comparison
+// ---------------------------------------------------------------------------
+
+std::uint64_t ulp_distance(double a, double b) {
+  if (a == b) return 0;  // covers +0 vs -0
+  if (std::isnan(a) || std::isnan(b)) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  // Map the IEEE bit pattern to a monotone unsigned key so the magnitude of
+  // the key difference is the number of representable doubles between them.
+  auto key = [](double x) {
+    const auto u = std::bit_cast<std::uint64_t>(x);
+    return (u >> 63) != 0 ? ~u : u | 0x8000000000000000ull;
+  };
+  const std::uint64_t ka = key(a);
+  const std::uint64_t kb = key(b);
+  return ka > kb ? ka - kb : kb - ka;
+}
+
+namespace {
+
+/// Magnitude scale of a reference array for kRelative mode.
+double array_scale(const std::vector<Vec3>& ref) {
+  double s = 1.0;
+  for (const Vec3& v : ref) {
+    s = std::max(s, std::max(std::fabs(v.x), std::max(std::fabs(v.y),
+                                                      std::fabs(v.z))));
+  }
+  return s;
+}
+
+/// Tracks the worst deviation and the first out-of-tolerance location.
+struct Comparator {
+  const CompareOptions& opts;
+  CompareResult result;
+
+  /// Deviation of one scalar pair in the mode's units and its bound.
+  void value(double got, double ref, double scale, const std::string& where) {
+    double dev = 0.0;
+    double limit = 0.0;
+    switch (opts.mode) {
+      case CompareMode::kAbsolute:
+        dev = std::fabs(got - ref);
+        limit = opts.tol;
+        break;
+      case CompareMode::kRelative:
+        dev = std::fabs(got - ref);
+        limit = opts.tol * scale;
+        break;
+      case CompareMode::kUlp:
+        dev = static_cast<double>(ulp_distance(got, ref));
+        limit = static_cast<double>(opts.max_ulps);
+        break;
+    }
+    if (dev > result.worst) {
+      result.worst = dev;
+      result.where = where;
+    }
+    if (dev > limit && result.match) {
+      result.match = false;
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    ": got %.17g, reference %.17g (deviation %.3e, bound %.3e)",
+                    got, ref, dev, limit);
+      result.message = where + buf;
+    }
+  }
+
+  void vec_array(const std::vector<Vec3>& got, const std::vector<Vec3>& ref,
+                 const char* field, int frame_step) {
+    const double scale = array_scale(ref);
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      char where[96];
+      std::snprintf(where, sizeof(where), "frame %d %s atom %zu", frame_step,
+                    field, i);
+      value(got[i].x, ref[i].x, scale, where);
+      value(got[i].y, ref[i].y, scale, where);
+      value(got[i].z, ref[i].z, scale, where);
+    }
+  }
+
+  void energy(double got, double ref, const char* field, int frame_step) {
+    char where[96];
+    std::snprintf(where, sizeof(where), "frame %d energy %s", frame_step, field);
+    value(got, ref, std::max(1.0, std::fabs(ref)), where);
+  }
+};
+
+}  // namespace
+
+CompareResult compare_trajectories(const Trajectory& got, const Trajectory& ref,
+                                   const CompareOptions& opts) {
+  CompareResult structural;
+  auto mismatch = [&structural](std::string msg) {
+    structural.match = false;
+    structural.message = std::move(msg);
+    return structural;
+  };
+  if (got.system != ref.system) {
+    return mismatch("system mismatch: got '" + got.system + "', reference '" +
+                    ref.system + "'");
+  }
+  if (got.atom_count != ref.atom_count) {
+    return mismatch("atom count mismatch: got " + std::to_string(got.atom_count) +
+                    ", reference " + std::to_string(ref.atom_count));
+  }
+  if (got.frames.size() != ref.frames.size()) {
+    return mismatch("frame count mismatch: got " +
+                    std::to_string(got.frames.size()) + ", reference " +
+                    std::to_string(ref.frames.size()));
+  }
+
+  Comparator cmp{opts, {}};
+  for (std::size_t k = 0; k < ref.frames.size(); ++k) {
+    const TrajectoryFrame& g = got.frames[k];
+    const TrajectoryFrame& r = ref.frames[k];
+    if (g.step != r.step) {
+      return mismatch("frame " + std::to_string(k) + " records step " +
+                      std::to_string(g.step) + ", reference step " +
+                      std::to_string(r.step));
+    }
+    cmp.energy(g.potential.lj, r.potential.lj, "lj", r.step);
+    cmp.energy(g.potential.elec, r.potential.elec, "elec", r.step);
+    cmp.energy(g.potential.bond, r.potential.bond, "bond", r.step);
+    cmp.energy(g.potential.angle, r.potential.angle, "angle", r.step);
+    cmp.energy(g.potential.dihedral, r.potential.dihedral, "dihedral", r.step);
+    cmp.energy(g.potential.improper, r.potential.improper, "improper", r.step);
+    cmp.energy(g.kinetic, r.kinetic, "kinetic", r.step);
+    cmp.vec_array(g.positions, r.positions, "pos", r.step);
+    cmp.vec_array(g.velocities, r.velocities, "vel", r.step);
+    cmp.vec_array(g.forces, r.forces, "frc", r.step);
+  }
+  return cmp.result;
+}
+
+// ---------------------------------------------------------------------------
+// Validation presets
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Molecule make_golden_waterbox() {
+  Molecule m = make_water_box({16.0, 16.0, 16.0}, /*seed=*/11);
+  m.assign_velocities(300.0, /*seed=*/101);
+  return m;
+}
+
+Molecule make_golden_chain() {
+  Molecule m = small_solvated_chain(600, /*seed=*/19);
+  m.assign_velocities(300.0, /*seed=*/103);
+  return m;
+}
+
+EngineOptions waterbox_engine() {
+  EngineOptions o;
+  o.nonbonded.cutoff = 6.5;
+  o.nonbonded.switch_dist = 5.5;
+  o.dt_fs = 1.0;
+  return o;
+}
+
+EngineOptions chain_engine() {
+  EngineOptions o;
+  o.nonbonded.cutoff = 7.5;
+  o.nonbonded.switch_dist = 6.5;
+  o.dt_fs = 0.5;
+  return o;
+}
+
+const GoldenSpec kSpecs[] = {
+    {"waterbox", /*steps=*/4, /*record_every=*/2, waterbox_engine(),
+     &make_golden_waterbox},
+    {"chain", /*steps=*/4, /*record_every=*/2, chain_engine(),
+     &make_golden_chain},
+};
+
+}  // namespace
+
+std::span<const GoldenSpec> golden_specs() { return kSpecs; }
+
+const GoldenSpec* find_golden_spec(std::string_view name) {
+  for (const GoldenSpec& s : kSpecs) {
+    if (name == s.name) return &s;
+  }
+  return nullptr;
+}
+
+Trajectory record_trajectory(const GoldenSpec& spec, NonbondedKernel kernel,
+                             bool use_pairlist, int threads) {
+  Molecule mol = spec.make();
+  EngineOptions opts = spec.engine;
+  opts.nonbonded.kernel = kernel;
+  opts.nonbonded.threads = threads;
+  opts.use_pairlist = use_pairlist;
+  SequentialEngine engine(mol, opts);
+
+  Trajectory t;
+  t.system = spec.name;
+  t.atom_count = mol.atom_count();
+  t.dt_fs = opts.dt_fs;
+  auto record = [&](int step) {
+    TrajectoryFrame fr;
+    fr.step = step;
+    fr.potential = engine.potential();
+    fr.kinetic = engine.kinetic();
+    fr.positions.assign(engine.positions().begin(), engine.positions().end());
+    fr.velocities.assign(engine.velocities().begin(), engine.velocities().end());
+    fr.forces.assign(engine.forces().begin(), engine.forces().end());
+    t.frames.push_back(std::move(fr));
+  };
+  record(0);
+  for (int s = 1; s <= spec.steps; ++s) {
+    engine.step();
+    if (s % spec.record_every == 0) record(s);
+  }
+  return t;
+}
+
+std::string golden_path(const std::string& dir, const GoldenSpec& spec) {
+  return dir + "/" + spec.name + ".golden";
+}
+
+}  // namespace scalemd

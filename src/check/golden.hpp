@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "seq/engine.hpp"
+#include "topo/molecule.hpp"
+#include "util/vec3.hpp"
+
+namespace scalemd {
+
+/// One recorded instant of a simulation: full dynamic state plus the energy
+/// breakdown at that step.
+struct TrajectoryFrame {
+  int step = 0;
+  EnergyTerms potential;
+  double kinetic = 0.0;
+  std::vector<Vec3> positions;
+  std::vector<Vec3> velocities;
+  std::vector<Vec3> forces;
+};
+
+/// A compact trajectory snapshot: a few frames of a short run, written by the
+/// scalar sequential reference path and compared against by every other
+/// kernel / engine-path / thread-count combination. The on-disk format is a
+/// line-oriented text file with full-precision (%.17g) floats, so goldens
+/// round-trip bit-exactly and diff cleanly under git.
+struct Trajectory {
+  std::string system;  ///< preset name, e.g. "waterbox"
+  int atom_count = 0;
+  double dt_fs = 0.0;
+  std::vector<TrajectoryFrame> frames;
+};
+
+/// Writes `t` to `path`; throws std::runtime_error on I/O failure.
+void write_trajectory(const Trajectory& t, const std::string& path);
+
+/// Reads a trajectory written by write_trajectory; throws std::runtime_error
+/// on I/O or format errors.
+Trajectory read_trajectory(const std::string& path);
+
+/// How the comparator measures a deviation.
+enum class CompareMode {
+  kAbsolute,  ///< |got - ref| <= tol
+  kRelative,  ///< |got - ref| <= tol * scale(ref array) — summation-order aware
+  kUlp,       ///< ulp_distance(got, ref) <= max_ulps — bitwise-determinism checks
+};
+
+struct CompareOptions {
+  CompareMode mode = CompareMode::kRelative;
+  /// kAbsolute: absolute bound. kRelative: fraction of the reference array's
+  /// magnitude scale (max |component|, floored at 1), which is what makes the
+  /// comparison robust to summation order: kernel variants accumulate the
+  /// same pair terms in different orders, so per-element deviations are
+  /// bounded by rounding at the *array* scale, not the element's own value
+  /// (forces on an atom can be a near-zero difference of large terms).
+  double tol = 1e-8;
+  /// kUlp: maximum units-in-the-last-place distance (0 = bit-identical).
+  std::uint64_t max_ulps = 0;
+};
+
+/// Outcome of a trajectory comparison; on mismatch, `where`/`message` name
+/// the first offending frame, field and atom with the measured deviation.
+struct CompareResult {
+  bool match = true;
+  double worst = 0.0;  ///< largest deviation seen, in the mode's units
+  std::string where;   ///< location of the largest deviation
+  std::string message;  ///< empty when matching; first structural/tolerance error
+};
+
+CompareResult compare_trajectories(const Trajectory& got, const Trajectory& ref,
+                                   const CompareOptions& opts);
+
+/// Units-in-the-last-place distance between two doubles (0 iff bitwise equal
+/// up to +0/-0; huge across sign changes or NaN).
+std::uint64_t ulp_distance(double a, double b);
+
+/// A golden preset: how to build the system, how to configure the engine,
+/// and which steps to record. The same spec drives the make_golden tool
+/// (scalar reference) and the regression tests (every kernel variant), so a
+/// golden is always compared against an identically-built run.
+struct GoldenSpec {
+  const char* name;       ///< basename of the golden file ("<name>.golden")
+  int steps;              ///< total MD steps to run
+  int record_every;       ///< record a frame at step 0 and every N-th after
+  EngineOptions engine;   ///< kernel/threads/path are overridden per run
+  Molecule (*make)();     ///< deterministic builder, velocities assigned
+};
+
+/// The validation presets: a small water box (pure non-bonded + water
+/// geometry) and a solvated chain (bonded terms, exclusions and 1-4 pairs).
+std::span<const GoldenSpec> golden_specs();
+
+/// Spec lookup by name; nullptr if unknown.
+const GoldenSpec* find_golden_spec(std::string_view name);
+
+/// Runs the sequential engine per `spec` with the given kernel overrides and
+/// returns the recorded trajectory. The scalar / cell-list / single-thread
+/// configuration is the reference that generates goldens.
+Trajectory record_trajectory(const GoldenSpec& spec,
+                             NonbondedKernel kernel = NonbondedKernel::kScalar,
+                             bool use_pairlist = false, int threads = 0);
+
+/// "<dir>/<spec name>.golden".
+std::string golden_path(const std::string& dir, const GoldenSpec& spec);
+
+}  // namespace scalemd

@@ -1,0 +1,136 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "ff/nonbonded.hpp"
+#include "trace/violations.hpp"
+#include "util/vec3.hpp"
+
+namespace scalemd {
+
+class BondConstraints;
+class ExclusionTable;
+class Molecule;
+class ParallelSim;
+class SequentialEngine;
+
+/// Bounds and switches for the physical invariants the checker asserts.
+/// Relative tolerances are against a magnitude scale computed from the data
+/// being checked (sum of |force| components, |E0|, ...), so they hold across
+/// system sizes and are insensitive to summation order.
+struct InvariantOptions {
+  /// Check cadence: invariants run every `every`-th observed step/cycle.
+  int every = 1;
+
+  /// NVE total-energy drift: |E(step) - E(first observed)| must stay below
+  /// energy_drift_rel * max(1, |E0|). The default admits the O(dt^2)
+  /// oscillation of velocity Verlet with flexible bonds at sub-fs timesteps
+  /// (about 0.2% of |E| on the validation presets at 0.5 fs) while catching
+  /// force/integration bugs, which blow past it within a step or two.
+  bool check_energy = true;
+  double energy_drift_rel = 1e-2;
+
+  /// Newton's third law: |sum of forces| <= net_force_rel * sum |f_i| + eps.
+  /// Every pair/bonded kernel adds equal-and-opposite contributions, so the
+  /// residual is pure rounding (~sqrt(N) ulps of the largest cancellation).
+  bool check_net_force = true;
+  double net_force_rel = 1e-9;
+
+  /// Momentum conservation: |sum m_i v_i| <= momentum_rel * sum |m_i v_i|
+  /// + eps. Holds for NVE when the net force stays ~0 (each kick adds
+  /// dt * sum F); generators zero the net momentum at velocity assignment.
+  bool check_momentum = true;
+  double momentum_rel = 1e-9;
+
+  /// Exclusion completeness: pairs_computed must equal an independent
+  /// brute-force O(N^2) count of in-cutoff, non-excluded pairs — no excluded
+  /// pair contributed, no interacting pair was missed. Off by default (cost);
+  /// enable on the small validation presets.
+  bool check_exclusions = false;
+
+  /// SHAKE convergence: max relative squared-bond-length violation after the
+  /// constraint solve.
+  double constraint_tol = 1e-8;
+
+  /// Reduction completeness cross-check (ParallelSim numeric mode): the last
+  /// round's kinetic-energy reduction must match the kinetic energy of the
+  /// gathered global state to this relative tolerance (different summation
+  /// order than the per-patch tree reduction).
+  double reduction_rel = 1e-9;
+
+  /// Absolute floor added to relative bounds, for near-zero scales.
+  double abs_floor = 1e-12;
+};
+
+/// Asserts configurable physical invariants against a running simulation.
+///
+/// Hook it to the sequential engine (attach(SequentialEngine&)) or to the
+/// parallel core (attach(ParallelSim&)); every violation is appended to a
+/// ViolationLog (src/trace/) recording the step, the invariant term and the
+/// magnitude, so a failing run reports *all* broken physics, not just the
+/// first assert. The direct check_* entry points are public so tests and
+/// tools can drive them against arbitrary state.
+class InvariantChecker {
+ public:
+  /// Uses `log` for violations when non-null; otherwise an internal log
+  /// (accessible via log()).
+  explicit InvariantChecker(const InvariantOptions& opts = {},
+                            ViolationLog* log = nullptr);
+
+  // --- hooks -----------------------------------------------------------
+  /// Registers this checker as the engine's step observer (replaces any
+  /// previous observer). The checker must outlive the engine's stepping.
+  void attach(SequentialEngine& engine);
+  /// Registers this checker as the sim's cycle observer.
+  void attach(ParallelSim& sim);
+
+  /// One observation of the sequential engine (called by the attached hook;
+  /// callable directly after manual stepping). Honors `every`.
+  void observe(const SequentialEngine& engine, int step);
+  /// One observation of the parallel core at a cycle boundary: net force and
+  /// momentum of the gathered state (numeric mode), message conservation
+  /// (machine quiesced), and reduction completeness.
+  void observe_cycle(const ParallelSim& sim);
+
+  // --- direct checks (each returns pass/fail and logs on fail) ---------
+  bool check_net_force(std::span<const Vec3> forces, int step);
+  bool check_momentum(std::span<const Vec3> velocities,
+                      std::span<const double> masses, int step);
+  /// First call records the reference energy; later calls check drift.
+  bool check_energy(double total_energy, int step);
+  bool check_exclusions(const Molecule& mol, const ExclusionTable& excl,
+                        const NonbondedOptions& nb, const WorkCounters& work,
+                        int step);
+  bool check_constraints(const BondConstraints& constraints,
+                         std::span<const Vec3> positions, int step);
+
+  /// When set, observe() additionally asserts constraint tolerance at each
+  /// checked step (the caller owns the BondConstraints).
+  void set_constraints(const BondConstraints* constraints) {
+    constraints_ = constraints;
+  }
+
+  // --- results ---------------------------------------------------------
+  bool ok() const { return log_->empty(); }
+  const ViolationLog& log() const { return *log_; }
+  ViolationLog& log() { return *log_; }
+  /// Individual invariant evaluations performed (for "did it actually run").
+  std::uint64_t checks_run() const { return checks_run_; }
+  /// Resets the energy reference so the next check_energy re-anchors.
+  void reset_energy_reference() { have_reference_energy_ = false; }
+
+ private:
+  bool fail(int step, const char* term, double magnitude, double bound,
+            std::string detail);
+
+  InvariantOptions opts_;
+  ViolationLog owned_log_;
+  ViolationLog* log_;
+  const BondConstraints* constraints_ = nullptr;
+  double reference_energy_ = 0.0;
+  bool have_reference_energy_ = false;
+  std::uint64_t checks_run_ = 0;
+};
+
+}  // namespace scalemd

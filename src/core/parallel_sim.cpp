@@ -554,6 +554,7 @@ void ParallelSim::run_cycle(int steps) {
   assert(sim_->idle());
   global_steps_ += steps;
   if (opts_.numeric) migrate_atoms();
+  if (cycle_observer_) cycle_observer_(*this, steps);
 }
 
 double ParallelSim::seconds_per_step_tail(int steps) const {
@@ -814,6 +815,8 @@ double ParallelSim::ideal_bonded_seconds() const {
 double ParallelSim::ideal_integration_seconds() const {
   return static_cast<double>(mol_->atom_count()) * opts_.machine.integrate_cost;
 }
+
+int ParallelSim::patch_count() const { return static_cast<int>(patches_.size()); }
 
 int ParallelSim::proxy_count() const {
   int count = 0;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -104,6 +105,13 @@ class ParallelSim {
   void attach_sink(TraceSink* sink);
   void detach_sink(const TraceSink* sink);
 
+  /// Called at the end of every run_cycle(), after the machine has quiesced
+  /// and (in numeric mode) atoms have migrated, with the completed cycle's
+  /// step count. The validation subsystem (check::InvariantChecker) attaches
+  /// through this hook; replaces any previous observer.
+  using CycleObserver = std::function<void(const ParallelSim&, int steps)>;
+  void set_cycle_observer(CycleObserver obs) { cycle_observer_ = std::move(obs); }
+
   /// Ideal per-step times by category from the work cache (for audits and
   /// speedup denominators).
   double ideal_nonbonded_seconds() const;
@@ -131,6 +139,9 @@ class ParallelSim {
 
   int total_steps() const { return global_steps_; }
   const LoadDatabase& load_database() const { return *db_; }
+  const ParallelOptions& options() const { return opts_; }
+  const Molecule& molecule() const { return *mol_; }
+  int patch_count() const;
 
  private:
   struct PatchRt;
@@ -180,6 +191,7 @@ class ParallelSim {
 
   std::unique_ptr<Reducer> reducer_;
   std::vector<double> reduction_totals_;
+  CycleObserver cycle_observer_;
   Rng noise_rng_{0xC0FFEE};
 
   int cycle_target_ = 0;       // per-cycle steps

@@ -265,6 +265,8 @@ void SequentialEngine::step() {
   compute_forces();
   work_.atoms_integrated += static_cast<std::uint64_t>(mol_.atom_count());
   integrator_.half_kick(forces_, masses_, mol_.velocities());
+  ++steps_done_;
+  if (observer_) observer_(*this, steps_done_);
 }
 
 void SequentialEngine::run(int n) {

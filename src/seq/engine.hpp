@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -55,6 +56,17 @@ class SequentialEngine {
   /// Runs `n` steps.
   void run(int n);
 
+  /// Called after every completed step() with the engine and the 1-based
+  /// count of steps taken so far, when forces/energies/velocities are all
+  /// consistent at the new positions. The validation subsystem
+  /// (check::InvariantChecker) attaches through this hook; replaces any
+  /// previous observer (empty function detaches).
+  using StepObserver = std::function<void(const SequentialEngine&, int step)>;
+  void set_step_observer(StepObserver obs) { observer_ = std::move(obs); }
+
+  /// Number of step() calls completed since construction.
+  int steps_done() const { return steps_done_; }
+
   const Molecule& molecule() const { return mol_; }
   std::span<const Vec3> positions() const { return mol_.positions(); }
   /// Mutable coordinate access for the minimizer and external integrators;
@@ -75,6 +87,7 @@ class SequentialEngine {
 
   const CellGrid& grid() const { return grid_; }
   const ExclusionTable& exclusions() const { return excl_; }
+  const EngineOptions& options() const { return opts_; }
 
  private:
   /// Non-bonded evaluation paths: {cell sweep, Verlet pairlist} x
@@ -99,6 +112,8 @@ class SequentialEngine {
   std::vector<Vec3> forces_;
   EnergyTerms energy_;
   WorkCounters work_;
+  StepObserver observer_;
+  int steps_done_ = 0;
 
   // --- tiled-kernel machinery (created on demand) ---------------------
   TiledWorkspace tiled_ws_;

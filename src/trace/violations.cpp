@@ -1,0 +1,32 @@
+#include "trace/violations.hpp"
+
+#include <cstdio>
+
+namespace scalemd {
+
+std::vector<ViolationRecord> ViolationLog::of_term(const std::string& term) const {
+  std::vector<ViolationRecord> out;
+  for (const ViolationRecord& r : records_) {
+    if (r.term == term) out.push_back(r);
+  }
+  return out;
+}
+
+std::string ViolationLog::render() const {
+  std::string out;
+  char line[256];
+  for (const ViolationRecord& r : records_) {
+    std::snprintf(line, sizeof(line), "step %-6d %-20s magnitude %.6e exceeds %.6e",
+                  r.step, r.term.c_str(), r.magnitude, r.bound);
+    out += line;
+    if (!r.detail.empty()) {
+      out += "  (";
+      out += r.detail;
+      out += ')';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace scalemd

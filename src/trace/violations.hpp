@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace scalemd {
+
+/// One failed physical or runtime invariant, reported by the validation
+/// subsystem (src/check/). Carries everything a failure message needs: the
+/// step it happened on, which invariant ("term") tripped, the measured
+/// magnitude and the bound it exceeded.
+struct ViolationRecord {
+  int step = -1;           ///< simulation step / DES round; -1 = not step-bound
+  std::string term;        ///< invariant name, e.g. "net-force", "energy-drift"
+  double magnitude = 0.0;  ///< measured value that tripped the bound
+  double bound = 0.0;      ///< configured bound
+  std::string detail;      ///< human-readable context (what was compared)
+};
+
+/// Collector for invariant violations — the validation subsystem's analogue
+/// of trace/event_log: checks append records here instead of aborting, so a
+/// run can report every violated invariant (step, term, magnitude) at once.
+class ViolationLog {
+ public:
+  void add(ViolationRecord r) { records_.push_back(std::move(r)); }
+
+  bool empty() const { return records_.empty(); }
+  std::size_t size() const { return records_.size(); }
+  void clear() { records_.clear(); }
+
+  const std::vector<ViolationRecord>& records() const { return records_; }
+
+  /// All violations of one invariant term.
+  std::vector<ViolationRecord> of_term(const std::string& term) const;
+
+  /// Multi-line report, one violation per line:
+  ///   step 12  net-force       |sum F| = 3.2e-04 exceeds 1.0e-08  (...)
+  /// Empty string when no violations were recorded.
+  std::string render() const;
+
+ private:
+  std::vector<ViolationRecord> records_;
+};
+
+}  // namespace scalemd

@@ -1,0 +1,303 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "check/des_invariants.hpp"
+#include "check/invariants.hpp"
+#include "core/parallel_sim.hpp"
+#include "gen/presets.hpp"
+#include "gen/water_box.hpp"
+#include "seq/constraints.hpp"
+#include "seq/engine.hpp"
+#include "trace/violations.hpp"
+
+namespace scalemd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Violation log.
+// ---------------------------------------------------------------------------
+
+TEST(ViolationLogTest, CollectsFiltersAndRenders) {
+  ViolationLog log;
+  EXPECT_TRUE(log.empty());
+  log.add({3, "energy-drift", 1.5e-3, 1e-4, "E moved"});
+  log.add({7, "net-force", 2.0e-6, 1e-9, "kick"});
+  log.add({9, "energy-drift", 2.5e-3, 1e-4, "E moved more"});
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.of_term("energy-drift").size(), 2u);
+  EXPECT_EQ(log.of_term("net-force").size(), 1u);
+  EXPECT_EQ(log.of_term("constraint-tolerance").size(), 0u);
+
+  const std::string text = log.render();
+  EXPECT_NE(text.find("energy-drift"), std::string::npos);
+  EXPECT_NE(text.find("net-force"), std::string::npos);
+  EXPECT_NE(text.find("kick"), std::string::npos);
+
+  log.clear();
+  EXPECT_TRUE(log.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Invariants on the sequential engine.
+// ---------------------------------------------------------------------------
+
+EngineOptions water_engine_options() {
+  EngineOptions opts;
+  opts.nonbonded.cutoff = 6.5;
+  opts.nonbonded.switch_dist = 5.5;
+  // Flexible O-H bonds: keep the timestep small enough that the velocity
+  // Verlet energy oscillation stays well inside the checker's drift bound.
+  opts.dt_fs = 0.5;
+  return opts;
+}
+
+TEST(InvariantCheckerTest, CleanNveRunPassesAllChecks) {
+  Molecule m = make_water_box({16, 16, 16}, 5);
+  m.assign_velocities(300.0, 55);
+  SequentialEngine engine(m, water_engine_options());
+
+  InvariantOptions opts;
+  opts.check_exclusions = true;
+  InvariantChecker checker(opts);
+  checker.attach(engine);
+  engine.run(10);
+
+  EXPECT_EQ(engine.steps_done(), 10);
+  EXPECT_GE(checker.checks_run(), 40u);  // 4 invariants x 10 steps
+  EXPECT_TRUE(checker.ok()) << checker.log().render();
+}
+
+TEST(InvariantCheckerTest, ObserverHonorsCheckCadence) {
+  Molecule m = make_water_box({12, 12, 12}, 5);
+  m.assign_velocities(300.0, 55);
+  SequentialEngine engine(m, water_engine_options());
+
+  InvariantOptions opts;
+  opts.every = 5;
+  opts.check_energy = false;
+  opts.check_momentum = false;
+  InvariantChecker checker(opts);
+  checker.attach(engine);
+  engine.run(10);
+
+  EXPECT_EQ(checker.checks_run(), 2u);  // net force at steps 5 and 10 only
+}
+
+TEST(InvariantCheckerTest, PerturbedForceViolatesNewtonsThirdLaw) {
+  Molecule m = make_water_box({14, 14, 14}, 9);
+  SequentialEngine engine(m, water_engine_options());
+
+  InvariantChecker checker;
+  std::vector<Vec3> forces(engine.forces().begin(), engine.forces().end());
+  ASSERT_TRUE(checker.check_net_force(forces, 0));
+
+  // The acceptance scenario: one force component silently offset — tiny
+  // against the individual pair forces, but decisively above the rounding
+  // bound the checker derives from the total force magnitude.
+  double sum_abs = 0.0;
+  for (const Vec3& f : forces) {
+    sum_abs += std::fabs(f.x) + std::fabs(f.y) + std::fabs(f.z);
+  }
+  forces[forces.size() / 2].x += 1e-6 + 1e-6 * sum_abs;
+  EXPECT_FALSE(checker.check_net_force(forces, 1));
+  ASSERT_EQ(checker.log().size(), 1u);
+  const ViolationRecord& v = checker.log().records().front();
+  EXPECT_EQ(v.term, "net-force");
+  EXPECT_EQ(v.step, 1);
+  EXPECT_GT(v.magnitude, v.bound);
+}
+
+TEST(InvariantCheckerTest, EnergyDriftAnchorsAtFirstObservation) {
+  InvariantChecker checker;
+  EXPECT_TRUE(checker.check_energy(-1234.5, 0));
+  EXPECT_TRUE(checker.check_energy(-1234.5 * (1.0 + 1e-4), 1));
+  EXPECT_FALSE(checker.check_energy(-1234.5 * (1.0 + 5e-2), 2));
+  EXPECT_EQ(checker.log().of_term("energy-drift").size(), 1u);
+
+  checker.log().clear();
+  checker.reset_energy_reference();
+  EXPECT_TRUE(checker.check_energy(-999.0, 3));  // re-anchored, no drift yet
+  EXPECT_TRUE(checker.ok());
+}
+
+TEST(InvariantCheckerTest, MomentumCheckCatchesBiasedVelocities) {
+  Molecule m = make_water_box({12, 12, 12}, 3);
+  m.assign_velocities(300.0, 21);  // net momentum removed by the generator
+  SequentialEngine engine(m, water_engine_options());
+
+  InvariantChecker checker;
+  ASSERT_TRUE(checker.check_momentum(engine.velocities(), engine.masses(), 0));
+
+  std::vector<Vec3> biased(engine.velocities().begin(), engine.velocities().end());
+  for (Vec3& v : biased) v.x += 1e-4;  // uniform drift
+  EXPECT_FALSE(checker.check_momentum(biased, engine.masses(), 1));
+  EXPECT_EQ(checker.log().of_term("net-momentum").size(), 1u);
+}
+
+TEST(InvariantCheckerTest, ExclusionCountCrossChecksKernelWork) {
+  Molecule m = small_solvated_chain(400, 7);
+  EngineOptions opts;
+  opts.nonbonded.cutoff = 7.5;
+  opts.nonbonded.switch_dist = 6.5;
+  SequentialEngine engine(m, opts);
+
+  InvariantChecker checker;
+  ASSERT_TRUE(checker.check_exclusions(engine.molecule(), engine.exclusions(),
+                                       engine.options().nonbonded, engine.work(),
+                                       0));
+
+  // A kernel that evaluated one excluded pair (or dropped one real pair)
+  // shifts the count by one and must be flagged.
+  WorkCounters off = engine.work();
+  off.pairs_computed += 1;
+  EXPECT_FALSE(checker.check_exclusions(engine.molecule(), engine.exclusions(),
+                                        engine.options().nonbonded, off, 1));
+  EXPECT_EQ(checker.log().of_term("exclusion-completeness").size(), 1u);
+}
+
+TEST(InvariantCheckerTest, ConstraintToleranceTracksShake) {
+  Molecule m = small_solvated_chain(300, 13);
+  BondConstraints cons(m);
+  ASSERT_GT(cons.constraint_count(), 0u);
+
+  std::vector<Vec3> pos(m.positions().begin(), m.positions().end());
+  std::vector<Vec3> ref = pos;
+  std::vector<Vec3> vel(pos.size());
+  std::vector<double> inv_mass;
+  for (const Atom& a : m.atoms()) inv_mass.push_back(1.0 / a.mass);
+
+  // Drift the positions, solve, and verify the checker accepts the solved
+  // state and rejects the drifted one.
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    pos[i].x += 1e-3 * static_cast<double>(i % 3);
+  }
+  InvariantChecker checker;
+  ASSERT_GT(cons.max_violation(pos), 1e-8);
+  EXPECT_FALSE(checker.check_constraints(cons, pos, 0));
+
+  ASSERT_GE(cons.shake(ref, pos, vel, inv_mass, 1.0), 0);
+  EXPECT_TRUE(checker.check_constraints(cons, pos, 1));
+  EXPECT_EQ(checker.log().of_term("constraint-tolerance").size(), 1u);
+}
+
+TEST(InvariantCheckerTest, ConstrainedDynamicsChecksCleanEveryStep) {
+  // Water-box geometry starts with all bonds at rest length; step, SHAKE the
+  // drift back, and have the checker (constraints registered) observe the
+  // solved state each step.
+  Molecule m = make_water_box({12, 12, 12}, 9);
+  m.assign_velocities(250.0, 23);
+  EngineOptions eopts;
+  eopts.nonbonded.cutoff = 5.5;
+  eopts.nonbonded.switch_dist = 4.5;
+  eopts.dt_fs = 1.0;
+  SequentialEngine engine(m, eopts);
+
+  BondConstraints cons(m);
+  ASSERT_GT(cons.constraint_count(), 0u);
+  InvariantOptions opts;
+  opts.check_energy = false;    // SHAKE removes bond-vibration energy
+  opts.check_momentum = false;  // position-only solve, velocities uncorrected
+  InvariantChecker checker(opts);
+  checker.set_constraints(&cons);
+
+  std::vector<double> inv_mass;
+  for (double mass : engine.masses()) inv_mass.push_back(1.0 / mass);
+  std::vector<Vec3> no_vel;
+  for (int s = 1; s <= 3; ++s) {
+    std::vector<Vec3> ref(engine.positions().begin(), engine.positions().end());
+    engine.step();
+    ASSERT_GE(cons.shake(ref, engine.mutable_positions(), no_vel, inv_mass, 0.0),
+              0);
+    checker.observe(engine, s);  // post-solve, as a SHAKE driver would hook it
+  }
+  EXPECT_GE(checker.checks_run(), 6u);  // net force + constraints, 3 steps
+  EXPECT_TRUE(checker.ok()) << checker.log().render();
+}
+
+// ---------------------------------------------------------------------------
+// Invariants on the parallel core.
+// ---------------------------------------------------------------------------
+
+TEST(InvariantCheckerTest, NumericParallelCyclePassesDesAndPhysicsChecks) {
+  Molecule m = small_solvated_chain(800, 31);
+  m.suggested_patch_size = 8.0;
+  m.assign_velocities(300.0, 71);
+  NonbondedOptions nb;
+  nb.cutoff = 7.5;
+  nb.switch_dist = 6.5;
+  const Workload wl(m, MachineModel::asci_red(), nb);
+
+  ParallelOptions popts;
+  popts.num_pes = 4;
+  popts.numeric = true;
+  popts.dt_fs = 0.5;
+  ParallelSim sim(wl, popts);
+
+  InvariantChecker checker;
+  checker.attach(sim);
+  sim.run_cycle(3);
+  sim.run_cycle(2);
+
+  EXPECT_GT(checker.checks_run(), 0u);
+  EXPECT_TRUE(checker.ok()) << checker.log().render();
+}
+
+TEST(DesInvariantSinkTest, CleanSimulationSatisfiesRuntimeInvariants) {
+  Molecule m = small_solvated_chain(800, 37);
+  m.suggested_patch_size = 8.0;
+  const Workload wl(m, MachineModel::asci_red(), {});
+
+  ParallelOptions popts;
+  popts.num_pes = 6;
+  ParallelSim sim(wl, popts);
+
+  ViolationLog log;
+  DesInvariantSink sink(&log);
+  sim.attach_sink(&sink);
+  sim.run_cycle(3);
+  sim.detach_sink(&sink);
+
+  EXPECT_GT(sink.tasks_seen(), 0u);
+  EXPECT_GT(sink.messages_seen(), 0u);
+  EXPECT_TRUE(sink.ok()) << log.render();
+}
+
+TEST(DesInvariantSinkTest, FlagsClockRegressionCausalityAndNegativeCost) {
+  ViolationLog log;
+  DesInvariantSink sink(&log);
+
+  TaskRecord t;
+  t.pe = 2;
+  t.start = 1.0;
+  t.duration = 0.5;
+  sink.on_task(t);
+  EXPECT_TRUE(sink.ok());
+
+  t.start = 1.2;  // before the previous task's completion at 1.5
+  sink.on_task(t);
+  EXPECT_EQ(log.of_term("pe-clock-monotonicity").size(), 1u);
+
+  TaskRecord neg;
+  neg.pe = 0;
+  neg.start = 10.0;
+  neg.duration = -0.1;
+  sink.on_task(neg);
+  EXPECT_EQ(log.of_term("negative-task-cost").size(), 1u);
+
+  MsgRecord msg;
+  msg.src_pe = 0;
+  msg.dst_pe = 1;
+  msg.send_time = 2.0;
+  msg.recv_time = 1.0;
+  sink.on_message(msg);
+  EXPECT_EQ(log.of_term("message-causality").size(), 1u);
+
+  EXPECT_EQ(sink.tasks_seen(), 3u);
+  EXPECT_EQ(sink.messages_seen(), 1u);
+  EXPECT_FALSE(sink.ok());
+}
+
+}  // namespace
+}  // namespace scalemd

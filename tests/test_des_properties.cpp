@@ -6,8 +6,11 @@
 
 #include <vector>
 
+#include "core/parallel_sim.hpp"
 #include "des/machine.hpp"
 #include "des/simulator.hpp"
+#include "gen/presets.hpp"
+#include "trace/event_log.hpp"
 #include "util/random.hpp"
 
 namespace scalemd {
@@ -123,6 +126,66 @@ INSTANTIATE_TEST_SUITE_P(RandomWorkloads, DesProperty,
                          ::testing::Values(DesCase{1, 1}, DesCase{2, 2},
                                            DesCase{4, 3}, DesCase{8, 4},
                                            DesCase{32, 5}, DesCase{64, 6}));
+
+TEST(DesDeterminismTest, ParallelSimTraceAndLbAssignmentAreBitwiseIdentical) {
+  // The whole parallel stack — patch placement, multicast, task-time noise
+  // (fixed-seed RNG), reductions, measurement-based LB — must replay
+  // bit-for-bit from the same configuration: two runs, identical event
+  // traces and identical final object assignments.
+  Molecule m = small_solvated_chain(900, 43);
+  m.suggested_patch_size = 8.0;
+  const Workload wl(m, MachineModel::asci_red(), {});
+
+  auto run_once = [&](EventLog& log, std::vector<int>& compute_pe,
+                      std::vector<int>& patch_home) {
+    ParallelOptions opts;
+    opts.num_pes = 8;
+    ParallelSim sim(wl, opts);
+    sim.attach_sink(&log);
+    sim.run_cycle(3);
+    sim.load_balance();
+    sim.run_cycle(3);
+    sim.detach_sink(&log);
+    compute_pe = sim.compute_pe();
+    patch_home = sim.patch_home();
+  };
+
+  EventLog la, lb;
+  std::vector<int> ca, cb, pa, pb;
+  run_once(la, ca, pa);
+  run_once(lb, cb, pb);
+
+  EXPECT_EQ(ca, cb) << "load balancer produced different compute placements";
+  EXPECT_EQ(pa, pb);
+
+  ASSERT_EQ(la.tasks().size(), lb.tasks().size());
+  ASSERT_GT(la.tasks().size(), 0u);
+  for (std::size_t i = 0; i < la.tasks().size(); ++i) {
+    const TaskRecord& a = la.tasks()[i];
+    const TaskRecord& b = lb.tasks()[i];
+    EXPECT_EQ(a.pe, b.pe) << "task " << i;
+    EXPECT_EQ(a.entry, b.entry) << "task " << i;
+    EXPECT_EQ(a.object, b.object) << "task " << i;
+    // EXPECT_EQ on doubles is exact equality — bitwise determinism.
+    EXPECT_EQ(a.start, b.start) << "task " << i;
+    EXPECT_EQ(a.duration, b.duration) << "task " << i;
+    EXPECT_EQ(a.recv_cost, b.recv_cost) << "task " << i;
+    EXPECT_EQ(a.pack_cost, b.pack_cost) << "task " << i;
+    EXPECT_EQ(a.send_cost, b.send_cost) << "task " << i;
+  }
+  ASSERT_EQ(la.messages().size(), lb.messages().size());
+  ASSERT_GT(la.messages().size(), 0u);
+  for (std::size_t i = 0; i < la.messages().size(); ++i) {
+    const MsgRecord& a = la.messages()[i];
+    const MsgRecord& b = lb.messages()[i];
+    EXPECT_EQ(a.src_pe, b.src_pe) << "msg " << i;
+    EXPECT_EQ(a.dst_pe, b.dst_pe) << "msg " << i;
+    EXPECT_EQ(a.entry, b.entry) << "msg " << i;
+    EXPECT_EQ(a.bytes, b.bytes) << "msg " << i;
+    EXPECT_EQ(a.send_time, b.send_time) << "msg " << i;
+    EXPECT_EQ(a.recv_time, b.recv_time) << "msg " << i;
+  }
+}
 
 TEST(DesNicTest, LinkSerializationDelaysBurst) {
   // Ten 100 KB messages from one PE to ten receivers: the sender's outgoing

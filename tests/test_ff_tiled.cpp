@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <cstring>
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include "core/parallel_sim.hpp"
@@ -218,26 +220,60 @@ void expect_equivalent(const EngineResult& got, const EngineResult& ref) {
   expect_forces_close(got.forces, ref.forces);
 }
 
-TEST(TiledEngineTest, CellPathKernelsAgreeOnWaterBox) {
-  const Molecule m = make_water_box({22, 22, 22}, 3);
-  const EngineResult ref = run_engine(m, NonbondedKernel::kScalar, false);
-  expect_equivalent(run_engine(m, NonbondedKernel::kTiled, false), ref);
-  expect_equivalent(run_engine(m, NonbondedKernel::kTiledThreads, false), ref);
+/// One cell of the equivalence matrix: a kernel variant evaluated through one
+/// engine path, always checked against the scalar kernel on the *same* path
+/// and the scalar cell-list evaluation (the golden reference configuration).
+struct MatrixCase {
+  NonbondedKernel kernel;
+  bool pairlist;
+  int threads;
+};
+
+std::string matrix_case_name(const testing::TestParamInfo<MatrixCase>& info) {
+  std::string name;
+  for (const char* p = kernel_name(info.param.kernel); *p != '\0'; ++p) {
+    name += std::isalnum(static_cast<unsigned char>(*p)) ? *p : '_';
+  }
+  name += info.param.pairlist ? "_verlet" : "_cell";
+  if (info.param.threads > 0) name += "_t" + std::to_string(info.param.threads);
+  return name;
 }
 
-TEST(TiledEngineTest, CellPathKernelsAgreeOnSolvatedChain) {
-  const Molecule m = small_solvated_chain(1200, 19);
-  const EngineResult ref = run_engine(m, NonbondedKernel::kScalar, false);
-  expect_equivalent(run_engine(m, NonbondedKernel::kTiled, false), ref);
-  expect_equivalent(run_engine(m, NonbondedKernel::kTiledThreads, false), ref);
+class KernelMatrixTest : public testing::TestWithParam<MatrixCase> {
+ protected:
+  /// Full equivalence (energies, forces, both work counters) against the
+  /// scalar kernel on the same evaluation path — pairs_tested is a property
+  /// of the path (cell sweep vs Verlet list), so only same-path runs share
+  /// it. Across paths, the physics must still agree: pairs_computed,
+  /// energies and forces are checked against the scalar cell-list reference.
+  void check_case(const Molecule& m, const MatrixCase& c) {
+    const EngineResult got = run_engine(m, c.kernel, c.pairlist, c.threads);
+    expect_equivalent(got, run_engine(m, NonbondedKernel::kScalar, c.pairlist));
+    const EngineResult cell_ref = run_engine(m, NonbondedKernel::kScalar, false);
+    EXPECT_EQ(got.work.pairs_computed, cell_ref.work.pairs_computed);
+    expect_energy_close(got.energy, cell_ref.energy);
+    expect_forces_close(got.forces, cell_ref.forces);
+  }
+};
+
+TEST_P(KernelMatrixTest, AgreesWithScalarReferenceOnWaterBox) {
+  check_case(make_water_box({22, 22, 22}, 3), GetParam());
 }
 
-TEST(TiledEngineTest, PairlistPathKernelsAgreeOnSolvatedChain) {
-  const Molecule m = small_solvated_chain(1200, 29);
-  const EngineResult ref = run_engine(m, NonbondedKernel::kScalar, true);
-  expect_equivalent(run_engine(m, NonbondedKernel::kTiled, true), ref);
-  expect_equivalent(run_engine(m, NonbondedKernel::kTiledThreads, true), ref);
+TEST_P(KernelMatrixTest, AgreesWithScalarReferenceOnSolvatedChain) {
+  check_case(small_solvated_chain(1200, 19), GetParam());
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernelsAllPaths, KernelMatrixTest,
+    testing::Values(MatrixCase{NonbondedKernel::kScalar, true, 0},
+                    MatrixCase{NonbondedKernel::kTiled, false, 0},
+                    MatrixCase{NonbondedKernel::kTiled, true, 0},
+                    MatrixCase{NonbondedKernel::kTiledThreads, false, 2},
+                    MatrixCase{NonbondedKernel::kTiledThreads, true, 2},
+                    MatrixCase{NonbondedKernel::kTiledThreads, false, 4},
+                    MatrixCase{NonbondedKernel::kTiledThreads, true, 4}),
+    matrix_case_name);
 
 TEST(TiledEngineTest, ThreadedEvaluationIsBitwiseDeterministic) {
   // Static schedule + ordered reduction: two engines with the same thread

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "topo/exclusions.hpp"
+#include "topo/molecule.hpp"
+#include "util/random.hpp"
+
+namespace scalemd {
+namespace {
+
+// Property-based checks of the exclusion table: for randomly generated small
+// bond graphs, the CSR table must agree with an independent breadth-first
+// reference and satisfy the structural invariants every kernel relies on
+// (symmetry, 1-2/1-3 coverage, 1-4 disjointness, sorted lists).
+
+/// A random connected bond graph: a spanning tree over `n` atoms plus a few
+/// extra edges (rings), which exercises the "1-4 only if not closer" rule.
+Molecule random_molecule(int n, int extra_edges, Rng& rng) {
+  Molecule m;
+  m.box = {100.0, 100.0, 100.0};
+  const int lj = m.params.add_lj_type(0.1, 1.5);
+  const int bp = m.params.add_bond_param(300.0, 1.5);
+  m.params.finalize();
+  for (int i = 0; i < n; ++i) {
+    m.add_atom({12.0, 0.0, lj}, {1.0 + static_cast<double>(i), 1.0, 1.0});
+  }
+  std::set<std::pair<int, int>> edges;
+  auto add_edge = [&](int a, int b) {
+    if (a == b) return false;
+    if (!edges.insert({std::min(a, b), std::max(a, b)}).second) return false;
+    m.add_bond(a, b, bp);
+    return true;
+  };
+  for (int i = 1; i < n; ++i) {
+    add_edge(i, static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(i))));
+  }
+  for (int tries = 0; extra_edges > 0 && tries < 50 * extra_edges; ++tries) {
+    const int a = static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(n)));
+    const int b = static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(n)));
+    if (add_edge(a, b)) --extra_edges;
+  }
+  return m;
+}
+
+/// Bond-graph distance of every pair up to depth 3 (the exclusion horizon),
+/// computed the slow obvious way.
+std::map<std::pair<int, int>, int> bond_distances(const Molecule& m) {
+  const int n = m.atom_count();
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(n));
+  for (const Bond& b : m.bonds()) {
+    adj[static_cast<std::size_t>(b.a)].push_back(b.b);
+    adj[static_cast<std::size_t>(b.b)].push_back(b.a);
+  }
+  std::map<std::pair<int, int>, int> dist;
+  for (int s = 0; s < n; ++s) {
+    std::vector<int> d(static_cast<std::size_t>(n), -1);
+    std::queue<int> q;
+    d[static_cast<std::size_t>(s)] = 0;
+    q.push(s);
+    while (!q.empty()) {
+      const int u = q.front();
+      q.pop();
+      if (d[static_cast<std::size_t>(u)] == 3) continue;
+      for (int v : adj[static_cast<std::size_t>(u)]) {
+        if (d[static_cast<std::size_t>(v)] < 0) {
+          d[static_cast<std::size_t>(v)] = d[static_cast<std::size_t>(u)] + 1;
+          q.push(v);
+        }
+      }
+    }
+    for (int t = s + 1; t < n; ++t) {
+      if (d[static_cast<std::size_t>(t)] > 0) dist[{s, t}] = d[static_cast<std::size_t>(t)];
+    }
+  }
+  return dist;
+}
+
+TEST(ExclusionPropertyTest, MatchesBfsReferenceOnRandomGraphs) {
+  Rng rng(0x5eed);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 4 + static_cast<int>(rng.uniform_index(30));
+    const int extra = static_cast<int>(rng.uniform_index(4));
+    const Molecule m = random_molecule(n, extra, rng);
+    const ExclusionTable table = ExclusionTable::build(m);
+    const auto dist = bond_distances(m);
+
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        if (i == j) {
+          EXPECT_EQ(table.check(i, j), ExclusionKind::kFull);
+          continue;
+        }
+        const auto it = dist.find({std::min(i, j), std::max(i, j)});
+        const int d = (it == dist.end()) ? 99 : it->second;
+        ExclusionKind want = ExclusionKind::kNone;
+        if (d <= 2) {
+          want = ExclusionKind::kFull;
+        } else if (d == 3) {
+          want = ExclusionKind::kModified14;
+        }
+        EXPECT_EQ(table.check(i, j), want)
+            << "trial " << trial << " pair (" << i << "," << j
+            << ") bond distance " << d;
+      }
+    }
+  }
+}
+
+TEST(ExclusionPropertyTest, TableIsSymmetric) {
+  Rng rng(0xabcd);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = 5 + static_cast<int>(rng.uniform_index(25));
+    const Molecule m = random_molecule(n, 3, rng);
+    const ExclusionTable table = ExclusionTable::build(m);
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        EXPECT_EQ(table.check(i, j), table.check(j, i))
+            << "pair (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST(ExclusionPropertyTest, DirectNeighborsAndOneThreePairsAreExcluded) {
+  Rng rng(0xf00d);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = 6 + static_cast<int>(rng.uniform_index(20));
+    const Molecule m = random_molecule(n, 2, rng);
+    const ExclusionTable table = ExclusionTable::build(m);
+
+    std::vector<std::vector<int>> adj(static_cast<std::size_t>(n));
+    for (const Bond& b : m.bonds()) {
+      adj[static_cast<std::size_t>(b.a)].push_back(b.b);
+      adj[static_cast<std::size_t>(b.b)].push_back(b.a);
+      // 1-2 pairs are always fully excluded.
+      EXPECT_EQ(table.check(b.a, b.b), ExclusionKind::kFull);
+    }
+    // Every two-bond path endpoint pair (1-3) is fully excluded.
+    for (int mid = 0; mid < n; ++mid) {
+      const auto& nb = adj[static_cast<std::size_t>(mid)];
+      for (std::size_t x = 0; x < nb.size(); ++x) {
+        for (std::size_t y = x + 1; y < nb.size(); ++y) {
+          EXPECT_EQ(table.check(nb[x], nb[y]), ExclusionKind::kFull)
+              << "1-3 pair through atom " << mid;
+        }
+      }
+    }
+  }
+}
+
+TEST(ExclusionPropertyTest, ModifiedPairsAreDisjointFromFullExclusions) {
+  Rng rng(0x1234);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = 6 + static_cast<int>(rng.uniform_index(24));
+    const Molecule m = random_molecule(n, 3, rng);
+    const ExclusionTable table = ExclusionTable::build(m);
+
+    for (int i = 0; i < n; ++i) {
+      const auto full = table.excluded(i);
+      const auto mod = table.modified(i);
+      EXPECT_TRUE(std::is_sorted(full.begin(), full.end()));
+      EXPECT_TRUE(std::is_sorted(mod.begin(), mod.end()));
+      std::vector<int> overlap;
+      std::set_intersection(full.begin(), full.end(), mod.begin(), mod.end(),
+                            std::back_inserter(overlap));
+      EXPECT_TRUE(overlap.empty())
+          << "atom " << i << " has a pair both fully excluded and 1-4";
+      // Directed lists must pair up: j in list(i) <=> i in list(j).
+      for (int j : full) {
+        EXPECT_TRUE(std::binary_search(table.excluded(j).begin(),
+                                       table.excluded(j).end(), i));
+      }
+      for (int j : mod) {
+        EXPECT_TRUE(std::binary_search(table.modified(j).begin(),
+                                       table.modified(j).end(), i));
+      }
+    }
+  }
+}
+
+TEST(ExclusionPropertyTest, EntryCountsMatchPairClassification) {
+  Rng rng(0x77);
+  const Molecule m = random_molecule(24, 3, rng);
+  const ExclusionTable table = ExclusionTable::build(m);
+  const auto dist = bond_distances(m);
+  std::size_t full_pairs = 0, mod_pairs = 0;
+  for (const auto& [pair, d] : dist) {
+    (void)pair;
+    if (d <= 2) {
+      ++full_pairs;
+    } else if (d == 3) {
+      ++mod_pairs;
+    }
+  }
+  EXPECT_EQ(table.full_entry_count(), 2 * full_pairs);
+  EXPECT_EQ(table.modified_entry_count(), 2 * mod_pairs);
+}
+
+}  // namespace
+}  // namespace scalemd

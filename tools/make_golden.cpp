@@ -1,0 +1,57 @@
+// Regenerates the golden trajectory references in tests/golden/ from the
+// scalar sequential path (cell list, single thread) — the reference
+// configuration every other kernel / engine-path / thread-count combination
+// is validated against.
+//
+// Usage:
+//   make_golden <output-dir> [spec ...]
+//
+// With no spec names, every registered golden preset is regenerated.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "check/golden.hpp"
+
+int main(int argc, char** argv) {
+  using namespace scalemd;
+
+  if (argc < 2 || std::strcmp(argv[1], "--help") == 0) {
+    std::fprintf(stderr, "usage: %s <output-dir> [spec ...]\n", argv[0]);
+    std::fprintf(stderr, "available specs:");
+    for (const GoldenSpec& s : golden_specs()) std::fprintf(stderr, " %s", s.name);
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
+  const std::string dir = argv[1];
+
+  std::vector<const GoldenSpec*> specs;
+  if (argc == 2) {
+    for (const GoldenSpec& s : golden_specs()) specs.push_back(&s);
+  } else {
+    for (int i = 2; i < argc; ++i) {
+      const GoldenSpec* s = find_golden_spec(argv[i]);
+      if (s == nullptr) {
+        std::fprintf(stderr, "unknown golden spec '%s'\n", argv[i]);
+        return 2;
+      }
+      specs.push_back(s);
+    }
+  }
+
+  for (const GoldenSpec* s : specs) {
+    const Trajectory t = record_trajectory(*s);
+    const std::string path = golden_path(dir, *s);
+    try {
+      write_trajectory(t, path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    std::printf("%s: %d atoms, %zu frames, %d steps -> %s\n", s->name,
+                t.atom_count, t.frames.size(), s->steps, path.c_str());
+  }
+  return 0;
+}

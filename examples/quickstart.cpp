@@ -4,19 +4,115 @@
 //
 // Usage: quickstart [--kernel scalar|tiled|tiled+threads] [--threads N]
 //                   [--check]
+//        quickstart --pes N [--fault-seed S | --fault-plan FILE]
+//                   [--checkpoint-every N] [--check]
 //
 // --check attaches the physics-invariant checker (src/check/) to the run and
 // reports any violated invariant (energy drift, net force/momentum, ...).
+//
+// The second form runs the waterbox preset on the simulated parallel machine
+// with the fault-tolerant runtime armed: --fault-seed S injects the generic
+// seeded chaos mix (drops, duplicates, latency spikes), --fault-plan FILE
+// loads an explicit schedule (see EXPERIMENTS.md for the schema, including
+// scheduled PE failures), and --checkpoint-every N takes a coordinated
+// checkpoint every N cycles (default 1) so a killed PE triggers
+// restore + evacuation + replay instead of a hung run. The run prints the
+// recovery-metrics table and exits non-zero on any invariant violation or
+// unrecovered cycle.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
 #include "check/invariants.hpp"
+#include "core/parallel_sim.hpp"
+#include "des/fault.hpp"
 #include "ff/nonbonded_tiled.hpp"
 #include "gen/presets.hpp"
+#include "gen/water_box.hpp"
 #include "seq/engine.hpp"
 #include "seq/minimize.hpp"
+#include "trace/audit.hpp"
+
+namespace {
+
+int usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s [--kernel scalar|tiled|tiled+threads] [--threads N]"
+               " [--check]\n"
+               "       %s --pes N [--fault-seed S | --fault-plan FILE]"
+               " [--checkpoint-every N] [--check]\n",
+               prog, prog);
+  return 1;
+}
+
+/// The chaos demo: waterbox on the simulated machine, resilient runtime on.
+int run_chaos(int pes, const scalemd::FaultPlan& plan, int checkpoint_every,
+              bool check) {
+  using namespace scalemd;
+
+  Molecule mol = make_water_box({16.0, 16.0, 16.0}, /*seed=*/11);
+  mol.assign_velocities(300.0, /*seed=*/101);
+  mol.suggested_patch_size = 8.0;
+  NonbondedOptions nb;
+  nb.cutoff = 6.5;
+  nb.switch_dist = 5.5;
+  std::printf("system: waterbox, %d atoms on %d simulated PEs\n",
+              mol.atom_count(), pes);
+  std::printf("fault plan: seed %llu, drop %.3f, dup %.3f, delay %.3f, "
+              "%zu slowdowns, %zu failures\n",
+              static_cast<unsigned long long>(plan.seed), plan.drop_prob,
+              plan.dup_prob, plan.delay_prob, plan.slowdowns.size(),
+              plan.failures.size());
+
+  const Workload workload(mol, MachineModel::asci_red(), nb);
+  ParallelOptions opts;
+  opts.num_pes = pes;
+  opts.numeric = true;
+  opts.dt_fs = 1.0;
+  opts.fault = plan;
+  opts.reliable = true;
+  opts.checkpoint_every = checkpoint_every;
+  ParallelSim sim(workload, opts);
+
+  InvariantOptions iopts;
+  iopts.check_energy = false;  // a handful of steps; drift bound is for runs
+  InvariantChecker checker(iopts);
+  if (check) checker.attach(sim);
+
+  constexpr int kCycles = 3;
+  constexpr int kSteps = 2;
+  for (int c = 0; c < kCycles; ++c) sim.run_cycle(kSteps);
+
+  const ResilienceStats rs = resilience_stats(
+      sim.sim().fault_stats(),
+      sim.reliable() != nullptr ? &sim.reliable()->stats() : nullptr,
+      sim.checkpoints_taken(), sim.restarts(), sim.restart_latency());
+  std::printf("\n%s", render_resilience(rs).c_str());
+  std::printf("virtual time: %.6f s for %d steps\n", sim.sim().time(),
+              sim.total_steps());
+
+  bool ok = true;
+  if (!sim.last_cycle_complete()) {
+    std::printf("UNRECOVERED: the last cycle did not complete (work lost to "
+                "faults; no checkpoint or restart cap hit)\n");
+    ok = false;
+  }
+  if (check) {
+    std::printf("invariants: %llu checks",
+                static_cast<unsigned long long>(checker.checks_run()));
+    if (checker.ok()) {
+      std::printf(", all passed\n");
+    } else {
+      std::printf(", %zu VIOLATIONS\n%s", checker.log().size(),
+                  checker.log().render().c_str());
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace scalemd;
@@ -24,6 +120,10 @@ int main(int argc, char** argv) {
   NonbondedKernel kernel = NonbondedKernel::kScalar;
   int threads = 0;  // 0 = let the engine pick
   bool check = false;
+  int pes = 0;  // > 0 selects the parallel chaos demo
+  int checkpoint_every = 1;
+  bool have_plan = false;
+  FaultPlan plan;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--kernel") == 0 && i + 1 < argc) {
       if (!kernel_from_name(argv[++i], kernel)) {
@@ -35,13 +135,29 @@ int main(int argc, char** argv) {
       threads = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--check") == 0) {
       check = true;
+    } else if (std::strcmp(argv[i], "--pes") == 0 && i + 1 < argc) {
+      pes = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--fault-seed") == 0 && i + 1 < argc) {
+      plan = FaultPlan::chaos(
+          static_cast<std::uint64_t>(std::strtoull(argv[++i], nullptr, 10)));
+      have_plan = true;
+    } else if (std::strcmp(argv[i], "--fault-plan") == 0 && i + 1 < argc) {
+      FaultPlanParseError err;
+      if (!parse_fault_plan(argv[++i], plan, err)) {
+        std::fprintf(stderr, "error: %s\n", err.render().c_str());
+        return 1;
+      }
+      have_plan = true;
+    } else if (std::strcmp(argv[i], "--checkpoint-every") == 0 && i + 1 < argc) {
+      checkpoint_every = std::atoi(argv[++i]);
     } else {
-      std::fprintf(stderr,
-                   "usage: %s [--kernel scalar|tiled|tiled+threads] [--threads N]"
-                   " [--check]\n",
-                   argv[0]);
-      return 1;
+      return usage(argv[0]);
     }
+  }
+
+  if (pes > 0 || have_plan) {
+    if (pes <= 0) pes = 8;
+    return run_chaos(pes, plan, checkpoint_every, check);
   }
 
   // A ~3000-atom solvated chain (deterministic for a given seed).

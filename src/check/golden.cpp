@@ -21,9 +21,10 @@ namespace {
 constexpr const char* kMagic = "scalemd-golden";
 constexpr int kVersion = 1;
 
-[[noreturn]] void format_error(const std::string& path, const char* what) {
-  throw std::runtime_error("golden file " + path + ": " + what);
-}
+// Plausibility ceilings for header counts: a corrupt header must fail with a
+// parse error, not drive a multi-gigabyte resize.
+constexpr int kMaxAtoms = 50'000'000;
+constexpr std::size_t kMaxFrames = 1'000'000;
 
 void write_vec_array(std::FILE* f, const std::vector<Vec3>& a) {
   for (const Vec3& v : a) {
@@ -31,7 +32,57 @@ void write_vec_array(std::FILE* f, const std::vector<Vec3>& a) {
   }
 }
 
+/// Line-at-a-time reader that owns the FILE and tracks the current line
+/// number, so every failure can name its exact location.
+class LineReader {
+ public:
+  explicit LineReader(const std::string& path)
+      : path_(path), f_(std::fopen(path.c_str(), "r")) {
+    if (f_ == nullptr) {
+      throw GoldenParseError(
+          path_, 0,
+          "cannot open (regenerate with tools/make_golden if it is missing)");
+    }
+  }
+  ~LineReader() {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+  LineReader(const LineReader&) = delete;
+  LineReader& operator=(const LineReader&) = delete;
+
+  /// Next line (without requiring the trailing newline); throws on EOF or
+  /// read error with `expect` as the reason.
+  const char* line(const char* expect) {
+    ++line_no_;
+    if (std::fgets(buf_, sizeof(buf_), f_) == nullptr) {
+      fail(std::ferror(f_) != 0 ? std::string("read error") + " — expected " + expect
+                                : std::string("unexpected end of file — expected ") + expect);
+    }
+    return buf_;
+  }
+
+  [[noreturn]] void fail(const std::string& reason) const {
+    throw GoldenParseError(path_, line_no_, reason);
+  }
+
+  int line_no() const { return line_no_; }
+
+ private:
+  std::string path_;
+  std::FILE* f_;
+  int line_no_ = 0;
+  char buf_[512];
+};
+
 }  // namespace
+
+GoldenParseError::GoldenParseError(std::string file, int line,
+                                   std::string reason)
+    : std::runtime_error("golden file " + file + ":" + std::to_string(line) +
+                         ": " + reason),
+      file_(std::move(file)),
+      line_(line),
+      reason_(std::move(reason)) {}
 
 void write_trajectory(const Trajectory& t, const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -59,77 +110,69 @@ void write_trajectory(const Trajectory& t, const std::string& path) {
 }
 
 Trajectory read_trajectory(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "r");
-  if (f == nullptr) {
-    throw std::runtime_error(
-        "cannot open golden file: " + path +
-        " (regenerate with tools/make_golden if it is missing)");
-  }
+  LineReader in(path);
   Trajectory t;
+
   char magic[64];
   int version = 0;
-  if (std::fscanf(f, "%63s %d", magic, &version) != 2 ||
+  if (std::sscanf(in.line("magic header"), "%63s %d", magic, &version) != 2 ||
       std::strcmp(magic, kMagic) != 0) {
-    std::fclose(f);
-    format_error(path, "bad magic");
+    in.fail("bad magic (not a scalemd golden file)");
   }
   if (version != kVersion) {
-    std::fclose(f);
-    format_error(path, "unsupported version");
+    in.fail("unsupported version " + std::to_string(version) + " (expected " +
+            std::to_string(kVersion) + ")");
   }
-  char key[64], name[128];
-  std::size_t frame_count = 0;
-  if (std::fscanf(f, "%63s %127s", key, name) != 2 ||
-      std::strcmp(key, "system") != 0) {
-    std::fclose(f);
-    format_error(path, "missing system header");
+  char name[128];
+  if (std::sscanf(in.line("system line"), "system %127s", name) != 1) {
+    in.fail("missing system header");
   }
   t.system = name;
-  if (std::fscanf(f, "%63s %d", key, &t.atom_count) != 2 ||
-      std::strcmp(key, "atoms") != 0 || t.atom_count < 0) {
-    std::fclose(f);
-    format_error(path, "missing atom count");
+  if (std::sscanf(in.line("atoms line"), "atoms %d", &t.atom_count) != 1) {
+    in.fail("missing atom count");
   }
-  if (std::fscanf(f, "%63s %lf", key, &t.dt_fs) != 2 ||
-      std::strcmp(key, "dt_fs") != 0) {
-    std::fclose(f);
-    format_error(path, "missing dt_fs");
+  if (t.atom_count < 0 || t.atom_count > kMaxAtoms) {
+    in.fail("implausible atom count " + std::to_string(t.atom_count));
   }
-  if (std::fscanf(f, "%63s %zu", key, &frame_count) != 2 ||
-      std::strcmp(key, "frames") != 0) {
-    std::fclose(f);
-    format_error(path, "missing frame count");
+  if (std::sscanf(in.line("dt_fs line"), "dt_fs %lf", &t.dt_fs) != 1) {
+    in.fail("missing dt_fs");
   }
+  std::size_t frame_count = 0;
+  if (std::sscanf(in.line("frames line"), "frames %zu", &frame_count) != 1) {
+    in.fail("missing frame count");
+  }
+  if (frame_count > kMaxFrames) {
+    in.fail("implausible frame count " + std::to_string(frame_count));
+  }
+
   const auto n = static_cast<std::size_t>(t.atom_count);
-  auto read_vec_array = [&](std::vector<Vec3>& a) {
+  auto read_vec_array = [&](std::vector<Vec3>& a, const char* field) {
     a.resize(n);
-    for (Vec3& v : a) {
-      if (std::fscanf(f, "%lf %lf %lf", &v.x, &v.y, &v.z) != 3) {
-        std::fclose(f);
-        format_error(path, "truncated atom array");
+    for (std::size_t i = 0; i < n; ++i) {
+      Vec3& v = a[i];
+      if (std::sscanf(in.line(field), "%lf %lf %lf", &v.x, &v.y, &v.z) != 3) {
+        in.fail(std::string("malformed ") + field + " triple (atom " +
+                std::to_string(i) + ")");
       }
     }
   };
   t.frames.resize(frame_count);
-  for (TrajectoryFrame& fr : t.frames) {
-    if (std::fscanf(f, "%63s %d", key, &fr.step) != 2 ||
-        std::strcmp(key, "frame") != 0) {
-      std::fclose(f);
-      format_error(path, "missing frame header");
+  for (std::size_t k = 0; k < frame_count; ++k) {
+    TrajectoryFrame& fr = t.frames[k];
+    if (std::sscanf(in.line("frame header"), "frame %d", &fr.step) != 1) {
+      in.fail("missing frame header (frame " + std::to_string(k) + " of " +
+              std::to_string(frame_count) + ")");
     }
-    if (std::fscanf(f, "%63s %lf %lf %lf %lf %lf %lf %lf", key, &fr.potential.lj,
-                    &fr.potential.elec, &fr.potential.bond, &fr.potential.angle,
-                    &fr.potential.dihedral, &fr.potential.improper,
-                    &fr.kinetic) != 8 ||
-        std::strcmp(key, "energy") != 0) {
-      std::fclose(f);
-      format_error(path, "missing energy line");
+    if (std::sscanf(in.line("energy line"), "energy %lf %lf %lf %lf %lf %lf %lf",
+                    &fr.potential.lj, &fr.potential.elec, &fr.potential.bond,
+                    &fr.potential.angle, &fr.potential.dihedral,
+                    &fr.potential.improper, &fr.kinetic) != 7) {
+      in.fail("malformed energy line (expected 7 values)");
     }
-    read_vec_array(fr.positions);
-    read_vec_array(fr.velocities);
-    read_vec_array(fr.forces);
+    read_vec_array(fr.positions, "position");
+    read_vec_array(fr.velocities, "velocity");
+    read_vec_array(fr.forces, "force");
   }
-  std::fclose(f);
   return t;
 }
 

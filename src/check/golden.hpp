@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -38,8 +39,27 @@ struct Trajectory {
 /// Writes `t` to `path`; throws std::runtime_error on I/O failure.
 void write_trajectory(const Trajectory& t, const std::string& path);
 
-/// Reads a trajectory written by write_trajectory; throws std::runtime_error
-/// on I/O or format errors.
+/// Structured failure from read_trajectory: the file, the 1-based line and
+/// what was wrong with it. Derives std::runtime_error (what() renders all
+/// three) so pre-existing catch sites keep working.
+class GoldenParseError : public std::runtime_error {
+ public:
+  GoldenParseError(std::string file, int line, std::string reason);
+
+  const std::string& file() const { return file_; }
+  int line() const { return line_; }  ///< 0 when the file could not be opened
+  const std::string& reason() const { return reason_; }
+
+ private:
+  std::string file_;
+  int line_;
+  std::string reason_;
+};
+
+/// Reads a trajectory written by write_trajectory. Throws GoldenParseError
+/// (an std::runtime_error) naming file, line and reason on I/O failure,
+/// malformed syntax, truncation, or implausible header counts — never
+/// asserts or reads uninitialized values on bad input.
 Trajectory read_trajectory(const std::string& path);
 
 /// How the comparator measures a deviation.

@@ -153,12 +153,43 @@ void InvariantChecker::observe_cycle(const ParallelSim& sim) {
   const int step = sim.total_steps();
   if (opts_.every > 1 && step % opts_.every != 0) return;
 
-  // Message conservation: a completed cycle must leave the machine quiesced —
-  // every sent message delivered and processed.
+  // Message conservation, in two parts. First the accounting identity: every
+  // message the machine was offered is either executed, still pending, or was
+  // removed *by the fault engine* (dropped / discarded at a dead PE). A
+  // message the runtime loses without the fault engine's involvement breaks
+  // the balance.
   ++checks_run_;
-  if (!sim.sim().idle()) {
-    fail(step, "message-conservation", 1.0, 0.0,
-         "undelivered or unprocessed messages after run_cycle quiesce");
+  const MessageAccounting& acct = sim.sim().accounting();
+  if (!acct.conserved()) {
+    fail(step, "message-conservation",
+         static_cast<double>(acct.offered + acct.duplicated),
+         static_cast<double>(acct.dropped_fault + acct.discarded_dead_pe +
+                             acct.executed + acct.pending()),
+         describe("offered+dup = %.0f, accounted = %.0f",
+                  static_cast<double>(acct.offered + acct.duplicated),
+                  static_cast<double>(acct.dropped_fault +
+                                      acct.discarded_dead_pe + acct.executed +
+                                      acct.pending())));
+  }
+
+  // Second, quiescence: a finished cycle must leave nothing in flight. With
+  // the identity above, anything still queued here is a genuine leak, not a
+  // fault-engine drop (those are already accounted).
+  ++checks_run_;
+  if (!sim.sim().idle() || acct.pending() != 0) {
+    fail(step, "message-conservation", static_cast<double>(acct.pending()), 0.0,
+         "messages still queued at run_cycle quiesce");
+  }
+
+  // Recovery completeness: every patch must have finished the cycle's last
+  // step. False means faults ate work the runtime did not win back (no
+  // checkpoint, retry budget exhausted, or the restart cap was hit); the
+  // remaining checks would read mid-step state, so stop here.
+  ++checks_run_;
+  if (!sim.last_cycle_complete()) {
+    fail(step, "cycle-completion", 1.0, 0.0,
+         "cycle stalled by unrecovered faults (work lost, no restart)");
+    return;
   }
 
   // Reduction completeness: one reduction round per completed global step

@@ -88,9 +88,11 @@ class InvariantChecker {
   /// One observation of the sequential engine (called by the attached hook;
   /// callable directly after manual stepping). Honors `every`.
   void observe(const SequentialEngine& engine, int step);
-  /// One observation of the parallel core at a cycle boundary: net force and
-  /// momentum of the gathered state (numeric mode), message conservation
-  /// (machine quiesced), and reduction completeness.
+  /// One observation of the parallel core at a cycle boundary: message
+  /// conservation (the fault-aware accounting identity plus quiescence —
+  /// distinguishes "dropped by the fault engine" from "leaked by the
+  /// runtime"), recovery completeness, reduction completeness, and net
+  /// force / momentum of the gathered state (numeric mode).
   void observe_cycle(const ParallelSim& sim);
 
   // --- direct checks (each returns pass/fail and logs on fail) ---------

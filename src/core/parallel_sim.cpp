@@ -7,6 +7,7 @@
 
 #include "ff/bonded.hpp"
 #include "lb/diffusion.hpp"
+#include "lb/evacuate.hpp"
 #include "lb/greedy.hpp"
 #include "lb/naive.hpp"
 #include "lb/problem.hpp"
@@ -36,12 +37,17 @@ struct ParallelSim::PatchRt {
 
 /// Proxy-patch state for one (patch, pe): the compute objects on that PE
 /// that read the patch, plus the force-accumulation buffer they fill.
+/// Each compute writes into its own scratch slot; the slots are folded into
+/// `frc` in `computes` order once every compute has finished, so the sum is
+/// independent of the order the computes actually executed in — message
+/// faults and retries reorder execution but not the physics.
 struct ParallelSim::ProxyRt {
   int patch = 0;
   int pe = 0;
   std::vector<int> computes;
   int pending = 0;  ///< computes not yet finished this step
   std::vector<Vec3> frc;
+  std::vector<std::vector<Vec3>> scratch;  ///< per-compute, parallel to `computes`
 };
 
 /// Per-compute runtime state.
@@ -50,6 +56,25 @@ struct ParallelSim::ComputeRt {
                           ///< change after atom migration)
   int deps_pending = 0;
   WorkCounters work;      ///< live-measured work (numeric mode)
+};
+
+/// Coordinated in-memory checkpoint: everything needed to replay from a
+/// quiesced cycle boundary. Placement (patch_home/compute_pe) is captured
+/// too, so a restore rewinds any load balancing done since, and evacuation
+/// always starts from a self-consistent snapshot.
+struct ParallelSim::Checkpoint {
+  double taken_at = 0.0;  ///< virtual time of the snapshot
+  std::vector<PatchRt> patches;
+  std::vector<std::pair<int, int>> atom_loc;
+  std::vector<std::vector<int>> compute_deps;
+  std::vector<int> patch_home;
+  std::vector<int> compute_pe;
+  std::vector<double> reduction_totals;
+  std::vector<double> potential_per_step;
+  std::vector<double> step_completion;
+  std::vector<int> steps_done_counter;
+  int global_steps = 0;
+  Rng noise_rng{0};
 };
 
 // ---------------------------------------------------------------------------
@@ -117,6 +142,7 @@ ParallelSim::ParallelSim(const Workload& workload, const ParallelOptions& opts)
   }
 
   sim_ = std::make_unique<Simulator>(opts_.num_pes, opts_.machine);
+  if (!opts_.fault.empty()) sim_->set_fault_plan(opts_.fault);
   e_advance_ = sim_->entries().add("Patch::integrate", WorkCategory::kIntegration);
   e_coords_ = sim_->entries().add("Proxy::recvCoordinates", WorkCategory::kComm);
   e_forces_ = sim_->entries().add("Patch::recvForces", WorkCategory::kComm);
@@ -126,6 +152,10 @@ ParallelSim::ParallelSim(const Workload& workload, const ParallelOptions& opts)
   e_bonded_inter_ = sim_->entries().add("ComputeBondedInter::doWork", WorkCategory::kBonded);
   e_reduction_ = sim_->entries().add("Reduction::combine", WorkCategory::kComm);
   e_migrate_ = sim_->entries().add("Migrate::recv", WorkCategory::kComm);
+  e_checkpoint_ = sim_->entries().add("Checkpoint::store", WorkCategory::kComm);
+  if (opts_.reliable) {
+    reliable_ = std::make_unique<ReliableComm>(*sim_, opts_.reliable_opts);
+  }
 
   db_ = std::make_unique<LoadDatabase>(
       static_cast<std::size_t>(wl_->plan.migratable_count()), opts_.num_pes);
@@ -165,20 +195,7 @@ ParallelSim::ParallelSim(const Workload& workload, const ParallelOptions& opts)
 
   build_initial_placement();
   rebuild_dataflow();
-
-  // Per-step energy reduction: one contribution per patch, from its home PE.
-  std::vector<int> contributor_pes;
-  contributor_pes.reserve(patches_.size());
-  for (std::size_t p = 0; p < patches_.size(); ++p) {
-    contributor_pes.push_back(patch_home_[p]);
-  }
-  reducer_ = std::make_unique<Reducer>(
-      contributor_pes, e_reduction_, [this](int round, double total) {
-        if (static_cast<std::size_t>(round) >= reduction_totals_.size()) {
-          reduction_totals_.resize(static_cast<std::size_t>(round) + 1, 0.0);
-        }
-        reduction_totals_[static_cast<std::size_t>(round)] = total;
-      });
+  rebuild_reducer();
 }
 
 ParallelSim::~ParallelSim() = default;
@@ -195,6 +212,34 @@ void ParallelSim::build_initial_placement() {
   }
 }
 
+void ParallelSim::rebuild_reducer() {
+  // Per-step energy reduction: one contribution per patch, from its home PE.
+  // Rebuilt whenever patch homes change (evacuation): the tree spans the
+  // contributing PEs. A rebuild also discards any partially filled round,
+  // which is exactly what checkpoint restart needs.
+  std::vector<int> contributor_pes;
+  contributor_pes.reserve(patches_.size());
+  for (std::size_t p = 0; p < patches_.size(); ++p) {
+    contributor_pes.push_back(patch_home_[p]);
+  }
+  reducer_ = std::make_unique<Reducer>(
+      contributor_pes, e_reduction_, [this](int round, double total) {
+        if (static_cast<std::size_t>(round) >= reduction_totals_.size()) {
+          reduction_totals_.resize(static_cast<std::size_t>(round) + 1, 0.0);
+        }
+        reduction_totals_[static_cast<std::size_t>(round)] = total;
+      });
+  if (reliable_) reducer_->set_reliable(reliable_.get());
+}
+
+void ParallelSim::rsend(ExecContext& ctx, int dest, TaskMsg msg) {
+  if (reliable_) {
+    reliable_->send(ctx, dest, std::move(msg));
+  } else {
+    ctx.send(dest, std::move(msg));
+  }
+}
+
 void ParallelSim::rebuild_dataflow() {
   proxies_.clear();
   patch_proxy_ids_.assign(patches_.size(), {});
@@ -207,7 +252,7 @@ void ParallelSim::rebuild_dataflow() {
     }
     patch_proxy_ids_[static_cast<std::size_t>(patch)].push_back(
         static_cast<int>(proxies_.size()));
-    proxies_.push_back(ProxyRt{patch, pe, {}, 0, {}});
+    proxies_.push_back(ProxyRt{patch, pe, {}, 0, {}, {}});
     return proxies_.back();
   };
 
@@ -224,8 +269,10 @@ void ParallelSim::rebuild_dataflow() {
     patches_[p].contrib_received = 0;
     if (opts_.numeric) {
       for (int id : patch_proxy_ids_[p]) {
-        proxies_[static_cast<std::size_t>(id)].frc.assign(patches_[p].atoms.size(),
-                                                          Vec3{});
+        ProxyRt& proxy = proxies_[static_cast<std::size_t>(id)];
+        proxy.frc.assign(patches_[p].atoms.size(), Vec3{});
+        proxy.scratch.assign(proxy.computes.size(),
+                             std::vector<Vec3>(patches_[p].atoms.size()));
       }
     }
   }
@@ -265,22 +312,25 @@ void ParallelSim::publish_coords(ExecContext& ctx, int patch) {
       remote.push_back(pe);
     }
   }
-  multicast(ctx, remote, bytes, opts_.optimized_multicast, [this, patch](int pe) {
-    TaskMsg msg;
-    msg.entry = e_coords_;
-    msg.priority = -1;
-    msg.fn = [this, patch, pe](ExecContext& c) {
-      c.charge_pack(static_cast<double>(static_cast<std::size_t>(opts_.msg_header_bytes) +
-                                        static_cast<std::size_t>(
-                                            patches_[static_cast<std::size_t>(patch)]
-                                                .natoms()) *
-                                            static_cast<std::size_t>(
-                                                opts_.bytes_per_atom_coord)) *
-                    c.machine().unpack_byte_cost);
-      on_recv_coords(c, patch, pe);
-    };
-    return msg;
-  });
+  multicast(
+      ctx, remote, bytes, opts_.optimized_multicast,
+      [this, patch](int pe) {
+        TaskMsg msg;
+        msg.entry = e_coords_;
+        msg.priority = -1;
+        msg.fn = [this, patch, pe](ExecContext& c) {
+          c.charge_pack(
+              static_cast<double>(
+                  static_cast<std::size_t>(opts_.msg_header_bytes) +
+                  static_cast<std::size_t>(
+                      patches_[static_cast<std::size_t>(patch)].natoms()) *
+                      static_cast<std::size_t>(opts_.bytes_per_atom_coord)) *
+              c.machine().unpack_byte_cost);
+          on_recv_coords(c, patch, pe);
+        };
+        return msg;
+      },
+      reliable_.get());
 
   // A patch no compute reads (e.g. an empty cube) must still advance.
   if (pr.contrib_expected == 0) {
@@ -293,6 +343,7 @@ void ParallelSim::on_recv_coords(ExecContext& ctx, int patch, int pe) {
   proxy.pending = static_cast<int>(proxy.computes.size());
   if (opts_.numeric) {
     std::fill(proxy.frc.begin(), proxy.frc.end(), Vec3{});
+    for (auto& s : proxy.scratch) std::fill(s.begin(), s.end(), Vec3{});
   }
   for (int c : proxy.computes) {
     if (--computes_[static_cast<std::size_t>(c)].deps_pending == 0) {
@@ -322,24 +373,35 @@ void ParallelSim::run_compute(ExecContext& ctx, int compute) {
     EnergyTerms e;
     const int step_global = step_base_ + patches_[static_cast<std::size_t>(
                                              desc.patches[0])].step;
+    // This compute's private force buffer for `patch` (its slot in the
+    // proxy's scratch); accumulation into the shared buffer happens in
+    // canonical slot order at complete_patch_on_pe.
+    auto scratch_of = [&](int patch) -> std::vector<Vec3>& {
+      ProxyRt& proxy =
+          proxies_[static_cast<std::size_t>(proxy_index(patch, pe))];
+      for (std::size_t k = 0; k < proxy.computes.size(); ++k) {
+        if (proxy.computes[k] == compute) return proxy.scratch[k];
+      }
+      assert(false && "compute not registered on its proxy");
+      return proxy.scratch[0];
+    };
     switch (desc.kind) {
       case ComputeKind::kSelf: {
         PatchRt& pa = patches_[static_cast<std::size_t>(desc.patches[0])];
-        ProxyRt& fa = proxies_[static_cast<std::size_t>(
-            proxy_index(desc.patches[0], pe))];
+        std::vector<Vec3>& fa = scratch_of(desc.patches[0]);
         const std::size_t n = pa.atoms.size();
         const auto b = static_cast<std::size_t>(std::lround(desc.frac_begin * n));
         const auto en = static_cast<std::size_t>(std::lround(desc.frac_end * n));
         switch (wl_->nonbonded.kernel) {
           case NonbondedKernel::kScalar:
-            e = nonbonded_self_range(*nb_ctx_, pa.atoms, pa.pos, fa.frc, b, en, w);
+            e = nonbonded_self_range(*nb_ctx_, pa.atoms, pa.pos, fa, b, en, w);
             break;
           case NonbondedKernel::kTiled:
-            e = nonbonded_self_range_tiled(*nb_ctx_, pa.atoms, pa.pos, fa.frc, b,
+            e = nonbonded_self_range_tiled(*nb_ctx_, pa.atoms, pa.pos, fa, b,
                                            en, w, tiled_ws_);
             break;
           case NonbondedKernel::kTiledThreads:
-            e = nonbonded_self_range_tiled_mt(*nb_ctx_, pa.atoms, pa.pos, fa.frc,
+            e = nonbonded_self_range_tiled_mt(*nb_ctx_, pa.atoms, pa.pos, fa,
                                               b, en, w, tiled_mt_ws_, *nb_pool_);
             break;
         }
@@ -348,26 +410,24 @@ void ParallelSim::run_compute(ExecContext& ctx, int compute) {
       case ComputeKind::kPair: {
         PatchRt& pa = patches_[static_cast<std::size_t>(desc.patches[0])];
         PatchRt& pb = patches_[static_cast<std::size_t>(desc.patches[1])];
-        ProxyRt& fa = proxies_[static_cast<std::size_t>(
-            proxy_index(desc.patches[0], pe))];
-        ProxyRt& fb = proxies_[static_cast<std::size_t>(
-            proxy_index(desc.patches[1], pe))];
+        std::vector<Vec3>& fa = scratch_of(desc.patches[0]);
+        std::vector<Vec3>& fb = scratch_of(desc.patches[1]);
         const std::size_t n = pa.atoms.size();
         const auto b = static_cast<std::size_t>(std::lround(desc.frac_begin * n));
         const auto en = static_cast<std::size_t>(std::lround(desc.frac_end * n));
         switch (wl_->nonbonded.kernel) {
           case NonbondedKernel::kScalar:
-            e = nonbonded_ab_range(*nb_ctx_, pa.atoms, pa.pos, fa.frc, pb.atoms,
-                                   pb.pos, fb.frc, b, en, w);
+            e = nonbonded_ab_range(*nb_ctx_, pa.atoms, pa.pos, fa, pb.atoms,
+                                   pb.pos, fb, b, en, w);
             break;
           case NonbondedKernel::kTiled:
-            e = nonbonded_ab_range_tiled(*nb_ctx_, pa.atoms, pa.pos, fa.frc,
-                                         pb.atoms, pb.pos, fb.frc, b, en, w,
+            e = nonbonded_ab_range_tiled(*nb_ctx_, pa.atoms, pa.pos, fa,
+                                         pb.atoms, pb.pos, fb, b, en, w,
                                          tiled_ws_);
             break;
           case NonbondedKernel::kTiledThreads:
-            e = nonbonded_ab_range_tiled_mt(*nb_ctx_, pa.atoms, pa.pos, fa.frc,
-                                            pb.atoms, pb.pos, fb.frc, b, en, w,
+            e = nonbonded_ab_range_tiled_mt(*nb_ctx_, pa.atoms, pa.pos, fa,
+                                            pb.atoms, pb.pos, fb, b, en, w,
                                             tiled_mt_ws_, *nb_pool_);
             break;
         }
@@ -375,15 +435,14 @@ void ParallelSim::run_compute(ExecContext& ctx, int compute) {
       }
       default: {
         // Bonded kinds: fetch coordinates by atom location, scatter forces
-        // into the proxy buffers of the owning patches on this PE.
+        // into this compute's scratch slots of the owning patches' proxies.
         auto pos_of = [&](int atom) -> const Vec3& {
           const auto [p, idx] = atom_loc_[static_cast<std::size_t>(atom)];
           return patches_[static_cast<std::size_t>(p)].pos[static_cast<std::size_t>(idx)];
         };
         auto frc_of = [&](int atom) -> Vec3& {
           const auto [p, idx] = atom_loc_[static_cast<std::size_t>(atom)];
-          return proxies_[static_cast<std::size_t>(proxy_index(p, pe))]
-              .frc[static_cast<std::size_t>(idx)];
+          return scratch_of(p)[static_cast<std::size_t>(idx)];
         };
         for (int t : desc.terms) {
           switch (desc.kind) {
@@ -445,14 +504,20 @@ void ParallelSim::run_compute(ExecContext& ctx, int compute) {
 }
 
 void ParallelSim::complete_patch_on_pe(ExecContext& ctx, int patch, int pe) {
+  // Fold the per-compute scratch slots into the proxy buffer in canonical
+  // (slot) order; together with the home patch summing proxy buffers in
+  // patch_proxy_ids_ order at advance(), the total force is independent of
+  // message arrival and compute execution order — a prerequisite for
+  // recovery (retried/replayed deliveries reorder arrivals but must leave
+  // the physics bit-identical).
+  if (opts_.numeric) {
+    ProxyRt& proxy = proxies_[static_cast<std::size_t>(proxy_index(patch, pe))];
+    for (const std::vector<Vec3>& s : proxy.scratch) {
+      for (std::size_t i = 0; i < proxy.frc.size(); ++i) proxy.frc[i] += s[i];
+    }
+  }
   const int home = patch_home_[static_cast<std::size_t>(patch)];
   if (pe == home) {
-    if (opts_.numeric) {
-      PatchRt& pr = patches_[static_cast<std::size_t>(patch)];
-      const ProxyRt& proxy =
-          proxies_[static_cast<std::size_t>(proxy_index(patch, pe))];
-      for (std::size_t i = 0; i < pr.frc.size(); ++i) pr.frc[i] += proxy.frc[i];
-    }
     on_contribution(ctx, patch);
     return;
   }
@@ -464,19 +529,13 @@ void ParallelSim::complete_patch_on_pe(ExecContext& ctx, int patch, int pe) {
   msg.entry = e_forces_;
   msg.priority = -2;
   msg.bytes = bytes;
-  msg.fn = [this, patch, pe, bytes](ExecContext& c) {
+  msg.fn = [this, patch, bytes](ExecContext& c) {
     c.charge_pack(static_cast<double>(bytes) * c.machine().unpack_byte_cost);
-    if (opts_.numeric) {
-      PatchRt& pr = patches_[static_cast<std::size_t>(patch)];
-      const ProxyRt& proxy =
-          proxies_[static_cast<std::size_t>(proxy_index(patch, pe))];
-      for (std::size_t i = 0; i < pr.frc.size(); ++i) pr.frc[i] += proxy.frc[i];
-    }
     on_contribution(c, patch);
   };
   // The sender also pays to pack the outgoing force message.
   ctx.charge_pack(static_cast<double>(bytes) * ctx.machine().pack_byte_cost);
-  ctx.send(home, std::move(msg));
+  rsend(ctx, home, std::move(msg));
 }
 
 void ParallelSim::on_contribution(ExecContext& ctx, int patch) {
@@ -488,7 +547,9 @@ void ParallelSim::on_contribution(ExecContext& ctx, int patch) {
   msg.entry = e_advance_;
   msg.priority = -3;
   msg.fn = [this, patch](ExecContext& c) { advance(c, patch); };
-  ctx.send(patch_home_[static_cast<std::size_t>(patch)], std::move(msg));
+  // on_contribution always runs on the home PE, so this send is local and
+  // cannot be faulted; rsend keeps the routing uniform anyway.
+  rsend(ctx, patch_home_[static_cast<std::size_t>(patch)], std::move(msg));
 }
 
 void ParallelSim::advance(ExecContext& ctx, int patch) {
@@ -499,6 +560,15 @@ void ParallelSim::advance(ExecContext& ctx, int patch) {
 
   const double dt = opts_.dt_fs / units::kAkmaTimeFs;
   double reduction_value = 1.0;
+  if (opts_.numeric) {
+    // Canonical force accumulation: sum the proxy buffers in proxy-id
+    // order, independent of force-message arrival order.
+    std::fill(pr.frc.begin(), pr.frc.end(), Vec3{});
+    for (int id : patch_proxy_ids_[static_cast<std::size_t>(patch)]) {
+      const ProxyRt& proxy = proxies_[static_cast<std::size_t>(id)];
+      for (std::size_t i = 0; i < pr.frc.size(); ++i) pr.frc[i] += proxy.frc[i];
+    }
+  }
   if (opts_.numeric) {
     const double kick_scale = s == static_cast<int>(cycle_target_) ? 0.5
                               : s == 0                             ? 0.5
@@ -530,7 +600,7 @@ void ParallelSim::advance(ExecContext& ctx, int patch) {
 // Cycle and benchmark control
 // ---------------------------------------------------------------------------
 
-void ParallelSim::run_cycle(int steps) {
+void ParallelSim::attempt_cycle(int steps) {
   assert(steps >= 1);
   cycle_target_ = steps;
   step_base_ = static_cast<int>(step_completion_.size());
@@ -551,9 +621,47 @@ void ParallelSim::run_cycle(int steps) {
     sim_->inject(patch_home_[p], std::move(msg), t0);
   }
   sim_->run();
+  // The machine always drains, faults or not: messages to dead PEs are
+  // discarded, retry timers abandon after max_attempts, and nothing blocks.
   assert(sim_->idle());
   global_steps_ += steps;
   if (opts_.numeric) migrate_atoms();
+}
+
+bool ParallelSim::last_cycle_complete() const {
+  if (steps_done_counter_.empty()) return true;
+  return steps_done_counter_.back() == active_patches_;
+}
+
+void ParallelSim::run_cycle(int steps) {
+  assert(steps >= 1);
+  const bool resilient = opts_.checkpoint_every > 0;
+  if (resilient) {
+    if (!ckpt_ ||
+        static_cast<int>(cycles_since_ckpt_.size()) >= opts_.checkpoint_every) {
+      take_checkpoint();
+    }
+    cycles_since_ckpt_.push_back(steps);
+  }
+  attempt_cycle(steps);
+  if (resilient && !last_cycle_complete()) {
+    // Work was lost (typically a PE failure mid-cycle). Restore the last
+    // coordinated checkpoint, evacuate the dead PEs, and replay every cycle
+    // recorded since the snapshot. A replayed cycle can itself be hit by a
+    // later scheduled failure, so loop — with a cap so a hostile plan (all
+    // PEs dying) terminates; an incomplete final cycle is then left for the
+    // invariant layer to flag.
+    constexpr int kMaxRestarts = 8;
+    int tries = 0;
+    while (!last_cycle_complete() && tries < kMaxRestarts) {
+      ++tries;
+      restore_checkpoint();
+      for (int cycle_steps : cycles_since_ckpt_) {
+        attempt_cycle(cycle_steps);
+        if (!last_cycle_complete()) break;
+      }
+    }
+  }
   if (cycle_observer_) cycle_observer_(*this, steps);
 }
 
@@ -575,6 +683,175 @@ double ParallelSim::run_benchmark(int measure_steps, int timed_steps) {
 }
 
 // ---------------------------------------------------------------------------
+// Checkpoint / restart / evacuation
+// ---------------------------------------------------------------------------
+
+void ParallelSim::take_checkpoint() {
+  assert(sim_->idle());
+  if (!ckpt_) ckpt_ = std::make_unique<Checkpoint>();
+  Checkpoint& c = *ckpt_;
+  c.taken_at = sim_->time();
+  c.patches = patches_;
+  c.atom_loc = atom_loc_;
+  c.compute_deps.resize(computes_.size());
+  for (std::size_t i = 0; i < computes_.size(); ++i) {
+    c.compute_deps[i] = computes_[i].deps;
+  }
+  c.patch_home = patch_home_;
+  c.compute_pe = compute_pe_;
+  c.reduction_totals = reduction_totals_;
+  c.potential_per_step = potential_per_step_;
+  c.step_completion = step_completion_;
+  c.steps_done_counter = steps_done_counter_;
+  c.global_steps = global_steps_;
+  c.noise_rng = noise_rng_;
+  cycles_since_ckpt_.clear();
+  ++checkpoints_taken_;
+  sim_->record_fault({FaultKind::kCheckpoint, -1, -1, c.taken_at, 0.0});
+
+  // Model the coordinated snapshot's cost: each live PE spends time
+  // serializing its resident patch state (this is the overhead the audit
+  // reports for fault-free runs with checkpointing on).
+  std::vector<double> bytes_on_pe(static_cast<std::size_t>(opts_.num_pes), 0.0);
+  for (std::size_t p = 0; p < patches_.size(); ++p) {
+    bytes_on_pe[static_cast<std::size_t>(patch_home_[p])] +=
+        96.0 * static_cast<double>(patches_[p].natoms());
+  }
+  const double t0 = sim_->time();
+  for (int pe = 0; pe < opts_.num_pes; ++pe) {
+    if (sim_->pe_failed(pe)) continue;
+    const double cost =
+        bytes_on_pe[static_cast<std::size_t>(pe)] * opts_.machine.pack_byte_cost;
+    TaskMsg msg;
+    msg.entry = e_checkpoint_;
+    msg.fn = [cost](ExecContext& cc) { cc.charge(cost); };
+    sim_->inject(pe, std::move(msg), t0);
+  }
+  sim_->run();
+  assert(sim_->idle());
+}
+
+void ParallelSim::restore_checkpoint() {
+  assert(ckpt_);
+  const Checkpoint& c = *ckpt_;
+  const double now = sim_->time();
+  const double lost = now - c.taken_at;
+  restart_lost_time_ += lost;
+  ++restarts_;
+
+  patches_ = c.patches;
+  atom_loc_ = c.atom_loc;
+  for (std::size_t i = 0; i < computes_.size(); ++i) {
+    computes_[i].deps = c.compute_deps[i];
+  }
+  patch_home_ = c.patch_home;
+  compute_pe_ = c.compute_pe;
+  reduction_totals_ = c.reduction_totals;
+  potential_per_step_ = c.potential_per_step;
+  step_completion_ = c.step_completion;
+  steps_done_counter_ = c.steps_done_counter;
+  global_steps_ = c.global_steps;
+  noise_rng_ = c.noise_rng;
+
+  // Un-acked pre-restart sends must not be resurrected by stale retries;
+  // replayed sends get fresh sequence ids so dedup cannot misfire either.
+  if (reliable_) reliable_->clear_pending();
+
+  // The virtual clock is NOT rewound: the lost interval models the real
+  // cost of redoing work, and is what restart_latency() reports.
+  sim_->record_fault({FaultKind::kRestart, -1, -1, now, lost});
+
+  const std::vector<int> dead = sim_->failed_pes();
+  if (!dead.empty()) {
+    evacuate_failed_pes(dead);
+  } else {
+    // No failure — the stall came from unrecovered message loss. Replaying
+    // from the snapshot redraws the per-message fault decisions, so a
+    // retry has an independent chance of a clean pass.
+    rebuild_reducer();
+    rebuild_dataflow();
+  }
+}
+
+void ParallelSim::evacuate_failed_pes(const std::vector<int>& dead) {
+  std::vector<char> is_dead(static_cast<std::size_t>(opts_.num_pes), 0);
+  for (int pe : dead) is_dead[static_cast<std::size_t>(pe)] = 1;
+  const std::vector<double> busy = sim_->busy_times();
+
+  // 1. Re-home orphaned patches: prefer the live PE already running the
+  //    most computes that read the patch (fewest new proxies), tie-break
+  //    on lighter historical load, then PE id — deterministic.
+  for (std::size_t p = 0; p < patches_.size(); ++p) {
+    if (!is_dead[static_cast<std::size_t>(patch_home_[p])]) continue;
+    std::vector<int> affinity(static_cast<std::size_t>(opts_.num_pes), 0);
+    for (std::size_t i = 0; i < computes_.size(); ++i) {
+      const auto pe = static_cast<std::size_t>(compute_pe_[i]);
+      if (is_dead[pe]) continue;
+      for (int dep : computes_[i].deps) {
+        if (dep == static_cast<int>(p)) ++affinity[pe];
+      }
+    }
+    int best = -1;
+    for (int pe = 0; pe < opts_.num_pes; ++pe) {
+      const auto u = static_cast<std::size_t>(pe);
+      if (is_dead[u]) continue;
+      const bool better =
+          best < 0 || affinity[u] > affinity[static_cast<std::size_t>(best)] ||
+          (affinity[u] == affinity[static_cast<std::size_t>(best)] &&
+           busy[u] < busy[static_cast<std::size_t>(best)]);
+      if (better) best = pe;
+    }
+    assert(best >= 0 && "all PEs failed — nothing to evacuate onto");
+    patch_home_[p] = best;
+  }
+
+  // 2. Non-migratable computes are pinned to their base patch's home,
+  //    which step 1 just guaranteed is live.
+  for (std::size_t i = 0; i < computes_.size(); ++i) {
+    if (wl_->plan.migratable_index()[i] >= 0) continue;
+    compute_pe_[i] = patch_home_[static_cast<std::size_t>(
+        wl_->plan.computes()[i].base_patch)];
+  }
+
+  // 3. Migratable computes go through the LB evacuation strategy (greedy
+  //    proxy-aware placement + refine over the survivors).
+  LbProblem problem;
+  problem.num_pes = opts_.num_pes;
+  problem.patch_home = patch_home_;
+  problem.background = db_->background();
+  std::vector<int> object_compute;
+  LbAssignment start;
+  for (std::size_t i = 0; i < computes_.size(); ++i) {
+    if (wl_->plan.migratable_index()[i] < 0) continue;
+    LbObject o;
+    o.load = db_->object_load(
+        static_cast<std::uint32_t>(wl_->plan.migratable_index()[i]));
+    o.current_pe = compute_pe_[i];
+    o.patch_a = computes_[i].deps.empty() ? -1 : computes_[i].deps[0];
+    o.patch_b = computes_[i].deps.size() > 1 ? computes_[i].deps[1] : -1;
+    problem.objects.push_back(o);
+    start.push_back(compute_pe_[i]);
+    object_compute.push_back(static_cast<int>(i));
+  }
+  const LbAssignment map = evacuate_map(problem, start, dead);
+  int moved = 0;
+  for (std::size_t j = 0; j < map.size(); ++j) {
+    const auto i = static_cast<std::size_t>(object_compute[j]);
+    if (compute_pe_[i] != map[j]) ++moved;
+    compute_pe_[i] = map[j];
+  }
+
+  for (int pe : dead) {
+    sim_->record_fault({FaultKind::kEvacuation, pe, -1, sim_->time(),
+                        static_cast<double>(moved)});
+  }
+
+  // Patch homes changed: the reduction tree spans different PEs now.
+  rebuild_reducer();
+  rebuild_dataflow();
+}
+
+// ---------------------------------------------------------------------------
 // Load balancing
 // ---------------------------------------------------------------------------
 
@@ -582,6 +859,15 @@ void ParallelSim::load_balance(bool refine_only) {
   if (opts_.lb.kind == LbStrategyKind::kNone) {
     db_->reset();
     return;
+  }
+
+  // Graceful degradation: if PEs have failed, first make sure nothing is
+  // homed on them (idempotent when already evacuated), and remember to
+  // keep the strategy's output off them below.
+  const std::vector<int> dead = sim_->failed_pes();
+  if (!dead.empty() &&
+      static_cast<std::size_t>(dead.size()) < static_cast<std::size_t>(opts_.num_pes)) {
+    evacuate_failed_pes(dead);
   }
 
   // Build the strategy input from the measurement database.
@@ -625,6 +911,13 @@ void ParallelSim::load_balance(bool refine_only) {
       break;
     case LbStrategyKind::kNone:
       return;
+  }
+
+  // The strategies are failure-blind; route anything they put on a dead PE
+  // back onto the survivors.
+  if (!dead.empty() &&
+      static_cast<std::size_t>(dead.size()) < static_cast<std::size_t>(opts_.num_pes)) {
+    map = evacuate_map(problem, map, dead, opts_.lb.refine_overload);
   }
 
   // Apply the new mapping; model each migration as a message carrying the

@@ -7,11 +7,13 @@
 #include "core/compute_plan.hpp"
 #include "core/decomposition.hpp"
 #include "core/work_cache.hpp"
+#include "des/fault.hpp"
 #include "des/simulator.hpp"
 #include "ff/nonbonded.hpp"
 #include "ff/nonbonded_tiled.hpp"
 #include "lb/database.hpp"
 #include "rts/reduction.hpp"
+#include "rts/reliable.hpp"
 #include "topo/exclusions.hpp"
 #include "util/random.hpp"
 
@@ -64,6 +66,18 @@ struct ParallelOptions {
   int bytes_per_atom_coord = 24;
   int bytes_per_atom_force = 24;
   int msg_header_bytes = 32;
+
+  // --- resilience ------------------------------------------------------
+  /// Chaos schedule for the simulated machine (empty = fault-free).
+  FaultPlan fault;
+  /// Route runtime messages through the reliable-delivery layer
+  /// (dedup + ack/timeout retry). Pass-through when the plan is empty.
+  bool reliable = false;
+  ReliableOptions reliable_opts;
+  /// Coordinated in-memory checkpoint every N run_cycle calls (0 = off).
+  /// With a valid checkpoint, a cycle stalled by a PE failure triggers
+  /// restore + evacuation + replay instead of a hung run.
+  int checkpoint_every = 0;
 };
 
 /// The parallel NAMD reproduction: home patches, proxy patches and compute
@@ -143,13 +157,29 @@ class ParallelSim {
   const Molecule& molecule() const { return *mol_; }
   int patch_count() const;
 
+  // --- resilience ------------------------------------------------------
+  /// True when every patch finished the last run_cycle's final step. A
+  /// false value after run_cycle means work was lost to faults and not
+  /// recovered (no checkpoint, or the restart cap was hit); the invariant
+  /// checker uses this to tell "stalled by fault" from a runtime bug.
+  bool last_cycle_complete() const;
+  int checkpoints_taken() const { return checkpoints_taken_; }
+  int restarts() const { return restarts_; }
+  /// Virtual seconds of lost work re-executed across all restarts (the
+  /// restart latency the audit reports).
+  double restart_latency() const { return restart_lost_time_; }
+  /// Reliable-delivery layer, if enabled (nullptr otherwise).
+  const ReliableComm* reliable() const { return reliable_.get(); }
+
  private:
   struct PatchRt;
   struct ProxyRt;
   struct ComputeRt;
+  struct Checkpoint;
 
   void build_initial_placement();
   void rebuild_dataflow();
+  void rebuild_reducer();
   void publish_coords(ExecContext& ctx, int patch);
   void on_recv_coords(ExecContext& ctx, int patch, int pe);
   void run_compute(ExecContext& ctx, int compute);
@@ -160,6 +190,15 @@ class ParallelSim {
   int proxy_index(int patch, int pe) const;
   /// Applies the machine's multiplicative task-time noise to a cost.
   double noisy(double cost);
+  /// Routes through the reliable layer when enabled, else a raw send.
+  void rsend(ExecContext& ctx, int dest, TaskMsg msg);
+  /// One quiesced cycle attempt (the pre-resilience run_cycle body).
+  void attempt_cycle(int steps);
+  void take_checkpoint();
+  void restore_checkpoint();
+  /// Re-homes a failed PE's patches and computes onto survivors and
+  /// rebuilds the reducer and the dataflow. Records kEvacuation.
+  void evacuate_failed_pes(const std::vector<int>& dead);
 
   const Workload* wl_;
   ParallelOptions opts_;
@@ -179,7 +218,7 @@ class ParallelSim {
 
   // Entry ids.
   EntryId e_advance_, e_coords_, e_forces_, e_self_, e_pair_, e_bonded_intra_,
-      e_bonded_inter_, e_reduction_, e_migrate_;
+      e_bonded_inter_, e_reduction_, e_migrate_, e_checkpoint_;
 
   std::vector<PatchRt> patches_;
   std::vector<ProxyRt> proxies_;
@@ -201,6 +240,14 @@ class ParallelSim {
   std::vector<double> step_completion_;
   std::vector<double> potential_per_step_;
   int active_patches_ = 0;
+
+  // Resilience state.
+  std::unique_ptr<ReliableComm> reliable_;
+  std::unique_ptr<Checkpoint> ckpt_;
+  std::vector<int> cycles_since_ckpt_;  // step counts of cycles to replay
+  int checkpoints_taken_ = 0;
+  int restarts_ = 0;
+  double restart_lost_time_ = 0.0;
 };
 
 }  // namespace scalemd

@@ -1,0 +1,162 @@
+#include "des/fault.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "des/trace_sink.hpp"
+
+namespace scalemd {
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kMessageDrop:   return "message-drop";
+    case FaultKind::kMessageDup:    return "message-dup";
+    case FaultKind::kMessageDelay:  return "message-delay";
+    case FaultKind::kPeSlowdown:    return "pe-slowdown";
+    case FaultKind::kPeFailure:     return "pe-failure";
+    case FaultKind::kRetry:         return "retry";
+    case FaultKind::kDupSuppressed: return "dup-suppressed";
+    case FaultKind::kMessageLost:   return "message-lost";
+    case FaultKind::kCheckpoint:    return "checkpoint";
+    case FaultKind::kRestart:       return "restart";
+    case FaultKind::kEvacuation:    return "evacuation";
+  }
+  return "unknown";
+}
+
+bool is_injected_fault(FaultKind k) {
+  switch (k) {
+    case FaultKind::kMessageDrop:
+    case FaultKind::kMessageDup:
+    case FaultKind::kMessageDelay:
+    case FaultKind::kPeSlowdown:
+    case FaultKind::kPeFailure:
+      return true;
+    default:
+      return false;
+  }
+}
+
+FaultPlan FaultPlan::chaos(std::uint64_t seed, double delay) {
+  FaultPlan p;
+  p.seed = seed;
+  p.drop_prob = 0.02;
+  p.dup_prob = 0.01;
+  p.delay_prob = 0.05;
+  p.delay_max = delay;
+  return p;
+}
+
+std::string FaultPlanParseError::render() const {
+  std::string out = file;
+  if (line > 0) {
+    out += ':';
+    out += std::to_string(line);
+  }
+  out += ": ";
+  out += reason;
+  return out;
+}
+
+namespace {
+
+bool fail_at(FaultPlanParseError& error, const std::string& file, int line,
+             std::string reason) {
+  error.file = file;
+  error.line = line;
+  error.reason = std::move(reason);
+  return false;
+}
+
+bool in_unit_interval(double p) { return p >= 0.0 && p <= 1.0; }
+
+}  // namespace
+
+bool parse_fault_plan_text(const std::string& text, const std::string& file,
+                           FaultPlan& plan, FaultPlanParseError& error) {
+  FaultPlan out;
+  std::istringstream stream(text);
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(stream, raw)) {
+    ++lineno;
+    // Strip comments and skip blank lines.
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    std::istringstream line(raw);
+    std::string key;
+    if (!(line >> key)) continue;
+
+    auto want_number = [&](const char* what, double& value) {
+      if (!(line >> value)) {
+        return fail_at(error, file, lineno,
+                       std::string("'") + key + "' needs a numeric " + what);
+      }
+      return true;
+    };
+
+    if (key == "seed") {
+      double s = 0.0;
+      if (!want_number("seed", s)) return false;
+      if (s < 0.0) return fail_at(error, file, lineno, "seed must be >= 0");
+      out.seed = static_cast<std::uint64_t>(s);
+    } else if (key == "drop" || key == "dup") {
+      double p = 0.0;
+      if (!want_number("probability", p)) return false;
+      if (!in_unit_interval(p)) {
+        return fail_at(error, file, lineno,
+                       "'" + key + "' probability must be in [0, 1]");
+      }
+      (key == "drop" ? out.drop_prob : out.dup_prob) = p;
+    } else if (key == "delay") {
+      double p = 0.0, max = 0.0;
+      if (!want_number("probability", p) || !want_number("max seconds", max)) {
+        return false;
+      }
+      if (!in_unit_interval(p)) {
+        return fail_at(error, file, lineno, "'delay' probability must be in [0, 1]");
+      }
+      if (max < 0.0) {
+        return fail_at(error, file, lineno, "'delay' max seconds must be >= 0");
+      }
+      out.delay_prob = p;
+      out.delay_max = max;
+    } else if (key == "slowdown") {
+      double pe = 0.0, factor = 0.0, from = 0.0;
+      if (!want_number("pe", pe) || !want_number("factor", factor)) return false;
+      line >> from;  // optional from_time, defaults to 0
+      if (pe < 0.0) return fail_at(error, file, lineno, "'slowdown' pe must be >= 0");
+      if (factor < 1.0) {
+        return fail_at(error, file, lineno, "'slowdown' factor must be >= 1");
+      }
+      out.slowdowns.push_back({static_cast<int>(pe), factor, from});
+    } else if (key == "fail") {
+      double pe = 0.0, at = 0.0;
+      if (!want_number("pe", pe) || !want_number("time", at)) return false;
+      if (pe < 0.0) return fail_at(error, file, lineno, "'fail' pe must be >= 0");
+      if (at < 0.0) return fail_at(error, file, lineno, "'fail' time must be >= 0");
+      out.failures.push_back({static_cast<int>(pe), at});
+    } else {
+      return fail_at(error, file, lineno, "unknown directive '" + key + "'");
+    }
+  }
+  plan = out;
+  return true;
+}
+
+bool parse_fault_plan(const std::string& path, FaultPlan& plan,
+                      FaultPlanParseError& error) {
+  std::ifstream f(path);
+  if (!f) {
+    return fail_at(error, path, 0, "cannot open fault-plan file");
+  }
+  std::ostringstream content;
+  content << f.rdbuf();
+  if (f.bad()) {
+    return fail_at(error, path, 0, "read error on fault-plan file");
+  }
+  return parse_fault_plan_text(content.str(), path, plan, error);
+}
+
+}  // namespace scalemd

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scalemd {
+
+/// A scheduled multiplicative slowdown of one virtual processor: from
+/// `from_time` on, every task on `pe` takes `factor` times as long
+/// (a persistent straggler — thermal throttling, a noisy neighbor).
+struct PeSlowdown {
+  int pe = 0;
+  double factor = 1.0;
+  double from_time = 0.0;
+};
+
+/// A scheduled full failure of one virtual processor: from `at_time` on,
+/// `pe` executes nothing and every message addressed to it is discarded.
+struct PeFailure {
+  int pe = 0;
+  double at_time = 0.0;
+};
+
+/// Deterministic, seeded chaos schedule for the discrete-event machine.
+/// Message faults are decided per remote message by a counter-based hash of
+/// (seed, message sequence number), so a given plan replays identically on
+/// identical inputs; PE faults fire at fixed virtual times. An
+/// empty/default plan makes the fault engine a structural no-op: the
+/// simulator's behavior is bit-identical to a build without it.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+
+  // --- per-remote-message faults (probabilities in [0, 1]) -------------
+  double drop_prob = 0.0;   ///< message vanishes on the wire
+  double dup_prob = 0.0;    ///< message is delivered twice
+  double delay_prob = 0.0;  ///< message suffers a latency spike
+  double delay_max = 0.0;   ///< spike magnitude: uniform in (0, delay_max]
+
+  // --- scheduled PE faults ---------------------------------------------
+  std::vector<PeSlowdown> slowdowns;
+  std::vector<PeFailure> failures;
+
+  bool has_message_faults() const {
+    return drop_prob > 0.0 || dup_prob > 0.0 || delay_prob > 0.0;
+  }
+  bool empty() const {
+    return !has_message_faults() && slowdowns.empty() && failures.empty();
+  }
+
+  /// A generic chaos mix keyed off one seed, for --fault-seed style use:
+  /// 2% drops, 1% duplicates, 5% latency spikes of up to `delay` seconds.
+  static FaultPlan chaos(std::uint64_t seed, double delay = 1e-3);
+};
+
+/// Parse failure of a fault-plan file: carries the offending file, line
+/// number and reason so tools can report exactly what was wrong.
+struct FaultPlanParseError {
+  std::string file;
+  int line = 0;        ///< 1-based line of the offending directive; 0 = file-level
+  std::string reason;  ///< human-readable explanation
+
+  /// "file:line: reason" (or "file: reason" for file-level errors).
+  std::string render() const;
+};
+
+/// Reads a fault plan from the line-oriented text schema (see
+/// EXPERIMENTS.md):
+///
+///   # comments and blank lines are ignored
+///   seed 42
+///   drop 0.02
+///   dup 0.01
+///   delay 0.05 2e-4        # probability, max spike seconds
+///   slowdown 3 2.5 0.0     # pe, factor, from_time (from_time optional)
+///   fail 2 0.5             # pe, at_time
+///
+/// Returns true and fills `plan` on success; returns false and fills `error`
+/// (file, line, reason) on any I/O or format problem. Never throws.
+bool parse_fault_plan(const std::string& path, FaultPlan& plan,
+                      FaultPlanParseError& error);
+
+/// Same schema from an in-memory string (`file` only labels errors).
+bool parse_fault_plan_text(const std::string& text, const std::string& file,
+                           FaultPlan& plan, FaultPlanParseError& error);
+
+/// Counters of what the fault engine actually injected (and discarded) in a
+/// run. Exposed by the simulator and folded into the resilience audit.
+struct FaultStats {
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_duplicated = 0;
+  std::uint64_t messages_delayed = 0;
+  std::uint64_t discarded_dead_pe = 0;  ///< deliveries to an already-failed PE
+  int pe_failures = 0;
+  double last_failure_time = 0.0;
+
+  std::uint64_t injected() const {
+    return messages_dropped + messages_duplicated + messages_delayed +
+           static_cast<std::uint64_t>(pe_failures);
+  }
+};
+
+}  // namespace scalemd

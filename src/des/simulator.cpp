@@ -16,6 +16,60 @@ Simulator::Simulator(int num_pes, const MachineModel& machine)
   assert(num_pes > 0);
 }
 
+void Simulator::set_fault_plan(const FaultPlan& plan) {
+  plan_ = plan;
+  fault_rng_ = Rng(plan.seed);
+  pe_faults_.clear();
+  next_pe_fault_ = 0;
+  for (const PeSlowdown& s : plan.slowdowns) {
+    if (s.pe < 0 || s.pe >= num_pes()) continue;  // out-of-range: ignore
+    pe_faults_.push_back({s.from_time, s.pe, /*failure=*/false, s.factor});
+  }
+  for (const PeFailure& f : plan.failures) {
+    if (f.pe < 0 || f.pe >= num_pes()) continue;
+    pe_faults_.push_back({f.at_time, f.pe, /*failure=*/true, 0.0});
+  }
+  std::sort(pe_faults_.begin(), pe_faults_.end(),
+            [](const ScheduledPeFault& a, const ScheduledPeFault& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.pe != b.pe) return a.pe < b.pe;
+              return a.failure < b.failure;  // slowdown before failure
+            });
+}
+
+std::vector<int> Simulator::failed_pes() const {
+  std::vector<int> out;
+  for (int pe = 0; pe < num_pes(); ++pe) {
+    if (pes_[static_cast<std::size_t>(pe)].failed) out.push_back(pe);
+  }
+  return out;
+}
+
+void Simulator::apply_pe_faults(double now) {
+  while (next_pe_fault_ < pe_faults_.size() &&
+         pe_faults_[next_pe_fault_].time <= now) {
+    const ScheduledPeFault& f = pe_faults_[next_pe_fault_++];
+    Processor& p = pes_[static_cast<std::size_t>(f.pe)];
+    if (p.failed) continue;  // already dead: nothing further can happen to it
+    if (f.failure) {
+      p.failed = true;
+      // Everything queued on the dying PE is lost with it.
+      const auto lost = static_cast<std::uint64_t>(p.ready.size());
+      while (!p.ready.empty()) p.ready.pop();
+      acct_.pending_ready -= lost;
+      acct_.discarded_dead_pe += lost;
+      fault_stats_.discarded_dead_pe += lost;
+      ++fault_stats_.pe_failures;
+      fault_stats_.last_failure_time =
+          std::max(fault_stats_.last_failure_time, f.time);
+      record_fault({FaultKind::kPeFailure, f.pe, -1, f.time, 0.0});
+    } else {
+      p.slowdown = f.factor;
+      record_fault({FaultKind::kPeSlowdown, f.pe, -1, f.time, f.factor});
+    }
+  }
+}
+
 void Simulator::inject(int pe, TaskMsg msg, double time) {
   deliver(/*src_pe=*/pe, pe, std::move(msg), time, time, /*remote=*/false);
 }
@@ -23,13 +77,46 @@ void Simulator::inject(int pe, TaskMsg msg, double time) {
 void Simulator::deliver(int src_pe, int dst_pe, TaskMsg msg, double send_time,
                         double arrive_time, bool remote) {
   assert(dst_pe >= 0 && dst_pe < num_pes());
+  ++acct_.offered;
+  bool duplicate = false;
+  // Message faults hit only the network: local sends, injected bootstrap
+  // messages and timer self-messages are exempt, so recovery timers are
+  // guaranteed to fire.
+  if (remote && plan_.has_message_faults()) {
+    if (plan_.drop_prob > 0.0 && fault_rng_.uniform() < plan_.drop_prob) {
+      ++fault_stats_.messages_dropped;
+      ++acct_.dropped_fault;
+      record_fault({FaultKind::kMessageDrop, dst_pe, src_pe, send_time, 0.0});
+      return;
+    }
+    if (plan_.dup_prob > 0.0 && fault_rng_.uniform() < plan_.dup_prob) {
+      duplicate = true;
+      ++fault_stats_.messages_duplicated;
+      ++acct_.duplicated;
+      record_fault({FaultKind::kMessageDup, dst_pe, src_pe, send_time, 0.0});
+    }
+    if (plan_.delay_prob > 0.0 && fault_rng_.uniform() < plan_.delay_prob) {
+      const double spike = fault_rng_.uniform() * plan_.delay_max;
+      arrive_time += spike;
+      ++fault_stats_.messages_delayed;
+      record_fault({FaultKind::kMessageDelay, dst_pe, src_pe, send_time, spike});
+    }
+  }
   Event ev;
   ev.time = arrive_time;
   ev.kind = EventKind::kArrival;
   ev.seq = seq_++;
   ev.pe = dst_pe;
   ev.ready = Ready{msg.priority, ev.seq, std::move(msg), src_pe, remote, send_time};
+  if (duplicate) {
+    Event copy = ev;
+    copy.seq = seq_++;
+    copy.ready.seq = copy.seq;
+    events_.push(std::move(copy));
+    ++acct_.pending_network;
+  }
   events_.push(std::move(ev));
+  ++acct_.pending_network;
 }
 
 void Simulator::schedule_dispatch(int pe, double time) {
@@ -44,10 +131,17 @@ void Simulator::schedule_dispatch(int pe, double time) {
 void Simulator::run(double until) {
   while (!events_.empty()) {
     if (events_.top().time > until) break;
+    if (next_pe_fault_ < pe_faults_.size()) apply_pe_faults(events_.top().time);
     Event ev = std::move(const_cast<Event&>(events_.top()));
     events_.pop();
     Processor& p = pes_[static_cast<std::size_t>(ev.pe)];
     if (ev.kind == EventKind::kArrival) {
+      --acct_.pending_network;
+      if (p.failed) {
+        ++acct_.discarded_dead_pe;
+        ++fault_stats_.discarded_dead_pe;
+        continue;
+      }
       if (sink_ != nullptr) {
         sink_->on_message({ev.ready.src_pe, ev.pe, ev.ready.msg.entry,
                            ev.ready.msg.bytes, ev.ready.sent_at, ev.time});
@@ -57,15 +151,17 @@ void Simulator::run(double until) {
         remote_bytes_ += ev.ready.msg.bytes;
       }
       p.ready.push(std::move(ev.ready));
+      ++acct_.pending_ready;
       if (!p.dispatch_pending) {
         p.dispatch_pending = true;
         schedule_dispatch(ev.pe, std::max(ev.time, p.busy_until));
       }
     } else {
       p.dispatch_pending = false;
-      if (p.ready.empty()) continue;
+      if (p.failed || p.ready.empty()) continue;
       Ready ready = std::move(const_cast<Ready&>(p.ready.top()));
       p.ready.pop();
+      --acct_.pending_ready;
       execute(ev.pe, std::move(ready), ev.time);
       if (!p.ready.empty()) {
         p.dispatch_pending = true;
@@ -86,11 +182,15 @@ void Simulator::execute(int pe, Ready ready, double start) {
   }
   ready.msg.fn(ctx);
 
-  const double duration = ctx.charged();
+  // A slowdown factor of exactly 1.0 leaves the duration bit-identical
+  // (IEEE multiplication by one is exact), so fault-free schedules match
+  // a build without the fault engine.
+  const double duration = ctx.charged() * p.slowdown;
   p.busy_until = start + duration;
   p.busy_sum += duration;
   horizon_ = std::max(horizon_, p.busy_until);
   ++tasks_executed_;
+  ++acct_.executed;
 
   if (sink_ != nullptr) {
     sink_->on_task({pe, ready.msg.entry, ready.msg.object, start, duration,
@@ -134,6 +234,13 @@ void ExecContext::send(int dest, TaskMsg msg) {
     dst.in_nic_free = deliver + transfer;
     sim_->deliver(pe_, dest, std::move(msg), now(), deliver, /*remote=*/true);
   }
+}
+
+void ExecContext::post(TaskMsg msg, double delay) {
+  // Uncharged local self-message after `delay` virtual seconds: the timer
+  // primitive of the reliable-delivery layer. Exempt from message faults
+  // (local delivery), so a pending timer always eventually fires.
+  sim_->deliver(pe_, pe_, std::move(msg), now(), now() + delay, /*remote=*/false);
 }
 
 }  // namespace scalemd

@@ -7,8 +7,10 @@
 #include <string>
 #include <vector>
 
+#include "des/fault.hpp"
 #include "des/machine.hpp"
 #include "des/trace_sink.hpp"
+#include "util/random.hpp"
 
 namespace scalemd {
 
@@ -45,11 +47,41 @@ class EntryRegistry {
   std::vector<WorkCategory> categories_;
 };
 
+/// End-of-run message accounting: where every message handed to the machine
+/// ended up. The conservation identity
+///   offered + duplicated ==
+///       dropped_fault + discarded_dead_pe + executed + pending()
+/// holds at every instant; at a clean quiesce pending() is zero, and any
+/// nonzero dropped/discarded terms are attributable to the fault engine.
+/// This is what lets the invariant checker distinguish "dropped by fault"
+/// from "still queued at termination".
+struct MessageAccounting {
+  std::uint64_t offered = 0;           ///< deliver attempts (sends + injects)
+  std::uint64_t duplicated = 0;        ///< extra arrivals forged by duplication
+  std::uint64_t dropped_fault = 0;     ///< vanished on the wire (fault engine)
+  std::uint64_t discarded_dead_pe = 0; ///< addressed to / queued on a failed PE
+  std::uint64_t executed = 0;          ///< ran to completion
+  std::uint64_t pending_network = 0;   ///< arrival events not yet processed
+  std::uint64_t pending_ready = 0;     ///< queued on a PE, not yet executed
+
+  std::uint64_t pending() const { return pending_network + pending_ready; }
+  bool conserved() const {
+    return offered + duplicated == dropped_fault + discarded_dead_pe +
+                                       executed + pending_network + pending_ready;
+  }
+};
+
 /// Discrete-event simulator of a message-passing machine running a
 /// data-driven (Charm++-style) scheduler on every virtual processor:
 /// each PE repeatedly picks the best-priority *arrived* message and runs its
 /// task to completion; task costs and message delivery times follow the
 /// MachineModel. Deterministic: identical inputs give identical schedules.
+///
+/// A FaultPlan (set_fault_plan) arms the built-in fault engine: remote
+/// messages may be dropped, duplicated or delayed (seeded, per-message
+/// deterministic), PEs may slow down by a factor or fail outright at a
+/// scheduled virtual time. With the default (empty) plan every fault path
+/// is skipped and the schedule is identical to a fault-free build.
 class Simulator {
  public:
   Simulator(int num_pes, const MachineModel& machine);
@@ -88,6 +120,31 @@ class Simulator {
   /// Total bytes carried by remote messages so far.
   std::uint64_t remote_bytes() const { return remote_bytes_; }
 
+  // --- fault engine ---------------------------------------------------
+  /// Arms the fault engine (replaces any previous plan). Call before run();
+  /// installing a non-empty plan mid-run applies from the next event on.
+  void set_fault_plan(const FaultPlan& plan);
+  const FaultPlan& fault_plan() const { return plan_; }
+  const FaultStats& fault_stats() const { return fault_stats_; }
+
+  /// True once `pe` has reached its scheduled failure time (it executes
+  /// nothing and receives nothing from then on).
+  bool pe_failed(int pe) const {
+    return pes_[static_cast<std::size_t>(pe)].failed;
+  }
+  /// PEs that have failed so far, ascending.
+  std::vector<int> failed_pes() const;
+
+  /// Message accounting so far (see MessageAccounting).
+  const MessageAccounting& accounting() const { return acct_; }
+
+  /// Emits a fault/recovery record to the attached sink (used by the
+  /// recovery layers — reliable delivery, checkpointing, evacuation — so
+  /// every recovery action lands in the same trace as the faults).
+  void record_fault(const FaultRecord& r) {
+    if (sink_ != nullptr) sink_->on_fault(r);
+  }
+
  private:
   friend class ExecContext;
 
@@ -109,6 +166,8 @@ class Simulator {
     double busy_until = 0.0;
     double busy_sum = 0.0;
     bool dispatch_pending = false;
+    bool failed = false;        ///< scheduled failure has taken effect
+    double slowdown = 1.0;      ///< active task-time multiplier (fault engine)
     double out_nic_free = 0.0;  ///< when this PE's outgoing link frees up
     double in_nic_free = 0.0;   ///< when this PE's incoming link frees up
     std::priority_queue<Ready, std::vector<Ready>, ReadyOrder> ready;
@@ -134,6 +193,8 @@ class Simulator {
   void deliver(int src_pe, int dst_pe, TaskMsg msg, double send_time,
                double arrive_time, bool remote);
   void execute(int pe, Ready ready, double start);
+  /// Applies every scheduled PE fault whose time has come (<= now).
+  void apply_pe_faults(double now);
 
   MachineModel machine_;
   EntryRegistry entries_;
@@ -145,6 +206,21 @@ class Simulator {
   std::uint64_t tasks_executed_ = 0;
   std::uint64_t remote_messages_ = 0;
   std::uint64_t remote_bytes_ = 0;
+
+  // Fault engine state. `pe_faults_` holds the not-yet-applied scheduled
+  // faults sorted by time; `fault_rng_` drives the per-message decisions.
+  struct ScheduledPeFault {
+    double time;
+    int pe;
+    bool failure;    ///< true = failure, false = slowdown
+    double factor;   ///< slowdown factor (unused for failures)
+  };
+  FaultPlan plan_;
+  std::vector<ScheduledPeFault> pe_faults_;
+  std::size_t next_pe_fault_ = 0;
+  Rng fault_rng_{0};
+  FaultStats fault_stats_;
+  MessageAccounting acct_;
 };
 
 /// Handle given to a running task: lets it consume virtual CPU time and send
@@ -176,6 +252,11 @@ class ExecContext {
   /// machine's send (or local enqueue) overhead; delivery time follows the
   /// network model. Message payload travel cost is based on msg.bytes.
   void send(int dest, TaskMsg msg);
+
+  /// Schedules `msg` to run on this PE `delay` virtual seconds from now
+  /// without charging the task (a timer). Delivered locally, so it is
+  /// exempt from the fault engine and always fires.
+  void post(TaskMsg msg, double delay);
 
  private:
   friend class Simulator;

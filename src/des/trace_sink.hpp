@@ -40,6 +40,39 @@ struct MsgRecord {
   double recv_time = 0.0;
 };
 
+/// What happened to the machine or the runtime outside normal execution:
+/// either an injected fault (FaultPlan, src/des/fault.hpp) or a recovery
+/// action the fault-tolerant runtime took in response. Both flow through the
+/// same record so the timeline and the audit can show them side by side.
+enum class FaultKind : std::uint8_t {
+  // Injected faults.
+  kMessageDrop,     ///< a remote message vanished on the wire
+  kMessageDup,      ///< a remote message was delivered twice
+  kMessageDelay,    ///< a remote message suffered a latency spike
+  kPeSlowdown,      ///< a PE started running slower by `magnitude`x
+  kPeFailure,       ///< a PE died; nothing on it runs from `time` on
+  // Recovery actions.
+  kRetry,           ///< an unacked reliable message was resent
+  kDupSuppressed,   ///< dedup filtered an already-delivered message
+  kMessageLost,     ///< a reliable send was abandoned (dead PE / max attempts)
+  kCheckpoint,      ///< coordinated checkpoint taken
+  kRestart,         ///< state restored from the last checkpoint
+  kEvacuation,      ///< a failed PE's objects were redistributed
+};
+
+const char* fault_kind_name(FaultKind k);
+/// True for the injected-fault kinds, false for recovery actions.
+bool is_injected_fault(FaultKind k);
+
+/// One fault or recovery event, as seen by instrumentation sinks.
+struct FaultRecord {
+  FaultKind kind = FaultKind::kMessageDrop;
+  int pe = -1;             ///< affected PE (destination for message faults)
+  int src_pe = -1;         ///< sender for message faults, -1 otherwise
+  double time = 0.0;       ///< virtual time of the event
+  double magnitude = 0.0;  ///< delay s, slowdown factor, restart latency, ...
+};
+
 /// Instrumentation interface of the simulator. Implementations live in
 /// trace/ (summary profiles, full event logs) and lb/ (load database).
 /// The paper's three instrumentation levels map to: no sink (step times
@@ -49,6 +82,7 @@ class TraceSink {
   virtual ~TraceSink() = default;
   virtual void on_task(const TaskRecord&) {}
   virtual void on_message(const MsgRecord&) {}
+  virtual void on_fault(const FaultRecord&) {}
 };
 
 /// Fans one stream of records out to several sinks.
@@ -73,6 +107,9 @@ class MultiSink final : public TraceSink {
   }
   void on_message(const MsgRecord& r) override {
     for (int i = 0; i < count_; ++i) sinks_[i]->on_message(r);
+  }
+  void on_fault(const FaultRecord& r) override {
+    for (int i = 0; i < count_; ++i) sinks_[i]->on_fault(r);
   }
 
  private:

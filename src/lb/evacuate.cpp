@@ -1,0 +1,150 @@
+#include "lb/evacuate.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "lb/refine.hpp"
+
+namespace scalemd {
+
+LbAssignment evacuate_map(const LbProblem& problem, const LbAssignment& start,
+                          const std::vector<int>& dead_pes, double overload) {
+  const std::size_t npes = static_cast<std::size_t>(problem.num_pes);
+  std::vector<char> dead(npes, 0);
+  for (int pe : dead_pes) {
+    if (pe >= 0 && static_cast<std::size_t>(pe) < npes) {
+      dead[static_cast<std::size_t>(pe)] = 1;
+    }
+  }
+
+  // Renumber the survivors so the refine machinery sees a dense PE range.
+  std::vector<int> live;                      // live index -> real pe
+  std::vector<int> live_of(npes, -1);         // real pe -> live index
+  for (std::size_t pe = 0; pe < npes; ++pe) {
+    if (!dead[pe]) {
+      live_of[pe] = static_cast<int>(live.size());
+      live.push_back(static_cast<int>(pe));
+    }
+  }
+  assert(!live.empty());
+
+  // Total load and live-PE loads under `start`, counting evacuees as
+  // homeless (they contribute to the average the survivors must absorb).
+  std::vector<double> load(live.size(), 0.0);
+  double total = 0.0;
+  for (std::size_t pe = 0; pe < npes; ++pe) {
+    const double bg =
+        pe < problem.background.size() ? problem.background[pe] : 0.0;
+    if (!dead[pe]) load[static_cast<std::size_t>(live_of[pe])] += bg;
+    if (!dead[pe]) total += bg;
+  }
+  for (std::size_t i = 0; i < problem.objects.size(); ++i) {
+    total += problem.objects[i].load;
+    const int pe = start[i];
+    if (!dead[static_cast<std::size_t>(pe)]) {
+      load[static_cast<std::size_t>(live_of[static_cast<std::size_t>(pe)])] +=
+          problem.objects[i].load;
+    }
+  }
+  const double limit = overload * total / static_cast<double>(live.size());
+
+  // Patch presence on live PEs: homes plus proxies implied by survivors.
+  std::vector<std::vector<char>> present(
+      problem.patch_home.size(), std::vector<char>(live.size(), 0));
+  for (std::size_t patch = 0; patch < problem.patch_home.size(); ++patch) {
+    const int home = problem.patch_home[patch];
+    assert(!dead[static_cast<std::size_t>(home)]);
+    present[patch][static_cast<std::size_t>(live_of[static_cast<std::size_t>(
+        home)])] = 1;
+  }
+  LbAssignment map = start;
+  std::vector<std::size_t> evacuees;
+  for (std::size_t i = 0; i < problem.objects.size(); ++i) {
+    const LbObject& o = problem.objects[i];
+    if (dead[static_cast<std::size_t>(start[i])]) {
+      evacuees.push_back(i);
+      continue;
+    }
+    const std::size_t pe =
+        static_cast<std::size_t>(live_of[static_cast<std::size_t>(start[i])]);
+    if (o.patch_a >= 0) present[static_cast<std::size_t>(o.patch_a)][pe] = 1;
+    if (o.patch_b >= 0) present[static_cast<std::size_t>(o.patch_b)][pe] = 1;
+  }
+
+  // Greedy largest-first placement of the evacuees (the paper's rule:
+  // patches-present beats load when anything fits under the limit).
+  std::stable_sort(evacuees.begin(), evacuees.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return problem.objects[a].load > problem.objects[b].load;
+                   });
+  for (std::size_t idx : evacuees) {
+    const LbObject& o = problem.objects[idx];
+    bool any_fits = false;
+    for (std::size_t pe = 0; pe < live.size() && !any_fits; ++pe) {
+      any_fits = load[pe] + o.load <= limit;
+    }
+    int best = -1;
+    int best_present = -1;
+    double best_load = 0.0;
+    for (std::size_t pe = 0; pe < live.size(); ++pe) {
+      if (any_fits && load[pe] + o.load > limit) continue;
+      int here = 0;
+      if (o.patch_a >= 0) here += present[static_cast<std::size_t>(o.patch_a)][pe];
+      if (o.patch_b >= 0) here += present[static_cast<std::size_t>(o.patch_b)][pe];
+      bool better;
+      if (any_fits) {
+        better = here > best_present ||
+                 (here == best_present && load[pe] < best_load);
+      } else {
+        better = load[pe] < best_load ||
+                 (load[pe] == best_load && here > best_present);
+      }
+      if (best < 0 || better) {
+        best = static_cast<int>(pe);
+        best_present = here;
+        best_load = load[pe];
+      }
+    }
+    map[idx] = live[static_cast<std::size_t>(best)];
+    load[static_cast<std::size_t>(best)] += o.load;
+    if (o.patch_a >= 0) {
+      present[static_cast<std::size_t>(o.patch_a)][static_cast<std::size_t>(
+          best)] = 1;
+    }
+    if (o.patch_b >= 0) {
+      present[static_cast<std::size_t>(o.patch_b)][static_cast<std::size_t>(
+          best)] = 1;
+    }
+  }
+
+  // Refinement over the survivors only: build the renumbered sub-problem,
+  // refine from the evacuated assignment, map PE ids back.
+  LbProblem sub;
+  sub.num_pes = static_cast<int>(live.size());
+  sub.objects = problem.objects;
+  sub.background.assign(live.size(), 0.0);
+  for (std::size_t pe = 0; pe < npes && pe < problem.background.size(); ++pe) {
+    if (!dead[pe]) {
+      sub.background[static_cast<std::size_t>(live_of[pe])] =
+          problem.background[pe];
+    }
+  }
+  sub.patch_home.resize(problem.patch_home.size());
+  for (std::size_t patch = 0; patch < problem.patch_home.size(); ++patch) {
+    sub.patch_home[patch] =
+        live_of[static_cast<std::size_t>(problem.patch_home[patch])];
+  }
+  LbAssignment sub_start(map.size());
+  for (std::size_t i = 0; i < map.size(); ++i) {
+    sub_start[i] = live_of[static_cast<std::size_t>(map[i])];
+    sub.objects[i].current_pe = sub_start[i];
+  }
+  LbAssignment refined = refine_map(sub, std::move(sub_start), overload);
+  for (std::size_t i = 0; i < refined.size(); ++i) {
+    map[i] = live[static_cast<std::size_t>(refined[i])];
+  }
+  return map;
+}
+
+}  // namespace scalemd

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <vector>
+
+#include "lb/problem.hpp"
+
+namespace scalemd {
+
+/// Graceful-degradation remapping after processor loss: every object that
+/// `start` places on a PE in `dead_pes` is re-placed onto a surviving PE
+/// using the paper's greedy rule (prefer PEs that already hold the object's
+/// patches, then the lightest), and the result is polished with refine_map
+/// restricted to the survivors. Objects already on live PEs may move too
+/// (the refinement pass), so the returned map is a full assignment.
+///
+/// `problem.patch_home` must already name live PEs only (the runtime
+/// re-homes orphaned patches before evacuating their computes); the strategy
+/// never assigns anything to a dead PE.
+LbAssignment evacuate_map(const LbProblem& problem, const LbAssignment& start,
+                          const std::vector<int>& dead_pes,
+                          double overload = 1.05);
+
+}  // namespace scalemd

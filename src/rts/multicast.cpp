@@ -1,9 +1,12 @@
 #include "rts/multicast.hpp"
 
+#include "rts/reliable.hpp"
+
 namespace scalemd {
 
 void multicast(ExecContext& ctx, std::span<const int> dest_pes, std::size_t bytes,
-               bool optimized, const std::function<TaskMsg(int pe)>& make_task) {
+               bool optimized, const std::function<TaskMsg(int pe)>& make_task,
+               ReliableComm* reliable) {
   const double pack = static_cast<double>(bytes) * ctx.machine().pack_byte_cost;
   if (optimized && !dest_pes.empty()) {
     ctx.charge_pack(pack);
@@ -12,7 +15,11 @@ void multicast(ExecContext& ctx, std::span<const int> dest_pes, std::size_t byte
     if (!optimized) ctx.charge_pack(pack);
     TaskMsg msg = make_task(pe);
     msg.bytes = bytes;
-    ctx.send(pe, std::move(msg));
+    if (reliable != nullptr) {
+      reliable->send(ctx, pe, std::move(msg));
+    } else {
+      ctx.send(pe, std::move(msg));
+    }
   }
 }
 

@@ -7,6 +7,8 @@
 
 namespace scalemd {
 
+class ReliableComm;
+
 /// Sends the same logical payload to every PE in `dest_pes` from within a
 /// running task. This is the operation optimized in paper section 4.2.3:
 ///
@@ -18,7 +20,13 @@ namespace scalemd {
 ///   multicast, then only per-destination send overhead.
 ///
 /// `make_task` builds the task message for each destination PE.
+///
+/// When `reliable` is non-null, every branch of the multicast goes through
+/// the reliable-delivery layer (dedup + ack/timeout retry) instead of a raw
+/// send; on a fault-free machine the layer is pass-through, so the two
+/// paths cost the same.
 void multicast(ExecContext& ctx, std::span<const int> dest_pes, std::size_t bytes,
-               bool optimized, const std::function<TaskMsg(int pe)>& make_task);
+               bool optimized, const std::function<TaskMsg(int pe)>& make_task,
+               ReliableComm* reliable = nullptr);
 
 }  // namespace scalemd

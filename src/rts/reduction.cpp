@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "rts/reliable.hpp"
+
 namespace scalemd {
 
 Reducer::Reducer(std::vector<int> pe_of_contributor, EntryId entry,
@@ -63,7 +65,15 @@ void Reducer::absorb(ExecContext& ctx, int rank, int round, double value,
     c.charge(1e-6);  // combine cost
     absorb(c, parent_rank, round, total, forwarded);
   };
-  ctx.send(parent_pe, std::move(msg));
+  if (reliable_ != nullptr) {
+    reliable_->send(ctx, parent_pe, std::move(msg));
+  } else {
+    ctx.send(parent_pe, std::move(msg));
+  }
+}
+
+void Reducer::clear_pending() {
+  for (auto& rounds : state_) rounds.clear();
 }
 
 }  // namespace scalemd

@@ -8,6 +8,8 @@
 
 namespace scalemd {
 
+class ReliableComm;
+
 /// Repeated tree reduction of doubles across PEs, Charm++-style: every round
 /// (timestep), each contributor deposits a value from within a task; when a
 /// PE has all its local contributions for a round it sends its partial sum
@@ -29,6 +31,15 @@ class Reducer {
   /// PE hosting the reduction root.
   int root_pe() const { return active_pes_.empty() ? 0 : active_pes_[0]; }
 
+  /// Routes the tree's upward partial-sum messages through the reliable
+  /// layer (nullptr = raw sends). Contributions themselves are local calls.
+  void set_reliable(ReliableComm* reliable) { reliable_ = reliable; }
+
+  /// Discards every partially filled round on every tree node. Checkpoint
+  /// restart uses this: replayed contributions must start from a clean
+  /// slate or the counts would double.
+  void clear_pending();
+
  private:
   struct NodeRound {
     int received = 0;
@@ -48,6 +59,7 @@ class Reducer {
   std::vector<std::unordered_map<int, NodeRound>> state_;  ///< per rank, per round
   EntryId entry_;
   std::function<void(int, double)> callback_;
+  ReliableComm* reliable_ = nullptr;
 };
 
 }  // namespace scalemd

@@ -1,0 +1,112 @@
+#include "rts/reliable.hpp"
+
+#include <utility>
+
+namespace scalemd {
+
+ReliableComm::ReliableComm(Simulator& sim, ReliableOptions opts)
+    : sim_(&sim),
+      opts_(opts),
+      ack_entry_(sim.entries().add("rel.ack", WorkCategory::kComm)),
+      timer_entry_(sim.entries().add("rel.timer", WorkCategory::kComm)),
+      pending_(static_cast<std::size_t>(sim.num_pes())),
+      delivered_(static_cast<std::size_t>(sim.num_pes())) {}
+
+double ReliableComm::initial_timeout(std::size_t bytes) const {
+  if (opts_.ack_timeout > 0.0) return opts_.ack_timeout;
+  // Auto: a generous multiple of the round-trip estimate so a fault-free
+  // send (or one merely queued behind other work) is never retried.
+  const MachineModel& m = sim_->machine();
+  return 10.0 * (m.latency + m.send_overhead + m.recv_overhead) +
+         4.0 * static_cast<double>(bytes + opts_.ack_bytes) * m.byte_time +
+         1e-4;
+}
+
+void ReliableComm::clear_pending() {
+  for (auto& per_pe : pending_) per_pe.clear();
+}
+
+void ReliableComm::send(ExecContext& ctx, int dest, TaskMsg msg) {
+  if (dest == ctx.pe() || !armed()) {
+    ctx.send(dest, std::move(msg));
+    return;
+  }
+  const std::uint64_t id = next_id_++;
+  const int src = ctx.pe();
+  TaskMsg wrapped;
+  wrapped.entry = msg.entry;
+  wrapped.object = msg.object;
+  wrapped.priority = msg.priority;
+  wrapped.bytes = msg.bytes + 16;  // id + protocol header on the wire
+  TaskFn payload = std::move(msg.fn);
+  wrapped.fn = [this, id, src, payload = std::move(payload)](ExecContext& c) {
+    auto& seen = delivered_[static_cast<std::size_t>(c.pe())];
+    if (!seen.insert(id).second) {
+      // Already executed: suppress, but re-ack (the first ack may have
+      // been the casualty that caused this retry).
+      ++stats_.duplicates_suppressed;
+      c.sim().record_fault(
+          {FaultKind::kDupSuppressed, c.pe(), src, c.now(), 0.0});
+      send_ack(c, src, id);
+      return;
+    }
+    send_ack(c, src, id);
+    payload(c);
+  };
+
+  Pending pend;
+  pend.dest = dest;
+  pend.msg = wrapped;  // keep a copy for retries
+  pend.attempts = 1;
+  pend.timeout = initial_timeout(wrapped.bytes);
+  const double delay = pend.timeout;
+  pending_[static_cast<std::size_t>(src)].emplace(id, std::move(pend));
+  ++stats_.reliable_sends;
+
+  ctx.send(dest, std::move(wrapped));
+  arm_timer(ctx, id, delay);
+}
+
+void ReliableComm::send_ack(ExecContext& ctx, int to_pe, std::uint64_t id) {
+  TaskMsg ack;
+  ack.entry = ack_entry_;
+  ack.bytes = opts_.ack_bytes;
+  ack.priority = -1;  // acks are latency-critical (they stop retries)
+  ack.fn = [this, id](ExecContext& c) {
+    pending_[static_cast<std::size_t>(c.pe())].erase(id);
+  };
+  ++stats_.acks_sent;
+  ctx.send(to_pe, std::move(ack));
+}
+
+void ReliableComm::arm_timer(ExecContext& ctx, std::uint64_t id, double delay) {
+  TaskMsg timer;
+  timer.entry = timer_entry_;
+  timer.fn = [this, id](ExecContext& c) { on_timer(c, id); };
+  ctx.post(std::move(timer), delay);
+}
+
+void ReliableComm::on_timer(ExecContext& ctx, std::uint64_t id) {
+  auto& pend = pending_[static_cast<std::size_t>(ctx.pe())];
+  const auto it = pend.find(id);
+  if (it == pend.end()) return;  // acked (or cleared by restart) — done
+  Pending& p = it->second;
+  if (ctx.sim().pe_failed(p.dest) || p.attempts >= opts_.max_attempts) {
+    ++stats_.abandoned;
+    ctx.sim().record_fault({FaultKind::kMessageLost, p.dest, ctx.pe(),
+                            ctx.now(), static_cast<double>(p.attempts)});
+    pend.erase(it);
+    return;
+  }
+  ++p.attempts;
+  ++stats_.retries;
+  ctx.sim().record_fault({FaultKind::kRetry, p.dest, ctx.pe(), ctx.now(),
+                          static_cast<double>(p.attempts)});
+  TaskMsg copy = p.msg;
+  p.timeout *= opts_.backoff;
+  const double delay = p.timeout;
+  ctx.send(p.dest, std::move(copy));
+  arm_timer(ctx, id, delay);
+}
+
+}  // namespace scalemd

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "des/simulator.hpp"
+
+namespace scalemd {
+
+/// Knobs of the reliable-delivery layer (see ReliableComm).
+struct ReliableOptions {
+  /// Seconds to wait for an ack before the first retry. <= 0 means "auto":
+  /// derived per message from the machine model (a generous multiple of the
+  /// round-trip estimate, so fault-free sends never time out spuriously).
+  double ack_timeout = 0.0;
+  double backoff = 2.0;        ///< timeout multiplier after each retry
+  int max_attempts = 6;        ///< total send attempts before giving up
+  std::size_t ack_bytes = 16;  ///< wire size of an ack message
+};
+
+/// Counters of what the reliable layer did (folded into the resilience
+/// audit next to the injected-fault counters).
+struct ReliableStats {
+  std::uint64_t reliable_sends = 0;         ///< first-attempt sends
+  std::uint64_t retries = 0;                ///< timeout-driven resends
+  std::uint64_t duplicates_suppressed = 0;  ///< dedup filtered an arrival
+  std::uint64_t acks_sent = 0;
+  std::uint64_t abandoned = 0;  ///< gave up (dead PE or max attempts)
+};
+
+/// Sequence-numbered, idempotent message delivery over the unreliable
+/// simulated network: every reliable send carries a globally unique id; the
+/// receiver suppresses ids it has already delivered (so duplicated or
+/// retried messages execute exactly once) and acks every arrival; the
+/// sender retries on an ack timeout with exponential backoff, and abandons
+/// the send once the destination PE is known dead or `max_attempts` is
+/// exhausted (recorded as a lost message for the invariant layer to audit).
+///
+/// The layer arms itself only when the simulator has a non-empty FaultPlan:
+/// on a fault-free machine ReliableComm::send degrades to a plain
+/// ExecContext::send with no wrapper, no acks and no timers, so fault-free
+/// event traces are bit-identical with the layer enabled or absent.
+///
+/// One instance serves all PEs (the DES runs in one address space); it must
+/// outlive the simulation run. Retry timers use ExecContext::post, which is
+/// exempt from message faults, so a pending send can never be stranded.
+class ReliableComm {
+ public:
+  ReliableComm(Simulator& sim, ReliableOptions opts = {});
+
+  /// Sends `msg` to `dest` with exactly-once delivery (see class docs).
+  /// Same-PE sends bypass the protocol: local delivery cannot be faulted.
+  void send(ExecContext& ctx, int dest, TaskMsg msg);
+
+  /// True when sends are actually wrapped (non-empty fault plan).
+  bool armed() const { return !sim_->fault_plan().empty(); }
+
+  const ReliableStats& stats() const { return stats_; }
+
+  /// Drops all sender-side pending state (un-acked sends and their timers
+  /// become no-ops). Used by checkpoint restart: replayed sends get fresh
+  /// ids, so stale retries must not resurrect pre-restart messages.
+  void clear_pending();
+
+ private:
+  struct Pending {
+    int dest = 0;
+    TaskMsg msg;          ///< the wrapped message, resent verbatim
+    int attempts = 1;
+    double timeout = 0.0; ///< current backoff interval
+  };
+
+  void send_ack(ExecContext& ctx, int to_pe, std::uint64_t id);
+  void arm_timer(ExecContext& ctx, std::uint64_t id, double delay);
+  void on_timer(ExecContext& ctx, std::uint64_t id);
+  double initial_timeout(std::size_t bytes) const;
+
+  Simulator* sim_;
+  ReliableOptions opts_;
+  EntryId ack_entry_;
+  EntryId timer_entry_;
+  std::uint64_t next_id_ = 1;  ///< never reused, even across restarts
+  /// Per source PE: un-acked reliable sends by id.
+  std::vector<std::unordered_map<std::uint64_t, Pending>> pending_;
+  /// Per destination PE: ids already delivered (dedup filter).
+  std::vector<std::unordered_set<std::uint64_t>> delivered_;
+  ReliableStats stats_;
+};
+
+}  // namespace scalemd

@@ -76,4 +76,43 @@ std::string render_audit(const AuditRow& ideal, const AuditRow& actual) {
   return "Time (milliseconds) per step, per processor\n" + t.render();
 }
 
+ResilienceStats resilience_stats(const FaultStats& faults,
+                                 const ReliableStats* reliable,
+                                 int checkpoints_taken, int restarts,
+                                 double restart_latency) {
+  ResilienceStats r;
+  r.messages_dropped = faults.messages_dropped;
+  r.messages_duplicated = faults.messages_duplicated;
+  r.messages_delayed = faults.messages_delayed;
+  r.pe_failures = faults.pe_failures;
+  if (reliable != nullptr) {
+    r.retries = reliable->retries;
+    r.duplicates_suppressed = reliable->duplicates_suppressed;
+    r.messages_abandoned = reliable->abandoned;
+  }
+  r.checkpoints_taken = checkpoints_taken;
+  r.restarts = restarts;
+  r.restart_latency = restart_latency;
+  return r;
+}
+
+std::string render_resilience(const ResilienceStats& r) {
+  Table t({"Recovery metric", "Value"});
+  auto count = [&](const char* name, std::uint64_t v) {
+    t.add_row({name, std::to_string(v)});
+  };
+  count("faults injected", r.faults_injected());
+  count("  messages dropped", r.messages_dropped);
+  count("  messages duplicated", r.messages_duplicated);
+  count("  messages delayed", r.messages_delayed);
+  count("  pe failures", static_cast<std::uint64_t>(r.pe_failures));
+  count("retries", r.retries);
+  count("duplicates suppressed", r.duplicates_suppressed);
+  count("messages abandoned", r.messages_abandoned);
+  count("checkpoints taken", static_cast<std::uint64_t>(r.checkpoints_taken));
+  count("restarts", static_cast<std::uint64_t>(r.restarts));
+  t.add_row({"restart latency (virtual s)", fmt_fixed(r.restart_latency, 6)});
+  return t.render();
+}
+
 }  // namespace scalemd

@@ -1,7 +1,10 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 
+#include "des/fault.hpp"
+#include "rts/reliable.hpp"
 #include "trace/summary.hpp"
 
 namespace scalemd {
@@ -34,5 +37,38 @@ AuditRow actual_audit(const SummaryProfile& profile, double window_seconds,
 
 /// Renders the two rows as a Table 1-style text table (milliseconds).
 std::string render_audit(const AuditRow& ideal, const AuditRow& actual);
+
+/// Recovery metrics for a (possibly) faulted run: what the chaos engine
+/// injected and what the resilient runtime did about it.
+struct ResilienceStats {
+  // Injected by the fault engine.
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_duplicated = 0;
+  std::uint64_t messages_delayed = 0;
+  int pe_failures = 0;
+  // Recovery activity.
+  std::uint64_t retries = 0;
+  std::uint64_t duplicates_suppressed = 0;
+  std::uint64_t messages_abandoned = 0;  ///< retry budget/dead-PE give-ups
+  int checkpoints_taken = 0;
+  int restarts = 0;
+  double restart_latency = 0.0;  ///< virtual seconds of re-executed work
+
+  std::uint64_t faults_injected() const {
+    return messages_dropped + messages_duplicated + messages_delayed +
+           static_cast<std::uint64_t>(pe_failures);
+  }
+};
+
+/// Assembles the recovery metrics from the fault engine's counters, the
+/// reliable-delivery layer (nullptr when disabled) and the checkpoint
+/// bookkeeping kept by the parallel runtime.
+ResilienceStats resilience_stats(const FaultStats& faults,
+                                 const ReliableStats* reliable,
+                                 int checkpoints_taken, int restarts,
+                                 double restart_latency);
+
+/// Renders the recovery metrics as a two-column text table.
+std::string render_resilience(const ResilienceStats& r);
 
 }  // namespace scalemd

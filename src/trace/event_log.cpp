@@ -10,4 +10,12 @@ std::vector<TaskRecord> EventLog::tasks_of(EntryId entry, double t0, double t1) 
   return out;
 }
 
+std::vector<FaultRecord> EventLog::faults_of(FaultKind kind) const {
+  std::vector<FaultRecord> out;
+  for (const FaultRecord& r : faults_) {
+    if (r.kind == kind) out.push_back(r);
+  }
+  return out;
+}
+
 }  // namespace scalemd

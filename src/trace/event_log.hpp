@@ -16,21 +16,29 @@ class EventLog final : public TraceSink {
  public:
   void on_task(const TaskRecord& r) override { tasks_.push_back(r); }
   void on_message(const MsgRecord& r) override { messages_.push_back(r); }
+  void on_fault(const FaultRecord& r) override { faults_.push_back(r); }
 
   void clear() {
     tasks_.clear();
     messages_.clear();
+    faults_.clear();
   }
 
   const std::vector<TaskRecord>& tasks() const { return tasks_; }
   const std::vector<MsgRecord>& messages() const { return messages_; }
+  /// Injected faults and recovery actions, in emission order.
+  const std::vector<FaultRecord>& faults() const { return faults_; }
 
   /// Tasks of one entry within [t0, t1).
   std::vector<TaskRecord> tasks_of(EntryId entry, double t0, double t1) const;
 
+  /// Faults/recoveries of one kind (e.g. all checkpoints).
+  std::vector<FaultRecord> faults_of(FaultKind kind) const;
+
  private:
   std::vector<TaskRecord> tasks_;
   std::vector<MsgRecord> messages_;
+  std::vector<FaultRecord> faults_;
 };
 
 }  // namespace scalemd

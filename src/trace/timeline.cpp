@@ -43,6 +43,28 @@ int category_rank(char c) {
   }
 }
 
+/// Marker for fault/recovery overlays; '\0' = don't draw.
+char fault_char(FaultKind k) {
+  switch (k) {
+    case FaultKind::kPeFailure:
+      return 'X';
+    case FaultKind::kMessageDrop:
+    case FaultKind::kMessageDup:
+    case FaultKind::kMessageDelay:
+    case FaultKind::kPeSlowdown:
+      return '!';
+    case FaultKind::kRetry:
+    case FaultKind::kCheckpoint:
+    case FaultKind::kRestart:
+    case FaultKind::kEvacuation:
+      return '+';
+    default:
+      return '\0';  // dedup-suppress / message-lost: too chatty to draw
+  }
+}
+
+int fault_rank(char c) { return c == 'X' ? 3 : c == '!' ? 2 : c == '+' ? 1 : 0; }
+
 }  // namespace
 
 std::string render_timeline(const EventLog& log, const EntryRegistry& registry,
@@ -76,12 +98,32 @@ std::string render_timeline(const EventLog& log, const EntryRegistry& registry,
     }
   }
 
+  // Faults and recovery actions overlay the work: a failed PE is marked at
+  // the instant it dies; injected message faults and recovery events are
+  // point markers on the affected PE's row.
+  std::size_t faults_drawn = 0;
+  for (const FaultRecord& r : log.faults()) {
+    if (r.pe < opts.first_pe || r.pe >= opts.first_pe + opts.num_pes) continue;
+    if (r.time < opts.t0 || r.time > t1) continue;
+    const char ch = fault_char(r.kind);
+    if (ch == '\0') continue;
+    ++faults_drawn;
+    auto& row = rows[static_cast<std::size_t>(r.pe - opts.first_pe)];
+    const int c =
+        std::clamp(static_cast<int>((r.time - opts.t0) / slice), 0, opts.width - 1);
+    auto& cell = row[static_cast<std::size_t>(c)];
+    if (fault_rank(ch) >= fault_rank(cell)) cell = ch;
+  }
+
   std::ostringstream os;
   os.setf(std::ios::fixed);
   os.precision(1);
   os << "timeline " << opts.t0 * 1e3 << " ms .. " << t1 * 1e3 << " ms  ("
      << slice * 1e3 << " ms/char)\n";
   os << "legend: N non-bonded  B bonded  I integration  c comm  o other  . idle\n";
+  if (faults_drawn > 0) {
+    os << "faults: X pe-failure  ! injected fault  + recovery\n";
+  }
   for (int pe = 0; pe < opts.num_pes; ++pe) {
     os << "pe" << (opts.first_pe + pe);
     const int label = opts.first_pe + pe;

@@ -1,0 +1,263 @@
+// Chaos soak: the waterbox preset run on the simulated machine under seeded
+// fault plans, asserting the resilient runtime (dedup + retry + checkpoint /
+// restart + evacuation) recovers to the fault-free trajectory and that the
+// physics-invariant checker stays clean. These tests run whole parallel
+// simulations repeatedly, so they carry the `chaos` ctest label instead of
+// `unit` and CI schedules them as a separate (sanitized) soak job.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "check/invariants.hpp"
+#include "core/parallel_sim.hpp"
+#include "des/fault.hpp"
+#include "gen/water_box.hpp"
+#include "seq/engine.hpp"
+#include "trace/audit.hpp"
+#include "trace/event_log.hpp"
+
+namespace scalemd {
+namespace {
+
+constexpr int kCycles = 3;
+constexpr int kStepsPerCycle = 2;
+
+/// Waterbox preset (the golden system) shared across the soak: built once,
+/// every run re-seeds from the same immutable workload.
+class ChaosFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    mol_ = new Molecule(make_water_box({16.0, 16.0, 16.0}, /*seed=*/11));
+    mol_->assign_velocities(300.0, /*seed=*/101);
+    mol_->suggested_patch_size = 8.0;
+    nb_.cutoff = 6.5;
+    nb_.switch_dist = 5.5;
+    workload_ = new Workload(*mol_, MachineModel::asci_red(), nb_);
+  }
+  static void TearDownTestSuite() {
+    delete workload_;
+    delete mol_;
+    workload_ = nullptr;
+    mol_ = nullptr;
+  }
+
+  static ParallelOptions base_options() {
+    ParallelOptions opts;
+    opts.num_pes = 8;
+    opts.numeric = true;
+    opts.dt_fs = 1.0;
+    return opts;
+  }
+
+  struct RunResult {
+    std::vector<Vec3> positions;
+    std::vector<Vec3> velocities;
+    double end_time = 0.0;
+    int checkpoints = 0;
+    int restarts = 0;
+    double restart_latency = 0.0;
+    bool complete = false;
+    ResilienceStats resilience;
+    ViolationLog violations;
+    std::uint64_t checks_run = 0;
+    std::size_t tasks_traced = 0;
+    std::size_t messages_traced = 0;
+  };
+
+  static RunResult run(const ParallelOptions& opts, int cycles = kCycles,
+                       int steps = kStepsPerCycle) {
+    ParallelSim sim(*workload_, opts);
+    EventLog log;
+    sim.attach_sink(&log);
+    InvariantOptions iopts;
+    iopts.check_energy = false;  // a handful of steps; drift bound is for runs
+    InvariantChecker checker(iopts);
+    checker.attach(sim);
+    for (int c = 0; c < cycles; ++c) sim.run_cycle(steps);
+
+    RunResult r;
+    r.positions = sim.gather_positions();
+    r.velocities = sim.gather_velocities();
+    r.end_time = sim.sim().time();
+    r.checkpoints = sim.checkpoints_taken();
+    r.restarts = sim.restarts();
+    r.restart_latency = sim.restart_latency();
+    r.complete = sim.last_cycle_complete();
+    r.resilience = resilience_stats(
+        sim.sim().fault_stats(),
+        sim.reliable() != nullptr ? &sim.reliable()->stats() : nullptr,
+        sim.checkpoints_taken(), sim.restarts(), sim.restart_latency());
+    r.violations = checker.log();
+    r.checks_run = checker.checks_run();
+    r.tasks_traced = log.tasks().size();
+    r.messages_traced = log.messages().size();
+    return r;
+  }
+
+  /// Max relative position deviation against a reference run.
+  static double max_rel_deviation(const std::vector<Vec3>& got,
+                                  const std::vector<Vec3>& ref) {
+    double scale = 1.0;
+    for (const Vec3& v : ref) {
+      scale = std::max({scale, std::fabs(v.x), std::fabs(v.y), std::fabs(v.z)});
+    }
+    double worst = 0.0;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      worst = std::max(worst, norm(got[i] - ref[i]) / scale);
+    }
+    return worst;
+  }
+
+  static Molecule* mol_;
+  static NonbondedOptions nb_;
+  static Workload* workload_;
+};
+
+Molecule* ChaosFixture::mol_ = nullptr;
+NonbondedOptions ChaosFixture::nb_;
+Workload* ChaosFixture::workload_ = nullptr;
+
+TEST_F(ChaosFixture, FaultFreeRecoveryLayerIsBitwiseNoOp) {
+  // Arming the reliable layer on a fault-free machine must not change a
+  // single event: same trace sizes, same virtual end time (bitwise), same
+  // state (bitwise). This is the zero-overhead guarantee of the pass-through.
+  ParallelOptions plain = base_options();
+  ParallelOptions armed = base_options();
+  armed.reliable = true;
+  const RunResult a = run(plain);
+  const RunResult b = run(armed);
+  EXPECT_EQ(a.end_time, b.end_time);  // bitwise, not NEAR
+  EXPECT_EQ(a.tasks_traced, b.tasks_traced);
+  EXPECT_EQ(a.messages_traced, b.messages_traced);
+  ASSERT_EQ(a.positions.size(), b.positions.size());
+  for (std::size_t i = 0; i < a.positions.size(); ++i) {
+    EXPECT_EQ(a.positions[i].x, b.positions[i].x);
+    EXPECT_EQ(a.positions[i].y, b.positions[i].y);
+    EXPECT_EQ(a.positions[i].z, b.positions[i].z);
+  }
+  EXPECT_EQ(b.resilience.retries, 0u);
+  EXPECT_EQ(b.resilience.faults_injected(), 0u);
+}
+
+TEST_F(ChaosFixture, FaultFreeCheckpointsAreStateInvisibleAndAudited) {
+  // Checkpoints add (modeled) snapshot work, so timing shifts — but state
+  // must stay bitwise identical, and the audit must report the overhead.
+  ParallelOptions plain = base_options();
+  ParallelOptions ckpt = base_options();
+  ckpt.reliable = true;
+  ckpt.checkpoint_every = 1;
+  const RunResult a = run(plain);
+  const RunResult b = run(ckpt);
+  EXPECT_EQ(b.checkpoints, kCycles);
+  EXPECT_EQ(b.restarts, 0);
+  EXPECT_GE(b.end_time, a.end_time);  // snapshot cost is the only difference
+  ASSERT_EQ(a.positions.size(), b.positions.size());
+  for (std::size_t i = 0; i < a.positions.size(); ++i) {
+    EXPECT_EQ(a.positions[i].x, b.positions[i].x);
+    EXPECT_EQ(a.positions[i].y, b.positions[i].y);
+    EXPECT_EQ(a.positions[i].z, b.positions[i].z);
+  }
+  const std::string table = render_resilience(b.resilience);
+  EXPECT_NE(table.find("checkpoints taken"), std::string::npos);
+  EXPECT_TRUE(b.violations.empty());
+}
+
+TEST_F(ChaosFixture, MessageChaosRecoversBitwise) {
+  // Drops + duplicates + delays with dedup and retry: placement never
+  // changes, the canonical force accumulation is schedule-independent, so
+  // the recovered trajectory is bit-identical to the fault-free one.
+  ParallelOptions plain = base_options();
+  const RunResult clean = run(plain);
+  ParallelOptions chaos = base_options();
+  chaos.reliable = true;
+  chaos.checkpoint_every = 1;
+  chaos.fault = FaultPlan::chaos(/*seed=*/7, /*delay=*/2e-4);
+  const RunResult r = run(chaos);
+  ASSERT_TRUE(r.complete);
+  EXPECT_TRUE(r.violations.empty()) << r.violations.render();
+  EXPECT_GT(r.checks_run, 0u);
+  EXPECT_GT(r.resilience.faults_injected(), 0u);
+  EXPECT_GT(r.resilience.retries, 0u);
+  ASSERT_EQ(r.positions.size(), clean.positions.size());
+  for (std::size_t i = 0; i < r.positions.size(); ++i) {
+    EXPECT_EQ(r.positions[i].x, clean.positions[i].x);
+    EXPECT_EQ(r.positions[i].y, clean.positions[i].y);
+    EXPECT_EQ(r.positions[i].z, clean.positions[i].z);
+  }
+}
+
+TEST_F(ChaosFixture, PeFailureRestartsFromCheckpointAndEvacuates) {
+  // Kill one PE mid-run: the stalled cycle must restore from the last
+  // coordinated checkpoint, evacuate the dead PE's patches and computes,
+  // replay, and end with the fault-free physics (placement changes, so the
+  // comparison is tolerance-based: different summation grouping).
+  const RunResult clean = run(base_options());
+  // Aim the failure at the middle of the run using the clean run's clock.
+  const double t_fail = clean.end_time * 0.5;
+
+  ParallelOptions chaos = base_options();
+  chaos.reliable = true;
+  chaos.checkpoint_every = 1;
+  chaos.fault.seed = 13;
+  chaos.fault.drop_prob = 0.01;
+  chaos.fault.failures.push_back({.pe = 3, .at_time = t_fail});
+  const RunResult r = run(chaos);
+
+  ASSERT_TRUE(r.complete);
+  EXPECT_TRUE(r.violations.empty()) << r.violations.render();
+  EXPECT_EQ(r.resilience.pe_failures, 1);
+  EXPECT_GE(r.restarts, 1);
+  EXPECT_GT(r.restart_latency, 0.0);
+  EXPECT_GE(r.checkpoints, 1);
+  ASSERT_EQ(r.positions.size(), clean.positions.size());
+  EXPECT_LT(max_rel_deviation(r.positions, clean.positions), 1e-9);
+  EXPECT_LT(max_rel_deviation(r.velocities, clean.velocities), 1e-9);
+}
+
+TEST_F(ChaosFixture, ChaosTrajectoryMatchesSequentialReference) {
+  // The recovered parallel run must still track the sequential engine (the
+  // generator of the golden references) within the same tolerance the
+  // fault-free parallel tests use.
+  EngineOptions eopts;
+  eopts.nonbonded = nb_;
+  eopts.dt_fs = 1.0;
+  SequentialEngine seq(*mol_, eopts);
+  for (int s = 0; s < kCycles * kStepsPerCycle; ++s) seq.step();
+
+  ParallelOptions chaos = base_options();
+  chaos.reliable = true;
+  chaos.checkpoint_every = 1;
+  chaos.fault = FaultPlan::chaos(/*seed=*/41, /*delay=*/2e-4);
+  const RunResult r = run(chaos);
+  ASSERT_TRUE(r.complete);
+  const std::vector<Vec3> ref(seq.positions().begin(), seq.positions().end());
+  ASSERT_EQ(r.positions.size(), ref.size());
+  EXPECT_LT(max_rel_deviation(r.positions, ref), 1e-6);
+}
+
+TEST_F(ChaosFixture, SeededSoakCompletesCleanAcrossPlans) {
+  // The CI soak: several seeded chaos mixes, each with a mid-run PE failure,
+  // all of which must complete, recover and keep the invariants green.
+  const double t_end = run(base_options()).end_time;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    ParallelOptions chaos = base_options();
+    chaos.reliable = true;
+    chaos.checkpoint_every = 1;
+    chaos.fault = FaultPlan::chaos(seed, /*delay=*/2e-4);
+    chaos.fault.failures.push_back(
+        {.pe = static_cast<int>(seed % 8), .at_time = t_end * 0.4});
+    const RunResult r = run(chaos);
+    EXPECT_TRUE(r.complete) << "seed " << seed;
+    EXPECT_TRUE(r.violations.empty())
+        << "seed " << seed << "\n"
+        << r.violations.render();
+    EXPECT_EQ(r.resilience.pe_failures, 1) << "seed " << seed;
+    EXPECT_GE(r.restarts, 1) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace scalemd

@@ -1,0 +1,307 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "des/fault.hpp"
+#include "des/simulator.hpp"
+#include "trace/audit.hpp"
+#include "trace/event_log.hpp"
+#include "trace/timeline.hpp"
+
+namespace scalemd {
+namespace {
+
+MachineModel fault_test_machine() {
+  MachineModel m;
+  m.name = "fault-test";
+  m.send_overhead = 0.1;
+  m.recv_overhead = 0.05;
+  m.latency = 1.0;
+  m.byte_time = 0.0;
+  m.pack_byte_cost = 0.0;
+  m.local_overhead = 0.01;
+  return m;
+}
+
+/// One remote hop: PE 0 sends a counting message to PE 1.
+int deliveries_under(const FaultPlan& plan, int sends = 1) {
+  Simulator sim(2, fault_test_machine());
+  sim.set_fault_plan(plan);
+  int delivered = 0;
+  sim.inject(0, {.fn = [&](ExecContext& ctx) {
+                   for (int i = 0; i < sends; ++i) {
+                     TaskMsg m;
+                     m.bytes = 100;
+                     m.fn = [&delivered](ExecContext&) { ++delivered; };
+                     ctx.send(1, m);
+                   }
+                 }});
+  sim.run();
+  EXPECT_TRUE(sim.idle());
+  EXPECT_TRUE(sim.accounting().conserved());
+  EXPECT_EQ(sim.accounting().pending(), 0u);
+  return delivered;
+}
+
+// --- fault-plan parsing ----------------------------------------------------
+
+TEST(FaultPlanParseTest, FullSchemaRoundTrips) {
+  const std::string text =
+      "# chaos schedule\n"
+      "seed 42\n"
+      "\n"
+      "drop 0.02\n"
+      "dup 0.01\n"
+      "delay 0.05 2e-4\n"
+      "slowdown 3 2.5 0.125\n"
+      "slowdown 1 1.5\n"
+      "fail 2 0.5\n";
+  FaultPlan plan;
+  FaultPlanParseError err;
+  ASSERT_TRUE(parse_fault_plan_text(text, "inline", plan, err)) << err.render();
+  EXPECT_EQ(plan.seed, 42u);
+  EXPECT_DOUBLE_EQ(plan.drop_prob, 0.02);
+  EXPECT_DOUBLE_EQ(plan.dup_prob, 0.01);
+  EXPECT_DOUBLE_EQ(plan.delay_prob, 0.05);
+  EXPECT_DOUBLE_EQ(plan.delay_max, 2e-4);
+  ASSERT_EQ(plan.slowdowns.size(), 2u);
+  EXPECT_EQ(plan.slowdowns[0].pe, 3);
+  EXPECT_DOUBLE_EQ(plan.slowdowns[0].factor, 2.5);
+  EXPECT_DOUBLE_EQ(plan.slowdowns[0].from_time, 0.125);
+  EXPECT_DOUBLE_EQ(plan.slowdowns[1].from_time, 0.0);
+  ASSERT_EQ(plan.failures.size(), 1u);
+  EXPECT_EQ(plan.failures[0].pe, 2);
+  EXPECT_DOUBLE_EQ(plan.failures[0].at_time, 0.5);
+  EXPECT_FALSE(plan.empty());
+}
+
+TEST(FaultPlanParseTest, ErrorsNameFileLineAndReason) {
+  FaultPlan plan;
+  FaultPlanParseError err;
+  EXPECT_FALSE(
+      parse_fault_plan_text("seed 1\nwobble 3\n", "plan.txt", plan, err));
+  EXPECT_EQ(err.file, "plan.txt");
+  EXPECT_EQ(err.line, 2);
+  EXPECT_FALSE(err.reason.empty());
+  EXPECT_NE(err.render().find("plan.txt:2"), std::string::npos);
+
+  EXPECT_FALSE(parse_fault_plan_text("drop 1.5\n", "p", plan, err));
+  EXPECT_EQ(err.line, 1);
+
+  EXPECT_FALSE(parse_fault_plan_text("fail -1 0.5\n", "p", plan, err));
+  EXPECT_EQ(err.line, 1);
+}
+
+TEST(FaultPlanParseTest, MissingFileIsAnErrorNotACrash) {
+  FaultPlan plan;
+  FaultPlanParseError err;
+  EXPECT_FALSE(parse_fault_plan("/nonexistent/fault.plan", plan, err));
+  EXPECT_EQ(err.file, "/nonexistent/fault.plan");
+}
+
+// --- message faults --------------------------------------------------------
+
+TEST(FaultEngineTest, DropProbabilityOneLosesEveryRemoteMessage) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.drop_prob = 1.0;
+  EXPECT_EQ(deliveries_under(plan, 5), 0);
+}
+
+TEST(FaultEngineTest, DropsAreCountedInStatsAndAccounting) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.drop_prob = 1.0;
+  Simulator sim(2, fault_test_machine());
+  sim.set_fault_plan(plan);
+  EventLog log;
+  sim.set_sink(&log);
+  sim.inject(0, {.fn = [&](ExecContext& ctx) {
+                   TaskMsg m;
+                   m.fn = [](ExecContext&) {};
+                   ctx.send(1, m);
+                 }});
+  sim.run();
+  EXPECT_EQ(sim.fault_stats().messages_dropped, 1u);
+  EXPECT_EQ(sim.accounting().dropped_fault, 1u);
+  EXPECT_TRUE(sim.accounting().conserved());
+  ASSERT_EQ(log.faults_of(FaultKind::kMessageDrop).size(), 1u);
+  EXPECT_EQ(log.faults_of(FaultKind::kMessageDrop)[0].pe, 1);
+  EXPECT_EQ(log.faults_of(FaultKind::kMessageDrop)[0].src_pe, 0);
+}
+
+TEST(FaultEngineTest, DuplicationDeliversTwiceWithoutRecovery) {
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.dup_prob = 1.0;
+  EXPECT_EQ(deliveries_under(plan, 4), 8);
+}
+
+TEST(FaultEngineTest, DelayPostponesArrivalButDeliversEverything) {
+  FaultPlan delayed;
+  delayed.seed = 5;
+  delayed.delay_prob = 1.0;
+  delayed.delay_max = 10.0;
+  double t_faulted = 0.0;
+  double t_clean = 0.0;
+  for (int pass = 0; pass < 2; ++pass) {
+    Simulator sim(2, fault_test_machine());
+    if (pass == 0) sim.set_fault_plan(delayed);
+    sim.inject(0, {.fn = [&](ExecContext& ctx) {
+                     TaskMsg m;
+                     m.fn = [](ExecContext& c) { c.charge(0.01); };
+                     ctx.send(1, m);
+                   }});
+    sim.run();
+    (pass == 0 ? t_faulted : t_clean) = sim.time();
+    EXPECT_TRUE(sim.idle());
+  }
+  EXPECT_GT(t_faulted, t_clean);
+  EXPECT_LE(t_faulted, t_clean + 10.0);
+}
+
+TEST(FaultEngineTest, SameSeedReplaysIdentically) {
+  const FaultPlan plan = FaultPlan::chaos(/*seed=*/99);
+  EXPECT_EQ(deliveries_under(plan, 200), deliveries_under(plan, 200));
+}
+
+// --- PE faults -------------------------------------------------------------
+
+TEST(FaultEngineTest, SlowdownStretchesTaskTime) {
+  FaultPlan plan;
+  plan.slowdowns.push_back({.pe = 0, .factor = 3.0, .from_time = 0.0});
+  Simulator slow(1, fault_test_machine());
+  slow.set_fault_plan(plan);
+  Simulator fast(1, fault_test_machine());
+  for (Simulator* s : {&slow, &fast}) {
+    s->inject(0, {.fn = [](ExecContext& ctx) { ctx.charge(1.0); }});
+    s->run();
+  }
+  EXPECT_DOUBLE_EQ(slow.pe_busy(0), 3.0 * fast.pe_busy(0));
+}
+
+TEST(FaultEngineTest, SlowdownFactorOneIsBitwiseExact) {
+  // The fault path multiplies task durations; x1.0 is exact in IEEE, so a
+  // unit slowdown must not perturb the schedule at all.
+  FaultPlan plan;
+  plan.slowdowns.push_back({.pe = 0, .factor = 1.0, .from_time = 0.0});
+  auto completion = [&](bool faulted) {
+    Simulator sim(2, fault_test_machine());
+    if (faulted) sim.set_fault_plan(plan);
+    sim.inject(0, {.fn = [](ExecContext& ctx) {
+                     ctx.charge(0.371);
+                     TaskMsg m;
+                     m.bytes = 64;
+                     m.fn = [](ExecContext& c) { c.charge(0.113); };
+                     ctx.send(1, m);
+                   }});
+    sim.run();
+    return sim.time();
+  };
+  EXPECT_EQ(completion(true), completion(false));
+}
+
+TEST(FaultEngineTest, FailedPeDiscardsItsQueueAndFutureArrivals) {
+  FaultPlan plan;
+  plan.failures.push_back({.pe = 1, .at_time = 0.5});
+  Simulator sim(2, fault_test_machine());
+  sim.set_fault_plan(plan);
+  EventLog log;
+  sim.set_sink(&log);
+  int delivered = 0;
+  // Sender keeps sending past the failure time; latency is 1.0 so even the
+  // first message arrives after the failure at t=0.5.
+  sim.inject(0, {.fn = [&](ExecContext& ctx) {
+                   for (int i = 0; i < 3; ++i) {
+                     TaskMsg m;
+                     m.fn = [&delivered](ExecContext&) { ++delivered; };
+                     ctx.send(1, m);
+                   }
+                 }});
+  sim.run();
+  EXPECT_TRUE(sim.idle());
+  EXPECT_EQ(delivered, 0);
+  EXPECT_TRUE(sim.pe_failed(1));
+  EXPECT_EQ(sim.failed_pes(), std::vector<int>{1});
+  EXPECT_EQ(sim.fault_stats().pe_failures, 1);
+  EXPECT_EQ(sim.accounting().discarded_dead_pe, 3u);
+  EXPECT_TRUE(sim.accounting().conserved());
+  EXPECT_EQ(log.faults_of(FaultKind::kPeFailure).size(), 1u);
+}
+
+TEST(FaultEngineTest, ConservationHoldsUnderChaosMix) {
+  const FaultPlan plan = FaultPlan::chaos(/*seed=*/1234, /*delay=*/0.5);
+  Simulator sim(4, fault_test_machine());
+  sim.set_fault_plan(plan);
+  int delivered = 0;
+  for (int pe = 0; pe < 4; ++pe) {
+    sim.inject(pe, {.fn = [&, pe](ExecContext& ctx) {
+                      for (int i = 0; i < 50; ++i) {
+                        TaskMsg m;
+                        m.bytes = 32;
+                        m.fn = [&delivered](ExecContext&) { ++delivered; };
+                        ctx.send((pe + 1 + i) % 4, m);
+                      }
+                    }});
+  }
+  sim.run();
+  EXPECT_TRUE(sim.idle());
+  const MessageAccounting& a = sim.accounting();
+  EXPECT_TRUE(a.conserved());
+  EXPECT_EQ(a.pending(), 0u);
+  EXPECT_GT(sim.fault_stats().injected(), 0u);
+  // Every message is either executed or attributably removed.
+  EXPECT_EQ(a.executed + a.dropped_fault + a.discarded_dead_pe,
+            a.offered + a.duplicated);
+  EXPECT_EQ(static_cast<std::uint64_t>(delivered) + 4u /* bootstrap tasks */,
+            a.executed);
+}
+
+// --- trace integration -----------------------------------------------------
+
+TEST(FaultTraceTest, TimelineMarksFailuresAndInjectedFaults) {
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.drop_prob = 1.0;
+  plan.failures.push_back({.pe = 1, .at_time = 0.8});
+  Simulator sim(2, fault_test_machine());
+  sim.set_fault_plan(plan);
+  EventLog log;
+  sim.set_sink(&log);
+  sim.inject(0, {.fn = [](ExecContext& ctx) {
+                   ctx.charge(1.0);
+                   TaskMsg m;
+                   m.fn = [](ExecContext&) {};
+                   ctx.send(1, m);
+                 }});
+  sim.run();
+  TimelineOptions opts;
+  opts.num_pes = 2;
+  const std::string view = render_timeline(log, sim.entries(), opts);
+  EXPECT_NE(view.find('X'), std::string::npos);
+  EXPECT_NE(view.find("X pe-failure"), std::string::npos);
+}
+
+TEST(FaultTraceTest, ResilienceTableReportsCounters) {
+  FaultStats f;
+  f.messages_dropped = 3;
+  f.messages_duplicated = 2;
+  f.pe_failures = 1;
+  ReliableStats r;
+  r.retries = 5;
+  r.duplicates_suppressed = 2;
+  const ResilienceStats s =
+      resilience_stats(f, &r, /*checkpoints_taken=*/4, /*restarts=*/1,
+                       /*restart_latency=*/0.25);
+  EXPECT_EQ(s.faults_injected(), 6u);
+  const std::string table = render_resilience(s);
+  EXPECT_NE(table.find("faults injected"), std::string::npos);
+  EXPECT_NE(table.find("retries"), std::string::npos);
+  EXPECT_NE(table.find("checkpoints taken"), std::string::npos);
+  EXPECT_NE(table.find("restart latency"), std::string::npos);
+  EXPECT_NE(table.find("0.250000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scalemd

@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "des/fault.hpp"
+#include "rts/multicast.hpp"
+#include "rts/reduction.hpp"
+#include "rts/reliable.hpp"
+#include "trace/event_log.hpp"
+
+namespace scalemd {
+namespace {
+
+MachineModel rel_test_machine() {
+  MachineModel m;
+  m.name = "reliable-test";
+  m.send_overhead = 0.01;
+  m.recv_overhead = 0.005;
+  m.latency = 0.1;
+  m.byte_time = 0.0;
+  m.pack_byte_cost = 0.0;
+  m.local_overhead = 0.001;
+  return m;
+}
+
+/// N tagged payloads PE 0 -> PE 1; each records into its own slot, so
+/// reordering is invisible but duplication and loss are not.
+struct SlotRun {
+  std::vector<int> hits;        ///< deliveries per payload
+  std::vector<double> values;   ///< value written by each payload
+  ReliableStats stats;
+  bool idle = false;
+};
+
+SlotRun run_slots(const FaultPlan& plan, bool reliable, int n = 20) {
+  Simulator sim(2, rel_test_machine());
+  if (!plan.empty()) sim.set_fault_plan(plan);
+  // A 30% drop rate can eat the default 6-attempt budget (payload *and* ack
+  // are both on the wire); give the soak enough headroom that abandonment
+  // means a real protocol bug.
+  ReliableOptions ropts;
+  ropts.max_attempts = 12;
+  ReliableComm comm(sim, ropts);
+  SlotRun out;
+  out.hits.assign(static_cast<std::size_t>(n), 0);
+  out.values.assign(static_cast<std::size_t>(n), 0.0);
+  sim.inject(0, {.fn = [&](ExecContext& ctx) {
+                   for (int i = 0; i < n; ++i) {
+                     TaskMsg m;
+                     m.bytes = 64;
+                     m.fn = [&out, i](ExecContext&) {
+                       ++out.hits[static_cast<std::size_t>(i)];
+                       out.values[static_cast<std::size_t>(i)] = 0.5 + i;
+                     };
+                     if (reliable) {
+                       comm.send(ctx, 1, m);
+                     } else {
+                       ctx.send(1, m);
+                     }
+                   }
+                 }});
+  sim.run();
+  out.stats = comm.stats();
+  out.idle = sim.idle();
+  return out;
+}
+
+FaultPlan dup_everything(std::uint64_t seed = 1) {
+  FaultPlan p;
+  p.seed = seed;
+  p.dup_prob = 1.0;
+  return p;
+}
+
+FaultPlan lossy(std::uint64_t seed) {
+  FaultPlan p;
+  p.seed = seed;
+  p.drop_prob = 0.3;
+  p.delay_prob = 0.3;
+  p.delay_max = 0.05;
+  return p;
+}
+
+// --- adversarial delivery without recovery is detectable -------------------
+
+TEST(ReliableCommTest, DuplicationWithoutRecoveryDoubleExecutes) {
+  const SlotRun r = run_slots(dup_everything(), /*reliable=*/false);
+  ASSERT_TRUE(r.idle);
+  for (int h : r.hits) EXPECT_EQ(h, 2);  // the defect dedup must fix
+}
+
+TEST(ReliableCommTest, DropsWithoutRecoveryLoseMessages) {
+  const SlotRun r = run_slots(lossy(/*seed=*/7), /*reliable=*/false);
+  ASSERT_TRUE(r.idle);
+  int lost = 0;
+  for (int h : r.hits) lost += h == 0 ? 1 : 0;
+  EXPECT_GT(lost, 0);  // the defect retry must fix
+}
+
+// --- dedup + retry recover exactly-once delivery ---------------------------
+
+TEST(ReliableCommTest, DedupSuppressesEveryDuplicate) {
+  const SlotRun r = run_slots(dup_everything(), /*reliable=*/true);
+  ASSERT_TRUE(r.idle);
+  for (int h : r.hits) EXPECT_EQ(h, 1);
+  EXPECT_GT(r.stats.duplicates_suppressed, 0u);
+  EXPECT_EQ(r.stats.abandoned, 0u);
+}
+
+TEST(ReliableCommTest, RetryRecoversDroppedAndDelayedMessages) {
+  for (std::uint64_t seed : {7u, 21u, 1234u}) {
+    const SlotRun r = run_slots(lossy(seed), /*reliable=*/true);
+    ASSERT_TRUE(r.idle);
+    for (int h : r.hits) EXPECT_EQ(h, 1) << "seed " << seed;
+    EXPECT_GT(r.stats.retries, 0u) << "seed " << seed;
+    EXPECT_EQ(r.stats.abandoned, 0u) << "seed " << seed;
+  }
+}
+
+TEST(ReliableCommTest, RecoveredRunMatchesFaultFreeBitwise) {
+  // Payload effects under dedup+retry must be *identical* to the fault-free
+  // run: same slots hit exactly once, same values bit for bit.
+  const SlotRun clean = run_slots(FaultPlan{}, /*reliable=*/true);
+  for (std::uint64_t seed : {3u, 99u}) {
+    const SlotRun chaos = run_slots(lossy(seed), /*reliable=*/true);
+    ASSERT_TRUE(chaos.idle);
+    EXPECT_EQ(chaos.hits, clean.hits);
+    ASSERT_EQ(chaos.values.size(), clean.values.size());
+    for (std::size_t i = 0; i < clean.values.size(); ++i) {
+      EXPECT_EQ(chaos.values[i], clean.values[i]);  // bitwise, not NEAR
+    }
+  }
+}
+
+TEST(ReliableCommTest, FaultFreePlanIsPassThrough) {
+  // With an empty plan the layer must not wrap, ack or arm timers: the
+  // schedule is bit-identical to plain sends.
+  auto completion = [&](bool through_reliable) {
+    Simulator sim(2, rel_test_machine());
+    ReliableComm comm(sim);
+    EXPECT_FALSE(comm.armed());
+    sim.inject(0, {.fn = [&](ExecContext& ctx) {
+                     TaskMsg m;
+                     m.bytes = 128;
+                     m.fn = [](ExecContext& c) { c.charge(0.02); };
+                     if (through_reliable) {
+                       comm.send(ctx, 1, m);
+                     } else {
+                       ctx.send(1, m);
+                     }
+                   }});
+    sim.run();
+    EXPECT_EQ(comm.stats().reliable_sends, 0u);
+    return sim.time();
+  };
+  EXPECT_EQ(completion(true), completion(false));
+}
+
+TEST(ReliableCommTest, AbandonsSendsToAFailedPe) {
+  FaultPlan plan;
+  plan.failures.push_back({.pe = 1, .at_time = 0.05});
+  Simulator sim(2, rel_test_machine());
+  sim.set_fault_plan(plan);
+  EventLog log;
+  sim.set_sink(&log);
+  ReliableComm comm(sim);
+  int delivered = 0;
+  sim.inject(0, {.fn = [&](ExecContext& ctx) {
+                   TaskMsg m;
+                   m.fn = [&delivered](ExecContext&) { ++delivered; };
+                   comm.send(ctx, 1, m);
+                 }});
+  sim.run();
+  // The machine must drain (timers bounded by the dead-PE check), the send
+  // must be given up on and recorded as lost.
+  EXPECT_TRUE(sim.idle());
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(comm.stats().abandoned, 1u);
+  EXPECT_EQ(log.faults_of(FaultKind::kMessageLost).size(), 1u);
+}
+
+// --- multicast / reduction under adversarial delivery ----------------------
+
+TEST(ReliableMulticastTest, ExactlyOncePerDestinationUnderDuplication) {
+  Simulator sim(5, rel_test_machine());
+  sim.set_fault_plan(dup_everything(/*seed=*/5));
+  ReliableComm comm(sim);
+  std::map<int, int> received;
+  const std::vector<int> dests{1, 2, 3, 4};
+  sim.inject(0, {.fn = [&](ExecContext& ctx) {
+                   multicast(
+                       ctx, dests, 100, /*optimized=*/true,
+                       [&](int pe) {
+                         TaskMsg m;
+                         m.fn = [&received, pe](ExecContext&) { ++received[pe]; };
+                         return m;
+                       },
+                       &comm);
+                 }});
+  sim.run();
+  ASSERT_TRUE(sim.idle());
+  for (int pe : dests) EXPECT_EQ(received[pe], 1) << "pe " << pe;
+}
+
+TEST(ReliableMulticastTest, WithoutRecoveryDuplicationIsVisible) {
+  Simulator sim(3, rel_test_machine());
+  sim.set_fault_plan(dup_everything(/*seed=*/5));
+  std::map<int, int> received;
+  const std::vector<int> dests{1, 2};
+  sim.inject(0, {.fn = [&](ExecContext& ctx) {
+                   multicast(ctx, dests, 100, /*optimized=*/true, [&](int pe) {
+                     TaskMsg m;
+                     m.fn = [&received, pe](ExecContext&) { ++received[pe]; };
+                     return m;
+                   });
+                 }});
+  sim.run();
+  EXPECT_EQ(received[1], 2);
+  EXPECT_EQ(received[2], 2);
+}
+
+TEST(ReliableReducerTest, TreeTotalsSurviveDuplicatedForwards) {
+  // Without the reliable layer, duplicated tree edges double-count partial
+  // sums; with it, totals match the fault-free value exactly.
+  auto total_under = [&](bool reliable) {
+    Simulator sim(8, rel_test_machine());
+    sim.set_fault_plan(dup_everything(/*seed=*/17));
+    ReliableComm comm(sim);
+    const EntryId e = sim.entries().add("reduce", WorkCategory::kComm);
+    std::vector<int> pe_of;
+    for (int pe = 0; pe < 8; ++pe) pe_of.push_back(pe);
+    double result = -1.0;
+    Reducer red(pe_of, e, [&](int, double total) { result = total; });
+    if (reliable) red.set_reliable(&comm);
+    for (int pe = 0; pe < 8; ++pe) {
+      sim.inject(pe, {.fn = [&red, pe](ExecContext& ctx) {
+                        red.contribute(ctx, pe, 0, 1.0 + pe);
+                      }});
+    }
+    sim.run();
+    EXPECT_TRUE(sim.idle());
+    return result;
+  };
+  const double expected = 1 + 2 + 3 + 4 + 5 + 6 + 7 + 8;
+  EXPECT_DOUBLE_EQ(total_under(true), expected);
+  EXPECT_NE(total_under(false), expected);  // the defect made visible
+}
+
+TEST(ReliableReducerTest, TotalsExactUnderLossyNetwork) {
+  for (std::uint64_t seed : {2u, 11u}) {
+    Simulator sim(6, rel_test_machine());
+    sim.set_fault_plan(lossy(seed));
+    ReliableComm comm(sim);
+    const EntryId e = sim.entries().add("reduce", WorkCategory::kComm);
+    std::vector<int> pe_of;
+    for (int pe = 0; pe < 6; ++pe) pe_of.push_back(pe);
+    std::map<int, double> results;
+    Reducer red(pe_of, e,
+                [&](int round, double total) { results[round] = total; });
+    red.set_reliable(&comm);
+    for (int pe = 0; pe < 6; ++pe) {
+      sim.inject(pe, {.fn = [&red, pe](ExecContext& ctx) {
+                        red.contribute(ctx, pe, 0, 10.0 * (pe + 1));
+                        red.contribute(ctx, pe, 1, 1.0);
+                      }});
+    }
+    sim.run();
+    ASSERT_TRUE(sim.idle()) << "seed " << seed;
+    EXPECT_DOUBLE_EQ(results[0], 210.0) << "seed " << seed;
+    EXPECT_DOUBLE_EQ(results[1], 6.0) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace scalemd

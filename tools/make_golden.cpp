@@ -42,16 +42,28 @@ int main(int argc, char** argv) {
   }
 
   for (const GoldenSpec* s : specs) {
-    const Trajectory t = record_trajectory(*s);
     const std::string path = golden_path(dir, *s);
     try {
+      const Trajectory t = record_trajectory(*s);
       write_trajectory(t, path);
+      // Read-back verification: the file on disk must parse and round-trip
+      // bit-exactly, or the golden is useless as a reference.
+      const Trajectory back = read_trajectory(path);
+      CompareOptions bitwise;
+      bitwise.mode = CompareMode::kUlp;
+      bitwise.max_ulps = 0;
+      const CompareResult r = compare_trajectories(back, t, bitwise);
+      if (!r.match) {
+        std::fprintf(stderr, "error: %s did not round-trip: %s\n", path.c_str(),
+                     r.message.c_str());
+        return 1;
+      }
+      std::printf("%s: %d atoms, %zu frames, %d steps -> %s\n", s->name,
+                  t.atom_count, t.frames.size(), s->steps, path.c_str());
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 1;
     }
-    std::printf("%s: %d atoms, %zu frames, %d steps -> %s\n", s->name,
-                t.atom_count, t.frames.size(), s->steps, path.c_str());
   }
   return 0;
 }

@@ -1,12 +1,37 @@
 // Micro-benchmarks (google-benchmark) of the runtime substrate: DES event
 // throughput, multicast sender cost (naive vs optimized — section 4.2.3 at
 // the microscope), and reduction trees.
+//
+// Backend mode (`--backend sim|threads`, also `--backend=...`): runs the
+// waterbox through the full parallel runtime on the chosen execution
+// backend and reports per-step time — virtual seconds for the DES machine,
+// measured wall-clock seconds for the threaded backend. Flags:
+//   --pes N       virtual processors (default 8)
+//   --threads N   threaded-backend workers (0 = all hardware threads)
+//   --steps N     timed steps after the LB warm-up (default 5)
+//   --box S       cubic box side in A (default 97.0, ~89k atoms)
+//   --json [path] emit the numbers as JSON (stdout when no path follows)
+//   --audit       run BOTH backends and print the Ideal/Modeled/Measured
+//                 audit table (modeled-vs-measured methodology)
+// Compare `--backend=threads --threads=8` against `--threads=1` for the
+// shared-memory speedup; run without any of these flags for the registered
+// google-benchmark microbenches.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/parallel_sim.hpp"
 #include "des/simulator.hpp"
+#include "gen/water_box.hpp"
 #include "rts/multicast.hpp"
 #include "rts/reduction.hpp"
+#include "trace/audit.hpp"
+#include "trace/summary.hpp"
 
 namespace scalemd {
 namespace {
@@ -84,5 +109,177 @@ void BM_ReductionTree(benchmark::State& state) {
 }
 BENCHMARK(BM_ReductionTree)->Arg(64)->Arg(1024);
 
+// ---------------------------------------------------------------------------
+// Backend mode: the parallel runtime end to end, DES vs real threads.
+// ---------------------------------------------------------------------------
+
+struct BackendRun {
+  BackendKind backend;
+  bool wall_clock = false;
+  int steps = 0;
+  double seconds_per_step = 0.0;  ///< tail average over the timed cycle
+  double window_seconds = 0.0;    ///< timed-cycle span in the backend's clock
+  AuditRow audit;
+  AuditRow ideal;
+};
+
+BackendRun run_backend_once(const Workload& wl, BackendKind backend, int pes,
+                            int threads, int steps) {
+  ParallelOptions opts;
+  opts.num_pes = pes;
+  opts.numeric = true;
+  opts.dt_fs = 1.0;
+  opts.backend = backend;
+  opts.threads = threads;
+  ParallelSim sim(wl, opts);
+
+  // LB warm-up exactly as the paper runs it: measure, greedy, measure,
+  // refine — then the timed window.
+  sim.run_cycle(2);
+  sim.load_balance(/*refine_only=*/false);
+  sim.run_cycle(2);
+  sim.load_balance(/*refine_only=*/true);
+
+  SummaryProfile prof(sim.backend().entries(), pes);
+  prof.set_wall_clock(sim.backend().wall_clock());
+  sim.attach_sink(&prof);
+  const double t0 = sim.backend().time();
+  sim.run_cycle(steps);
+
+  BackendRun r;
+  r.backend = backend;
+  r.wall_clock = sim.backend().wall_clock();
+  r.steps = steps;
+  r.window_seconds = sim.backend().time() - t0;
+  r.seconds_per_step = sim.seconds_per_step_tail(steps);
+  // A cycle of `steps` steps evaluates forces steps + 1 times.
+  r.audit = actual_audit(prof, r.window_seconds, pes, steps + 1);
+  r.ideal = ideal_audit(sim.ideal_nonbonded_seconds() * (steps + 1),
+                        sim.ideal_bonded_seconds() * (steps + 1),
+                        sim.ideal_integration_seconds() * (steps + 1), pes,
+                        steps + 1);
+  return r;
+}
+
+void print_backend_json(std::FILE* f, const BackendRun& r, int pes, int threads,
+                        int atoms) {
+  std::fprintf(f,
+               "{\"backend\": \"%s\", \"clock\": \"%s\", \"pes\": %d, "
+               "\"threads\": %d, \"atoms\": %d, \"steps\": %d, "
+               "\"seconds_per_step\": %.6g, \"window_seconds\": %.6g}\n",
+               backend_name(r.backend), r.wall_clock ? "wall" : "virtual", pes,
+               threads, atoms, r.steps, r.seconds_per_step, r.window_seconds);
+}
+
+int run_backend_bench(BackendKind backend, int pes, int threads, int steps,
+                      double box_side, bool audit, bool json,
+                      const char* json_path) {
+  Molecule mol = make_water_box({box_side, box_side, box_side}, /*seed=*/42);
+  mol.assign_velocities(300.0, /*seed=*/7);
+  std::printf("water box %.0f A side, %d atoms, %d PEs, %d timed steps\n",
+              box_side, mol.atom_count(), pes, steps);
+  const Workload wl(mol, MachineModel::asci_red());
+
+  const BackendRun r = run_backend_once(wl, backend, pes, threads, steps);
+  std::printf("%s backend: %.6f %s s/step (window %.6f s)\n",
+              backend_name(r.backend), r.seconds_per_step,
+              r.wall_clock ? "wall-clock" : "virtual", r.window_seconds);
+
+  if (audit) {
+    // Modeled vs measured, side by side: the DES run predicts, the threaded
+    // run measures. Reuse `r` for whichever side the caller asked for.
+    const BackendRun modeled = backend == BackendKind::kSimulated
+                                   ? r
+                                   : run_backend_once(wl, BackendKind::kSimulated,
+                                                      pes, threads, steps);
+    const BackendRun measured = backend == BackendKind::kThreaded
+                                    ? r
+                                    : run_backend_once(wl, BackendKind::kThreaded,
+                                                       pes, threads, steps);
+    std::printf("\n%s\n",
+                render_audit(modeled.ideal, modeled.audit, measured.audit).c_str());
+  }
+
+  if (json) {
+    std::FILE* f = stdout;
+    if (json_path != nullptr) {
+      f = std::fopen(json_path, "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot open %s\n", json_path);
+        return 1;
+      }
+    }
+    print_backend_json(f, r, pes, threads, mol.atom_count());
+    if (f != stdout) {
+      std::fclose(f);
+      std::printf("wrote %s\n", json_path);
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace scalemd
+
+int main(int argc, char** argv) {
+  using scalemd::BackendKind;
+
+  bool have_backend = false;
+  bool audit = false;
+  bool json = false;
+  const char* json_path = nullptr;
+  BackendKind backend = BackendKind::kSimulated;
+  int pes = 8;
+  int threads = 0;
+  int steps = 5;
+  double box_side = 97.0;
+  std::vector<char*> passthrough{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const auto next_val = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* backend_arg = nullptr;
+    if (std::strncmp(argv[i], "--backend=", 10) == 0) {
+      backend_arg = argv[i] + 10;
+    } else if (std::strcmp(argv[i], "--backend") == 0) {
+      backend_arg = next_val();
+    }
+    if (backend_arg != nullptr) {
+      if (!scalemd::backend_from_name(backend_arg, backend)) {
+        std::fprintf(stderr, "unknown backend '%s' (want sim|threads)\n",
+                     backend_arg);
+        return 1;
+      }
+      have_backend = true;
+    } else if (std::strcmp(argv[i], "--audit") == 0) {
+      audit = true;
+      have_backend = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+      // The path operand is optional: bare --json prints to stdout.
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        json_path = argv[++i];
+      }
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = std::atoi(argv[i] + 10);
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      if (const char* v = next_val()) threads = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--pes") == 0) {
+      if (const char* v = next_val()) pes = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--steps") == 0) {
+      if (const char* v = next_val()) steps = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--box") == 0) {
+      if (const char* v = next_val()) box_side = std::atof(v);
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (have_backend) {
+    return scalemd::run_backend_bench(backend, pes, threads, steps, box_side,
+                                      audit, json, json_path);
+  }
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

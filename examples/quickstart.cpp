@@ -4,11 +4,19 @@
 //
 // Usage: quickstart [--kernel scalar|tiled|tiled+threads] [--threads N]
 //                   [--check]
+//        quickstart --backend=sim|threads [--pes N] [--threads N] [--check]
 //        quickstart --pes N [--fault-seed S | --fault-plan FILE]
 //                   [--checkpoint-every N] [--check]
 //
 // --check attaches the physics-invariant checker (src/check/) to the run and
 // reports any violated invariant (energy drift, net force/momentum, ...).
+//
+// The --backend form runs the waterbox preset through the parallel runtime
+// on the chosen execution backend: `sim` replays the discrete-event machine
+// model (virtual time), `threads` maps the PEs onto real worker threads
+// (wall-clock time, --threads N workers, 0 = all hardware threads). Both
+// backends produce bitwise-identical trajectories — that equivalence is
+// pinned by tests/test_backend_diff.cpp.
 //
 // The second form runs the waterbox preset on the simulated parallel machine
 // with the fault-tolerant runtime armed: --fault-seed S injects the generic
@@ -40,10 +48,67 @@ int usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s [--kernel scalar|tiled|tiled+threads] [--threads N]"
                " [--check]\n"
+               "       %s --backend=sim|threads [--pes N] [--threads N]"
+               " [--check]\n"
                "       %s --pes N [--fault-seed S | --fault-plan FILE]"
                " [--checkpoint-every N] [--check]\n",
-               prog, prog);
+               prog, prog, prog);
   return 1;
+}
+
+/// The backend demo: waterbox on the parallel runtime, DES or real threads.
+int run_parallel(scalemd::BackendKind backend, int pes, int threads,
+                 bool check) {
+  using namespace scalemd;
+
+  Molecule mol = make_water_box({16.0, 16.0, 16.0}, /*seed=*/11);
+  mol.assign_velocities(300.0, /*seed=*/101);
+  mol.suggested_patch_size = 8.0;
+  NonbondedOptions nb;
+  nb.cutoff = 6.5;
+  nb.switch_dist = 5.5;
+
+  const Workload workload(mol, MachineModel::asci_red(), nb);
+  ParallelOptions opts;
+  opts.num_pes = pes;
+  opts.numeric = true;
+  opts.dt_fs = 1.0;
+  opts.backend = backend;
+  opts.threads = threads;
+  opts.lb.kind = LbStrategyKind::kGreedyRefine;
+  ParallelSim sim(workload, opts);
+  std::printf("system: waterbox, %d atoms on %d PEs, backend %s\n",
+              mol.atom_count(), pes, backend_name(backend));
+
+  InvariantOptions iopts;
+  iopts.check_energy = false;  // a handful of steps; drift bound is for runs
+  InvariantChecker checker(iopts);
+  if (check) checker.attach(sim);
+
+  constexpr int kCycles = 3;
+  constexpr int kSteps = 2;
+  for (int c = 0; c < kCycles; ++c) {
+    if (c > 0) sim.load_balance();  // greedy once, then refine
+    sim.run_cycle(kSteps);
+  }
+
+  std::printf("%s time: %.6f s for %d steps (%.3f ms/step tail)\n",
+              sim.backend().wall_clock() ? "wall-clock" : "virtual",
+              sim.backend().time(), sim.total_steps(),
+              sim.seconds_per_step_tail(kSteps) * 1e3);
+
+  if (check) {
+    std::printf("invariants: %llu checks",
+                static_cast<unsigned long long>(checker.checks_run()));
+    if (checker.ok()) {
+      std::printf(", all passed\n");
+    } else {
+      std::printf(", %zu VIOLATIONS\n%s", checker.log().size(),
+                  checker.log().render().c_str());
+      return 1;
+    }
+  }
+  return 0;
 }
 
 /// The chaos demo: waterbox on the simulated machine, resilient runtime on.
@@ -123,14 +188,34 @@ int main(int argc, char** argv) {
   int pes = 0;  // > 0 selects the parallel chaos demo
   int checkpoint_every = 1;
   bool have_plan = false;
+  bool have_backend = false;
+  BackendKind backend = BackendKind::kSimulated;
   FaultPlan plan;
   for (int i = 1; i < argc; ++i) {
+    // --backend takes either "--backend=threads" or "--backend threads".
+    const char* backend_arg = nullptr;
+    if (std::strncmp(argv[i], "--backend=", 10) == 0) {
+      backend_arg = argv[i] + 10;
+    } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
+      backend_arg = argv[++i];
+    }
+    if (backend_arg != nullptr) {
+      if (!backend_from_name(backend_arg, backend)) {
+        std::fprintf(stderr, "unknown backend '%s' (want sim|threads)\n",
+                     backend_arg);
+        return 1;
+      }
+      have_backend = true;
+      continue;
+    }
     if (std::strcmp(argv[i], "--kernel") == 0 && i + 1 < argc) {
       if (!kernel_from_name(argv[++i], kernel)) {
         std::fprintf(stderr, "unknown kernel '%s' (want scalar|tiled|tiled+threads)\n",
                      argv[i]);
         return 1;
       }
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = std::atoi(argv[i] + 10);
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--check") == 0) {
@@ -155,6 +240,15 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (have_backend) {
+    if (have_plan) {
+      std::fprintf(stderr,
+                   "--backend and fault injection are mutually exclusive: the "
+                   "resilient runtime runs on the simulated machine\n");
+      return 1;
+    }
+    return run_parallel(backend, pes > 0 ? pes : 8, threads, check);
+  }
   if (pes > 0 || have_plan) {
     if (pes <= 0) pes = 8;
     return run_chaos(pes, plan, checkpoint_every, check);

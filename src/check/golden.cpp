@@ -7,8 +7,10 @@
 #include <limits>
 #include <stdexcept>
 
+#include "check/invariants.hpp"
 #include "gen/presets.hpp"
 #include "gen/water_box.hpp"
+#include "seq/integrator.hpp"
 
 namespace scalemd {
 
@@ -391,6 +393,54 @@ Trajectory record_trajectory(const GoldenSpec& spec, NonbondedKernel kernel,
   for (int s = 1; s <= spec.steps; ++s) {
     engine.step();
     if (s % spec.record_every == 0) record(s);
+  }
+  return t;
+}
+
+Trajectory record_parallel_trajectory(const GoldenSpec& spec,
+                                      const ParallelGoldenOptions& popts,
+                                      InvariantChecker* checker) {
+  Molecule mol = spec.make();
+  NonbondedOptions nb = spec.engine.nonbonded;
+  nb.kernel = popts.kernel;
+
+  ParallelOptions opts;
+  opts.num_pes = popts.num_pes;
+  opts.backend = popts.backend;
+  opts.threads = popts.threads;
+  opts.lb.kind = popts.lb;
+  opts.numeric = true;
+  opts.dt_fs = spec.engine.dt_fs;
+
+  Workload wl(mol, opts.machine, nb);
+  ParallelSim sim(wl, opts);
+  if (checker != nullptr) checker->attach(sim);
+
+  std::vector<double> mass;
+  mass.reserve(static_cast<std::size_t>(mol.atom_count()));
+  for (const Atom& a : mol.atoms()) mass.push_back(a.mass);
+
+  Trajectory t;
+  t.system = spec.name;
+  t.atom_count = mol.atom_count();
+  t.dt_fs = spec.engine.dt_fs;
+  const int cycles = spec.steps / spec.record_every;
+  for (int c = 0; c < cycles; ++c) {
+    // Remap between recording cycles so LB (object migration, proxy-set
+    // changes) happens mid-trajectory — the equivalence claim covers it.
+    if (c > 0 && popts.lb != LbStrategyKind::kNone) sim.load_balance();
+    sim.run_cycle(spec.record_every);
+
+    TrajectoryFrame fr;
+    fr.step = (c + 1) * spec.record_every;
+    // The cycle's closing force round is its last global step index.
+    fr.potential = sim.potential_terms_at_step(
+        static_cast<int>(sim.step_completion().size()) - 1);
+    fr.positions = sim.gather_positions();
+    fr.velocities = sim.gather_velocities();
+    fr.forces = sim.gather_forces();
+    fr.kinetic = kinetic_energy(fr.velocities, mass);
+    t.frames.push_back(std::move(fr));
   }
   return t;
 }

@@ -7,11 +7,14 @@
 #include <string_view>
 #include <vector>
 
+#include "core/parallel_sim.hpp"
 #include "seq/engine.hpp"
 #include "topo/molecule.hpp"
 #include "util/vec3.hpp"
 
 namespace scalemd {
+
+class InvariantChecker;
 
 /// One recorded instant of a simulation: full dynamic state plus the energy
 /// breakdown at that step.
@@ -123,6 +126,29 @@ const GoldenSpec* find_golden_spec(std::string_view name);
 Trajectory record_trajectory(const GoldenSpec& spec,
                              NonbondedKernel kernel = NonbondedKernel::kScalar,
                              bool use_pairlist = false, int threads = 0);
+
+/// How to run a golden spec through the parallel runtime instead of the
+/// sequential engine: processor count, execution backend, LB strategy and
+/// force kernel. Every combination must reproduce the same trajectory —
+/// that is the differential test matrix of the backend-equivalence suite.
+struct ParallelGoldenOptions {
+  int num_pes = 4;
+  BackendKind backend = BackendKind::kSimulated;
+  int threads = 0;  ///< threaded backend worker count (0 = hardware)
+  LbStrategyKind lb = LbStrategyKind::kNone;
+  NonbondedKernel kernel = NonbondedKernel::kScalar;
+};
+
+/// Runs `spec` through ParallelSim (numeric mode) and records one frame at
+/// the end of every recording cycle. Unlike record_trajectory there is no
+/// step-0 frame: the parallel runtime cannot observe pre-step state, so
+/// compare against a reference with its first frame dropped. With lb !=
+/// kNone, load_balance() runs between recording cycles, exercising object
+/// migration mid-trajectory. If `checker` is non-null it is attached to
+/// the sim before any cycle runs (per-cycle physics invariants).
+Trajectory record_parallel_trajectory(const GoldenSpec& spec,
+                                      const ParallelGoldenOptions& popts,
+                                      InvariantChecker* checker = nullptr);
 
 /// "<dir>/<spec name>.golden".
 std::string golden_path(const std::string& dir, const GoldenSpec& spec);

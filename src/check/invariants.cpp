@@ -159,7 +159,7 @@ void InvariantChecker::observe_cycle(const ParallelSim& sim) {
   // message the runtime loses without the fault engine's involvement breaks
   // the balance.
   ++checks_run_;
-  const MessageAccounting& acct = sim.sim().accounting();
+  const MessageAccounting& acct = sim.backend().accounting();
   if (!acct.conserved()) {
     fail(step, "message-conservation",
          static_cast<double>(acct.offered + acct.duplicated),
@@ -176,7 +176,7 @@ void InvariantChecker::observe_cycle(const ParallelSim& sim) {
   // the identity above, anything still queued here is a genuine leak, not a
   // fault-engine drop (those are already accounted).
   ++checks_run_;
-  if (!sim.sim().idle() || acct.pending() != 0) {
+  if (!sim.backend().idle() || acct.pending() != 0) {
     fail(step, "message-conservation", static_cast<double>(acct.pending()), 0.0,
          "messages still queued at run_cycle quiesce");
   }

@@ -14,6 +14,7 @@
 #include "lb/rcb.hpp"
 #include "lb/refine.hpp"
 #include "rts/multicast.hpp"
+#include "rts/threaded_backend.hpp"
 #include "seq/integrator.hpp"
 #include "util/units.hpp"
 
@@ -36,17 +37,17 @@ struct ParallelSim::PatchRt {
 };
 
 /// Proxy-patch state for one (patch, pe): the compute objects on that PE
-/// that read the patch, plus the force-accumulation buffer they fill.
-/// Each compute writes into its own scratch slot; the slots are folded into
-/// `frc` in `computes` order once every compute has finished, so the sum is
-/// independent of the order the computes actually executed in — message
-/// faults and retries reorder execution but not the physics.
+/// that read the patch, plus one private force buffer (scratch slot) per
+/// compute. The home patch folds every slot of every proxy in global
+/// compute-id order (patch_contribs_) once all contributions are in, so
+/// the sum is independent of the order the computes actually executed in —
+/// message faults, retries, placement changes and real thread timing
+/// reorder execution but not the physics.
 struct ParallelSim::ProxyRt {
   int patch = 0;
   int pe = 0;
   std::vector<int> computes;
   int pending = 0;  ///< computes not yet finished this step
-  std::vector<Vec3> frc;
   std::vector<std::vector<Vec3>> scratch;  ///< per-compute, parallel to `computes`
 };
 
@@ -70,7 +71,7 @@ struct ParallelSim::Checkpoint {
   std::vector<int> patch_home;
   std::vector<int> compute_pe;
   std::vector<double> reduction_totals;
-  std::vector<double> potential_per_step;
+  std::vector<EnergyTerms> potential_per_step;
   std::vector<double> step_completion;
   std::vector<int> steps_done_counter;
   int global_steps = 0;
@@ -134,6 +135,7 @@ ParallelSim::ParallelSim(const Workload& workload, const ParallelOptions& opts)
     }
     nb_ctx_ = std::make_unique<NonbondedContext>(mol_->params, excl_, charges_,
                                                  lj_types_, wl_->nonbonded);
+    tiled_ws_.resize(static_cast<std::size_t>(opts_.num_pes));
     if (wl_->nonbonded.kernel == NonbondedKernel::kTiledThreads) {
       const int t = wl_->nonbonded.threads > 0 ? wl_->nonbonded.threads
                                                : ThreadPool::default_threads();
@@ -141,26 +143,44 @@ ParallelSim::ParallelSim(const Workload& workload, const ParallelOptions& opts)
     }
   }
 
-  sim_ = std::make_unique<Simulator>(opts_.num_pes, opts_.machine);
-  if (!opts_.fault.empty()) sim_->set_fault_plan(opts_.fault);
-  e_advance_ = sim_->entries().add("Patch::integrate", WorkCategory::kIntegration);
-  e_coords_ = sim_->entries().add("Proxy::recvCoordinates", WorkCategory::kComm);
-  e_forces_ = sim_->entries().add("Patch::recvForces", WorkCategory::kComm);
-  e_self_ = sim_->entries().add("ComputeNonbondedSelf::doWork", WorkCategory::kNonbonded);
-  e_pair_ = sim_->entries().add("ComputeNonbondedPair::doWork", WorkCategory::kNonbonded);
-  e_bonded_intra_ = sim_->entries().add("ComputeBondedIntra::doWork", WorkCategory::kBonded);
-  e_bonded_inter_ = sim_->entries().add("ComputeBondedInter::doWork", WorkCategory::kBonded);
-  e_reduction_ = sim_->entries().add("Reduction::combine", WorkCategory::kComm);
-  e_migrate_ = sim_->entries().add("Migrate::recv", WorkCategory::kComm);
-  e_checkpoint_ = sim_->entries().add("Checkpoint::store", WorkCategory::kComm);
+  if (opts_.backend == BackendKind::kThreaded) {
+    // The threaded backend runs tasks for real: only numeric mode has real
+    // work to run, and the layers built on DES timer semantics (fault
+    // injection, reliable delivery, checkpoint/restart) stay DES-only.
+    assert(opts_.numeric && "threaded backend requires numeric mode");
+    assert(opts_.fault.empty() && !opts_.reliable &&
+           opts_.checkpoint_every == 0 &&
+           "fault/recovery layers require the simulated backend");
+    assert(wl_->nonbonded.kernel != NonbondedKernel::kTiledThreads &&
+           "tiled-threads kernel would nest thread pools; use kTiled");
+    exec_ = std::make_unique<ThreadedBackend>(opts_.num_pes, opts_.machine,
+                                              opts_.threads);
+  } else {
+    auto des = std::make_unique<Simulator>(opts_.num_pes, opts_.machine);
+    des_ = des.get();
+    exec_ = std::move(des);
+    if (!opts_.fault.empty()) des_->set_fault_plan(opts_.fault);
+  }
+  EntryRegistry& reg = exec_->entries();
+  e_advance_ = reg.add("Patch::integrate", WorkCategory::kIntegration);
+  e_coords_ = reg.add("Proxy::recvCoordinates", WorkCategory::kComm);
+  e_forces_ = reg.add("Patch::recvForces", WorkCategory::kComm);
+  e_self_ = reg.add("ComputeNonbondedSelf::doWork", WorkCategory::kNonbonded);
+  e_pair_ = reg.add("ComputeNonbondedPair::doWork", WorkCategory::kNonbonded);
+  e_bonded_intra_ = reg.add("ComputeBondedIntra::doWork", WorkCategory::kBonded);
+  e_bonded_inter_ = reg.add("ComputeBondedInter::doWork", WorkCategory::kBonded);
+  e_reduction_ = reg.add("Reduction::combine", WorkCategory::kComm);
+  e_migrate_ = reg.add("Migrate::recv", WorkCategory::kComm);
+  e_checkpoint_ = reg.add("Checkpoint::store", WorkCategory::kComm);
   if (opts_.reliable) {
-    reliable_ = std::make_unique<ReliableComm>(*sim_, opts_.reliable_opts);
+    assert(des_ != nullptr);
+    reliable_ = std::make_unique<ReliableComm>(*des_, opts_.reliable_opts);
   }
 
   db_ = std::make_unique<LoadDatabase>(
       static_cast<std::size_t>(wl_->plan.migratable_count()), opts_.num_pes);
   sinks_.add(db_.get());
-  sim_->set_sink(&sinks_);
+  exec_->set_sink(&sinks_);
 
   // Patch runtime state from the decomposition.
   const auto& patch_atoms = wl_->decomp.patch_atoms();
@@ -252,7 +272,7 @@ void ParallelSim::rebuild_dataflow() {
     }
     patch_proxy_ids_[static_cast<std::size_t>(patch)].push_back(
         static_cast<int>(proxies_.size()));
-    proxies_.push_back(ProxyRt{patch, pe, {}, 0, {}, {}});
+    proxies_.push_back(ProxyRt{patch, pe, {}, 0, {}});
     return proxies_.back();
   };
 
@@ -263,17 +283,29 @@ void ParallelSim::rebuild_dataflow() {
     computes_[i].deps_pending = static_cast<int>(computes_[i].deps.size());
   }
 
+  patch_contribs_.assign(patches_.size(), {});
   for (std::size_t p = 0; p < patches_.size(); ++p) {
     patches_[p].contrib_expected =
         static_cast<int>(patch_proxy_ids_[p].size());
     patches_[p].contrib_received = 0;
     if (opts_.numeric) {
+      // Canonical fold order for the patch's force: every contributing
+      // (proxy, slot) pair sorted by compute id. Within one proxy the
+      // slots are already ascending (computes registered in id order), so
+      // sorting by the slot's compute id gives one global order that no
+      // placement or schedule can change.
+      std::vector<std::pair<int, std::pair<int, int>>> order;
       for (int id : patch_proxy_ids_[p]) {
         ProxyRt& proxy = proxies_[static_cast<std::size_t>(id)];
-        proxy.frc.assign(patches_[p].atoms.size(), Vec3{});
         proxy.scratch.assign(proxy.computes.size(),
                              std::vector<Vec3>(patches_[p].atoms.size()));
+        for (std::size_t k = 0; k < proxy.computes.size(); ++k) {
+          order.push_back({proxy.computes[k], {id, static_cast<int>(k)}});
+        }
       }
+      std::sort(order.begin(), order.end());
+      patch_contribs_[p].reserve(order.size());
+      for (const auto& o : order) patch_contribs_[p].push_back(o.second);
     }
   }
 }
@@ -342,7 +374,6 @@ void ParallelSim::on_recv_coords(ExecContext& ctx, int patch, int pe) {
   ProxyRt& proxy = proxies_[static_cast<std::size_t>(proxy_index(patch, pe))];
   proxy.pending = static_cast<int>(proxy.computes.size());
   if (opts_.numeric) {
-    std::fill(proxy.frc.begin(), proxy.frc.end(), Vec3{});
     for (auto& s : proxy.scratch) std::fill(s.begin(), s.end(), Vec3{});
   }
   for (int c : proxy.computes) {
@@ -398,7 +429,8 @@ void ParallelSim::run_compute(ExecContext& ctx, int compute) {
             break;
           case NonbondedKernel::kTiled:
             e = nonbonded_self_range_tiled(*nb_ctx_, pa.atoms, pa.pos, fa, b,
-                                           en, w, tiled_ws_);
+                                           en, w,
+                                           tiled_ws_[static_cast<std::size_t>(pe)]);
             break;
           case NonbondedKernel::kTiledThreads:
             e = nonbonded_self_range_tiled_mt(*nb_ctx_, pa.atoms, pa.pos, fa,
@@ -423,7 +455,7 @@ void ParallelSim::run_compute(ExecContext& ctx, int compute) {
           case NonbondedKernel::kTiled:
             e = nonbonded_ab_range_tiled(*nb_ctx_, pa.atoms, pa.pos, fa,
                                          pb.atoms, pb.pos, fb, b, en, w,
-                                         tiled_ws_);
+                                         tiled_ws_[static_cast<std::size_t>(pe)]);
             break;
           case NonbondedKernel::kTiledThreads:
             e = nonbonded_ab_range_tiled_mt(*nb_ctx_, pa.atoms, pa.pos, fa,
@@ -484,11 +516,17 @@ void ParallelSim::run_compute(ExecContext& ctx, int compute) {
       }
     }
     rt.work = w;
-    if (static_cast<std::size_t>(step_global) >= potential_per_step_.size()) {
-      potential_per_step_.resize(static_cast<std::size_t>(step_global) + 1, 0.0);
+    // Potential energy goes into this compute's private (compute, step)
+    // slot by assignment — no shared accumulator to race on or to
+    // double-count under fault replay. attempt_cycle folds the slots in
+    // compute-id order once the cycle has quiesced.
+    const int local_step = step_global - step_base_;
+    if (local_step >= 0 && local_step <= cycle_target_) {
+      potential_scratch_[static_cast<std::size_t>(compute) *
+                             static_cast<std::size_t>(cycle_target_ + 1) +
+                         static_cast<std::size_t>(local_step)] = e;
     }
-    potential_per_step_[static_cast<std::size_t>(step_global)] += e.total();
-    ctx.charge(noisy(work_cost(w, ctx.machine())));
+    if (ctx.models_cost()) ctx.charge(noisy(work_cost(w, ctx.machine())));
   } else {
     ctx.charge(noisy(
         work_cost(wl_->work.per_compute(static_cast<std::size_t>(compute)),
@@ -504,18 +542,11 @@ void ParallelSim::run_compute(ExecContext& ctx, int compute) {
 }
 
 void ParallelSim::complete_patch_on_pe(ExecContext& ctx, int patch, int pe) {
-  // Fold the per-compute scratch slots into the proxy buffer in canonical
-  // (slot) order; together with the home patch summing proxy buffers in
-  // patch_proxy_ids_ order at advance(), the total force is independent of
-  // message arrival and compute execution order — a prerequisite for
-  // recovery (retried/replayed deliveries reorder arrivals but must leave
-  // the physics bit-identical).
-  if (opts_.numeric) {
-    ProxyRt& proxy = proxies_[static_cast<std::size_t>(proxy_index(patch, pe))];
-    for (const std::vector<Vec3>& s : proxy.scratch) {
-      for (std::size_t i = 0; i < proxy.frc.size(); ++i) proxy.frc[i] += s[i];
-    }
-  }
+  // All of this PE's computes reading `patch` are done; their scratch
+  // slots stay put (advance() folds every slot of every proxy in global
+  // compute-id order) and the home patch just gets the completion signal.
+  // Under the threaded backend the mailbox handoff of that signal is also
+  // what makes the slot writes visible to the home PE's worker.
   const int home = patch_home_[static_cast<std::size_t>(patch)];
   if (pe == home) {
     on_contribution(ctx, patch);
@@ -556,17 +587,22 @@ void ParallelSim::advance(ExecContext& ctx, int patch) {
   PatchRt& pr = patches_[static_cast<std::size_t>(patch)];
   const int s = pr.step;
   const int global = step_base_ + s;
-  ctx.charge(noisy(static_cast<double>(pr.natoms()) * ctx.machine().integrate_cost));
+  if (ctx.models_cost()) {
+    ctx.charge(noisy(static_cast<double>(pr.natoms()) * ctx.machine().integrate_cost));
+  }
 
   const double dt = opts_.dt_fs / units::kAkmaTimeFs;
   double reduction_value = 1.0;
   if (opts_.numeric) {
-    // Canonical force accumulation: sum the proxy buffers in proxy-id
-    // order, independent of force-message arrival order.
+    // Canonical force accumulation: sum every contributing scratch slot in
+    // global compute-id order (patch_contribs_), independent of message
+    // arrival order, execution order, object placement and backend.
     std::fill(pr.frc.begin(), pr.frc.end(), Vec3{});
-    for (int id : patch_proxy_ids_[static_cast<std::size_t>(patch)]) {
-      const ProxyRt& proxy = proxies_[static_cast<std::size_t>(id)];
-      for (std::size_t i = 0; i < pr.frc.size(); ++i) pr.frc[i] += proxy.frc[i];
+    for (const auto& [proxy_id, slot] : patch_contribs_[static_cast<std::size_t>(patch)]) {
+      const std::vector<Vec3>& src =
+          proxies_[static_cast<std::size_t>(proxy_id)]
+              .scratch[static_cast<std::size_t>(slot)];
+      for (std::size_t i = 0; i < pr.frc.size(); ++i) pr.frc[i] += src[i];
     }
   }
   if (opts_.numeric) {
@@ -582,7 +618,6 @@ void ParallelSim::advance(ExecContext& ctx, int patch) {
   if (s < cycle_target_) {
     if (opts_.numeric) {
       for (std::size_t i = 0; i < pr.pos.size(); ++i) pr.pos[i] += pr.vel[i] * dt;
-      std::fill(pr.frc.begin(), pr.frc.end(), Vec3{});
     }
     pr.step = s + 1;
     publish_coords(ctx, patch);
@@ -590,9 +625,12 @@ void ParallelSim::advance(ExecContext& ctx, int patch) {
 
   reducer_->contribute(ctx, patch, global, reduction_value);
 
-  ++steps_done_counter_[static_cast<std::size_t>(global)];
-  if (steps_done_counter_[static_cast<std::size_t>(global)] == active_patches_) {
-    step_completion_[static_cast<std::size_t>(global)] = ctx.now();
+  {
+    std::lock_guard<std::mutex> lock(progress_mu_);
+    ++steps_done_counter_[static_cast<std::size_t>(global)];
+    if (steps_done_counter_[static_cast<std::size_t>(global)] == active_patches_) {
+      step_completion_[static_cast<std::size_t>(global)] = ctx.now();
+    }
   }
 }
 
@@ -606,8 +644,14 @@ void ParallelSim::attempt_cycle(int steps) {
   step_base_ = static_cast<int>(step_completion_.size());
   step_completion_.resize(static_cast<std::size_t>(step_base_ + steps + 1), 0.0);
   steps_done_counter_.resize(static_cast<std::size_t>(step_base_ + steps + 1), 0);
+  if (opts_.numeric) {
+    // One slot per (compute, local step); a cycle of T steps runs T + 1
+    // force rounds (bootstrap step 0 through the closing half-kick at T).
+    potential_scratch_.assign(
+        computes_.size() * static_cast<std::size_t>(steps + 1), EnergyTerms{});
+  }
 
-  const double t0 = sim_->time();
+  const double t0 = exec_->time();
   for (std::size_t p = 0; p < patches_.size(); ++p) {
     PatchRt& pr = patches_[p];
     pr.step = 0;
@@ -618,14 +662,29 @@ void ParallelSim::attempt_cycle(int steps) {
     msg.priority = -3;
     const int patch = static_cast<int>(p);
     msg.fn = [this, patch](ExecContext& c) { publish_coords(c, patch); };
-    sim_->inject(patch_home_[p], std::move(msg), t0);
+    exec_->inject(patch_home_[p], std::move(msg), t0);
   }
-  sim_->run();
+  exec_->run();
   // The machine always drains, faults or not: messages to dead PEs are
   // discarded, retry timers abandon after max_attempts, and nothing blocks.
-  assert(sim_->idle());
+  assert(exec_->idle());
   global_steps_ += steps;
-  if (opts_.numeric) migrate_atoms();
+
+  if (opts_.numeric) {
+    // Fold the per-(compute, step) potential slots in compute-id order.
+    // Assignment (not +=) keeps a fault-replayed cycle idempotent.
+    potential_per_step_.resize(static_cast<std::size_t>(step_base_ + steps + 1),
+                               EnergyTerms{});
+    for (int s = 0; s <= steps; ++s) {
+      EnergyTerms sum;
+      for (std::size_t c = 0; c < computes_.size(); ++c) {
+        sum += potential_scratch_[c * static_cast<std::size_t>(steps + 1) +
+                                  static_cast<std::size_t>(s)];
+      }
+      potential_per_step_[static_cast<std::size_t>(step_base_ + s)] = sum;
+    }
+    migrate_atoms();
+  }
 }
 
 bool ParallelSim::last_cycle_complete() const {
@@ -665,12 +724,22 @@ void ParallelSim::run_cycle(int steps) {
   if (cycle_observer_) cycle_observer_(*this, steps);
 }
 
+double ParallelSim::step_completion_at(int s) const {
+  if (s < 0 || static_cast<std::size_t>(s) >= step_completion_.size()) return 0.0;
+  return step_completion_[static_cast<std::size_t>(s)];
+}
+
 double ParallelSim::seconds_per_step_tail(int steps) const {
+  // Clamp instead of asserting: callers probing before any cycle ran (or
+  // asking for a longer tail than was recorded) get a defined 0.0 /
+  // whole-history answer rather than UB.
   const std::size_t n = step_completion_.size();
-  assert(steps >= 1 && static_cast<std::size_t>(steps) < n);
+  if (n < 2) return 0.0;
+  std::size_t span = steps < 1 ? 1 : static_cast<std::size_t>(steps);
+  span = std::min(span, n - 1);
   const double t1 = step_completion_[n - 1];
-  const double t0 = step_completion_[n - 1 - static_cast<std::size_t>(steps)];
-  return (t1 - t0) / steps;
+  const double t0 = step_completion_[n - 1 - span];
+  return (t1 - t0) / static_cast<double>(span);
 }
 
 double ParallelSim::run_benchmark(int measure_steps, int timed_steps) {
@@ -687,10 +756,11 @@ double ParallelSim::run_benchmark(int measure_steps, int timed_steps) {
 // ---------------------------------------------------------------------------
 
 void ParallelSim::take_checkpoint() {
-  assert(sim_->idle());
+  assert(des_ != nullptr && "checkpointing is DES-only");
+  assert(des_->idle());
   if (!ckpt_) ckpt_ = std::make_unique<Checkpoint>();
   Checkpoint& c = *ckpt_;
-  c.taken_at = sim_->time();
+  c.taken_at = des_->time();
   c.patches = patches_;
   c.atom_loc = atom_loc_;
   c.compute_deps.resize(computes_.size());
@@ -707,7 +777,7 @@ void ParallelSim::take_checkpoint() {
   c.noise_rng = noise_rng_;
   cycles_since_ckpt_.clear();
   ++checkpoints_taken_;
-  sim_->record_fault({FaultKind::kCheckpoint, -1, -1, c.taken_at, 0.0});
+  des_->record_fault({FaultKind::kCheckpoint, -1, -1, c.taken_at, 0.0});
 
   // Model the coordinated snapshot's cost: each live PE spends time
   // serializing its resident patch state (this is the overhead the audit
@@ -717,24 +787,24 @@ void ParallelSim::take_checkpoint() {
     bytes_on_pe[static_cast<std::size_t>(patch_home_[p])] +=
         96.0 * static_cast<double>(patches_[p].natoms());
   }
-  const double t0 = sim_->time();
+  const double t0 = des_->time();
   for (int pe = 0; pe < opts_.num_pes; ++pe) {
-    if (sim_->pe_failed(pe)) continue;
+    if (des_->pe_failed(pe)) continue;
     const double cost =
         bytes_on_pe[static_cast<std::size_t>(pe)] * opts_.machine.pack_byte_cost;
     TaskMsg msg;
     msg.entry = e_checkpoint_;
     msg.fn = [cost](ExecContext& cc) { cc.charge(cost); };
-    sim_->inject(pe, std::move(msg), t0);
+    des_->inject(pe, std::move(msg), t0);
   }
-  sim_->run();
-  assert(sim_->idle());
+  des_->run();
+  assert(des_->idle());
 }
 
 void ParallelSim::restore_checkpoint() {
-  assert(ckpt_);
+  assert(ckpt_ && des_ != nullptr);
   const Checkpoint& c = *ckpt_;
-  const double now = sim_->time();
+  const double now = des_->time();
   const double lost = now - c.taken_at;
   restart_lost_time_ += lost;
   ++restarts_;
@@ -759,9 +829,9 @@ void ParallelSim::restore_checkpoint() {
 
   // The virtual clock is NOT rewound: the lost interval models the real
   // cost of redoing work, and is what restart_latency() reports.
-  sim_->record_fault({FaultKind::kRestart, -1, -1, now, lost});
+  des_->record_fault({FaultKind::kRestart, -1, -1, now, lost});
 
-  const std::vector<int> dead = sim_->failed_pes();
+  const std::vector<int> dead = des_->failed_pes();
   if (!dead.empty()) {
     evacuate_failed_pes(dead);
   } else {
@@ -776,7 +846,7 @@ void ParallelSim::restore_checkpoint() {
 void ParallelSim::evacuate_failed_pes(const std::vector<int>& dead) {
   std::vector<char> is_dead(static_cast<std::size_t>(opts_.num_pes), 0);
   for (int pe : dead) is_dead[static_cast<std::size_t>(pe)] = 1;
-  const std::vector<double> busy = sim_->busy_times();
+  const std::vector<double> busy = exec_->busy_times();
 
   // 1. Re-home orphaned patches: prefer the live PE already running the
   //    most computes that read the patch (fewest new proxies), tie-break
@@ -842,8 +912,10 @@ void ParallelSim::evacuate_failed_pes(const std::vector<int>& dead) {
   }
 
   for (int pe : dead) {
-    sim_->record_fault({FaultKind::kEvacuation, pe, -1, sim_->time(),
-                        static_cast<double>(moved)});
+    if (des_ != nullptr) {
+      des_->record_fault({FaultKind::kEvacuation, pe, -1, des_->time(),
+                          static_cast<double>(moved)});
+    }
   }
 
   // Patch homes changed: the reduction tree spans different PEs now.
@@ -863,8 +935,10 @@ void ParallelSim::load_balance(bool refine_only) {
 
   // Graceful degradation: if PEs have failed, first make sure nothing is
   // homed on them (idempotent when already evacuated), and remember to
-  // keep the strategy's output off them below.
-  const std::vector<int> dead = sim_->failed_pes();
+  // keep the strategy's output off them below. Only the DES machine can
+  // fail PEs; the threaded backend has none to report.
+  const std::vector<int> dead =
+      des_ != nullptr ? des_->failed_pes() : std::vector<int>{};
   if (!dead.empty() &&
       static_cast<std::size_t>(dead.size()) < static_cast<std::size_t>(opts_.num_pes)) {
     evacuate_failed_pes(dead);
@@ -922,7 +996,7 @@ void ParallelSim::load_balance(bool refine_only) {
 
   // Apply the new mapping; model each migration as a message carrying the
   // object's state from its old PE to its new one.
-  const double t0 = sim_->time();
+  const double t0 = exec_->time();
   for (std::size_t j = 0; j < map.size(); ++j) {
     const int compute = object_compute[j];
     const int old_pe = compute_pe_[static_cast<std::size_t>(compute)];
@@ -938,9 +1012,9 @@ void ParallelSim::load_balance(bool refine_only) {
       arrive.fn = [](ExecContext& cc) { cc.charge(2e-6); };
       c.send(new_pe, std::move(arrive));
     };
-    sim_->inject(old_pe, std::move(msg), t0);
+    exec_->inject(old_pe, std::move(msg), t0);
   }
-  sim_->run();
+  exec_->run();
   rebuild_dataflow();
   db_->reset();
 }
@@ -1055,7 +1129,7 @@ void ParallelSim::migrate_atoms() {
     }
     // Model the migration traffic: one batched message per (src, dst) PE
     // pair, sized by the number of atoms moved.
-    const double t0 = sim_->time();
+    const double t0 = exec_->time();
     for (const auto& [edge, count] : traffic) {
       const auto [src_pe, dst_pe] = edge;
       const std::size_t bytes = 32 + 96 * static_cast<std::size_t>(count);
@@ -1070,9 +1144,9 @@ void ParallelSim::migrate_atoms() {
         };
         c.send(dst_pe, std::move(arrive));
       };
-      sim_->inject(src_pe, std::move(msg), t0);
+      exec_->inject(src_pe, std::move(msg), t0);
     }
-    sim_->run();
+    exec_->run();
   }
   rebuild_dataflow();
 }
@@ -1161,10 +1235,15 @@ std::vector<Vec3> ParallelSim::gather_forces() const {
   return out;
 }
 
+EnergyTerms ParallelSim::potential_terms_at_step(int s) const {
+  if (s < 0 || static_cast<std::size_t>(s) >= potential_per_step_.size()) {
+    return EnergyTerms{};
+  }
+  return potential_per_step_[static_cast<std::size_t>(s)];
+}
+
 double ParallelSim::potential_at_step(int s) const {
-  return static_cast<std::size_t>(s) < potential_per_step_.size()
-             ? potential_per_step_[static_cast<std::size_t>(s)]
-             : 0.0;
+  return potential_terms_at_step(s).total();
 }
 
 }  // namespace scalemd

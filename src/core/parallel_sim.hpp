@@ -1,7 +1,10 @@
 #pragma once
 
+#include <cassert>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <utility>
 #include <vector>
 
 #include "core/compute_plan.hpp"
@@ -55,6 +58,14 @@ struct Workload {
 struct ParallelOptions {
   int num_pes = 1;
   MachineModel machine = MachineModel::asci_red();
+  /// Which machine runs the message-driven runtime: the discrete-event
+  /// model (kSimulated, the default) or real worker threads (kThreaded).
+  /// The threaded backend requires numeric mode and excludes the DES-only
+  /// layers (faults, reliable delivery, checkpointing).
+  BackendKind backend = BackendKind::kSimulated;
+  /// Worker threads for the threaded backend (0 = one per hardware thread,
+  /// clamped to num_pes). Ignored by the simulated backend.
+  int threads = 0;
   LbPolicy lb;
   /// Use the single-packing multicast of section 4.2.3.
   bool optimized_multicast = true;
@@ -104,14 +115,32 @@ class ParallelSim {
   void load_balance(bool refine_only = false);
 
   // --- results & instrumentation -------------------------------------
-  Simulator& sim() { return *sim_; }
-  const Simulator& sim() const { return *sim_; }
+  /// The execution machine, whichever kind is active.
+  ExecBackend& backend() { return *exec_; }
+  const ExecBackend& backend() const { return *exec_; }
 
-  /// Virtual completion time of each global step so far.
+  /// The DES machine. Only valid with the simulated backend (asserts);
+  /// backend-agnostic callers should use backend() instead.
+  Simulator& sim() {
+    assert(des_ != nullptr && "sim() requires the simulated backend");
+    return *des_;
+  }
+  const Simulator& sim() const {
+    assert(des_ != nullptr && "sim() requires the simulated backend");
+    return *des_;
+  }
+
+  /// Completion time of each global step so far, in the backend's clock
+  /// (virtual seconds simulated, wall-clock seconds threaded).
   const std::vector<double>& step_completion() const { return step_completion_; }
+
+  /// step_completion()[s], or 0.0 when `s` is out of range — never UB.
+  double step_completion_at(int s) const;
 
   /// Steady-state s/step over the last `steps` completed steps
   /// (difference of completion times, excluding the cycle's bootstrap step).
+  /// Out-of-range requests clamp: fewer than two recorded steps give 0.0,
+  /// and `steps` is clamped to the recorded span.
   double seconds_per_step_tail(int steps) const;
 
   /// Attaches an additional trace sink (event log, summary, ...). Detach
@@ -145,7 +174,10 @@ class ParallelSim {
   std::vector<Vec3> gather_forces() const;
 
   /// Numeric mode: potential energy accumulated by computes at step s
-  /// (global step index).
+  /// (global step index). Folded in canonical compute-id order at cycle
+  /// end, so the value is bitwise identical across backends, placements
+  /// and thread counts. Out-of-range steps give zero terms.
+  EnergyTerms potential_terms_at_step(int s) const;
   double potential_at_step(int s) const;
   /// Reduction results per round (numeric: sum over patches of local
   /// kinetic energy; frozen: patch count).
@@ -207,12 +239,15 @@ class ParallelSim {
   std::vector<double> charges_;
   std::vector<int> lj_types_;
   std::unique_ptr<NonbondedContext> nb_ctx_;
-  // Tiled-kernel scratch (numeric mode, Workload::nonbonded.kernel != scalar).
-  TiledWorkspace tiled_ws_;
+  // Tiled-kernel scratch (numeric mode, Workload::nonbonded.kernel !=
+  // scalar). One workspace per PE: under the threaded backend each PE's
+  // worker runs kernels concurrently, and the scratch must not be shared.
+  std::vector<TiledWorkspace> tiled_ws_;
   TiledThreadWorkspace tiled_mt_ws_;
   std::unique_ptr<ThreadPool> nb_pool_;
 
-  std::unique_ptr<Simulator> sim_;
+  std::unique_ptr<ExecBackend> exec_;
+  Simulator* des_ = nullptr;  ///< exec_ downcast when simulated, else null
   MultiSink sinks_;
   std::unique_ptr<LoadDatabase> db_;
 
@@ -223,6 +258,11 @@ class ParallelSim {
   std::vector<PatchRt> patches_;
   std::vector<ProxyRt> proxies_;
   std::vector<std::vector<int>> patch_proxy_ids_;  // patch -> proxy indices
+  /// Per patch: every (proxy index, scratch slot) contributing a force
+  /// buffer, sorted by the contributing compute's global id. advance()
+  /// folds in this order, making the total force independent of placement,
+  /// execution order, backend and thread count.
+  std::vector<std::vector<std::pair<int, int>>> patch_contribs_;
   std::vector<ComputeRt> computes_;
   std::vector<int> patch_home_;
   std::vector<int> compute_pe_;
@@ -238,7 +278,15 @@ class ParallelSim {
   int step_base_ = 0;          // global index of the current cycle's step 0
   std::vector<int> steps_done_counter_;
   std::vector<double> step_completion_;
-  std::vector<double> potential_per_step_;
+  /// Guards the cross-patch step bookkeeping above: under the threaded
+  /// backend, advance() for different patches runs on different workers.
+  std::mutex progress_mu_;
+  /// Per-(compute, local step) potential terms for the running cycle,
+  /// indexed compute * (cycle_target_ + 1) + step. Disjoint slots (no
+  /// sharing), written by assignment (idempotent under fault replay),
+  /// folded into potential_per_step_ in compute-id order at cycle end.
+  std::vector<EnergyTerms> potential_scratch_;
+  std::vector<EnergyTerms> potential_per_step_;
   int active_patches_ = 0;
 
   // Resilience state.

@@ -5,11 +5,51 @@
 
 namespace scalemd {
 
-EntryId EntryRegistry::add(std::string name, WorkCategory category) {
-  names_.push_back(std::move(name));
-  categories_.push_back(category);
-  return static_cast<EntryId>(names_.size()) - 1;
-}
+/// DES implementation of ExecContext: charges advance the virtual clock,
+/// sends go through the network model (LogGP link serialization at both
+/// endpoints) and post() is a genuine virtual-time timer.
+class DesContext final : public ExecContext {
+ public:
+  DesContext(Simulator* sim, int pe, double start)
+      : ExecContext(pe, start), sim_(sim) {}
+
+  const MachineModel& machine() const override { return sim_->machine(); }
+
+  void send(int dest, TaskMsg msg) override {
+    const MachineModel& m = sim_->machine();
+    if (dest == pe_) {
+      charge(m.local_overhead);
+      send_cost_ += m.local_overhead;
+      sim_->deliver(pe_, dest, std::move(msg), now(), now(), /*remote=*/false);
+    } else {
+      charge(m.send_overhead);
+      send_cost_ += m.send_overhead;
+      // Link (LogGP gap) serialization at both endpoints: a PE's outgoing and
+      // incoming links each carry one message at a time at 1/byte_time.
+      const double transfer = static_cast<double>(msg.bytes) * m.byte_time;
+      auto& src = sim_->pes_[static_cast<std::size_t>(pe_)];
+      const double tx_start = std::max(now(), src.out_nic_free);
+      src.out_nic_free = tx_start + transfer;
+      const double wire_arrival = tx_start + transfer + m.latency;
+      auto& dst = sim_->pes_[static_cast<std::size_t>(dest)];
+      const double deliver = std::max(wire_arrival, dst.in_nic_free);
+      dst.in_nic_free = deliver + transfer;
+      sim_->deliver(pe_, dest, std::move(msg), now(), deliver, /*remote=*/true);
+    }
+  }
+
+  void post(TaskMsg msg, double delay) override {
+    // Uncharged local self-message after `delay` virtual seconds: the timer
+    // primitive of the reliable-delivery layer. Exempt from message faults
+    // (local delivery), so a pending timer always eventually fires.
+    sim_->deliver(pe_, pe_, std::move(msg), now(), now() + delay, /*remote=*/false);
+  }
+
+ private:
+  friend class Simulator;
+
+  Simulator* sim_;
+};
 
 Simulator::Simulator(int num_pes, const MachineModel& machine)
     : machine_(machine), pes_(static_cast<std::size_t>(num_pes)) {
@@ -175,7 +215,7 @@ void Simulator::execute(int pe, Ready ready, double start) {
   Processor& p = pes_[static_cast<std::size_t>(pe)];
   assert(start >= p.busy_until);
 
-  ExecContext ctx(this, pe, start);
+  DesContext ctx(this, pe, start);
   if (ready.remote) {
     ctx.charge(machine_.recv_overhead);
     ctx.recv_cost_ = machine_.recv_overhead;
@@ -211,36 +251,6 @@ std::vector<double> Simulator::busy_times() const {
   out.reserve(pes_.size());
   for (const Processor& p : pes_) out.push_back(p.busy_sum);
   return out;
-}
-
-void ExecContext::send(int dest, TaskMsg msg) {
-  const MachineModel& m = sim_->machine();
-  if (dest == pe_) {
-    charge(m.local_overhead);
-    send_cost_ += m.local_overhead;
-    sim_->deliver(pe_, dest, std::move(msg), now(), now(), /*remote=*/false);
-  } else {
-    charge(m.send_overhead);
-    send_cost_ += m.send_overhead;
-    // Link (LogGP gap) serialization at both endpoints: a PE's outgoing and
-    // incoming links each carry one message at a time at 1/byte_time.
-    const double transfer = static_cast<double>(msg.bytes) * m.byte_time;
-    auto& src = sim_->pes_[static_cast<std::size_t>(pe_)];
-    const double tx_start = std::max(now(), src.out_nic_free);
-    src.out_nic_free = tx_start + transfer;
-    const double wire_arrival = tx_start + transfer + m.latency;
-    auto& dst = sim_->pes_[static_cast<std::size_t>(dest)];
-    const double deliver = std::max(wire_arrival, dst.in_nic_free);
-    dst.in_nic_free = deliver + transfer;
-    sim_->deliver(pe_, dest, std::move(msg), now(), deliver, /*remote=*/true);
-  }
-}
-
-void ExecContext::post(TaskMsg msg, double delay) {
-  // Uncharged local self-message after `delay` virtual seconds: the timer
-  // primitive of the reliable-delivery layer. Exempt from message faults
-  // (local delivery), so a pending timer always eventually fires.
-  sim_->deliver(pe_, pe_, std::move(msg), now(), now() + delay, /*remote=*/false);
 }
 
 }  // namespace scalemd

@@ -1,124 +1,76 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <limits>
 #include <queue>
-#include <string>
 #include <vector>
 
 #include "des/fault.hpp"
 #include "des/machine.hpp"
 #include "des/trace_sink.hpp"
+#include "rts/exec_backend.hpp"
 #include "util/random.hpp"
 
 namespace scalemd {
 
-class ExecContext;
-
-/// The body of an entry-method invocation. It runs to completion
-/// (non-preemptive, Charm++-style) and reports its cost by calling
-/// ExecContext::charge with the virtual seconds consumed.
-using TaskFn = std::function<void(ExecContext&)>;
-
-/// A message carrying an entry-method invocation to a virtual processor.
-struct TaskMsg {
-  EntryId entry = 0;
-  std::uint64_t object = 0;  ///< target object id, for load measurement
-  int priority = 0;          ///< lower runs first among available messages
-  std::size_t bytes = 0;     ///< payload size for the network model
-  TaskFn fn;
-};
-
-/// Names and audit categories of entry methods. The registry is what makes
-/// summary profiles readable ("dozens of entry methods" vs thousands of
-/// functions, as the paper argues).
-class EntryRegistry {
- public:
-  EntryId add(std::string name, WorkCategory category);
-  const std::string& name(EntryId id) const { return names_[static_cast<std::size_t>(id)]; }
-  WorkCategory category(EntryId id) const {
-    return categories_[static_cast<std::size_t>(id)];
-  }
-  int count() const { return static_cast<int>(names_.size()); }
-
- private:
-  std::vector<std::string> names_;
-  std::vector<WorkCategory> categories_;
-};
-
-/// End-of-run message accounting: where every message handed to the machine
-/// ended up. The conservation identity
-///   offered + duplicated ==
-///       dropped_fault + discarded_dead_pe + executed + pending()
-/// holds at every instant; at a clean quiesce pending() is zero, and any
-/// nonzero dropped/discarded terms are attributable to the fault engine.
-/// This is what lets the invariant checker distinguish "dropped by fault"
-/// from "still queued at termination".
-struct MessageAccounting {
-  std::uint64_t offered = 0;           ///< deliver attempts (sends + injects)
-  std::uint64_t duplicated = 0;        ///< extra arrivals forged by duplication
-  std::uint64_t dropped_fault = 0;     ///< vanished on the wire (fault engine)
-  std::uint64_t discarded_dead_pe = 0; ///< addressed to / queued on a failed PE
-  std::uint64_t executed = 0;          ///< ran to completion
-  std::uint64_t pending_network = 0;   ///< arrival events not yet processed
-  std::uint64_t pending_ready = 0;     ///< queued on a PE, not yet executed
-
-  std::uint64_t pending() const { return pending_network + pending_ready; }
-  bool conserved() const {
-    return offered + duplicated == dropped_fault + discarded_dead_pe +
-                                       executed + pending_network + pending_ready;
-  }
-};
+class DesContext;
 
 /// Discrete-event simulator of a message-passing machine running a
 /// data-driven (Charm++-style) scheduler on every virtual processor:
 /// each PE repeatedly picks the best-priority *arrived* message and runs its
 /// task to completion; task costs and message delivery times follow the
 /// MachineModel. Deterministic: identical inputs give identical schedules.
+/// This is the ExecBackend used when ParallelSim models the machine instead
+/// of running on it (BackendKind::kSimulated).
 ///
 /// A FaultPlan (set_fault_plan) arms the built-in fault engine: remote
 /// messages may be dropped, duplicated or delayed (seeded, per-message
 /// deterministic), PEs may slow down by a factor or fail outright at a
 /// scheduled virtual time. With the default (empty) plan every fault path
 /// is skipped and the schedule is identical to a fault-free build.
-class Simulator {
+class Simulator final : public ExecBackend {
  public:
   Simulator(int num_pes, const MachineModel& machine);
 
-  int num_pes() const { return static_cast<int>(pes_.size()); }
-  const MachineModel& machine() const { return machine_; }
-  EntryRegistry& entries() { return entries_; }
-  const EntryRegistry& entries() const { return entries_; }
+  int num_pes() const override { return static_cast<int>(pes_.size()); }
+  const MachineModel& machine() const override { return machine_; }
+  EntryRegistry& entries() override { return entries_; }
+  const EntryRegistry& entries() const override { return entries_; }
 
   /// Attaches an instrumentation sink (may be null to disable).
-  void set_sink(TraceSink* sink) { sink_ = sink; }
+  void set_sink(TraceSink* sink) override { sink_ = sink; }
 
   /// Injects a message arriving at `pe` at absolute virtual time `time`
   /// (no send-side cost is charged; use for bootstrap messages).
-  void inject(int pe, TaskMsg msg, double time = 0.0);
+  void inject(int pe, TaskMsg msg, double time = 0.0) override;
 
+  /// Processes events until none remain.
+  void run() override { run(std::numeric_limits<double>::infinity()); }
   /// Processes events until none remain or virtual time exceeds `until`.
-  void run(double until = std::numeric_limits<double>::infinity());
+  void run(double until);
 
   /// True if no undelivered or unprocessed messages remain.
-  bool idle() const;
+  bool idle() const override;
 
   /// Virtual time of the latest task completion so far.
-  double time() const { return horizon_; }
+  double time() const override { return horizon_; }
 
   /// Total busy (executing) virtual seconds of `pe` so far.
   double pe_busy(int pe) const { return pes_[static_cast<std::size_t>(pe)].busy_sum; }
 
   /// Per-PE busy times (for utilization and imbalance metrics).
-  std::vector<double> busy_times() const;
+  std::vector<double> busy_times() const override;
 
   /// Number of tasks executed so far (all PEs).
-  std::uint64_t tasks_executed() const { return tasks_executed_; }
+  std::uint64_t tasks_executed() const override { return tasks_executed_; }
   /// Number of remote messages delivered so far.
   std::uint64_t remote_messages() const { return remote_messages_; }
   /// Total bytes carried by remote messages so far.
   std::uint64_t remote_bytes() const { return remote_bytes_; }
+
+  /// Times are modeled virtual seconds, not measured.
+  bool wall_clock() const override { return false; }
+  BackendKind kind() const override { return BackendKind::kSimulated; }
 
   // --- fault engine ---------------------------------------------------
   /// Arms the fault engine (replaces any previous plan). Call before run();
@@ -136,7 +88,7 @@ class Simulator {
   std::vector<int> failed_pes() const;
 
   /// Message accounting so far (see MessageAccounting).
-  const MessageAccounting& accounting() const { return acct_; }
+  const MessageAccounting& accounting() const override { return acct_; }
 
   /// Emits a fault/recovery record to the attached sink (used by the
   /// recovery layers — reliable delivery, checkpointing, evacuation — so
@@ -146,7 +98,7 @@ class Simulator {
   }
 
  private:
-  friend class ExecContext;
+  friend class DesContext;
 
   struct Ready {
     int priority;
@@ -223,53 +175,7 @@ class Simulator {
   MessageAccounting acct_;
 };
 
-/// Handle given to a running task: lets it consume virtual CPU time and send
-/// messages. Valid only during the task's execution.
-class ExecContext {
- public:
-  /// PE executing the task.
-  int pe() const { return pe_; }
-  /// Virtual time at which the task started.
-  double start() const { return start_; }
-  /// Current virtual time (start + charged so far).
-  double now() const { return start_ + charged_; }
-  /// Virtual seconds consumed so far by this task.
-  double charged() const { return charged_; }
-  const MachineModel& machine() const { return sim_->machine(); }
-  Simulator& sim() { return *sim_; }
-
-  /// Consumes `seconds` of CPU time at the current point in the task.
-  void charge(double seconds) { charged_ += seconds; }
-
-  /// Adds to the pack-cost attribution (for the audit's overhead column);
-  /// also charges the time.
-  void charge_pack(double seconds) {
-    charged_ += seconds;
-    pack_cost_ += seconds;
-  }
-
-  /// Sends `msg` to `dest` at the current point in the task. Charges the
-  /// machine's send (or local enqueue) overhead; delivery time follows the
-  /// network model. Message payload travel cost is based on msg.bytes.
-  void send(int dest, TaskMsg msg);
-
-  /// Schedules `msg` to run on this PE `delay` virtual seconds from now
-  /// without charging the task (a timer). Delivered locally, so it is
-  /// exempt from the fault engine and always fires.
-  void post(TaskMsg msg, double delay);
-
- private:
-  friend class Simulator;
-  ExecContext(Simulator* sim, int pe, double start)
-      : sim_(sim), pe_(pe), start_(start) {}
-
-  Simulator* sim_;
-  int pe_;
-  double start_;
-  double charged_ = 0.0;
-  double recv_cost_ = 0.0;
-  double pack_cost_ = 0.0;
-  double send_cost_ = 0.0;
-};
+/// The DES machine under its seam name (see rts/exec_backend.hpp).
+using SimulatedBackend = Simulator;
 
 }  // namespace scalemd

@@ -1,0 +1,35 @@
+#include "rts/exec_backend.hpp"
+
+#include <cstring>
+
+namespace scalemd {
+
+EntryId EntryRegistry::add(std::string name, WorkCategory category) {
+  names_.push_back(std::move(name));
+  categories_.push_back(category);
+  return static_cast<EntryId>(names_.size()) - 1;
+}
+
+const char* backend_name(BackendKind k) {
+  switch (k) {
+    case BackendKind::kSimulated:
+      return "sim";
+    case BackendKind::kThreaded:
+      return "threads";
+  }
+  return "?";
+}
+
+bool backend_from_name(const char* name, BackendKind& out) {
+  if (std::strcmp(name, "sim") == 0 || std::strcmp(name, "simulated") == 0) {
+    out = BackendKind::kSimulated;
+    return true;
+  }
+  if (std::strcmp(name, "threads") == 0 || std::strcmp(name, "threaded") == 0) {
+    out = BackendKind::kThreaded;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace scalemd

@@ -36,22 +36,31 @@ int Reducer::rank_of_pe(int pe) const {
   return it->second;
 }
 
-void Reducer::contribute(ExecContext& ctx, int /*id*/, int round, double value) {
-  absorb(ctx, rank_of_pe(ctx.pe()), round, value, 1);
+void Reducer::contribute(ExecContext& ctx, int id, int round, double value) {
+  absorb(ctx, rank_of_pe(ctx.pe()), round, {{id, value}}, 1);
 }
 
-void Reducer::absorb(ExecContext& ctx, int rank, int round, double value,
-                     int count) {
+void Reducer::absorb(ExecContext& ctx, int rank, int round,
+                     std::vector<std::pair<int, double>> parts, int count) {
   NodeRound& nr = state_[static_cast<std::size_t>(rank)][round];
   nr.received += count;
-  nr.sum += value;
+  nr.parts.insert(nr.parts.end(), parts.begin(), parts.end());
   if (nr.received < subtree_expected_[static_cast<std::size_t>(rank)]) return;
 
-  const double total = nr.sum;
+  std::vector<std::pair<int, double>> all = std::move(nr.parts);
   const int forwarded = nr.received;
   state_[static_cast<std::size_t>(rank)].erase(round);
 
   if (rank == 0) {
+    // Canonical order: sort by contributor id, then sum left to right. The
+    // arrival order depends on the schedule (and, under the threaded
+    // backend, on real thread timing); the sorted order never does.
+    std::sort(all.begin(), all.end(),
+              [](const std::pair<int, double>& a, const std::pair<int, double>& b) {
+                return a.first < b.first;
+              });
+    double total = 0.0;
+    for (const auto& p : all) total += p.second;
     if (callback_) callback_(round, total);
     return;
   }
@@ -59,11 +68,12 @@ void Reducer::absorb(ExecContext& ctx, int rank, int round, double value,
   const int parent_pe = active_pes_[static_cast<std::size_t>(parent_rank)];
   TaskMsg msg;
   msg.entry = entry_;
-  msg.bytes = 32;
+  msg.bytes = 32;  // modeled payload: one scalar + header (pairs are bookkeeping)
   msg.priority = -1;  // reductions are latency-critical
-  msg.fn = [this, parent_rank, round, total, forwarded](ExecContext& c) {
+  msg.fn = [this, parent_rank, round, all = std::move(all),
+            forwarded](ExecContext& c) mutable {
     c.charge(1e-6);  // combine cost
-    absorb(c, parent_rank, round, total, forwarded);
+    absorb(c, parent_rank, round, std::move(all), forwarded);
   };
   if (reliable_ != nullptr) {
     reliable_->send(ctx, parent_pe, std::move(msg));

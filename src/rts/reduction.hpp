@@ -2,9 +2,10 @@
 
 #include <functional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
-#include "des/simulator.hpp"
+#include "rts/exec_backend.hpp"
 
 namespace scalemd {
 
@@ -25,7 +26,10 @@ class Reducer {
           std::function<void(int round, double total)> callback);
 
   /// Deposits contributor `id`'s value for `round`; must be called from a
-  /// task running on the contributor's PE.
+  /// task running on the contributor's PE. The total delivered to the root
+  /// is the sum over contributions *in ascending id order*, regardless of
+  /// arrival order — bitwise identical across backends and thread counts
+  /// even though floating-point addition doesn't associate.
   void contribute(ExecContext& ctx, int id, int round, double value);
 
   /// PE hosting the reduction root.
@@ -43,12 +47,17 @@ class Reducer {
  private:
   struct NodeRound {
     int received = 0;
-    double sum = 0.0;
+    /// (contributor id, value) pairs gathered so far. Carrying the pairs up
+    /// the tree (instead of a running double) costs nothing in the model —
+    /// the modeled payload stays one scalar plus header — and lets the root
+    /// sum in canonical id order.
+    std::vector<std::pair<int, double>> parts;
   };
 
-  /// Handles a partial sum arriving at `rank` in the tree (local count or
+  /// Handles contributions arriving at `rank` in the tree (local deposit or
   /// child message); forwards up or completes.
-  void absorb(ExecContext& ctx, int rank, int round, double value, int count);
+  void absorb(ExecContext& ctx, int rank, int round,
+              std::vector<std::pair<int, double>> parts, int count);
 
   int rank_of_pe(int pe) const;
 

@@ -45,7 +45,7 @@ void ReliableComm::send(ExecContext& ctx, int dest, TaskMsg msg) {
       // Already executed: suppress, but re-ack (the first ack may have
       // been the casualty that caused this retry).
       ++stats_.duplicates_suppressed;
-      c.sim().record_fault(
+      sim_->record_fault(
           {FaultKind::kDupSuppressed, c.pe(), src, c.now(), 0.0});
       send_ack(c, src, id);
       return;
@@ -91,16 +91,16 @@ void ReliableComm::on_timer(ExecContext& ctx, std::uint64_t id) {
   const auto it = pend.find(id);
   if (it == pend.end()) return;  // acked (or cleared by restart) — done
   Pending& p = it->second;
-  if (ctx.sim().pe_failed(p.dest) || p.attempts >= opts_.max_attempts) {
+  if (sim_->pe_failed(p.dest) || p.attempts >= opts_.max_attempts) {
     ++stats_.abandoned;
-    ctx.sim().record_fault({FaultKind::kMessageLost, p.dest, ctx.pe(),
+    sim_->record_fault({FaultKind::kMessageLost, p.dest, ctx.pe(),
                             ctx.now(), static_cast<double>(p.attempts)});
     pend.erase(it);
     return;
   }
   ++p.attempts;
   ++stats_.retries;
-  ctx.sim().record_fault({FaultKind::kRetry, p.dest, ctx.pe(), ctx.now(),
+  sim_->record_fault({FaultKind::kRetry, p.dest, ctx.pe(), ctx.now(),
                           static_cast<double>(p.attempts)});
   TaskMsg copy = p.msg;
   p.timeout *= opts_.backoff;

@@ -57,23 +57,44 @@ AuditRow actual_audit(const SummaryProfile& profile, double window_seconds,
   return r;
 }
 
+namespace {
+
+std::vector<std::string> audit_table_row(const char* name, const AuditRow& r) {
+  return {name,
+          fmt_fixed(r.total, 2),
+          fmt_fixed(r.nonbonded, 2),
+          fmt_fixed(r.bonds, 2),
+          fmt_fixed(r.integration, 2),
+          fmt_fixed(r.overhead, 2),
+          fmt_fixed(r.imbalance, 2),
+          fmt_fixed(r.idle, 2),
+          fmt_fixed(r.receives, 2)};
+}
+
+Table audit_table() {
+  return Table({"", "Total", "Non-bonded", "Bonds", "Integration", "Overhead",
+                "Imbalance", "Idle", "Receives"});
+}
+
+constexpr const char* kAuditHeader =
+    "Time (milliseconds) per step, per processor\n";
+
+}  // namespace
+
 std::string render_audit(const AuditRow& ideal, const AuditRow& actual) {
-  Table t({"", "Total", "Non-bonded", "Bonds", "Integration", "Overhead",
-           "Imbalance", "Idle", "Receives"});
-  auto row = [](const char* name, const AuditRow& r) {
-    return std::vector<std::string>{name,
-                                    fmt_fixed(r.total, 2),
-                                    fmt_fixed(r.nonbonded, 2),
-                                    fmt_fixed(r.bonds, 2),
-                                    fmt_fixed(r.integration, 2),
-                                    fmt_fixed(r.overhead, 2),
-                                    fmt_fixed(r.imbalance, 2),
-                                    fmt_fixed(r.idle, 2),
-                                    fmt_fixed(r.receives, 2)};
-  };
-  t.add_row(row("Ideal", ideal));
-  t.add_row(row("Actual", actual));
-  return "Time (milliseconds) per step, per processor\n" + t.render();
+  Table t = audit_table();
+  t.add_row(audit_table_row("Ideal", ideal));
+  t.add_row(audit_table_row("Actual", actual));
+  return kAuditHeader + t.render();
+}
+
+std::string render_audit(const AuditRow& ideal, const AuditRow& modeled,
+                         const AuditRow& measured) {
+  Table t = audit_table();
+  t.add_row(audit_table_row("Ideal", ideal));
+  t.add_row(audit_table_row("Modeled", modeled));
+  t.add_row(audit_table_row("Measured", measured));
+  return kAuditHeader + t.render();
 }
 
 ResilienceStats resilience_stats(const FaultStats& faults,

@@ -38,6 +38,13 @@ AuditRow actual_audit(const SummaryProfile& profile, double window_seconds,
 /// Renders the two rows as a Table 1-style text table (milliseconds).
 std::string render_audit(const AuditRow& ideal, const AuditRow& actual);
 
+/// Three-row variant for the modeled-vs-measured methodology: the ideal
+/// bound, the DES-modeled run ("Modeled") and the threaded backend's
+/// wall-clock run ("Measured"). Same columns, same units; the audit of a
+/// measured run uses real seconds wherever the modeled one uses virtual.
+std::string render_audit(const AuditRow& ideal, const AuditRow& modeled,
+                         const AuditRow& measured);
+
 /// Recovery metrics for a (possibly) faulted run: what the chaos engine
 /// injected and what the resilient runtime did about it.
 struct ResilienceStats {

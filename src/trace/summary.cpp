@@ -59,6 +59,7 @@ std::string SummaryProfile::render() const {
   std::ostringstream os;
   os.setf(std::ios::fixed);
   os.precision(6);
+  if (wall_clock_) os << "summary (wall clock)\n";
   for (std::size_t i : order) {
     const std::string& name = static_cast<int>(i) < registry_->count()
                                   ? registry_->name(static_cast<EntryId>(i))

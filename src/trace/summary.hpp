@@ -51,12 +51,19 @@ class SummaryProfile final : public TraceSink {
   std::uint64_t messages() const { return messages_; }
   std::uint64_t message_bytes() const { return message_bytes_; }
 
+  /// Marks this profile as holding measured wall-clock durations (threaded
+  /// backend) rather than DES-modeled virtual time; render() labels its
+  /// output accordingly. The accumulators are clock-agnostic either way.
+  void set_wall_clock(bool wall) { wall_clock_ = wall; }
+  bool wall_clock() const { return wall_clock_; }
+
   /// Human-readable profile: one line per entry method, sorted by total
   /// time descending.
   std::string render() const;
 
  private:
   const EntryRegistry* registry_;
+  bool wall_clock_ = false;
   std::vector<EntryStats> entries_;
   std::vector<double> pe_busy_;
   double recv_cost_ = 0.0;

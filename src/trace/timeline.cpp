@@ -118,8 +118,9 @@ std::string render_timeline(const EventLog& log, const EntryRegistry& registry,
   std::ostringstream os;
   os.setf(std::ios::fixed);
   os.precision(1);
-  os << "timeline " << opts.t0 * 1e3 << " ms .. " << t1 * 1e3 << " ms  ("
-     << slice * 1e3 << " ms/char)\n";
+  os << "timeline" << (opts.wall_clock ? " (wall clock)" : "") << " "
+     << opts.t0 * 1e3 << " ms .. " << t1 * 1e3 << " ms  (" << slice * 1e3
+     << " ms/char)\n";
   os << "legend: N non-bonded  B bonded  I integration  c comm  o other  . idle\n";
   if (faults_drawn > 0) {
     os << "faults: X pe-failure  ! injected fault  + recovery\n";

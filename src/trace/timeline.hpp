@@ -15,6 +15,10 @@ struct TimelineOptions {
   int first_pe = 0;       ///< first PE row
   int num_pes = 8;        ///< number of PE rows
   int width = 100;        ///< characters across the time window
+  /// Label the window as measured wall-clock time (threaded backend traces)
+  /// instead of DES virtual time. Purely cosmetic: the record timestamps are
+  /// already in whichever clock the backend runs on.
+  bool wall_clock = false;
 };
 
 /// Renders one character column per time slice for each PE row. The

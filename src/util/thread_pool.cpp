@@ -24,22 +24,35 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::run(std::size_t n, const std::function<void(std::size_t, int)>& fn) {
   const auto stride = static_cast<std::size_t>(size());
   if (workers_.empty()) {
-    for (std::size_t t = 0; t < n; ++t) fn(t, 0);
+    for (std::size_t t = 0; t < n; ++t) fn(t, 0);  // throws propagate directly
     return;
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
     job_ = &fn;
     job_n_ = n;
+    errors_.assign(static_cast<std::size_t>(size()), nullptr);
     running_ = static_cast<int>(workers_.size());
     ++generation_;
   }
   cv_start_.notify_all();
   // The calling thread is worker 0.
-  for (std::size_t t = 0; t < n; t += stride) fn(t, 0);
+  try {
+    for (std::size_t t = 0; t < n; t += stride) fn(t, 0);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    errors_[0] = std::current_exception();
+  }
   std::unique_lock<std::mutex> lock(mu_);
   cv_done_.wait(lock, [this] { return running_ == 0; });
   job_ = nullptr;
+  for (auto& err : errors_) {
+    if (err != nullptr) {
+      std::exception_ptr e = err;
+      errors_.clear();  // the pool stays usable after a throwing run
+      std::rethrow_exception(e);
+    }
+  }
 }
 
 void ThreadPool::worker_loop(int worker) {
@@ -56,11 +69,17 @@ void ThreadPool::worker_loop(int worker) {
       job = job_;
       n = job_n_;
     }
-    for (std::size_t t = static_cast<std::size_t>(worker); t < n; t += stride) {
-      (*job)(t, worker);
+    std::exception_ptr err;
+    try {
+      for (std::size_t t = static_cast<std::size_t>(worker); t < n; t += stride) {
+        (*job)(t, worker);
+      }
+    } catch (...) {
+      err = std::current_exception();
     }
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (err != nullptr) errors_[static_cast<std::size_t>(worker)] = err;
       --running_;
     }
     cv_done_.notify_one();

@@ -3,6 +3,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -35,6 +36,11 @@ class ThreadPool {
 
   /// Runs fn(task, worker) for every task in [0, n); returns once all tasks
   /// have completed. Not reentrant: fn must not call run() on this pool.
+  ///
+  /// If fn throws, the worker abandons its remaining tasks, the other
+  /// workers still finish theirs, and run() rethrows the throwing worker
+  /// with the lowest index (deterministic when several throw). The pool
+  /// stays usable for subsequent run() calls.
   void run(std::size_t n, const std::function<void(std::size_t, int)>& fn);
 
   /// Worker count to use when the caller asked for "whatever the machine
@@ -51,6 +57,7 @@ class ThreadPool {
   std::condition_variable cv_done_;
   const std::function<void(std::size_t, int)>* job_ = nullptr;
   std::size_t job_n_ = 0;
+  std::vector<std::exception_ptr> errors_;  ///< one slot per worker, per run
   std::uint64_t generation_ = 0;
   int running_ = 0;
   bool stop_ = false;

@@ -1,0 +1,166 @@
+// Differential DES-equivalence suite: the discrete-event backend and the
+// real-threads backend must produce bitwise-identical trajectories for every
+// PE count, LB strategy, force kernel and worker count. The DES side is
+// deterministic by construction; the threaded side is deterministic only if
+// every floating-point fold in the runtime is order-canonicalized — these
+// tests are what pins that property.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "check/golden.hpp"
+#include "check/invariants.hpp"
+
+namespace scalemd {
+namespace {
+
+Trajectory run_backend(const char* spec_name, int pes, BackendKind backend,
+                       int threads, LbStrategyKind lb, NonbondedKernel kernel,
+                       InvariantChecker* checker = nullptr) {
+  const GoldenSpec* spec = find_golden_spec(spec_name);
+  EXPECT_NE(spec, nullptr);
+  ParallelGoldenOptions p;
+  p.num_pes = pes;
+  p.backend = backend;
+  p.threads = threads;
+  p.lb = lb;
+  p.kernel = kernel;
+  return record_parallel_trajectory(*spec, p, checker);
+}
+
+void expect_bitwise(const Trajectory& got, const Trajectory& ref,
+                    const std::string& what) {
+  CompareOptions bitwise;
+  bitwise.mode = CompareMode::kUlp;
+  bitwise.max_ulps = 0;
+  const CompareResult r = compare_trajectories(got, ref, bitwise);
+  EXPECT_TRUE(r.match) << what << ": " << r.message;
+  EXPECT_EQ(r.worst, 0.0) << what << ": worst ulp deviation at " << r.where;
+}
+
+// ---------------------------------------------------------------------------
+// The matrix: {2, 4, 8} PEs x {greedy, greedy+refine, none} LB x
+// {scalar, tiled} kernel, DES vs threaded, bitwise.
+// ---------------------------------------------------------------------------
+
+struct DiffCase {
+  int pes;
+  LbStrategyKind lb;
+  NonbondedKernel kernel;
+};
+
+const char* lb_tag(LbStrategyKind k) {
+  switch (k) {
+    case LbStrategyKind::kGreedy:
+      return "greedy";
+    case LbStrategyKind::kGreedyRefine:
+      return "refine";
+    case LbStrategyKind::kNone:
+      return "none";
+    default:
+      return "other";
+  }
+}
+
+std::string diff_case_name(const testing::TestParamInfo<DiffCase>& info) {
+  return "pes" + std::to_string(info.param.pes) + "_" + lb_tag(info.param.lb) +
+         (info.param.kernel == NonbondedKernel::kScalar ? "_scalar" : "_tiled");
+}
+
+class BackendDiffTest : public testing::TestWithParam<DiffCase> {};
+
+TEST_P(BackendDiffTest, ThreadedMatchesDesBitwise) {
+  const DiffCase& c = GetParam();
+  const Trajectory des = run_backend("waterbox", c.pes, BackendKind::kSimulated,
+                                     0, c.lb, c.kernel);
+  const Trajectory thr = run_backend("waterbox", c.pes, BackendKind::kThreaded,
+                                     4, c.lb, c.kernel);
+  expect_bitwise(thr, des, "threaded vs DES");
+}
+
+constexpr DiffCase kDiffMatrix[] = {
+    {2, LbStrategyKind::kGreedy, NonbondedKernel::kScalar},
+    {2, LbStrategyKind::kGreedy, NonbondedKernel::kTiled},
+    {2, LbStrategyKind::kGreedyRefine, NonbondedKernel::kScalar},
+    {2, LbStrategyKind::kGreedyRefine, NonbondedKernel::kTiled},
+    {2, LbStrategyKind::kNone, NonbondedKernel::kScalar},
+    {2, LbStrategyKind::kNone, NonbondedKernel::kTiled},
+    {4, LbStrategyKind::kGreedy, NonbondedKernel::kScalar},
+    {4, LbStrategyKind::kGreedy, NonbondedKernel::kTiled},
+    {4, LbStrategyKind::kGreedyRefine, NonbondedKernel::kScalar},
+    {4, LbStrategyKind::kGreedyRefine, NonbondedKernel::kTiled},
+    {4, LbStrategyKind::kNone, NonbondedKernel::kScalar},
+    {4, LbStrategyKind::kNone, NonbondedKernel::kTiled},
+    {8, LbStrategyKind::kGreedy, NonbondedKernel::kScalar},
+    {8, LbStrategyKind::kGreedy, NonbondedKernel::kTiled},
+    {8, LbStrategyKind::kGreedyRefine, NonbondedKernel::kScalar},
+    {8, LbStrategyKind::kGreedyRefine, NonbondedKernel::kTiled},
+    {8, LbStrategyKind::kNone, NonbondedKernel::kScalar},
+    {8, LbStrategyKind::kNone, NonbondedKernel::kTiled},
+};
+
+INSTANTIATE_TEST_SUITE_P(PesLbKernelMatrix, BackendDiffTest,
+                         testing::ValuesIn(kDiffMatrix), diff_case_name);
+
+// The chain preset adds bonded terms, exclusions and 1-4 pairs (different
+// compute kinds, different proxy topology).
+TEST(BackendDiffTest, ChainThreadedMatchesDesBitwise) {
+  const Trajectory des =
+      run_backend("chain", 4, BackendKind::kSimulated, 0,
+                  LbStrategyKind::kGreedyRefine, NonbondedKernel::kScalar);
+  const Trajectory thr =
+      run_backend("chain", 4, BackendKind::kThreaded, 4,
+                  LbStrategyKind::kGreedyRefine, NonbondedKernel::kScalar);
+  expect_bitwise(thr, des, "chain threaded vs DES");
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count invariance: 1, 2 and 8 workers must agree bitwise, with the
+// physics-invariant checker clean on every run.
+// ---------------------------------------------------------------------------
+
+TEST(BackendDiffTest, ThreadCountIsBitwiseIrrelevant) {
+  InvariantOptions iopts;
+  // Short, coarse-dt recording runs: drift between sparse cycle
+  // observations is not the property under test here.
+  iopts.check_energy = false;
+
+  Trajectory runs[3];
+  const int workers[3] = {1, 2, 8};
+  for (int i = 0; i < 3; ++i) {
+    ViolationLog log;
+    InvariantChecker checker(iopts, &log);
+    runs[i] = run_backend("waterbox", 4, BackendKind::kThreaded, workers[i],
+                          LbStrategyKind::kGreedyRefine,
+                          NonbondedKernel::kScalar, &checker);
+    EXPECT_TRUE(checker.ok()) << "workers=" << workers[i] << "\n"
+                              << log.render();
+    EXPECT_TRUE(log.empty()) << log.render();
+    EXPECT_GT(checker.checks_run(), 0);
+  }
+  expect_bitwise(runs[1], runs[0], "2 workers vs 1 worker");
+  expect_bitwise(runs[2], runs[0], "8 workers vs 1 worker");
+}
+
+// ---------------------------------------------------------------------------
+// Physics sanity: the threaded backend is not just self-consistent — it
+// reproduces the sequential reference trajectory (first frame dropped: the
+// parallel runtime cannot observe pre-step state).
+// ---------------------------------------------------------------------------
+
+TEST(BackendDiffTest, ThreadedMatchesSequentialReference) {
+  const GoldenSpec* spec = find_golden_spec("waterbox");
+  ASSERT_NE(spec, nullptr);
+  Trajectory ref = record_trajectory(*spec);
+  ASSERT_FALSE(ref.frames.empty());
+  ref.frames.erase(ref.frames.begin());
+
+  const Trajectory thr =
+      run_backend("waterbox", 4, BackendKind::kThreaded, 4,
+                  LbStrategyKind::kNone, NonbondedKernel::kScalar);
+  const CompareResult r = compare_trajectories(thr, ref, {});
+  EXPECT_TRUE(r.match) << r.message;
+}
+
+}  // namespace
+}  // namespace scalemd

@@ -280,6 +280,38 @@ TEST_F(CoreFixture, StepCompletionMonotonic) {
   }
 }
 
+TEST_F(CoreFixture, StepTimingAccessorsClampOutOfRangeArguments) {
+  ParallelOptions opts;
+  opts.num_pes = 4;
+  ParallelSim sim(*workload_, opts);
+
+  // No steps run yet: every query answers 0, including absurd arguments.
+  EXPECT_EQ(sim.seconds_per_step_tail(0), 0.0);
+  EXPECT_EQ(sim.seconds_per_step_tail(1000000), 0.0);
+  EXPECT_EQ(sim.step_completion_at(-1), 0.0);
+  EXPECT_EQ(sim.step_completion_at(7), 0.0);
+
+  sim.run_cycle(3);
+  const int n = static_cast<int>(sim.step_completion().size());
+  ASSERT_GE(n, 2);
+
+  // A tail longer than history clamps to the full recorded span rather than
+  // indexing past the front.
+  const double full = sim.seconds_per_step_tail(n - 1);
+  EXPECT_GT(full, 0.0);
+  EXPECT_EQ(sim.seconds_per_step_tail(n + 50), full);
+  EXPECT_EQ(sim.seconds_per_step_tail(1000000), full);
+  // Degenerate spans clamp up to one step instead of dividing by zero.
+  EXPECT_EQ(sim.seconds_per_step_tail(0), sim.seconds_per_step_tail(1));
+  EXPECT_EQ(sim.seconds_per_step_tail(-3), sim.seconds_per_step_tail(1));
+
+  // Bounds-checked completion lookup agrees with the raw vector in range and
+  // answers 0 outside it.
+  EXPECT_EQ(sim.step_completion_at(n - 1), sim.step_completion()[n - 1]);
+  EXPECT_EQ(sim.step_completion_at(n), 0.0);
+  EXPECT_EQ(sim.step_completion_at(-1), 0.0);
+}
+
 TEST(ComputePlanTest, SplittingReducesMaxGrainEstimate) {
   Molecule mol = make_water_box({30, 30, 30}, 3);
   mol.suggested_patch_size = 10.0;

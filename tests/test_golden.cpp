@@ -184,6 +184,65 @@ constexpr GoldenCase kGoldenMatrix[] = {
 INSTANTIATE_TEST_SUITE_P(AllKernelPathThreadCombos, GoldenRegressionTest,
                          testing::ValuesIn(kGoldenMatrix), case_name);
 
+// ---------------------------------------------------------------------------
+// Parallel runtime vs the checked-in golden: both execution backends must
+// reproduce the scalar reference to tolerance. The runtime folds forces in
+// compute-id order (not the sequential engine's pair order), so the bitwise
+// bound of the sequential matrix does not apply — only the relative one.
+// The golden's step-0 frame is dropped: the parallel recorder first observes
+// state after a cycle completes.
+// ---------------------------------------------------------------------------
+
+struct ParallelGoldenCase {
+  const char* spec;
+  BackendKind backend;
+  NonbondedKernel kernel;
+};
+
+std::string parallel_case_name(
+    const testing::TestParamInfo<ParallelGoldenCase>& info) {
+  std::string name = std::string(info.param.spec) + "_";
+  name += backend_name(info.param.backend);
+  name += info.param.kernel == NonbondedKernel::kScalar ? "_scalar" : "_tiled";
+  return name;
+}
+
+class ParallelGoldenTest : public testing::TestWithParam<ParallelGoldenCase> {};
+
+TEST_P(ParallelGoldenTest, MatchesScalarGolden) {
+  const ParallelGoldenCase& c = GetParam();
+  const GoldenSpec* spec = find_golden_spec(c.spec);
+  ASSERT_NE(spec, nullptr);
+
+  Trajectory ref = read_trajectory(golden_path(SCALEMD_GOLDEN_DIR, *spec));
+  ASSERT_FALSE(ref.frames.empty());
+  ref.frames.erase(ref.frames.begin());
+
+  ParallelGoldenOptions p;
+  p.num_pes = 4;
+  p.backend = c.backend;
+  p.threads = c.backend == BackendKind::kThreaded ? 2 : 0;
+  p.lb = LbStrategyKind::kGreedyRefine;
+  p.kernel = c.kernel;
+  const Trajectory got = record_parallel_trajectory(*spec, p);
+
+  const CompareResult r = compare_trajectories(got, ref, {});
+  EXPECT_TRUE(r.match) << r.message;
+}
+
+constexpr ParallelGoldenCase kParallelGoldenMatrix[] = {
+    {"waterbox", BackendKind::kSimulated, NonbondedKernel::kScalar},
+    {"waterbox", BackendKind::kSimulated, NonbondedKernel::kTiled},
+    {"waterbox", BackendKind::kThreaded, NonbondedKernel::kScalar},
+    {"waterbox", BackendKind::kThreaded, NonbondedKernel::kTiled},
+    {"chain", BackendKind::kSimulated, NonbondedKernel::kScalar},
+    {"chain", BackendKind::kThreaded, NonbondedKernel::kScalar},
+};
+
+INSTANTIATE_TEST_SUITE_P(BothBackends, ParallelGoldenTest,
+                         testing::ValuesIn(kParallelGoldenMatrix),
+                         parallel_case_name);
+
 // The reference configuration must reproduce the checked-in golden
 // bit-for-bit on the machine that generated it; across compilers/flags it
 // still has to hold to the relative tolerance, which the matrix test above

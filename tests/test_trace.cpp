@@ -139,5 +139,49 @@ TEST(AuditTest, ActualRowDecomposes) {
   EXPECT_NE(text.find("Actual"), std::string::npos);
 }
 
+TEST(AuditTest, ThreeRowVariantShowsModeledAndMeasured) {
+  AuditRow modeled;
+  modeled.total = 10.0;
+  AuditRow measured;
+  measured.total = 12.5;
+  const std::string text =
+      render_audit(ideal_audit(3, 0, 0, 2, 1), modeled, measured);
+  EXPECT_NE(text.find("Ideal"), std::string::npos);
+  EXPECT_NE(text.find("Modeled"), std::string::npos);
+  EXPECT_NE(text.find("Measured"), std::string::npos);
+  EXPECT_NE(text.find("12.50"), std::string::npos);
+}
+
+TEST(TimelineTest, WallClockModeIsLabeled) {
+  Simulator sim(1, quiet_machine());
+  const EntryId nb = sim.entries().add("nb", WorkCategory::kNonbonded);
+  EventLog log;
+  sim.set_sink(&log);
+  sim.inject(0, {.entry = nb, .fn = [](ExecContext& c) { c.charge(1.0); }});
+  sim.run();
+  TimelineOptions opts;
+  opts.num_pes = 1;
+  opts.width = 20;
+  EXPECT_EQ(render_timeline(log, sim.entries(), opts).find("wall clock"),
+            std::string::npos);
+  opts.wall_clock = true;
+  EXPECT_NE(render_timeline(log, sim.entries(), opts).find("wall clock"),
+            std::string::npos);
+}
+
+TEST(SummaryProfileTest, WallClockModeIsLabeled) {
+  Simulator sim(1, quiet_machine());
+  const EntryId nb = sim.entries().add("nb", WorkCategory::kNonbonded);
+  SummaryProfile prof(sim.entries(), 1);
+  sim.set_sink(&prof);
+  sim.inject(0, {.entry = nb, .fn = [](ExecContext& c) { c.charge(1.0); }});
+  sim.run();
+  EXPECT_FALSE(prof.wall_clock());
+  EXPECT_EQ(prof.render().find("wall clock"), std::string::npos);
+  prof.set_wall_clock(true);
+  EXPECT_TRUE(prof.wall_clock());
+  EXPECT_NE(prof.render().find("wall clock"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace scalemd

@@ -2,15 +2,15 @@
 // greedy+refine strategy against no balancing (static placement), random
 // placement, and a communication-blind greedy. Also reports the proxy
 // counts each strategy induces — the communication price of ignoring the
-// object communication graph.
+// object communication graph. `--json [path]` / `--out <path>` emit the
+// per-strategy step times as a scalemd-bench report.
 
 #include <cstdio>
 
-#include "core/driver.hpp"
+#include "bench_common.hpp"
 #include "gen/presets.hpp"
 #include "trace/summary.hpp"
 #include "util/stats.hpp"
-#include "util/table.hpp"
 
 namespace {
 
@@ -42,8 +42,11 @@ Result run_with(const scalemd::Workload& wl, scalemd::LbStrategyKind kind, int p
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace scalemd;
+  const bench::CommonArgs args = bench::parse_common_args(argc, argv);
+  if (args.error) return 2;
+
   const Molecule mol = apoa1_like();
   const Workload wl(mol, MachineModel::asci_red());
 
@@ -52,24 +55,37 @@ int main() {
 
   const struct {
     const char* name;
+    const char* slug;
     LbStrategyKind kind;
   } strategies[] = {
-      {"none (static initial placement)", LbStrategyKind::kNone},
-      {"random", LbStrategyKind::kRandom},
-      {"greedy, comm-blind", LbStrategyKind::kGreedyNoComm},
-      {"diffusion (distributed)", LbStrategyKind::kDiffusion},
-      {"greedy, proxy-aware", LbStrategyKind::kGreedy},
-      {"greedy + refine (paper)", LbStrategyKind::kGreedyRefine},
+      {"none (static initial placement)", "none", LbStrategyKind::kNone},
+      {"random", "random", LbStrategyKind::kRandom},
+      {"greedy, comm-blind", "greedy_nocomm", LbStrategyKind::kGreedyNoComm},
+      {"diffusion (distributed)", "diffusion", LbStrategyKind::kDiffusion},
+      {"greedy, proxy-aware", "greedy", LbStrategyKind::kGreedy},
+      {"greedy + refine (paper)", "greedy_refine", LbStrategyKind::kGreedyRefine},
   };
 
+  perf::BenchRunner runner;
   for (int pes : {256, 1024}) {
     Table t({"strategy", "ms/step", "proxies", "max/avg load"});
     for (const auto& s : strategies) {
       const Result r = run_with(wl, s.kind, pes);
       t.add_row({s.name, fmt_fixed(r.ms_per_step, 1), std::to_string(r.proxies),
                  fmt_fixed(r.imbalance, 2)});
+      runner
+          .record_value(std::string("ablation_lb/") + s.slug +
+                            "/pes=" + std::to_string(pes),
+                        "virtual_ms_per_step", r.ms_per_step)
+          .param("pes", pes)
+          .param("proxies", r.proxies)
+          .param("imbalance", r.imbalance)
+          .label("strategy", s.slug);
     }
     std::printf("P = %d:\n%s\n", pes, t.render().c_str());
   }
-  return 0;
+
+  perf::BenchReport report = perf::make_report("ablation_lb");
+  report.benchmarks = runner.take_records();
+  return bench::emit_report(args, report);
 }

@@ -6,14 +6,88 @@
 // (see EXPERIMENTS.md); the claim under test is the *shape* of each result.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "core/driver.hpp"
+#include "perf/bench_runner.hpp"
+#include "perf/report.hpp"
+#include "perf/suites.hpp"
 #include "util/table.hpp"
 
 namespace scalemd::bench {
+
+/// Flags every bench binary shares. `--json [path]` / `--out <path>` switch
+/// on machine-readable output in the scalemd-bench report schema (stdout
+/// unless a path is given); `--reps`/`--warmup` configure the BenchRunner
+/// for the wall-clock binaries (ignored by deterministic model sweeps).
+/// Unrecognized arguments land in `passthrough` (argv[0] first) for
+/// binaries that forward to google-benchmark.
+struct CommonArgs {
+  perf::BenchOptions bench;  ///< reps / warmup
+  bool json = false;
+  std::string out;  ///< empty with json=true means stdout
+  std::vector<char*> passthrough;
+  bool error = false;  ///< a flag was missing its value
+};
+
+inline CommonArgs parse_common_args(int argc, char** argv) {
+  CommonArgs a;
+  a.passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const auto next_val = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (std::strcmp(argv[i], "--reps") == 0) {
+      const char* v = next_val();
+      if (v == nullptr) { a.error = true; break; }
+      a.bench.reps = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--warmup") == 0) {
+      const char* v = next_val();
+      if (v == nullptr) { a.error = true; break; }
+      a.bench.warmup = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      const char* v = next_val();
+      if (v == nullptr) { a.error = true; break; }
+      a.out = v;
+      a.json = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      a.json = true;
+      // Optional path operand: bare --json prints the report to stdout.
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        a.out = argv[++i];
+      }
+    } else {
+      a.passthrough.push_back(argv[i]);
+    }
+  }
+  if (a.error) {
+    std::fprintf(stderr,
+                 "usage: [--reps N] [--warmup N] [--json [path]] [--out path]\n");
+  }
+  return a;
+}
+
+/// Writes the report if --json/--out was given. Returns a main()-ready exit
+/// code (I/O failure only).
+inline int emit_report(const CommonArgs& a, const perf::BenchReport& report) {
+  if (!a.json) return 0;
+  if (a.out.empty()) {
+    std::printf("%s\n", report.to_json().dump().c_str());
+    return 0;
+  }
+  try {
+    perf::save_report(report, a.out);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  std::printf("wrote %s\n", a.out.c_str());
+  return 0;
+}
 
 /// Published (processors -> s/step) reference series for one paper table.
 using PaperSeries = std::map<int, double>;
@@ -70,12 +144,7 @@ inline std::string render_with_paper(const std::vector<ScalingRow>& rows,
 
 /// Clips a processor ladder by SCALEMD_BENCH_SCALE < 1 (smoke runs).
 inline std::vector<int> maybe_clip(std::vector<int> pes) {
-  const double scale = bench_scale_from_env();
-  if (scale >= 1.0) return pes;
-  const std::size_t keep =
-      std::max<std::size_t>(2, static_cast<std::size_t>(pes.size() * scale));
-  pes.resize(keep);
-  return pes;
+  return perf::clip_ladder(std::move(pes), bench_scale_from_env());
 }
 
 }  // namespace scalemd::bench

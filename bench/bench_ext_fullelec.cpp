@@ -12,9 +12,8 @@
 
 #include <cstdio>
 
-#include "core/driver.hpp"
+#include "bench_common.hpp"
 #include "gen/presets.hpp"
-#include "util/table.hpp"
 
 namespace {
 
@@ -49,8 +48,10 @@ double pme_phase_seconds(const Workload& wl, int pes, const MachineModel& m) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace scalemd;
+  const bench::CommonArgs args = bench::parse_common_args(argc, argv);
+  if (args.error) return 2;
   const Molecule mol = apoa1_like();
   const Workload wl(mol, MachineModel::asci_red());
   const MachineModel machine = MachineModel::asci_red();
@@ -60,6 +61,7 @@ int main() {
               "work + 2 all-to-all transposes)\n\n", mol.name.c_str());
 
   Table t({"Processors", "cutoff only", "with PME", "PME share", "speedup w/ PME"});
+  perf::BenchRunner runner;
   double base = 0.0;
   for (int pes : {1, 16, 64, 256, 1024, 2048}) {
     ParallelOptions opts;
@@ -73,6 +75,12 @@ int main() {
     t.add_row({std::to_string(pes), fmt_sig(cutoff, 3), fmt_sig(total, 3),
                fmt_fixed(100.0 * pme / total, 1) + "%",
                fmt_sig(base / total, 3)});
+    runner
+        .record_value("fullelec/with_pme/pes=" + std::to_string(pes),
+                      "virtual_seconds_per_step", total)
+        .param("pes", pes)
+        .param("cutoff_seconds", cutoff)
+        .param("pme_share", pme / total);
   }
   std::printf("%s\n", t.render().c_str());
   std::printf("The grid phase is <8%% of one-processor work but, carried by\n"
@@ -80,5 +88,8 @@ int main() {
               "the scalability problem the paper defers to [14-16], and why\n"
               "NAMD pairs PME with multiple timestepping (see\n"
               "examples/full_electrostatics).\n");
-  return 0;
+
+  perf::BenchReport report = perf::make_report("fullelec");
+  report.benchmarks = runner.take_records();
+  return bench::emit_report(args, report);
 }

@@ -5,19 +5,18 @@
 // this host's real kernel throughput; the paper-reproduction tables use the
 // calibrated 1999 machine models instead.
 //
-// Comparison mode (`--compare`, implied by `--json <path>`): builds one
+// Comparison mode (`--compare`, implied by `--json`/`--out`): builds one
 // ApoA-I-scale water box, runs full SequentialEngine force evaluations under
-// every kernel variant (scalar / tiled / tiled+threads), cross-checks
-// energies and work counters, and reports pairs/sec per variant. `--json`
-// additionally writes machine-readable records:
-//   [{"variant": ..., "pairs_per_sec": ..., "ns_per_pair": ..., "threads": N}]
-// Options: --box <side A> (default 97), --reps <n> (default 3),
-// --threads <n> (default 4). SCALEMD_BENCH_SCALE < 1 shrinks the box for
-// smoke runs.
+// every kernel variant (scalar / tiled / tiled+threads) through the shared
+// BenchRunner, cross-checks energies and work counters, and reports
+// pairs/sec per variant. `--json [path]` / `--out <path>` write a
+// scalemd-bench report ("micro_forces/<variant>" records).
+// Options: --box <side A> (default 97), --reps/--warmup (BenchRunner
+// defaults), --threads <n> (default 4). SCALEMD_BENCH_SCALE < 1 shrinks the
+// box for smoke runs.
 
 #include <benchmark/benchmark.h>
 
-#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -26,7 +25,7 @@
 #include <string>
 #include <vector>
 
-#include "core/driver.hpp"
+#include "bench_common.hpp"
 #include "ff/bonded.hpp"
 #include "ff/nonbonded.hpp"
 #include "ff/nonbonded_tiled.hpp"
@@ -192,46 +191,46 @@ BENCHMARK(BM_ExclusionCheck);
 struct VariantResult {
   NonbondedKernel kernel{};
   int threads = 1;
-  double seconds = 0.0;           // mean per force evaluation
+  double seconds = 0.0;           // median per force evaluation
   double pairs_per_sec = 0.0;     // distance tests per second
-  double ns_per_pair = 0.0;
   EnergyTerms energy;
   WorkCounters work;
 };
 
-VariantResult time_variant(const Molecule& m, NonbondedKernel kernel, int threads,
-                           int reps) {
-  EngineOptions opts;
-  opts.nonbonded.kernel = kernel;
-  opts.nonbonded.threads = threads;
-  SequentialEngine eng(m, opts);  // ctor primes forces: warm-up evaluation
-
-  const auto t0 = std::chrono::steady_clock::now();
-  for (int r = 0; r < reps; ++r) eng.compute_forces();
-  const auto t1 = std::chrono::steady_clock::now();
-
-  VariantResult res;
-  res.kernel = kernel;
-  res.threads = kernel == NonbondedKernel::kTiledThreads ? threads : 1;
-  res.seconds = std::chrono::duration<double>(t1 - t0).count() / reps;
-  res.energy = eng.potential();
-  res.work = eng.work();
-  res.pairs_per_sec = static_cast<double>(res.work.pairs_tested) / res.seconds;
-  res.ns_per_pair = 1e9 / res.pairs_per_sec;
-  return res;
-}
-
-int run_comparison(double box_side, int threads, int reps, const char* json_path) {
+int run_comparison(double box_side, int threads, const bench::CommonArgs& args) {
   const double scale = bench_scale_from_env();
   if (scale < 1.0) box_side *= std::cbrt(scale);
   const Molecule m = make_water_box({box_side, box_side, box_side}, 42);
   std::printf("water box %.0f A^3, %d atoms, cutoff %.1f A, %d reps/variant\n",
-              box_side, m.atom_count(), NonbondedOptions{}.cutoff, reps);
+              box_side, m.atom_count(), NonbondedOptions{}.cutoff,
+              args.bench.reps);
 
+  perf::BenchRunner runner(args.bench);
   std::vector<VariantResult> results;
   for (NonbondedKernel k : {NonbondedKernel::kScalar, NonbondedKernel::kTiled,
                             NonbondedKernel::kTiledThreads}) {
-    results.push_back(time_variant(m, k, threads, reps));
+    EngineOptions opts;
+    opts.nonbonded.kernel = k;
+    opts.nonbonded.threads = threads;
+    SequentialEngine eng(m, opts);  // ctor primes forces: warm-up evaluation
+
+    perf::BenchRecord& rec =
+        runner.time(std::string("micro_forces/") + kernel_name(k),
+                    "seconds_per_eval", [&eng] { eng.compute_forces(); });
+
+    VariantResult res;
+    res.kernel = k;
+    res.threads = k == NonbondedKernel::kTiledThreads ? threads : 1;
+    res.seconds = rec.median;
+    res.energy = eng.potential();
+    res.work = eng.work();
+    res.pairs_per_sec = static_cast<double>(res.work.pairs_tested) / res.seconds;
+    rec.param("atoms", m.atom_count())
+        .param("threads", res.threads)
+        .param("pairs_per_sec", res.pairs_per_sec)
+        .param("ns_per_pair", 1e9 / res.pairs_per_sec)
+        .label("kernel", kernel_name(k));
+    results.push_back(res);
   }
 
   // Cross-check: identical work counts, energies within rounding.
@@ -260,63 +259,41 @@ int run_comparison(double box_side, int threads, int reps, const char* json_path
                 ref.seconds / r.seconds);
   }
 
-  if (json_path != nullptr) {
-    std::FILE* f = std::fopen(json_path, "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "cannot open %s\n", json_path);
-      return 1;
-    }
-    std::fprintf(f, "[\n");
-    for (std::size_t i = 0; i < results.size(); ++i) {
-      const VariantResult& r = results[i];
-      std::fprintf(f,
-                   "  {\"variant\": \"%s\", \"pairs_per_sec\": %.6g, "
-                   "\"ns_per_pair\": %.6g, \"threads\": %d}%s\n",
-                   kernel_name(r.kernel), r.pairs_per_sec, r.ns_per_pair,
-                   r.threads, i + 1 < results.size() ? "," : "");
-    }
-    std::fprintf(f, "]\n");
-    std::fclose(f);
-    std::printf("wrote %s\n", json_path);
-  }
-  return ok ? 0 : 1;
+  perf::BenchReport report = perf::make_report("micro_forces");
+  report.benchmarks = runner.take_records();
+  const int emit_rc = bench::emit_report(args, report);
+  return ok ? emit_rc : 1;
 }
 
 }  // namespace
 }  // namespace scalemd
 
 int main(int argc, char** argv) {
-  bool compare = false;
-  const char* json_path = nullptr;
-  double box_side = 97.0;  // ~92k atoms at liquid density: ApoA-I scale
+  scalemd::bench::CommonArgs common =
+      scalemd::bench::parse_common_args(argc, argv);
+  if (common.error) return 2;
+
+  bool compare = common.json;  // a report request implies comparison mode
+  double box_side = 97.0;      // ~92k atoms at liquid density: ApoA-I scale
   int threads = 4;
-  int reps = 3;
-  std::vector<char*> passthrough{argv[0]};
-  for (int i = 1; i < argc; ++i) {
+  std::vector<char*> passthrough{common.passthrough.front()};
+  for (std::size_t i = 1; i < common.passthrough.size(); ++i) {
+    char* arg = common.passthrough[i];
     const auto next_val = [&]() -> const char* {
-      return i + 1 < argc ? argv[++i] : nullptr;
+      return i + 1 < common.passthrough.size() ? common.passthrough[++i] : nullptr;
     };
-    if (std::strcmp(argv[i], "--compare") == 0) {
+    if (std::strcmp(arg, "--compare") == 0) {
       compare = true;
-    } else if (std::strcmp(argv[i], "--json") == 0) {
-      json_path = next_val();
-      if (json_path == nullptr) {
-        std::fprintf(stderr, "--json requires a path\n");
-        return 1;
-      }
-      compare = true;
-    } else if (std::strcmp(argv[i], "--box") == 0) {
+    } else if (std::strcmp(arg, "--box") == 0) {
       if (const char* v = next_val()) box_side = std::atof(v);
-    } else if (std::strcmp(argv[i], "--threads") == 0) {
+    } else if (std::strcmp(arg, "--threads") == 0) {
       if (const char* v = next_val()) threads = std::atoi(v);
-    } else if (std::strcmp(argv[i], "--reps") == 0) {
-      if (const char* v = next_val()) reps = std::atoi(v);
     } else {
-      passthrough.push_back(argv[i]);
+      passthrough.push_back(arg);
     }
   }
   if (compare) {
-    return scalemd::run_comparison(box_side, threads, reps, json_path);
+    return scalemd::run_comparison(box_side, threads, common);
   }
   int bench_argc = static_cast<int>(passthrough.size());
   benchmark::Initialize(&bench_argc, passthrough.data());

@@ -10,7 +10,8 @@
 //   --threads N   threaded-backend workers (0 = all hardware threads)
 //   --steps N     timed steps after the LB warm-up (default 5)
 //   --box S       cubic box side in A (default 97.0, ~89k atoms)
-//   --json [path] emit the numbers as JSON (stdout when no path follows)
+//   --json [path] emit a scalemd-bench report (stdout when no path follows);
+//   --out <path>  same, always to a file
 //   --audit       run BOTH backends and print the Ideal/Modeled/Measured
 //                 audit table (modeled-vs-measured methodology)
 // Compare `--backend=threads --threads=8` against `--threads=1` for the
@@ -25,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/parallel_sim.hpp"
 #include "des/simulator.hpp"
 #include "gen/water_box.hpp"
@@ -161,19 +163,9 @@ BackendRun run_backend_once(const Workload& wl, BackendKind backend, int pes,
   return r;
 }
 
-void print_backend_json(std::FILE* f, const BackendRun& r, int pes, int threads,
-                        int atoms) {
-  std::fprintf(f,
-               "{\"backend\": \"%s\", \"clock\": \"%s\", \"pes\": %d, "
-               "\"threads\": %d, \"atoms\": %d, \"steps\": %d, "
-               "\"seconds_per_step\": %.6g, \"window_seconds\": %.6g}\n",
-               backend_name(r.backend), r.wall_clock ? "wall" : "virtual", pes,
-               threads, atoms, r.steps, r.seconds_per_step, r.window_seconds);
-}
-
 int run_backend_bench(BackendKind backend, int pes, int threads, int steps,
-                      double box_side, bool audit, bool json,
-                      const char* json_path) {
+                      double box_side, bool audit,
+                      const bench::CommonArgs& args) {
   Molecule mol = make_water_box({box_side, box_side, box_side}, /*seed=*/42);
   mol.assign_velocities(300.0, /*seed=*/7);
   std::printf("water box %.0f A side, %d atoms, %d PEs, %d timed steps\n",
@@ -200,22 +192,26 @@ int run_backend_bench(BackendKind backend, int pes, int threads, int steps,
                 render_audit(modeled.ideal, modeled.audit, measured.audit).c_str());
   }
 
-  if (json) {
-    std::FILE* f = stdout;
-    if (json_path != nullptr) {
-      f = std::fopen(json_path, "w");
-      if (f == nullptr) {
-        std::fprintf(stderr, "cannot open %s\n", json_path);
-        return 1;
-      }
-    }
-    print_backend_json(f, r, pes, threads, mol.atom_count());
-    if (f != stdout) {
-      std::fclose(f);
-      std::printf("wrote %s\n", json_path);
-    }
+  perf::BenchReport report = perf::make_report("micro_runtime");
+  perf::BenchRunner runner(args.bench);
+  perf::BenchRecord* rec;
+  const std::string name =
+      std::string("micro_runtime/") + backend_name(r.backend) + "/step";
+  if (r.wall_clock) {
+    rec = &runner.record_samples(name, "seconds_per_step", {r.seconds_per_step});
+  } else {
+    rec = &runner.record_value(name, "virtual_seconds_per_step",
+                               r.seconds_per_step);
   }
-  return 0;
+  rec->param("pes", pes)
+      .param("threads", threads)
+      .param("atoms", mol.atom_count())
+      .param("steps", r.steps)
+      .param("window_seconds", r.window_seconds)
+      .label("backend", backend_name(r.backend))
+      .label("clock", r.wall_clock ? "wall" : "virtual");
+  report.benchmarks = runner.take_records();
+  return bench::emit_report(args, report);
 }
 
 }  // namespace
@@ -224,24 +220,27 @@ int run_backend_bench(BackendKind backend, int pes, int threads, int steps,
 int main(int argc, char** argv) {
   using scalemd::BackendKind;
 
-  bool have_backend = false;
+  scalemd::bench::CommonArgs common =
+      scalemd::bench::parse_common_args(argc, argv);
+  if (common.error) return 2;
+
+  bool have_backend = common.json;  // a report request implies backend mode
   bool audit = false;
-  bool json = false;
-  const char* json_path = nullptr;
   BackendKind backend = BackendKind::kSimulated;
   int pes = 8;
   int threads = 0;
   int steps = 5;
   double box_side = 97.0;
-  std::vector<char*> passthrough{argv[0]};
-  for (int i = 1; i < argc; ++i) {
+  std::vector<char*> passthrough{common.passthrough.front()};
+  for (std::size_t i = 1; i < common.passthrough.size(); ++i) {
+    char* arg = common.passthrough[i];
     const auto next_val = [&]() -> const char* {
-      return i + 1 < argc ? argv[++i] : nullptr;
+      return i + 1 < common.passthrough.size() ? common.passthrough[++i] : nullptr;
     };
     const char* backend_arg = nullptr;
-    if (std::strncmp(argv[i], "--backend=", 10) == 0) {
-      backend_arg = argv[i] + 10;
-    } else if (std::strcmp(argv[i], "--backend") == 0) {
+    if (std::strncmp(arg, "--backend=", 10) == 0) {
+      backend_arg = arg + 10;
+    } else if (std::strcmp(arg, "--backend") == 0) {
       backend_arg = next_val();
     }
     if (backend_arg != nullptr) {
@@ -251,32 +250,26 @@ int main(int argc, char** argv) {
         return 1;
       }
       have_backend = true;
-    } else if (std::strcmp(argv[i], "--audit") == 0) {
+    } else if (std::strcmp(arg, "--audit") == 0) {
       audit = true;
       have_backend = true;
-    } else if (std::strcmp(argv[i], "--json") == 0) {
-      json = true;
-      // The path operand is optional: bare --json prints to stdout.
-      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
-        json_path = argv[++i];
-      }
-    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      threads = std::atoi(argv[i] + 10);
-    } else if (std::strcmp(argv[i], "--threads") == 0) {
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      threads = std::atoi(arg + 10);
+    } else if (std::strcmp(arg, "--threads") == 0) {
       if (const char* v = next_val()) threads = std::atoi(v);
-    } else if (std::strcmp(argv[i], "--pes") == 0) {
+    } else if (std::strcmp(arg, "--pes") == 0) {
       if (const char* v = next_val()) pes = std::atoi(v);
-    } else if (std::strcmp(argv[i], "--steps") == 0) {
+    } else if (std::strcmp(arg, "--steps") == 0) {
       if (const char* v = next_val()) steps = std::atoi(v);
-    } else if (std::strcmp(argv[i], "--box") == 0) {
+    } else if (std::strcmp(arg, "--box") == 0) {
       if (const char* v = next_val()) box_side = std::atof(v);
     } else {
-      passthrough.push_back(argv[i]);
+      passthrough.push_back(arg);
     }
   }
   if (have_backend) {
     return scalemd::run_backend_bench(backend, pes, threads, steps, box_side,
-                                      audit, json, json_path);
+                                      audit, common);
   }
   int bench_argc = static_cast<int>(passthrough.size());
   benchmark::Initialize(&bench_argc, passthrough.data());

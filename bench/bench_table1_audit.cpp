@@ -6,13 +6,14 @@
 
 #include <cstdio>
 
-#include "core/driver.hpp"
+#include "bench_common.hpp"
 #include "gen/presets.hpp"
 #include "trace/audit.hpp"
-#include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace scalemd;
+  const bench::CommonArgs args = bench::parse_common_args(argc, argv);
+  if (args.error) return 2;
   const Molecule mol = apoa1_like();
   const Workload wl(mol, MachineModel::asci_red());
 
@@ -52,5 +53,17 @@ int main() {
   paper.add_row({"Actual (paper)", "86", "49.77", "3.9", "3.05", "7.97", "10.45",
                  "9.25", "1.61"});
   std::printf("\nPublished Table 1 (milliseconds):\n%s", paper.render().c_str());
-  return 0;
+
+  perf::BenchReport report = perf::make_report("table1");
+  perf::BenchRunner runner;
+  runner.record_value("table1/actual_total", "ms_per_step", actual.total)
+      .param("pes", kPes)
+      .param("nonbonded_ms", actual.nonbonded)
+      .param("overhead_ms", actual.overhead)
+      .param("imbalance_ms", actual.imbalance)
+      .param("idle_ms", actual.idle);
+  runner.record_value("table1/ideal_total", "ms_per_step", ideal.total)
+      .param("pes", kPes);
+  report.benchmarks = runner.take_records();
+  return bench::emit_report(args, report);
 }

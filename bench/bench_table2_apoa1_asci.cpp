@@ -1,12 +1,16 @@
 // Reproduces Table 2: ApoA-I (92,224 atoms) scaling on the ASCI-Red model,
 // 1..2048 processors, with the full optimization set and greedy+refine load
-// balancing.
+// balancing. `--json [path]` / `--out <path>` additionally emit the rows as
+// a scalemd-bench report ("table2/pes=N" records, virtual seconds).
 
 #include "bench_common.hpp"
 #include "gen/presets.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace scalemd;
+  const bench::CommonArgs args = bench::parse_common_args(argc, argv);
+  if (args.error) return 2;
+
   const Molecule mol = apoa1_like();
   const Workload wl(mol, MachineModel::asci_red());
 
@@ -18,5 +22,8 @@ int main() {
               mol.atom_count(), wl.decomp.patch_count(), cfg.machine.name.c_str());
   const auto rows = run_scaling(wl, cfg);
   std::printf("%s\n", bench::render_with_paper(rows, bench::kPaperTable2, true).c_str());
-  return 0;
+
+  perf::BenchReport report = perf::make_report("table2");
+  perf::append_scaling_records(report, "table2", rows);
+  return bench::emit_report(args, report);
 }

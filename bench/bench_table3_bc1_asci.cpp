@@ -1,12 +1,16 @@
 // Reproduces Table 3: BC1 (206,617 atoms) scaling on the ASCI-Red model.
 // The paper scales speedup relative to 2 processors because the system is
 // too large for one node's memory; we keep the same normalization.
+// `--json [path]` / `--out <path>` emit a scalemd-bench report.
 
 #include "bench_common.hpp"
 #include "gen/presets.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace scalemd;
+  const bench::CommonArgs args = bench::parse_common_args(argc, argv);
+  if (args.error) return 2;
+
   const Molecule mol = bc1_like();
   const Workload wl(mol, MachineModel::asci_red());
 
@@ -19,5 +23,8 @@ int main() {
               mol.atom_count(), wl.decomp.patch_count(), cfg.machine.name.c_str());
   const auto rows = run_scaling(wl, cfg);
   std::printf("%s\n", bench::render_with_paper(rows, bench::kPaperTable3, true).c_str());
-  return 0;
+
+  perf::BenchReport report = perf::make_report("table3");
+  perf::append_scaling_records(report, "table3", rows);
+  return bench::emit_report(args, report);
 }

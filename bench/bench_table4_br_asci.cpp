@@ -1,12 +1,16 @@
 // Reproduces Table 4: bR (3,762 atoms) scaling on the ASCI-Red model. The
 // headline behavior is the flattening: the paper's small system stops
 // scaling beyond ~64 processors (36 patches limit the decomposition).
+// `--json [path]` / `--out <path>` emit a scalemd-bench report.
 
 #include "bench_common.hpp"
 #include "gen/presets.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace scalemd;
+  const bench::CommonArgs args = bench::parse_common_args(argc, argv);
+  if (args.error) return 2;
+
   const Molecule mol = br_like();
   const Workload wl(mol, MachineModel::asci_red());
 
@@ -18,5 +22,8 @@ int main() {
               mol.atom_count(), wl.decomp.patch_count(), cfg.machine.name.c_str());
   const auto rows = run_scaling(wl, cfg);
   std::printf("%s\n", bench::render_with_paper(rows, bench::kPaperTable4, false).c_str());
-  return 0;
+
+  perf::BenchReport report = perf::make_report("table4");
+  perf::append_scaling_records(report, "table4", rows);
+  return bench::emit_report(args, report);
 }

@@ -1,12 +1,15 @@
 // Reproduces Table 5: ApoA-I scaling on the Cray T3E-900 model (4..256
 // processors; speedups relative to 4, as the problem does not fit on fewer
-// T3E nodes).
+// T3E nodes). `--json [path]` / `--out <path>` emit a scalemd-bench report.
 
 #include "bench_common.hpp"
 #include "gen/presets.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace scalemd;
+  const bench::CommonArgs args = bench::parse_common_args(argc, argv);
+  if (args.error) return 2;
+
   const Molecule mol = apoa1_like();
   const Workload wl(mol, MachineModel::t3e900());
 
@@ -19,5 +22,8 @@ int main() {
               mol.atom_count(), cfg.machine.name.c_str());
   const auto rows = run_scaling(wl, cfg);
   std::printf("%s\n", bench::render_with_paper(rows, bench::kPaperTable5, true).c_str());
-  return 0;
+
+  perf::BenchReport report = perf::make_report("table5");
+  perf::append_scaling_records(report, "table5", rows);
+  return bench::emit_report(args, report);
 }

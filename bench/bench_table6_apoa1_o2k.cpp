@@ -1,11 +1,15 @@
 // Reproduces Table 6: ApoA-I scaling on the SGI Origin 2000 model (1..80
 // processors; the fastest per-processor machine of the three).
+// `--json [path]` / `--out <path>` emit a scalemd-bench report.
 
 #include "bench_common.hpp"
 #include "gen/presets.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace scalemd;
+  const bench::CommonArgs args = bench::parse_common_args(argc, argv);
+  if (args.error) return 2;
+
   const Molecule mol = apoa1_like();
   const Workload wl(mol, MachineModel::origin2000());
 
@@ -17,5 +21,8 @@ int main() {
               mol.atom_count(), cfg.machine.name.c_str());
   const auto rows = run_scaling(wl, cfg);
   std::printf("%s\n", bench::render_with_paper(rows, bench::kPaperTable6, true).c_str());
-  return 0;
+
+  perf::BenchReport report = perf::make_report("table6");
+  perf::append_scaling_records(report, "table6", rows);
+  return bench::emit_report(args, report);
 }

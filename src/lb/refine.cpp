@@ -85,7 +85,7 @@ LbAssignment refine_map(const LbProblem& p, LbAssignment start, double overload,
         present[static_cast<std::size_t>(o.patch_b)][static_cast<std::size_t>(best_pe)] = 1;
       ++moves;
       progress = true;
-      if (load[src] <= limit) break;
+      if (moves >= max_moves || load[src] <= limit) break;
     }
   }
   return start;

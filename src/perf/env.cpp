@@ -1,0 +1,133 @@
+#include "perf/env.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <thread>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace scalemd::perf {
+
+namespace {
+
+std::string detect_git_sha() {
+  if (const char* sha = std::getenv("SCALEMD_GIT_SHA")) {
+    return sha;
+  }
+#ifndef _WIN32
+  if (std::FILE* p = ::popen("git rev-parse HEAD 2>/dev/null", "r")) {
+    char buf[64] = {};
+    const std::size_t n = std::fread(buf, 1, sizeof buf - 1, p);
+    const int status = ::pclose(p);
+    std::string sha(buf, n);
+    while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+      sha.pop_back();
+    }
+    if (status == 0 && sha.size() >= 7) return sha;
+  }
+#endif
+  return "unknown";
+}
+
+std::string detect_cpu_model() {
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      const std::size_t colon = line.find(':');
+      if (colon != std::string::npos) {
+        std::size_t start = colon + 1;
+        while (start < line.size() && line[start] == ' ') ++start;
+        return line.substr(start);
+      }
+    }
+  }
+  return "unknown";
+}
+
+std::string detect_sanitizer() {
+#if defined(__SANITIZE_ADDRESS__)
+  return "address";
+#elif defined(__SANITIZE_THREAD__)
+  return "thread";
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+  return "address";
+#elif __has_feature(thread_sanitizer)
+  return "thread";
+#else
+  return "none";
+#endif
+#else
+  return "none";
+#endif
+}
+
+std::string detect_hostname() {
+#ifndef _WIN32
+  char buf[256] = {};
+  if (::gethostname(buf, sizeof buf - 1) == 0 && buf[0] != '\0') return buf;
+#endif
+  return "unknown";
+}
+
+}  // namespace
+
+BenchEnvironment capture_environment() {
+  BenchEnvironment env;
+  env.git_sha = detect_git_sha();
+#if defined(__clang__)
+  env.compiler = std::string("clang++ ") + __VERSION__;
+#elif defined(__GNUC__)
+  env.compiler = std::string("g++ ") + __VERSION__;
+#else
+  env.compiler = "unknown";
+#endif
+#ifdef SCALEMD_CXX_FLAGS
+  env.cxx_flags = SCALEMD_CXX_FLAGS;
+#endif
+#ifdef SCALEMD_BUILD_TYPE
+  env.build_type = SCALEMD_BUILD_TYPE;
+#endif
+  env.cpu_model = detect_cpu_model();
+  env.hardware_threads = static_cast<int>(std::thread::hardware_concurrency());
+  env.sanitizer = detect_sanitizer();
+  env.hostname = detect_hostname();
+  return env;
+}
+
+JsonValue BenchEnvironment::to_json() const {
+  JsonValue v = JsonValue::object();
+  v.set("git_sha", git_sha);
+  v.set("compiler", compiler);
+  v.set("cxx_flags", cxx_flags);
+  v.set("build_type", build_type);
+  v.set("cpu_model", cpu_model);
+  v.set("hardware_threads", hardware_threads);
+  v.set("sanitizer", sanitizer);
+  v.set("hostname", hostname);
+  return v;
+}
+
+BenchEnvironment BenchEnvironment::from_json(const JsonValue& v) {
+  BenchEnvironment env;
+  const auto str = [&](const char* key, std::string& out) {
+    if (const JsonValue* m = v.find(key)) out = m->as_string();
+  };
+  str("git_sha", env.git_sha);
+  str("compiler", env.compiler);
+  str("cxx_flags", env.cxx_flags);
+  str("build_type", env.build_type);
+  str("cpu_model", env.cpu_model);
+  str("sanitizer", env.sanitizer);
+  str("hostname", env.hostname);
+  if (const JsonValue* m = v.find("hardware_threads")) {
+    env.hardware_threads = static_cast<int>(m->as_number());
+  }
+  return env;
+}
+
+}  // namespace scalemd::perf

@@ -1,0 +1,34 @@
+#pragma once
+
+// Build/host environment capture for benchmark artifacts: every BENCH_*.json
+// records enough provenance to tell whether two runs are comparable at all
+// (same code? same flags? sanitized build?) before any statistics run.
+
+#include <string>
+
+#include "perf/json.hpp"
+
+namespace scalemd::perf {
+
+struct BenchEnvironment {
+  std::string git_sha = "unknown";    ///< HEAD commit, "unknown" outside a repo
+  std::string compiler = "unknown";   ///< e.g. "g++ 12.2.0"
+  std::string cxx_flags = "unknown";  ///< configure-time flags (build type folded in)
+  std::string build_type = "unknown";
+  std::string cpu_model = "unknown";  ///< /proc/cpuinfo "model name"
+  int hardware_threads = 0;
+  std::string sanitizer = "none";  ///< "none", "address" or "thread"
+  std::string hostname = "unknown";
+
+  JsonValue to_json() const;
+  /// Tolerant reader: absent members keep their defaults so newer readers
+  /// accept older artifacts.
+  static BenchEnvironment from_json(const JsonValue& v);
+};
+
+/// Captures the current build and host. Sanitizer state and compile flags
+/// come from configure-time macros; the git SHA is resolved at run time
+/// (SCALEMD_GIT_SHA overrides, then `git rev-parse HEAD`, else "unknown").
+BenchEnvironment capture_environment();
+
+}  // namespace scalemd::perf

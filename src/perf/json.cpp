@@ -1,0 +1,394 @@
+#include "perf/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace scalemd::perf {
+
+namespace {
+
+[[noreturn]] void kind_fail(const char* want, JsonValue::Kind got) {
+  static const char* names[] = {"null", "bool", "number", "string", "array",
+                                "object"};
+  throw JsonError(std::string("JSON value is ") +
+                  names[static_cast<int>(got)] + ", expected " + want);
+}
+
+void write_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void write_number(std::string& out, double d) {
+  if (!std::isfinite(d)) {
+    // JSON has no Inf/NaN; null is the conventional stand-in.
+    out += "null";
+    return;
+  }
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, d);
+  out.append(buf, res.ptr);
+}
+
+}  // namespace
+
+JsonValue JsonValue::array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::kBool) kind_fail("bool", kind_);
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (kind_ != Kind::kNumber) kind_fail("number", kind_);
+  return num_;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::kString) kind_fail("string", kind_);
+  return str_;
+}
+
+void JsonValue::push_back(JsonValue v) {
+  if (kind_ != Kind::kArray) kind_fail("array", kind_);
+  arr_.push_back(std::move(v));
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  if (kind_ != Kind::kArray) kind_fail("array", kind_);
+  return arr_;
+}
+
+void JsonValue::set(std::string key, JsonValue v) {
+  if (kind_ != Kind::kObject) kind_fail("object", kind_);
+  for (auto& [k, existing] : obj_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  obj_.emplace_back(std::move(key), std::move(v));
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (kind_ != Kind::kObject) kind_fail("object", kind_);
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr) throw JsonError("missing JSON member '" + key + "'");
+  return *v;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members() const {
+  if (kind_ != Kind::kObject) kind_fail("object", kind_);
+  return obj_;
+}
+
+std::size_t JsonValue::size() const {
+  if (kind_ == Kind::kArray) return arr_.size();
+  if (kind_ == Kind::kObject) return obj_.size();
+  return 0;
+}
+
+namespace {
+
+void dump_value(std::string& out, const JsonValue& v, int depth) {
+  const std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+  const std::string pad_in(static_cast<std::size_t>(depth + 1) * 2, ' ');
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull: out += "null"; break;
+    case JsonValue::Kind::kBool: out += v.as_bool() ? "true" : "false"; break;
+    case JsonValue::Kind::kNumber: write_number(out, v.as_number()); break;
+    case JsonValue::Kind::kString: write_escaped(out, v.as_string()); break;
+    case JsonValue::Kind::kArray: {
+      const auto& items = v.items();
+      if (items.empty()) {
+        out += "[]";
+        break;
+      }
+      // Scalar-only arrays (e.g. samples) stay on one line.
+      bool scalars = true;
+      for (const auto& e : items) {
+        scalars = scalars && !e.is_array() && !e.is_object();
+      }
+      out += '[';
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (!scalars) {
+          out += '\n';
+          out += pad_in;
+        }
+        dump_value(out, items[i], depth + 1);
+        if (i + 1 < items.size()) out += scalars ? ", " : ",";
+      }
+      if (!scalars) {
+        out += '\n';
+        out += pad;
+      }
+      out += ']';
+      break;
+    }
+    case JsonValue::Kind::kObject: {
+      const auto& members = v.members();
+      if (members.empty()) {
+        out += "{}";
+        break;
+      }
+      out += "{\n";
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        out += pad_in;
+        write_escaped(out, members[i].first);
+        out += ": ";
+        dump_value(out, members[i].second, depth + 1);
+        if (i + 1 < members.size()) out += ',';
+        out += '\n';
+      }
+      out += pad;
+      out += '}';
+      break;
+    }
+  }
+}
+
+/// Recursive-descent parser over the whole text, tracking line/column.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& reason) const {
+    throw JsonError(std::to_string(line_) + ":" + std::to_string(col_) + ": " +
+                    reason);
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  char take() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    const char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        take();
+      } else {
+        break;
+      }
+    }
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    take();
+  }
+
+  void expect_word(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (peek() != *p) fail(std::string("invalid literal (expected '") + word + "')");
+      take();
+    }
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return JsonValue(parse_string());
+      case 't': expect_word("true"); return JsonValue(true);
+      case 'f': expect_word("false"); return JsonValue(false);
+      case 'n': expect_word("null"); return JsonValue();
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue obj = JsonValue::object();
+    skip_ws();
+    if (peek() == '}') {
+      take();
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.set(std::move(key), parse_value());
+      skip_ws();
+      const char next = peek();
+      if (next == ',') {
+        take();
+      } else if (next == '}') {
+        take();
+        return obj;
+      } else {
+        fail("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue arr = JsonValue::array();
+    skip_ws();
+    if (peek() == ']') {
+      take();
+      return arr;
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      const char next = peek();
+      if (next == ',') {
+        take();
+      } else if (next == ']') {
+        take();
+        return arr;
+      } else {
+        fail("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  std::string parse_string() {
+    if (peek() != '"') fail("expected string");
+    take();
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = take();
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = take();
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = take();
+            code <<= 4;
+            if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+            else fail("invalid \\u escape");
+          }
+          // ASCII-only decoding; everything the writer emits.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else {
+            out += '?';
+          }
+          break;
+        }
+        default: fail("invalid escape sequence");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') take();
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) fail("invalid number");
+    while (std::isdigit(static_cast<unsigned char>(peek()))) take();
+    if (peek() == '.') {
+      take();
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) fail("invalid number");
+      while (std::isdigit(static_cast<unsigned char>(peek()))) take();
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      take();
+      if (peek() == '+' || peek() == '-') take();
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) fail("invalid number");
+      while (std::isdigit(static_cast<unsigned char>(peek()))) take();
+    }
+    double value = 0.0;
+    const auto res = std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    if (res.ec != std::errc{} || res.ptr != text_.data() + pos_) {
+      fail("invalid number");
+    }
+    return JsonValue(value);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+std::string JsonValue::dump() const {
+  std::string out;
+  dump_value(out, *this, 0);
+  out += '\n';
+  return out;
+}
+
+JsonValue JsonValue::parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace scalemd::perf

@@ -1,0 +1,82 @@
+#pragma once
+
+// Minimal JSON value model with a writer and a recursive-descent parser —
+// just enough for the benchmark subsystem's machine-readable artifacts
+// (BENCH_*.json) without an external dependency. Objects preserve insertion
+// order so emitted files diff cleanly; parse errors carry line:column.
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace scalemd::perf {
+
+/// Thrown on malformed JSON text (with "line:col:" prefix) and on kind
+/// mismatches when reading a JsonValue as the wrong type.
+class JsonError : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;  ///< null
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+  JsonValue(double d) : kind_(Kind::kNumber), num_(d) {}
+  JsonValue(int i) : kind_(Kind::kNumber), num_(i) {}
+  JsonValue(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}
+  JsonValue(const char* s) : kind_(Kind::kString), str_(s) {}
+
+  static JsonValue array();
+  static JsonValue object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; throw JsonError on kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+
+  // --- arrays ----------------------------------------------------------
+  /// Appends to an array (throws unless is_array()).
+  void push_back(JsonValue v);
+  const std::vector<JsonValue>& items() const;
+
+  // --- objects ---------------------------------------------------------
+  /// Sets `key` in an object: replaces an existing member, appends
+  /// otherwise (throws unless is_object()).
+  void set(std::string key, JsonValue v);
+  /// Member lookup; nullptr when absent (throws unless is_object()).
+  const JsonValue* find(const std::string& key) const;
+  /// Member lookup; throws JsonError naming the key when absent.
+  const JsonValue& at(const std::string& key) const;
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+  std::size_t size() const;  ///< element/member count (0 for scalars)
+
+  /// Serializes with 2-space indentation and a trailing newline at the
+  /// top level. Numbers use the shortest round-trip representation.
+  std::string dump() const;
+
+  /// Parses one JSON document; trailing non-whitespace is an error.
+  static JsonValue parse(const std::string& text);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<JsonValue> arr_;
+  std::vector<std::pair<std::string, JsonValue>> obj_;
+};
+
+}  // namespace scalemd::perf

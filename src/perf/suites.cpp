@@ -1,0 +1,205 @@
+#include "perf/suites.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/driver.hpp"
+#include "core/parallel_sim.hpp"
+#include "des/simulator.hpp"
+#include "gen/presets.hpp"
+#include "gen/water_box.hpp"
+#include "seq/engine.hpp"
+
+namespace scalemd::perf {
+
+SuiteOptions default_suite_options() {
+  SuiteOptions opts;
+  opts.scale = bench_scale_from_env();
+  return opts;
+}
+
+std::vector<std::string> suite_names() { return {"smoke", "paper"}; }
+
+BenchReport run_suite(const std::string& name, const SuiteOptions& opts) {
+  if (name == "smoke") return run_smoke_suite(opts);
+  if (name == "paper") return run_paper_suite(opts);
+  throw std::invalid_argument("unknown suite '" + name + "' (want smoke|paper)");
+}
+
+std::vector<int> clip_ladder(std::vector<int> pes, double scale) {
+  if (scale >= 1.0) return pes;
+  const std::size_t keep =
+      std::max<std::size_t>(2, static_cast<std::size_t>(pes.size() * scale));
+  pes.resize(std::min(keep, pes.size()));
+  return pes;
+}
+
+void append_scaling_records(BenchReport& report, const std::string& prefix,
+                            const std::vector<ScalingRow>& rows) {
+  BenchRunner runner;
+  for (const ScalingRow& r : rows) {
+    runner
+        .record_value(prefix + "/pes=" + std::to_string(r.pes),
+                      "virtual_seconds_per_step", r.seconds_per_step)
+        .param("pes", r.pes)
+        .param("speedup", r.speedup)
+        .param("gflops", r.gflops);
+  }
+  for (BenchRecord& r : runner.take_records()) {
+    report.benchmarks.push_back(std::move(r));
+  }
+}
+
+namespace {
+
+/// One force evaluation per sample, per kernel variant, on a smoke-sized
+/// water box. The variants share one Molecule so work counters line up.
+void smoke_forces(BenchRunner& runner, const SuiteOptions& opts) {
+  const double side = 30.0 * std::cbrt(std::min(opts.scale, 1.0));
+  const Molecule mol = make_water_box({side, side, side}, /*seed=*/42);
+
+  const struct {
+    NonbondedKernel kernel;
+    const char* name;
+  } variants[] = {
+      {NonbondedKernel::kScalar, "scalar"},
+      {NonbondedKernel::kTiled, "tiled"},
+      {NonbondedKernel::kTiledThreads, "tiled_threads"},
+  };
+  for (const auto& v : variants) {
+    EngineOptions eng_opts;
+    eng_opts.nonbonded.kernel = v.kernel;
+    eng_opts.nonbonded.threads = opts.threads;
+    SequentialEngine eng(mol, eng_opts);  // ctor primes forces once
+
+    // Calibrate a batch size so each sample spans a few milliseconds of
+    // work: a single microsecond-scale evaluation is dominated by scheduler
+    // jitter, and the gate's MAD estimate needs honest samples.
+    const auto t0 = std::chrono::steady_clock::now();
+    eng.compute_forces();
+    const double est =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    const int iters = static_cast<int>(
+        std::clamp(std::ceil(5e-3 / std::max(est, 1e-9)), 1.0, 128.0));
+
+    runner
+        .time_batch(std::string("forces/") + v.name, "seconds_per_eval", iters,
+                    [&eng] { eng.compute_forces(); })
+        .param("atoms", mol.atom_count())
+        .param("batch", iters)
+        .param("threads",
+               v.kernel == NonbondedKernel::kTiledThreads ? opts.threads : 1)
+        .label("kernel", v.name);
+  }
+}
+
+/// DES substrate throughput: wall seconds to schedule-and-drain a fixed
+/// batch of null tasks across 8 virtual PEs.
+void smoke_des_events(BenchRunner& runner) {
+  constexpr int kTasks = 20000;
+  constexpr int kPes = 8;
+  runner
+      .time("runtime/des_events", "seconds_per_run",
+            [] {
+              Simulator sim(kPes, MachineModel::asci_red());
+              for (int i = 0; i < kTasks; ++i) {
+                sim.inject(i % kPes, {.fn = [](ExecContext& c) { c.charge(1e-6); }});
+              }
+              sim.run();
+            })
+      .param("tasks", kTasks)
+      .param("pes", kPes);
+}
+
+/// The parallel runtime end to end on both backends: the DES machine's
+/// virtual s/step (deterministic) and the threaded backend's measured
+/// wall-clock s/step.
+void smoke_runtime(BenchRunner& runner, const SuiteOptions& opts) {
+  const double side = 30.0 * std::cbrt(std::min(opts.scale, 1.0));
+  Molecule mol = make_water_box({side, side, side}, /*seed=*/42);
+  mol.assign_velocities(300.0, /*seed=*/7);
+  const Workload wl(mol, MachineModel::asci_red());
+  constexpr int kPes = 2;
+  constexpr int kSteps = 2;
+
+  {
+    ParallelOptions popts;
+    popts.num_pes = 8;
+    ParallelSim sim(wl, popts);
+    runner
+        .record_value("runtime/sim_step", "virtual_seconds_per_step",
+                      sim.run_benchmark(2, 3))
+        .param("pes", 8)
+        .param("atoms", mol.atom_count());
+  }
+
+  {
+    ParallelOptions popts;
+    popts.num_pes = kPes;
+    popts.numeric = true;
+    popts.dt_fs = 1.0;
+    popts.backend = BackendKind::kThreaded;
+    popts.threads = opts.threads;
+    ParallelSim sim(wl, popts);
+    // LB warm-up as the paper runs it, then repeated timed cycles: each
+    // rep's sample is the wall-clock window of one cycle over its steps.
+    sim.run_cycle(2);
+    sim.load_balance(/*refine_only=*/false);
+    sim.run_cycle(2);
+    sim.load_balance(/*refine_only=*/true);
+    std::vector<double> samples;
+    const int reps = std::max(1, runner.options().reps);
+    for (int r = 0; r < reps; ++r) {
+      const double t0 = sim.backend().time();
+      sim.run_cycle(kSteps);
+      samples.push_back((sim.backend().time() - t0) / kSteps);
+    }
+    runner
+        .record_samples("runtime/threads_step", "seconds_per_step",
+                        std::move(samples))
+        .param("pes", kPes)
+        .param("threads", opts.threads)
+        .param("steps", kSteps)
+        .param("atoms", mol.atom_count());
+  }
+}
+
+}  // namespace
+
+BenchReport run_smoke_suite(const SuiteOptions& opts) {
+  BenchReport report = make_report("smoke");
+  BenchRunner runner({.reps = opts.reps, .warmup = opts.warmup});
+  smoke_forces(runner, opts);
+  smoke_des_events(runner);
+  smoke_runtime(runner, opts);
+  report.benchmarks = runner.take_records();
+  return report;
+}
+
+BenchReport run_paper_suite(const SuiteOptions& opts) {
+  BenchReport report = make_report("paper");
+
+  {
+    const Molecule mol = apoa1_like();
+    const Workload wl(mol, MachineModel::asci_red());
+    BenchmarkConfig cfg;
+    cfg.machine = MachineModel::asci_red();
+    cfg.pe_counts = clip_ladder(asci_ladder(1, 2048), opts.scale);
+    append_scaling_records(report, "table2", run_scaling(wl, cfg));
+  }
+  {
+    const Molecule mol = bc1_like();
+    const Workload wl(mol, MachineModel::asci_red());
+    BenchmarkConfig cfg;
+    cfg.machine = MachineModel::asci_red();
+    cfg.pe_counts = clip_ladder(asci_ladder(2, 2048), opts.scale);
+    cfg.speedup_base = 2.0;
+    append_scaling_records(report, "table3", run_scaling(wl, cfg));
+  }
+  return report;
+}
+
+}  // namespace scalemd::perf

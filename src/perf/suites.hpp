@@ -1,0 +1,53 @@
+#pragma once
+
+// Curated benchmark suites behind the `scalemd-bench` driver and the CI
+// perf-smoke gate.
+//
+//   smoke  micro force-kernel variants + runtime substrate, sized to finish
+//          in seconds; the per-PR regression gate runs this twice and diffs.
+//   paper  the Table 2 / Table 3 scaling sweeps (virtual machine-model
+//          seconds — deterministic, so any delta is a real model change).
+
+#include <string>
+#include <vector>
+
+#include "perf/report.hpp"
+
+namespace scalemd {
+struct ScalingRow;
+}
+
+namespace scalemd::perf {
+
+struct SuiteOptions {
+  int reps = 7;     ///< timed repetitions per wall-clock benchmark
+  int warmup = 2;   ///< untimed warmup iterations
+  int threads = 2;  ///< workers for threaded kernels / the threaded backend
+  /// Problem-size scale in (0, 1]: shrinks boxes (by cbrt) and clips PE
+  /// ladders. Defaults from SCALEMD_BENCH_SCALE when constructed via
+  /// default_suite_options().
+  double scale = 1.0;
+};
+
+/// SuiteOptions with `scale` initialized from SCALEMD_BENCH_SCALE.
+SuiteOptions default_suite_options();
+
+std::vector<std::string> suite_names();
+
+/// Runs a named suite; throws std::invalid_argument for unknown names.
+BenchReport run_suite(const std::string& name, const SuiteOptions& opts);
+
+BenchReport run_smoke_suite(const SuiteOptions& opts);
+BenchReport run_paper_suite(const SuiteOptions& opts);
+
+/// Appends one deterministic record per ScalingRow as
+/// "<prefix>/pes=<P>" with metric virtual_seconds_per_step — shared by the
+/// paper suite and the bench_table* binaries' --json mode.
+void append_scaling_records(BenchReport& report, const std::string& prefix,
+                            const std::vector<ScalingRow>& rows);
+
+/// Keeps the first max(2, size * scale) entries of a PE ladder (scale >= 1
+/// keeps all) — the smoke-run clipping rule the bench binaries share.
+std::vector<int> clip_ladder(std::vector<int> pes, double scale);
+
+}  // namespace scalemd::perf

@@ -1,28 +1,18 @@
 #include "topo/io.hpp"
 
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
+#include <limits>
 #include <sstream>
-#include <stdexcept>
 
 namespace scalemd {
 
 namespace {
 
 constexpr const char* kMagic = "scalemd-molecule 1";
-
-void fail(const std::string& what) {
-  throw std::runtime_error("load_molecule: " + what);
-}
-
-std::size_t read_count(std::istream& is, const char* section) {
-  std::string key;
-  std::size_t n = 0;
-  if (!(is >> key >> n) || key != section) {
-    fail(std::string("expected section '") + section + "'");
-  }
-  return n;
-}
 
 /// Crude element guess from atomic mass, for XYZ viewers only.
 const char* element_for_mass(double mass) {
@@ -35,7 +25,116 @@ const char* element_for_mass(double mass) {
   return "C";
 }
 
+/// Whitespace-token scanner over the input stream that counts newlines, so
+/// every error can name the exact line it happened on. All number parsing
+/// validates the complete token (no "1.5garbage") and rejects non-finite
+/// values — a molecule file never legitimately contains inf or nan.
+class Reader {
+ public:
+  Reader(std::istream& is, std::string source)
+      : is_(is), source_(std::move(source)) {}
+
+  [[noreturn]] void fail(const std::string& reason) const {
+    throw MoleculeParseError(source_, line_, reason);
+  }
+
+  int line() const { return line_; }
+
+  /// Reads the rest of the current line (for the free-form name field).
+  std::string rest_of_line() {
+    std::string text;
+    std::getline(is_, text);
+    ++line_;
+    if (!text.empty() && text.front() == ' ') text.erase(0, 1);
+    return text;
+  }
+
+  /// Requires the literal header line `expected` next.
+  void expect_line(const std::string& expected, const char* what) {
+    std::string text;
+    if (!std::getline(is_, text)) fail(std::string("missing ") + what);
+    if (!text.empty() && text.back() == '\r') text.pop_back();
+    if (text != expected) fail(std::string("bad ") + what);
+    ++line_;
+  }
+
+  /// Requires the keyword `key` as the next token.
+  void expect_key(const char* key) {
+    std::string tok;
+    if (!next_token(tok)) fail(std::string("expected '") + key + "', got end of input");
+    if (tok != key) fail(std::string("expected '") + key + "', got '" + tok + "'");
+  }
+
+  double expect_double(const char* what) {
+    std::string tok;
+    if (!next_token(tok)) {
+      fail(std::string("truncated input: expected ") + what);
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size() || tok.empty() || errno == ERANGE ||
+        !std::isfinite(v)) {
+      fail(std::string("expected a finite number for ") + what + ", got '" + tok + "'");
+    }
+    return v;
+  }
+
+  long expect_integer(const char* what, long min_value, long max_value) {
+    std::string tok;
+    if (!next_token(tok)) {
+      fail(std::string("truncated input: expected ") + what);
+    }
+    errno = 0;
+    char* end = nullptr;
+    const long v = std::strtol(tok.c_str(), &end, 10);
+    if (end != tok.c_str() + tok.size() || tok.empty() || errno == ERANGE) {
+      fail(std::string("expected an integer for ") + what + ", got '" + tok + "'");
+    }
+    if (v < min_value || v > max_value) {
+      fail(std::string(what) + " " + tok + " out of range [" +
+           std::to_string(min_value) + ", " + std::to_string(max_value) + "]");
+    }
+    return v;
+  }
+
+  std::size_t expect_count(const char* section) {
+    expect_key(section);
+    return static_cast<std::size_t>(expect_integer(
+        (std::string(section) + " count").c_str(), 0,
+        std::numeric_limits<long>::max()));
+  }
+
+ private:
+  /// Next whitespace-delimited token; false at end of input.
+  bool next_token(std::string& tok) {
+    tok.clear();
+    int c = is_.get();
+    while (c != EOF && (c == ' ' || c == '\t' || c == '\n' || c == '\r')) {
+      if (c == '\n') ++line_;
+      c = is_.get();
+    }
+    if (c == EOF) return false;
+    while (c != EOF && c != ' ' && c != '\t' && c != '\n' && c != '\r') {
+      tok += static_cast<char>(c);
+      c = is_.get();
+    }
+    if (c == '\n') ++line_;
+    return true;
+  }
+
+  std::istream& is_;
+  std::string source_;
+  int line_ = 1;
+};
+
 }  // namespace
+
+MoleculeParseError::MoleculeParseError(const std::string& source, int line,
+                                       const std::string& reason)
+    : std::runtime_error(source + ":" + std::to_string(line) + ": " + reason),
+      source_(source),
+      line_(line) {}
 
 void save_molecule(const Molecule& mol, std::ostream& os) {
   os << kMagic << '\n';
@@ -104,103 +203,132 @@ void save_molecule(const Molecule& mol, const std::string& path) {
   save_molecule(mol, os);
 }
 
-Molecule load_molecule(std::istream& is) {
-  std::string line;
-  if (!std::getline(is, line) || line != kMagic) fail("bad magic");
+Molecule load_molecule(std::istream& is, const std::string& source_name) {
+  Reader r(is, source_name);
+  r.expect_line(kMagic, "magic (want \"scalemd-molecule 1\")");
 
   Molecule mol;
-  std::string key;
-  if (!(is >> key) || key != "name") fail("expected name");
-  std::getline(is, mol.name);
-  if (!mol.name.empty() && mol.name.front() == ' ') mol.name.erase(0, 1);
-  if (!(is >> key >> mol.box.x >> mol.box.y >> mol.box.z) || key != "box") {
-    fail("expected box");
+  r.expect_key("name");
+  mol.name = r.rest_of_line();
+  r.expect_key("box");
+  mol.box.x = r.expect_double("box x");
+  mol.box.y = r.expect_double("box y");
+  mol.box.z = r.expect_double("box z");
+  if (mol.box.x <= 0.0 || mol.box.y <= 0.0 || mol.box.z <= 0.0) {
+    r.fail("box extents must be positive");
   }
-  if (!(is >> key >> mol.suggested_patch_size) || key != "patchsize") {
-    fail("expected patchsize");
-  }
-  if (!(is >> key >> mol.params.scale14) || key != "scale14") {
-    fail("expected scale14");
-  }
+  r.expect_key("patchsize");
+  mol.suggested_patch_size = r.expect_double("patchsize");
+  if (mol.suggested_patch_size < 0.0) r.fail("patchsize must be >= 0");
+  r.expect_key("scale14");
+  mol.params.scale14 = r.expect_double("scale14");
 
-  const std::size_t nlj = read_count(is, "ljtypes");
+  const std::size_t nlj = r.expect_count("ljtypes");
   for (std::size_t i = 0; i < nlj; ++i) {
-    double eps = 0, rmin = 0;
-    if (!(is >> eps >> rmin)) fail("truncated ljtypes");
+    const double eps = r.expect_double("ljtype epsilon");
+    const double rmin = r.expect_double("ljtype rmin_half");
     mol.params.add_lj_type(eps, rmin);
   }
-  const std::size_t nbp = read_count(is, "bondparams");
+  const std::size_t nbp = r.expect_count("bondparams");
   for (std::size_t i = 0; i < nbp; ++i) {
-    double k = 0, r0 = 0;
-    if (!(is >> k >> r0)) fail("truncated bondparams");
+    const double k = r.expect_double("bond k");
+    const double r0 = r.expect_double("bond r0");
     mol.params.add_bond_param(k, r0);
   }
-  const std::size_t nap = read_count(is, "angleparams");
+  const std::size_t nap = r.expect_count("angleparams");
   for (std::size_t i = 0; i < nap; ++i) {
-    double k = 0, t0 = 0;
-    if (!(is >> k >> t0)) fail("truncated angleparams");
+    const double k = r.expect_double("angle k");
+    const double t0 = r.expect_double("angle theta0");
     mol.params.add_angle_param(k, t0);
   }
-  const std::size_t ndp = read_count(is, "dihedralparams");
+  const std::size_t ndp = r.expect_count("dihedralparams");
   for (std::size_t i = 0; i < ndp; ++i) {
-    double k = 0, delta = 0;
-    int n = 0;
-    if (!(is >> k >> n >> delta)) fail("truncated dihedralparams");
+    const double k = r.expect_double("dihedral k");
+    const int n = static_cast<int>(r.expect_integer("dihedral n", 0, 1 << 20));
+    const double delta = r.expect_double("dihedral delta");
     mol.params.add_dihedral_param(k, n, delta);
   }
-  const std::size_t nip = read_count(is, "improperparams");
+  const std::size_t nip = r.expect_count("improperparams");
   for (std::size_t i = 0; i < nip; ++i) {
-    double k = 0, psi0 = 0;
-    if (!(is >> k >> psi0)) fail("truncated improperparams");
+    const double k = r.expect_double("improper k");
+    const double psi0 = r.expect_double("improper psi0");
     mol.params.add_improper_param(k, psi0);
   }
   mol.params.finalize();
 
-  const std::size_t natoms = read_count(is, "atoms");
+  const std::size_t natoms = r.expect_count("atoms");
+  const long max_atom = static_cast<long>(natoms) - 1;
   for (std::size_t i = 0; i < natoms; ++i) {
     Atom a;
     Vec3 x, v;
-    if (!(is >> a.mass >> a.charge >> a.lj_type >> x.x >> x.y >> x.z >> v.x >> v.y >>
-          v.z)) {
-      fail("truncated atoms");
-    }
+    a.mass = r.expect_double("atom mass");
+    if (a.mass <= 0.0) r.fail("atom mass must be positive");
+    a.charge = r.expect_double("atom charge");
+    a.lj_type = static_cast<int>(r.expect_integer(
+        "atom lj_type", 0, static_cast<long>(nlj) - 1));
+    x.x = r.expect_double("atom x");
+    x.y = r.expect_double("atom y");
+    x.z = r.expect_double("atom z");
+    v.x = r.expect_double("atom vx");
+    v.y = r.expect_double("atom vy");
+    v.z = r.expect_double("atom vz");
     const int idx = mol.add_atom(a, x);
     mol.velocities()[static_cast<std::size_t>(idx)] = v;
   }
-  const std::size_t nb = read_count(is, "bonds");
+  const std::size_t nb = r.expect_count("bonds");
+  const long max_param_b = static_cast<long>(nbp) - 1;
   for (std::size_t i = 0; i < nb; ++i) {
-    int a = 0, b = 0, p = 0;
-    if (!(is >> a >> b >> p)) fail("truncated bonds");
+    const int a = static_cast<int>(r.expect_integer("bond atom a", 0, max_atom));
+    const int b = static_cast<int>(r.expect_integer("bond atom b", 0, max_atom));
+    const int p = static_cast<int>(r.expect_integer("bond param", 0, max_param_b));
     mol.add_bond(a, b, p);
   }
-  const std::size_t na = read_count(is, "angles");
+  const std::size_t na = r.expect_count("angles");
+  const long max_param_a = static_cast<long>(nap) - 1;
   for (std::size_t i = 0; i < na; ++i) {
-    int a = 0, b = 0, c = 0, p = 0;
-    if (!(is >> a >> b >> c >> p)) fail("truncated angles");
+    const int a = static_cast<int>(r.expect_integer("angle atom a", 0, max_atom));
+    const int b = static_cast<int>(r.expect_integer("angle atom b", 0, max_atom));
+    const int c = static_cast<int>(r.expect_integer("angle atom c", 0, max_atom));
+    const int p = static_cast<int>(r.expect_integer("angle param", 0, max_param_a));
     mol.add_angle(a, b, c, p);
   }
-  const std::size_t nd = read_count(is, "dihedrals");
+  const std::size_t nd = r.expect_count("dihedrals");
+  const long max_param_d = static_cast<long>(ndp) - 1;
   for (std::size_t i = 0; i < nd; ++i) {
-    int a = 0, b = 0, c = 0, d = 0, p = 0;
-    if (!(is >> a >> b >> c >> d >> p)) fail("truncated dihedrals");
+    const int a = static_cast<int>(r.expect_integer("dihedral atom a", 0, max_atom));
+    const int b = static_cast<int>(r.expect_integer("dihedral atom b", 0, max_atom));
+    const int c = static_cast<int>(r.expect_integer("dihedral atom c", 0, max_atom));
+    const int d = static_cast<int>(r.expect_integer("dihedral atom d", 0, max_atom));
+    const int p = static_cast<int>(r.expect_integer("dihedral param", 0, max_param_d));
     mol.add_dihedral(a, b, c, d, p);
   }
-  const std::size_t ni = read_count(is, "impropers");
+  const std::size_t ni = r.expect_count("impropers");
+  const long max_param_i = static_cast<long>(nip) - 1;
   for (std::size_t i = 0; i < ni; ++i) {
-    int a = 0, b = 0, c = 0, d = 0, p = 0;
-    if (!(is >> a >> b >> c >> d >> p)) fail("truncated impropers");
+    const int a = static_cast<int>(r.expect_integer("improper atom a", 0, max_atom));
+    const int b = static_cast<int>(r.expect_integer("improper atom b", 0, max_atom));
+    const int c = static_cast<int>(r.expect_integer("improper atom c", 0, max_atom));
+    const int d = static_cast<int>(r.expect_integer("improper atom d", 0, max_atom));
+    const int p = static_cast<int>(r.expect_integer("improper param", 0, max_param_i));
     mol.add_improper(a, b, c, d, p);
   }
-  if (!(is >> key) || key != "end") fail("missing end marker");
+  r.expect_key("end");
 
-  mol.validate();
+  // Semantic checks the per-token scanner cannot express (self bonds, atoms
+  // outside the box, ...): surface them as parse errors at the end marker's
+  // line rather than a bare runtime_error.
+  try {
+    mol.validate();
+  } catch (const std::runtime_error& e) {
+    r.fail(e.what());
+  }
   return mol;
 }
 
 Molecule load_molecule(const std::string& path) {
   std::ifstream is(path);
   if (!is) throw std::runtime_error("load_molecule: cannot open " + path);
-  return load_molecule(is);
+  return load_molecule(is, path);
 }
 
 void write_xyz(const Molecule& mol, std::ostream& os, const std::string& comment) {

@@ -1,11 +1,29 @@
 #pragma once
 
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 
 #include "topo/molecule.hpp"
 
 namespace scalemd {
+
+/// Thrown by load_molecule on malformed input. The message is always
+/// "<source>:<line>: <reason>" — source is the file path (or "<stream>" for
+/// the stream overload), line is 1-based. Derives from std::runtime_error
+/// so pre-existing catch sites keep working.
+class MoleculeParseError : public std::runtime_error {
+ public:
+  MoleculeParseError(const std::string& source, int line,
+                     const std::string& reason);
+
+  const std::string& source() const { return source_; }
+  int line() const { return line_; }
+
+ private:
+  std::string source_;
+  int line_ = 0;
+};
 
 /// Writes the complete system — force-field parameters, atoms with
 /// coordinates and velocities, and all bonded topology — in scalemd's
@@ -13,10 +31,13 @@ namespace scalemd {
 void save_molecule(const Molecule& mol, std::ostream& os);
 void save_molecule(const Molecule& mol, const std::string& path);
 
-/// Reads a system written by save_molecule. Throws std::runtime_error on
-/// malformed input (bad magic, truncated sections, index errors are caught
-/// by the final validate()).
-Molecule load_molecule(std::istream& is);
+/// Reads a system written by save_molecule. Throws MoleculeParseError with
+/// a "<source>:<line>:" location on any malformed input — bad magic, wrong
+/// or truncated sections, non-numeric or non-finite values, out-of-range
+/// atom/parameter indices — never crashes or invokes UB on garbage.
+/// `source_name` labels errors from the stream overload.
+Molecule load_molecule(std::istream& is,
+                       const std::string& source_name = "<stream>");
 Molecule load_molecule(const std::string& path);
 
 /// Writes coordinates in XYZ format (element guessed from mass) for quick

@@ -1,21 +1,32 @@
 #include "util/histogram.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <sstream>
+#include <stdexcept>
 
 namespace scalemd {
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
-  assert(hi > lo);
-  assert(bins >= 1);
+  if (bins < 1) throw std::invalid_argument("Histogram: bins must be >= 1");
+  if (!(std::isfinite(lo) && std::isfinite(hi) && hi > lo)) {
+    throw std::invalid_argument("Histogram: range requires finite lo < hi");
+  }
 }
 
 void Histogram::add(double value) { add(value, 1); }
 
 void Histogram::add(double value, std::size_t weight) {
+  if (!std::isfinite(value)) {
+    // Counted so nothing is silently dropped, but kept out of the running
+    // sum/max so mean_sample()/max_sample() stay finite.
+    counts_[value > 0.0 ? counts_.size() - 1 : 0] += weight;
+    clamped_ += weight;
+    total_ += weight;
+    nonfinite_ += weight;
+    return;
+  }
   double idx = std::floor((value - lo_) / width_);
   if (idx < 0.0 || idx >= static_cast<double>(counts_.size())) {
     clamped_ += weight;
@@ -28,7 +39,8 @@ void Histogram::add(double value, std::size_t weight) {
 }
 
 double Histogram::mean_sample() const {
-  return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_);
+  const std::size_t finite = total_ - nonfinite_;
+  return finite == 0 ? 0.0 : sum_ / static_cast<double>(finite);
 }
 
 std::string Histogram::render(std::size_t width) const {

@@ -12,14 +12,17 @@ namespace scalemd {
 /// distributions of Figures 1 and 2 and for load-distribution diagnostics.
 class Histogram {
  public:
-  /// Creates `bins` equal-width bins covering [lo, hi). Requires lo < hi and
-  /// bins >= 1.
+  /// Creates `bins` equal-width bins covering [lo, hi). Throws
+  /// std::invalid_argument unless lo < hi (both finite) and bins >= 1.
   Histogram(double lo, double hi, std::size_t bins);
 
   /// Adds one sample.
   void add(double value);
 
   /// Adds one sample with an integer weight (e.g. "count of tasks").
+  /// Non-finite values count toward total() and clamped() and land in an
+  /// edge bin (first for NaN/-inf, last for +inf), but are excluded from
+  /// mean_sample() and max_sample() so those stay finite.
   void add(double value, std::size_t weight);
 
   std::size_t bin_count() const { return counts_.size(); }
@@ -47,6 +50,7 @@ class Histogram {
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
   std::size_t clamped_ = 0;
+  std::size_t nonfinite_ = 0;
   double max_sample_ = 0.0;
   double sum_ = 0.0;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 namespace scalemd {
 
@@ -21,6 +22,67 @@ Summary summarize(std::span<const double> values) {
   for (double v : values) var += (v - s.mean) * (v - s.mean);
   s.stddev = std::sqrt(var / static_cast<double>(s.n));
   return s;
+}
+
+namespace {
+
+/// Median of an already-sorted non-empty vector.
+double sorted_median(const std::vector<double>& v) {
+  const std::size_t n = v.size();
+  const std::size_t mid = n / 2;
+  if (n % 2 == 1) return v[mid];
+  return 0.5 * (v[mid - 1] + v[mid]);
+}
+
+}  // namespace
+
+double median(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  std::vector<double> v(values.begin(), values.end());
+  std::sort(v.begin(), v.end());
+  return sorted_median(v);
+}
+
+double mad(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double m = median(values);
+  std::vector<double> dev;
+  dev.reserve(values.size());
+  for (double v : values) dev.push_back(std::fabs(v - m));
+  std::sort(dev.begin(), dev.end());
+  return sorted_median(dev);
+}
+
+double percentile(std::span<const double> values, double pct) {
+  if (values.empty()) return 0.0;
+  std::vector<double> v(values.begin(), values.end());
+  std::sort(v.begin(), v.end());
+  if (v.size() == 1) return v.front();
+  pct = std::clamp(pct, 0.0, 100.0);
+  const double rank = pct / 100.0 * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return v[lo] + frac * (v[hi] - v[lo]);
+}
+
+RobustSummary robust_summarize(std::span<const double> values) {
+  RobustSummary r;
+  if (values.empty()) return r;
+  std::vector<double> v(values.begin(), values.end());
+  std::sort(v.begin(), v.end());
+  r.n = v.size();
+  r.min = v.front();
+  r.max = v.back();
+  r.median = sorted_median(v);
+  if (r.n >= 2) {
+    std::vector<double> dev;
+    dev.reserve(v.size());
+    for (double x : v) dev.push_back(std::fabs(x - r.median));
+    std::sort(dev.begin(), dev.end());
+    r.mad = sorted_median(dev);
+  }
+  return r;
 }
 
 double imbalance_ratio(std::span<const double> loads) {

@@ -19,6 +19,35 @@ struct Summary {
 /// zero-initialized Summary.
 Summary summarize(std::span<const double> values);
 
+/// Robust order statistics, the benchmark subsystem's preferred summary
+/// (median/MAD resist the long right tail of wall-clock timing noise where
+/// mean/stddev do not). Well defined for every input size: empty gives
+/// n == 0 with all fields zero, a single sample has median == min == max
+/// and mad == 0, and an all-equal sample has mad == 0. Never NaN for
+/// finite input.
+struct RobustSummary {
+  std::size_t n = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double mad = 0.0;  ///< median absolute deviation from the median
+};
+
+RobustSummary robust_summarize(std::span<const double> values);
+
+/// Median of `values` (average of the two middle elements for even n).
+/// Returns 0.0 for an empty sample.
+double median(std::span<const double> values);
+
+/// Median absolute deviation from the median. Returns 0.0 for samples of
+/// fewer than two elements and for all-equal samples.
+double mad(std::span<const double> values);
+
+/// Percentile in [0, 100] with linear interpolation between order
+/// statistics (pct is clamped into range). Returns 0.0 for an empty
+/// sample; a single-element sample returns that element for every pct.
+double percentile(std::span<const double> values, double pct);
+
 /// Load-imbalance ratio max/mean of `loads`; 1.0 means perfectly balanced.
 /// Returns 1.0 for empty or all-zero input.
 double imbalance_ratio(std::span<const double> loads);

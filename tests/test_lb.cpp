@@ -199,6 +199,88 @@ TEST(RcbTest, WeightedSplitFollowsWeight) {
   EXPECT_EQ(map[2], 0);
 }
 
+// ---------------------------------------------------------------------------
+// Randomized strategy properties: on arbitrary instances, the strategies
+// must never do worse than the placements they claim to improve, and
+// refinement must respect its move budget.
+// ---------------------------------------------------------------------------
+
+/// A fully randomized instance — unlike make_problem, sizes, homes, loads
+/// and patch wiring all vary with the seed.
+LbProblem random_problem(std::uint64_t seed) {
+  Rng rng(seed);
+  LbProblem p;
+  p.num_pes = 1 + static_cast<int>(rng.uniform(0.0, 15.0));
+  const int npatches = 1 + static_cast<int>(rng.uniform(0.0, 60.0));
+  p.background.resize(static_cast<std::size_t>(p.num_pes));
+  for (double& b : p.background) b = rng.uniform(0.0, 1.0);
+  for (int i = 0; i < npatches; ++i) {
+    p.patch_home.push_back(static_cast<int>(rng.uniform(0.0, p.num_pes - 1e-9)));
+  }
+  const int nobjects = 1 + static_cast<int>(rng.uniform(0.0, 120.0));
+  for (int i = 0; i < nobjects; ++i) {
+    LbObject o;
+    o.load = rng.uniform(0.01, 5.0);
+    o.current_pe = static_cast<int>(rng.uniform(0.0, p.num_pes - 1e-9));
+    o.patch_a = static_cast<int>(rng.uniform(0.0, npatches - 1e-9));
+    if (rng.uniform(0.0, 1.0) < 0.5) {
+      o.patch_b = static_cast<int>(rng.uniform(0.0, npatches - 1e-9));
+    }
+    p.objects.push_back(o);
+  }
+  return p;
+}
+
+double max_load(const LbProblem& p, const LbAssignment& map) {
+  const auto loads = pe_loads(p, map);
+  return *std::max_element(loads.begin(), loads.end());
+}
+
+TEST(LbPropertyTest, GreedyNeverWorseThanStaticPlacement) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const LbProblem p = random_problem(seed);
+    const double naive = max_load(p, identity_map(p));
+    EXPECT_LE(max_load(p, greedy_comm_map(p)), naive + 1e-9) << "seed " << seed;
+    EXPECT_LE(max_load(p, greedy_nocomm_map(p)), naive + 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(LbPropertyTest, RefineNeverIncreasesMaxLoadOnRandomInstances) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const LbProblem p = random_problem(seed);
+    const LbAssignment start = random_map(p, seed * 7 + 1);
+    const double before = max_load(p, start);
+    EXPECT_LE(max_load(p, refine_map(p, start, 1.03)), before + 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(LbPropertyTest, RefineAfterGreedyNeverWorseThanGreedyAlone) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const LbProblem p = random_problem(seed);
+    const LbAssignment greedy = greedy_comm_map(p);
+    const double greedy_max = max_load(p, greedy);
+    EXPECT_LE(max_load(p, refine_map(p, greedy, 1.03)), greedy_max + 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(LbPropertyTest, RefineRespectsMoveBudgetAndTerminates) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const LbProblem p = random_problem(seed);
+    const LbAssignment start = random_map(p, seed * 13 + 5);
+    for (int budget : {0, 1, 3}) {
+      const LbAssignment refined = refine_map(p, start, 1.01, budget);
+      EXPECT_LE(migration_count(start, refined), budget)
+          << "seed " << seed << " budget " << budget;
+    }
+    // A hostile threshold (everything counts as overloaded) must still
+    // terminate and respect the monotonicity contract.
+    const LbAssignment tight = refine_map(p, start, 1.0);
+    EXPECT_LE(max_load(p, tight), max_load(p, start) + 1e-9) << "seed " << seed;
+  }
+}
+
 TEST(NaiveTest, RandomMapInRangeAndDeterministic) {
   const LbProblem p = make_problem(7, 20);
   const auto a = random_map(p, 42);

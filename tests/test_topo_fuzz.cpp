@@ -1,0 +1,260 @@
+// Property and mutation-fuzz tests for the topology reader (topo/io).
+// Contract under test: load_molecule either returns a valid Molecule or
+// throws MoleculeParseError carrying a "<source>:<line>:" location — it
+// never crashes, never invokes UB (the unit suite runs under ASan/UBSan in
+// CI), and never lets a non-finite number or out-of-range index through.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "topo/io.hpp"
+#include "topo/molecule.hpp"
+#include "util/random.hpp"
+
+namespace scalemd {
+namespace {
+
+/// A small molecule exercising every section of the format: two LJ types,
+/// every bonded parameter kind, and one term of each kind.
+Molecule sample_molecule() {
+  Molecule mol;
+  mol.name = "fuzz sample";
+  mol.box = {20.0, 20.0, 20.0};
+  mol.suggested_patch_size = 10.0;
+  const int t0 = mol.params.add_lj_type(0.15, 1.8);
+  const int t1 = mol.params.add_lj_type(0.05, 1.2);
+  const int b = mol.params.add_bond_param(340.0, 1.09);
+  const int a = mol.params.add_angle_param(55.0, 1.9);
+  const int d = mol.params.add_dihedral_param(1.4, 3, 0.5);
+  const int im = mol.params.add_improper_param(10.0, 0.1);
+  mol.params.finalize();
+  for (int i = 0; i < 5; ++i) {
+    mol.add_atom({12.0, i % 2 == 0 ? 0.3 : -0.3, i % 2 == 0 ? t0 : t1},
+                 {2.0 + 3.0 * i, 5.0, 5.0});
+  }
+  mol.add_bond(0, 1, b);
+  mol.add_bond(1, 2, b);
+  mol.add_bond(2, 3, b);
+  mol.add_bond(3, 4, b);
+  mol.add_angle(0, 1, 2, a);
+  mol.add_dihedral(0, 1, 2, 3, d);
+  mol.add_improper(1, 0, 2, 3, im);
+  mol.assign_velocities(300.0, 7);
+  return mol;
+}
+
+std::string serialize(const Molecule& mol) {
+  std::ostringstream os;
+  save_molecule(mol, os);
+  return os.str();
+}
+
+/// The property every input must satisfy: parse cleanly or fail with a
+/// located MoleculeParseError. Returns true when the input parsed.
+bool parses_cleanly_or_throws_located(const std::string& text) {
+  std::istringstream is(text);
+  try {
+    const Molecule mol = load_molecule(is, "fuzz");
+    mol.validate();
+    return true;
+  } catch (const MoleculeParseError& e) {
+    EXPECT_EQ(e.source(), "fuzz");
+    EXPECT_GE(e.line(), 1);
+    const std::string expected_prefix =
+        "fuzz:" + std::to_string(e.line()) + ": ";
+    EXPECT_EQ(std::string(e.what()).rfind(expected_prefix, 0), 0u)
+        << "message '" << e.what() << "' does not start with its location";
+    return false;
+  }
+  // Any other exception type (or a crash) fails the test via gtest/ASan.
+}
+
+TEST(TopoFuzzTest, RoundTripStillParses) {
+  EXPECT_TRUE(parses_cleanly_or_throws_located(serialize(sample_molecule())));
+}
+
+TEST(TopoFuzzTest, RejectsBadMagicWithLocation) {
+  std::istringstream is("not-a-molecule 9\n");
+  try {
+    load_molecule(is, "bad.mol");
+    FAIL() << "expected MoleculeParseError";
+  } catch (const MoleculeParseError& e) {
+    EXPECT_EQ(e.source(), "bad.mol");
+    EXPECT_EQ(e.line(), 1);
+    EXPECT_NE(std::string(e.what()).find("bad.mol:1:"), std::string::npos);
+  }
+}
+
+TEST(TopoFuzzTest, RejectsEmptyInput) {
+  EXPECT_FALSE(parses_cleanly_or_throws_located(""));
+}
+
+TEST(TopoFuzzTest, EveryTruncationFailsCleanly) {
+  const std::string good = serialize(sample_molecule());
+  // Cut at every prefix length: a truncated file must never parse (the
+  // trailing "end" sentinel is gone) and must never crash.
+  for (std::size_t len = 0; len + 1 < good.size(); ++len) {
+    EXPECT_FALSE(parses_cleanly_or_throws_located(good.substr(0, len)))
+        << "prefix of length " << len << " unexpectedly parsed";
+  }
+}
+
+TEST(TopoFuzzTest, RejectsNonFiniteNumbers) {
+  for (const char* bad : {"nan", "-nan", "inf", "-inf", "1e999"}) {
+    std::string text = serialize(sample_molecule());
+    // Replace the first atom's mass (first token of the atoms block).
+    const std::size_t atoms = text.find("atoms ");
+    ASSERT_NE(atoms, std::string::npos);
+    const std::size_t line_end = text.find('\n', atoms);
+    const std::size_t value_end = text.find(' ', line_end + 1);
+    text.replace(line_end + 1, value_end - line_end - 1, bad);
+    EXPECT_FALSE(parses_cleanly_or_throws_located(text)) << "value " << bad;
+  }
+}
+
+TEST(TopoFuzzTest, RejectsOutOfRangeIndicesAndCounts) {
+  std::string text = serialize(sample_molecule());
+  auto replaced = [&](const std::string& from, const std::string& to) {
+    std::string t = text;
+    const std::size_t pos = t.find(from);
+    EXPECT_NE(pos, std::string::npos) << from;
+    t.replace(pos, from.size(), to);
+    return t;
+  };
+  EXPECT_FALSE(parses_cleanly_or_throws_located(replaced("ljtypes 2", "ljtypes -1")));
+  EXPECT_FALSE(parses_cleanly_or_throws_located(
+      replaced("ljtypes 2", "ljtypes 999999999999999999999")));
+  EXPECT_FALSE(parses_cleanly_or_throws_located(replaced("bonds 4", "bonds 7")));
+  // An atom index beyond the atom count in the first bond line.
+  const std::size_t bonds = text.find("bonds 4");
+  ASSERT_NE(bonds, std::string::npos);
+  const std::size_t line = text.find('\n', bonds) + 1;
+  std::string t = text;
+  t.replace(line, t.find('\n', line) - line, "0 17 0");
+  EXPECT_FALSE(parses_cleanly_or_throws_located(t));
+  // A parameter index beyond the parameter table.
+  t = text;
+  t.replace(line, t.find('\n', line) - line, "0 1 5");
+  EXPECT_FALSE(parses_cleanly_or_throws_located(t));
+}
+
+TEST(TopoFuzzTest, RejectsNonPositiveBoxAndMass) {
+  std::string text = serialize(sample_molecule());
+  auto replaced = [&](const std::string& from, const std::string& to) {
+    std::string t = text;
+    const std::size_t pos = t.find(from);
+    EXPECT_NE(pos, std::string::npos) << from;
+    t.replace(pos, from.size(), to);
+    return t;
+  };
+  EXPECT_FALSE(parses_cleanly_or_throws_located(replaced("box 20 20 20", "box 0 20 20")));
+  EXPECT_FALSE(parses_cleanly_or_throws_located(replaced("box 20 20 20", "box 20 -5 20")));
+  EXPECT_FALSE(parses_cleanly_or_throws_located(replaced("atoms 5\n12 ", "atoms 5\n-12 ")));
+  EXPECT_FALSE(parses_cleanly_or_throws_located(replaced("atoms 5\n12 ", "atoms 5\n0 ")));
+}
+
+TEST(TopoFuzzTest, ErrorLineNumbersPointAtTheOffendingLine) {
+  // Corrupt a token on a known line and check the reported line matches.
+  const std::string good = serialize(sample_molecule());
+  std::istringstream count_lines(good);
+  std::string line;
+  int box_line = 0, n = 0;
+  while (std::getline(count_lines, line)) {
+    ++n;
+    if (line.rfind("box ", 0) == 0) box_line = n;
+  }
+  ASSERT_GT(box_line, 0);
+
+  std::string text = good;
+  const std::size_t pos = text.find("box 20");
+  text.replace(pos, 6, "box xx");
+  std::istringstream is(text);
+  try {
+    load_molecule(is, "loc");
+    FAIL() << "expected MoleculeParseError";
+  } catch (const MoleculeParseError& e) {
+    EXPECT_EQ(e.line(), box_line);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mutation fuzzing: random corruptions of a valid serialization. Each input
+// must parse or throw a located MoleculeParseError — nothing else.
+// ---------------------------------------------------------------------------
+
+std::string mutate(const std::string& good, Rng& rng) {
+  std::string text = good;
+  const int op = static_cast<int>(rng.uniform(0.0, 5.0));
+  const auto pick_pos = [&](std::size_t size) {
+    return static_cast<std::size_t>(rng.uniform(0.0, static_cast<double>(size)));
+  };
+  switch (op) {
+    case 0:  // truncate
+      text.resize(pick_pos(text.size()));
+      break;
+    case 1: {  // corrupt one byte
+      if (!text.empty()) {
+        text[pick_pos(text.size())] =
+            static_cast<char>(rng.uniform(1.0, 127.0));
+      }
+      break;
+    }
+    case 2: {  // swap a whitespace-delimited token for a hostile one
+      static const char* kHostile[] = {"nan", "inf", "-1", "1e999", "garbage",
+                                       "999999999999999999999", "0x10", ""};
+      const std::size_t start = pick_pos(text.size());
+      const std::size_t tok_begin = text.find_first_not_of(" \n", start);
+      if (tok_begin == std::string::npos) break;
+      std::size_t tok_end = text.find_first_of(" \n", tok_begin);
+      if (tok_end == std::string::npos) tok_end = text.size();
+      text.replace(tok_begin, tok_end - tok_begin,
+                   kHostile[static_cast<std::size_t>(rng.uniform(0.0, 8.0))]);
+      break;
+    }
+    case 3: {  // delete one full line
+      const std::size_t start = pick_pos(text.size());
+      const std::size_t line_begin = text.rfind('\n', start);
+      const std::size_t begin = line_begin == std::string::npos ? 0 : line_begin + 1;
+      std::size_t end = text.find('\n', begin);
+      end = end == std::string::npos ? text.size() : end + 1;
+      text.erase(begin, end - begin);
+      break;
+    }
+    default: {  // duplicate one full line
+      const std::size_t start = pick_pos(text.size());
+      const std::size_t line_begin = text.rfind('\n', start);
+      const std::size_t begin = line_begin == std::string::npos ? 0 : line_begin + 1;
+      std::size_t end = text.find('\n', begin);
+      end = end == std::string::npos ? text.size() : end + 1;
+      text.insert(begin, text.substr(begin, end - begin));
+      break;
+    }
+  }
+  return text;
+}
+
+TEST(TopoFuzzTest, MutatedInputsNeverCrashOrEscapeTheContract) {
+  const std::string good = serialize(sample_molecule());
+  Rng rng(20260806);
+  int parsed = 0, rejected = 0;
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string text = good;
+    // Stack 1-3 mutations so corruptions compound.
+    const int rounds = 1 + static_cast<int>(rng.uniform(0.0, 3.0));
+    for (int r = 0; r < rounds; ++r) text = mutate(text, rng);
+    if (parses_cleanly_or_throws_located(text)) {
+      ++parsed;
+    } else {
+      ++rejected;
+    }
+  }
+  // The fuzzer must actually exercise the error paths (and some mutations —
+  // e.g. whitespace-only corruptions — legitimately still parse).
+  EXPECT_GT(rejected, 100) << "fuzzer produced too few malformed inputs";
+  EXPECT_GT(parsed + rejected, 0);
+}
+
+}  // namespace
+}  // namespace scalemd

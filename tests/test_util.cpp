@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstddef>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -153,6 +154,92 @@ TEST(StatsTest, ImbalanceRatio) {
   const double skewed[] = {4.0, 1.0, 1.0};
   EXPECT_DOUBLE_EQ(imbalance_ratio(skewed), 2.0);
   EXPECT_DOUBLE_EQ(imbalance_ratio({}), 1.0);
+}
+
+TEST(StatsTest, MedianOddEvenAndUnsorted) {
+  const double odd[] = {5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(median(odd), 3.0);
+  const double even[] = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(StatsTest, MedianEdgeCases) {
+  EXPECT_DOUBLE_EQ(median({}), 0.0);  // well-defined, not NaN
+  const double one[] = {7.5};
+  EXPECT_DOUBLE_EQ(median(one), 7.5);
+  const double same[] = {2.0, 2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(same), 2.0);
+}
+
+TEST(StatsTest, MadEdgeCases) {
+  EXPECT_DOUBLE_EQ(mad({}), 0.0);
+  const double one[] = {3.0};
+  EXPECT_DOUBLE_EQ(mad(one), 0.0);
+  const double same[] = {5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(mad(same), 0.0);
+  const double vals[] = {1.0, 2.0, 3.0, 4.0, 100.0};
+  // median 3, |dev| = {2, 1, 0, 1, 97} -> MAD 1: the outlier can't move it.
+  EXPECT_DOUBLE_EQ(mad(vals), 1.0);
+}
+
+TEST(StatsTest, PercentileInterpolatesAndClamps) {
+  const double vals[] = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(vals, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(vals, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(vals, 50.0), 25.0);
+  // Out-of-range percentiles clamp instead of reading out of bounds.
+  EXPECT_DOUBLE_EQ(percentile(vals, -5.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(vals, 200.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+  const double one[] = {9.0};
+  EXPECT_DOUBLE_EQ(percentile(one, 75.0), 9.0);
+}
+
+TEST(StatsTest, RobustSummarizeEdgeCases) {
+  const RobustSummary empty = robust_summarize({});
+  EXPECT_EQ(empty.n, 0u);
+  EXPECT_DOUBLE_EQ(empty.median, 0.0);
+  EXPECT_DOUBLE_EQ(empty.mad, 0.0);
+
+  const double one[] = {4.0};
+  const RobustSummary single = robust_summarize(one);
+  EXPECT_EQ(single.n, 1u);
+  EXPECT_DOUBLE_EQ(single.min, 4.0);
+  EXPECT_DOUBLE_EQ(single.max, 4.0);
+  EXPECT_DOUBLE_EQ(single.median, 4.0);
+  EXPECT_DOUBLE_EQ(single.mad, 0.0);
+
+  const double vals[] = {3.0, 1.0, 2.0, 100.0};
+  const RobustSummary s = robust_summarize(vals);
+  EXPECT_EQ(s.n, 4u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+}
+
+TEST(HistogramTest, RejectsDegenerateConstruction) {
+  EXPECT_THROW(Histogram(0.0, 10.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(5.0, 5.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(10.0, 0.0, 4), std::invalid_argument);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(Histogram(nan, 10.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, inf, 4), std::invalid_argument);
+}
+
+TEST(HistogramTest, NonFiniteSamplesAreCountedNotPropagated) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(5.0);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.clamped(), 3u);
+  EXPECT_EQ(h.count(0), 2u);  // NaN and -inf land in the first bin
+  EXPECT_EQ(h.count(4), 1u);  // +inf lands in the last bin
+  // Statistics stay finite: only the one real sample contributes.
+  EXPECT_DOUBLE_EQ(h.max_sample(), 5.0);
+  EXPECT_DOUBLE_EQ(h.mean_sample(), 5.0);
 }
 
 TEST(TableTest, RenderAligned) {

@@ -1,0 +1,152 @@
+// scalemd-bench: the top-level driver for the curated benchmark suites.
+//
+//   scalemd-bench --suite smoke --out BENCH_smoke.json
+//   scalemd-bench --suite smoke --suite paper --out BENCH_all.json
+//
+// Runs each requested suite in-process and merges the records into one
+// versioned scalemd-bench JSON artifact (default path BENCH_<suite>.json in
+// the current directory, BENCH_merged.json when several suites are merged).
+//
+// Flags:
+//   --suite NAME    smoke | paper (repeatable; default smoke)
+//   --out PATH      artifact path (default BENCH_<suite>.json)
+//   --reps N        timed repetitions per wall-clock benchmark (default 7)
+//   --warmup N      untimed warmup iterations (default 2)
+//   --threads N     workers for threaded kernels/backends (default 2)
+//   --scale X       problem-size scale in (0, 1]; also SCALEMD_BENCH_SCALE
+//   --list          print suite names and exit
+//
+// Mutation mode, for exercising the regression gate without a third run:
+//   scalemd-bench --from BENCH_smoke.json --slowdown 2 --out slow.json
+// loads an existing artifact and multiplies every sample by the factor —
+// CI uses this to prove bench_compare fails on a synthetic 2x slowdown.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "perf/compare.hpp"
+#include "perf/report.hpp"
+#include "perf/suites.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--suite smoke|paper]... [--out PATH] [--reps N] [--warmup N]\n"
+      "       [--threads N] [--scale X] [--list]\n"
+      "       %s --from IN.json --slowdown FACTOR [--out PATH]\n",
+      argv0, argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace scalemd::perf;
+
+  std::vector<std::string> suites;
+  std::string out;
+  std::string from;
+  double slowdown = 1.0;
+  SuiteOptions opts = default_suite_options();
+
+  for (int i = 1; i < argc; ++i) {
+    const auto next_val = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (std::strcmp(argv[i], "--list") == 0) {
+      for (const std::string& s : suite_names()) std::printf("%s\n", s.c_str());
+      return 0;
+    } else if (std::strcmp(argv[i], "--suite") == 0) {
+      if ((v = next_val()) == nullptr) return usage(argv[0]);
+      suites.emplace_back(v);
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      if ((v = next_val()) == nullptr) return usage(argv[0]);
+      out = v;
+    } else if (std::strcmp(argv[i], "--from") == 0) {
+      if ((v = next_val()) == nullptr) return usage(argv[0]);
+      from = v;
+    } else if (std::strcmp(argv[i], "--slowdown") == 0) {
+      if ((v = next_val()) == nullptr) return usage(argv[0]);
+      slowdown = std::atof(v);
+    } else if (std::strcmp(argv[i], "--reps") == 0) {
+      if ((v = next_val()) == nullptr) return usage(argv[0]);
+      opts.reps = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--warmup") == 0) {
+      if ((v = next_val()) == nullptr) return usage(argv[0]);
+      opts.warmup = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      if ((v = next_val()) == nullptr) return usage(argv[0]);
+      opts.threads = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--scale") == 0) {
+      if ((v = next_val()) == nullptr) return usage(argv[0]);
+      opts.scale = std::atof(v);
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", argv[i]);
+      return usage(argv[0]);
+    }
+  }
+
+  try {
+    if (!from.empty()) {
+      // Mutation mode: scale every sample of an existing artifact.
+      if (slowdown <= 0.0) {
+        std::fprintf(stderr, "--slowdown must be positive\n");
+        return 2;
+      }
+      BenchReport report = load_report(from);
+      for (BenchRecord& rec : report.benchmarks) {
+        for (double& s : rec.samples) s *= slowdown;
+        rec.finalize();
+      }
+      if (out.empty()) out = "BENCH_mutated.json";
+      save_report(report, out);
+      std::printf("wrote %s (%s scaled by %gx)\n", out.c_str(), from.c_str(),
+                  slowdown);
+      return 0;
+    }
+
+    if (suites.empty()) suites.emplace_back("smoke");
+    if (opts.reps < 1 || opts.warmup < 0 || opts.threads < 1 ||
+        opts.scale <= 0.0) {
+      std::fprintf(stderr, "invalid --reps/--warmup/--threads/--scale value\n");
+      return 2;
+    }
+
+    BenchReport merged;
+    bool first = true;
+    for (const std::string& name : suites) {
+      std::printf("running suite '%s' (reps=%d warmup=%d threads=%d scale=%g)\n",
+                  name.c_str(), opts.reps, opts.warmup, opts.threads, opts.scale);
+      BenchReport r = run_suite(name, opts);
+      if (first) {
+        merged = std::move(r);
+        first = false;
+      } else {
+        merged.suite += "+" + r.suite;
+        merged.merge(std::move(r));
+      }
+    }
+    if (out.empty()) {
+      out = suites.size() == 1 ? "BENCH_" + suites.front() + ".json"
+                               : "BENCH_merged.json";
+    }
+    save_report(merged, out);
+    std::printf("wrote %s (%zu benchmarks)\n", out.c_str(),
+                merged.benchmarks.size());
+    for (const BenchRecord& r : merged.benchmarks) {
+      std::printf("  %-40s median %.6g %s%s\n", r.name.c_str(), r.median,
+                  r.unit.c_str(), r.deterministic ? " (deterministic)" : "");
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "scalemd-bench: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+#include "check/violation_report.hpp"
+
+#include <cstdio>
+
+namespace scalemd {
+
+namespace {
+
+std::string shortest(double v) {
+  char buf[64];
+  // %.17g always round-trips; prefer the shortest representation that does.
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    double back = 0.0;
+    std::sscanf(buf, "%lf", &back);
+    if (back == v) break;
+  }
+  return buf;
+}
+
+}  // namespace
+
+perf::JsonValue violation_to_json(const ViolationRecord& r) {
+  perf::JsonValue obj = perf::JsonValue::object();
+  obj.set("step", r.step);
+  obj.set("term", r.term);
+  obj.set("magnitude", r.magnitude);
+  obj.set("bound", r.bound);
+  obj.set("detail", r.detail);
+  return obj;
+}
+
+perf::JsonValue violation_log_to_json(const ViolationLog& log) {
+  perf::JsonValue root = perf::JsonValue::object();
+  root.set("count", static_cast<int>(log.size()));
+  perf::JsonValue arr = perf::JsonValue::array();
+  for (const ViolationRecord& r : log.records()) {
+    arr.push_back(violation_to_json(r));
+  }
+  root.set("violations", std::move(arr));
+  return root;
+}
+
+std::string violation_one_line(const ViolationRecord& r) {
+  std::string out = "term=" + r.term;
+  out += " step=" + std::to_string(r.step);
+  out += " magnitude=" + shortest(r.magnitude);
+  out += " bound=" + shortest(r.bound);
+  out += " detail=\"" + r.detail + "\"";
+  return out;
+}
+
+}  // namespace scalemd

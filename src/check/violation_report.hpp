@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+
+#include "perf/json.hpp"
+#include "trace/violations.hpp"
+
+namespace scalemd {
+
+/// Machine-readable form of one violation: an object with "step", "term",
+/// "magnitude", "bound" and "detail" members, suitable for CI artifacts and
+/// for the fuzzer's repro files.
+perf::JsonValue violation_to_json(const ViolationRecord& r);
+
+/// The whole log as {"count": N, "violations": [...]}; count is present
+/// even when zero so consumers need no existence checks.
+perf::JsonValue violation_log_to_json(const ViolationLog& log);
+
+/// Stable single-line summary of one violation for greppable logs:
+///   term=net-force step=12 magnitude=3.2e-04 bound=1e-08 detail="..."
+/// Field order and names are part of the format; tools key off them.
+std::string violation_one_line(const ViolationRecord& r);
+
+}  // namespace scalemd

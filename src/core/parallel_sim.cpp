@@ -32,6 +32,10 @@ struct ParallelSim::PatchRt {
   int step = 0;               ///< next advance index within the cycle
   int contrib_expected = 0;   ///< PEs (incl. home) that send force contributions
   int contrib_received = 0;
+  /// Proxy ids in the order their contributions arrived this round. Only
+  /// recorded under the injected arrival-order defect (see ParallelOptions::
+  /// debug_fold_arrival_order); empty otherwise.
+  std::vector<int> arrival;
 
   int natoms() const { return static_cast<int>(atoms.size()); }
 };
@@ -366,7 +370,7 @@ void ParallelSim::publish_coords(ExecContext& ctx, int patch) {
 
   // A patch no compute reads (e.g. an empty cube) must still advance.
   if (pr.contrib_expected == 0) {
-    on_contribution(ctx, patch);
+    on_contribution(ctx, patch, -1);
   }
 }
 
@@ -548,8 +552,9 @@ void ParallelSim::complete_patch_on_pe(ExecContext& ctx, int patch, int pe) {
   // Under the threaded backend the mailbox handoff of that signal is also
   // what makes the slot writes visible to the home PE's worker.
   const int home = patch_home_[static_cast<std::size_t>(patch)];
+  const int pxy = proxy_index(patch, pe);
   if (pe == home) {
-    on_contribution(ctx, patch);
+    on_contribution(ctx, patch, pxy);
     return;
   }
   const std::size_t bytes = static_cast<std::size_t>(opts_.msg_header_bytes) +
@@ -560,17 +565,22 @@ void ParallelSim::complete_patch_on_pe(ExecContext& ctx, int patch, int pe) {
   msg.entry = e_forces_;
   msg.priority = -2;
   msg.bytes = bytes;
-  msg.fn = [this, patch, bytes](ExecContext& c) {
+  msg.fn = [this, patch, pxy, bytes](ExecContext& c) {
     c.charge_pack(static_cast<double>(bytes) * c.machine().unpack_byte_cost);
-    on_contribution(c, patch);
+    on_contribution(c, patch, pxy);
   };
   // The sender also pays to pack the outgoing force message.
   ctx.charge_pack(static_cast<double>(bytes) * ctx.machine().pack_byte_cost);
   rsend(ctx, home, std::move(msg));
 }
 
-void ParallelSim::on_contribution(ExecContext& ctx, int patch) {
+void ParallelSim::on_contribution(ExecContext& ctx, int patch, int from_proxy) {
   PatchRt& pr = patches_[static_cast<std::size_t>(patch)];
+  if (opts_.debug_fold_arrival_order && des_ != nullptr && from_proxy >= 0) {
+    // Injected-defect bookkeeping only; see advance(). on_contribution runs
+    // on the home PE exclusively, so this append is unsynchronized-safe.
+    pr.arrival.push_back(from_proxy);
+  }
   ++pr.contrib_received;
   if (pr.contrib_received < pr.contrib_expected) return;
   pr.contrib_received = 0;
@@ -594,15 +604,33 @@ void ParallelSim::advance(ExecContext& ctx, int patch) {
   const double dt = opts_.dt_fs / units::kAkmaTimeFs;
   double reduction_value = 1.0;
   if (opts_.numeric) {
-    // Canonical force accumulation: sum every contributing scratch slot in
-    // global compute-id order (patch_contribs_), independent of message
-    // arrival order, execution order, object placement and backend.
     std::fill(pr.frc.begin(), pr.frc.end(), Vec3{});
-    for (const auto& [proxy_id, slot] : patch_contribs_[static_cast<std::size_t>(patch)]) {
-      const std::vector<Vec3>& src =
-          proxies_[static_cast<std::size_t>(proxy_id)]
-              .scratch[static_cast<std::size_t>(slot)];
-      for (std::size_t i = 0; i < pr.frc.size(); ++i) pr.frc[i] += src[i];
+    const auto& contribs = patch_contribs_[static_cast<std::size_t>(patch)];
+    if (opts_.debug_fold_arrival_order && des_ != nullptr) {
+      // INJECTED DEFECT (ParallelOptions::debug_fold_arrival_order): fold in
+      // message-ARRIVAL order instead of canonical compute-id order, so the
+      // floating-point sum depends on the schedule. The scenario fuzzer's
+      // self-test must detect and shrink this.
+      for (const int arrived : pr.arrival) {
+        for (const auto& [proxy_id, slot] : contribs) {
+          if (proxy_id != arrived) continue;
+          const std::vector<Vec3>& src =
+              proxies_[static_cast<std::size_t>(proxy_id)]
+                  .scratch[static_cast<std::size_t>(slot)];
+          for (std::size_t i = 0; i < pr.frc.size(); ++i) pr.frc[i] += src[i];
+        }
+      }
+      pr.arrival.clear();
+    } else {
+      // Canonical force accumulation: sum every contributing scratch slot in
+      // global compute-id order (patch_contribs_), independent of message
+      // arrival order, execution order, object placement and backend.
+      for (const auto& [proxy_id, slot] : contribs) {
+        const std::vector<Vec3>& src =
+            proxies_[static_cast<std::size_t>(proxy_id)]
+                .scratch[static_cast<std::size_t>(slot)];
+        for (std::size_t i = 0; i < pr.frc.size(); ++i) pr.frc[i] += src[i];
+      }
     }
   }
   if (opts_.numeric) {
@@ -656,6 +684,7 @@ void ParallelSim::attempt_cycle(int steps) {
     PatchRt& pr = patches_[p];
     pr.step = 0;
     pr.contrib_received = 0;
+    pr.arrival.clear();
     if (opts_.numeric) std::fill(pr.frc.begin(), pr.frc.end(), Vec3{});
     TaskMsg msg;
     msg.entry = e_advance_;
@@ -702,8 +731,17 @@ void ParallelSim::run_cycle(int steps) {
     }
     cycles_since_ckpt_.push_back(steps);
   }
+  // A cycle has truly finished only when every patch completed every step
+  // AND every reduction round landed. The two can diverge: a PE that dies
+  // after its patches' final advance but before the reduction tree drained
+  // through it leaves last_cycle_complete() true with the last round's
+  // total silently missing (found by scalemd-fuzz; see EXPERIMENTS.md).
+  const auto recovered = [this]() {
+    return last_cycle_complete() &&
+           reduction_totals_.size() == step_completion_.size();
+  };
   attempt_cycle(steps);
-  if (resilient && !last_cycle_complete()) {
+  if (resilient && !recovered()) {
     // Work was lost (typically a PE failure mid-cycle). Restore the last
     // coordinated checkpoint, evacuate the dead PEs, and replay every cycle
     // recorded since the snapshot. A replayed cycle can itself be hit by a
@@ -712,12 +750,12 @@ void ParallelSim::run_cycle(int steps) {
     // invariant layer to flag.
     constexpr int kMaxRestarts = 8;
     int tries = 0;
-    while (!last_cycle_complete() && tries < kMaxRestarts) {
+    while (!recovered() && tries < kMaxRestarts) {
       ++tries;
       restore_checkpoint();
       for (int cycle_steps : cycles_since_ckpt_) {
         attempt_cycle(cycle_steps);
-        if (!last_cycle_complete()) break;
+        if (!recovered()) break;
       }
     }
   }

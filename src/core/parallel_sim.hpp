@@ -89,6 +89,17 @@ struct ParallelOptions {
   /// With a valid checkpoint, a cycle stalled by a PE failure triggers
   /// restore + evacuation + replay instead of a hung run.
   int checkpoint_every = 0;
+
+  // --- defect injection (fuzzer self-test only) ------------------------
+  /// HIDDEN: fold each patch's force contributions in message-ARRIVAL order
+  /// instead of canonical compute-id order (simulated backend only, where
+  /// arrival order is deterministic). This re-introduces — on purpose — the
+  /// exact ordering bug the canonical fold exists to prevent: trajectories
+  /// then depend on the message schedule, so the cross-backend and
+  /// chaos-equality oracles must flag it. `scalemd-fuzz --self-test` flips
+  /// this flag to prove the fuzzing harness still catches and shrinks it.
+  /// Never set it anywhere else.
+  bool debug_fold_arrival_order = false;
 };
 
 /// The parallel NAMD reproduction: home patches, proxy patches and compute
@@ -216,7 +227,9 @@ class ParallelSim {
   void on_recv_coords(ExecContext& ctx, int patch, int pe);
   void run_compute(ExecContext& ctx, int compute);
   void complete_patch_on_pe(ExecContext& ctx, int patch, int pe);
-  void on_contribution(ExecContext& ctx, int patch);
+  /// `from_proxy` is the contributing proxy's index (only consumed by the
+  /// injected arrival-order defect; -1 for contribution-less patches).
+  void on_contribution(ExecContext& ctx, int patch, int from_proxy);
   void advance(ExecContext& ctx, int patch);
   void migrate_atoms();
   int proxy_index(int patch, int pe) const;

@@ -145,6 +145,29 @@ bool parse_fault_plan_text(const std::string& text, const std::string& file,
   return true;
 }
 
+std::string render_fault_plan(const FaultPlan& plan) {
+  std::string out;
+  char buf[160];
+  const auto line = [&](const char* fmt, auto... args) {
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    out += buf;
+    out += '\n';
+  };
+  if (plan.seed != 0) line("seed %llu", static_cast<unsigned long long>(plan.seed));
+  if (plan.drop_prob != 0.0) line("drop %.17g", plan.drop_prob);
+  if (plan.dup_prob != 0.0) line("dup %.17g", plan.dup_prob);
+  if (plan.delay_prob != 0.0 || plan.delay_max != 0.0) {
+    line("delay %.17g %.17g", plan.delay_prob, plan.delay_max);
+  }
+  for (const PeSlowdown& s : plan.slowdowns) {
+    line("slowdown %d %.17g %.17g", s.pe, s.factor, s.from_time);
+  }
+  for (const PeFailure& f : plan.failures) {
+    line("fail %d %.17g", f.pe, f.at_time);
+  }
+  return out;
+}
+
 bool parse_fault_plan(const std::string& path, FaultPlan& plan,
                       FaultPlanParseError& error) {
   std::ifstream f(path);

@@ -84,6 +84,12 @@ bool parse_fault_plan(const std::string& path, FaultPlan& plan,
 bool parse_fault_plan_text(const std::string& text, const std::string& file,
                            FaultPlan& plan, FaultPlanParseError& error);
 
+/// Serializes `plan` in the text schema parse_fault_plan_text reads, with
+/// full-precision (%.17g) numbers so plans round-trip exactly. Directives
+/// at their defaults are omitted; an empty plan renders as the empty
+/// string (which parses back to an empty plan).
+std::string render_fault_plan(const FaultPlan& plan);
+
 /// Counters of what the fault engine actually injected (and discarded) in a
 /// run. Exposed by the simulator and folded into the resilience audit.
 struct FaultStats {

@@ -100,13 +100,15 @@ class Simulator final : public ExecBackend {
  private:
   friend class DesContext;
 
+  // Initialized so a dispatch Event's unused payload copies without reading
+  // indeterminate values (UBSan flags the bool load in the copy otherwise).
   struct Ready {
-    int priority;
-    std::uint64_t seq;
+    int priority = 0;
+    std::uint64_t seq = 0;
     TaskMsg msg;
-    int src_pe;
-    bool remote;
-    double sent_at;
+    int src_pe = -1;
+    bool remote = false;
+    double sent_at = 0.0;
   };
   struct ReadyOrder {
     bool operator()(const Ready& a, const Ready& b) const {

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+
+#include "fuzz/scenario.hpp"
+
+namespace scalemd {
+
+/// Outcome of running one scenario through the differential harness. On
+/// failure, `oracle` is a stable identity string — the shrinker only accepts
+/// a smaller spec when the SAME oracle re-fires, and a repro file records it
+/// as the expected outcome:
+///
+///   "invariant:<term>"      physics/runtime invariant (InvariantChecker)
+///   "des-invariant:<term>"  DES machine invariant (DesInvariantSink)
+///   "clean-incomplete"      fault-free run failed to finish its last cycle
+///   "backend-divergence"    simulated vs threaded state not bit-identical
+///   "chaos-incomplete"      faulted run did not recover to completion
+///   "chaos-divergence"      recovered state does not match the clean run
+struct FuzzVerdict {
+  bool ok = true;
+  std::string oracle;  ///< empty when ok
+  std::string detail;  ///< first offending location / violation one-liners
+};
+
+/// Runs `spec` three ways and scores every oracle:
+///  A. clean run on the simulated (DES) backend, with the spec's LB strategy
+///     applied between cycles, physics invariants and DES invariants armed;
+///  B. the same scenario on the threaded backend — state must match A
+///     bitwise (the canonical fold makes trajectories backend-independent);
+///  C. (only when the spec schedules faults) a chaos run on the DES backend
+///     with the reliable layer and checkpointing armed; it must complete and
+///     recover to A's state — bitwise without PE failures, to 1e-9 relative
+///     when evacuation changed the placement.
+/// Deterministic: same spec, same verdict, every time.
+FuzzVerdict evaluate_scenario(const ScenarioSpec& spec);
+
+}  // namespace scalemd

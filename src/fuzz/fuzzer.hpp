@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/differential.hpp"
+#include "fuzz/scenario.hpp"
+#include "fuzz/shrink.hpp"
+
+namespace scalemd {
+
+struct FuzzOptions {
+  int cases = 100;
+  std::uint64_t seed = 1;
+  /// Stop starting new cases after this much wall time (0 = no budget).
+  double time_budget_s = 0.0;
+  /// Arm the hidden arrival-order defect in every generated spec (self-test).
+  bool inject_defect = false;
+  /// Where failing repro files are written ("" = don't write files).
+  std::string out_dir = ".";
+  /// Evaluation budget for shrinking each failure.
+  int shrink_evals = 80;
+  /// Progress lines to stderr.
+  bool verbose = false;
+};
+
+/// One caught failure: the spec as generated, its greedy minimization, the
+/// oracle both of them trip, and the repro file (if written).
+struct FuzzFailure {
+  int case_index = 0;
+  ScenarioSpec original;
+  ScenarioSpec shrunk;
+  std::string oracle;
+  std::string detail;       ///< shrunk spec's failure detail
+  int shrink_evals = 0;
+  std::string repro_path;   ///< "" when out_dir was empty or writing failed
+};
+
+struct FuzzReport {
+  int cases_run = 0;
+  std::vector<FuzzFailure> failures;
+  bool ok() const { return failures.empty(); }
+};
+
+/// The campaign: generate spec i, evaluate, shrink failures, write repros.
+FuzzReport run_fuzz(const FuzzOptions& opts);
+
+/// A standalone repro file: the shrunk scenario serialization plus an
+/// `expect <oracle>` line recording which oracle must re-fire, with the
+/// original spec retained in comments for context.
+std::string render_repro(const FuzzFailure& failure);
+
+/// Replays a repro file: parses it (including the expected oracle),
+/// re-evaluates, and reports. Returns true when the recorded oracle fires
+/// again (the repro reproduces); `message` explains either way. A repro
+/// that parses but now passes, or fails with a different oracle, returns
+/// false.
+bool replay_repro(const std::string& text, const std::string& file,
+                  std::string& message);
+
+/// Self-test of the whole harness: runs a campaign with the hidden
+/// arrival-order defect injected and asserts (a) at least one case fails,
+/// (b) its shrunk spec still fails with the same oracle, (c) the rendered
+/// repro replays to that oracle. Returns 0 on success, 1 with a diagnostic
+/// on `message` otherwise.
+int run_self_test(std::uint64_t seed, int max_cases, std::string& message);
+
+}  // namespace scalemd

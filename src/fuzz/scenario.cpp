@@ -1,0 +1,330 @@
+#include "fuzz/scenario.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/random.hpp"
+
+namespace scalemd {
+
+const char* lb_strategy_name(LbStrategyKind kind) {
+  switch (kind) {
+    case LbStrategyKind::kNone:         return "none";
+    case LbStrategyKind::kRandom:       return "random";
+    case LbStrategyKind::kGreedyNoComm: return "greedy-nocomm";
+    case LbStrategyKind::kGreedy:       return "greedy";
+    case LbStrategyKind::kGreedyRefine: return "greedy-refine";
+    case LbStrategyKind::kDiffusion:    return "diffusion";
+  }
+  return "unknown";
+}
+
+const char* nonbonded_kernel_name(NonbondedKernel kernel) {
+  switch (kernel) {
+    case NonbondedKernel::kScalar:       return "scalar";
+    case NonbondedKernel::kTiled:        return "tiled";
+    case NonbondedKernel::kTiledThreads: return "tiled-threads";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool lb_from_name(const std::string& name, LbStrategyKind& out) {
+  for (LbStrategyKind k :
+       {LbStrategyKind::kNone, LbStrategyKind::kRandom,
+        LbStrategyKind::kGreedyNoComm, LbStrategyKind::kGreedy,
+        LbStrategyKind::kGreedyRefine, LbStrategyKind::kDiffusion}) {
+    if (name == lb_strategy_name(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool kernel_from_name(const std::string& name, NonbondedKernel& out) {
+  for (NonbondedKernel k :
+       {NonbondedKernel::kScalar, NonbondedKernel::kTiled,
+        NonbondedKernel::kTiledThreads}) {
+    if (name == nonbonded_kernel_name(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool kind_from_name(const std::string& name, TestSystemKind& out) {
+  for (TestSystemKind k :
+       {TestSystemKind::kWaterBox, TestSystemKind::kSolvatedChain,
+        TestSystemKind::kMembranePatch}) {
+    if (name == test_system_kind_name(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string g17(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+ScenarioSpec generate_scenario(std::uint64_t master_seed, int index) {
+  Rng rng(Rng::derive(master_seed, static_cast<std::uint64_t>(index) + 1));
+  ScenarioSpec s;
+  s.seed = rng.split("system").seed();
+
+  constexpr TestSystemKind kKinds[] = {TestSystemKind::kWaterBox,
+                                       TestSystemKind::kSolvatedChain,
+                                       TestSystemKind::kMembranePatch};
+  s.kind = kKinds[rng.uniform_index(3)];
+  s.box = 10.0 + rng.uniform() * 8.0;  // [10, 18): 2-4 patches per side
+  s.chain_beads = 8 + static_cast<int>(rng.uniform_index(25));
+
+  constexpr int kPes[] = {2, 4, 6, 8};
+  s.num_pes = kPes[rng.uniform_index(4)];
+  constexpr int kThreads[] = {1, 2, 4};
+  s.threads = kThreads[rng.uniform_index(3)];
+
+  constexpr LbStrategyKind kLbs[] = {
+      LbStrategyKind::kNone,   LbStrategyKind::kRandom,
+      LbStrategyKind::kGreedyNoComm, LbStrategyKind::kGreedy,
+      LbStrategyKind::kGreedyRefine, LbStrategyKind::kDiffusion};
+  s.lb = kLbs[rng.uniform_index(6)];
+
+  // kTiledThreads is excluded: every spec also runs on the threaded backend,
+  // where the runtime forbids it (nested thread pools; see the ParallelSim
+  // constructor assert). validate_scenario enforces the same rule.
+  constexpr NonbondedKernel kKernels[] = {NonbondedKernel::kScalar,
+                                          NonbondedKernel::kTiled};
+  s.kernel = kKernels[rng.uniform_index(2)];
+
+  s.dt_fs = rng.uniform() < 0.5 ? 0.5 : 1.0;
+  s.cycles = 1 + static_cast<int>(rng.uniform_index(3));
+  s.steps = 1 + static_cast<int>(rng.uniform_index(3));
+
+  // About half the cases get message chaos; PE failures additionally need
+  // enough survivors for evacuation, and always a checkpoint to restart from.
+  if (rng.uniform() < 0.5) {
+    s.drop_prob = rng.uniform() * 0.03;
+    s.dup_prob = rng.uniform() * 0.02;
+    s.delay_prob = rng.uniform() * 0.06;
+    s.delay_max = s.delay_prob > 0.0 ? 1e-4 + rng.uniform() * 2e-4 : 0.0;
+  }
+  if (s.num_pes >= 4 && rng.uniform() < 0.35) {
+    ScenarioFailure f;
+    f.pe = static_cast<int>(rng.uniform_index(static_cast<std::size_t>(s.num_pes)));
+    f.at_frac = 0.2 + rng.uniform() * 0.6;
+    s.failures.push_back(f);
+  }
+  if (s.has_faults()) {
+    s.checkpoint_every =
+        s.failures.empty() ? static_cast<int>(rng.uniform_index(3)) : 1;
+  }
+  return s;
+}
+
+std::string validate_scenario(const ScenarioSpec& s) {
+  if (s.box < 8.0 || s.box > 40.0) return "box must be in [8, 40] A";
+  if (s.chain_beads < 4 || s.chain_beads > 200) {
+    return "chain-beads must be in [4, 200]";
+  }
+  if (s.num_pes < 1 || s.num_pes > 64) return "pes must be in [1, 64]";
+  if (s.kernel == NonbondedKernel::kTiledThreads) {
+    return "kernel tiled-threads nests thread pools under the threaded "
+           "backend; use tiled";
+  }
+  if (s.threads < 1 || s.threads > 16) return "threads must be in [1, 16]";
+  if (s.dt_fs <= 0.0 || s.dt_fs > 2.0) return "dt must be in (0, 2] fs";
+  if (s.cycles < 1 || s.cycles > 10) return "cycles must be in [1, 10]";
+  if (s.steps < 1 || s.steps > 10) return "steps must be in [1, 10]";
+  if (s.drop_prob < 0.0 || s.drop_prob > 0.2) return "drop must be in [0, 0.2]";
+  if (s.dup_prob < 0.0 || s.dup_prob > 0.2) return "dup must be in [0, 0.2]";
+  if (s.delay_prob < 0.0 || s.delay_prob > 0.2) {
+    return "delay probability must be in [0, 0.2]";
+  }
+  if (s.delay_max < 0.0) return "delay max must be >= 0";
+  if (s.checkpoint_every < 0 || s.checkpoint_every > 10) {
+    return "checkpoint must be in [0, 10]";
+  }
+  for (const ScenarioFailure& f : s.failures) {
+    if (f.pe < 0 || f.pe >= s.num_pes) return "failure pe out of range";
+    if (f.at_frac <= 0.0 || f.at_frac >= 1.0) {
+      return "failure time fraction must be in (0, 1)";
+    }
+  }
+  if (!s.failures.empty()) {
+    if (s.num_pes < 4) return "failures need at least 4 pes to evacuate onto";
+    if (s.checkpoint_every < 1) return "failures need checkpoint >= 1";
+  }
+  return "";
+}
+
+std::string serialize_scenario(const ScenarioSpec& s) {
+  std::string out;
+  const auto line = [&out](const std::string& text) {
+    out += text;
+    out += '\n';
+  };
+  line("seed " + std::to_string(s.seed));
+  line(std::string("system ") + test_system_kind_name(s.kind));
+  line("box " + g17(s.box));
+  line("chain-beads " + std::to_string(s.chain_beads));
+  line("pes " + std::to_string(s.num_pes));
+  line("threads " + std::to_string(s.threads));
+  line(std::string("lb ") + lb_strategy_name(s.lb));
+  line(std::string("kernel ") + nonbonded_kernel_name(s.kernel));
+  line("dt " + g17(s.dt_fs));
+  line("cycles " + std::to_string(s.cycles));
+  line("steps " + std::to_string(s.steps));
+  if (s.has_message_faults()) {
+    line("drop " + g17(s.drop_prob));
+    line("dup " + g17(s.dup_prob));
+    line("delay " + g17(s.delay_prob) + " " + g17(s.delay_max));
+  }
+  for (const ScenarioFailure& f : s.failures) {
+    line("fail " + std::to_string(f.pe) + " " + g17(f.at_frac));
+  }
+  if (s.checkpoint_every > 0) {
+    line("checkpoint " + std::to_string(s.checkpoint_every));
+  }
+  if (s.inject_defect) line("defect arrival-order");
+  return out;
+}
+
+bool parse_scenario(const std::string& text, const std::string& file,
+                    ScenarioSpec& spec, FaultPlanParseError& error) {
+  ScenarioSpec out;
+  out.lb = LbStrategyKind::kNone;  // schema default, as in a fresh spec
+  std::istringstream stream(text);
+  std::string raw;
+  int lineno = 0;
+
+  const auto fail = [&](int line, std::string reason) {
+    error.file = file;
+    error.line = line;
+    error.reason = std::move(reason);
+    return false;
+  };
+
+  while (std::getline(stream, raw)) {
+    ++lineno;
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    std::istringstream line(raw);
+    std::string key;
+    if (!(line >> key)) continue;
+
+    const auto want_number = [&](const char* what, double& value) {
+      if (!(line >> value)) {
+        return fail(lineno,
+                    std::string("'") + key + "' needs a numeric " + what);
+      }
+      return true;
+    };
+    const auto want_word = [&](const char* what, std::string& value) {
+      if (!(line >> value)) {
+        return fail(lineno, std::string("'") + key + "' needs a " + what);
+      }
+      return true;
+    };
+
+    if (key == "seed") {
+      // Read as an integer, not via want_number: a 64-bit seed does not
+      // round-trip through a double.
+      std::uint64_t v = 0;
+      if (!(line >> v)) {
+        return fail(lineno, "'seed' needs a non-negative integer");
+      }
+      out.seed = v;
+    } else if (key == "system") {
+      std::string name;
+      if (!want_word("system name", name)) return false;
+      if (!kind_from_name(name, out.kind)) {
+        return fail(lineno, "unknown system '" + name + "'");
+      }
+    } else if (key == "box") {
+      if (!want_number("edge length", out.box)) return false;
+    } else if (key == "chain-beads") {
+      double v = 0.0;
+      if (!want_number("count", v)) return false;
+      out.chain_beads = static_cast<int>(v);
+    } else if (key == "pes") {
+      double v = 0.0;
+      if (!want_number("count", v)) return false;
+      out.num_pes = static_cast<int>(v);
+    } else if (key == "threads") {
+      double v = 0.0;
+      if (!want_number("count", v)) return false;
+      out.threads = static_cast<int>(v);
+    } else if (key == "lb") {
+      std::string name;
+      if (!want_word("strategy name", name)) return false;
+      if (!lb_from_name(name, out.lb)) {
+        return fail(lineno, "unknown lb strategy '" + name + "'");
+      }
+    } else if (key == "kernel") {
+      std::string name;
+      if (!want_word("kernel name", name)) return false;
+      if (!kernel_from_name(name, out.kernel)) {
+        return fail(lineno, "unknown kernel '" + name + "'");
+      }
+    } else if (key == "dt") {
+      if (!want_number("femtoseconds", out.dt_fs)) return false;
+    } else if (key == "cycles") {
+      double v = 0.0;
+      if (!want_number("count", v)) return false;
+      out.cycles = static_cast<int>(v);
+    } else if (key == "steps") {
+      double v = 0.0;
+      if (!want_number("count", v)) return false;
+      out.steps = static_cast<int>(v);
+    } else if (key == "drop" || key == "dup") {
+      double p = 0.0;
+      if (!want_number("probability", p)) return false;
+      (key == "drop" ? out.drop_prob : out.dup_prob) = p;
+    } else if (key == "delay") {
+      if (!want_number("probability", out.delay_prob) ||
+          !want_number("max seconds", out.delay_max)) {
+        return false;
+      }
+    } else if (key == "fail") {
+      double pe = 0.0, frac = 0.0;
+      if (!want_number("pe", pe) || !want_number("time fraction", frac)) {
+        return false;
+      }
+      out.failures.push_back({static_cast<int>(pe), frac});
+    } else if (key == "checkpoint") {
+      double v = 0.0;
+      if (!want_number("cadence", v)) return false;
+      out.checkpoint_every = static_cast<int>(v);
+    } else if (key == "defect") {
+      std::string name;
+      if (!want_word("defect name", name)) return false;
+      if (name != "arrival-order") {
+        return fail(lineno, "unknown defect '" + name + "'");
+      }
+      out.inject_defect = true;
+    } else if (key == "expect") {
+      // Consumed by the repro replayer (fuzzer.cpp); transparent here so a
+      // repro file is itself a parseable scenario.
+      std::string rest;
+      std::getline(line, rest);
+    } else {
+      return fail(lineno, "unknown directive '" + key + "'");
+    }
+  }
+
+  const std::string invalid = validate_scenario(out);
+  if (!invalid.empty()) return fail(lineno, invalid);
+  spec = out;
+  return true;
+}
+
+}  // namespace scalemd

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/parallel_sim.hpp"
+#include "des/fault.hpp"
+#include "ff/nonbonded.hpp"
+#include "gen/test_systems.hpp"
+
+namespace scalemd {
+
+/// One scheduled PE failure, with its firing time expressed as a *fraction*
+/// of the scenario's fault-free end time (virtual seconds). The differential
+/// executor measures the clean run first and converts fractions to absolute
+/// times, so a spec replays identically however long the run happens to be.
+struct ScenarioFailure {
+  int pe = 0;
+  double at_frac = 0.5;  ///< in (0, 1)
+};
+
+/// Everything one fuzz case varies: the generated system, the machine shape,
+/// the runtime configuration and the fault schedule. A spec is pure data —
+/// serialize/parse round-trip exactly — and evaluating it is deterministic,
+/// which is what makes shrinking and repro files possible.
+struct ScenarioSpec {
+  std::uint64_t seed = 1;  ///< system geometry + velocity + fault seed
+  TestSystemKind kind = TestSystemKind::kWaterBox;
+  double box = 12.0;       ///< cubic box edge, Angstrom
+  int chain_beads = 16;    ///< kSolvatedChain only
+
+  int num_pes = 4;
+  int threads = 2;         ///< threaded-backend worker count
+  LbStrategyKind lb = LbStrategyKind::kNone;
+  NonbondedKernel kernel = NonbondedKernel::kScalar;
+  double dt_fs = 1.0;
+  int cycles = 2;          ///< run_cycle calls
+  int steps = 2;           ///< timesteps per cycle
+
+  // --- fault schedule (all zero / empty = fault-free scenario) ---------
+  double drop_prob = 0.0;
+  double dup_prob = 0.0;
+  double delay_prob = 0.0;
+  double delay_max = 0.0;
+  std::vector<ScenarioFailure> failures;
+  int checkpoint_every = 0;  ///< required >= 1 whenever failures exist
+
+  /// Arms ParallelOptions::debug_fold_arrival_order on every run of this
+  /// spec. Set only by --self-test (and recorded in its repro files so they
+  /// replay the defective build path byte-for-byte).
+  bool inject_defect = false;
+
+  bool has_message_faults() const {
+    return drop_prob > 0.0 || dup_prob > 0.0 || delay_prob > 0.0;
+  }
+  bool has_faults() const { return has_message_faults() || !failures.empty(); }
+};
+
+/// Draws a random valid spec: case `index` of the campaign keyed by
+/// `master_seed`. Pure — same (seed, index) always yields the same spec.
+ScenarioSpec generate_scenario(std::uint64_t master_seed, int index);
+
+/// "" when `spec` is runnable; otherwise the first broken structural rule
+/// (PE counts, fault/checkpoint coupling, ranges). Both the parser and the
+/// shrinker gate on this.
+std::string validate_scenario(const ScenarioSpec& spec);
+
+/// Line-oriented text form ("key value" per line, # comments). Full
+/// precision: parse(serialize(spec)) == spec bit-for-bit.
+std::string serialize_scenario(const ScenarioSpec& spec);
+
+/// Parses serialize_scenario's schema. Returns true and fills `spec` on
+/// success; false with a located error (reusing the fault-plan error type:
+/// file, 1-based line, reason) otherwise. `spec` is untouched on failure.
+bool parse_scenario(const std::string& text, const std::string& file,
+                    ScenarioSpec& spec, FaultPlanParseError& error);
+
+const char* lb_strategy_name(LbStrategyKind kind);
+const char* nonbonded_kernel_name(NonbondedKernel kernel);
+
+}  // namespace scalemd

@@ -1,0 +1,79 @@
+#include "fuzz/shrink.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+namespace scalemd {
+
+namespace {
+
+bool specs_equal(const ScenarioSpec& a, const ScenarioSpec& b) {
+  return serialize_scenario(a) == serialize_scenario(b);
+}
+
+}  // namespace
+
+ShrinkResult shrink_scenario(const ScenarioSpec& failing,
+                             const FuzzVerdict& original, int max_evals) {
+  ShrinkResult result;
+  result.spec = failing;
+  result.verdict = original;
+
+  // Each transformation edits one axis toward "smaller". Ordered so the big
+  // wins (fewer cycles, no faults, fewer PEs) are tried before cosmetic ones.
+  using Edit = std::function<void(ScenarioSpec&)>;
+  const std::vector<Edit> edits = {
+      [](ScenarioSpec& s) { s.cycles = 1; },
+      [](ScenarioSpec& s) { s.cycles = std::max(1, s.cycles - 1); },
+      [](ScenarioSpec& s) { s.steps = 1; },
+      [](ScenarioSpec& s) { s.steps = std::max(1, s.steps - 1); },
+      [](ScenarioSpec& s) { s.failures.clear(); },
+      [](ScenarioSpec& s) {
+        if (!s.failures.empty()) s.failures.resize(s.failures.size() - 1);
+      },
+      [](ScenarioSpec& s) {
+        s.drop_prob = s.dup_prob = s.delay_prob = s.delay_max = 0.0;
+      },
+      [](ScenarioSpec& s) {
+        if (s.failures.empty()) s.checkpoint_every = 0;
+      },
+      [](ScenarioSpec& s) {
+        if (s.num_pes > 2) s.num_pes = std::max(2, s.num_pes / 2);
+      },
+      [](ScenarioSpec& s) {
+        if (s.num_pes > 2) s.num_pes -= 2;
+      },
+      [](ScenarioSpec& s) { s.threads = 1; },
+      [](ScenarioSpec& s) { s.kind = TestSystemKind::kWaterBox; },
+      [](ScenarioSpec& s) { s.chain_beads = 8; },
+      [](ScenarioSpec& s) { s.box = 10.0; },
+      [](ScenarioSpec& s) { s.box = (s.box + 10.0) / 2.0; },
+      [](ScenarioSpec& s) { s.lb = LbStrategyKind::kNone; },
+      [](ScenarioSpec& s) { s.kernel = NonbondedKernel::kScalar; },
+      [](ScenarioSpec& s) { s.dt_fs = 1.0; },
+  };
+
+  bool improved = true;
+  while (improved && result.evals < max_evals) {
+    improved = false;
+    for (const Edit& edit : edits) {
+      if (result.evals >= max_evals) break;
+      ScenarioSpec candidate = result.spec;
+      edit(candidate);
+      if (specs_equal(candidate, result.spec)) continue;
+      if (!validate_scenario(candidate).empty()) continue;
+      const FuzzVerdict v = evaluate_scenario(candidate);
+      ++result.evals;
+      if (!v.ok && v.oracle == original.oracle) {
+        result.spec = candidate;
+        result.verdict = v;
+        ++result.accepted;
+        improved = true;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace scalemd

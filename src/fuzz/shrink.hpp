@@ -1,0 +1,26 @@
+#pragma once
+
+#include "fuzz/differential.hpp"
+#include "fuzz/scenario.hpp"
+
+namespace scalemd {
+
+/// Result of minimizing a failing scenario.
+struct ShrinkResult {
+  ScenarioSpec spec;    ///< smallest spec found that still fails
+  FuzzVerdict verdict;  ///< its verdict — same oracle as the input failure
+  int evals = 0;        ///< evaluate_scenario calls spent
+  int accepted = 0;     ///< shrink steps that kept the failure alive
+};
+
+/// Greedy shrink: repeatedly tries size-reducing transformations of `failing`
+/// (fewer cycles/steps, no faults, fewer PEs, smaller/simpler system, plainer
+/// runtime configuration) and keeps a candidate only when evaluate_scenario
+/// still fails with the SAME oracle as `original` — a different failure is a
+/// different bug and must not hijack the repro. Stops at a fixpoint or after
+/// `max_evals` evaluations. Deterministic: no randomness, candidates are
+/// tried in a fixed order.
+ShrinkResult shrink_scenario(const ScenarioSpec& failing,
+                             const FuzzVerdict& original, int max_evals);
+
+}  // namespace scalemd

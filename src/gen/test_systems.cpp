@@ -1,0 +1,76 @@
+#include "gen/test_systems.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gen/chain.hpp"
+#include "gen/membrane.hpp"
+#include "gen/placement.hpp"
+#include "gen/stdff.hpp"
+#include "gen/water_box.hpp"
+#include "util/random.hpp"
+
+namespace scalemd {
+
+const char* test_system_kind_name(TestSystemKind kind) {
+  switch (kind) {
+    case TestSystemKind::kWaterBox:      return "water-box";
+    case TestSystemKind::kSolvatedChain: return "solvated-chain";
+    case TestSystemKind::kMembranePatch: return "membrane-patch";
+  }
+  return "unknown";
+}
+
+Molecule make_test_system(const TestSystemOptions& opt) {
+  Molecule mol;
+  mol.name = test_system_kind_name(opt.kind);
+  mol.box = {std::max(opt.box.x, 8.0), std::max(opt.box.y, 8.0),
+             std::max(opt.box.z, 8.0)};
+  const double min_dim = std::min({mol.box.x, mol.box.y, mol.box.z});
+  // Two patches per dimension at minimum, so the parallel machine always has
+  // inter-patch traffic to exercise.
+  mol.suggested_patch_size = min_dim / 2.0;
+
+  const StdFF ff = StdFF::install(mol.params);
+  PlacementGrid grid(mol.box, 2.2);
+  Rng rng(Rng::derive(opt.seed, "placement"));
+
+  const Vec3 c = mol.box * 0.5;
+  switch (opt.kind) {
+    case TestSystemKind::kWaterBox:
+      break;  // water fill below is the whole system
+    case TestSystemKind::kSolvatedChain: {
+      ChainOptions chain;
+      chain.beads = std::max(4, opt.chain_beads);
+      chain.lo = {2, 2, 2};
+      chain.hi = {mol.box.x - 2, mol.box.y - 2, mol.box.z - 2};
+      add_chain(mol, ff, grid, chain, rng);
+      break;
+    }
+    case TestSystemKind::kMembranePatch: {
+      // A few short-tailed lipids spanning the box midplane.
+      LipidOptions lipid;
+      lipid.tail_len = 2;
+      lipid.tails = 1;
+      const double radius =
+          std::max(3.0, std::min(mol.box.x, mol.box.y) / 2.0 - 2.0);
+      add_bilayer_disc(mol, ff, grid, c, radius, 3.2, 2.0, lipid, rng);
+      break;
+    }
+  }
+
+  // Solvate whatever the kind placed (or fill the empty box): the lattice
+  // filler skips clashing sites, so the cap just needs to exceed the box
+  // capacity at liquid density.
+  const double volume = mol.box.x * mol.box.y * mol.box.z;
+  const int max_waters = static_cast<int>(volume / 25.0) + 8;
+  fill_water(mol, ff, grid, {0, 0, 0}, mol.box, max_waters, rng);
+
+  mol.validate();
+  if (opt.temperature > 0.0) {
+    mol.assign_velocities(opt.temperature, Rng::derive(opt.seed, "velocities"));
+  }
+  return mol;
+}
+
+}  // namespace scalemd

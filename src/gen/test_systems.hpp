@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+
+#include "topo/molecule.hpp"
+
+namespace scalemd {
+
+/// Families of miniature synthetic systems for randomized testing. Each is a
+/// shrunken cousin of one preset composition (see presets.hpp): pure water,
+/// a solvated bead chain, or a small bilayer patch in water.
+enum class TestSystemKind {
+  kWaterBox,
+  kSolvatedChain,
+  kMembranePatch,
+};
+
+/// Knobs for make_test_system. Every field participates in the scenario
+/// fuzzer's search space, so defaults are deliberately tiny: a complete
+/// system builds in well under a millisecond.
+struct TestSystemOptions {
+  TestSystemKind kind = TestSystemKind::kWaterBox;
+  /// Box edges in Angstrom. The fuzzer jitters these in [10, 18]; the
+  /// builder clamps anything below 8 A up to 8 A so water always fits.
+  Vec3 box{12.0, 12.0, 12.0};
+  /// Backbone beads of the chain (kSolvatedChain only).
+  int chain_beads = 24;
+  /// Maxwell-Boltzmann temperature in Kelvin; <= 0 leaves velocities zero.
+  double temperature = 300.0;
+  std::uint64_t seed = 1;
+};
+
+/// Builds a small validated system of the requested kind. Deterministic in
+/// `opt` alone: geometry draws from Rng::derive(seed, "placement") and
+/// velocities from Rng::derive(seed, "velocities"), so the same options
+/// replay bit-identically regardless of caller RNG state.
+Molecule make_test_system(const TestSystemOptions& opt);
+
+const char* test_system_kind_name(TestSystemKind kind);
+
+}  // namespace scalemd

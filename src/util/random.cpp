@@ -17,9 +17,30 @@ std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); 
 
 }  // namespace
 
-Rng::Rng(std::uint64_t seed) {
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
   std::uint64_t s = seed;
   for (auto& w : s_) w = splitmix64(s);
+}
+
+std::uint64_t Rng::derive(std::uint64_t root, std::uint64_t stream) {
+  // Mix the root through one SplitMix64 step, add the stream id, and mix
+  // again: two full avalanche rounds, so adjacent roots and adjacent stream
+  // ids both land on unrelated child seeds.
+  std::uint64_t x = root;
+  std::uint64_t mixed = splitmix64(x);
+  x = mixed ^ (stream + 0x9e3779b97f4a7c15ull);
+  return splitmix64(x);
+}
+
+std::uint64_t Rng::derive(std::uint64_t root, std::string_view tag) {
+  // FNV-1a over the tag bytes -> stream id. The hash only has to separate
+  // the handful of tags a module uses; derive()'s mixing does the rest.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : tag) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return derive(root, h);
 }
 
 std::uint64_t Rng::next_u64() {

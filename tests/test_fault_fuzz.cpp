@@ -1,0 +1,249 @@
+// Property and mutation-fuzz tests for the fault-plan text parser
+// (des/fault). Contract under test: parse_fault_plan_text either returns
+// true with a fully validated FaultPlan, or returns false with a located
+// FaultPlanParseError ("file:line: reason") — it never crashes, never
+// invokes UB (the unit suite runs under ASan/UBSan in CI), and never lets
+// an out-of-range probability, negative time or unknown directive through.
+// Mirrors tests/test_topo_fuzz.cpp, which pins the same contract for the
+// topology reader.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "des/fault.hpp"
+#include "util/random.hpp"
+
+namespace scalemd {
+namespace {
+
+FaultPlan sample_plan() {
+  FaultPlan p;
+  p.seed = 42;
+  p.drop_prob = 0.02;
+  p.dup_prob = 0.01;
+  p.delay_prob = 0.05;
+  p.delay_max = 2e-4;
+  p.slowdowns.push_back({.pe = 3, .factor = 2.5, .from_time = 0.125});
+  p.failures.push_back({.pe = 2, .at_time = 0.5});
+  p.failures.push_back({.pe = 5, .at_time = 0.75});
+  return p;
+}
+
+bool plans_equal(const FaultPlan& a, const FaultPlan& b) {
+  if (a.seed != b.seed || a.drop_prob != b.drop_prob ||
+      a.dup_prob != b.dup_prob || a.delay_prob != b.delay_prob ||
+      a.delay_max != b.delay_max || a.slowdowns.size() != b.slowdowns.size() ||
+      a.failures.size() != b.failures.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.slowdowns.size(); ++i) {
+    if (a.slowdowns[i].pe != b.slowdowns[i].pe ||
+        a.slowdowns[i].factor != b.slowdowns[i].factor ||
+        a.slowdowns[i].from_time != b.slowdowns[i].from_time) {
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < a.failures.size(); ++i) {
+    if (a.failures[i].pe != b.failures[i].pe ||
+        a.failures[i].at_time != b.failures[i].at_time) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// The property every input must satisfy: parse cleanly into a plan whose
+/// fields pass the parser's own validation rules, or fail with a located
+/// error. Returns true when the input parsed.
+bool parses_cleanly_or_fails_located(const std::string& text) {
+  FaultPlan plan;
+  FaultPlanParseError error;
+  if (parse_fault_plan_text(text, "fuzz", plan, error)) {
+    // Validation must actually have held: these are the parser's promises.
+    EXPECT_GE(plan.drop_prob, 0.0);
+    EXPECT_LE(plan.drop_prob, 1.0);
+    EXPECT_GE(plan.dup_prob, 0.0);
+    EXPECT_LE(plan.dup_prob, 1.0);
+    EXPECT_GE(plan.delay_prob, 0.0);
+    EXPECT_LE(plan.delay_prob, 1.0);
+    EXPECT_GE(plan.delay_max, 0.0);
+    for (const PeSlowdown& s : plan.slowdowns) {
+      EXPECT_GE(s.pe, 0);
+      EXPECT_GE(s.factor, 1.0);
+    }
+    for (const PeFailure& f : plan.failures) {
+      EXPECT_GE(f.pe, 0);
+      EXPECT_GE(f.at_time, 0.0);
+    }
+    return true;
+  }
+  EXPECT_EQ(error.file, "fuzz");
+  EXPECT_GE(error.line, 1) << "text-level parses must locate a line";
+  EXPECT_FALSE(error.reason.empty());
+  const std::string rendered = error.render();
+  const std::string expected_prefix =
+      "fuzz:" + std::to_string(error.line) + ": ";
+  EXPECT_EQ(rendered.rfind(expected_prefix, 0), 0u)
+      << "rendered error '" << rendered << "' does not start with its location";
+  return false;
+}
+
+TEST(FaultPlanFuzzTest, RenderedPlanRoundTripsExactly) {
+  const FaultPlan plan = sample_plan();
+  FaultPlan back;
+  FaultPlanParseError error;
+  ASSERT_TRUE(parse_fault_plan_text(render_fault_plan(plan), "rt", back, error))
+      << error.render();
+  EXPECT_TRUE(plans_equal(plan, back));
+}
+
+TEST(FaultPlanFuzzTest, EmptyPlanRendersEmptyAndParsesBack) {
+  EXPECT_EQ(render_fault_plan(FaultPlan{}), "");
+  FaultPlan back;
+  FaultPlanParseError error;
+  ASSERT_TRUE(parse_fault_plan_text("", "rt", back, error));
+  EXPECT_TRUE(back.empty());
+}
+
+TEST(FaultPlanFuzzTest, EveryPrefixTruncationParsesOrFailsLocated) {
+  // The schema is line-oriented with no trailer, so cutting at a line
+  // boundary yields a smaller valid plan while cutting mid-directive must
+  // fail with the right line number — never crash, never accept a
+  // half-validated value.
+  const std::string good = render_fault_plan(sample_plan());
+  for (std::size_t len = 0; len <= good.size(); ++len) {
+    const std::string prefix = good.substr(0, len);
+    const bool parsed = parses_cleanly_or_fails_located(prefix);
+    // A prefix ending on a line boundary is itself a complete plan.
+    if (len == 0 || prefix.back() == '\n') {
+      EXPECT_TRUE(parsed) << "line-boundary prefix of length " << len
+                          << " should parse";
+    }
+  }
+}
+
+TEST(FaultPlanFuzzTest, RejectsHostileValuesWithLocation) {
+  const auto fails_on_line = [](const std::string& text, int line) {
+    FaultPlan plan;
+    FaultPlanParseError error;
+    EXPECT_FALSE(parse_fault_plan_text(text, "fuzz", plan, error)) << text;
+    EXPECT_EQ(error.line, line) << text;
+  };
+  fails_on_line("drop 1.5\n", 1);
+  fails_on_line("drop -0.1\n", 1);
+  fails_on_line("seed -3\n", 1);
+  fails_on_line("drop 0.1\ndup nope\n", 2);
+  fails_on_line("delay 0.5\n", 1);           // missing max seconds
+  fails_on_line("delay 0.5 -1\n", 1);
+  fails_on_line("slowdown 2 0.5\n", 1);      // factor < 1
+  fails_on_line("slowdown -1 2\n", 1);
+  fails_on_line("fail 1 -2\n", 1);
+  fails_on_line("fail -1 2\n", 1);
+  fails_on_line("drop 0.1\nbogus 1 2 3\n", 2);
+}
+
+TEST(FaultPlanFuzzTest, CommentsAndBlankLinesAreTransparent) {
+  FaultPlan plan;
+  FaultPlanParseError error;
+  ASSERT_TRUE(parse_fault_plan_text(
+      "# a chaos mix\n\n  drop 0.25   # heavy loss\n\n# done\n", "c", plan,
+      error))
+      << error.render();
+  EXPECT_EQ(plan.drop_prob, 0.25);
+  EXPECT_FALSE(plan.empty());
+}
+
+TEST(FaultPlanFuzzTest, FailureToParseLeavesCallerPlanUntouched) {
+  FaultPlan plan;
+  plan.drop_prob = 0.125;  // pre-existing caller state
+  FaultPlanParseError error;
+  EXPECT_FALSE(parse_fault_plan_text("drop 0.9\ngarbage\n", "f", plan, error));
+  EXPECT_EQ(plan.drop_prob, 0.125) << "failed parse must not half-write";
+}
+
+// ---------------------------------------------------------------------------
+// Mutation fuzzing: random corruptions of a valid serialization. Each input
+// must parse or fail with a located error — nothing else.
+// ---------------------------------------------------------------------------
+
+std::string mutate(const std::string& good, Rng& rng) {
+  std::string text = good;
+  const int op = static_cast<int>(rng.uniform_index(5));
+  const auto pick_pos = [&](std::size_t size) {
+    return static_cast<std::size_t>(rng.uniform_index(size));
+  };
+  switch (op) {
+    case 0:  // truncate anywhere, including mid-directive
+      if (!text.empty()) text.resize(pick_pos(text.size()));
+      break;
+    case 1: {  // corrupt one byte
+      if (!text.empty()) {
+        text[pick_pos(text.size())] =
+            static_cast<char>(1 + rng.uniform_index(126));
+      }
+      break;
+    }
+    case 2: {  // swap a whitespace-delimited token for a hostile one
+      static const char* kHostile[] = {"nan",  "inf",     "-1", "1e999",
+                                       "2",    "garbage", "",   "0.5.5",
+                                       "-0.0", "1e-999"};
+      if (text.empty()) break;
+      const std::size_t start = pick_pos(text.size());
+      const std::size_t tok_begin = text.find_first_not_of(" \n", start);
+      if (tok_begin == std::string::npos) break;
+      std::size_t tok_end = text.find_first_of(" \n", tok_begin);
+      if (tok_end == std::string::npos) tok_end = text.size();
+      text.replace(tok_begin, tok_end - tok_begin,
+                   kHostile[rng.uniform_index(10)]);
+      break;
+    }
+    case 3: {  // delete one full line
+      if (text.empty()) break;
+      const std::size_t start = pick_pos(text.size());
+      const std::size_t line_begin = text.rfind('\n', start);
+      const std::size_t begin =
+          line_begin == std::string::npos ? 0 : line_begin + 1;
+      std::size_t end = text.find('\n', begin);
+      end = end == std::string::npos ? text.size() : end + 1;
+      text.erase(begin, end - begin);
+      break;
+    }
+    default: {  // duplicate one full line
+      if (text.empty()) break;
+      const std::size_t start = pick_pos(text.size());
+      const std::size_t line_begin = text.rfind('\n', start);
+      const std::size_t begin =
+          line_begin == std::string::npos ? 0 : line_begin + 1;
+      std::size_t end = text.find('\n', begin);
+      end = end == std::string::npos ? text.size() : end + 1;
+      text.insert(begin, text.substr(begin, end - begin));
+      break;
+    }
+  }
+  return text;
+}
+
+TEST(FaultPlanFuzzTest, MutatedInputsNeverCrashOrEscapeTheContract) {
+  const std::string good = render_fault_plan(sample_plan());
+  Rng rng(20260807);
+  int parsed = 0, rejected = 0;
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string text = good;
+    // Stack 1-3 mutations so corruptions compound.
+    const int rounds = 1 + static_cast<int>(rng.uniform_index(3));
+    for (int r = 0; r < rounds; ++r) text = mutate(text, rng);
+    if (parses_cleanly_or_fails_located(text)) {
+      ++parsed;
+    } else {
+      ++rejected;
+    }
+  }
+  // Both outcomes must actually be exercised: line-granular mutations often
+  // leave a valid plan, hostile tokens must be refused.
+  EXPECT_GT(rejected, 200) << "fuzzer produced too few malformed inputs";
+  EXPECT_GT(parsed, 200) << "fuzzer produced too few valid inputs";
+}
+
+}  // namespace
+}  // namespace scalemd

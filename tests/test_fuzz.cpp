@@ -1,0 +1,217 @@
+// Unit tests of the scenario-fuzzing subsystem: spec generation and
+// round-trip, validation rules, the differential evaluator on known-good and
+// known-bad specs, the shrinker, and the repro read/write cycle (see
+// EXPERIMENTS.md "Scenario fuzzing").
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "fuzz/differential.hpp"
+#include "fuzz/fuzzer.hpp"
+#include "fuzz/scenario.hpp"
+#include "fuzz/shrink.hpp"
+#include "gen/test_systems.hpp"
+
+namespace scalemd {
+namespace {
+
+ScenarioSpec small_clean_spec() {
+  ScenarioSpec spec;
+  spec.seed = 42;
+  spec.kind = TestSystemKind::kWaterBox;
+  spec.box = 12.0;
+  spec.num_pes = 2;
+  spec.threads = 2;
+  spec.cycles = 2;
+  spec.steps = 1;
+  return spec;
+}
+
+// --- generation -------------------------------------------------------------
+
+TEST(ScenarioGenerateTest, IsDeterministicInSeedAndIndex) {
+  for (int i = 0; i < 20; ++i) {
+    const ScenarioSpec a = generate_scenario(7, i);
+    const ScenarioSpec b = generate_scenario(7, i);
+    EXPECT_EQ(serialize_scenario(a), serialize_scenario(b)) << "index " << i;
+  }
+  EXPECT_NE(serialize_scenario(generate_scenario(7, 0)),
+            serialize_scenario(generate_scenario(7, 1)));
+  EXPECT_NE(serialize_scenario(generate_scenario(7, 0)),
+            serialize_scenario(generate_scenario(8, 0)));
+}
+
+TEST(ScenarioGenerateTest, EveryGeneratedSpecValidates) {
+  for (int i = 0; i < 100; ++i) {
+    const ScenarioSpec spec = generate_scenario(3, i);
+    EXPECT_EQ(validate_scenario(spec), "") << "index " << i << ":\n"
+                                           << serialize_scenario(spec);
+  }
+}
+
+// --- serialize / parse round-trip -------------------------------------------
+
+TEST(ScenarioRoundTripTest, GeneratedSpecsSurviveExactly) {
+  for (int i = 0; i < 50; ++i) {
+    const ScenarioSpec spec = generate_scenario(11, i);
+    const std::string text = serialize_scenario(spec);
+    ScenarioSpec back;
+    FaultPlanParseError error;
+    ASSERT_TRUE(parse_scenario(text, "<mem>", back, error))
+        << "index " << i << ": " << error.render();
+    EXPECT_EQ(serialize_scenario(back), text) << "index " << i;
+  }
+}
+
+TEST(ScenarioRoundTripTest, DefectFlagRoundTrips) {
+  ScenarioSpec spec = small_clean_spec();
+  spec.inject_defect = true;
+  const std::string text = serialize_scenario(spec);
+  EXPECT_NE(text.find("defect arrival-order"), std::string::npos);
+  ScenarioSpec back;
+  FaultPlanParseError error;
+  ASSERT_TRUE(parse_scenario(text, "<mem>", back, error)) << error.render();
+  EXPECT_TRUE(back.inject_defect);
+}
+
+TEST(ScenarioParseTest, RejectsUnknownKeysWithLocation) {
+  ScenarioSpec spec;
+  FaultPlanParseError error;
+  const std::string text = serialize_scenario(small_clean_spec()) + "bogus 1\n";
+  EXPECT_FALSE(parse_scenario(text, "bad.txt", spec, error));
+  EXPECT_EQ(error.file, "bad.txt");
+  EXPECT_GT(error.line, 0);
+}
+
+TEST(ScenarioParseTest, LeavesSpecUntouchedOnFailure) {
+  ScenarioSpec spec = small_clean_spec();
+  const std::string before = serialize_scenario(spec);
+  FaultPlanParseError error;
+  EXPECT_FALSE(parse_scenario("pes not-a-number\n", "<mem>", spec, error));
+  EXPECT_EQ(serialize_scenario(spec), before);
+}
+
+// --- validation -------------------------------------------------------------
+
+TEST(ScenarioValidateTest, RejectsTiledThreadsKernel) {
+  ScenarioSpec spec = small_clean_spec();
+  spec.kernel = NonbondedKernel::kTiledThreads;
+  EXPECT_NE(validate_scenario(spec), "");
+}
+
+TEST(ScenarioValidateTest, RejectsFailuresWithoutCheckpoint) {
+  ScenarioSpec spec = small_clean_spec();
+  spec.num_pes = 4;
+  spec.failures.push_back({.pe = 1, .at_frac = 0.5});
+  spec.checkpoint_every = 0;
+  EXPECT_NE(validate_scenario(spec), "");
+  spec.checkpoint_every = 1;
+  EXPECT_EQ(validate_scenario(spec), "");
+}
+
+// --- generated test systems -------------------------------------------------
+
+TEST(TestSystemTest, AllKindsProduceRunnableSystems) {
+  for (const TestSystemKind kind :
+       {TestSystemKind::kWaterBox, TestSystemKind::kSolvatedChain,
+        TestSystemKind::kMembranePatch}) {
+    TestSystemOptions opt;
+    opt.kind = kind;
+    opt.seed = 5;
+    const Molecule mol = make_test_system(opt);
+    EXPECT_GT(mol.atom_count(), 0) << test_system_kind_name(kind);
+  }
+}
+
+TEST(TestSystemTest, IsDeterministicInSeed) {
+  TestSystemOptions opt;
+  opt.kind = TestSystemKind::kSolvatedChain;
+  opt.seed = 9;
+  const Molecule a = make_test_system(opt);
+  const Molecule b = make_test_system(opt);
+  ASSERT_EQ(a.atom_count(), b.atom_count());
+  for (int i = 0; i < a.atom_count(); ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    EXPECT_EQ(a.positions()[idx].x, b.positions()[idx].x);
+    EXPECT_EQ(a.velocities()[idx].x, b.velocities()[idx].x);
+  }
+}
+
+// --- differential evaluation ------------------------------------------------
+
+TEST(FuzzEvaluateTest, CleanSpecPassesOnTrunk) {
+  const FuzzVerdict v = evaluate_scenario(small_clean_spec());
+  EXPECT_TRUE(v.ok) << v.oracle << "\n" << v.detail;
+}
+
+TEST(FuzzEvaluateTest, InjectedDefectIsCaughtAndShrunk) {
+  // The hidden arrival-order defect must divert the DES trajectory from the
+  // threaded one; the shrinker must keep the failure on the same oracle.
+  ScenarioSpec spec = small_clean_spec();
+  spec.num_pes = 4;
+  spec.cycles = 3;
+  spec.inject_defect = true;
+  const FuzzVerdict v = evaluate_scenario(spec);
+  ASSERT_FALSE(v.ok);
+  EXPECT_EQ(v.oracle, "backend-divergence") << v.detail;
+
+  const ShrinkResult shrunk = shrink_scenario(spec, v, /*max_evals=*/40);
+  EXPECT_FALSE(shrunk.verdict.ok);
+  EXPECT_EQ(shrunk.verdict.oracle, v.oracle);
+  EXPECT_LE(shrunk.spec.cycles * shrunk.spec.steps, spec.cycles * spec.steps);
+  EXPECT_EQ(validate_scenario(shrunk.spec), "");
+}
+
+// --- repro files ------------------------------------------------------------
+
+TEST(FuzzReproTest, CampaignWritesReplayableRepros) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "scalemd-fuzz-test-repros";
+  std::filesystem::remove_all(dir);
+
+  FuzzOptions opts;
+  opts.cases = 2;
+  opts.seed = 1;
+  opts.inject_defect = true;  // guarantees failures to write
+  opts.shrink_evals = 30;
+  opts.out_dir = dir.string();
+  const FuzzReport report = run_fuzz(opts);
+  ASSERT_FALSE(report.failures.empty());
+
+  for (const FuzzFailure& failure : report.failures) {
+    ASSERT_FALSE(failure.repro_path.empty()) << "case " << failure.case_index;
+    std::ifstream f(failure.repro_path);
+    ASSERT_TRUE(f.good()) << failure.repro_path;
+    std::ostringstream content;
+    content << f.rdbuf();
+    std::string message;
+    EXPECT_TRUE(replay_repro(content.str(), failure.repro_path, message))
+        << message;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FuzzReproTest, ReplayRejectsOracleMismatch) {
+  // A repro whose scenario passes on this build must *fail* to replay.
+  FuzzFailure fake;
+  fake.case_index = 0;
+  fake.original = small_clean_spec();
+  fake.shrunk = small_clean_spec();
+  fake.oracle = "backend-divergence";
+  std::string message;
+  EXPECT_FALSE(replay_repro(render_repro(fake), "<mem>", message));
+  EXPECT_NE(message.find("did not fire"), std::string::npos) << message;
+}
+
+TEST(FuzzSelfTest, CatchesInjectedDefect) {
+  std::string message;
+  EXPECT_EQ(run_self_test(/*seed=*/1, /*max_cases=*/2, message), 0) << message;
+}
+
+}  // namespace
+}  // namespace scalemd

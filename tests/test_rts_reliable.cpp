@@ -8,6 +8,7 @@
 #include "rts/reduction.hpp"
 #include "rts/reliable.hpp"
 #include "trace/event_log.hpp"
+#include "util/random.hpp"
 
 namespace scalemd {
 namespace {
@@ -245,6 +246,98 @@ TEST(ReliableReducerTest, TreeTotalsSurviveDuplicatedForwards) {
   const double expected = 1 + 2 + 3 + 4 + 5 + 6 + 7 + 8;
   EXPECT_DOUBLE_EQ(total_under(true), expected);
   EXPECT_NE(total_under(false), expected);  // the defect made visible
+}
+
+// --- randomized property soak ----------------------------------------------
+// Instead of a handful of hand-picked plans, draw many random
+// drop x dup x delay mixes from a seeded stream and assert the protocol
+// properties hold for every one of them.
+
+FaultPlan random_message_plan(Rng& rng) {
+  FaultPlan p;
+  p.seed = rng.next_u64();
+  p.drop_prob = rng.uniform(0.0, 0.35);
+  p.dup_prob = rng.uniform(0.0, 0.30);
+  p.delay_prob = rng.uniform(0.0, 0.50);
+  p.delay_max = rng.uniform(1e-3, 0.05);
+  return p;
+}
+
+TEST(ReliablePropertyTest, ExactlyOnceUnderRandomPlans) {
+  // Exactly-once per slot, payload effects bitwise equal to the fault-free
+  // run, and no send abandoned — for every randomly drawn plan.
+  const SlotRun clean = run_slots(FaultPlan{}, /*reliable=*/true);
+  Rng rng(Rng::derive(2026, "reliable-soak"));
+  for (int trial = 0; trial < 25; ++trial) {
+    const FaultPlan plan = random_message_plan(rng);
+    const SlotRun r = run_slots(plan, /*reliable=*/true);
+    ASSERT_TRUE(r.idle) << "trial " << trial << " plan seed " << plan.seed;
+    EXPECT_EQ(r.hits, clean.hits) << "trial " << trial;
+    ASSERT_EQ(r.values.size(), clean.values.size());
+    for (std::size_t i = 0; i < clean.values.size(); ++i) {
+      EXPECT_EQ(r.values[i], clean.values[i])  // bitwise, not NEAR
+          << "trial " << trial << " slot " << i;
+    }
+    EXPECT_EQ(r.stats.abandoned, 0u) << "trial " << trial;
+  }
+}
+
+TEST(ReliablePropertyTest, RetriesStayWithinAttemptBudget) {
+  // The retry counter can never exceed (max_attempts - 1) per reliable send:
+  // the backoff loop must be bounded, whatever the plan does. run_slots
+  // configures max_attempts = 12, so the bound is 11 retries per send.
+  Rng rng(Rng::derive(2026, "reliable-budget"));
+  for (int trial = 0; trial < 25; ++trial) {
+    const FaultPlan plan = random_message_plan(rng);
+    const SlotRun r = run_slots(plan, /*reliable=*/true);
+    ASSERT_TRUE(r.idle) << "trial " << trial;
+    EXPECT_LE(r.stats.retries, r.stats.reliable_sends * 11u)
+        << "trial " << trial << " plan seed " << plan.seed;
+  }
+}
+
+TEST(ReliablePropertyTest, DedupIsIdempotentUnderPureDuplication) {
+  // With only duplication armed (nothing dropped or delayed), retries are
+  // never needed: dedup alone must absorb every extra arrival, for any seed.
+  Rng rng(Rng::derive(2026, "reliable-dedup"));
+  for (int trial = 0; trial < 25; ++trial) {
+    FaultPlan p;
+    p.seed = rng.next_u64();
+    p.dup_prob = rng.uniform(0.3, 1.0);
+    const SlotRun r = run_slots(p, /*reliable=*/true);
+    ASSERT_TRUE(r.idle) << "trial " << trial;
+    for (int h : r.hits) EXPECT_EQ(h, 1) << "trial " << trial;
+    EXPECT_EQ(r.stats.abandoned, 0u) << "trial " << trial;
+  }
+}
+
+TEST(ReliablePropertyTest, ReductionTotalsExactUnderRandomPlans) {
+  // A tree reduction over a randomly faulted network must produce the exact
+  // fault-free total (doubles: dedup means the same summands, same order).
+  Rng rng(Rng::derive(2026, "reliable-reduce"));
+  for (int trial = 0; trial < 10; ++trial) {
+    const FaultPlan plan = random_message_plan(rng);
+    Simulator sim(7, rel_test_machine());
+    sim.set_fault_plan(plan);
+    ReliableOptions ropts;
+    ropts.max_attempts = 12;
+    ReliableComm comm(sim, ropts);
+    const EntryId e = sim.entries().add("reduce", WorkCategory::kComm);
+    std::vector<int> pe_of;
+    for (int pe = 0; pe < 7; ++pe) pe_of.push_back(pe);
+    double result = -1.0;
+    Reducer red(pe_of, e, [&](int, double total) { result = total; });
+    red.set_reliable(&comm);
+    for (int pe = 0; pe < 7; ++pe) {
+      sim.inject(pe, {.fn = [&red, pe](ExecContext& ctx) {
+                        red.contribute(ctx, pe, 0, 3.0 * pe + 0.25);
+                      }});
+    }
+    sim.run();
+    ASSERT_TRUE(sim.idle()) << "trial " << trial;
+    EXPECT_DOUBLE_EQ(result, 3.0 * 21 + 7 * 0.25)
+        << "trial " << trial << " plan seed " << plan.seed;
+  }
 }
 
 TEST(ReliableReducerTest, TotalsExactUnderLossyNetwork) {

@@ -1,0 +1,139 @@
+// scalemd-fuzz: the scenario-fuzzing driver (see EXPERIMENTS.md "Scenario
+// fuzzing"). Three modes:
+//
+//   scalemd-fuzz --cases 200 --seed 1 [--out-dir DIR] [--time-budget S]
+//       run a campaign; exit 0 iff every case passes. Each failure is
+//       shrunk and written as a standalone repro file.
+//
+//   scalemd-fuzz --repro FILE
+//       replay one repro; exit 0 iff the recorded oracle fires again.
+//
+//   scalemd-fuzz --self-test [--seed S] [--cases N]
+//       arm the hidden arrival-order defect and assert the fuzzer catches
+//       it, shrinks it, and the repro replays. Exit 0 iff all three hold.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "fuzz/fuzzer.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: scalemd-fuzz [--cases N] [--seed S] [--time-budget SECONDS]\n"
+      "                    [--out-dir DIR] [--verbose]\n"
+      "       scalemd-fuzz --repro FILE\n"
+      "       scalemd-fuzz --self-test [--seed S] [--cases N]\n");
+}
+
+bool parse_int(const char* text, long long& out) {
+  char* end = nullptr;
+  out = std::strtoll(text, &end, 10);
+  return end != text && *end == '\0';
+}
+
+bool parse_double(const char* text, double& out) {
+  char* end = nullptr;
+  out = std::strtod(text, &end);
+  return end != text && *end == '\0';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  scalemd::FuzzOptions opts;
+  opts.cases = 100;
+  bool self_test = false;
+  bool cases_given = false;
+  std::string repro_file;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "scalemd-fuzz: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--cases") {
+      long long v = 0;
+      if (!parse_int(next(), v) || v < 1) {
+        std::fprintf(stderr, "scalemd-fuzz: bad --cases\n");
+        return 2;
+      }
+      opts.cases = static_cast<int>(v);
+      cases_given = true;
+    } else if (arg == "--seed") {
+      long long v = 0;
+      if (!parse_int(next(), v) || v < 0) {
+        std::fprintf(stderr, "scalemd-fuzz: bad --seed\n");
+        return 2;
+      }
+      opts.seed = static_cast<std::uint64_t>(v);
+    } else if (arg == "--time-budget") {
+      if (!parse_double(next(), opts.time_budget_s) ||
+          opts.time_budget_s < 0.0) {
+        std::fprintf(stderr, "scalemd-fuzz: bad --time-budget\n");
+        return 2;
+      }
+    } else if (arg == "--out-dir") {
+      opts.out_dir = next();
+    } else if (arg == "--repro") {
+      repro_file = next();
+    } else if (arg == "--self-test") {
+      self_test = true;
+    } else if (arg == "--verbose") {
+      opts.verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "scalemd-fuzz: unknown option '%s'\n", arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  if (!repro_file.empty()) {
+    std::ifstream f(repro_file);
+    if (!f) {
+      std::fprintf(stderr, "scalemd-fuzz: cannot open %s\n",
+                   repro_file.c_str());
+      return 2;
+    }
+    std::ostringstream content;
+    content << f.rdbuf();
+    std::string message;
+    const bool ok =
+        scalemd::replay_repro(content.str(), repro_file, message);
+    std::printf("%s\n", message.c_str());
+    return ok ? 0 : 1;
+  }
+
+  if (self_test) {
+    std::string message;
+    const int rc = scalemd::run_self_test(
+        opts.seed, cases_given ? opts.cases : 60, message);
+    std::printf("%s\n", message.c_str());
+    return rc;
+  }
+
+  const scalemd::FuzzReport report = scalemd::run_fuzz(opts);
+  std::printf("scalemd-fuzz: %d case(s) run, %zu failure(s)\n",
+              report.cases_run, report.failures.size());
+  for (const scalemd::FuzzFailure& failure : report.failures) {
+    std::printf("case %d: %s\n", failure.case_index, failure.oracle.c_str());
+    std::printf("%s", failure.detail.c_str());
+    if (!failure.repro_path.empty()) {
+      std::printf("  repro: %s\n", failure.repro_path.c_str());
+    }
+  }
+  return report.ok() ? 0 : 1;
+}

@@ -4,7 +4,10 @@
 //
 // Usage: quickstart [--kernel scalar|tiled|tiled+threads] [--threads N]
 //                   [--check]
-//        quickstart --backend=sim|threads [--pes N] [--threads N] [--check]
+//        quickstart --backend=sim|threads|process [--pes N] [--threads N]
+//                   [--workers N] [--check]
+//        quickstart --backend=process --kill-worker W [--kill-after N]
+//                   [--checkpoint-every N] [--checkpoint-path FILE] [--check]
 //        quickstart --pes N [--fault-seed S | --fault-plan FILE]
 //                   [--checkpoint-every N] [--check]
 //
@@ -14,9 +17,18 @@
 // The --backend form runs the waterbox preset through the parallel runtime
 // on the chosen execution backend: `sim` replays the discrete-event machine
 // model (virtual time), `threads` maps the PEs onto real worker threads
-// (wall-clock time, --threads N workers, 0 = all hardware threads). Both
-// backends produce bitwise-identical trajectories — that equivalence is
-// pinned by tests/test_backend_diff.cpp.
+// (wall-clock time, --threads N workers, 0 = all hardware threads), and
+// `process` forks --workers N real OS processes that host the PEs and talk
+// over checksummed wire frames (src/rts/wire.*). All backends produce
+// bitwise-identical trajectories — that equivalence is pinned by
+// tests/test_backend_diff.cpp and tests/test_process_backend.cpp.
+//
+// With --backend=process, --kill-worker W SIGKILLs worker W mid-run (after
+// --kill-after N routed frames) to demonstrate real crash recovery: the
+// heartbeat detector declares the worker dead, its PEs are evacuated, and
+// the run restarts from the last on-disk checkpoint (--checkpoint-every N
+// cycles, written to --checkpoint-path). The recovered trajectory is
+// bitwise identical to a fault-free run.
 //
 // The second form runs the waterbox preset on the simulated parallel machine
 // with the fault-tolerant runtime armed: --fault-seed S injects the generic
@@ -28,9 +40,11 @@
 // recovery-metrics table and exits non-zero on any invariant violation or
 // unrecovered cycle.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "check/invariants.hpp"
 #include "core/parallel_sim.hpp"
@@ -48,17 +62,29 @@ int usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s [--kernel scalar|tiled|tiled+threads] [--threads N]"
                " [--check]\n"
-               "       %s --backend=sim|threads [--pes N] [--threads N]"
-               " [--check]\n"
+               "       %s --backend=sim|threads|process [--pes N] [--threads N]"
+               " [--workers N] [--check]\n"
+               "       %s --backend=process --kill-worker W [--kill-after N]"
+               " [--checkpoint-every N] [--checkpoint-path FILE] [--check]\n"
                "       %s --pes N [--fault-seed S | --fault-plan FILE]"
                " [--checkpoint-every N] [--check]\n",
-               prog, prog, prog);
+               prog, prog, prog, prog);
   return 1;
 }
 
-/// The backend demo: waterbox on the parallel runtime, DES or real threads.
+/// Process-backend knobs for the backend demo; inert on sim/threads.
+struct ProcessDemo {
+  int workers = 2;
+  int kill_worker = -1;           ///< >= 0 arms the one-shot SIGKILL
+  std::uint64_t kill_after = 10;  ///< routed frames before the kill fires
+  int checkpoint_every = 0;       ///< cycles between disk checkpoints
+  std::string checkpoint_path;
+};
+
+/// The backend demo: waterbox on the parallel runtime — DES, real threads,
+/// or forked worker processes (optionally with a chaos kill + recovery).
 int run_parallel(scalemd::BackendKind backend, int pes, int threads,
-                 bool check) {
+                 const ProcessDemo& proc, bool check) {
   using namespace scalemd;
 
   Molecule mol = make_water_box({16.0, 16.0, 16.0}, /*seed=*/11);
@@ -76,9 +102,27 @@ int run_parallel(scalemd::BackendKind backend, int pes, int threads,
   opts.backend = backend;
   opts.threads = threads;
   opts.lb.kind = LbStrategyKind::kGreedyRefine;
+  if (backend == BackendKind::kProcess) {
+    opts.process.workers = proc.workers;
+    opts.process.kill_worker = proc.kill_worker;
+    opts.process.kill_after_frames = proc.kill_after;
+    opts.checkpoint_every = proc.checkpoint_every;
+    opts.checkpoint_path = proc.checkpoint_path;
+  }
   ParallelSim sim(workload, opts);
   std::printf("system: waterbox, %d atoms on %d PEs, backend %s\n",
               mol.atom_count(), pes, backend_name(backend));
+  if (backend == BackendKind::kProcess) {
+    std::printf("workers: %d forked processes", proc.workers);
+    if (proc.kill_worker >= 0) {
+      std::printf(", SIGKILL worker %d after %llu frames, checkpoint every "
+                  "%d cycle(s) -> %s",
+                  proc.kill_worker,
+                  static_cast<unsigned long long>(proc.kill_after),
+                  proc.checkpoint_every, proc.checkpoint_path.c_str());
+    }
+    std::printf("\n");
+  }
 
   InvariantOptions iopts;
   iopts.check_energy = false;  // a handful of steps; drift bound is for runs
@@ -97,6 +141,21 @@ int run_parallel(scalemd::BackendKind backend, int pes, int threads,
               sim.backend().time(), sim.total_steps(),
               sim.seconds_per_step_tail(kSteps) * 1e3);
 
+  bool ok = true;
+  if (backend == BackendKind::kProcess) {
+    std::printf("recovery: %d checkpoint(s) taken, %d restart(s)\n",
+                sim.checkpoints_taken(), sim.restarts());
+    if (!sim.last_cycle_complete()) {
+      std::printf("UNRECOVERED: the last cycle did not complete\n");
+      ok = false;
+    } else if (proc.kill_worker >= 0 && sim.restarts() == 0) {
+      std::printf("NOTE: the kill never fired (run too short for %llu "
+                  "frames?)\n",
+                  static_cast<unsigned long long>(proc.kill_after));
+      ok = false;
+    }
+  }
+
   if (check) {
     std::printf("invariants: %llu checks",
                 static_cast<unsigned long long>(checker.checks_run()));
@@ -105,10 +164,10 @@ int run_parallel(scalemd::BackendKind backend, int pes, int threads,
     } else {
       std::printf(", %zu VIOLATIONS\n%s", checker.log().size(),
                   checker.log().render().c_str());
-      return 1;
+      ok = false;
     }
   }
-  return 0;
+  return ok ? 0 : 1;
 }
 
 /// The chaos demo: waterbox on the simulated machine, resilient runtime on.
@@ -191,6 +250,8 @@ int main(int argc, char** argv) {
   bool have_backend = false;
   BackendKind backend = BackendKind::kSimulated;
   FaultPlan plan;
+  ProcessDemo proc;
+  bool have_ckpt_path = false;
   for (int i = 1; i < argc; ++i) {
     // --backend takes either "--backend=threads" or "--backend threads".
     const char* backend_arg = nullptr;
@@ -235,11 +296,28 @@ int main(int argc, char** argv) {
       have_plan = true;
     } else if (std::strcmp(argv[i], "--checkpoint-every") == 0 && i + 1 < argc) {
       checkpoint_every = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      proc.workers = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--kill-worker") == 0 && i + 1 < argc) {
+      proc.kill_worker = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--kill-after") == 0 && i + 1 < argc) {
+      proc.kill_after =
+          static_cast<std::uint64_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--checkpoint-path") == 0 && i + 1 < argc) {
+      proc.checkpoint_path = argv[++i];
+      have_ckpt_path = true;
     } else {
       return usage(argv[0]);
     }
   }
 
+  if (proc.kill_worker >= 0 &&
+      (!have_backend || backend != BackendKind::kProcess)) {
+    std::fprintf(stderr,
+                 "--kill-worker needs --backend=process (it SIGKILLs a real "
+                 "forked worker)\n");
+    return 1;
+  }
   if (have_backend) {
     if (have_plan) {
       std::fprintf(stderr,
@@ -247,7 +325,14 @@ int main(int argc, char** argv) {
                    "resilient runtime runs on the simulated machine\n");
       return 1;
     }
-    return run_parallel(backend, pes > 0 ? pes : 8, threads, check);
+    if (backend == BackendKind::kProcess &&
+        (proc.kill_worker >= 0 || have_ckpt_path)) {
+      // Crash recovery needs a checkpoint to restart from; default to one
+      // per cycle at a predictable path.
+      proc.checkpoint_every = checkpoint_every > 0 ? checkpoint_every : 1;
+      if (!have_ckpt_path) proc.checkpoint_path = "quickstart.ckpt";
+    }
+    return run_parallel(backend, pes > 0 ? pes : 8, threads, proc, check);
   }
   if (pes > 0 || have_plan) {
     if (pes <= 0) pes = 8;

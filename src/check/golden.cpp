@@ -411,6 +411,11 @@ Trajectory record_parallel_trajectory(const GoldenSpec& spec,
   opts.lb.kind = popts.lb;
   opts.numeric = true;
   opts.dt_fs = spec.engine.dt_fs;
+  opts.process.workers = popts.process_workers;
+  opts.process.kill_worker = popts.kill_worker;
+  opts.process.kill_after_frames = popts.kill_after_frames;
+  opts.checkpoint_every = popts.checkpoint_every;
+  if (!popts.checkpoint_path.empty()) opts.checkpoint_path = popts.checkpoint_path;
 
   Workload wl(mol, opts.machine, nb);
   ParallelSim sim(wl, opts);

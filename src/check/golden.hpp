@@ -137,6 +137,15 @@ struct ParallelGoldenOptions {
   int threads = 0;  ///< threaded backend worker count (0 = hardware)
   LbStrategyKind lb = LbStrategyKind::kNone;
   NonbondedKernel kernel = NonbondedKernel::kScalar;
+  // Process-backend knobs (ignored by the other backends). A non-empty
+  // checkpoint_path with checkpoint_every > 0 arms disk checkpointing, and
+  // kill_worker >= 0 arms the one-shot SIGKILL chaos injection — together
+  // they drive the real crash-recovery differential tests.
+  int process_workers = 2;
+  int checkpoint_every = 0;
+  std::string checkpoint_path;
+  int kill_worker = -1;
+  std::uint64_t kill_after_frames = 0;
 };
 
 /// Runs `spec` through ParallelSim (numeric mode) and records one frame at

@@ -192,6 +192,25 @@ void InvariantChecker::observe_cycle(const ParallelSim& sim) {
     return;
   }
 
+  // Abandonment accountability: the reliable layer may give up on a send,
+  // but every give-up must be explained. A send abandoned because its
+  // destination died, or one whose payload executed (only the acks were
+  // lost), needs no repair. A send lost at a *live* PE removed real work,
+  // so the run is only sound if a checkpoint restart replayed it — reaching
+  // this point (cycle complete) with such losses and zero restarts means
+  // the runtime silently dropped work and still claimed success.
+  if (const ReliableComm* rel = sim.reliable()) {
+    ++checks_run_;
+    const ReliableStats& rs = rel->stats();
+    if (rs.abandoned_lost > 0 && sim.restarts() == 0) {
+      fail(step, "abandonment-accountability",
+           static_cast<double>(rs.abandoned_lost), 0.0,
+           describe("%.0f send(s) abandoned at live PEs with %.0f restarts",
+                    static_cast<double>(rs.abandoned_lost),
+                    static_cast<double>(sim.restarts())));
+    }
+  }
+
   // Reduction completeness: one reduction round per completed global step
   // (each cycle contributes steps + 1 rounds, including its bootstrap step),
   // which is exactly the step-completion history length.

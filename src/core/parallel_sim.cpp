@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <map>
 #include <cmath>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 #include "ff/bonded.hpp"
 #include "lb/diffusion.hpp"
@@ -77,6 +81,7 @@ struct ParallelSim::Checkpoint {
   std::vector<double> reduction_totals;
   std::vector<EnergyTerms> potential_per_step;
   std::vector<double> step_completion;
+  std::vector<double> step_last_advance;
   std::vector<int> steps_done_counter;
   int global_steps = 0;
   Rng noise_rng{0};
@@ -159,6 +164,21 @@ ParallelSim::ParallelSim(const Workload& workload, const ParallelOptions& opts)
            "tiled-threads kernel would nest thread pools; use kTiled");
     exec_ = std::make_unique<ThreadedBackend>(opts_.num_pes, opts_.machine,
                                               opts_.threads);
+  } else if (opts_.backend == BackendKind::kProcess) {
+    // The process backend also executes for real, in forked worker
+    // processes. Modeled fault plans and reliable delivery stay DES-only,
+    // but checkpointing IS supported: failures here are real worker deaths
+    // (SIGKILL, crash, hang), and recovery replays from an on-disk
+    // checkpoint.
+    assert(opts_.numeric && "process backend requires numeric mode");
+    assert(opts_.fault.empty() && !opts_.reliable &&
+           "fault modeling and reliable delivery require the simulated backend");
+    assert(wl_->nonbonded.kernel != NonbondedKernel::kTiledThreads &&
+           "tiled-threads kernel would nest thread pools; use kTiled");
+    auto proc = std::make_unique<ProcessBackend>(opts_.num_pes, opts_.machine,
+                                                 opts_.process);
+    proc_ = proc.get();
+    exec_ = std::move(proc);
   } else {
     auto des = std::make_unique<Simulator>(opts_.num_pes, opts_.machine);
     des_ = des.get();
@@ -180,6 +200,7 @@ ParallelSim::ParallelSim(const Workload& workload, const ParallelOptions& opts)
     assert(des_ != nullptr);
     reliable_ = std::make_unique<ReliableComm>(*des_, opts_.reliable_opts);
   }
+  if (proc_ != nullptr) setup_process_wire();
 
   db_ = std::make_unique<LoadDatabase>(
       static_cast<std::size_t>(wl_->plan.migratable_count()), opts_.num_pes);
@@ -254,6 +275,7 @@ void ParallelSim::rebuild_reducer() {
         reduction_totals_[static_cast<std::size_t>(round)] = total;
       });
   if (reliable_) reducer_->set_reliable(reliable_.get());
+  if (proc_ != nullptr) reducer_->set_wire(true);
 }
 
 void ParallelSim::rsend(ExecContext& ctx, int dest, TaskMsg msg) {
@@ -350,10 +372,22 @@ void ParallelSim::publish_coords(ExecContext& ctx, int patch) {
   }
   multicast(
       ctx, remote, bytes, opts_.optimized_multicast,
-      [this, patch](int pe) {
+      [this, patch, home, &pr](int pe) {
         TaskMsg msg;
         msg.entry = e_coords_;
         msg.priority = -1;
+        // Proxies in another worker process cannot read the home replica;
+        // ship the step index and the coordinates themselves.
+        if (proc_ != nullptr && proc_->owner_of(pe) != proc_->owner_of(home)) {
+          msg.has_wire = true;
+          msg.wire.ints = {patch, pr.step};
+          msg.wire.reals.reserve(pr.pos.size() * 3);
+          for (const Vec3& v : pr.pos) {
+            msg.wire.reals.push_back(v.x);
+            msg.wire.reals.push_back(v.y);
+            msg.wire.reals.push_back(v.z);
+          }
+        }
         msg.fn = [this, patch, pe](ExecContext& c) {
           c.charge_pack(
               static_cast<double>(
@@ -565,6 +599,24 @@ void ParallelSim::complete_patch_on_pe(ExecContext& ctx, int patch, int pe) {
   msg.entry = e_forces_;
   msg.priority = -2;
   msg.bytes = bytes;
+  // Crossing a worker boundary: the home process cannot read this worker's
+  // scratch slots, so ship every slot of this proxy (flattened in slot
+  // order; advance() still folds them in canonical compute-id order).
+  if (proc_ != nullptr && proc_->owner_of(pe) != proc_->owner_of(home)) {
+    const ProxyRt& proxy = proxies_[static_cast<std::size_t>(pxy)];
+    msg.has_wire = true;
+    msg.wire.ints = {patch, pxy};
+    std::size_t total = 0;
+    for (const auto& s : proxy.scratch) total += s.size() * 3;
+    msg.wire.reals.reserve(total);
+    for (const auto& s : proxy.scratch) {
+      for (const Vec3& v : s) {
+        msg.wire.reals.push_back(v.x);
+        msg.wire.reals.push_back(v.y);
+        msg.wire.reals.push_back(v.z);
+      }
+    }
+  }
   msg.fn = [this, patch, pxy, bytes](ExecContext& c) {
     c.charge_pack(static_cast<double>(bytes) * c.machine().unpack_byte_cost);
     on_contribution(c, patch, pxy);
@@ -656,6 +708,8 @@ void ParallelSim::advance(ExecContext& ctx, int patch) {
   {
     std::lock_guard<std::mutex> lock(progress_mu_);
     ++steps_done_counter_[static_cast<std::size_t>(global)];
+    step_last_advance_[static_cast<std::size_t>(global)] =
+        std::max(step_last_advance_[static_cast<std::size_t>(global)], ctx.now());
     if (steps_done_counter_[static_cast<std::size_t>(global)] == active_patches_) {
       step_completion_[static_cast<std::size_t>(global)] = ctx.now();
     }
@@ -671,6 +725,7 @@ void ParallelSim::attempt_cycle(int steps) {
   cycle_target_ = steps;
   step_base_ = static_cast<int>(step_completion_.size());
   step_completion_.resize(static_cast<std::size_t>(step_base_ + steps + 1), 0.0);
+  step_last_advance_.resize(static_cast<std::size_t>(step_base_ + steps + 1), 0.0);
   steps_done_counter_.resize(static_cast<std::size_t>(step_base_ + steps + 1), 0);
   if (opts_.numeric) {
     // One slot per (compute, local step); a cycle of T steps runs T + 1
@@ -699,6 +754,15 @@ void ParallelSim::attempt_cycle(int steps) {
   assert(exec_->idle());
   global_steps_ += steps;
 
+  if (proc_ != nullptr && proc_->last_run_failed()) {
+    // A worker died mid-epoch: no state merged back, so there is nothing
+    // meaningful to fold or migrate. Leave the zeroed progress counters in
+    // place — run_cycle's recovery loop detects the incomplete cycle and
+    // restores from the on-disk checkpoint, which rewinds everything this
+    // attempt touched (global_steps_ included).
+    return;
+  }
+
   if (opts_.numeric) {
     // Fold the per-(compute, step) potential slots in compute-id order.
     // Assignment (not +=) keeps a fault-replayed cycle idempotent.
@@ -725,7 +789,7 @@ void ParallelSim::run_cycle(int steps) {
   assert(steps >= 1);
   const bool resilient = opts_.checkpoint_every > 0;
   if (resilient) {
-    if (!ckpt_ ||
+    if (!have_checkpoint() ||
         static_cast<int>(cycles_since_ckpt_.size()) >= opts_.checkpoint_every) {
       take_checkpoint();
     }
@@ -793,12 +857,8 @@ double ParallelSim::run_benchmark(int measure_steps, int timed_steps) {
 // Checkpoint / restart / evacuation
 // ---------------------------------------------------------------------------
 
-void ParallelSim::take_checkpoint() {
-  assert(des_ != nullptr && "checkpointing is DES-only");
-  assert(des_->idle());
-  if (!ckpt_) ckpt_ = std::make_unique<Checkpoint>();
-  Checkpoint& c = *ckpt_;
-  c.taken_at = des_->time();
+void ParallelSim::snapshot_to(Checkpoint& c) const {
+  c.taken_at = exec_->time();
   c.patches = patches_;
   c.atom_loc = atom_loc_;
   c.compute_deps.resize(computes_.size());
@@ -810,12 +870,43 @@ void ParallelSim::take_checkpoint() {
   c.reduction_totals = reduction_totals_;
   c.potential_per_step = potential_per_step_;
   c.step_completion = step_completion_;
+  c.step_last_advance = step_last_advance_;
   c.steps_done_counter = steps_done_counter_;
   c.global_steps = global_steps_;
   c.noise_rng = noise_rng_;
+}
+
+void ParallelSim::take_checkpoint() {
+  assert(exec_->idle());
+  if (proc_ != nullptr) {
+    // Process backend: the checkpoint goes to disk through the wire layer
+    // (one kCheckpoint frame), and the in-memory copy is dropped — restore
+    // must survive on what actually hit the file, exactly like a recovery
+    // after a real crash would.
+    Checkpoint c;
+    snapshot_to(c);
+    const int fd = ::open(opts_.checkpoint_path.c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0 ||
+        !wire::write_frame(fd, wire::FrameType::kCheckpoint, encode_checkpoint(c))) {
+      std::fprintf(stderr, "[scalemd] cannot write checkpoint to %s\n",
+                   opts_.checkpoint_path.c_str());
+      std::abort();
+    }
+    ::close(fd);
+    ckpt_.reset();
+    ckpt_on_disk_ = true;
+    cycles_since_ckpt_.clear();
+    ++checkpoints_taken_;
+    sinks_.on_fault({FaultKind::kCheckpoint, -1, -1, c.taken_at, 0.0});
+    return;
+  }
+  assert(des_ != nullptr && "checkpointing requires the DES or process backend");
+  if (!ckpt_) ckpt_ = std::make_unique<Checkpoint>();
+  snapshot_to(*ckpt_);
   cycles_since_ckpt_.clear();
   ++checkpoints_taken_;
-  des_->record_fault({FaultKind::kCheckpoint, -1, -1, c.taken_at, 0.0});
+  des_->record_fault({FaultKind::kCheckpoint, -1, -1, ckpt_->taken_at, 0.0});
 
   // Model the coordinated snapshot's cost: each live PE spends time
   // serializing its resident patch state (this is the overhead the audit
@@ -839,10 +930,8 @@ void ParallelSim::take_checkpoint() {
   assert(des_->idle());
 }
 
-void ParallelSim::restore_checkpoint() {
-  assert(ckpt_ && des_ != nullptr);
-  const Checkpoint& c = *ckpt_;
-  const double now = des_->time();
+void ParallelSim::restore_from(const Checkpoint& c) {
+  const double now = exec_->time();
   const double lost = now - c.taken_at;
   restart_lost_time_ += lost;
   ++restarts_;
@@ -857,6 +946,7 @@ void ParallelSim::restore_checkpoint() {
   reduction_totals_ = c.reduction_totals;
   potential_per_step_ = c.potential_per_step;
   step_completion_ = c.step_completion;
+  step_last_advance_ = c.step_last_advance;
   steps_done_counter_ = c.steps_done_counter;
   global_steps_ = c.global_steps;
   noise_rng_ = c.noise_rng;
@@ -865,11 +955,11 @@ void ParallelSim::restore_checkpoint() {
   // replayed sends get fresh sequence ids so dedup cannot misfire either.
   if (reliable_) reliable_->clear_pending();
 
-  // The virtual clock is NOT rewound: the lost interval models the real
-  // cost of redoing work, and is what restart_latency() reports.
-  des_->record_fault({FaultKind::kRestart, -1, -1, now, lost});
+  // The clock is NOT rewound: the lost interval is the real cost of redoing
+  // work, and is what restart_latency() reports.
+  sinks_.on_fault({FaultKind::kRestart, -1, -1, now, lost});
 
-  const std::vector<int> dead = des_->failed_pes();
+  const std::vector<int> dead = exec_->failed_pes();
   if (!dead.empty()) {
     evacuate_failed_pes(dead);
   } else {
@@ -879,6 +969,447 @@ void ParallelSim::restore_checkpoint() {
     rebuild_reducer();
     rebuild_dataflow();
   }
+}
+
+void ParallelSim::restore_checkpoint() {
+  assert(have_checkpoint());
+  if (proc_ != nullptr) {
+    const int fd = ::open(opts_.checkpoint_path.c_str(), O_RDONLY);
+    wire::FrameType type{};
+    std::vector<std::uint8_t> payload;
+    const wire::WireError err =
+        fd < 0 ? wire::WireError::kIo : wire::read_frame(fd, type, payload);
+    if (fd >= 0) ::close(fd);
+    if (err != wire::WireError::kOk || type != wire::FrameType::kCheckpoint) {
+      std::fprintf(stderr, "[scalemd] cannot restore checkpoint from %s: %s\n",
+                   opts_.checkpoint_path.c_str(), wire::wire_error_name(err));
+      std::abort();
+    }
+    Checkpoint c;
+    decode_checkpoint(payload, c);
+    restore_from(c);
+    return;
+  }
+  assert(ckpt_ && des_ != nullptr);
+  restore_from(*ckpt_);
+}
+
+// ---------------------------------------------------------------------------
+// Process-backend wire plumbing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void wire_state_error(const char* what) {
+  std::fprintf(stderr, "[scalemd] process wire: %s\n", what);
+  std::abort();
+}
+
+void encode_vec3s(wire::Encoder& e, const std::vector<Vec3>& v) {
+  for (const Vec3& x : v) {
+    e.f64(x.x);
+    e.f64(x.y);
+    e.f64(x.z);
+  }
+}
+
+bool decode_vec3s(wire::Decoder& d, std::vector<Vec3>& v) {
+  for (Vec3& x : v) {
+    if (!d.f64(x.x) || !d.f64(x.y) || !d.f64(x.z)) return false;
+  }
+  return true;
+}
+
+void encode_terms(wire::Encoder& e, const EnergyTerms& t) {
+  e.f64(t.lj);
+  e.f64(t.elec);
+  e.f64(t.bond);
+  e.f64(t.angle);
+  e.f64(t.dihedral);
+  e.f64(t.improper);
+}
+
+bool decode_terms(wire::Decoder& d, EnergyTerms& t) {
+  return d.f64(t.lj) && d.f64(t.elec) && d.f64(t.bond) && d.f64(t.angle) &&
+         d.f64(t.dihedral) && d.f64(t.improper);
+}
+
+}  // namespace
+
+void ParallelSim::setup_process_wire() {
+  // Coordinates crossing a worker boundary: apply the shipped positions and
+  // step index to the receiving worker's patch replica, then run the normal
+  // receive path. ints = [patch, step], reals = positions.
+  proc_->register_decoder(e_coords_, [this](const WirePayload& w) -> TaskFn {
+    return [this, w](ExecContext& c) {
+      if (w.ints.size() != 2) wire_state_error("bad coords header");
+      const int patch = static_cast<int>(w.ints[0]);
+      if (patch < 0 || static_cast<std::size_t>(patch) >= patches_.size()) {
+        wire_state_error("coords patch out of range");
+      }
+      PatchRt& pr = patches_[static_cast<std::size_t>(patch)];
+      if (w.reals.size() != pr.pos.size() * 3) {
+        wire_state_error("coords payload size mismatch");
+      }
+      pr.step = static_cast<int>(w.ints[1]);
+      for (std::size_t i = 0; i < pr.pos.size(); ++i) {
+        pr.pos[i] = {w.reals[3 * i], w.reals[3 * i + 1], w.reals[3 * i + 2]};
+      }
+      c.charge_pack(
+          static_cast<double>(
+              static_cast<std::size_t>(opts_.msg_header_bytes) +
+              pr.pos.size() *
+                  static_cast<std::size_t>(opts_.bytes_per_atom_coord)) *
+          c.machine().unpack_byte_cost);
+      on_recv_coords(c, patch, c.pe());
+    };
+  });
+
+  // Force contributions arriving at the home worker: copy every scratch
+  // slot of the contributing proxy into the local replica, then signal the
+  // contribution. ints = [patch, proxy index], reals = slots flattened.
+  proc_->register_decoder(e_forces_, [this](const WirePayload& w) -> TaskFn {
+    return [this, w](ExecContext& c) {
+      if (w.ints.size() != 2) wire_state_error("bad forces header");
+      const int patch = static_cast<int>(w.ints[0]);
+      const int pxy = static_cast<int>(w.ints[1]);
+      if (pxy < 0 || static_cast<std::size_t>(pxy) >= proxies_.size() ||
+          proxies_[static_cast<std::size_t>(pxy)].patch != patch) {
+        wire_state_error("forces proxy out of range");
+      }
+      ProxyRt& proxy = proxies_[static_cast<std::size_t>(pxy)];
+      std::size_t need = 0;
+      for (const auto& s : proxy.scratch) need += s.size() * 3;
+      if (w.reals.size() != need) {
+        wire_state_error("forces payload size mismatch");
+      }
+      std::size_t off = 0;
+      for (auto& s : proxy.scratch) {
+        for (Vec3& v : s) {
+          v = {w.reals[off], w.reals[off + 1], w.reals[off + 2]};
+          off += 3;
+        }
+      }
+      const std::size_t bytes =
+          static_cast<std::size_t>(opts_.msg_header_bytes) +
+          patches_[static_cast<std::size_t>(patch)].pos.size() *
+              static_cast<std::size_t>(opts_.bytes_per_atom_force);
+      c.charge_pack(static_cast<double>(bytes) * c.machine().unpack_byte_cost);
+      on_contribution(c, patch, pxy);
+    };
+  });
+
+  // Reduction partial sums climbing the tree. ints = [parent rank, round,
+  // forwarded, n, ids...], reals = the n values (raw IEEE bits).
+  proc_->register_decoder(e_reduction_, [this](const WirePayload& w) -> TaskFn {
+    return [this, w](ExecContext& c) {
+      if (w.ints.size() < 4) wire_state_error("bad reduction header");
+      const int parent_rank = static_cast<int>(w.ints[0]);
+      const int round = static_cast<int>(w.ints[1]);
+      const int forwarded = static_cast<int>(w.ints[2]);
+      const std::size_t n = static_cast<std::size_t>(w.ints[3]);
+      if (w.ints.size() != 4 + n || w.reals.size() != n) {
+        wire_state_error("reduction payload size mismatch");
+      }
+      std::vector<std::pair<int, double>> parts;
+      parts.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        parts.push_back({static_cast<int>(w.ints[4 + i]), w.reals[i]});
+      }
+      c.charge(1e-6);  // combine cost (parity with the in-process closure)
+      reducer_->deliver(c, parent_rank, round, std::move(parts), forwarded);
+    };
+  });
+
+  proc_->set_state_hooks(
+      [this](int worker, int workers) {
+        (void)workers;
+        return flush_worker_state(worker, proc_->workers());
+      },
+      [this](int worker, const std::vector<std::uint8_t>& blob) {
+        merge_worker_state(worker, blob);
+      });
+}
+
+std::vector<std::uint8_t> ParallelSim::flush_worker_state(int worker,
+                                                          int workers) const {
+  (void)workers;
+  wire::Encoder e;
+
+  // Owned patches: position/velocity/force/step, mutated by advance() on
+  // the home PE (always local to this worker).
+  std::uint64_t owned_patches = 0;
+  for (std::size_t p = 0; p < patches_.size(); ++p) {
+    if (proc_->owner_of(patch_home_[p]) == worker) ++owned_patches;
+  }
+  e.u64(owned_patches);
+  for (std::size_t p = 0; p < patches_.size(); ++p) {
+    if (proc_->owner_of(patch_home_[p]) != worker) continue;
+    const PatchRt& pr = patches_[p];
+    e.i64(static_cast<std::int64_t>(p));
+    e.u64(pr.pos.size());
+    e.i64(pr.step);
+    encode_vec3s(e, pr.pos);
+    encode_vec3s(e, pr.vel);
+    encode_vec3s(e, pr.frc);
+  }
+
+  // Potential-energy scratch rows of the computes this worker ran.
+  const std::size_t row = static_cast<std::size_t>(cycle_target_ + 1);
+  std::uint64_t owned_computes = 0;
+  for (std::size_t i = 0; i < computes_.size(); ++i) {
+    if (proc_->owner_of(compute_pe_[i]) == worker) ++owned_computes;
+  }
+  e.u64(owned_computes);
+  for (std::size_t i = 0; i < computes_.size(); ++i) {
+    if (proc_->owner_of(compute_pe_[i]) != worker) continue;
+    e.i64(static_cast<std::int64_t>(i));
+    for (std::size_t s = 0; s < row; ++s) {
+      encode_terms(e, potential_scratch_[i * row + s]);
+    }
+  }
+
+  // Per-step progress over this cycle's range: the counter delta this
+  // worker contributed (the range was zeroed before the fork, so the local
+  // value IS the delta) and the latest advance time it saw.
+  for (int s = 0; s <= cycle_target_; ++s) {
+    const std::size_t g = static_cast<std::size_t>(step_base_ + s);
+    e.i64(steps_done_counter_[g]);
+    e.f64(step_last_advance_[g]);
+  }
+
+  // Reduction totals land at the tree root; only its worker reports them.
+  if (proc_->owner_of(reducer_->root_pe()) == worker) {
+    const std::int64_t have =
+        static_cast<std::int64_t>(reduction_totals_.size()) - step_base_;
+    const std::uint64_t n = static_cast<std::uint64_t>(std::clamp<std::int64_t>(
+        have, 0, cycle_target_ + 1));
+    e.u8(1);
+    e.u64(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      e.f64(reduction_totals_[static_cast<std::size_t>(step_base_) + i]);
+    }
+  } else {
+    e.u8(0);
+  }
+  return e.take();
+}
+
+void ParallelSim::merge_worker_state(int worker, const std::vector<std::uint8_t>& blob) {
+  (void)worker;
+  wire::Decoder d(blob);
+
+  std::uint64_t owned_patches = 0;
+  if (!d.u64(owned_patches)) wire_state_error("truncated state blob");
+  for (std::uint64_t k = 0; k < owned_patches; ++k) {
+    std::int64_t p = 0, step = 0;
+    std::uint64_t natoms = 0;
+    if (!d.i64(p) || !d.u64(natoms) || !d.i64(step) || p < 0 ||
+        static_cast<std::size_t>(p) >= patches_.size()) {
+      wire_state_error("bad patch record");
+    }
+    PatchRt& pr = patches_[static_cast<std::size_t>(p)];
+    if (natoms != pr.pos.size()) wire_state_error("patch size mismatch");
+    pr.step = static_cast<int>(step);
+    if (!decode_vec3s(d, pr.pos) || !decode_vec3s(d, pr.vel) ||
+        !decode_vec3s(d, pr.frc)) {
+      wire_state_error("truncated patch record");
+    }
+  }
+
+  const std::size_t row = static_cast<std::size_t>(cycle_target_ + 1);
+  std::uint64_t owned_computes = 0;
+  if (!d.u64(owned_computes)) wire_state_error("truncated state blob");
+  for (std::uint64_t k = 0; k < owned_computes; ++k) {
+    std::int64_t i = 0;
+    if (!d.i64(i) || i < 0 || static_cast<std::size_t>(i) >= computes_.size()) {
+      wire_state_error("bad compute record");
+    }
+    for (std::size_t s = 0; s < row; ++s) {
+      if (!decode_terms(d, potential_scratch_[static_cast<std::size_t>(i) * row + s])) {
+        wire_state_error("truncated compute record");
+      }
+    }
+  }
+
+  for (int s = 0; s <= cycle_target_; ++s) {
+    const std::size_t g = static_cast<std::size_t>(step_base_ + s);
+    std::int64_t delta = 0;
+    double last = 0.0;
+    if (!d.i64(delta) || !d.f64(last)) wire_state_error("truncated progress");
+    steps_done_counter_[g] += static_cast<int>(delta);
+    step_last_advance_[g] = std::max(step_last_advance_[g], last);
+    if (steps_done_counter_[g] == active_patches_) {
+      step_completion_[g] = step_last_advance_[g];
+    }
+  }
+
+  std::uint8_t has_reduction = 0;
+  if (!d.u8(has_reduction)) wire_state_error("truncated state blob");
+  if (has_reduction != 0) {
+    std::uint64_t n = 0;
+    if (!d.count(n, 8)) wire_state_error("bad reduction count");
+    const std::size_t need = static_cast<std::size_t>(step_base_) + n;
+    if (reduction_totals_.size() < need) reduction_totals_.resize(need, 0.0);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if (!d.f64(reduction_totals_[static_cast<std::size_t>(step_base_) + i])) {
+        wire_state_error("truncated reduction totals");
+      }
+    }
+  }
+  if (!d.done()) wire_state_error("trailing bytes in state blob");
+}
+
+std::vector<std::uint8_t> ParallelSim::encode_checkpoint(const Checkpoint& c) const {
+  wire::Encoder e;
+  e.f64(c.taken_at);
+  e.u64(c.patches.size());
+  for (const PatchRt& pr : c.patches) {
+    e.u64(pr.atoms.size());
+    for (int a : pr.atoms) e.i64(a);
+    encode_vec3s(e, pr.pos);
+    encode_vec3s(e, pr.vel);
+    encode_vec3s(e, pr.frc);
+    for (double m : pr.mass) e.f64(m);
+    e.i64(pr.step);
+  }
+  e.u64(c.atom_loc.size());
+  for (const auto& [p, i] : c.atom_loc) {
+    e.i64(p);
+    e.i64(i);
+  }
+  e.u64(c.compute_deps.size());
+  for (const auto& deps : c.compute_deps) {
+    e.u64(deps.size());
+    for (int p : deps) e.i64(p);
+  }
+  e.u64(c.patch_home.size());
+  for (int pe : c.patch_home) e.i64(pe);
+  e.u64(c.compute_pe.size());
+  for (int pe : c.compute_pe) e.i64(pe);
+  e.u64(c.reduction_totals.size());
+  for (double v : c.reduction_totals) e.f64(v);
+  e.u64(c.potential_per_step.size());
+  for (const EnergyTerms& t : c.potential_per_step) encode_terms(e, t);
+  e.u64(c.step_completion.size());
+  for (double v : c.step_completion) e.f64(v);
+  e.u64(c.step_last_advance.size());
+  for (double v : c.step_last_advance) e.f64(v);
+  e.u64(c.steps_done_counter.size());
+  for (int v : c.steps_done_counter) e.i64(v);
+  e.i64(c.global_steps);
+  const Rng::State rs = c.noise_rng.state();
+  for (std::uint64_t s : rs.s) e.u64(s);
+  e.u64(rs.seed);
+  e.u8(rs.has_cached_normal ? 1 : 0);
+  e.f64(rs.cached_normal);
+  return e.take();
+}
+
+void ParallelSim::decode_checkpoint(const std::vector<std::uint8_t>& blob,
+                                    Checkpoint& c) const {
+  wire::Decoder d(blob);
+  std::uint64_t n = 0;
+  if (!d.f64(c.taken_at) || !d.u64(n) || n != patches_.size()) {
+    wire_state_error("checkpoint patch count mismatch");
+  }
+  c.patches.resize(static_cast<std::size_t>(n));
+  for (PatchRt& pr : c.patches) {
+    std::uint64_t natoms = 0;
+    if (!d.count(natoms, 8)) wire_state_error("bad checkpoint patch");
+    pr.atoms.resize(static_cast<std::size_t>(natoms));
+    for (int& a : pr.atoms) {
+      std::int64_t v = 0;
+      if (!d.i64(v)) wire_state_error("bad checkpoint patch atoms");
+      a = static_cast<int>(v);
+    }
+    pr.pos.resize(static_cast<std::size_t>(natoms));
+    pr.vel.resize(static_cast<std::size_t>(natoms));
+    pr.frc.resize(static_cast<std::size_t>(natoms));
+    pr.mass.resize(static_cast<std::size_t>(natoms));
+    if (!decode_vec3s(d, pr.pos) || !decode_vec3s(d, pr.vel) ||
+        !decode_vec3s(d, pr.frc)) {
+      wire_state_error("bad checkpoint patch state");
+    }
+    for (double& m : pr.mass) {
+      if (!d.f64(m)) wire_state_error("bad checkpoint patch mass");
+    }
+    std::int64_t step = 0;
+    if (!d.i64(step)) wire_state_error("bad checkpoint patch step");
+    pr.step = static_cast<int>(step);
+  }
+  if (!d.u64(n) || n != atom_loc_.size()) {
+    wire_state_error("checkpoint atom count mismatch");
+  }
+  c.atom_loc.resize(static_cast<std::size_t>(n));
+  for (auto& [p, i] : c.atom_loc) {
+    std::int64_t pp = 0, ii = 0;
+    if (!d.i64(pp) || !d.i64(ii)) wire_state_error("bad checkpoint atom_loc");
+    p = static_cast<int>(pp);
+    i = static_cast<int>(ii);
+  }
+  if (!d.u64(n) || n != computes_.size()) {
+    wire_state_error("checkpoint compute count mismatch");
+  }
+  c.compute_deps.resize(static_cast<std::size_t>(n));
+  for (auto& deps : c.compute_deps) {
+    std::uint64_t nd = 0;
+    if (!d.count(nd, 8)) wire_state_error("bad checkpoint deps");
+    deps.resize(static_cast<std::size_t>(nd));
+    for (int& p : deps) {
+      std::int64_t v = 0;
+      if (!d.i64(v)) wire_state_error("bad checkpoint deps");
+      p = static_cast<int>(v);
+    }
+  }
+  auto read_ints = [&](std::vector<int>& out, const char* what) {
+    std::uint64_t m = 0;
+    if (!d.count(m, 8)) wire_state_error(what);
+    out.resize(static_cast<std::size_t>(m));
+    for (int& v : out) {
+      std::int64_t x = 0;
+      if (!d.i64(x)) wire_state_error(what);
+      v = static_cast<int>(x);
+    }
+  };
+  auto read_doubles = [&](std::vector<double>& out, const char* what) {
+    std::uint64_t m = 0;
+    if (!d.count(m, 8)) wire_state_error(what);
+    out.resize(static_cast<std::size_t>(m));
+    for (double& v : out) {
+      if (!d.f64(v)) wire_state_error(what);
+    }
+  };
+  read_ints(c.patch_home, "bad checkpoint patch_home");
+  read_ints(c.compute_pe, "bad checkpoint compute_pe");
+  if (c.patch_home.size() != patches_.size() ||
+      c.compute_pe.size() != computes_.size()) {
+    wire_state_error("checkpoint placement size mismatch");
+  }
+  read_doubles(c.reduction_totals, "bad checkpoint reduction totals");
+  std::uint64_t np = 0;
+  if (!d.count(np, 6 * 8)) wire_state_error("bad checkpoint potential");
+  c.potential_per_step.resize(static_cast<std::size_t>(np));
+  for (EnergyTerms& t : c.potential_per_step) {
+    if (!decode_terms(d, t)) wire_state_error("bad checkpoint potential");
+  }
+  read_doubles(c.step_completion, "bad checkpoint step completion");
+  read_doubles(c.step_last_advance, "bad checkpoint step last advance");
+  read_ints(c.steps_done_counter, "bad checkpoint step counters");
+  std::int64_t gs = 0;
+  if (!d.i64(gs)) wire_state_error("bad checkpoint global steps");
+  c.global_steps = static_cast<int>(gs);
+  Rng::State rs{};
+  for (std::uint64_t& s : rs.s) {
+    if (!d.u64(s)) wire_state_error("bad checkpoint rng");
+  }
+  std::uint8_t cached = 0;
+  if (!d.u64(rs.seed) || !d.u8(cached) || !d.f64(rs.cached_normal)) {
+    wire_state_error("bad checkpoint rng");
+  }
+  rs.has_cached_normal = cached != 0;
+  c.noise_rng.set_state(rs);
+  if (!d.done()) wire_state_error("trailing bytes in checkpoint");
 }
 
 void ParallelSim::evacuate_failed_pes(const std::vector<int>& dead) {
@@ -950,10 +1481,8 @@ void ParallelSim::evacuate_failed_pes(const std::vector<int>& dead) {
   }
 
   for (int pe : dead) {
-    if (des_ != nullptr) {
-      des_->record_fault({FaultKind::kEvacuation, pe, -1, des_->time(),
-                          static_cast<double>(moved)});
-    }
+    sinks_.on_fault({FaultKind::kEvacuation, pe, -1, exec_->time(),
+                     static_cast<double>(moved)});
   }
 
   // Patch homes changed: the reduction tree spans different PEs now.
@@ -973,10 +1502,10 @@ void ParallelSim::load_balance(bool refine_only) {
 
   // Graceful degradation: if PEs have failed, first make sure nothing is
   // homed on them (idempotent when already evacuated), and remember to
-  // keep the strategy's output off them below. Only the DES machine can
-  // fail PEs; the threaded backend has none to report.
-  const std::vector<int> dead =
-      des_ != nullptr ? des_->failed_pes() : std::vector<int>{};
+  // keep the strategy's output off them below. The DES machine fails PEs
+  // per its fault plan, the process backend when a worker dies; the
+  // threaded backend has none to report.
+  const std::vector<int> dead = exec_->failed_pes();
   if (!dead.empty() &&
       static_cast<std::size_t>(dead.size()) < static_cast<std::size_t>(opts_.num_pes)) {
     evacuate_failed_pes(dead);
@@ -1033,7 +1562,9 @@ void ParallelSim::load_balance(bool refine_only) {
   }
 
   // Apply the new mapping; model each migration as a message carrying the
-  // object's state from its old PE to its new one.
+  // object's state from its old PE to its new one. The process backend
+  // skips the modeled traffic (migration happens in the parent between
+  // epochs; these bookkeeping messages have no wire form to cross workers).
   const double t0 = exec_->time();
   for (std::size_t j = 0; j < map.size(); ++j) {
     const int compute = object_compute[j];
@@ -1041,6 +1572,7 @@ void ParallelSim::load_balance(bool refine_only) {
     const int new_pe = map[j];
     if (old_pe == new_pe) continue;
     compute_pe_[static_cast<std::size_t>(compute)] = new_pe;
+    if (proc_ != nullptr) continue;
     TaskMsg msg;
     msg.entry = e_migrate_;
     msg.fn = [this, new_pe](ExecContext& c) {
@@ -1052,7 +1584,7 @@ void ParallelSim::load_balance(bool refine_only) {
     };
     exec_->inject(old_pe, std::move(msg), t0);
   }
-  exec_->run();
+  if (proc_ == nullptr) exec_->run();
   rebuild_dataflow();
   db_->reset();
 }
@@ -1166,25 +1698,29 @@ void ParallelSim::migrate_atoms() {
       computes_[i].deps = std::move(deps);
     }
     // Model the migration traffic: one batched message per (src, dst) PE
-    // pair, sized by the number of atoms moved.
-    const double t0 = exec_->time();
-    for (const auto& [edge, count] : traffic) {
-      const auto [src_pe, dst_pe] = edge;
-      const std::size_t bytes = 32 + 96 * static_cast<std::size_t>(count);
-      TaskMsg msg;
-      msg.entry = e_migrate_;
-      msg.fn = [this, dst_pe = dst_pe, bytes](ExecContext& c) {
-        TaskMsg arrive;
-        arrive.entry = e_migrate_;
-        arrive.bytes = bytes;
-        arrive.fn = [bytes](ExecContext& cc) {
-          cc.charge_pack(static_cast<double>(bytes) * cc.machine().unpack_byte_cost);
+    // pair, sized by the number of atoms moved. Skipped under the process
+    // backend (atoms move in the parent; the modeled messages have no wire
+    // form to cross workers).
+    if (proc_ == nullptr) {
+      const double t0 = exec_->time();
+      for (const auto& [edge, count] : traffic) {
+        const auto [src_pe, dst_pe] = edge;
+        const std::size_t bytes = 32 + 96 * static_cast<std::size_t>(count);
+        TaskMsg msg;
+        msg.entry = e_migrate_;
+        msg.fn = [this, dst_pe = dst_pe, bytes](ExecContext& c) {
+          TaskMsg arrive;
+          arrive.entry = e_migrate_;
+          arrive.bytes = bytes;
+          arrive.fn = [bytes](ExecContext& cc) {
+            cc.charge_pack(static_cast<double>(bytes) * cc.machine().unpack_byte_cost);
+          };
+          c.send(dst_pe, std::move(arrive));
         };
-        c.send(dst_pe, std::move(arrive));
-      };
-      exec_->inject(src_pe, std::move(msg), t0);
+        exec_->inject(src_pe, std::move(msg), t0);
+      }
+      exec_->run();
     }
-    exec_->run();
   }
   rebuild_dataflow();
 }

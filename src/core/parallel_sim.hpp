@@ -15,6 +15,7 @@
 #include "ff/nonbonded.hpp"
 #include "ff/nonbonded_tiled.hpp"
 #include "lb/database.hpp"
+#include "rts/process_backend.hpp"
 #include "rts/reduction.hpp"
 #include "rts/reliable.hpp"
 #include "topo/exclusions.hpp"
@@ -66,6 +67,14 @@ struct ParallelOptions {
   /// Worker threads for the threaded backend (0 = one per hardware thread,
   /// clamped to num_pes). Ignored by the simulated backend.
   int threads = 0;
+  /// Process-backend knobs (worker count, heartbeat, chaos kill). Ignored
+  /// by the other backends. The process backend requires numeric mode like
+  /// the threaded one, but DOES support checkpoint_every: checkpoints are
+  /// serialized to checkpoint_path through the wire layer, and a worker
+  /// killed mid-cycle triggers a real restore-and-replay.
+  ProcessOptions process;
+  /// On-disk checkpoint file for the process backend.
+  std::string checkpoint_path = "scalemd_checkpoint.bin";
   LbPolicy lb;
   /// Use the single-packing multicast of section 4.2.3.
   bool optimized_multicast = true;
@@ -241,6 +250,21 @@ class ParallelSim {
   void attempt_cycle(int steps);
   void take_checkpoint();
   void restore_checkpoint();
+  /// True when a checkpoint exists to restore from (in memory for the DES
+  /// backend, on disk for the process backend).
+  bool have_checkpoint() const { return ckpt_ != nullptr || ckpt_on_disk_; }
+  void snapshot_to(Checkpoint& c) const;
+  void restore_from(const Checkpoint& c);
+  std::vector<std::uint8_t> encode_checkpoint(const Checkpoint& c) const;
+  /// Strict decode; any inconsistency with the current workload is a hard
+  /// error (aborts) — restoring a half-garbled checkpoint would corrupt
+  /// the run silently.
+  void decode_checkpoint(const std::vector<std::uint8_t>& blob, Checkpoint& c) const;
+  /// Process-backend wire plumbing: per-entry decoders for the messages
+  /// that cross worker boundaries, plus the end-of-run state flush/merge.
+  void setup_process_wire();
+  std::vector<std::uint8_t> flush_worker_state(int worker, int workers) const;
+  void merge_worker_state(int worker, const std::vector<std::uint8_t>& blob);
   /// Re-homes a failed PE's patches and computes onto survivors and
   /// rebuilds the reducer and the dataflow. Records kEvacuation.
   void evacuate_failed_pes(const std::vector<int>& dead);
@@ -261,6 +285,7 @@ class ParallelSim {
 
   std::unique_ptr<ExecBackend> exec_;
   Simulator* des_ = nullptr;  ///< exec_ downcast when simulated, else null
+  ProcessBackend* proc_ = nullptr;  ///< exec_ downcast when process, else null
   MultiSink sinks_;
   std::unique_ptr<LoadDatabase> db_;
 
@@ -291,6 +316,12 @@ class ParallelSim {
   int step_base_ = 0;          // global index of the current cycle's step 0
   std::vector<int> steps_done_counter_;
   std::vector<double> step_completion_;
+  /// Latest advance() completion seen per global step. Under the process
+  /// backend each worker only sees its own patches' advances, so workers
+  /// flush (counter delta, latest advance time) per step and the parent
+  /// reconstructs step_completion_ as the max once the summed counter
+  /// reaches active_patches_.
+  std::vector<double> step_last_advance_;
   /// Guards the cross-patch step bookkeeping above: under the threaded
   /// backend, advance() for different patches runs on different workers.
   std::mutex progress_mu_;
@@ -305,6 +336,7 @@ class ParallelSim {
   // Resilience state.
   std::unique_ptr<ReliableComm> reliable_;
   std::unique_ptr<Checkpoint> ckpt_;
+  bool ckpt_on_disk_ = false;  ///< process backend: checkpoint lives on disk
   std::vector<int> cycles_since_ckpt_;  // step counts of cycles to replay
   int checkpoints_taken_ = 0;
   int restarts_ = 0;

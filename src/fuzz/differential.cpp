@@ -175,6 +175,31 @@ FuzzVerdict evaluate_scenario(const ScenarioSpec& spec) {
     return verdict;
   }
 
+  // --- B': same scenario on forked worker processes; must match A bitwise.
+  // State crosses the wire as raw IEEE bits and the canonical fold fixes the
+  // summation order, so out-of-process execution is held to the same standard
+  // as in-process threads.
+  if (spec.process_workers > 0) {
+    ParallelOptions process_opts = base_parallel_options(spec);
+    process_opts.backend = BackendKind::kProcess;
+    process_opts.process.workers = spec.process_workers;
+    const RunOutcome process = run_scenario(workload, spec, process_opts, true);
+    if (score_run("process", process, verdict)) return verdict;
+    if (!process.complete) {
+      verdict.ok = false;
+      verdict.oracle = "process-incomplete";
+      verdict.detail = "[process] run did not finish its last cycle";
+      return verdict;
+    }
+    const std::string process_diff = first_bitwise_diff(process, clean);
+    if (!process_diff.empty()) {
+      verdict.ok = false;
+      verdict.oracle = "process-divergence";
+      verdict.detail = "[process vs clean] " + process_diff;
+      return verdict;
+    }
+  }
+
   // --- C: chaos run with recovery armed; must converge back to A ---------
   if (spec.has_faults()) {
     ParallelOptions chaos_opts = base_parallel_options(spec);

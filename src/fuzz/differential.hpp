@@ -15,6 +15,8 @@ namespace scalemd {
 ///   "des-invariant:<term>"  DES machine invariant (DesInvariantSink)
 ///   "clean-incomplete"      fault-free run failed to finish its last cycle
 ///   "backend-divergence"    simulated vs threaded state not bit-identical
+///   "process-incomplete"    forked-process run failed to finish its last cycle
+///   "process-divergence"    simulated vs forked-process state not bit-identical
 ///   "chaos-incomplete"      faulted run did not recover to completion
 ///   "chaos-divergence"      recovered state does not match the clean run
 struct FuzzVerdict {
@@ -28,6 +30,8 @@ struct FuzzVerdict {
 ///     applied between cycles, physics invariants and DES invariants armed;
 ///  B. the same scenario on the threaded backend — state must match A
 ///     bitwise (the canonical fold makes trajectories backend-independent);
+///  B'. (only when spec.process_workers > 0) the same scenario on the
+///     forked-process backend — again bitwise against A;
 ///  C. (only when the spec schedules faults) a chaos run on the DES backend
 ///     with the reliable layer and checkpointing armed; it must complete and
 ///     recover to A's state — bitwise without PE failures, to 1e-9 relative

@@ -127,6 +127,14 @@ ScenarioSpec generate_scenario(std::uint64_t master_seed, int index) {
     s.checkpoint_every =
         s.failures.empty() ? static_cast<int>(rng.uniform_index(3)) : 1;
   }
+
+  // A quarter of the campaign also crosses the forked-process backend.
+  // Drawn last so the axis does not reshuffle the draws above (existing
+  // repro seeds keep their system/fault shape).
+  if (rng.uniform() < 0.25) {
+    constexpr int kWorkers[] = {1, 2, 3};
+    s.process_workers = kWorkers[rng.uniform_index(3)];
+  }
   return s;
 }
 
@@ -141,6 +149,9 @@ std::string validate_scenario(const ScenarioSpec& s) {
            "backend; use tiled";
   }
   if (s.threads < 1 || s.threads > 16) return "threads must be in [1, 16]";
+  if (s.process_workers < 0 || s.process_workers > 8) {
+    return "process-workers must be in [0, 8]";
+  }
   if (s.dt_fs <= 0.0 || s.dt_fs > 2.0) return "dt must be in (0, 2] fs";
   if (s.cycles < 1 || s.cycles > 10) return "cycles must be in [1, 10]";
   if (s.steps < 1 || s.steps > 10) return "steps must be in [1, 10]";
@@ -178,6 +189,9 @@ std::string serialize_scenario(const ScenarioSpec& s) {
   line("chain-beads " + std::to_string(s.chain_beads));
   line("pes " + std::to_string(s.num_pes));
   line("threads " + std::to_string(s.threads));
+  if (s.process_workers > 0) {
+    line("process-workers " + std::to_string(s.process_workers));
+  }
   line(std::string("lb ") + lb_strategy_name(s.lb));
   line(std::string("kernel ") + nonbonded_kernel_name(s.kernel));
   line("dt " + g17(s.dt_fs));
@@ -263,6 +277,10 @@ bool parse_scenario(const std::string& text, const std::string& file,
       double v = 0.0;
       if (!want_number("count", v)) return false;
       out.threads = static_cast<int>(v);
+    } else if (key == "process-workers") {
+      double v = 0.0;
+      if (!want_number("count", v)) return false;
+      out.process_workers = static_cast<int>(v);
     } else if (key == "lb") {
       std::string name;
       if (!want_word("strategy name", name)) return false;

@@ -32,6 +32,12 @@ struct ScenarioSpec {
 
   int num_pes = 4;
   int threads = 2;         ///< threaded-backend worker count
+  /// When > 0, the differential harness additionally runs the clean scenario
+  /// on the forked-process backend with this many workers and requires the
+  /// result to match the DES reference bitwise (oracle "process-divergence").
+  /// 0 skips the leg — fork-per-case is expensive, so generation arms it on
+  /// only a fraction of the campaign.
+  int process_workers = 0;
   LbStrategyKind lb = LbStrategyKind::kNone;
   NonbondedKernel kernel = NonbondedKernel::kScalar;
   double dt_fs = 1.0;

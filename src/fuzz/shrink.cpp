@@ -45,6 +45,13 @@ ShrinkResult shrink_scenario(const ScenarioSpec& failing,
         if (s.num_pes > 2) s.num_pes -= 2;
       },
       [](ScenarioSpec& s) { s.threads = 1; },
+      // Dropping the process leg only sticks for non-process oracles (the
+      // oracle must re-fire); shrinking to one worker keeps the leg alive
+      // while removing cross-worker wire traffic from the repro.
+      [](ScenarioSpec& s) { s.process_workers = 0; },
+      [](ScenarioSpec& s) {
+        if (s.process_workers > 1) s.process_workers = 1;
+      },
       [](ScenarioSpec& s) { s.kind = TestSystemKind::kWaterBox; },
       [](ScenarioSpec& s) { s.chain_beads = 8; },
       [](ScenarioSpec& s) { s.box = 10.0; },

@@ -16,6 +16,8 @@ const char* backend_name(BackendKind k) {
       return "sim";
     case BackendKind::kThreaded:
       return "threads";
+    case BackendKind::kProcess:
+      return "process";
   }
   return "?";
 }
@@ -27,6 +29,10 @@ bool backend_from_name(const char* name, BackendKind& out) {
   }
   if (std::strcmp(name, "threads") == 0 || std::strcmp(name, "threaded") == 0) {
     out = BackendKind::kThreaded;
+    return true;
+  }
+  if (std::strcmp(name, "process") == 0) {
+    out = BackendKind::kProcess;
     return true;
   }
   return false;

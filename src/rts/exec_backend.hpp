@@ -19,6 +19,17 @@ class ExecContext;
 /// backends that measure real time instead of modeling it).
 using TaskFn = std::function<void(ExecContext&)>;
 
+/// Serializable argument pack of an entry-method invocation. Closures
+/// (TaskFn) cannot cross an address-space boundary, so backends that route
+/// messages between OS processes (ProcessBackend) ship this instead and
+/// reconstruct the closure at the destination via a per-entry registered
+/// decoder. Doubles travel as raw IEEE-754 bits: bitwise trajectory
+/// equality survives the wire.
+struct WirePayload {
+  std::vector<std::int64_t> ints;
+  std::vector<double> reals;
+};
+
 /// A message carrying an entry-method invocation to a virtual processor.
 struct TaskMsg {
   EntryId entry = 0;
@@ -26,6 +37,11 @@ struct TaskMsg {
   int priority = 0;          ///< lower runs first among available messages
   std::size_t bytes = 0;     ///< payload size for the network model
   TaskFn fn;
+  /// Wire form of the invocation, attached by senders only when the active
+  /// backend may have to cross a process boundary (has_wire == true).
+  /// Single-address-space backends ignore it and run `fn` directly.
+  WirePayload wire;
+  bool has_wire = false;
 };
 
 /// Names and audit categories of entry methods. The registry is what makes
@@ -73,11 +89,12 @@ struct MessageAccounting {
 enum class BackendKind {
   kSimulated,  ///< discrete-event model of the machine (src/des/)
   kThreaded,   ///< real execution on shared-memory worker threads (src/rts/)
+  kProcess,    ///< real execution on forked worker processes (src/rts/)
 };
 
 const char* backend_name(BackendKind k);
-/// Parses "sim"/"simulated" and "threads"/"threaded". Returns false (and
-/// leaves `out` untouched) on anything else.
+/// Parses "sim"/"simulated", "threads"/"threaded" and "process". Returns
+/// false (and leaves `out` untouched) on anything else.
 bool backend_from_name(const char* name, BackendKind& out);
 
 /// Handle given to a running task: lets it consume CPU time and send
@@ -185,6 +202,11 @@ class ExecBackend {
   virtual bool wall_clock() const = 0;
 
   virtual BackendKind kind() const = 0;
+
+  /// PEs this backend considers permanently failed (ascending). The DES
+  /// machine fails PEs per its fault plan; the process backend marks a
+  /// crashed worker's PEs dead; the threaded backend has none.
+  virtual std::vector<int> failed_pes() const { return {}; }
 };
 
 }  // namespace scalemd

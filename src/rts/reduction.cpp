@@ -70,6 +70,19 @@ void Reducer::absorb(ExecContext& ctx, int rank, int round,
   msg.entry = entry_;
   msg.bytes = 32;  // modeled payload: one scalar + header (pairs are bookkeeping)
   msg.priority = -1;  // reductions are latency-critical
+  if (wire_) {
+    msg.has_wire = true;
+    msg.wire.ints.reserve(4 + all.size());
+    msg.wire.ints.push_back(parent_rank);
+    msg.wire.ints.push_back(round);
+    msg.wire.ints.push_back(forwarded);
+    msg.wire.ints.push_back(static_cast<std::int64_t>(all.size()));
+    msg.wire.reals.reserve(all.size());
+    for (const auto& p : all) {
+      msg.wire.ints.push_back(p.first);
+      msg.wire.reals.push_back(p.second);
+    }
+  }
   msg.fn = [this, parent_rank, round, all = std::move(all),
             forwarded](ExecContext& c) mutable {
     c.charge(1e-6);  // combine cost

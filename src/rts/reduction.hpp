@@ -39,6 +39,18 @@ class Reducer {
   /// layer (nullptr = raw sends). Contributions themselves are local calls.
   void set_reliable(ReliableComm* reliable) { reliable_ = reliable; }
 
+  /// Attaches a WirePayload to every upward message so the process backend
+  /// can route it across workers: ints = [parent rank, round, forwarded
+  /// count, n, contributor ids...], reals = the n values.
+  void set_wire(bool on) { wire_ = on; }
+
+  /// Wire entry point: re-injects a decoded upward message at `rank`.
+  /// Equivalent to the closure the sender would have run in-process.
+  void deliver(ExecContext& ctx, int rank, int round,
+               std::vector<std::pair<int, double>> parts, int count) {
+    absorb(ctx, rank, round, std::move(parts), count);
+  }
+
   /// Discards every partially filled round on every tree node. Checkpoint
   /// restart uses this: replayed contributions must start from a clean
   /// slate or the counts would double.
@@ -69,6 +81,7 @@ class Reducer {
   EntryId entry_;
   std::function<void(int, double)> callback_;
   ReliableComm* reliable_ = nullptr;
+  bool wire_ = false;
 };
 
 }  // namespace scalemd

@@ -93,6 +93,15 @@ void ReliableComm::on_timer(ExecContext& ctx, std::uint64_t id) {
   Pending& p = it->second;
   if (sim_->pe_failed(p.dest) || p.attempts >= opts_.max_attempts) {
     ++stats_.abandoned;
+    // Classify: the receiver-side dedup set tells us whether the payload
+    // actually executed (only the acks were lost) or never arrived at all.
+    if (sim_->pe_failed(p.dest)) {
+      ++stats_.abandoned_dead_pe;
+    } else if (delivered_[static_cast<std::size_t>(p.dest)].count(id) != 0) {
+      ++stats_.abandoned_delivered;
+    } else {
+      ++stats_.abandoned_lost;
+    }
     sim_->record_fault({FaultKind::kMessageLost, p.dest, ctx.pe(),
                             ctx.now(), static_cast<double>(p.attempts)});
     pend.erase(it);

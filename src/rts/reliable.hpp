@@ -27,7 +27,15 @@ struct ReliableStats {
   std::uint64_t retries = 0;                ///< timeout-driven resends
   std::uint64_t duplicates_suppressed = 0;  ///< dedup filtered an arrival
   std::uint64_t acks_sent = 0;
-  std::uint64_t abandoned = 0;  ///< gave up (dead PE or max attempts)
+  std::uint64_t abandoned = 0;  ///< gave up (sum of the three below)
+  /// Why each abandonment happened — the invariant layer treats them very
+  /// differently. Destination dead: expected under PE failure. Delivered:
+  /// the payload executed but every ack was lost — benign (dedup already
+  /// protected against the retries). Lost: a live PE never got the payload
+  /// in max_attempts tries; unless a restart replays it, work is missing.
+  std::uint64_t abandoned_dead_pe = 0;
+  std::uint64_t abandoned_delivered = 0;
+  std::uint64_t abandoned_lost = 0;
 };
 
 /// Sequence-numbered, idempotent message delivery over the unreliable

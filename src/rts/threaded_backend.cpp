@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 namespace scalemd {
@@ -11,6 +13,13 @@ namespace {
 int resolve_workers(int num_pes, int threads) {
   const int want = threads > 0 ? threads : ThreadPool::default_threads();
   return std::clamp(want, 1, num_pes);
+}
+
+int resolve_watchdog_ms() {
+  if (const char* env = std::getenv("SCALEMD_THREADED_WATCHDOG_MS")) {
+    return std::atoi(env);  // 0 or negative disables
+  }
+  return 120000;
 }
 
 }  // namespace
@@ -42,6 +51,7 @@ ThreadedBackend::ThreadedBackend(int num_pes, const MachineModel& machine,
                                  int threads)
     : machine_(machine),
       pool_(resolve_workers(num_pes, threads)),
+      watchdog_ms_(resolve_watchdog_ms()),
       epoch_(std::chrono::steady_clock::now()) {
   assert(num_pes > 0);
   pes_.reserve(static_cast<std::size_t>(num_pes));
@@ -155,14 +165,62 @@ void ThreadedBackend::drain_worker(int w) {
     if (did) continue;  // executed tasks may have enqueued onto our PEs
     if (in_flight_.load(std::memory_order_acquire) == 0) return;
     std::unique_lock<std::mutex> lock(me.mu);
-    me.cv.wait(lock, [&] {
+    const auto pred = [&] {
       return me.gen != seen ||
              in_flight_.load(std::memory_order_acquire) == 0;
-    });
+    };
+    if (watchdog_ms_ <= 0) {
+      me.cv.wait(lock, pred);
+    } else {
+      // Watchdog wait: slice the blocking wait so a worker stuck with
+      // in-flight work but no global progress turns into a diagnostic
+      // abort instead of a silent hang. Progress anywhere (another
+      // worker executing tasks) resets the stall clock.
+      auto stalled_since = std::chrono::steady_clock::now();
+      std::uint64_t last_executed = executed_.load(std::memory_order_acquire);
+      const auto slice =
+          std::chrono::milliseconds(std::min(watchdog_ms_, 1000));
+      while (!me.cv.wait_for(lock, slice, pred)) {
+        const std::uint64_t ex = executed_.load(std::memory_order_acquire);
+        const auto now = std::chrono::steady_clock::now();
+        if (ex != last_executed) {
+          last_executed = ex;
+          stalled_since = now;
+          continue;
+        }
+        if (now - stalled_since >= std::chrono::milliseconds(watchdog_ms_)) {
+          lock.unlock();
+          dump_stall_and_abort(w);
+        }
+      }
+    }
     if (in_flight_.load(std::memory_order_acquire) == 0 && me.gen == seen) {
       return;
     }
   }
+}
+
+void ThreadedBackend::dump_stall_and_abort(int w) {
+  std::fprintf(stderr,
+               "[scalemd] threaded backend watchdog: worker %d stalled %d ms "
+               "with %lld task(s) in flight and no progress\n",
+               w, watchdog_ms_,
+               static_cast<long long>(in_flight_.load(std::memory_order_acquire)));
+  for (std::size_t p = 0; p < pes_.size(); ++p) {
+    Pe& pe = *pes_[p];
+    // try_lock: the stalled (or crashed) owner may hold the mutex; "busy"
+    // is itself a diagnostic.
+    if (pe.mu.try_lock()) {
+      const std::size_t depth = pe.box.size();
+      pe.mu.unlock();
+      if (depth > 0) {
+        std::fprintf(stderr, "[scalemd]   pe %zu: %zu queued\n", p, depth);
+      }
+    } else {
+      std::fprintf(stderr, "[scalemd]   pe %zu: mailbox busy (mutex held)\n", p);
+    }
+  }
+  std::abort();
 }
 
 void ThreadedBackend::wake_all() {

@@ -102,6 +102,11 @@ class ThreadedBackend final : public ExecBackend {
 
   void enqueue(int src_pe, int dst_pe, TaskMsg msg, double sent_at, bool remote);
   void drain_worker(int w);
+  /// Quiescence watchdog: a worker that has waited `watchdog_ms_` with
+  /// in-flight work but no global progress dumps per-PE mailbox depths and
+  /// aborts — a lost-wakeup or deadlock bug becomes a diagnostic instead of
+  /// a hung test run. Tuned by SCALEMD_THREADED_WATCHDOG_MS (0 disables).
+  [[noreturn]] void dump_stall_and_abort(int w);
   /// Pops and executes until `pe`'s mailbox is empty; true if any task ran.
   bool drain_pe(int pe);
   void wake_all();
@@ -123,6 +128,7 @@ class ThreadedBackend final : public ExecBackend {
   std::atomic<std::int64_t> in_flight_{0};  ///< queued + currently executing
   std::atomic<std::uint64_t> offered_{0};
   std::atomic<std::uint64_t> executed_{0};
+  int watchdog_ms_ = 120000;
   double horizon_ = 0.0;
   mutable MessageAccounting acct_;  ///< materialized from the atomics on read
 };

@@ -1,0 +1,296 @@
+#include "rts/wire.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace scalemd {
+namespace wire {
+
+const char* wire_error_name(WireError e) {
+  switch (e) {
+    case WireError::kOk:
+      return "ok";
+    case WireError::kTruncated:
+      return "truncated";
+    case WireError::kBadMagic:
+      return "bad-magic";
+    case WireError::kBadVersion:
+      return "bad-version";
+    case WireError::kBadType:
+      return "bad-type";
+    case WireError::kOversized:
+      return "oversized";
+    case WireError::kBadChecksum:
+      return "bad-checksum";
+    case WireError::kMalformed:
+      return "malformed";
+    case WireError::kIo:
+      return "io";
+  }
+  return "?";
+}
+
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t len) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& b, std::uint16_t v) {
+  b.push_back(static_cast<std::uint8_t>(v));
+  b.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& b, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) b.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& b, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) b.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+bool known_type(std::uint32_t t) {
+  return t >= static_cast<std::uint32_t>(FrameType::kTask) &&
+         t <= static_cast<std::uint32_t>(FrameType::kCheckpoint);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_frame(FrameType type,
+                                       const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderSize + payload.size() + kTrailerSize);
+  put_u32(out, kMagic);
+  put_u16(out, kVersionMajor);
+  put_u16(out, kVersionMinor);
+  put_u32(out, static_cast<std::uint32_t>(type));
+  put_u64(out, payload.size());
+  out.insert(out.end(), payload.begin(), payload.end());
+  put_u64(out, fnv1a64(payload.data(), payload.size()));
+  return out;
+}
+
+WireError decode_frame(const std::uint8_t* data, std::size_t len,
+                       FrameType& type, std::vector<std::uint8_t>& payload,
+                       std::size_t& consumed) {
+  // Validate as much of the header as is present, so corruption in an
+  // incomplete prefix is still reported as the hard error it is rather
+  // than "feed me more bytes".
+  if (len >= 4 && get_u32(data) != kMagic) return WireError::kBadMagic;
+  if (len >= 6 && get_u16(data + 4) != kVersionMajor) return WireError::kBadVersion;
+  if (len >= 12 && !known_type(get_u32(data + 8))) return WireError::kBadType;
+  if (len >= kHeaderSize && get_u64(data + 12) > kMaxPayload) {
+    return WireError::kOversized;
+  }
+  if (len < kHeaderSize) return WireError::kTruncated;
+  const std::uint64_t plen = get_u64(data + 12);
+  const std::size_t total = kHeaderSize + static_cast<std::size_t>(plen) + kTrailerSize;
+  if (len < total) return WireError::kTruncated;
+  const std::uint8_t* body = data + kHeaderSize;
+  const std::uint64_t want = get_u64(body + plen);
+  if (fnv1a64(body, static_cast<std::size_t>(plen)) != want) {
+    return WireError::kBadChecksum;
+  }
+  type = static_cast<FrameType>(get_u32(data + 8));
+  payload.assign(body, body + plen);
+  consumed = total;
+  return WireError::kOk;
+}
+
+void FrameReader::feed(const std::uint8_t* data, std::size_t n) {
+  // Compact lazily: drop consumed bytes once they dominate the buffer.
+  if (off_ > 4096 && off_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(off_));
+    off_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+WireError FrameReader::next(FrameType& type, std::vector<std::uint8_t>& payload) {
+  std::size_t consumed = 0;
+  const WireError e =
+      decode_frame(buf_.data() + off_, buf_.size() - off_, type, payload, consumed);
+  if (e == WireError::kOk) off_ += consumed;
+  return e;
+}
+
+// --- payload encoding ------------------------------------------------------
+
+void Encoder::u32(std::uint32_t v) { put_u32(buf_, v); }
+void Encoder::u64(std::uint64_t v) { put_u64(buf_, v); }
+
+void Encoder::f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  u64(bits);
+}
+
+void Encoder::blob(const std::vector<std::uint8_t>& b) {
+  u64(b.size());
+  buf_.insert(buf_.end(), b.begin(), b.end());
+}
+
+bool Decoder::take(void* out, std::size_t n) {
+  if (!ok_ || len_ - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  std::memcpy(out, data_ + pos_, n);
+  pos_ += n;
+  return true;
+}
+
+bool Decoder::u8(std::uint8_t& v) { return take(&v, 1); }
+
+bool Decoder::u32(std::uint32_t& v) {
+  std::uint8_t raw[4];
+  if (!take(raw, 4)) return false;
+  v = get_u32(raw);
+  return true;
+}
+
+bool Decoder::u64(std::uint64_t& v) {
+  std::uint8_t raw[8];
+  if (!take(raw, 8)) return false;
+  v = get_u64(raw);
+  return true;
+}
+
+bool Decoder::i64(std::int64_t& v) {
+  std::uint64_t u = 0;
+  if (!u64(u)) return false;
+  v = static_cast<std::int64_t>(u);
+  return true;
+}
+
+bool Decoder::f64(double& v) {
+  std::uint64_t bits = 0;
+  if (!u64(bits)) return false;
+  std::memcpy(&v, &bits, sizeof v);
+  return true;
+}
+
+bool Decoder::count(std::uint64_t& n, std::size_t elem_size) {
+  if (!u64(n)) return false;
+  if (elem_size != 0 && n > remaining() / elem_size) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+bool Decoder::blob(std::vector<std::uint8_t>& b) {
+  std::uint64_t n = 0;
+  if (!count(n, 1)) return false;
+  b.assign(data_ + pos_, data_ + pos_ + n);
+  pos_ += static_cast<std::size_t>(n);
+  return true;
+}
+
+// --- fd I/O ----------------------------------------------------------------
+
+namespace {
+
+/// Blocks until fd is ready for `events`, riding out EINTR.
+bool wait_fd(int fd, short events) {
+  for (;;) {
+    struct pollfd p{fd, events, 0};
+    const int r = poll(&p, 1, -1);
+    if (r > 0) return true;
+    if (r < 0 && errno != EINTR) return false;
+  }
+}
+
+}  // namespace
+
+bool write_all(int fd, const std::uint8_t* buf, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    // send with MSG_NOSIGNAL so a SIGKILLed peer yields EPIPE, not a
+    // process-killing SIGPIPE; checkpoint files fall back to write().
+    ssize_t w = send(fd, buf + done, n - done, MSG_NOSIGNAL);
+    if (w < 0 && errno == ENOTSOCK) w = write(fd, buf + done, n - done);
+    if (w > 0) {
+      done += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!wait_fd(fd, POLLOUT)) return false;
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+bool read_exact(int fd, std::uint8_t* buf, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t r = read(fd, buf + done, n - done);
+    if (r > 0) {
+      done += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == 0) return false;  // EOF
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!wait_fd(fd, POLLIN)) return false;
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+bool write_frame(int fd, FrameType type, const std::vector<std::uint8_t>& payload) {
+  return write_all(fd, encode_frame(type, payload));
+}
+
+WireError read_frame(int fd, FrameType& type, std::vector<std::uint8_t>& payload) {
+  std::uint8_t header[kHeaderSize];
+  if (!read_exact(fd, header, kHeaderSize)) return WireError::kIo;
+  if (get_u32(header) != kMagic) return WireError::kBadMagic;
+  if (get_u16(header + 4) != kVersionMajor) return WireError::kBadVersion;
+  if (!known_type(get_u32(header + 8))) return WireError::kBadType;
+  const std::uint64_t plen = get_u64(header + 12);
+  if (plen > kMaxPayload) return WireError::kOversized;
+  std::vector<std::uint8_t> body(static_cast<std::size_t>(plen) + kTrailerSize);
+  if (!read_exact(fd, body.data(), body.size())) return WireError::kIo;
+  const std::uint64_t want = get_u64(body.data() + plen);
+  if (fnv1a64(body.data(), static_cast<std::size_t>(plen)) != want) {
+    return WireError::kBadChecksum;
+  }
+  type = static_cast<FrameType>(get_u32(header + 8));
+  body.resize(static_cast<std::size_t>(plen));
+  payload = std::move(body);
+  return WireError::kOk;
+}
+
+}  // namespace wire
+}  // namespace scalemd

@@ -110,6 +110,9 @@ ResilienceStats resilience_stats(const FaultStats& faults,
     r.retries = reliable->retries;
     r.duplicates_suppressed = reliable->duplicates_suppressed;
     r.messages_abandoned = reliable->abandoned;
+    r.abandoned_dead_pe = reliable->abandoned_dead_pe;
+    r.abandoned_delivered = reliable->abandoned_delivered;
+    r.abandoned_lost = reliable->abandoned_lost;
   }
   r.checkpoints_taken = checkpoints_taken;
   r.restarts = restarts;
@@ -130,6 +133,9 @@ std::string render_resilience(const ResilienceStats& r) {
   count("retries", r.retries);
   count("duplicates suppressed", r.duplicates_suppressed);
   count("messages abandoned", r.messages_abandoned);
+  count("  dest pe dead", r.abandoned_dead_pe);
+  count("  delivered, acks lost", r.abandoned_delivered);
+  count("  lost at live pe", r.abandoned_lost);
   count("checkpoints taken", static_cast<std::uint64_t>(r.checkpoints_taken));
   count("restarts", static_cast<std::uint64_t>(r.restarts));
   t.add_row({"restart latency (virtual s)", fmt_fixed(r.restart_latency, 6)});

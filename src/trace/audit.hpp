@@ -57,6 +57,12 @@ struct ResilienceStats {
   std::uint64_t retries = 0;
   std::uint64_t duplicates_suppressed = 0;
   std::uint64_t messages_abandoned = 0;  ///< retry budget/dead-PE give-ups
+  // Abandonment classification (sums to messages_abandoned): destination
+  // dead (expected under PE failure), payload delivered but acks lost
+  // (benign), or genuinely lost at a live PE (needs a restart to explain).
+  std::uint64_t abandoned_dead_pe = 0;
+  std::uint64_t abandoned_delivered = 0;
+  std::uint64_t abandoned_lost = 0;
   int checkpoints_taken = 0;
   int restarts = 0;
   double restart_latency = 0.0;  ///< virtual seconds of re-executed work

@@ -67,6 +67,25 @@ class Rng {
   /// Uniformly distributed unit vector (direction on the sphere).
   Vec3 unit_vector();
 
+  /// Full generator state, for checkpoint serialization: restoring it
+  /// resumes the stream exactly (including a cached Box-Muller deviate).
+  struct State {
+    std::uint64_t s[4];
+    std::uint64_t seed;
+    bool has_cached_normal;
+    double cached_normal;
+  };
+  State state() const {
+    return State{{s_[0], s_[1], s_[2], s_[3]}, seed_, has_cached_normal_,
+                 cached_normal_};
+  }
+  void set_state(const State& st) {
+    for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+    seed_ = st.seed;
+    has_cached_normal_ = st.has_cached_normal;
+    cached_normal_ = st.cached_normal;
+  }
+
  private:
   std::uint64_t s_[4];
   std::uint64_t seed_ = 0;

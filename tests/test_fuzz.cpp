@@ -68,6 +68,23 @@ TEST(ScenarioRoundTripTest, GeneratedSpecsSurviveExactly) {
   }
 }
 
+TEST(ScenarioRoundTripTest, ProcessWorkersRoundTrips) {
+  ScenarioSpec spec = small_clean_spec();
+  spec.process_workers = 3;
+  const std::string text = serialize_scenario(spec);
+  EXPECT_NE(text.find("process-workers 3"), std::string::npos);
+  ScenarioSpec back;
+  FaultPlanParseError error;
+  ASSERT_TRUE(parse_scenario(text, "<mem>", back, error)) << error.render();
+  EXPECT_EQ(back.process_workers, 3);
+
+  // Default (0) stays out of the text entirely: old repro files and new
+  // parsers agree on the schema.
+  spec.process_workers = 0;
+  EXPECT_EQ(serialize_scenario(spec).find("process-workers"),
+            std::string::npos);
+}
+
 TEST(ScenarioRoundTripTest, DefectFlagRoundTrips) {
   ScenarioSpec spec = small_clean_spec();
   spec.inject_defect = true;
@@ -112,6 +129,26 @@ TEST(ScenarioValidateTest, RejectsFailuresWithoutCheckpoint) {
   EXPECT_NE(validate_scenario(spec), "");
   spec.checkpoint_every = 1;
   EXPECT_EQ(validate_scenario(spec), "");
+}
+
+TEST(ScenarioValidateTest, RejectsProcessWorkersOutOfRange) {
+  ScenarioSpec spec = small_clean_spec();
+  spec.process_workers = 9;
+  EXPECT_NE(validate_scenario(spec), "");
+  spec.process_workers = -1;
+  EXPECT_NE(validate_scenario(spec), "");
+  spec.process_workers = 8;
+  EXPECT_EQ(validate_scenario(spec), "");
+}
+
+TEST(ScenarioGenerateTest, SometimesArmsTheProcessLeg) {
+  int armed = 0;
+  for (int i = 0; i < 100; ++i) {
+    armed += generate_scenario(3, i).process_workers > 0 ? 1 : 0;
+  }
+  // ~25% of the campaign; a wide band keeps the test seed-robust.
+  EXPECT_GT(armed, 5);
+  EXPECT_LT(armed, 60);
 }
 
 // --- generated test systems -------------------------------------------------

@@ -247,9 +247,17 @@ ParallelSim::~ParallelSim() = default;
 
 void ParallelSim::build_initial_placement() {
   // Stage 1 of the paper's load balancing: recursive coordinate bisection of
-  // patches, then computes placed on the home PE of their base patch.
-  patch_home_ = rcb_patch_map(wl_->decomp.patch_centers(), wl_->decomp.patch_weights(),
-                              opts_.num_pes);
+  // patches, then computes placed on the home PE of their base patch. A
+  // caller that already has the RCB result (the serve topology cache shares
+  // one across identical-topology jobs) passes it in instead.
+  if (opts_.initial_patch_home != nullptr &&
+      opts_.initial_patch_home->size() ==
+          static_cast<std::size_t>(wl_->decomp.patch_count())) {
+    patch_home_ = *opts_.initial_patch_home;
+  } else {
+    patch_home_ = rcb_patch_map(wl_->decomp.patch_centers(),
+                                wl_->decomp.patch_weights(), opts_.num_pes);
+  }
   compute_pe_.resize(wl_->plan.computes().size());
   for (std::size_t i = 0; i < compute_pe_.size(); ++i) {
     compute_pe_[i] =
@@ -936,6 +944,14 @@ void ParallelSim::restore_from(const Checkpoint& c) {
   restart_lost_time_ += lost;
   ++restarts_;
 
+  apply_checkpoint(c);
+
+  // The clock is NOT rewound: the lost interval is the real cost of redoing
+  // work, and is what restart_latency() reports.
+  sinks_.on_fault({FaultKind::kRestart, -1, -1, now, lost});
+}
+
+void ParallelSim::apply_checkpoint(const Checkpoint& c) {
   patches_ = c.patches;
   atom_loc_ = c.atom_loc;
   for (std::size_t i = 0; i < computes_.size(); ++i) {
@@ -954,10 +970,6 @@ void ParallelSim::restore_from(const Checkpoint& c) {
   // Un-acked pre-restart sends must not be resurrected by stale retries;
   // replayed sends get fresh sequence ids so dedup cannot misfire either.
   if (reliable_) reliable_->clear_pending();
-
-  // The clock is NOT rewound: the lost interval is the real cost of redoing
-  // work, and is what restart_latency() reports.
-  sinks_.on_fault({FaultKind::kRestart, -1, -1, now, lost});
 
   const std::vector<int> dead = exec_->failed_pes();
   if (!dead.empty()) {
@@ -992,6 +1004,20 @@ void ParallelSim::restore_checkpoint() {
   }
   assert(ckpt_ && des_ != nullptr);
   restore_from(*ckpt_);
+}
+
+std::vector<std::uint8_t> ParallelSim::export_state() const {
+  assert(exec_->idle() && "export_state needs a quiesced machine");
+  Checkpoint c;
+  snapshot_to(c);
+  return encode_checkpoint(c);
+}
+
+void ParallelSim::import_state(const std::vector<std::uint8_t>& blob) {
+  assert(exec_->idle() && "import_state needs a quiesced machine");
+  Checkpoint c;
+  decode_checkpoint(blob, c);
+  apply_checkpoint(c);
 }
 
 // ---------------------------------------------------------------------------

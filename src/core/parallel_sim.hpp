@@ -75,6 +75,14 @@ struct ParallelOptions {
   ProcessOptions process;
   /// On-disk checkpoint file for the process backend.
   std::string checkpoint_path = "scalemd_checkpoint.bin";
+  /// Optional precomputed initial patch placement (one home PE per patch).
+  /// When set (and sized to the workload's patch count), the constructor
+  /// adopts it instead of re-running RCB — the serve layer's topology cache
+  /// shares one RCB result across identical-topology jobs. The vector must
+  /// be what rcb_patch_map would produce for this workload and PE count;
+  /// anything else still runs (placement never changes trajectories) but
+  /// forfeits the paper's locality-seeded starting point.
+  std::shared_ptr<const std::vector<int>> initial_patch_home;
   LbPolicy lb;
   /// Use the single-packing multicast of section 4.2.3.
   bool optimized_multicast = true;
@@ -215,6 +223,21 @@ class ParallelSim {
   /// recovered (no checkpoint, or the restart cap was hit); the invariant
   /// checker uses this to tell "stalled by fault" from a runtime bug.
   bool last_cycle_complete() const;
+
+  /// Serialized coordinated checkpoint of the current state — the same blob
+  /// the process backend writes to disk (wire-encoded, raw IEEE bits).
+  /// Requires a quiesced machine (between run_cycle calls). The serve layer
+  /// preempts jobs with this: export, destroy the sim, later import into a
+  /// fresh ParallelSim built from the same workload and options.
+  std::vector<std::uint8_t> export_state() const;
+  /// Adopts a blob produced by export_state() on a compatible ParallelSim
+  /// (same workload, same patch/compute structure — validated strictly) and
+  /// rebuilds the dataflow and reducer around the restored placement.
+  /// Unlike a fault restore, this counts no restart and charges no lost
+  /// time: resuming from an imported checkpoint continues the run exactly
+  /// where the exporting sim stopped, bitwise.
+  void import_state(const std::vector<std::uint8_t>& blob);
+
   int checkpoints_taken() const { return checkpoints_taken_; }
   int restarts() const { return restarts_; }
   /// Virtual seconds of lost work re-executed across all restarts (the
@@ -250,6 +273,11 @@ class ParallelSim {
   void attempt_cycle(int steps);
   void take_checkpoint();
   void restore_checkpoint();
+  /// Adopts a decoded checkpoint: state copy + reducer/dataflow rebuild
+  /// (evacuating failed PEs when there are any). Shared by the fault
+  /// restore path (which additionally books restart accounting) and
+  /// import_state (which must not).
+  void apply_checkpoint(const Checkpoint& c);
   /// True when a checkpoint exists to restore from (in memory for the DES
   /// backend, on disk for the process backend).
   bool have_checkpoint() const { return ckpt_ != nullptr || ckpt_on_disk_; }

@@ -10,6 +10,7 @@
 #include "check/violation_report.hpp"
 #include "core/parallel_sim.hpp"
 #include "gen/test_systems.hpp"
+#include "serve/scheduler.hpp"
 
 namespace scalemd {
 
@@ -243,6 +244,72 @@ FuzzVerdict evaluate_scenario(const ScenarioSpec& spec) {
         verdict.ok = false;
         verdict.oracle = "chaos-divergence";
         verdict.detail = std::string("[chaos vs clean] ") + buf;
+        return verdict;
+      }
+    }
+  }
+
+  // --- D: the spec as a replica batch through the serve layer ------------
+  // Each replica (derived seed, so a genuinely different system) is run
+  // solo first, then the whole set goes through the BatchScheduler with
+  // mixed priorities and forced preemption. Scheduling, preemption through
+  // export/import_state and shared topology artifacts must all be
+  // trajectory-invisible: every job bitwise equals its solo run.
+  if (spec.serve_jobs > 0) {
+    ScenarioSpec base = spec;
+    base.drop_prob = base.dup_prob = base.delay_prob = base.delay_max = 0.0;
+    base.failures.clear();
+    base.checkpoint_every = 0;
+    base.process_workers = 0;
+    base.serve_jobs = 0;
+    base.serve_workers = 1;
+    base.serve_preempt_every = 0;
+    base.inject_defect = false;
+
+    BatchSpec bs;
+    JobSpec root;
+    root.name = "replica";
+    root.scenario = base;
+    root.replicas = spec.serve_jobs;
+    bs.jobs.push_back(root);
+    std::vector<JobSpec> jobs = expand_batch(bs);
+    for (std::size_t k = 0; k < jobs.size(); ++k) {
+      jobs[k].priority = static_cast<int>(k % 3);
+    }
+
+    ServeOptions sopts;
+    sopts.workers = spec.serve_workers;
+    sopts.preempt_every = spec.serve_preempt_every;
+    sopts.seed = spec.seed;
+    BatchScheduler sched(sopts);
+
+    // Solo references first, sharing the scheduler's cache so the scheduled
+    // runs exercise the artifact-hit path too.
+    std::vector<JobResult> solo;
+    for (const JobSpec& job : jobs) {
+      solo.push_back(run_job_alone(job, &sched.cache()));
+      sched.submit(job);
+    }
+    const ServeReport served = sched.run();
+    for (std::size_t k = 0; k < jobs.size(); ++k) {
+      const JobResult& got = served.results[k];
+      const std::string tag = "[serve " + jobs[k].name + "] ";
+      if (!got.complete) {
+        verdict.ok = false;
+        verdict.oracle = "serve-incomplete";
+        verdict.detail = tag + "job did not run to completion";
+        return verdict;
+      }
+      RunOutcome a, b;
+      a.positions = got.positions;
+      a.velocities = got.velocities;
+      b.positions = solo[k].positions;
+      b.velocities = solo[k].velocities;
+      const std::string diff = first_bitwise_diff(a, b);
+      if (!diff.empty()) {
+        verdict.ok = false;
+        verdict.oracle = "serve-divergence";
+        verdict.detail = tag + diff;
         return verdict;
       }
     }

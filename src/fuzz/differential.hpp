@@ -19,6 +19,9 @@ namespace scalemd {
 ///   "process-divergence"    simulated vs forked-process state not bit-identical
 ///   "chaos-incomplete"      faulted run did not recover to completion
 ///   "chaos-divergence"      recovered state does not match the clean run
+///   "serve-incomplete"      a batch-scheduled job did not run to completion
+///   "serve-divergence"      a batch-scheduled job's state not bit-identical
+///                           to the same job run alone
 struct FuzzVerdict {
   bool ok = true;
   std::string oracle;  ///< empty when ok
@@ -35,7 +38,12 @@ struct FuzzVerdict {
 ///  C. (only when the spec schedules faults) a chaos run on the DES backend
 ///     with the reliable layer and checkpointing armed; it must complete and
 ///     recover to A's state — bitwise without PE failures, to 1e-9 relative
-///     when evacuation changed the placement.
+///     when evacuation changed the placement;
+///  D. (only when spec.serve_jobs > 0) the spec expanded into serve_jobs
+///     fault-free replica jobs with derived seeds and mixed priorities,
+///     scheduled by the serve-layer BatchScheduler on serve_workers workers
+///     with forced preemption every serve_preempt_every slices — every job
+///     must complete and match its run_job_alone reference bitwise.
 /// Deterministic: same spec, same verdict, every time.
 FuzzVerdict evaluate_scenario(const ScenarioSpec& spec);
 

@@ -135,11 +135,24 @@ ScenarioSpec generate_scenario(std::uint64_t master_seed, int index) {
     constexpr int kWorkers[] = {1, 2, 3};
     s.process_workers = kWorkers[rng.uniform_index(3)];
   }
+
+  // A fifth of the campaign also crosses the serve layer: the spec becomes a
+  // small replica batch scheduled on a few workers with forced preemption.
+  // Drawn after the process axis, same rationale: older repro seeds keep
+  // their shape.
+  if (rng.uniform() < 0.2) {
+    s.serve_jobs = 2 + static_cast<int>(rng.uniform_index(3));
+    s.serve_workers = 1 + static_cast<int>(rng.uniform_index(3));
+    s.serve_preempt_every = static_cast<int>(rng.uniform_index(3));
+  }
   return s;
 }
 
 std::string validate_scenario(const ScenarioSpec& s) {
-  if (s.box < 8.0 || s.box > 40.0) return "box must be in [8, 40] A";
+  // Double ranges are written as negated conjunctions so a NaN smuggled in
+  // through a parsed file fails the check instead of slipping past both
+  // one-sided comparisons.
+  if (!(s.box >= 8.0 && s.box <= 40.0)) return "box must be in [8, 40] A";
   if (s.chain_beads < 4 || s.chain_beads > 200) {
     return "chain-beads must be in [4, 200]";
   }
@@ -152,21 +165,36 @@ std::string validate_scenario(const ScenarioSpec& s) {
   if (s.process_workers < 0 || s.process_workers > 8) {
     return "process-workers must be in [0, 8]";
   }
-  if (s.dt_fs <= 0.0 || s.dt_fs > 2.0) return "dt must be in (0, 2] fs";
+  if (!(s.dt_fs > 0.0 && s.dt_fs <= 2.0)) return "dt must be in (0, 2] fs";
   if (s.cycles < 1 || s.cycles > 10) return "cycles must be in [1, 10]";
   if (s.steps < 1 || s.steps > 10) return "steps must be in [1, 10]";
-  if (s.drop_prob < 0.0 || s.drop_prob > 0.2) return "drop must be in [0, 0.2]";
-  if (s.dup_prob < 0.0 || s.dup_prob > 0.2) return "dup must be in [0, 0.2]";
-  if (s.delay_prob < 0.0 || s.delay_prob > 0.2) {
+  if (!(s.drop_prob >= 0.0 && s.drop_prob <= 0.2)) {
+    return "drop must be in [0, 0.2]";
+  }
+  if (!(s.dup_prob >= 0.0 && s.dup_prob <= 0.2)) {
+    return "dup must be in [0, 0.2]";
+  }
+  if (!(s.delay_prob >= 0.0 && s.delay_prob <= 0.2)) {
     return "delay probability must be in [0, 0.2]";
   }
-  if (s.delay_max < 0.0) return "delay max must be >= 0";
+  if (!(s.delay_max >= 0.0 && s.delay_max <= 1.0)) {
+    return "delay max must be in [0, 1] s";
+  }
   if (s.checkpoint_every < 0 || s.checkpoint_every > 10) {
     return "checkpoint must be in [0, 10]";
   }
+  if (s.serve_jobs != 0 && (s.serve_jobs < 2 || s.serve_jobs > 8)) {
+    return "serve-jobs must be 0 or in [2, 8]";
+  }
+  if (s.serve_workers < 1 || s.serve_workers > 8) {
+    return "serve-workers must be in [1, 8]";
+  }
+  if (s.serve_preempt_every < 0 || s.serve_preempt_every > 8) {
+    return "serve-preempt must be in [0, 8]";
+  }
   for (const ScenarioFailure& f : s.failures) {
     if (f.pe < 0 || f.pe >= s.num_pes) return "failure pe out of range";
-    if (f.at_frac <= 0.0 || f.at_frac >= 1.0) {
+    if (!(f.at_frac > 0.0 && f.at_frac < 1.0)) {
       return "failure time fraction must be in (0, 1)";
     }
   }
@@ -208,8 +236,126 @@ std::string serialize_scenario(const ScenarioSpec& s) {
   if (s.checkpoint_every > 0) {
     line("checkpoint " + std::to_string(s.checkpoint_every));
   }
+  if (s.serve_jobs > 0) {
+    line("serve-jobs " + std::to_string(s.serve_jobs));
+    line("serve-workers " + std::to_string(s.serve_workers));
+    line("serve-preempt " + std::to_string(s.serve_preempt_every));
+  }
   if (s.inject_defect) line("defect arrival-order");
   return out;
+}
+
+DirectiveStatus apply_scenario_directive(const std::string& raw_in,
+                                         ScenarioSpec& out,
+                                         std::string& reason) {
+  std::string raw = raw_in;
+  const std::size_t hash = raw.find('#');
+  if (hash != std::string::npos) raw.erase(hash);
+  std::istringstream line(raw);
+  std::string key;
+  if (!(line >> key)) return DirectiveStatus::kApplied;
+
+  bool bad = false;
+  const auto fail = [&](std::string why) {
+    reason = std::move(why);
+    bad = true;
+    return false;
+  };
+  const auto want_number = [&](const char* what, double& value) {
+    if (!(line >> value)) {
+      return fail(std::string("'") + key + "' needs a numeric " + what);
+    }
+    return true;
+  };
+  const auto want_count = [&](const char* what, int& value) {
+    double v = 0.0;
+    if (!want_number(what, v)) return false;
+    value = static_cast<int>(v);
+    return true;
+  };
+  const auto want_word = [&](const char* what, std::string& value) {
+    if (!(line >> value)) {
+      return fail(std::string("'") + key + "' needs a " + what);
+    }
+    return true;
+  };
+
+  if (key == "seed") {
+    // Read as an integer, not via want_number: a 64-bit seed does not
+    // round-trip through a double.
+    std::uint64_t v = 0;
+    if (!(line >> v)) {
+      fail("'seed' needs a non-negative integer");
+    } else {
+      out.seed = v;
+    }
+  } else if (key == "system") {
+    std::string name;
+    if (want_word("system name", name) && !kind_from_name(name, out.kind)) {
+      fail("unknown system '" + name + "'");
+    }
+  } else if (key == "box") {
+    want_number("edge length", out.box);
+  } else if (key == "chain-beads") {
+    want_count("count", out.chain_beads);
+  } else if (key == "pes") {
+    want_count("count", out.num_pes);
+  } else if (key == "threads") {
+    want_count("count", out.threads);
+  } else if (key == "process-workers") {
+    want_count("count", out.process_workers);
+  } else if (key == "serve-jobs") {
+    want_count("count", out.serve_jobs);
+  } else if (key == "serve-workers") {
+    want_count("count", out.serve_workers);
+  } else if (key == "serve-preempt") {
+    want_count("cadence", out.serve_preempt_every);
+  } else if (key == "lb") {
+    std::string name;
+    if (want_word("strategy name", name) && !lb_from_name(name, out.lb)) {
+      fail("unknown lb strategy '" + name + "'");
+    }
+  } else if (key == "kernel") {
+    std::string name;
+    if (want_word("kernel name", name) && !kernel_from_name(name, out.kernel)) {
+      fail("unknown kernel '" + name + "'");
+    }
+  } else if (key == "dt") {
+    want_number("femtoseconds", out.dt_fs);
+  } else if (key == "cycles") {
+    want_count("count", out.cycles);
+  } else if (key == "steps") {
+    want_count("count", out.steps);
+  } else if (key == "drop" || key == "dup") {
+    double p = 0.0;
+    if (want_number("probability", p)) {
+      (key == "drop" ? out.drop_prob : out.dup_prob) = p;
+    }
+  } else if (key == "delay") {
+    if (want_number("probability", out.delay_prob)) {
+      want_number("max seconds", out.delay_max);
+    }
+  } else if (key == "fail") {
+    double pe = 0.0, frac = 0.0;
+    if (want_number("pe", pe) && want_number("time fraction", frac)) {
+      out.failures.push_back({static_cast<int>(pe), frac});
+    }
+  } else if (key == "checkpoint") {
+    want_count("cadence", out.checkpoint_every);
+  } else if (key == "defect") {
+    std::string name;
+    if (want_word("defect name", name)) {
+      if (name != "arrival-order") {
+        fail("unknown defect '" + name + "'");
+      } else {
+        out.inject_defect = true;
+      }
+    }
+  } else {
+    reason = key;
+    return DirectiveStatus::kUnknownKey;
+  }
+  return bad ? DirectiveStatus::kBadValue : DirectiveStatus::kApplied;
 }
 
 bool parse_scenario(const std::string& text, const std::string& file,
@@ -229,113 +375,19 @@ bool parse_scenario(const std::string& text, const std::string& file,
 
   while (std::getline(stream, raw)) {
     ++lineno;
-    const std::size_t hash = raw.find('#');
-    if (hash != std::string::npos) raw.erase(hash);
-    std::istringstream line(raw);
-    std::string key;
-    if (!(line >> key)) continue;
-
-    const auto want_number = [&](const char* what, double& value) {
-      if (!(line >> value)) {
-        return fail(lineno,
-                    std::string("'") + key + "' needs a numeric " + what);
-      }
-      return true;
-    };
-    const auto want_word = [&](const char* what, std::string& value) {
-      if (!(line >> value)) {
-        return fail(lineno, std::string("'") + key + "' needs a " + what);
-      }
-      return true;
-    };
-
-    if (key == "seed") {
-      // Read as an integer, not via want_number: a 64-bit seed does not
-      // round-trip through a double.
-      std::uint64_t v = 0;
-      if (!(line >> v)) {
-        return fail(lineno, "'seed' needs a non-negative integer");
-      }
-      out.seed = v;
-    } else if (key == "system") {
-      std::string name;
-      if (!want_word("system name", name)) return false;
-      if (!kind_from_name(name, out.kind)) {
-        return fail(lineno, "unknown system '" + name + "'");
-      }
-    } else if (key == "box") {
-      if (!want_number("edge length", out.box)) return false;
-    } else if (key == "chain-beads") {
-      double v = 0.0;
-      if (!want_number("count", v)) return false;
-      out.chain_beads = static_cast<int>(v);
-    } else if (key == "pes") {
-      double v = 0.0;
-      if (!want_number("count", v)) return false;
-      out.num_pes = static_cast<int>(v);
-    } else if (key == "threads") {
-      double v = 0.0;
-      if (!want_number("count", v)) return false;
-      out.threads = static_cast<int>(v);
-    } else if (key == "process-workers") {
-      double v = 0.0;
-      if (!want_number("count", v)) return false;
-      out.process_workers = static_cast<int>(v);
-    } else if (key == "lb") {
-      std::string name;
-      if (!want_word("strategy name", name)) return false;
-      if (!lb_from_name(name, out.lb)) {
-        return fail(lineno, "unknown lb strategy '" + name + "'");
-      }
-    } else if (key == "kernel") {
-      std::string name;
-      if (!want_word("kernel name", name)) return false;
-      if (!kernel_from_name(name, out.kernel)) {
-        return fail(lineno, "unknown kernel '" + name + "'");
-      }
-    } else if (key == "dt") {
-      if (!want_number("femtoseconds", out.dt_fs)) return false;
-    } else if (key == "cycles") {
-      double v = 0.0;
-      if (!want_number("count", v)) return false;
-      out.cycles = static_cast<int>(v);
-    } else if (key == "steps") {
-      double v = 0.0;
-      if (!want_number("count", v)) return false;
-      out.steps = static_cast<int>(v);
-    } else if (key == "drop" || key == "dup") {
-      double p = 0.0;
-      if (!want_number("probability", p)) return false;
-      (key == "drop" ? out.drop_prob : out.dup_prob) = p;
-    } else if (key == "delay") {
-      if (!want_number("probability", out.delay_prob) ||
-          !want_number("max seconds", out.delay_max)) {
-        return false;
-      }
-    } else if (key == "fail") {
-      double pe = 0.0, frac = 0.0;
-      if (!want_number("pe", pe) || !want_number("time fraction", frac)) {
-        return false;
-      }
-      out.failures.push_back({static_cast<int>(pe), frac});
-    } else if (key == "checkpoint") {
-      double v = 0.0;
-      if (!want_number("cadence", v)) return false;
-      out.checkpoint_every = static_cast<int>(v);
-    } else if (key == "defect") {
-      std::string name;
-      if (!want_word("defect name", name)) return false;
-      if (name != "arrival-order") {
-        return fail(lineno, "unknown defect '" + name + "'");
-      }
-      out.inject_defect = true;
-    } else if (key == "expect") {
-      // Consumed by the repro replayer (fuzzer.cpp); transparent here so a
-      // repro file is itself a parseable scenario.
-      std::string rest;
-      std::getline(line, rest);
-    } else {
-      return fail(lineno, "unknown directive '" + key + "'");
+    std::string reason;
+    switch (apply_scenario_directive(raw, out, reason)) {
+      case DirectiveStatus::kApplied:
+        break;
+      case DirectiveStatus::kBadValue:
+        return fail(lineno, reason);
+      case DirectiveStatus::kUnknownKey:
+        // `expect <oracle>` is consumed by the repro replayer (fuzzer.cpp);
+        // transparent here so a repro file is itself a parseable scenario.
+        if (reason != "expect") {
+          return fail(lineno, "unknown directive '" + reason + "'");
+        }
+        break;
     }
   }
 

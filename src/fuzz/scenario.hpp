@@ -52,6 +52,18 @@ struct ScenarioSpec {
   std::vector<ScenarioFailure> failures;
   int checkpoint_every = 0;  ///< required >= 1 whenever failures exist
 
+  // --- serve axis (all zero = no multi-job serve leg) -------------------
+  /// When > 0, the differential harness additionally expands this spec into
+  /// `serve_jobs` fault-free replica jobs (derived seeds, mixed priorities)
+  /// and runs them through the BatchScheduler on `serve_workers` workers
+  /// with forced preemption every `serve_preempt_every` slices; every job's
+  /// trajectory must match its solo run bitwise (oracle "serve-divergence").
+  /// Like the process axis, generation arms it on a fraction of the
+  /// campaign; 0 skips the leg.
+  int serve_jobs = 0;
+  int serve_workers = 1;
+  int serve_preempt_every = 0;
+
   /// Arms ParallelOptions::debug_fold_arrival_order on every run of this
   /// spec. Set only by --self-test (and recorded in its repro files so they
   /// replay the defective build path byte-for-byte).
@@ -75,6 +87,24 @@ std::string validate_scenario(const ScenarioSpec& spec);
 /// Line-oriented text form ("key value" per line, # comments). Full
 /// precision: parse(serialize(spec)) == spec bit-for-bit.
 std::string serialize_scenario(const ScenarioSpec& spec);
+
+/// Outcome of applying one text directive to a spec.
+enum class DirectiveStatus {
+  kApplied,     ///< consumed (blank/comment-only lines count as applied)
+  kUnknownKey,  ///< not a scenario key; `reason` holds the key itself
+  kBadValue,    ///< recognized key, malformed value; `reason` explains
+};
+
+/// Parses one raw line of the scenario schema ("key value...", optional
+/// `#` comment) and applies it to `spec`. This is the single-directive core
+/// that parse_scenario loops over; layered schemas reuse it so their error
+/// reporting can add context a lone scenario parser cannot know — the serve
+/// batch parser (src/serve/job.*) wraps it to tag every error with the
+/// enclosing job's index and name, fixing the old assumption that a spec
+/// file only ever holds one job.
+DirectiveStatus apply_scenario_directive(const std::string& raw,
+                                         ScenarioSpec& spec,
+                                         std::string& reason);
 
 /// Parses serialize_scenario's schema. Returns true and fills `spec` on
 /// success; false with a located error (reusing the fault-plan error type:

@@ -52,6 +52,21 @@ ShrinkResult shrink_scenario(const ScenarioSpec& failing,
       [](ScenarioSpec& s) {
         if (s.process_workers > 1) s.process_workers = 1;
       },
+      // Same shape for the serve leg: dropping it sticks only for
+      // non-serve oracles; otherwise shrink the batch toward the minimal
+      // 2-job, 1-worker, no-preemption form.
+      [](ScenarioSpec& s) {
+        s.serve_jobs = 0;
+        s.serve_workers = 1;
+        s.serve_preempt_every = 0;
+      },
+      [](ScenarioSpec& s) {
+        if (s.serve_jobs > 2) --s.serve_jobs;
+      },
+      [](ScenarioSpec& s) { s.serve_preempt_every = 0; },
+      [](ScenarioSpec& s) {
+        if (s.serve_workers > 1) s.serve_workers = 1;
+      },
       [](ScenarioSpec& s) { s.kind = TestSystemKind::kWaterBox; },
       [](ScenarioSpec& s) { s.chain_beads = 8; },
       [](ScenarioSpec& s) { s.box = 10.0; },

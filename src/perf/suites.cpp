@@ -11,6 +11,7 @@
 #include "gen/presets.hpp"
 #include "gen/water_box.hpp"
 #include "seq/engine.hpp"
+#include "serve/scheduler.hpp"
 
 namespace scalemd::perf {
 
@@ -167,6 +168,54 @@ void smoke_runtime(BenchRunner& runner, const SuiteOptions& opts) {
   }
 }
 
+/// The serve layer end to end: a fixed 4-job dt sweep (shared topology, so
+/// the artifact cache is hot after the first job) scheduled on 2 workers
+/// with forced preemption every slice. One sample = one whole batch run, so
+/// the gated metric is time-valued; the throughput figures ride along as
+/// params and the (deterministic) cache hit rate as its own record.
+void smoke_serve(BenchRunner& runner) {
+  BatchSpec batch;
+  for (int j = 0; j < 4; ++j) {
+    JobSpec job;
+    job.name = "sweep" + std::to_string(j);
+    job.priority = j % 2;
+    job.scenario.seed = 42;  // one topology across the whole sweep
+    job.scenario.box = 10.0;
+    job.scenario.num_pes = 2;
+    job.scenario.dt_fs = 0.5 + 0.5 * (j % 2);  // the swept axis
+    job.scenario.cycles = 2;
+    job.scenario.steps = 2;
+    batch.jobs.push_back(job);
+  }
+
+  double jobs_per_hour = 0.0, steps_per_sec = 0.0, hit_rate = 0.0;
+  runner
+      .time("serve/batch", "seconds_per_batch",
+            [&] {
+              ServeOptions sopts;
+              sopts.workers = 2;
+              sopts.preempt_every = 1;
+              WallTickSource wall;
+              sopts.ticks = &wall;
+              BatchScheduler sched(sopts);
+              sched.submit_batch(batch);
+              const ServeReport rep = sched.run();
+              const double secs =
+                  rep.wall_seconds > 0.0 ? rep.wall_seconds : 1e-9;
+              jobs_per_hour = 3600.0 * static_cast<double>(rep.results.size()) / secs;
+              steps_per_sec = static_cast<double>(rep.total_steps) / secs;
+              const std::uint64_t lookups = rep.cache_hits + rep.cache_misses;
+              hit_rate = lookups > 0
+                             ? static_cast<double>(rep.cache_hits) / lookups
+                             : 0.0;
+            })
+      .param("jobs", 4)
+      .param("workers", 2)
+      .param("jobs_per_hour", jobs_per_hour)
+      .param("steps_per_sec", steps_per_sec);
+  runner.record_value("serve/cache_hit_rate", "ratio", hit_rate);
+}
+
 }  // namespace
 
 BenchReport run_smoke_suite(const SuiteOptions& opts) {
@@ -175,6 +224,7 @@ BenchReport run_smoke_suite(const SuiteOptions& opts) {
   smoke_forces(runner, opts);
   smoke_des_events(runner);
   smoke_runtime(runner, opts);
+  smoke_serve(runner);
   report.benchmarks = runner.take_records();
   return report;
 }

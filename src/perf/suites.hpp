@@ -3,8 +3,9 @@
 // Curated benchmark suites behind the `scalemd-bench` driver and the CI
 // perf-smoke gate.
 //
-//   smoke  micro force-kernel variants + runtime substrate, sized to finish
-//          in seconds; the per-PR regression gate runs this twice and diffs.
+//   smoke  micro force-kernel variants + runtime substrate + a serve-layer
+//          batch, sized to finish in seconds; the per-PR regression gate
+//          runs this twice and diffs.
 //   paper  the Table 2 / Table 3 scaling sweeps (virtual machine-model
 //          seconds — deterministic, so any delta is a real model change).
 

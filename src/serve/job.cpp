@@ -1,0 +1,160 @@
+#include "serve/job.hpp"
+
+#include <sstream>
+
+#include "util/random.hpp"
+
+namespace scalemd {
+
+std::string BatchParseError::render() const {
+  std::string out = file + ":" + std::to_string(line) + ": ";
+  if (job_index >= 0) {
+    out += "job " + std::to_string(job_index);
+    if (!job_name.empty()) out += " '" + job_name + "'";
+    out += ": ";
+  }
+  out += reason;
+  return out;
+}
+
+std::string validate_job(const JobSpec& job) {
+  if (job.name.empty()) return "job needs a name";
+  if (job.priority < -100 || job.priority > 100) {
+    return "priority must be in [-100, 100]";
+  }
+  if (job.replicas < 1 || job.replicas > 64) {
+    return "replicas must be in [1, 64]";
+  }
+  const std::string bad = validate_scenario(job.scenario);
+  if (!bad.empty()) return bad;
+  // Serve jobs are plain fault-free simulations on the DES backend; the
+  // fault/chaos axes belong to the fuzz harness and the serve axes to the
+  // batch level, so a job carrying them is almost certainly a mistake.
+  if (job.scenario.has_faults()) return "serve jobs must be fault-free";
+  if (job.scenario.checkpoint_every != 0) {
+    return "serve jobs may not set checkpoint (the scheduler owns preemption)";
+  }
+  if (job.scenario.process_workers != 0) {
+    return "serve jobs may not set process-workers";
+  }
+  if (job.scenario.serve_jobs != 0 || job.scenario.serve_preempt_every != 0 ||
+      job.scenario.serve_workers != 1) {
+    return "serve axes belong to the batch, not a job";
+  }
+  if (job.scenario.inject_defect) return "serve jobs may not inject defects";
+  return "";
+}
+
+bool parse_batch(const std::string& text, const std::string& file,
+                 BatchSpec& batch, BatchParseError& error) {
+  BatchSpec out;
+  std::istringstream stream(text);
+  std::string raw;
+  int lineno = 0;
+  bool in_job = false;
+  JobSpec cur;
+
+  const auto fail = [&](int line, std::string reason) {
+    error.file = file;
+    error.line = line < 1 ? 1 : line;  // whole-file errors anchor to line 1
+    error.job_index = in_job ? static_cast<int>(out.jobs.size()) : -1;
+    error.job_name = in_job ? cur.name : std::string();
+    error.reason = std::move(reason);
+    return false;
+  };
+
+  while (std::getline(stream, raw)) {
+    ++lineno;
+    std::string stripped = raw;
+    const std::size_t hash = stripped.find('#');
+    if (hash != std::string::npos) stripped.erase(hash);
+    std::istringstream line(stripped);
+    std::string key;
+    if (!(line >> key)) continue;
+
+    if (key == "job") {
+      if (in_job) return fail(lineno, "nested 'job' (missing 'end'?)");
+      std::string name;
+      if (!(line >> name)) return fail(lineno, "'job' needs a name");
+      in_job = true;
+      cur = JobSpec{};
+      cur.name = name;
+      cur.scenario.lb = LbStrategyKind::kNone;  // schema default
+      continue;
+    }
+    if (key == "end") {
+      if (!in_job) return fail(lineno, "'end' outside a job block");
+      const std::string bad = validate_job(cur);
+      if (!bad.empty()) return fail(lineno, bad);
+      in_job = false;  // after fail() so the error still names the job
+      out.jobs.push_back(cur);
+      continue;
+    }
+    if (!in_job) {
+      return fail(lineno, "directive '" + key + "' outside a job block");
+    }
+    if (key == "priority" || key == "replicas") {
+      int v = 0;
+      if (!(line >> v)) {
+        return fail(lineno, "'" + key + "' needs an integer");
+      }
+      (key == "priority" ? cur.priority : cur.replicas) = v;
+      continue;
+    }
+    // Everything else is a scenario directive, applied via the shared
+    // single-directive core so job bodies and lone scenario files stay one
+    // schema. The wrapper's job is the context the core cannot know: which
+    // job block the bad line sits in.
+    std::string reason;
+    switch (apply_scenario_directive(raw, cur.scenario, reason)) {
+      case DirectiveStatus::kApplied:
+        break;
+      case DirectiveStatus::kBadValue:
+        return fail(lineno, reason);
+      case DirectiveStatus::kUnknownKey:
+        return fail(lineno, "unknown directive '" + reason + "'");
+    }
+  }
+
+  if (in_job) return fail(lineno, "unterminated job block (missing 'end')");
+  if (out.jobs.empty()) return fail(lineno, "batch has no jobs");
+  batch = out;
+  return true;
+}
+
+std::string serialize_batch(const BatchSpec& batch) {
+  std::string out;
+  for (const JobSpec& job : batch.jobs) {
+    out += "job " + job.name + "\n";
+    if (job.priority != 0) {
+      out += "priority " + std::to_string(job.priority) + "\n";
+    }
+    if (job.replicas != 1) {
+      out += "replicas " + std::to_string(job.replicas) + "\n";
+    }
+    out += serialize_scenario(job.scenario);
+    out += "end\n";
+  }
+  return out;
+}
+
+std::vector<JobSpec> expand_batch(const BatchSpec& batch) {
+  std::vector<JobSpec> out;
+  for (const JobSpec& job : batch.jobs) {
+    for (int k = 0; k < job.replicas; ++k) {
+      JobSpec r = job;
+      r.replicas = 1;
+      if (job.replicas > 1) {
+        r.name = job.name + "#" + std::to_string(k);
+        if (k > 0) {
+          r.scenario.seed =
+              Rng::derive(job.scenario.seed, static_cast<std::uint64_t>(k));
+        }
+      }
+      out.push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
+}  // namespace scalemd

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/scenario.hpp"
+
+namespace scalemd {
+
+/// One simulation job submitted to the serve layer: a scenario (reusing the
+/// fuzz text schema for the topology preset + engine/kernel/LB config + step
+/// budget) plus scheduling metadata. `replicas` > 1 asks the expander to fan
+/// the job out into that many independent trajectories with derived seeds.
+struct JobSpec {
+  std::string name;
+  ScenarioSpec scenario;
+  int priority = 0;   ///< higher runs first; ties broken FIFO
+  int replicas = 1;   ///< expand_batch fans out to this many jobs
+};
+
+/// A parsed batch file: an ordered list of jobs. Order is meaningful — it is
+/// the FIFO tiebreak within a priority class.
+struct BatchSpec {
+  std::vector<JobSpec> jobs;
+};
+
+/// Located batch-file parse/validation error. Unlike FaultPlanParseError this
+/// carries the *job* context too: a batch file holds many jobs, and "line 37:
+/// 'dt' needs a numeric femtoseconds" is useless without knowing which job
+/// block line 37 sits in. job_index is -1 for errors outside any job block.
+struct BatchParseError {
+  std::string file;
+  int line = 0;        ///< 1-based (whole-file errors anchor to line 1)
+  int job_index = -1;  ///< 0-based position of the enclosing job block
+  std::string job_name;
+  std::string reason;
+
+  /// "file:line: [job N 'name': ]reason" — grep/editor friendly.
+  std::string render() const;
+};
+
+/// "" when `job` is servable; otherwise the first broken rule. Stricter than
+/// validate_scenario: serve jobs run fault-free on the DES backend (faults,
+/// checkpoint cadence, process/serve axes and nested-pool kernels are the
+/// harness's business, not a job's), and need a non-empty name.
+std::string validate_job(const JobSpec& job);
+
+/// Parses the batch schema:
+///
+///   job <name>
+///     priority <int>     # optional, default 0
+///     replicas <int>     # optional, default 1
+///     <scenario directives...>   # seed/system/box/.../cycles/steps
+///   end
+///
+/// Blank lines and # comments are free. Every error carries file:line plus
+/// the enclosing job's index and name. `batch` is untouched on failure.
+bool parse_batch(const std::string& text, const std::string& file,
+                 BatchSpec& batch, BatchParseError& error);
+
+/// Inverse of parse_batch; parse(serialize(b)) == b bit-for-bit.
+std::string serialize_batch(const BatchSpec& batch);
+
+/// Expands replicas: a job with replicas == N becomes N jobs named
+/// "name#k" (k in [0, N)), each with replicas = 1 and the same priority.
+/// Replica 0 keeps the base seed; replica k > 0 simulates with
+/// Rng::derive(base seed, k), so replicas are independent streams yet the
+/// whole sweep is reproducible from the one spec.
+std::vector<JobSpec> expand_batch(const BatchSpec& batch);
+
+}  // namespace scalemd

@@ -1,0 +1,101 @@
+#include "serve/topo_cache.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "gen/test_systems.hpp"
+#include "lb/rcb.hpp"
+
+namespace scalemd {
+
+namespace {
+
+void fnv1a(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= 0x100000001b3ull;
+  }
+}
+
+std::uint64_t double_bits(double d) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+std::uint64_t TopologyCache::topology_key(const ScenarioSpec& spec) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  fnv1a(h, static_cast<std::uint64_t>(spec.kind));
+  fnv1a(h, spec.seed);
+  fnv1a(h, double_bits(spec.box));
+  fnv1a(h, static_cast<std::uint64_t>(spec.chain_beads));
+  fnv1a(h, static_cast<std::uint64_t>(spec.kernel));
+  return h;
+}
+
+std::shared_ptr<const TopologyCache::Entry> TopologyCache::acquire(
+    const ScenarioSpec& spec, bool* hit) {
+  const std::uint64_t key = topology_key(spec);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++hits_;
+    if (hit) *hit = true;
+    return it->second;
+  }
+  ++misses_;
+  if (hit) *hit = false;
+
+  auto entry = std::make_shared<Entry>();
+  TestSystemOptions sys;
+  sys.kind = spec.kind;
+  sys.box = {spec.box, spec.box, spec.box};
+  sys.chain_beads = spec.chain_beads;
+  sys.temperature = 300.0;
+  sys.seed = spec.seed;
+  entry->mol = make_test_system(sys);
+
+  entry->nonbonded.kernel = spec.kernel;
+  const double patch = entry->mol.suggested_patch_size;
+  entry->nonbonded.cutoff = std::clamp(patch - 1.0, 3.5, 6.5);
+  entry->nonbonded.switch_dist = entry->nonbonded.cutoff - 1.0;
+  entry->workload = std::make_unique<Workload>(
+      entry->mol, MachineModel::asci_red(), entry->nonbonded);
+
+  entries_.emplace(key, entry);
+  return entry;
+}
+
+std::shared_ptr<const std::vector<int>> TopologyCache::acquire_placement(
+    const ScenarioSpec& spec, int num_pes, bool* hit) {
+  std::shared_ptr<const Entry> entry = acquire(spec);
+  const std::pair<std::uint64_t, int> key{topology_key(spec), num_pes};
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = placements_.find(key);
+  if (it != placements_.end()) {
+    ++hits_;
+    if (hit) *hit = true;
+    return it->second;
+  }
+  ++misses_;
+  if (hit) *hit = false;
+  const Decomposition& decomp = entry->workload->decomp;
+  auto placement = std::make_shared<const std::vector<int>>(rcb_patch_map(
+      decomp.patch_centers(), decomp.patch_weights(), num_pes));
+  placements_.emplace(key, placement);
+  return placement;
+}
+
+std::uint64_t TopologyCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::uint64_t TopologyCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+}  // namespace scalemd

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "core/parallel_sim.hpp"
+#include "fuzz/scenario.hpp"
+
+namespace scalemd {
+
+/// Shared derived-topology artifact cache for the serve layer. Building a
+/// Workload is the expensive, job-independent part of a run: generating the
+/// molecule, the patch decomposition, exclusion structures, the tile lists
+/// and the probe-kernel cost pass. A sweep's replicas differ only in their
+/// velocity seeds downstream of that, so every job with the same topology
+/// key shares one immutable Workload — and, per (key, num_pes), one RCB
+/// initial placement fed to ParallelOptions::initial_patch_home.
+///
+/// Entries are immutable after construction and held by shared_ptr, so jobs
+/// on different ThreadPool workers can simulate off the same entry
+/// concurrently. Construction happens under the cache lock: the first job of
+/// a sweep pays the build once instead of every worker racing to build the
+/// same topology.
+class TopologyCache {
+ public:
+  /// FNV-1a over the topology-determining scenario fields (system kind,
+  /// seed, box *bits*, chain beads, kernel). Fields that only shape the run
+  /// (pes, lb, dt, cycles, steps, priorities) are deliberately excluded.
+  static std::uint64_t topology_key(const ScenarioSpec& spec);
+
+  struct Entry {
+    Molecule mol;
+    NonbondedOptions nonbonded;
+    /// Built against `mol` after it reaches its final address; Workload
+    /// stores a pointer to the molecule, so Entry is never copied or moved.
+    std::unique_ptr<Workload> workload;
+  };
+
+  /// The cache's one lookup: returns the entry for `spec`'s topology,
+  /// building it on miss. `hit` (optional) reports which happened.
+  std::shared_ptr<const Entry> acquire(const ScenarioSpec& spec,
+                                       bool* hit = nullptr);
+
+  /// Initial RCB placement for (spec topology, num_pes), cached the same
+  /// way; plug the result into ParallelOptions::initial_patch_home.
+  std::shared_ptr<const std::vector<int>> acquire_placement(
+      const ScenarioSpec& spec, int num_pes, bool* hit = nullptr);
+
+  // Lifetime hit/miss counters across both artifact kinds.
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, std::shared_ptr<const Entry>> entries_;
+  std::map<std::pair<std::uint64_t, int>,
+           std::shared_ptr<const std::vector<int>>>
+      placements_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace scalemd

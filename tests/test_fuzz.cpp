@@ -186,6 +186,17 @@ TEST(FuzzEvaluateTest, CleanSpecPassesOnTrunk) {
   EXPECT_TRUE(v.ok) << v.oracle << "\n" << v.detail;
 }
 
+TEST(FuzzEvaluateTest, ServeAxisPassesOnTrunk) {
+  // Exercises the serve leg: replicas run solo and via the batch scheduler
+  // (with forced preemption) and must come out bitwise identical.
+  ScenarioSpec spec = small_clean_spec();
+  spec.serve_jobs = 3;
+  spec.serve_workers = 2;
+  spec.serve_preempt_every = 1;
+  const FuzzVerdict v = evaluate_scenario(spec);
+  EXPECT_TRUE(v.ok) << v.oracle << "\n" << v.detail;
+}
+
 TEST(FuzzEvaluateTest, InjectedDefectIsCaughtAndShrunk) {
   // The hidden arrival-order defect must divert the DES trajectory from the
   // threaded one; the shrinker must keep the failure on the same oracle.

@@ -1,0 +1,191 @@
+// Mutation-fuzz tests for the batch-spec parser (serve/job). Contract under
+// test: parse_batch either fills a BatchSpec whose every job passes
+// validate_job, or fails with a fully located BatchParseError — file, a
+// 1-based line, a non-empty reason, and (inside a job block) the job's index
+// and name. It never crashes, never invokes UB (this suite runs under
+// ASan/UBSan in CI) and never lets a non-finite value through validation.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "serve/job.hpp"
+#include "util/random.hpp"
+
+namespace scalemd {
+namespace {
+
+BatchSpec sample_batch() {
+  BatchSpec batch;
+  for (int j = 0; j < 3; ++j) {
+    JobSpec job;
+    job.name = "job" + std::to_string(j);
+    job.priority = j;
+    job.replicas = j == 1 ? 2 : 1;
+    job.scenario.seed = 40 + static_cast<std::uint64_t>(j);
+    job.scenario.box = 10.0 + j;
+    job.scenario.num_pes = 2 + 2 * (j % 2);
+    job.scenario.lb =
+        j == 2 ? LbStrategyKind::kGreedyRefine : LbStrategyKind::kNone;
+    job.scenario.kernel =
+        j == 0 ? NonbondedKernel::kScalar : NonbondedKernel::kTiled;
+    job.scenario.dt_fs = 0.5 + 0.25 * j;
+    job.scenario.cycles = 2;
+    job.scenario.steps = 2 + j;
+    batch.jobs.push_back(job);
+  }
+  return batch;
+}
+
+/// The property every input must satisfy: parse into a batch of valid jobs,
+/// or fail with a located, job-attributed error. Returns true when parsed.
+bool parses_cleanly_or_fails_located(const std::string& text) {
+  BatchSpec batch;
+  BatchParseError err;
+  if (parse_batch(text, "fuzz", batch, err)) {
+    EXPECT_FALSE(batch.jobs.empty());
+    for (const JobSpec& job : batch.jobs) {
+      EXPECT_EQ(validate_job(job), "") << "parsed job '" << job.name
+                                       << "' fails validation";
+    }
+    return true;
+  }
+  EXPECT_EQ(err.file, "fuzz");
+  EXPECT_GE(err.line, 1);
+  EXPECT_FALSE(err.reason.empty());
+  const std::string location = "fuzz:" + std::to_string(err.line) + ": ";
+  EXPECT_EQ(err.render().rfind(location, 0), 0u)
+      << "'" << err.render() << "' does not start with its location";
+  if (err.job_index >= 0) {
+    EXPECT_NE(err.render().find("job " + std::to_string(err.job_index)),
+              std::string::npos)
+        << err.render();
+  }
+  return false;
+}
+
+TEST(ServeFuzzTest, RoundTripStillParses) {
+  EXPECT_TRUE(parses_cleanly_or_fails_located(serialize_batch(sample_batch())));
+}
+
+TEST(ServeFuzzTest, RejectsEmptyInputWithLocation) {
+  EXPECT_FALSE(parses_cleanly_or_fails_located(""));
+}
+
+TEST(ServeFuzzTest, EveryPrefixParsesOrFailsCleanly) {
+  const std::string good = serialize_batch(sample_batch());
+  int parsed = 0, rejected = 0;
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    const std::string prefix = good.substr(0, len);
+    if (parses_cleanly_or_fails_located(prefix)) {
+      // Only prefixes ending exactly at a job boundary may parse: anything
+      // cut inside a block must report an unterminated/invalid job instead.
+      // (The final newline may itself be cut off — "...\nend" still closes.)
+      const bool at_boundary =
+          (prefix.size() >= 4 &&
+           prefix.compare(prefix.size() - 4, 4, "end\n") == 0) ||
+          (prefix.size() >= 4 &&
+           prefix.compare(prefix.size() - 4, 4, "\nend") == 0);
+      EXPECT_TRUE(at_boundary)
+          << "prefix of length " << len << " parsed but does not end a job";
+      ++parsed;
+    } else {
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, static_cast<int>(good.size()) / 2);
+  EXPECT_GT(parsed, 0) << "job-boundary prefixes are valid batches";
+}
+
+TEST(ServeFuzzTest, RejectsNonFiniteValues) {
+  for (const char* bad : {"nan", "-nan", "inf", "-inf"}) {
+    for (const char* key : {"box", "dt", "seed"}) {
+      const std::string text = std::string("job a\n") + key + " " + bad +
+                               "\ncycles 1\nend\n";
+      EXPECT_FALSE(parses_cleanly_or_fails_located(text))
+          << key << " " << bad << " must not survive validation";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mutation fuzzing: random corruptions of a valid serialization, stacked so
+// they compound. Same operator set the topology-reader fuzz uses: truncate,
+// corrupt a byte, hostile token swap, delete a line, duplicate a line.
+// ---------------------------------------------------------------------------
+
+std::string mutate(const std::string& good, Rng& rng) {
+  std::string text = good;
+  const int op = static_cast<int>(rng.uniform(0.0, 5.0));
+  const auto pick_pos = [&](std::size_t size) {
+    return static_cast<std::size_t>(rng.uniform(0.0, static_cast<double>(size)));
+  };
+  switch (op) {
+    case 0:  // truncate
+      text.resize(pick_pos(text.size()));
+      break;
+    case 1: {  // corrupt one byte
+      if (!text.empty()) {
+        text[pick_pos(text.size())] =
+            static_cast<char>(rng.uniform(1.0, 127.0));
+      }
+      break;
+    }
+    case 2: {  // swap a whitespace-delimited token for a hostile one
+      static const char* kHostile[] = {"nan", "inf", "-1", "1e999", "garbage",
+                                       "999999999999999999999", "end", ""};
+      const std::size_t start = pick_pos(text.size());
+      const std::size_t tok_begin = text.find_first_not_of(" \n", start);
+      if (tok_begin == std::string::npos) break;
+      std::size_t tok_end = text.find_first_of(" \n", tok_begin);
+      if (tok_end == std::string::npos) tok_end = text.size();
+      text.replace(tok_begin, tok_end - tok_begin,
+                   kHostile[static_cast<std::size_t>(rng.uniform(0.0, 8.0))]);
+      break;
+    }
+    case 3: {  // delete one full line
+      const std::size_t start = pick_pos(text.size());
+      const std::size_t line_begin = text.rfind('\n', start);
+      const std::size_t begin =
+          line_begin == std::string::npos ? 0 : line_begin + 1;
+      std::size_t end = text.find('\n', begin);
+      end = end == std::string::npos ? text.size() : end + 1;
+      text.erase(begin, end - begin);
+      break;
+    }
+    default: {  // duplicate one full line
+      const std::size_t start = pick_pos(text.size());
+      const std::size_t line_begin = text.rfind('\n', start);
+      const std::size_t begin =
+          line_begin == std::string::npos ? 0 : line_begin + 1;
+      std::size_t end = text.find('\n', begin);
+      end = end == std::string::npos ? text.size() : end + 1;
+      text.insert(begin, text.substr(begin, end - begin));
+      break;
+    }
+  }
+  return text;
+}
+
+TEST(ServeFuzzTest, MutatedInputsNeverCrashOrEscapeTheContract) {
+  const std::string good = serialize_batch(sample_batch());
+  Rng rng(20260807);
+  int parsed = 0, rejected = 0;
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string text = good;
+    const int rounds = 1 + static_cast<int>(rng.uniform(0.0, 3.0));
+    for (int r = 0; r < rounds; ++r) text = mutate(text, rng);
+    if (parses_cleanly_or_fails_located(text)) {
+      ++parsed;
+    } else {
+      ++rejected;
+    }
+  }
+  // The operators must exercise the error paths, and some corruptions (e.g.
+  // a duplicated "cycles" line) legitimately still parse.
+  EXPECT_GT(rejected, 100) << "fuzzer produced too few malformed inputs";
+  EXPECT_GT(parsed + rejected, 0);
+}
+
+}  // namespace
+}  // namespace scalemd

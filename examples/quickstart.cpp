@@ -5,7 +5,7 @@
 // Usage: quickstart [--kernel scalar|tiled|tiled+threads] [--threads N]
 //                   [--check]
 //        quickstart --backend=sim|threads|process [--pes N] [--threads N]
-//                   [--workers N] [--check]
+//                   [--workers N] [--full-elec] [--check]
 //        quickstart --backend=process --kill-worker W [--kill-after N]
 //                   [--checkpoint-every N] [--checkpoint-path FILE] [--check]
 //        quickstart --pes N [--fault-seed S | --fault-plan FILE]
@@ -22,6 +22,11 @@
 // over checksummed wire frames (src/rts/wire.*). All backends produce
 // bitwise-identical trajectories — that equivalence is pinned by
 // tests/test_backend_diff.cpp and tests/test_process_backend.cpp.
+//
+// --full-elec switches the backend demo to a charged salty-water preset and
+// arms full electrostatics: erfc-screened direct space plus the parallel
+// PME reciprocal solve (slab objects exchanging transpose messages in the
+// runtime; see tests/test_pme_parallel.cpp for the bitwise contract).
 //
 // With --backend=process, --kill-worker W SIGKILLs worker W mid-run (after
 // --kill-after N routed frames) to demonstrate real crash recovery: the
@@ -51,6 +56,7 @@
 #include "des/fault.hpp"
 #include "ff/nonbonded_tiled.hpp"
 #include "gen/presets.hpp"
+#include "gen/test_systems.hpp"
 #include "gen/water_box.hpp"
 #include "seq/engine.hpp"
 #include "seq/minimize.hpp"
@@ -63,7 +69,7 @@ int usage(const char* prog) {
                "usage: %s [--kernel scalar|tiled|tiled+threads] [--threads N]"
                " [--check]\n"
                "       %s --backend=sim|threads|process [--pes N] [--threads N]"
-               " [--workers N] [--check]\n"
+               " [--workers N] [--full-elec] [--check]\n"
                "       %s --backend=process --kill-worker W [--kill-after N]"
                " [--checkpoint-every N] [--checkpoint-path FILE] [--check]\n"
                "       %s --pes N [--fault-seed S | --fault-plan FILE]"
@@ -84,15 +90,35 @@ struct ProcessDemo {
 /// The backend demo: waterbox on the parallel runtime — DES, real threads,
 /// or forked worker processes (optionally with a chaos kill + recovery).
 int run_parallel(scalemd::BackendKind backend, int pes, int threads,
-                 const ProcessDemo& proc, bool check) {
+                 const ProcessDemo& proc, bool full_elec, bool check) {
   using namespace scalemd;
 
-  Molecule mol = make_water_box({16.0, 16.0, 16.0}, /*seed=*/11);
-  mol.assign_velocities(300.0, /*seed=*/101);
-  mol.suggested_patch_size = 8.0;
+  Molecule mol;
+  if (full_elec) {
+    // Net-neutral salty water: bare +-1 ions make the reciprocal sum earn
+    // its keep. Same preset as the "waterbox_ions" golden.
+    TestSystemOptions sys;
+    sys.kind = TestSystemKind::kWaterBox;
+    sys.box = {16.0, 16.0, 16.0};
+    sys.ion_pairs = 4;
+    sys.temperature = 300.0;
+    sys.seed = 11;
+    mol = make_test_system(sys);
+    mol.suggested_patch_size = 8.0;
+  } else {
+    mol = make_water_box({16.0, 16.0, 16.0}, /*seed=*/11);
+    mol.assign_velocities(300.0, /*seed=*/101);
+    mol.suggested_patch_size = 8.0;
+  }
   NonbondedOptions nb;
   nb.cutoff = 6.5;
   nb.switch_dist = 5.5;
+  if (full_elec) {
+    nb.full_elec.enabled = true;
+    nb.full_elec.alpha = 0.46;  // erfc(alpha * cutoff) ~ 1e-2 of the screen
+    nb.full_elec.grid_x = nb.full_elec.grid_y = nb.full_elec.grid_z = 16;
+    nb.full_elec.order = 4;
+  }
 
   const Workload workload(mol, MachineModel::asci_red(), nb);
   ParallelOptions opts;
@@ -110,8 +136,15 @@ int run_parallel(scalemd::BackendKind backend, int pes, int threads,
     opts.checkpoint_path = proc.checkpoint_path;
   }
   ParallelSim sim(workload, opts);
-  std::printf("system: waterbox, %d atoms on %d PEs, backend %s\n",
-              mol.atom_count(), pes, backend_name(backend));
+  std::printf("system: %s, %d atoms on %d PEs, backend %s\n",
+              full_elec ? "waterbox+ions" : "waterbox", mol.atom_count(), pes,
+              backend_name(backend));
+  if (full_elec) {
+    std::printf("full electrostatics: PME %dx%dx%d order %d, %d slab "
+                "object(s) in the runtime\n",
+                nb.full_elec.grid_x, nb.full_elec.grid_y, nb.full_elec.grid_z,
+                nb.full_elec.order, opts.pme.slabs);
+  }
   if (backend == BackendKind::kProcess) {
     std::printf("workers: %d forked processes", proc.workers);
     if (proc.kill_worker >= 0) {
@@ -126,6 +159,13 @@ int run_parallel(scalemd::BackendKind backend, int pes, int threads,
 
   InvariantOptions iopts;
   iopts.check_energy = false;  // a handful of steps; drift bound is for runs
+  if (full_elec) {
+    // PME mesh interpolation breaks exact force antisymmetry at the
+    // interpolation-error scale; rounding-level bounds would fire on
+    // correct physics (same rationale as the fuzz harness).
+    iopts.net_force_rel = 1e-3;
+    iopts.momentum_rel = 1e-2;
+  }
   InvariantChecker checker(iopts);
   if (check) checker.attach(sim);
 
@@ -252,6 +292,7 @@ int main(int argc, char** argv) {
   FaultPlan plan;
   ProcessDemo proc;
   bool have_ckpt_path = false;
+  bool full_elec = false;
   for (int i = 1; i < argc; ++i) {
     // --backend takes either "--backend=threads" or "--backend threads".
     const char* backend_arg = nullptr;
@@ -281,6 +322,8 @@ int main(int argc, char** argv) {
       threads = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--check") == 0) {
       check = true;
+    } else if (std::strcmp(argv[i], "--full-elec") == 0) {
+      full_elec = true;
     } else if (std::strcmp(argv[i], "--pes") == 0 && i + 1 < argc) {
       pes = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--fault-seed") == 0 && i + 1 < argc) {
@@ -332,7 +375,14 @@ int main(int argc, char** argv) {
       proc.checkpoint_every = checkpoint_every > 0 ? checkpoint_every : 1;
       if (!have_ckpt_path) proc.checkpoint_path = "quickstart.ckpt";
     }
-    return run_parallel(backend, pes > 0 ? pes : 8, threads, proc, check);
+    return run_parallel(backend, pes > 0 ? pes : 8, threads, proc, full_elec,
+                        check);
+  }
+  if (full_elec) {
+    std::fprintf(stderr,
+                 "--full-elec needs --backend=... (it demos the parallel PME "
+                 "pipeline)\n");
+    return 1;
   }
   if (pes > 0 || have_plan) {
     if (pes <= 0) pes = 8;

@@ -9,6 +9,7 @@
 
 #include "check/invariants.hpp"
 #include "gen/presets.hpp"
+#include "gen/test_systems.hpp"
 #include "gen/water_box.hpp"
 #include "seq/integrator.hpp"
 
@@ -332,6 +333,19 @@ Molecule make_golden_chain() {
   return m;
 }
 
+Molecule make_golden_waterbox_ions() {
+  // Salty water: net-neutral, but with bare +1/-1 ions the shifted-Coulomb
+  // truncation error is large enough that full electrostatics visibly
+  // matters — this is the preset behind every PME golden and differential.
+  TestSystemOptions o;
+  o.kind = TestSystemKind::kWaterBox;
+  o.box = {13.0, 13.0, 13.0};
+  o.ion_pairs = 4;
+  o.temperature = 300.0;
+  o.seed = 23;
+  return make_test_system(o);
+}
+
 EngineOptions waterbox_engine() {
   EngineOptions o;
   o.nonbonded.cutoff = 6.5;
@@ -348,11 +362,29 @@ EngineOptions chain_engine() {
   return o;
 }
 
+EngineOptions waterbox_ions_engine() {
+  EngineOptions o;
+  o.nonbonded.cutoff = 6.5;
+  o.nonbonded.switch_dist = 5.5;
+  // erfc(alpha * cutoff) ~ 1e-5 at alpha = 0.46: the real-space sum is
+  // converged at the cutoff, the usual PME operating point.
+  o.nonbonded.full_elec.enabled = true;
+  o.nonbonded.full_elec.alpha = 0.46;
+  o.nonbonded.full_elec.grid_x = 16;
+  o.nonbonded.full_elec.grid_y = 16;
+  o.nonbonded.full_elec.grid_z = 16;
+  o.nonbonded.full_elec.order = 4;
+  o.dt_fs = 1.0;
+  return o;
+}
+
 const GoldenSpec kSpecs[] = {
     {"waterbox", /*steps=*/4, /*record_every=*/2, waterbox_engine(),
      &make_golden_waterbox},
     {"chain", /*steps=*/4, /*record_every=*/2, chain_engine(),
      &make_golden_chain},
+    {"waterbox_ions", /*steps=*/4, /*record_every=*/2, waterbox_ions_engine(),
+     &make_golden_waterbox_ions},
 };
 
 }  // namespace
@@ -416,6 +448,8 @@ Trajectory record_parallel_trajectory(const GoldenSpec& spec,
   opts.process.kill_after_frames = popts.kill_after_frames;
   opts.checkpoint_every = popts.checkpoint_every;
   if (!popts.checkpoint_path.empty()) opts.checkpoint_path = popts.checkpoint_path;
+  opts.pme.slabs = popts.pme_slabs;
+  opts.pme.dedicated_ranks = popts.pme_dedicated_ranks;
 
   Workload wl(mol, opts.machine, nb);
   ParallelSim sim(wl, opts);

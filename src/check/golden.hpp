@@ -146,6 +146,11 @@ struct ParallelGoldenOptions {
   std::string checkpoint_path;
   int kill_worker = -1;
   std::uint64_t kill_after_frames = 0;
+  // Parallel-PME knobs (full-electrostatics specs only). The slab count is
+  // part of the numerics contract, so differential runs hold it fixed while
+  // sweeping everything else.
+  int pme_slabs = 4;
+  int pme_dedicated_ranks = 0;
 };
 
 /// Runs `spec` through ParallelSim (numeric mode) and records one frame at

@@ -9,6 +9,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "ewald/full_elec.hpp"
 #include "ff/bonded.hpp"
 #include "lb/diffusion.hpp"
 #include "lb/evacuate.hpp"
@@ -40,6 +41,10 @@ struct ParallelSim::PatchRt {
   /// recorded under the injected arrival-order defect (see ParallelOptions::
   /// debug_fold_arrival_order); empty otherwise.
   std::vector<int> arrival;
+  /// Full-electrostatics runs: per-slab PME force shares for the current
+  /// force round, assigned whole by on_pme_force and folded after the
+  /// compute contributions in slab order.
+  std::vector<std::vector<Vec3>> pme_frc;
 
   int natoms() const { return static_cast<int>(atoms.size()); }
 };
@@ -67,6 +72,25 @@ struct ParallelSim::ComputeRt {
   WorkCounters work;      ///< live-measured work (numeric mode)
 };
 
+/// Runtime state of one parallel-PME slab object. Every buffer is per-round
+/// transient: the PME pipeline is a per-step barrier (all patches deposit
+/// atoms before any slab spreads; all patches wait on every slab's force
+/// share before advancing), so by the time any step-(s+1) message can reach
+/// a slab its step-s state has been fully consumed — one set of buffers
+/// suffices, with no per-step keying.
+struct ParallelSim::PmeSlabRt {
+  int step = 0;             ///< local step currently assembling
+  int atoms_pending = 0;    ///< patch deposits yet to arrive this round
+  int fwd_pending = 0;      ///< forward transpose blocks yet to arrive
+  int bwd_pending = 0;      ///< backward transpose blocks yet to arrive
+  double recip_energy = 0.0;  ///< phase-2 reciprocal partial of this round
+  // Numeric mode only: per-patch position deposits, the assembled
+  // global-order snapshot, and the two grid chunks (plane / column roles).
+  std::vector<std::vector<Vec3>> patch_pos;
+  std::vector<Vec3> all_pos;
+  std::vector<std::complex<double>> planes, columns;
+};
+
 /// Coordinated in-memory checkpoint: everything needed to replay from a
 /// quiesced cycle boundary. Placement (patch_home/compute_pe) is captured
 /// too, so a restore rewinds any load balancing done since, and evacuation
@@ -78,6 +102,7 @@ struct ParallelSim::Checkpoint {
   std::vector<std::vector<int>> compute_deps;
   std::vector<int> patch_home;
   std::vector<int> compute_pe;
+  std::vector<int> slab_pe;  ///< PME slab placement (empty when PME is off)
   std::vector<double> reduction_totals;
   std::vector<EnergyTerms> potential_per_step;
   std::vector<double> step_completion;
@@ -196,14 +221,35 @@ ParallelSim::ParallelSim(const Workload& workload, const ParallelOptions& opts)
   e_reduction_ = reg.add("Reduction::combine", WorkCategory::kComm);
   e_migrate_ = reg.add("Migrate::recv", WorkCategory::kComm);
   e_checkpoint_ = reg.add("Checkpoint::store", WorkCategory::kComm);
+  if (wl_->nonbonded.full_elec.enabled) {
+    // Full electrostatics: S slab objects carry the reciprocal solve. The
+    // entries exist on every backend (the process wire needs their ids
+    // before setup_process_wire registers decoders).
+    assert(full_elec_error(wl_->nonbonded.full_elec) == nullptr &&
+           "invalid full-electrostatics options");
+    pme_plan_ = std::make_unique<PmeSlabPlan>(
+        mol_->box, to_pme_options(wl_->nonbonded.full_elec),
+        std::max(1, opts_.pme.slabs));
+    e_pme_atoms_ = reg.add("PmeSlab::recvAtoms", WorkCategory::kNonbonded);
+    e_pme_tr_fwd_ =
+        reg.add("PmeSlab::recvTransposeFwd", WorkCategory::kNonbonded);
+    e_pme_tr_bwd_ =
+        reg.add("PmeSlab::recvTransposeBwd", WorkCategory::kNonbonded);
+    e_pme_force_ = reg.add("Patch::recvPmeForces", WorkCategory::kComm);
+  }
   if (opts_.reliable) {
     assert(des_ != nullptr);
     reliable_ = std::make_unique<ReliableComm>(*des_, opts_.reliable_opts);
   }
   if (proc_ != nullptr) setup_process_wire();
 
+  // PME slabs are load-balancer objects too: their task records use ids
+  // just past the migratable computes (see load_balance).
   db_ = std::make_unique<LoadDatabase>(
-      static_cast<std::size_t>(wl_->plan.migratable_count()), opts_.num_pes);
+      static_cast<std::size_t>(wl_->plan.migratable_count()) +
+          (pme_plan_ != nullptr ? static_cast<std::size_t>(pme_plan_->slabs())
+                                : 0),
+      opts_.num_pes);
   sinks_.add(db_.get());
   exec_->set_sink(&sinks_);
 
@@ -236,6 +282,11 @@ ParallelSim::ParallelSim(const Workload& workload, const ParallelOptions& opts)
   computes_.resize(wl_->plan.computes().size());
   for (std::size_t i = 0; i < computes_.size(); ++i) {
     computes_[i].deps = wl_->plan.computes()[i].patches;
+  }
+
+  if (pme_plan_ != nullptr) {
+    pme_slabs_.resize(static_cast<std::size_t>(pme_plan_->slabs()));
+    pme_place_slabs();
   }
 
   build_initial_placement();
@@ -321,6 +372,11 @@ void ParallelSim::rebuild_dataflow() {
   for (std::size_t p = 0; p < patches_.size(); ++p) {
     patches_[p].contrib_expected =
         static_cast<int>(patch_proxy_ids_[p].size());
+    // Full electrostatics: the patch also waits for one force share from
+    // every PME slab each round.
+    if (pme_plan_ != nullptr) {
+      patches_[p].contrib_expected += pme_plan_->slabs();
+    }
     patches_[p].contrib_received = 0;
     if (opts_.numeric) {
       // Canonical fold order for the patch's force: every contributing
@@ -409,6 +465,12 @@ void ParallelSim::publish_coords(ExecContext& ctx, int patch) {
         return msg;
       },
       reliable_.get());
+
+  // Full electrostatics: deposit this patch's positions on every PME slab
+  // (with PME on, contrib_expected >= slabs > 0, so the empty-patch special
+  // case below stays dormant and even an empty patch is gated on the slab
+  // force shares).
+  if (pme_plan_ != nullptr) publish_pme_atoms(ctx, patch);
 
   // A patch no compute reads (e.g. an empty cube) must still advance.
   if (pr.contrib_expected == 0) {
@@ -692,6 +754,15 @@ void ParallelSim::advance(ExecContext& ctx, int patch) {
         for (std::size_t i = 0; i < pr.frc.size(); ++i) pr.frc[i] += src[i];
       }
     }
+    if (pme_plan_ != nullptr) {
+      // PME slab force shares fold after the compute contributions, in slab
+      // order — part of the same canonical order as the compute-id fold
+      // above, so placement and schedule still cannot change a bit.
+      for (const std::vector<Vec3>& blk : pr.pme_frc) {
+        assert(blk.size() == pr.frc.size() && "missing PME force share");
+        for (std::size_t i = 0; i < pr.frc.size(); ++i) pr.frc[i] += blk[i];
+      }
+    }
   }
   if (opts_.numeric) {
     const double kick_scale = s == static_cast<int>(cycle_target_) ? 0.5
@@ -725,6 +796,333 @@ void ParallelSim::advance(ExecContext& ctx, int patch) {
 }
 
 // ---------------------------------------------------------------------------
+// Parallel PME pipeline
+// ---------------------------------------------------------------------------
+//
+// Full-electrostatics runs add S slab objects to the machine, each a
+// first-class message-driven object with a home PE, placeable and migratable
+// like any compute. One force round runs a five-hop pipeline:
+//
+//   patches --atoms--> slabs   every patch deposits its positions on every
+//       slab (spreading is z-local but atoms are not sorted by z, so each
+//       slab needs the whole system). On the last deposit the slab spreads
+//       charge onto its z-planes in global atom order and 2D-FFTs them.
+//   slabs --fwd transpose--> slabs   S blocks re-lay the grid from z-planes
+//       into y-row columns; the column owner z-FFTs each line, applies the
+//       influence function (accumulating its reciprocal-energy partial in
+//       fixed order), inverse z-FFTs, and
+//   slabs --bwd transpose--> slabs   returns the blocks to the plane owners,
+//       which inverse 2D-FFT, gather each atom's force share from their
+//       planes, add their (slab mod S)-strided share of the exclusion
+//       corrections and Ewald self energy, and
+//   slabs --forces--> patches   one force share per patch; the patch folds
+//       the S shares in slab order after the compute contributions.
+//
+// Determinism: every slab computes a pure function of the step's positions,
+// every transpose block covers a disjoint grid region (insertion order
+// cannot matter), and every fold is in a fixed order — so trajectories are
+// bitwise identical across PE counts, placements, LB strategies and
+// backends. The slab count partitions the sums, so S *is* part of the
+// numerics contract and stays fixed across the differential matrix.
+//
+// The pipeline is a per-step barrier both ways (all patches feed all slabs,
+// all patches then wait on all slabs), so one set of per-slab buffers
+// suffices: no step-(s+1) message can reach a slab before its step-s state
+// has been fully consumed.
+
+void ParallelSim::pme_place_slabs() {
+  const int s_count = pme_plan_->slabs();
+  slab_pe_.resize(static_cast<std::size_t>(s_count));
+  const int dedicated = std::min(opts_.pme.dedicated_ranks, opts_.num_pes);
+  for (int s = 0; s < s_count; ++s) {
+    if (dedicated > 0) {
+      // Dedicated-PME-ranks mode (the trade-off NAMD weighs for its
+      // reciprocal work): slabs pinned round-robin onto the last
+      // `dedicated` PEs and excluded from load balancing.
+      slab_pe_[static_cast<std::size_t>(s)] =
+          opts_.num_pes - dedicated + (s % dedicated);
+    } else {
+      slab_pe_[static_cast<std::size_t>(s)] = s % opts_.num_pes;
+    }
+  }
+}
+
+double ParallelSim::pme_phase_cost(int slab, int phase) const {
+  const MachineModel& m = opts_.machine;
+  const PmeOptions& o = pme_plan_->options();
+  const double stencil_work =
+      static_cast<double>(mol_->atom_count()) *
+      std::pow(static_cast<double>(o.order), 3.0) /
+      static_cast<double>(pme_plan_->slabs());
+  const double lx = std::log2(static_cast<double>(o.grid_x));
+  const double ly = std::log2(static_cast<double>(o.grid_y));
+  const double lz = std::log2(static_cast<double>(o.grid_z));
+  const double plane_fft =
+      static_cast<double>(pme_plan_->plane_points(slab)) * (lx + ly) *
+      m.fft_point_cost;
+  switch (phase) {
+    case 0:  // spread + forward 2D FFT
+      return stencil_work * m.pme_spread_cost + plane_fft;
+    case 1:  // z FFT + influence multiply + inverse z FFT
+      return static_cast<double>(pme_plan_->column_points(slab)) *
+             (2.0 * lz + 1.0) * m.fft_point_cost;
+    default:  // inverse 2D FFT + gather
+      return plane_fft + stencil_work * m.pme_spread_cost;
+  }
+}
+
+void ParallelSim::publish_pme_atoms(ExecContext& ctx, int patch) {
+  PatchRt& pr = patches_[static_cast<std::size_t>(patch)];
+  const int home = patch_home_[static_cast<std::size_t>(patch)];
+  const int step = pr.step;
+  const std::size_t bytes = static_cast<std::size_t>(opts_.msg_header_bytes) +
+                            static_cast<std::size_t>(pr.natoms()) *
+                                static_cast<std::size_t>(opts_.bytes_per_atom_coord);
+  const std::uint64_t obj_base =
+      static_cast<std::uint64_t>(wl_->plan.migratable_count()) + 1;
+  for (int s = 0; s < pme_plan_->slabs(); ++s) {
+    const int pe = slab_pe_[static_cast<std::size_t>(s)];
+    TaskMsg msg;
+    msg.entry = e_pme_atoms_;
+    msg.priority = -1;
+    msg.bytes = bytes;
+    msg.object = obj_base + static_cast<std::uint64_t>(s);
+    // A slab in another worker process cannot read the home replica; ship
+    // the positions themselves. In-process slabs copy from the replica at
+    // handler time, which is safe because the patch cannot advance past
+    // this step until the slab's force share comes back.
+    if (proc_ != nullptr && proc_->owner_of(pe) != proc_->owner_of(home)) {
+      msg.has_wire = true;
+      msg.wire.ints = {s, patch, step};
+      msg.wire.reals.reserve(pr.pos.size() * 3);
+      for (const Vec3& v : pr.pos) {
+        msg.wire.reals.push_back(v.x);
+        msg.wire.reals.push_back(v.y);
+        msg.wire.reals.push_back(v.z);
+      }
+    }
+    msg.fn = [this, s, patch, step, bytes](ExecContext& c) {
+      c.charge_pack(static_cast<double>(bytes) * c.machine().unpack_byte_cost);
+      on_pme_atoms(c, s, patch, step, nullptr);
+    };
+    if (pe != home) {
+      ctx.charge_pack(static_cast<double>(bytes) * ctx.machine().pack_byte_cost);
+    }
+    rsend(ctx, pe, std::move(msg));
+  }
+}
+
+void ParallelSim::on_pme_atoms(ExecContext& ctx, int slab, int patch, int step,
+                               const std::vector<double>* wire_pos) {
+  PmeSlabRt& rt = pme_slabs_[static_cast<std::size_t>(slab)];
+  assert(step == rt.step && "PME deposit for a round the slab is not in");
+  (void)step;
+  if (opts_.numeric) {
+    std::vector<Vec3>& buf = rt.patch_pos[static_cast<std::size_t>(patch)];
+    if (wire_pos != nullptr) {
+      buf.resize(wire_pos->size() / 3);
+      for (std::size_t i = 0; i < buf.size(); ++i) {
+        buf[i] = {(*wire_pos)[3 * i], (*wire_pos)[3 * i + 1],
+                  (*wire_pos)[3 * i + 2]};
+      }
+    } else {
+      buf = patches_[static_cast<std::size_t>(patch)].pos;
+    }
+  }
+  if (--rt.atoms_pending > 0) return;
+  rt.atoms_pending = static_cast<int>(patches_.size());
+  pme_spread_and_transpose(ctx, slab);
+}
+
+void ParallelSim::pme_spread_and_transpose(ExecContext& ctx, int slab) {
+  PmeSlabRt& rt = pme_slabs_[static_cast<std::size_t>(slab)];
+  if (ctx.models_cost()) ctx.charge(noisy(pme_phase_cost(slab, 0)));
+  if (opts_.numeric) {
+    // Assemble the positions in global atom order — the order the
+    // sequential Pme spreads in, so the grid values match it bitwise.
+    rt.all_pos.resize(static_cast<std::size_t>(mol_->atom_count()));
+    for (std::size_t p = 0; p < patches_.size(); ++p) {
+      const std::vector<int>& atoms = patches_[p].atoms;
+      for (std::size_t i = 0; i < atoms.size(); ++i) {
+        rt.all_pos[static_cast<std::size_t>(atoms[i])] = rt.patch_pos[p][i];
+      }
+    }
+    std::fill(rt.planes.begin(), rt.planes.end(), std::complex<double>{});
+    pme_plan_->spread(slab, rt.all_pos, charges_, rt.planes);
+    pme_plan_->plane_fft(slab, rt.planes, /*inverse=*/false);
+  }
+  const std::uint64_t obj_base =
+      static_cast<std::uint64_t>(wl_->plan.migratable_count()) + 1;
+  for (int dst = 0; dst < pme_plan_->slabs(); ++dst) {
+    const int pe = slab_pe_[static_cast<std::size_t>(dst)];
+    const std::size_t bytes =
+        static_cast<std::size_t>(opts_.msg_header_bytes) +
+        pme_plan_->block_doubles(slab, dst) * sizeof(double);
+    TaskMsg msg;
+    msg.entry = e_pme_tr_fwd_;
+    msg.priority = -1;
+    msg.bytes = bytes;
+    msg.object = obj_base + static_cast<std::uint64_t>(dst);
+    std::vector<double> block;
+    if (opts_.numeric) block = pme_plan_->extract_fwd(slab, dst, rt.planes);
+    if (proc_ != nullptr &&
+        proc_->owner_of(pe) !=
+            proc_->owner_of(slab_pe_[static_cast<std::size_t>(slab)])) {
+      msg.has_wire = true;
+      msg.wire.ints = {dst, slab};
+      msg.wire.reals = block;
+    }
+    msg.fn = [this, dst, slab, bytes,
+              block = std::move(block)](ExecContext& c) {
+      c.charge_pack(static_cast<double>(bytes) * c.machine().unpack_byte_cost);
+      on_pme_fwd(c, dst, slab, block);
+    };
+    if (pe != ctx.pe()) {
+      ctx.charge_pack(static_cast<double>(bytes) * ctx.machine().pack_byte_cost);
+    }
+    rsend(ctx, pe, std::move(msg));
+  }
+}
+
+void ParallelSim::on_pme_fwd(ExecContext& ctx, int slab, int src,
+                             const std::vector<double>& block) {
+  PmeSlabRt& rt = pme_slabs_[static_cast<std::size_t>(slab)];
+  if (opts_.numeric) pme_plan_->insert_fwd(src, slab, block, rt.columns);
+  if (--rt.fwd_pending > 0) return;
+  rt.fwd_pending = pme_plan_->slabs();
+  pme_convolve_and_return(ctx, slab);
+}
+
+void ParallelSim::pme_convolve_and_return(ExecContext& ctx, int slab) {
+  PmeSlabRt& rt = pme_slabs_[static_cast<std::size_t>(slab)];
+  if (ctx.models_cost()) ctx.charge(noisy(pme_phase_cost(slab, 1)));
+  if (opts_.numeric) rt.recip_energy = pme_plan_->convolve(slab, rt.columns);
+  const std::uint64_t obj_base =
+      static_cast<std::uint64_t>(wl_->plan.migratable_count()) + 1;
+  for (int dst = 0; dst < pme_plan_->slabs(); ++dst) {
+    const int pe = slab_pe_[static_cast<std::size_t>(dst)];
+    // The backward block dst <- slab covers the same grid region as the
+    // forward block dst -> slab, so it has the same size.
+    const std::size_t bytes =
+        static_cast<std::size_t>(opts_.msg_header_bytes) +
+        pme_plan_->block_doubles(dst, slab) * sizeof(double);
+    TaskMsg msg;
+    msg.entry = e_pme_tr_bwd_;
+    msg.priority = -1;
+    msg.bytes = bytes;
+    msg.object = obj_base + static_cast<std::uint64_t>(dst);
+    std::vector<double> block;
+    if (opts_.numeric) block = pme_plan_->extract_bwd(slab, dst, rt.columns);
+    if (proc_ != nullptr &&
+        proc_->owner_of(pe) !=
+            proc_->owner_of(slab_pe_[static_cast<std::size_t>(slab)])) {
+      msg.has_wire = true;
+      msg.wire.ints = {dst, slab};
+      msg.wire.reals = block;
+    }
+    msg.fn = [this, dst, slab, bytes,
+              block = std::move(block)](ExecContext& c) {
+      c.charge_pack(static_cast<double>(bytes) * c.machine().unpack_byte_cost);
+      on_pme_bwd(c, dst, slab, block);
+    };
+    if (pe != ctx.pe()) {
+      ctx.charge_pack(static_cast<double>(bytes) * ctx.machine().pack_byte_cost);
+    }
+    rsend(ctx, pe, std::move(msg));
+  }
+}
+
+void ParallelSim::on_pme_bwd(ExecContext& ctx, int slab, int src,
+                             const std::vector<double>& block) {
+  PmeSlabRt& rt = pme_slabs_[static_cast<std::size_t>(slab)];
+  if (opts_.numeric) pme_plan_->insert_bwd(src, slab, block, rt.planes);
+  if (--rt.bwd_pending > 0) return;
+  rt.bwd_pending = pme_plan_->slabs();
+  pme_gather_and_send(ctx, slab);
+}
+
+void ParallelSim::pme_gather_and_send(ExecContext& ctx, int slab) {
+  PmeSlabRt& rt = pme_slabs_[static_cast<std::size_t>(slab)];
+  if (ctx.models_cost()) ctx.charge(noisy(pme_phase_cost(slab, 2)));
+  std::vector<Vec3> all_frc;
+  if (opts_.numeric) {
+    pme_plan_->plane_fft(slab, rt.planes, /*inverse=*/true);
+    all_frc.assign(static_cast<std::size_t>(mol_->atom_count()), Vec3{});
+    pme_plan_->gather(slab, rt.all_pos, charges_, rt.planes, all_frc);
+    // This slab's deterministic share of the terms the grid sum does not
+    // carry: the strided self energy and exclusion corrections (their
+    // forces land in all_frc by global id, riding the same force shares).
+    const double alpha = wl_->nonbonded.full_elec.alpha;
+    double e = rt.recip_energy;
+    e += ewald_self_energy_strided(alpha, charges_, slab, pme_plan_->slabs());
+    e += full_elec_exclusion_corrections(excl_, mol_->params, alpha, charges_,
+                                         rt.all_pos, all_frc, slab,
+                                         pme_plan_->slabs());
+    // Assignment, not += — fault replay of the round stays idempotent.
+    pme_scratch_[static_cast<std::size_t>(slab) *
+                     static_cast<std::size_t>(cycle_target_ + 1) +
+                 static_cast<std::size_t>(rt.step)] = e;
+  }
+  const int step = rt.step;
+  for (std::size_t p = 0; p < patches_.size(); ++p) {
+    const int patch = static_cast<int>(p);
+    const int home = patch_home_[p];
+    const std::size_t bytes =
+        static_cast<std::size_t>(opts_.msg_header_bytes) +
+        patches_[p].atoms.size() *
+            static_cast<std::size_t>(opts_.bytes_per_atom_force);
+    std::vector<Vec3> frc;
+    if (opts_.numeric) {
+      frc.reserve(patches_[p].atoms.size());
+      for (int a : patches_[p].atoms) {
+        frc.push_back(all_frc[static_cast<std::size_t>(a)]);
+      }
+    }
+    TaskMsg msg;
+    msg.entry = e_pme_force_;
+    msg.priority = -2;
+    msg.bytes = bytes;
+    if (proc_ != nullptr &&
+        proc_->owner_of(home) !=
+            proc_->owner_of(slab_pe_[static_cast<std::size_t>(slab)])) {
+      msg.has_wire = true;
+      msg.wire.ints = {patch, slab, step};
+      msg.wire.reals.reserve(frc.size() * 3);
+      for (const Vec3& v : frc) {
+        msg.wire.reals.push_back(v.x);
+        msg.wire.reals.push_back(v.y);
+        msg.wire.reals.push_back(v.z);
+      }
+    }
+    msg.fn = [this, patch, slab, bytes,
+              frc = std::move(frc)](ExecContext& c) mutable {
+      c.charge_pack(static_cast<double>(bytes) * c.machine().unpack_byte_cost);
+      on_pme_force(c, patch, slab, std::move(frc));
+    };
+    if (home != ctx.pe()) {
+      ctx.charge_pack(static_cast<double>(bytes) * ctx.machine().pack_byte_cost);
+    }
+    rsend(ctx, home, std::move(msg));
+  }
+  // Round complete: rearm for the next step. The per-step barrier
+  // guarantees no next-round message has arrived yet, and the grid chunks
+  // need no zeroing (spread zeroes planes first; every transpose insertion
+  // fully overwrites its region).
+  rt.step += 1;
+  rt.recip_energy = 0.0;
+}
+
+void ParallelSim::on_pme_force(ExecContext& ctx, int patch, int slab,
+                               std::vector<Vec3> frc) {
+  if (opts_.numeric) {
+    PatchRt& pr = patches_[static_cast<std::size_t>(patch)];
+    assert(frc.size() == pr.atoms.size());
+    pr.pme_frc[static_cast<std::size_t>(slab)] = std::move(frc);
+  }
+  on_contribution(ctx, patch, -1);
+}
+
+// ---------------------------------------------------------------------------
 // Cycle and benchmark control
 // ---------------------------------------------------------------------------
 
@@ -741,6 +1139,30 @@ void ParallelSim::attempt_cycle(int steps) {
     potential_scratch_.assign(
         computes_.size() * static_cast<std::size_t>(steps + 1), EnergyTerms{});
   }
+  if (pme_plan_ != nullptr) {
+    // Reset every slab for the cycle. A replayed cycle (fault recovery)
+    // resets the same way, and the per-(slab, step) energy slots below are
+    // written by assignment, so replay stays idempotent.
+    const int s_count = pme_plan_->slabs();
+    if (opts_.numeric) {
+      pme_scratch_.assign(static_cast<std::size_t>(s_count) *
+                              static_cast<std::size_t>(steps + 1),
+                          0.0);
+    }
+    for (int s = 0; s < s_count; ++s) {
+      PmeSlabRt& rt = pme_slabs_[static_cast<std::size_t>(s)];
+      rt.step = 0;
+      rt.atoms_pending = static_cast<int>(patches_.size());
+      rt.fwd_pending = s_count;
+      rt.bwd_pending = s_count;
+      rt.recip_energy = 0.0;
+      if (opts_.numeric) {
+        rt.patch_pos.assign(patches_.size(), {});
+        rt.planes.assign(pme_plan_->plane_points(s), {});
+        rt.columns.assign(pme_plan_->column_points(s), {});
+      }
+    }
+  }
 
   const double t0 = exec_->time();
   for (std::size_t p = 0; p < patches_.size(); ++p) {
@@ -749,6 +1171,9 @@ void ParallelSim::attempt_cycle(int steps) {
     pr.contrib_received = 0;
     pr.arrival.clear();
     if (opts_.numeric) std::fill(pr.frc.begin(), pr.frc.end(), Vec3{});
+    if (opts_.numeric && pme_plan_ != nullptr) {
+      pr.pme_frc.assign(pme_slabs_.size(), {});
+    }
     TaskMsg msg;
     msg.entry = e_advance_;
     msg.priority = -3;
@@ -781,6 +1206,15 @@ void ParallelSim::attempt_cycle(int steps) {
       for (std::size_t c = 0; c < computes_.size(); ++c) {
         sum += potential_scratch_[c * static_cast<std::size_t>(steps + 1) +
                                   static_cast<std::size_t>(s)];
+      }
+      if (pme_plan_ != nullptr) {
+        // Reciprocal-sum partials (plus each slab's share of the self and
+        // exclusion corrections) fold after the compute terms, in slab
+        // order — the canonical position of PME in the energy sum.
+        for (std::size_t sl = 0; sl < pme_slabs_.size(); ++sl) {
+          sum.elec += pme_scratch_[sl * static_cast<std::size_t>(steps + 1) +
+                                   static_cast<std::size_t>(s)];
+        }
       }
       potential_per_step_[static_cast<std::size_t>(step_base_ + s)] = sum;
     }
@@ -875,6 +1309,7 @@ void ParallelSim::snapshot_to(Checkpoint& c) const {
   }
   c.patch_home = patch_home_;
   c.compute_pe = compute_pe_;
+  c.slab_pe = slab_pe_;
   c.reduction_totals = reduction_totals_;
   c.potential_per_step = potential_per_step_;
   c.step_completion = step_completion_;
@@ -959,6 +1394,7 @@ void ParallelSim::apply_checkpoint(const Checkpoint& c) {
   }
   patch_home_ = c.patch_home;
   compute_pe_ = c.compute_pe;
+  slab_pe_ = c.slab_pe;
   reduction_totals_ = c.reduction_totals;
   potential_per_step_ = c.potential_per_step;
   step_completion_ = c.step_completion;
@@ -1147,6 +1583,100 @@ void ParallelSim::setup_process_wire() {
     };
   });
 
+  // PME frames (full-electrostatics runs only; the entries are registered
+  // before this point whenever pme_plan_ exists, so registering the
+  // decoders unconditionally on pme_plan_ is safe).
+  if (pme_plan_ != nullptr) {
+    // Atom deposit crossing a worker boundary: the slab's worker cannot
+    // read the patch replica, so positions ride the wire and land in the
+    // slab's own per-patch buffer (never the replica — that belongs to the
+    // coordinate path). ints = [slab, patch, step], reals = positions.
+    proc_->register_decoder(e_pme_atoms_, [this](const WirePayload& w) -> TaskFn {
+      return [this, w](ExecContext& c) {
+        if (w.ints.size() != 3) wire_state_error("bad pme atoms header");
+        const int slab = static_cast<int>(w.ints[0]);
+        const int patch = static_cast<int>(w.ints[1]);
+        if (slab < 0 || static_cast<std::size_t>(slab) >= pme_slabs_.size() ||
+            patch < 0 || static_cast<std::size_t>(patch) >= patches_.size()) {
+          wire_state_error("pme atoms target out of range");
+        }
+        if (w.reals.size() !=
+            patches_[static_cast<std::size_t>(patch)].atoms.size() * 3) {
+          wire_state_error("pme atoms payload size mismatch");
+        }
+        c.charge_pack(
+            static_cast<double>(
+                static_cast<std::size_t>(opts_.msg_header_bytes) +
+                patches_[static_cast<std::size_t>(patch)].atoms.size() *
+                    static_cast<std::size_t>(opts_.bytes_per_atom_coord)) *
+            c.machine().unpack_byte_cost);
+        on_pme_atoms(c, slab, patch, static_cast<int>(w.ints[2]), &w.reals);
+      };
+    });
+
+    // Transpose blocks. ints = [dst slab, src slab], reals = the block.
+    const auto transpose_decoder = [this](bool forward) {
+      return [this, forward](const WirePayload& w) -> TaskFn {
+        return [this, forward, w](ExecContext& c) {
+          if (w.ints.size() != 2) wire_state_error("bad pme transpose header");
+          const int dst = static_cast<int>(w.ints[0]);
+          const int src = static_cast<int>(w.ints[1]);
+          if (dst < 0 || static_cast<std::size_t>(dst) >= pme_slabs_.size() ||
+              src < 0 || static_cast<std::size_t>(src) >= pme_slabs_.size()) {
+            wire_state_error("pme transpose slab out of range");
+          }
+          const std::size_t doubles = forward
+                                          ? pme_plan_->block_doubles(src, dst)
+                                          : pme_plan_->block_doubles(dst, src);
+          if (w.reals.size() != doubles) {
+            wire_state_error("pme transpose block size mismatch");
+          }
+          c.charge_pack(
+              static_cast<double>(
+                  static_cast<std::size_t>(opts_.msg_header_bytes) +
+                  doubles * sizeof(double)) *
+              c.machine().unpack_byte_cost);
+          if (forward) {
+            on_pme_fwd(c, dst, src, w.reals);
+          } else {
+            on_pme_bwd(c, dst, src, w.reals);
+          }
+        };
+      };
+    };
+    proc_->register_decoder(e_pme_tr_fwd_, transpose_decoder(true));
+    proc_->register_decoder(e_pme_tr_bwd_, transpose_decoder(false));
+
+    // Force shares back to the patch home. ints = [patch, slab, step],
+    // reals = the per-atom force block.
+    proc_->register_decoder(e_pme_force_, [this](const WirePayload& w) -> TaskFn {
+      return [this, w](ExecContext& c) {
+        if (w.ints.size() != 3) wire_state_error("bad pme force header");
+        const int patch = static_cast<int>(w.ints[0]);
+        const int slab = static_cast<int>(w.ints[1]);
+        if (patch < 0 || static_cast<std::size_t>(patch) >= patches_.size() ||
+            slab < 0 || static_cast<std::size_t>(slab) >= pme_slabs_.size()) {
+          wire_state_error("pme force target out of range");
+        }
+        const std::size_t natoms =
+            patches_[static_cast<std::size_t>(patch)].atoms.size();
+        if (w.reals.size() != natoms * 3) {
+          wire_state_error("pme force payload size mismatch");
+        }
+        std::vector<Vec3> frc(natoms);
+        for (std::size_t i = 0; i < natoms; ++i) {
+          frc[i] = {w.reals[3 * i], w.reals[3 * i + 1], w.reals[3 * i + 2]};
+        }
+        c.charge_pack(
+            static_cast<double>(
+                static_cast<std::size_t>(opts_.msg_header_bytes) +
+                natoms * static_cast<std::size_t>(opts_.bytes_per_atom_force)) *
+            c.machine().unpack_byte_cost);
+        on_pme_force(c, patch, slab, std::move(frc));
+      };
+    });
+  }
+
   proc_->set_state_hooks(
       [this](int worker, int workers) {
         (void)workers;
@@ -1218,6 +1748,24 @@ std::vector<std::uint8_t> ParallelSim::flush_worker_state(int worker,
   } else {
     e.u8(0);
   }
+
+  // PME energy rows of the slabs homed on this worker (forces already
+  // arrived at the patch workers through the wire; the per-(slab, step)
+  // energy partials live only on the slab's own worker).
+  if (pme_plan_ != nullptr) {
+    std::uint64_t owned_slabs = 0;
+    for (std::size_t s = 0; s < slab_pe_.size(); ++s) {
+      if (proc_->owner_of(slab_pe_[s]) == worker) ++owned_slabs;
+    }
+    e.u64(owned_slabs);
+    for (std::size_t s = 0; s < slab_pe_.size(); ++s) {
+      if (proc_->owner_of(slab_pe_[s]) != worker) continue;
+      e.i64(static_cast<std::int64_t>(s));
+      for (std::size_t st = 0; st < row; ++st) {
+        e.f64(pme_scratch_[s * row + st]);
+      }
+    }
+  }
   return e.take();
 }
 
@@ -1283,6 +1831,22 @@ void ParallelSim::merge_worker_state(int worker, const std::vector<std::uint8_t>
       }
     }
   }
+  if (pme_plan_ != nullptr) {
+    std::uint64_t owned_slabs = 0;
+    if (!d.u64(owned_slabs)) wire_state_error("truncated state blob");
+    for (std::uint64_t k = 0; k < owned_slabs; ++k) {
+      std::int64_t s = 0;
+      if (!d.i64(s) || s < 0 ||
+          static_cast<std::size_t>(s) >= pme_slabs_.size()) {
+        wire_state_error("bad pme slab record");
+      }
+      for (std::size_t st = 0; st < row; ++st) {
+        if (!d.f64(pme_scratch_[static_cast<std::size_t>(s) * row + st])) {
+          wire_state_error("truncated pme slab record");
+        }
+      }
+    }
+  }
   if (!d.done()) wire_state_error("trailing bytes in state blob");
 }
 
@@ -1329,6 +1893,8 @@ std::vector<std::uint8_t> ParallelSim::encode_checkpoint(const Checkpoint& c) co
   e.u64(rs.seed);
   e.u8(rs.has_cached_normal ? 1 : 0);
   e.f64(rs.cached_normal);
+  e.u64(c.slab_pe.size());
+  for (int pe : c.slab_pe) e.i64(pe);
   return e.take();
 }
 
@@ -1435,6 +2001,10 @@ void ParallelSim::decode_checkpoint(const std::vector<std::uint8_t>& blob,
   }
   rs.has_cached_normal = cached != 0;
   c.noise_rng.set_state(rs);
+  read_ints(c.slab_pe, "bad checkpoint slab_pe");
+  if (c.slab_pe.size() != slab_pe_.size()) {
+    wire_state_error("checkpoint slab count mismatch");
+  }
   if (!d.done()) wire_state_error("trailing bytes in checkpoint");
 }
 
@@ -1468,6 +2038,21 @@ void ParallelSim::evacuate_failed_pes(const std::vector<int>& dead) {
     }
     assert(best >= 0 && "all PEs failed — nothing to evacuate onto");
     patch_home_[p] = best;
+  }
+
+  // 1b. PME slabs on dead PEs are re-homed round-robin over the survivors.
+  //     Deterministic, and nothing moves with them: slab state is per-cycle
+  //     transient and every replay rebuilds it from scratch.
+  if (pme_plan_ != nullptr) {
+    std::vector<int> live;
+    for (int pe = 0; pe < opts_.num_pes; ++pe) {
+      if (!is_dead[static_cast<std::size_t>(pe)]) live.push_back(pe);
+    }
+    for (std::size_t s = 0; s < slab_pe_.size(); ++s) {
+      if (is_dead[static_cast<std::size_t>(slab_pe_[s])]) {
+        slab_pe_[s] = live[s % live.size()];
+      }
+    }
   }
 
   // 2. Non-migratable computes are pinned to their base patch's home,
@@ -1555,6 +2140,20 @@ void ParallelSim::load_balance(bool refine_only) {
     problem.objects.push_back(o);
     object_compute.push_back(static_cast<int>(i));
   }
+  // PME slabs are ordinary migratable objects (patch-less: every strategy
+  // treats patch_a = -1 as "no communication affinity"), priced from the
+  // same measurement database via their task records. Dedicated-ranks mode
+  // pins them instead. object_compute encodes slab s as -1 - s.
+  if (pme_plan_ != nullptr && opts_.pme.dedicated_ranks <= 0) {
+    for (int s = 0; s < pme_plan_->slabs(); ++s) {
+      LbObject o;
+      o.load = db_->object_load(static_cast<std::uint32_t>(
+          wl_->plan.migratable_count() + s));
+      o.current_pe = slab_pe_[static_cast<std::size_t>(s)];
+      problem.objects.push_back(o);
+      object_compute.push_back(-1 - s);
+    }
+  }
 
   LbAssignment map;
   switch (opts_.lb.kind) {
@@ -1594,10 +2193,18 @@ void ParallelSim::load_balance(bool refine_only) {
   const double t0 = exec_->time();
   for (std::size_t j = 0; j < map.size(); ++j) {
     const int compute = object_compute[j];
-    const int old_pe = compute_pe_[static_cast<std::size_t>(compute)];
+    int old_pe;
     const int new_pe = map[j];
-    if (old_pe == new_pe) continue;
-    compute_pe_[static_cast<std::size_t>(compute)] = new_pe;
+    if (compute < 0) {
+      const auto slab = static_cast<std::size_t>(-1 - compute);
+      old_pe = slab_pe_[slab];
+      if (old_pe == new_pe) continue;
+      slab_pe_[slab] = new_pe;
+    } else {
+      old_pe = compute_pe_[static_cast<std::size_t>(compute)];
+      if (old_pe == new_pe) continue;
+      compute_pe_[static_cast<std::size_t>(compute)] = new_pe;
+    }
     if (proc_ != nullptr) continue;
     TaskMsg msg;
     msg.entry = e_migrate_;

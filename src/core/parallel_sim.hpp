@@ -12,6 +12,7 @@
 #include "core/work_cache.hpp"
 #include "des/fault.hpp"
 #include "des/simulator.hpp"
+#include "ewald/pme_slab.hpp"
 #include "ff/nonbonded.hpp"
 #include "ff/nonbonded_tiled.hpp"
 #include "lb/database.hpp"
@@ -56,6 +57,23 @@ struct Workload {
   WorkCache work;
 };
 
+/// Placement knobs for the parallel PME slab objects. Active only when the
+/// workload's NonbondedOptions::full_elec is enabled; the grid geometry and
+/// spline order come from there so the parallel path can never drift from
+/// the sequential reference physics.
+struct ParallelPmeOptions {
+  /// Number of PME slab objects. The slab count partitions the gather, the
+  /// reciprocal-energy sum and the exclusion-correction work, so it is part
+  /// of the numerics contract: hold it fixed while sweeping PE counts, LB
+  /// strategies and backends and trajectories stay bitwise identical.
+  int slabs = 4;
+  /// 0 (default): slabs start round-robin across all PEs and migrate under
+  /// load balancing like any other object. > 0: slabs are pinned round-robin
+  /// onto the last `dedicated_ranks` PEs and excluded from LB — the
+  /// dedicated-PME-ranks ablation (see EXPERIMENTS.md).
+  int dedicated_ranks = 0;
+};
+
 struct ParallelOptions {
   int num_pes = 1;
   MachineModel machine = MachineModel::asci_red();
@@ -84,6 +102,8 @@ struct ParallelOptions {
   /// forfeits the paper's locality-seeded starting point.
   std::shared_ptr<const std::vector<int>> initial_patch_home;
   LbPolicy lb;
+  /// Parallel PME slab placement (used when the workload enables full_elec).
+  ParallelPmeOptions pme;
   /// Use the single-packing multicast of section 4.2.3.
   bool optimized_multicast = true;
   /// Execute real force math and integration (tests / short runs). When
@@ -246,10 +266,17 @@ class ParallelSim {
   /// Reliable-delivery layer, if enabled (nullptr otherwise).
   const ReliableComm* reliable() const { return reliable_.get(); }
 
+  /// True when the workload runs full electrostatics and this sim therefore
+  /// hosts parallel PME slab objects.
+  bool pme_enabled() const { return pme_plan_ != nullptr; }
+  /// Home PE of every PME slab object (empty when PME is off).
+  const std::vector<int>& slab_pe() const { return slab_pe_; }
+
  private:
   struct PatchRt;
   struct ProxyRt;
   struct ComputeRt;
+  struct PmeSlabRt;
   struct Checkpoint;
 
   void build_initial_placement();
@@ -264,6 +291,37 @@ class ParallelSim {
   void on_contribution(ExecContext& ctx, int patch, int from_proxy);
   void advance(ExecContext& ctx, int patch);
   void migrate_atoms();
+  // --- parallel PME pipeline (see the "Parallel PME" section in the .cpp) --
+  /// Initial slab placement: round-robin over all PEs, or pinned onto the
+  /// last `pme.dedicated_ranks` PEs.
+  void pme_place_slabs();
+  /// Patch-side: one atoms message per slab, sent alongside the coordinate
+  /// multicast every force round.
+  void publish_pme_atoms(ExecContext& ctx, int patch);
+  /// Slab phase 1 trigger: buffers the patch's positions (`wire_pos` when
+  /// the message crossed a worker boundary, else read from the replica);
+  /// when all patches deposited, spreads + 2D FFTs + sends forward blocks.
+  void on_pme_atoms(ExecContext& ctx, int slab, int patch, int step,
+                    const std::vector<double>* wire_pos);
+  void pme_spread_and_transpose(ExecContext& ctx, int slab);
+  /// Slab phase 2: collects forward transpose blocks; when all S arrived,
+  /// z-FFT + influence convolution (energy partial) + inverse z-FFT, then
+  /// sends backward blocks.
+  void on_pme_fwd(ExecContext& ctx, int slab, int src,
+                  const std::vector<double>& block);
+  void pme_convolve_and_return(ExecContext& ctx, int slab);
+  /// Slab phase 3: collects backward blocks; when all S arrived, inverse
+  /// 2D FFT + force gather + this slab's exclusion-correction and
+  /// self-energy shares, then one force message per patch.
+  void on_pme_bwd(ExecContext& ctx, int slab, int src,
+                  const std::vector<double>& block);
+  void pme_gather_and_send(ExecContext& ctx, int slab);
+  /// Patch-side: adopts one slab's force share; counts as a contribution.
+  void on_pme_force(ExecContext& ctx, int patch, int slab,
+                    std::vector<Vec3> frc);
+  /// Modeled DES cost of one slab task phase (identical in numeric and
+  /// frozen mode, so frozen-mode benchmarks price PME realistically).
+  double pme_phase_cost(int slab, int phase) const;
   int proxy_index(int patch, int pe) const;
   /// Applies the machine's multiplicative task-time noise to a cost.
   double noisy(double cost);
@@ -320,6 +378,9 @@ class ParallelSim {
   // Entry ids.
   EntryId e_advance_, e_coords_, e_forces_, e_self_, e_pair_, e_bonded_intra_,
       e_bonded_inter_, e_reduction_, e_migrate_, e_checkpoint_;
+  // Parallel PME entries (registered only when the workload enables
+  // full_elec; see the "Parallel PME" section in the .cpp).
+  EntryId e_pme_atoms_{}, e_pme_tr_fwd_{}, e_pme_tr_bwd_{}, e_pme_force_{};
 
   std::vector<PatchRt> patches_;
   std::vector<ProxyRt> proxies_;
@@ -360,6 +421,15 @@ class ParallelSim {
   std::vector<EnergyTerms> potential_scratch_;
   std::vector<EnergyTerms> potential_per_step_;
   int active_patches_ = 0;
+
+  // --- parallel PME state (null / empty when full_elec is off) ---------
+  std::unique_ptr<PmeSlabPlan> pme_plan_;
+  std::vector<PmeSlabRt> pme_slabs_;
+  std::vector<int> slab_pe_;  ///< home PE of each slab (an LB object)
+  /// Per-(slab, local step) reciprocal + correction + self energy partial,
+  /// indexed slab * (cycle_target_ + 1) + step; written by assignment,
+  /// folded into potential_per_step_.elec in slab order at cycle end.
+  std::vector<double> pme_scratch_;
 
   // Resilience state.
   std::unique_ptr<ReliableComm> reliable_;

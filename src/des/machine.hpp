@@ -20,6 +20,14 @@ struct MachineModel {
   double bonded_cost = 1.0e-6;     ///< s per bonded term evaluated
   double integrate_cost = 1.0e-6;  ///< s per atom integrated (incl. patch work)
 
+  // --- PME cost model (full-electrostatics runs only) -------------------
+  /// s per complex grid point per radix-2 butterfly stage (the slab FFTs
+  /// and the influence-function pass charge points * stages * this).
+  double fft_point_cost = 6e-9;
+  /// s per (atom, stencil point) touched while spreading charges onto the
+  /// mesh or gathering forces back off it.
+  double pme_spread_cost = 2.5e-8;
+
   // --- Communication model (LogGP-ish) --------------------------------
   double send_overhead = 15e-6;   ///< CPU s per remote message sent
   double recv_overhead = 10e-6;   ///< CPU s per remote message received

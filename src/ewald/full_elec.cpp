@@ -1,0 +1,81 @@
+#include "ewald/full_elec.hpp"
+
+#include <cmath>
+
+#include "util/units.hpp"
+
+namespace scalemd {
+
+PmeOptions to_pme_options(const FullElecOptions& fe) {
+  PmeOptions p;
+  p.alpha = fe.alpha;
+  p.grid_x = fe.grid_x;
+  p.grid_y = fe.grid_y;
+  p.grid_z = fe.grid_z;
+  p.order = fe.order;
+  return p;
+}
+
+double ewald_self_energy_strided(double alpha, std::span<const double> q,
+                                 int rem, int stride) {
+  double q2 = 0.0;
+  for (std::size_t i = static_cast<std::size_t>(rem); i < q.size();
+       i += static_cast<std::size_t>(stride)) {
+    q2 += q[i] * q[i];
+  }
+  return -units::kCoulomb * alpha / std::sqrt(M_PI) * q2;
+}
+
+namespace {
+
+/// One erf-complement correction pair: E = coeff * qq * erf(alpha r) / r.
+/// coeff = -1 (full exclusion) or scale14 - 1 (modified 1-4). Overlapping
+/// atoms (r -> 0) take the finite limit 2 alpha/sqrt(pi) with zero force so a
+/// degenerate geometry cannot produce NaN forces.
+inline double corr_pair(double alpha, double alpha_spi, double coeff, double qq,
+                        const Vec3& dr, Vec3& fi, Vec3& fj) {
+  const double r2 = norm2(dr);
+  if (r2 < 1e-12) return coeff * qq * 2.0 * alpha_spi;
+  const double inv_r2 = 1.0 / r2;
+  const double inv_r = std::sqrt(inv_r2);
+  const double t = std::erf(alpha * r2 * inv_r);
+  const double dt_dr2 = alpha_spi * std::exp(-alpha * alpha * r2) * inv_r;
+  const double de_dr2 = coeff * qq * (-0.5 * inv_r * inv_r2 * t + inv_r * dt_dr2);
+  const Vec3 fpair = dr * (-2.0 * de_dr2);
+  fi += fpair;
+  fj -= fpair;
+  return coeff * qq * inv_r * t;
+}
+
+}  // namespace
+
+double full_elec_exclusion_corrections(const ExclusionTable& excl,
+                                       const ParameterTable& params, double alpha,
+                                       std::span<const double> q,
+                                       std::span<const Vec3> pos, std::span<Vec3> f,
+                                       int rem, int stride) {
+  const double alpha_spi = alpha / std::sqrt(M_PI);
+  const double mod_coeff = params.scale14 - 1.0;
+  const int n = excl.atom_count();
+  double energy = 0.0;
+  for (int gi = rem; gi < n; gi += stride) {
+    const auto si = static_cast<std::size_t>(gi);
+    for (int gj : excl.excluded(gi)) {
+      if (gj <= gi) continue;  // symmetric lists: count each pair once
+      const auto sj = static_cast<std::size_t>(gj);
+      const double qq = units::kCoulomb * q[si] * q[sj];
+      energy += corr_pair(alpha, alpha_spi, -1.0, qq, pos[si] - pos[sj], f[si],
+                          f[sj]);
+    }
+    for (int gj : excl.modified(gi)) {
+      if (gj <= gi) continue;
+      const auto sj = static_cast<std::size_t>(gj);
+      const double qq = units::kCoulomb * q[si] * q[sj];
+      energy += corr_pair(alpha, alpha_spi, mod_coeff, qq, pos[si] - pos[sj],
+                          f[si], f[sj]);
+    }
+  }
+  return energy;
+}
+
+}  // namespace scalemd

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <span>
+
+#include "ewald/pme.hpp"
+#include "ff/nonbonded.hpp"
+#include "topo/exclusions.hpp"
+#include "topo/parameters.hpp"
+#include "util/vec3.hpp"
+
+namespace scalemd {
+
+/// Maps the engine-facing knob onto the PME solver's options. Callers must
+/// have validated `fe` (full_elec_error == nullptr).
+PmeOptions to_pme_options(const FullElecOptions& fe);
+
+/// Ewald self-energy correction restricted to atoms with
+/// id % stride == rem: -C alpha/sqrt(pi) * sum q_i^2. The (rem, stride)
+/// partition lets the parallel PME slabs split the sum deterministically;
+/// (0, 1) is the whole-system sequential form.
+double ewald_self_energy_strided(double alpha, std::span<const double> q,
+                                 int rem, int stride);
+
+/// Exclusion corrections for the full-electrostatics decomposition. The
+/// reciprocal (grid) sum implicitly includes *every* pair, so pairs the
+/// short-range kernels excluded or scaled need the smooth erf complement
+/// removed: fully excluded pairs get -qq erf(alpha r)/r, modified 1-4 pairs
+/// get (scale14 - 1) qq erf(alpha r)/r. Iterates pairs (gi, gj), gj > gi,
+/// with gi ascending and restricted to gi % stride == rem (the same
+/// deterministic partition as the self energy); forces are accumulated into
+/// `f` (indexed by global id, not zeroed). Returns the energy contribution.
+double full_elec_exclusion_corrections(const ExclusionTable& excl,
+                                       const ParameterTable& params, double alpha,
+                                       std::span<const double> q,
+                                       std::span<const Vec3> pos, std::span<Vec3> f,
+                                       int rem, int stride);
+
+}  // namespace scalemd

@@ -40,7 +40,7 @@ void bspline_weights(double u, int order, std::span<double> w,
   }
 }
 
-std::vector<double> Pme::bspline_moduli(int n, int order) {
+std::vector<double> pme_bspline_moduli(int n, int order) {
   // |b(m)|^2 = 1 / |sum_{l=0}^{order-2} M_order(l+1) e^{2 pi i m l / n}|^2.
   std::vector<double> m_at_int(static_cast<std::size_t>(order) - 1, 0.0);
   {
@@ -78,9 +78,9 @@ std::vector<double> Pme::bspline_moduli(int n, int order) {
 Pme::Pme(const Vec3& box, const PmeOptions& opts) : box_(box), opts_(opts) {
   assert(is_pow2(opts.grid_x) && is_pow2(opts.grid_y) && is_pow2(opts.grid_z));
   assert(opts.order >= 2 && opts.order <= 8);
-  bmod_x_ = bspline_moduli(opts.grid_x, opts.order);
-  bmod_y_ = bspline_moduli(opts.grid_y, opts.order);
-  bmod_z_ = bspline_moduli(opts.grid_z, opts.order);
+  bmod_x_ = pme_bspline_moduli(opts.grid_x, opts.order);
+  bmod_y_ = pme_bspline_moduli(opts.grid_y, opts.order);
+  bmod_z_ = pme_bspline_moduli(opts.grid_z, opts.order);
 }
 
 double Pme::reciprocal(std::span<const Vec3> pos, std::span<const double> q,

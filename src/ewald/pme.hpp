@@ -39,9 +39,6 @@ class Pme {
   const PmeOptions& options() const { return opts_; }
 
  private:
-  /// |b(m)|^2 Euler exponential-spline modulus for one dimension.
-  static std::vector<double> bspline_moduli(int n, int order);
-
   Vec3 box_;
   PmeOptions opts_;
   std::vector<double> bmod_x_, bmod_y_, bmod_z_;
@@ -51,5 +48,11 @@ class Pme {
 /// grid points an atom at fractional offset u in [0,1) touches. Exposed for
 /// tests (partition of unity, derivative consistency).
 void bspline_weights(double u, int order, std::span<double> w, std::span<double> dw);
+
+/// |b(m)|^2 Euler exponential-spline modulus for one grid dimension of size
+/// `n`. Shared by the sequential Pme and the slab-decomposed parallel
+/// pipeline (PmeSlabPlan), which must agree bit-for-bit on the influence
+/// function.
+std::vector<double> pme_bspline_moduli(int n, int order);
 
 }  // namespace scalemd

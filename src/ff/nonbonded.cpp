@@ -20,7 +20,29 @@ NonbondedContext::NonbondedContext(const ParameterTable& params,
       opts_(opts),
       switch_(opts.switch_dist, opts.cutoff),
       shift_(opts.cutoff),
-      cutoff2_(opts.cutoff * opts.cutoff) {}
+      cutoff2_(opts.cutoff * opts.cutoff),
+      fe_enabled_(opts.full_elec.enabled),
+      fe_alpha_(opts.full_elec.alpha),
+      fe_alpha_spi_(opts.full_elec.alpha / std::sqrt(M_PI)) {
+  assert(!fe_enabled_ || full_elec_error(opts.full_elec) == nullptr);
+}
+
+const char* full_elec_error(const FullElecOptions& fe) {
+  if (!fe.enabled) return nullptr;
+  const auto pow2 = [](int n) { return n > 0 && (n & (n - 1)) == 0; };
+  if (!(fe.alpha > 0.0) || fe.alpha > 10.0)
+    return "full-elec alpha must be in (0, 10]";
+  if (!pow2(fe.grid_x) || fe.grid_x < 4 || fe.grid_x > 256)
+    return "full-elec grid_x must be a power of two in [4, 256]";
+  if (!pow2(fe.grid_y) || fe.grid_y < 4 || fe.grid_y > 256)
+    return "full-elec grid_y must be a power of two in [4, 256]";
+  if (!pow2(fe.grid_z) || fe.grid_z < 4 || fe.grid_z > 256)
+    return "full-elec grid_z must be a power of two in [4, 256]";
+  if (fe.order < 2 || fe.order > 8) return "full-elec order must be in [2, 8]";
+  if (fe.order > fe.grid_x || fe.order > fe.grid_y || fe.order > fe.grid_z)
+    return "full-elec order must not exceed any grid dimension";
+  return nullptr;
+}
 
 namespace {
 
@@ -43,11 +65,21 @@ inline void eval_pair(const NonbondedContext& ctx, int gi, int gj, const Vec3& d
   double de_dr2 = scale * (s * du_dr2 + ds_dr2 * u_lj);
   double e_lj = scale * s * u_lj;
 
-  // Shifted electrostatics: E = C q_i q_j / r * T(r2), T = (1 - r2/rc2)^2.
+  // Electrostatics: E = C q_i q_j / r * T(r2). Cutoff mode uses the NAMD
+  // shift T = (1 - r2/rc2)^2; full-elec mode uses the Ewald real-space
+  // screen T = erfc(alpha r) (the reciprocal remainder is the PME stage's
+  // job). Only the (T, dT/dr2) pair differs between the modes.
   const double qq = units::kCoulomb * ctx.charge(gi) * ctx.charge(gj);
   const double inv_r = std::sqrt(inv_r2);
-  const double t = ctx.elec_shift().shift_factor(r2);
-  const double dt_dr2 = ctx.elec_shift().dshift_factor_dr2(r2);
+  double t, dt_dr2;
+  if (ctx.full_elec()) {
+    const double a = ctx.fe_alpha();
+    t = std::erfc(a * r2 * inv_r);
+    dt_dr2 = -ctx.fe_alpha_over_sqrt_pi() * std::exp(-a * a * r2) * inv_r;
+  } else {
+    t = ctx.elec_shift().shift_factor(r2);
+    dt_dr2 = ctx.elec_shift().dshift_factor_dr2(r2);
+  }
   // d/d(r2) [ qq * r^-1 * T ] = qq * ( -0.5 r^-3 T + r^-1 dT/dr2 )
   const double e_elec = scale * qq * inv_r * t;
   de_dr2 += scale * qq * (-0.5 * inv_r * inv_r2 * t + inv_r * dt_dr2);

@@ -20,6 +20,27 @@ enum class NonbondedKernel {
   kTiledThreads,  ///< tiled kernel fanned across a thread pool
 };
 
+/// Full-electrostatics (smooth particle-mesh Ewald) parameters. When
+/// `enabled`, the pairwise kernels swap the shifted-Coulomb factor for the
+/// erfc(alpha r) Ewald screen and the engines add the grid-based reciprocal
+/// sum, the self-energy, and the exclusion corrections (see src/ewald/).
+/// Lives here (not in src/ewald/) so the option flows through
+/// NonbondedOptions to every engine without a layering inversion.
+struct FullElecOptions {
+  bool enabled = false;
+  double alpha = 0.35;  ///< Ewald splitting parameter, 1/A
+  int grid_x = 32;      ///< PME grid dims; must be powers of two (radix-2 FFT)
+  int grid_y = 32;
+  int grid_z = 32;
+  int order = 4;  ///< cardinal B-spline interpolation order, 2..8
+};
+
+/// Validates `fe` (when enabled): returns nullptr if usable, else a static
+/// string naming the offending field. Used by scenario parsing and engine
+/// setup so bad parameters become named errors, never asserts deep in the
+/// FFT.
+const char* full_elec_error(const FullElecOptions& fe);
+
 /// Cutoff scheme parameters. The paper's benchmarks use a 12 A cutoff; we
 /// default the switch distance to 10 A as NAMD does for that cutoff.
 struct NonbondedOptions {
@@ -28,6 +49,7 @@ struct NonbondedOptions {
   NonbondedKernel kernel = NonbondedKernel::kScalar;
   /// Worker count for kTiledThreads; 0 means ThreadPool::default_threads().
   int threads = 0;
+  FullElecOptions full_elec;
 };
 
 /// Work performed by a kernel invocation, fed into the DES cost model.
@@ -90,6 +112,14 @@ class NonbondedContext {
   const ElecShift& elec_shift() const { return shift_; }
   double cutoff2() const { return cutoff2_; }
 
+  /// Full-electrostatics mode: pairwise elec term is qq erfc(alpha r)/r
+  /// instead of the shifted Coulomb. The reciprocal/self/exclusion pieces are
+  /// the engines' responsibility (seq: SequentialEngine, parallel: PME slabs).
+  bool full_elec() const { return fe_enabled_; }
+  double fe_alpha() const { return fe_alpha_; }
+  /// alpha/sqrt(pi), the d(erfc(alpha r))/d(r2) prefactor.
+  double fe_alpha_over_sqrt_pi() const { return fe_alpha_spi_; }
+
  private:
   const ParameterTable* params_;
   const ExclusionTable* excl_;
@@ -99,6 +129,9 @@ class NonbondedContext {
   SwitchFunction switch_;
   ElecShift shift_;
   double cutoff2_;
+  bool fe_enabled_;
+  double fe_alpha_;
+  double fe_alpha_spi_;
 };
 
 /// Computes switched LJ + shifted electrostatic interactions between every

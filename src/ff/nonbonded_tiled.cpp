@@ -99,6 +99,8 @@ namespace {
 /// kernel's bit for bit.
 struct KernelConsts {
   double cutoff2, rs2, rc2, inv_denom, inv_rc2;
+  bool fe;               ///< full-elec mode: erfc screen instead of shift
+  double fe_alpha, fe_alpha_spi;
 
   explicit KernelConsts(const NonbondedContext& ctx) {
     const SwitchFunction& sw = ctx.switching();
@@ -108,6 +110,9 @@ struct KernelConsts {
     const double d = rc2 - rs2;
     inv_denom = 1.0 / (d * d * d);
     inv_rc2 = 1.0 / rc2;
+    fe = ctx.full_elec();
+    fe_alpha = ctx.fe_alpha();
+    fe_alpha_spi = ctx.fe_alpha_over_sqrt_pi();
   }
 };
 
@@ -117,7 +122,11 @@ struct KernelConsts {
 /// it into vector divisions and square roots. The arithmetic is identical to
 /// the scalar eval_pair(), so results agree to summation-order rounding.
 /// `scale` is 1 for plain pairs and scale14 for modified 1-4 pairs.
-inline void pair_math(std::size_t np, const double* __restrict pr2,
+/// Templated on full-elec mode so the cutoff path keeps its branch-free
+/// vector body and the erfc path evaluates the exact expressions of the
+/// scalar eval_pair() (bitwise kernel equivalence is a pinned contract).
+template <bool FE>
+inline void pair_math_impl(std::size_t np, const double* __restrict pr2,
                       const double* __restrict pdx, const double* __restrict pdy,
                       const double* __restrict pdz, const double* __restrict pqj,
                       const double* __restrict plja, const double* __restrict pljb,
@@ -147,9 +156,15 @@ inline void pair_math(std::size_t np, const double* __restrict pr2,
 
     const double qq = qi_c * pqj[k];
     const double inv_r = std::sqrt(inv_r2);
-    const double t1 = 1.0 - r2 * kc.inv_rc2;
-    const double t = t1 * t1;
-    const double dt = -2.0 * t1 * kc.inv_rc2;
+    double t, dt;
+    if constexpr (FE) {
+      t = std::erfc(kc.fe_alpha * r2 * inv_r);
+      dt = -kc.fe_alpha_spi * std::exp(-kc.fe_alpha * kc.fe_alpha * r2) * inv_r;
+    } else {
+      const double t1 = 1.0 - r2 * kc.inv_rc2;
+      t = t1 * t1;
+      dt = -2.0 * t1 * kc.inv_rc2;
+    }
     de += scale * qq * (-0.5 * inv_r * inv_r2 * t + inv_r * dt);
 
     pelj[k] = scale * s * u_lj;
@@ -158,6 +173,23 @@ inline void pair_math(std::size_t np, const double* __restrict pr2,
     pfx[k] = pdx[k] * g;
     pfy[k] = pdy[k] * g;
     pfz[k] = pdz[k] * g;
+  }
+}
+
+inline void pair_math(std::size_t np, const double* __restrict pr2,
+                      const double* __restrict pdx, const double* __restrict pdy,
+                      const double* __restrict pdz, const double* __restrict pqj,
+                      const double* __restrict plja, const double* __restrict pljb,
+                      const double* __restrict pscale, double qi_c,
+                      const KernelConsts& kc, double* __restrict pfx,
+                      double* __restrict pfy, double* __restrict pfz,
+                      double* __restrict pelj, double* __restrict peel) {
+  if (kc.fe) {
+    pair_math_impl<true>(np, pr2, pdx, pdy, pdz, pqj, plja, pljb, pscale, qi_c,
+                         kc, pfx, pfy, pfz, pelj, peel);
+  } else {
+    pair_math_impl<false>(np, pr2, pdx, pdy, pdz, pqj, plja, pljb, pscale, qi_c,
+                          kc, pfx, pfy, pfz, pelj, peel);
   }
 }
 

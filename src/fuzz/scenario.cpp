@@ -145,6 +145,15 @@ ScenarioSpec generate_scenario(std::uint64_t master_seed, int index) {
     s.serve_workers = 1 + static_cast<int>(rng.uniform_index(3));
     s.serve_preempt_every = static_cast<int>(rng.uniform_index(3));
   }
+
+  // Roughly a third of the campaign runs with full electrostatics, crossing
+  // the parallel-PME pipeline with whatever faults/backends the draws above
+  // produced. Drawn last, same rationale: older repro seeds keep their shape.
+  if (rng.uniform() < 0.3) {
+    s.full_elec = true;
+    s.pme_slabs = 1 + static_cast<int>(rng.uniform_index(4));
+    if (rng.uniform() < 0.25) s.pme_dedicated = 1;
+  }
   return s;
 }
 
@@ -191,6 +200,12 @@ std::string validate_scenario(const ScenarioSpec& s) {
   }
   if (s.serve_preempt_every < 0 || s.serve_preempt_every > 8) {
     return "serve-preempt must be in [0, 8]";
+  }
+  if (s.pme_slabs < 1 || s.pme_slabs > 8) {
+    return "pme-slabs must be in [1, 8]";
+  }
+  if (s.pme_dedicated < 0 || s.pme_dedicated > s.num_pes) {
+    return "pme-dedicated must be in [0, pes]";
   }
   for (const ScenarioFailure& f : s.failures) {
     if (f.pe < 0 || f.pe >= s.num_pes) return "failure pe out of range";
@@ -240,6 +255,11 @@ std::string serialize_scenario(const ScenarioSpec& s) {
     line("serve-jobs " + std::to_string(s.serve_jobs));
     line("serve-workers " + std::to_string(s.serve_workers));
     line("serve-preempt " + std::to_string(s.serve_preempt_every));
+  }
+  if (s.full_elec) line("full-elec 1");
+  if (s.pme_slabs != 4) line("pme-slabs " + std::to_string(s.pme_slabs));
+  if (s.pme_dedicated != 0) {
+    line("pme-dedicated " + std::to_string(s.pme_dedicated));
   }
   if (s.inject_defect) line("defect arrival-order");
   return out;
@@ -342,6 +362,13 @@ DirectiveStatus apply_scenario_directive(const std::string& raw_in,
     }
   } else if (key == "checkpoint") {
     want_count("cadence", out.checkpoint_every);
+  } else if (key == "full-elec") {
+    int v = 0;
+    if (want_count("0/1 flag", v)) out.full_elec = v != 0;
+  } else if (key == "pme-slabs") {
+    want_count("count", out.pme_slabs);
+  } else if (key == "pme-dedicated") {
+    want_count("count", out.pme_dedicated);
   } else if (key == "defect") {
     std::string name;
     if (want_word("defect name", name)) {

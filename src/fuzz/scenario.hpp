@@ -64,6 +64,17 @@ struct ScenarioSpec {
   int serve_workers = 1;
   int serve_preempt_every = 0;
 
+  // --- full-electrostatics axis (off = cutoff electrostatics only) ------
+  /// When set, every leg of the differential harness runs with the PME
+  /// reciprocal stage armed (erfc-screened direct space + slab-decomposed
+  /// reciprocal solve in the parallel runtime), and one extra clean DES run
+  /// with the alternate slab placement policy must match the reference
+  /// bitwise (oracle "pme-divergence"). The backend/process legs then also
+  /// cross the PME transpose and force-return wire paths for free.
+  bool full_elec = false;
+  int pme_slabs = 4;      ///< reciprocal slab count (part of the numerics)
+  int pme_dedicated = 0;  ///< dedicated PME ranks (placement policy only)
+
   /// Arms ParallelOptions::debug_fold_arrival_order on every run of this
   /// spec. Set only by --self-test (and recorded in its repro files so they
   /// replay the defective build path byte-for-byte).

@@ -67,6 +67,17 @@ ShrinkResult shrink_scenario(const ScenarioSpec& failing,
       [](ScenarioSpec& s) {
         if (s.serve_workers > 1) s.serve_workers = 1;
       },
+      // Dropping full electrostatics sticks only for non-pme oracles;
+      // otherwise shrink toward one slab and the default placement.
+      [](ScenarioSpec& s) {
+        s.full_elec = false;
+        s.pme_slabs = 4;
+        s.pme_dedicated = 0;
+      },
+      [](ScenarioSpec& s) {
+        if (s.pme_slabs > 1) --s.pme_slabs;
+      },
+      [](ScenarioSpec& s) { s.pme_dedicated = 0; },
       [](ScenarioSpec& s) { s.kind = TestSystemKind::kWaterBox; },
       [](ScenarioSpec& s) { s.chain_beads = 8; },
       [](ScenarioSpec& s) { s.box = 10.0; },

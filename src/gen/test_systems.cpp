@@ -59,6 +59,14 @@ Molecule make_test_system(const TestSystemOptions& opt) {
     }
   }
 
+  // Dissolved salt for the full-electrostatics scenarios: alternate +1/-1 so
+  // any prefix kept by a clash-limited placement stays as close to neutral
+  // as possible, and the full set is exactly net-neutral.
+  for (int i = 0; i < std::max(0, opt.ion_pairs); ++i) {
+    add_ion(mol, ff, grid, +1.0, rng);
+    add_ion(mol, ff, grid, -1.0, rng);
+  }
+
   // Solvate whatever the kind placed (or fill the empty box): the lattice
   // filler skips clashing sites, so the cap just needs to exceed the box
   // capacity at liquid density.

@@ -25,6 +25,10 @@ struct TestSystemOptions {
   Vec3 box{12.0, 12.0, 12.0};
   /// Backbone beads of the chain (kSolvatedChain only).
   int chain_beads = 24;
+  /// Dissolved salt: adds `ion_pairs` +1 ions and `ion_pairs` -1 ions at
+  /// clash-free jittered sites before solvating, keeping the box net-neutral.
+  /// This is the charged preset driving the full-electrostatics (PME) paths.
+  int ion_pairs = 0;
   /// Maxwell-Boltzmann temperature in Kelvin; <= 0 leaves velocities zero.
   double temperature = 300.0;
   std::uint64_t seed = 1;

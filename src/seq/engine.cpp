@@ -1,6 +1,9 @@
 #include "seq/engine.hpp"
 
 #include <algorithm>
+#include <cassert>
+
+#include "ewald/full_elec.hpp"
 
 namespace scalemd {
 
@@ -21,6 +24,10 @@ SequentialEngine::SequentialEngine(const Molecule& mol, const EngineOptions& opt
     charges_.push_back(a.charge);
     lj_types_.push_back(a.lj_type);
     masses_.push_back(a.mass);
+  }
+  if (opts_.nonbonded.full_elec.enabled) {
+    assert(full_elec_error(opts_.nonbonded.full_elec) == nullptr);
+    pme_ = std::make_unique<Pme>(mol_.box, to_pme_options(opts_.nonbonded.full_elec));
   }
   compute_forces();
 }
@@ -46,9 +53,27 @@ EnergyTerms SequentialEngine::evaluate_nonbonded(std::span<Vec3> out) {
     }
     if (pairlist_->needs_rebuild(mol_.positions())) pairlist_->build(mol_.positions());
     if (opts_.nonbonded.kernel != NonbondedKernel::kScalar) refresh_pairlist_codes();
-    return threaded ? eval_pairlist_mt(ctx, out) : eval_pairlist(ctx, out);
+    EnergyTerms e = threaded ? eval_pairlist_mt(ctx, out) : eval_pairlist(ctx, out);
+    e.elec += evaluate_reciprocal(out);
+    return e;
   }
-  return threaded ? eval_cells_mt(ctx, out) : eval_cells(ctx, out);
+  EnergyTerms e = threaded ? eval_cells_mt(ctx, out) : eval_cells(ctx, out);
+  e.elec += evaluate_reciprocal(out);
+  return e;
+}
+
+double SequentialEngine::evaluate_reciprocal(std::span<Vec3> out) {
+  if (pme_ == nullptr) return 0.0;
+  // The long-range remainder of the Ewald split: grid-based reciprocal sum
+  // over all atoms, the constant self-energy, and the erf complement for
+  // pairs the short-range kernels excluded or scaled. Folded into the elec
+  // energy term so trajectory formats stay unchanged.
+  const double alpha = opts_.nonbonded.full_elec.alpha;
+  double e = pme_->reciprocal(mol_.positions(), charges_, out);
+  e += ewald_self_energy_strided(alpha, charges_, 0, 1);
+  e += full_elec_exclusion_corrections(excl_, mol_.params, alpha, charges_,
+                                       mol_.positions(), out, 0, 1);
+  return e;
 }
 
 EnergyTerms SequentialEngine::eval_cells(const NonbondedContext& ctx,

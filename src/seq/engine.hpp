@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "ewald/pme.hpp"
 #include "ff/bonded.hpp"
 #include "ff/nonbonded.hpp"
 #include "ff/nonbonded_tiled.hpp"
@@ -97,6 +98,9 @@ class SequentialEngine {
   EnergyTerms eval_cells_mt(const NonbondedContext& ctx, std::span<Vec3> out);
   EnergyTerms eval_pairlist(const NonbondedContext& ctx, std::span<Vec3> out);
   EnergyTerms eval_pairlist_mt(const NonbondedContext& ctx, std::span<Vec3> out);
+  /// Full-electrostatics long-range remainder (PME reciprocal + self energy
+  /// + exclusion corrections); 0 when full_elec is off. Forces into `out`.
+  double evaluate_reciprocal(std::span<Vec3> out);
   void refresh_pairlist_codes();
   ThreadPool& pool();
 
@@ -109,6 +113,7 @@ class SequentialEngine {
   CellGrid grid_;
   VelocityVerlet integrator_;
   std::unique_ptr<VerletList> pairlist_;  // present when options request it
+  std::unique_ptr<Pme> pme_;  // present when options.nonbonded.full_elec is on
   std::vector<Vec3> forces_;
   EnergyTerms energy_;
   WorkCounters work_;

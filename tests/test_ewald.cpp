@@ -5,7 +5,11 @@
 
 #include "ewald/ewald.hpp"
 #include "ewald/fft.hpp"
+#include "ewald/full_elec.hpp"
 #include "ewald/pme.hpp"
+#include "ewald/pme_slab.hpp"
+#include "gen/test_systems.hpp"
+#include "seq/engine.hpp"
 #include "util/random.hpp"
 #include "util/units.hpp"
 
@@ -314,6 +318,382 @@ TEST(PmeTest, MadelungViaPmePipeline) {
   const double per_pair = total / (0.5 * static_cast<double>(lat.pos.size()));
   const double madelung = -per_pair * lat.nearest / units::kCoulomb;
   EXPECT_NEAR(madelung, 1.747565, 1e-3);
+}
+
+TEST(PmeTest, RandomNeutralSetsMatchEwaldDirectSum) {
+  // Several independent random neutral charge sets (non-unit, non-symmetric
+  // magnitudes): the PME reciprocal must track the direct structure-factor
+  // sum in both energy and per-atom forces.
+  for (std::uint64_t seed : {29u, 31u, 37u, 41u}) {
+    Rng rng(seed);
+    const Vec3 box{14, 18, 12};
+    const int n = 6 + static_cast<int>(seed % 20);
+    std::vector<Vec3> pos;
+    std::vector<double> q;
+    double qsum = 0.0;
+    for (int i = 0; i < n; ++i) {
+      pos.push_back(rng.point_in_box(box));
+      q.push_back(rng.uniform(-1.0, 1.0));
+      qsum += q.back();
+    }
+    for (double& qi : q) qi -= qsum / n;  // exactly neutral
+
+    EwaldOptions eo;
+    eo.alpha = 0.42;
+    eo.k_max = 14;
+    std::vector<Vec3> fe(pos.size());
+    const double e_ref = EwaldSum(box, eo).reciprocal(pos, q, fe);
+
+    PmeOptions po;
+    po.alpha = 0.42;
+    po.grid_x = po.grid_y = po.grid_z = 32;
+    po.order = 4;
+    std::vector<Vec3> fp(pos.size());
+    const double e_pme = Pme(box, po).reciprocal(pos, q, fp);
+
+    EXPECT_NEAR(e_pme, e_ref, 5e-3 * std::fabs(e_ref) + 2e-3) << "seed " << seed;
+    for (std::size_t i = 0; i < pos.size(); ++i) {
+      EXPECT_LT(norm(fp[i] - fe[i]), 0.03 * norm(fe[i]) + 5e-3)
+          << "seed " << seed << " atom " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Slab-decomposed parallel PME pipeline (pure math, no runtime)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Drives the full slab pipeline in-process, exactly as the message-driven
+/// runtime does but without any messages: spread -> 2D FFT -> forward
+/// transpose -> convolve -> backward transpose -> inverse 2D FFT -> gather,
+/// folding energy partials and force shares in slab order.
+double run_slab_pipeline(const PmeSlabPlan& plan, std::span<const Vec3> pos,
+                         std::span<const double> q, std::span<Vec3> f) {
+  const int s_count = plan.slabs();
+  std::vector<std::vector<std::complex<double>>> planes(
+      static_cast<std::size_t>(s_count));
+  std::vector<std::vector<std::complex<double>>> columns(
+      static_cast<std::size_t>(s_count));
+  for (int s = 0; s < s_count; ++s) {
+    planes[static_cast<std::size_t>(s)].assign(plan.plane_points(s), {0.0, 0.0});
+    columns[static_cast<std::size_t>(s)].assign(plan.column_points(s), {0.0, 0.0});
+    plan.spread(s, pos, q, planes[static_cast<std::size_t>(s)]);
+    plan.plane_fft(s, planes[static_cast<std::size_t>(s)], /*inverse=*/false);
+  }
+  for (int src = 0; src < s_count; ++src) {
+    for (int dst = 0; dst < s_count; ++dst) {
+      const std::vector<double> block =
+          plan.extract_fwd(src, dst, planes[static_cast<std::size_t>(src)]);
+      plan.insert_fwd(src, dst, block, columns[static_cast<std::size_t>(dst)]);
+    }
+  }
+  double energy = 0.0;
+  for (int s = 0; s < s_count; ++s) {
+    energy += plan.convolve(s, columns[static_cast<std::size_t>(s)]);
+  }
+  for (int src = 0; src < s_count; ++src) {
+    for (int dst = 0; dst < s_count; ++dst) {
+      const std::vector<double> block =
+          plan.extract_bwd(src, dst, columns[static_cast<std::size_t>(src)]);
+      plan.insert_bwd(src, dst, block, planes[static_cast<std::size_t>(dst)]);
+    }
+  }
+  for (int s = 0; s < s_count; ++s) {
+    plan.plane_fft(s, planes[static_cast<std::size_t>(s)], /*inverse=*/true);
+    plan.gather(s, pos, q, planes[static_cast<std::size_t>(s)], f);
+  }
+  return energy;
+}
+
+}  // namespace
+
+TEST(PmeSlabTest, PipelineMatchesSequentialReciprocal) {
+  // The slab decomposition with transposes must reproduce the monolithic
+  // Pme::reciprocal for every slab count, including slab counts that do not
+  // divide the grid. Differences are summation-order only, so the bound is
+  // tight.
+  Rng rng(4242);
+  const Vec3 box{13, 11, 12};
+  const int n = 23;
+  std::vector<Vec3> pos;
+  std::vector<double> q;
+  double qsum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    pos.push_back(rng.point_in_box(box));
+    q.push_back(rng.uniform(-1.0, 1.0));
+    qsum += q.back();
+  }
+  for (double& qi : q) qi -= qsum / n;
+
+  PmeOptions po;
+  po.alpha = 0.46;
+  po.grid_x = 16;
+  po.grid_y = 8;
+  po.grid_z = 16;
+  po.order = 4;
+  std::vector<Vec3> f_ref(pos.size());
+  const double e_ref = Pme(box, po).reciprocal(pos, q, f_ref);
+
+  double f_scale = 0.0;
+  for (const Vec3& v : f_ref) f_scale = std::max(f_scale, norm(v));
+
+  for (int slabs : {1, 2, 3, 4, 7}) {
+    const PmeSlabPlan plan(box, po, slabs);
+    std::vector<Vec3> f(pos.size());
+    const double e = run_slab_pipeline(plan, pos, q, f);
+    EXPECT_NEAR(e, e_ref, 1e-10 * std::fabs(e_ref)) << "slabs " << slabs;
+    for (std::size_t i = 0; i < pos.size(); ++i) {
+      EXPECT_LT(norm(f[i] - f_ref[i]), 1e-9 * std::max(1.0, f_scale))
+          << "slabs " << slabs << " atom " << i;
+    }
+  }
+}
+
+TEST(PmeSlabTest, SlabCountIsPartOfTheNumericsContract) {
+  // Two pipelines with the same slab count agree bitwise; the ranges
+  // partition the grid exactly.
+  const Vec3 box{12, 12, 12};
+  PmeOptions po;
+  po.grid_x = po.grid_y = po.grid_z = 8;
+  const PmeSlabPlan plan(box, po, 3);
+  int z_total = 0, y_total = 0;
+  for (int s = 0; s < plan.slabs(); ++s) {
+    EXPECT_EQ(plan.z_begin(s), s == 0 ? 0 : plan.z_end(s - 1));
+    EXPECT_EQ(plan.y_begin(s), s == 0 ? 0 : plan.y_end(s - 1));
+    z_total += plan.z_end(s) - plan.z_begin(s);
+    y_total += plan.y_end(s) - plan.y_begin(s);
+  }
+  EXPECT_EQ(z_total, po.grid_z);
+  EXPECT_EQ(y_total, po.grid_y);
+
+  Rng rng(7);
+  std::vector<Vec3> pos;
+  std::vector<double> q;
+  for (int i = 0; i < 12; ++i) {
+    pos.push_back(rng.point_in_box(box));
+    q.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  }
+  std::vector<Vec3> fa(pos.size()), fb(pos.size());
+  const double ea = run_slab_pipeline(plan, pos, q, fa);
+  const double eb = run_slab_pipeline(plan, pos, q, fb);
+  EXPECT_EQ(ea, eb);
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    EXPECT_EQ(fa[i].x, fb[i].x);
+    EXPECT_EQ(fa[i].y, fb[i].y);
+    EXPECT_EQ(fa[i].z, fb[i].z);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Full-electrostatics options + sequential reference path
+// ---------------------------------------------------------------------------
+
+TEST(FullElecTest, OptionValidationNamesOffendingField) {
+  FullElecOptions fe;
+  EXPECT_EQ(full_elec_error(fe), nullptr) << "disabled options always pass";
+  fe.enabled = true;
+  EXPECT_EQ(full_elec_error(fe), nullptr) << "defaults are valid";
+
+  auto expect_error = [](FullElecOptions bad, const char* needle) {
+    const char* err = full_elec_error(bad);
+    ASSERT_NE(err, nullptr);
+    EXPECT_NE(std::string(err).find(needle), std::string::npos) << err;
+  };
+  FullElecOptions bad;
+  bad.enabled = true;
+  bad.alpha = 0.0;
+  expect_error(bad, "alpha");
+  bad = FullElecOptions{};
+  bad.enabled = true;
+  bad.grid_x = 33;
+  expect_error(bad, "grid_x");
+  bad = FullElecOptions{};
+  bad.enabled = true;
+  bad.grid_y = 2;
+  expect_error(bad, "grid_y");
+  bad = FullElecOptions{};
+  bad.enabled = true;
+  bad.grid_z = 512;
+  expect_error(bad, "grid_z");
+  bad = FullElecOptions{};
+  bad.enabled = true;
+  bad.order = 9;
+  expect_error(bad, "order");
+  bad = FullElecOptions{};
+  bad.enabled = true;
+  bad.grid_x = 4;
+  bad.order = 6;
+  expect_error(bad, "order");
+}
+
+namespace {
+
+EngineOptions charged_engine_options() {
+  EngineOptions opts;
+  opts.nonbonded.cutoff = 6.5;
+  opts.nonbonded.switch_dist = 5.5;
+  opts.nonbonded.full_elec.enabled = true;
+  // alpha ~ 3/cutoff keeps the erfc tail at the cutoff below 3e-5, so the
+  // truncation step the kernels inherit from the cutoff scheme is tiny.
+  opts.nonbonded.full_elec.alpha = 0.46;
+  opts.nonbonded.full_elec.grid_x = 16;
+  opts.nonbonded.full_elec.grid_y = 16;
+  opts.nonbonded.full_elec.grid_z = 16;
+  opts.nonbonded.full_elec.order = 4;
+  return opts;
+}
+
+Molecule charged_test_box(std::uint64_t seed) {
+  TestSystemOptions sys;
+  sys.kind = TestSystemKind::kWaterBox;
+  sys.box = {13.0, 13.0, 13.0};
+  sys.ion_pairs = 3;
+  sys.temperature = 300.0;
+  sys.seed = seed;
+  return make_test_system(sys);
+}
+
+}  // namespace
+
+TEST(FullElecTest, ChargedPresetIsNetNeutral) {
+  const Molecule mol = charged_test_box(77);
+  double qsum = 0.0;
+  int ions = 0;
+  for (const auto& a : mol.atoms()) {
+    qsum += a.charge;
+    if (std::fabs(std::fabs(a.charge) - 1.0) < 1e-12) ++ions;
+  }
+  EXPECT_NEAR(qsum, 0.0, 1e-9);
+  EXPECT_EQ(ions, 6);
+}
+
+TEST(FullElecTest, SeqForcesMatchFiniteDifferenceOfPotential) {
+  const Molecule mol = charged_test_box(78);
+  SequentialEngine engine(mol, charged_engine_options());
+  std::vector<Vec3> f(engine.forces().begin(), engine.forces().end());
+
+  const double h = 2e-5;
+  // Spot-check a few atoms, including an ion (ions were added first, so low
+  // indices hit them when present).
+  for (int i : {0, 1, 7}) {
+    for (int d = 0; d < 3; ++d) {
+      auto probe = [&](double delta) {
+        auto p = engine.mutable_positions();
+        double* c = d == 0 ? &p[static_cast<std::size_t>(i)].x
+                    : d == 1 ? &p[static_cast<std::size_t>(i)].y
+                             : &p[static_cast<std::size_t>(i)].z;
+        *c += delta;
+        engine.compute_forces();
+        const double e = engine.potential().total();
+        *c -= delta;
+        return e;
+      };
+      const double ep = probe(h);
+      const double em = probe(-h);
+      engine.compute_forces();  // restore
+      const double fd = -(ep - em) / (2 * h);
+      const double fa = d == 0 ? f[static_cast<std::size_t>(i)].x
+                        : d == 1 ? f[static_cast<std::size_t>(i)].y
+                                 : f[static_cast<std::size_t>(i)].z;
+      EXPECT_NEAR(fa, fd, 2e-3 * std::max(1.0, std::fabs(fd)))
+          << "atom " << i << " dim " << d;
+    }
+  }
+}
+
+TEST(FullElecTest, SeqEnergyApproximatelyConserved) {
+  const Molecule mol = charged_test_box(79);
+  EngineOptions opts = charged_engine_options();
+  opts.dt_fs = 0.5;
+  SequentialEngine engine(mol, opts);
+  const double e0 = engine.total_energy();
+  engine.run(25);
+  const double e1 = engine.total_energy();
+  EXPECT_NEAR(e1, e0, 0.02 * std::fabs(e0) + 0.5);
+}
+
+TEST(FullElecTest, KernelsAgreeInFullElecMode) {
+  // The erfc substitution must preserve the scalar/tiled agreement contract:
+  // identical pair math, differing only in summation order (the same bound
+  // the cutoff kernels carry; the golden matrix pins it ULP-tight).
+  const Molecule mol = charged_test_box(80);
+  EngineOptions scalar_opts = charged_engine_options();
+  scalar_opts.nonbonded.kernel = NonbondedKernel::kScalar;
+  EngineOptions tiled_opts = charged_engine_options();
+  tiled_opts.nonbonded.kernel = NonbondedKernel::kTiled;
+  SequentialEngine a(mol, scalar_opts);
+  SequentialEngine b(mol, tiled_opts);
+  a.run(3);
+  b.run(3);
+  ASSERT_EQ(a.positions().size(), b.positions().size());
+  for (std::size_t i = 0; i < a.positions().size(); ++i) {
+    EXPECT_NEAR(norm(a.positions()[i] - b.positions()[i]), 0.0, 1e-10) << i;
+  }
+  EXPECT_NEAR(a.potential().elec, b.potential().elec,
+              1e-11 * std::fabs(a.potential().elec));
+  EXPECT_EQ(a.work().pairs_computed, b.work().pairs_computed);
+}
+
+TEST(FullElecTest, ExclusionCorrectionsMatchFiniteDifference) {
+  // The erf-complement correction term on its own must be a consistent
+  // gradient of its energy.
+  const Molecule mol = charged_test_box(81);
+  const ExclusionTable excl = ExclusionTable::build(mol);
+  std::vector<double> q;
+  for (const auto& a : mol.atoms()) q.push_back(a.charge);
+  std::vector<Vec3> pos(mol.positions().begin(), mol.positions().end());
+  const double alpha = 0.46;
+
+  std::vector<Vec3> f(pos.size());
+  full_elec_exclusion_corrections(excl, mol.params, alpha, q, pos, f, 0, 1);
+  const double h = 1e-6;
+  const int i = 1;  // a water hydrogen: has excluded partners
+  for (int d = 0; d < 3; ++d) {
+    double* c = d == 0 ? &pos[i].x : d == 1 ? &pos[i].y : &pos[i].z;
+    std::vector<Vec3> tmp(pos.size());
+    *c += h;
+    const double ep =
+        full_elec_exclusion_corrections(excl, mol.params, alpha, q, pos, tmp, 0, 1);
+    *c -= 2 * h;
+    const double em =
+        full_elec_exclusion_corrections(excl, mol.params, alpha, q, pos, tmp, 0, 1);
+    *c += h;
+    const double fd = -(ep - em) / (2 * h);
+    const double fa = d == 0 ? f[i].x : d == 1 ? f[i].y : f[i].z;
+    EXPECT_NEAR(fa, fd, 1e-4 * std::max(1.0, std::fabs(fd))) << d;
+  }
+}
+
+TEST(FullElecTest, StridedPartitionsSumToWhole) {
+  // The (rem, stride) partition used by the parallel PME slabs must cover
+  // every correction pair and every self-energy term exactly once.
+  const Molecule mol = charged_test_box(82);
+  const ExclusionTable excl = ExclusionTable::build(mol);
+  std::vector<double> q;
+  for (const auto& a : mol.atoms()) q.push_back(a.charge);
+  const std::vector<Vec3> pos(mol.positions().begin(), mol.positions().end());
+  const double alpha = 0.46;
+
+  std::vector<Vec3> whole_f(pos.size());
+  const double whole_e =
+      full_elec_exclusion_corrections(excl, mol.params, alpha, q, pos, whole_f, 0, 1);
+  const double whole_self = ewald_self_energy_strided(alpha, q, 0, 1);
+
+  const int stride = 5;
+  double part_e = 0.0, part_self = 0.0;
+  std::vector<Vec3> part_f(pos.size());
+  for (int rem = 0; rem < stride; ++rem) {
+    part_e += full_elec_exclusion_corrections(excl, mol.params, alpha, q, pos,
+                                              part_f, rem, stride);
+    part_self += ewald_self_energy_strided(alpha, q, rem, stride);
+  }
+  EXPECT_NEAR(part_e, whole_e, 1e-10 * std::fabs(whole_e) + 1e-12);
+  EXPECT_NEAR(part_self, whole_self, 1e-10 * std::fabs(whole_self));
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    EXPECT_NEAR(norm(part_f[i] - whole_f[i]), 0.0, 1e-10);
+  }
 }
 
 }  // namespace

@@ -16,6 +16,7 @@
 #include "fuzz/scenario.hpp"
 #include "fuzz/shrink.hpp"
 #include "gen/test_systems.hpp"
+#include "util/random.hpp"
 
 namespace scalemd {
 namespace {
@@ -96,6 +97,29 @@ TEST(ScenarioRoundTripTest, DefectFlagRoundTrips) {
   EXPECT_TRUE(back.inject_defect);
 }
 
+TEST(ScenarioRoundTripTest, PmeFieldsRoundTrip) {
+  ScenarioSpec spec = small_clean_spec();
+  spec.full_elec = true;
+  spec.pme_slabs = 3;
+  spec.pme_dedicated = 1;
+  const std::string text = serialize_scenario(spec);
+  EXPECT_NE(text.find("full-elec 1"), std::string::npos);
+  EXPECT_NE(text.find("pme-slabs 3"), std::string::npos);
+  EXPECT_NE(text.find("pme-dedicated 1"), std::string::npos);
+  ScenarioSpec back;
+  FaultPlanParseError error;
+  ASSERT_TRUE(parse_scenario(text, "<mem>", back, error)) << error.render();
+  EXPECT_TRUE(back.full_elec);
+  EXPECT_EQ(back.pme_slabs, 3);
+  EXPECT_EQ(back.pme_dedicated, 1);
+
+  // Defaults stay out of the text: old repro files and new parsers agree.
+  spec = small_clean_spec();
+  const std::string plain = serialize_scenario(spec);
+  EXPECT_EQ(plain.find("full-elec"), std::string::npos);
+  EXPECT_EQ(plain.find("pme-"), std::string::npos);
+}
+
 TEST(ScenarioParseTest, RejectsUnknownKeysWithLocation) {
   ScenarioSpec spec;
   FaultPlanParseError error;
@@ -138,6 +162,22 @@ TEST(ScenarioValidateTest, RejectsProcessWorkersOutOfRange) {
   spec.process_workers = -1;
   EXPECT_NE(validate_scenario(spec), "");
   spec.process_workers = 8;
+  EXPECT_EQ(validate_scenario(spec), "");
+}
+
+TEST(ScenarioValidateTest, RejectsPmeFieldsOutOfRange) {
+  ScenarioSpec spec = small_clean_spec();
+  spec.full_elec = true;
+  spec.pme_slabs = 0;
+  EXPECT_NE(validate_scenario(spec), "");
+  spec.pme_slabs = 9;
+  EXPECT_NE(validate_scenario(spec), "");
+  spec.pme_slabs = 3;
+  spec.pme_dedicated = spec.num_pes + 1;
+  EXPECT_NE(validate_scenario(spec), "");
+  spec.pme_dedicated = -1;
+  EXPECT_NE(validate_scenario(spec), "");
+  spec.pme_dedicated = 1;
   EXPECT_EQ(validate_scenario(spec), "");
 }
 
@@ -193,6 +233,35 @@ TEST(FuzzEvaluateTest, ServeAxisPassesOnTrunk) {
   spec.serve_jobs = 3;
   spec.serve_workers = 2;
   spec.serve_preempt_every = 1;
+  const FuzzVerdict v = evaluate_scenario(spec);
+  EXPECT_TRUE(v.ok) << v.oracle << "\n" << v.detail;
+}
+
+TEST(ScenarioGenerateTest, SometimesArmsTheFullElecLeg) {
+  int armed = 0;
+  for (int i = 0; i < 100; ++i) {
+    const ScenarioSpec s = generate_scenario(3, i);
+    if (s.full_elec) {
+      ++armed;
+      EXPECT_GE(s.pme_slabs, 1);
+      EXPECT_LE(s.pme_slabs, 4);
+      EXPECT_LE(s.pme_dedicated, 1);
+    }
+  }
+  // ~30% of the campaign; a wide band keeps the test seed-robust.
+  EXPECT_GT(armed, 8);
+  EXPECT_LT(armed, 65);
+}
+
+TEST(FuzzEvaluateTest, PmeAxisPassesOnTrunk) {
+  // Exercises the full-electrostatics leg: the clean run carries the slab
+  // pipeline, the threaded leg crosses it on real threads, and the alternate
+  // slab placement must reproduce the reference bitwise.
+  ScenarioSpec spec = small_clean_spec();
+  spec.num_pes = 4;
+  spec.full_elec = true;
+  spec.pme_slabs = 3;
+  spec.pme_dedicated = 1;
   const FuzzVerdict v = evaluate_scenario(spec);
   EXPECT_TRUE(v.ok) << v.oracle << "\n" << v.detail;
 }
@@ -259,6 +328,105 @@ TEST(FuzzReproTest, ReplayRejectsOracleMismatch) {
 TEST(FuzzSelfTest, CatchesInjectedDefect) {
   std::string message;
   EXPECT_EQ(run_self_test(/*seed=*/1, /*max_cases=*/2, message), 0) << message;
+}
+
+// ---------------------------------------------------------------------------
+// Mutation fuzzing of the scenario parser, seeded with a PME-armed spec so
+// the full-elec / pme-slabs / pme-dedicated directives sit in the blast
+// radius. Contract: parse_scenario either fills a spec that passes
+// validate_scenario, or fails with a located error — the file tag, a 1-based
+// line and a non-empty reason. Never a crash, never an invalid spec.
+// ---------------------------------------------------------------------------
+
+std::string mutate_scenario_text(const std::string& good, Rng& rng) {
+  std::string text = good;
+  const int op = static_cast<int>(rng.uniform(0.0, 5.0));
+  const auto pick_pos = [&](std::size_t size) {
+    return static_cast<std::size_t>(rng.uniform(0.0, static_cast<double>(size)));
+  };
+  switch (op) {
+    case 0:  // truncate
+      text.resize(pick_pos(text.size()));
+      break;
+    case 1: {  // corrupt one byte
+      if (!text.empty()) {
+        text[pick_pos(text.size())] =
+            static_cast<char>(rng.uniform(1.0, 127.0));
+      }
+      break;
+    }
+    case 2: {  // swap a whitespace-delimited token for a hostile one
+      static const char* kHostile[] = {"nan",     "inf", "-1", "1e999",
+                                       "garbage", "17",  "0",  ""};
+      const std::size_t start = pick_pos(text.size());
+      const std::size_t tok_begin = text.find_first_not_of(" \n", start);
+      if (tok_begin == std::string::npos) break;
+      std::size_t tok_end = text.find_first_of(" \n", tok_begin);
+      if (tok_end == std::string::npos) tok_end = text.size();
+      text.replace(tok_begin, tok_end - tok_begin,
+                   kHostile[static_cast<std::size_t>(rng.uniform(0.0, 8.0))]);
+      break;
+    }
+    case 3: {  // delete one full line
+      const std::size_t start = pick_pos(text.size());
+      const std::size_t line_begin = text.rfind('\n', start);
+      const std::size_t begin =
+          line_begin == std::string::npos ? 0 : line_begin + 1;
+      std::size_t end = text.find('\n', begin);
+      end = end == std::string::npos ? text.size() : end + 1;
+      text.erase(begin, end - begin);
+      break;
+    }
+    default: {  // duplicate one full line
+      const std::size_t start = pick_pos(text.size());
+      const std::size_t line_begin = text.rfind('\n', start);
+      const std::size_t begin =
+          line_begin == std::string::npos ? 0 : line_begin + 1;
+      std::size_t end = text.find('\n', begin);
+      end = end == std::string::npos ? text.size() : end + 1;
+      text.insert(begin, text.substr(begin, end - begin));
+      break;
+    }
+  }
+  return text;
+}
+
+TEST(ScenarioParseFuzzTest, MutatedPmeDirectivesNeverEscapeTheContract) {
+  ScenarioSpec seed_spec = small_clean_spec();
+  seed_spec.num_pes = 4;
+  seed_spec.full_elec = true;
+  seed_spec.pme_slabs = 3;
+  seed_spec.pme_dedicated = 1;
+  const std::string good = serialize_scenario(seed_spec);
+
+  Rng rng(20260807);
+  int parsed = 0, rejected = 0;
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string text = good;
+    const int rounds = 1 + static_cast<int>(rng.uniform(0.0, 3.0));
+    for (int r = 0; r < rounds; ++r) text = mutate_scenario_text(text, rng);
+
+    ScenarioSpec out;
+    FaultPlanParseError error;
+    if (parse_scenario(text, "fuzz", out, error)) {
+      EXPECT_EQ(validate_scenario(out), "")
+          << "iter " << iter << ": parser accepted an invalid spec:\n" << text;
+      ++parsed;
+    } else {
+      EXPECT_EQ(error.file, "fuzz") << "iter " << iter;
+      EXPECT_GE(error.line, 1) << "iter " << iter;
+      EXPECT_FALSE(error.reason.empty()) << "iter " << iter;
+      const std::string location = "fuzz:" + std::to_string(error.line) + ":";
+      EXPECT_EQ(error.render().rfind(location, 0), 0u)
+          << "iter " << iter << ": '" << error.render()
+          << "' does not start with its location";
+      ++rejected;
+    }
+  }
+  // The operators must exercise both outcomes: some corruptions (duplicated
+  // or deleted optional lines) legitimately still parse, many must not.
+  EXPECT_GT(rejected, 100) << "fuzzer produced too few malformed inputs";
+  EXPECT_GT(parsed, 10) << "fuzzer produced no parseable variants";
 }
 
 }  // namespace

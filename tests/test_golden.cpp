@@ -179,6 +179,14 @@ constexpr GoldenCase kGoldenMatrix[] = {
     {"chain", NonbondedKernel::kTiledThreads, true, 2},
     {"chain", NonbondedKernel::kTiledThreads, false, 4},
     {"chain", NonbondedKernel::kTiledThreads, true, 4},
+    // waterbox_ions: full electrostatics — erfc-screened direct space in the
+    // kernels plus the sequential PME reciprocal stage.
+    {"waterbox_ions", NonbondedKernel::kScalar, false, 0},
+    {"waterbox_ions", NonbondedKernel::kScalar, true, 0},
+    {"waterbox_ions", NonbondedKernel::kTiled, false, 0},
+    {"waterbox_ions", NonbondedKernel::kTiled, true, 0},
+    {"waterbox_ions", NonbondedKernel::kTiledThreads, false, 2},
+    {"waterbox_ions", NonbondedKernel::kTiledThreads, true, 2},
 };
 
 INSTANTIATE_TEST_SUITE_P(AllKernelPathThreadCombos, GoldenRegressionTest,
@@ -237,6 +245,11 @@ constexpr ParallelGoldenCase kParallelGoldenMatrix[] = {
     {"waterbox", BackendKind::kThreaded, NonbondedKernel::kTiled},
     {"chain", BackendKind::kSimulated, NonbondedKernel::kScalar},
     {"chain", BackendKind::kThreaded, NonbondedKernel::kScalar},
+    // waterbox_ions drives the parallel-PME pipeline (slab objects, transpose
+    // messages, canonical reciprocal fold) against the sequential golden.
+    {"waterbox_ions", BackendKind::kSimulated, NonbondedKernel::kScalar},
+    {"waterbox_ions", BackendKind::kSimulated, NonbondedKernel::kTiled},
+    {"waterbox_ions", BackendKind::kThreaded, NonbondedKernel::kScalar},
 };
 
 INSTANTIATE_TEST_SUITE_P(BothBackends, ParallelGoldenTest,
